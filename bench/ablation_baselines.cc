@@ -1,0 +1,81 @@
+// Ablation — Related-work baselines (paper §II).
+//
+// Compares HPM against the three predictor families the paper positions
+// itself against: the linear motion model (§II-A), RMF (§II-A, the
+// strongest motion function), and a grid-cell Markov model (§II-B) at
+// three cell sizes. Expected shape: HPM wins overall; Markov's accuracy
+// depends strongly on cell size (the §II-B criticism) and decays at
+// distant times; linear is worst on turning movement.
+
+#include <cstdio>
+
+#include "baselines/markov.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+namespace {
+
+using namespace hpm;
+
+double MarkovError(const MarkovPredictor& markov,
+                   const std::vector<QueryCase>& cases) {
+  double total = 0.0;
+  for (const QueryCase& qc : cases) {
+    auto p = markov.Predict(qc.query.recent_movements, qc.query.query_time);
+    HPM_CHECK(p.ok());
+    total += Distance(*p, qc.actual);
+  }
+  return total / static_cast<double>(cases.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpm::bench;
+
+  PrintHeader("Ablation: Related-work baselines (Section II)",
+              "average error of HPM vs RMF vs Linear vs grid-cell Markov "
+              "(3 cell sizes), Car dataset");
+
+  ExperimentConfig config;
+  const Dataset& dataset = GetDataset(DatasetKind::kCar, config);
+  const auto predictor = TrainPredictor(dataset, config);
+
+  // Markov models are trained on the same training prefix as HPM.
+  const Timestamp train_len =
+      static_cast<Timestamp>(config.train_subs) * config.period;
+  const Trajectory train_prefix =
+      std::move(dataset.trajectory.Slice(0, train_len).value());
+  std::vector<std::pair<std::string, MarkovPredictor>> markovs;
+  for (const double cell : {250.0, 500.0, 1000.0}) {
+    MarkovOptions options;
+    options.cell_size = cell;
+    options.extent = 10000.0;
+    auto markov = MarkovPredictor::Train(train_prefix, options);
+    HPM_CHECK(markov.ok());
+    markovs.emplace_back("Markov_" + Fmt(cell, 0), std::move(*markov));
+  }
+
+  TablePrinter table({"prediction_length", "HPM", "RMF", "Linear",
+                      "Markov_250", "Markov_500", "Markov_1000"});
+  for (Timestamp length = 20; length <= 200; length += 30) {
+    ExperimentConfig sweep = config;
+    sweep.prediction_length = length;
+    const auto cases = MakeWorkload(dataset, sweep);
+    const EvalResult hpm = RunHpm(*predictor, cases);
+    const EvalResult rmf = RunRmf(cases);
+    auto linear = EvaluateLinear(cases);
+    HPM_CHECK(linear.ok());
+
+    std::vector<std::string> row = {std::to_string(length),
+                                    Fmt(hpm.mean_error),
+                                    Fmt(rmf.mean_error),
+                                    Fmt(linear->mean_error)};
+    for (const auto& [name, markov] : markovs) {
+      row.push_back(Fmt(MarkovError(markov, cases)));
+    }
+    table.AddRow(row);
+  }
+  table.Print(stdout);
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Ablation — Predictive range queries: TPR-tree (§II-A family) vs the
+// pattern-based MovingObjectStore.
+//
+// Two experiments:
+//   (a) Cost: TPR-tree vs linear scan over growing fleets of linear
+//       movers — the access-method story (the TPR-tree prunes).
+//   (b) Accuracy: on a fleet of *pattern-following* commuters, compare
+//       the answer quality of TPR-style linear extrapolation against
+//       the HPM store at growing horizons. The TPR family is exact for
+//       linear motion and blind to turns — the paper's §I/II argument,
+//       restated for range queries. Reported as precision/recall
+//       against the ground-truth membership at tq.
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "datagen/seed_generators.h"
+#include "motion/linear_motion.h"
+#include "server/object_store.h"
+#include "tpr/tpr_tree.h"
+
+namespace {
+
+using namespace hpm;
+using hpm::bench::Fmt;
+
+// ---------------------------------------------------------------- (a) --
+void CostExperiment() {
+  std::printf("\n(a) query cost: TPR-tree vs linear scan, linear movers\n");
+  TablePrinter table({"fleet_size", "TPR_us", "scan_us",
+                      "TPR_entries_tested"});
+  Random rng(5);
+  for (const int fleet : {1000, 10000, 100000}) {
+    TprTree tree(0);
+    std::vector<MovingPoint> all;
+    for (int i = 0; i < fleet; ++i) {
+      MovingPoint p;
+      p.id = i;
+      p.position = {rng.UniformDouble(0, 10000),
+                    rng.UniformDouble(0, 10000)};
+      p.velocity = {rng.Gaussian(0, 10), rng.Gaussian(0, 10)};
+      all.push_back(p);
+      HPM_CHECK(tree.Insert(p).ok());
+    }
+    const int kQueries = 50;
+    std::vector<BoundingBox> ranges;
+    for (int q = 0; q < kQueries; ++q) {
+      const Point corner{rng.UniformDouble(0, 9000),
+                         rng.UniformDouble(0, 9000)};
+      ranges.emplace_back(corner, corner + Point{800, 800});
+    }
+
+    TprSearchStats stats;
+    size_t tpr_hits = 0;
+    Stopwatch tpr_timer;
+    for (const BoundingBox& range : ranges) {
+      tpr_hits += tree.RangeQuery(range, 30, &stats).value().size();
+    }
+    const double tpr_us = tpr_timer.ElapsedMillis() * 1000.0 / kQueries;
+
+    size_t scan_hits = 0;
+    Stopwatch scan_timer;
+    for (const BoundingBox& range : ranges) {
+      for (const MovingPoint& p : all) {
+        if (range.Contains(p.PositionAt(0, 30))) ++scan_hits;
+      }
+    }
+    const double scan_us = scan_timer.ElapsedMillis() * 1000.0 / kQueries;
+    HPM_CHECK(tpr_hits == scan_hits);
+
+    table.AddRow({std::to_string(fleet), Fmt(tpr_us, 1), Fmt(scan_us, 1),
+                  std::to_string(stats.entries_tested / kQueries)});
+  }
+  table.Print(stdout);
+}
+
+// ---------------------------------------------------------------- (b) --
+struct FleetData {
+  MovingObjectStore store;
+  std::vector<Trajectory> histories;  // Per object, incl. the live day.
+};
+
+void AccuracyExperiment() {
+  std::printf(
+      "\n(b) answer quality on pattern-following commuters "
+      "(precision/recall vs ground truth)\n");
+
+  constexpr Timestamp kPeriod = 120;
+  constexpr int kDays = 40;
+  constexpr int kFleet = 12;
+  constexpr Timestamp kNowOffset = 50;
+
+  ObjectStoreOptions options;
+  options.predictor.regions.period = kPeriod;
+  options.predictor.regions.dbscan.eps = 30.0;
+  options.predictor.regions.dbscan.min_pts = 4;
+  options.predictor.mining.min_confidence = 0.3;
+  options.predictor.mining.min_support = 3;
+  options.predictor.distant_threshold = 30;
+  options.predictor.region_match_slack = 25.0;
+  options.min_training_periods = kDays;
+  options.recent_window = 10;
+  FleetData fleet{MovingObjectStore(options), {}};
+
+  for (int v = 0; v < kFleet; ++v) {
+    SeedConfig seed;
+    seed.period = kPeriod;
+    seed.seed = 600 + static_cast<uint64_t>(v);
+    PeriodicGeneratorConfig gen;
+    gen.period = kPeriod;
+    gen.num_sub_trajectories = kDays + 1;  // Last day is "today".
+    gen.pattern_probability = 0.9;
+    gen.noise_sigma = 10.0;
+    gen.seed = 8800 + static_cast<uint64_t>(v);
+    auto history =
+        GeneratePeriodicTrajectory({{MakeCarSeed(seed), 1.0}}, gen);
+    HPM_CHECK(history.ok());
+    // Feed everything up to "now" (mid-morning of the last day).
+    const Timestamp now =
+        static_cast<Timestamp>(kDays) * kPeriod + kNowOffset;
+    auto fed = history->Slice(0, now + 1);
+    HPM_CHECK(fed.ok());
+    HPM_CHECK(fleet.store.ReportTrajectory(v, *fed).ok());
+    fleet.histories.push_back(std::move(*history));
+  }
+  const Timestamp now =
+      static_cast<Timestamp>(kDays) * kPeriod + kNowOffset;
+
+  TablePrinter table({"horizon", "HPM_precision", "HPM_recall",
+                      "TPR_precision", "TPR_recall", "truth_avg"});
+  Random rng(77);
+  for (const Timestamp horizon : {10, 30, 60}) {
+    const Timestamp tq = now + horizon;
+
+    // TPR snapshot: velocity from each object's recent movements.
+    TprTree tpr(now);
+    for (int v = 0; v < kFleet; ++v) {
+      LinearMotionFunction linear;
+      HPM_CHECK(
+          linear.Fit(fleet.histories[static_cast<size_t>(v)]
+                         .RecentMovements(now, 10))
+              .ok());
+      MovingPoint p;
+      p.id = v;
+      p.position = fleet.histories[static_cast<size_t>(v)].At(now);
+      p.velocity = linear.velocity();
+      HPM_CHECK(tpr.Insert(p).ok());
+    }
+
+    int hpm_tp = 0, hpm_fp = 0, tpr_tp = 0, tpr_fp = 0;
+    int truth_total = 0, truth_missed_hpm = 0, truth_missed_tpr = 0;
+    const int kQueries = 40;
+    for (int q = 0; q < kQueries; ++q) {
+      // Centre ranges on a random object's true future position so that
+      // queries are non-trivial.
+      const int anchor = static_cast<int>(rng.Uniform(kFleet));
+      const Point target =
+          fleet.histories[static_cast<size_t>(anchor)].At(tq);
+      const BoundingBox range(target - Point{600, 600},
+                              target + Point{600, 600});
+
+      std::set<int64_t> truth;
+      for (int v = 0; v < kFleet; ++v) {
+        if (range.Contains(
+                fleet.histories[static_cast<size_t>(v)].At(tq))) {
+          truth.insert(v);
+        }
+      }
+      truth_total += static_cast<int>(truth.size());
+
+      auto hpm_hits = fleet.store.PredictiveRangeQuery(range, tq, 3);
+      HPM_CHECK(hpm_hits.ok());
+      std::set<int64_t> hpm_ids;
+      for (const RangeHit& hit : *hpm_hits) hpm_ids.insert(hit.id);
+      for (int64_t id : hpm_ids) {
+        truth.count(id) ? ++hpm_tp : ++hpm_fp;
+      }
+      for (int64_t id : truth) {
+        if (!hpm_ids.count(id)) ++truth_missed_hpm;
+      }
+
+      auto tpr_hits = tpr.RangeQuery(range, tq);
+      HPM_CHECK(tpr_hits.ok());
+      std::set<int64_t> tpr_ids;
+      for (const auto* hit : *tpr_hits) tpr_ids.insert(hit->id);
+      for (int64_t id : tpr_ids) {
+        truth.count(id) ? ++tpr_tp : ++tpr_fp;
+      }
+      for (int64_t id : truth) {
+        if (!tpr_ids.count(id)) ++truth_missed_tpr;
+      }
+    }
+    auto ratio = [](int num, int den) {
+      return den == 0 ? 1.0
+                      : static_cast<double>(num) / static_cast<double>(den);
+    };
+    table.AddRow(
+        {std::to_string(horizon),
+         Fmt(100.0 * ratio(hpm_tp, hpm_tp + hpm_fp), 1),
+         Fmt(100.0 * ratio(hpm_tp, hpm_tp + truth_missed_hpm), 1),
+         Fmt(100.0 * ratio(tpr_tp, tpr_tp + tpr_fp), 1),
+         Fmt(100.0 * ratio(tpr_tp, tpr_tp + truth_missed_tpr), 1),
+         Fmt(static_cast<double>(truth_total) / kQueries, 2)});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nThe TPR-style answer is exact at tiny horizons and collapses as\n"
+      "street turns accumulate; the pattern-based store keeps finding the\n"
+      "objects where their routines put them.\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpm::bench;
+  PrintHeader("Ablation: predictive range queries (Section II-A family)",
+              "TPR-tree vs pattern-based MovingObjectStore");
+  CostExperiment();
+  AccuracyExperiment();
+  return 0;
+}

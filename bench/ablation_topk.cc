@@ -1,0 +1,55 @@
+// Ablation — Top-k answers (paper §VI: FQP/BQP return the centres of
+// the top-k patterns' consequences; the experiments use k = 1).
+//
+// This bench measures what k buys: the hit rate (fraction of queries
+// whose true location is within `hit_radius` of at least one of the k
+// returned locations) and the best-of-k error. Expected shape: with
+// multiple plausible routes, k = 2..3 markedly improves the hit rate
+// over k = 1; beyond the number of alternatives it saturates.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace hpm;
+  using namespace hpm::bench;
+
+  PrintHeader("Ablation: top-k predictions (Section VI)",
+              "best-of-k error and hit rate vs k, prediction length 80");
+
+  constexpr double kHitRadius = 500.0;
+  for (const DatasetKind kind : AllDatasetKinds()) {
+    ExperimentConfig config;
+    config.prediction_length = 80;
+    const Dataset& dataset = GetDataset(kind, config);
+    const auto predictor = TrainPredictor(dataset, config);
+    const auto cases = MakeWorkload(dataset, config);
+
+    TablePrinter table({"k", "best_of_k_error", "hit_rate_pct"});
+    for (const int k : {1, 2, 3, 5, 10}) {
+      double total_best = 0.0;
+      int hits = 0;
+      for (const QueryCase& qc : cases) {
+        PredictiveQuery query = qc.query;
+        query.k = k;
+        auto predictions = predictor->Predict(query);
+        HPM_CHECK(predictions.ok());
+        double best = 1e18;
+        for (const Prediction& p : *predictions) {
+          best = std::min(best, Distance(p.location, qc.actual));
+        }
+        total_best += best;
+        if (best <= kHitRadius) ++hits;
+      }
+      const double n = static_cast<double>(cases.size());
+      table.AddRow({std::to_string(k), Fmt(total_best / n),
+                    Fmt(100.0 * hits / n, 1)});
+    }
+    std::printf("\n[%s]\n", DatasetName(kind));
+    table.Print(stdout);
+  }
+  return 0;
+}

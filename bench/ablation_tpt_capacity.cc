@@ -1,0 +1,99 @@
+// Ablation — TPT node capacity.
+//
+// The paper fixes the signature-tree node layout; an open-source release
+// should document the capacity/latency trade-off: small nodes mean a
+// taller tree with finer-grained union keys (better pruning, more
+// pointer hops); large nodes mean shallow trees and coarser keys. This
+// bench sweeps max_node_entries over a fixed synthetic pattern set.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "tpt/tpt_tree.h"
+
+namespace {
+
+using namespace hpm;
+
+IndexedPattern RandomPattern(Random* rng, size_t regions, size_t offsets,
+                             int id) {
+  IndexedPattern p;
+  p.key = PatternKey(regions, offsets);
+  p.key.mutable_premise().Set(rng->Uniform(regions));
+  if (rng->Bernoulli(0.5)) p.key.mutable_premise().Set(rng->Uniform(regions));
+  p.key.mutable_consequence().Set(rng->Uniform(offsets));
+  p.pattern_id = id;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpm::bench;
+
+  PrintHeader("Ablation: TPT node capacity",
+              "build time, memory, height and search cost vs "
+              "max_node_entries (50k synthetic patterns, 400 regions)");
+
+  constexpr int kPatterns = 50000;
+  constexpr size_t kRegions = 400;
+  constexpr size_t kOffsets = 60;
+  constexpr int kQueries = 50;
+
+  // One fixed pattern set and query set across all capacities.
+  Random rng(4242);
+  std::vector<IndexedPattern> patterns;
+  for (int i = 0; i < kPatterns; ++i) {
+    patterns.push_back(RandomPattern(&rng, kRegions, kOffsets, i));
+  }
+  std::vector<PatternKey> queries;
+  for (int i = 0; i < kQueries; ++i) {
+    PatternKey q(kRegions, kOffsets);
+    for (int b = 0; b < 5; ++b) q.mutable_premise().Set(rng.Uniform(kRegions));
+    q.mutable_consequence().Set(rng.Uniform(kOffsets));
+    queries.push_back(std::move(q));
+  }
+
+  TablePrinter table({"max_entries", "build_ms", "height", "memory_MB",
+                      "search_us", "entries_tested"});
+  size_t reference_hits = 0;
+  for (const int max_entries : {8, 16, 32, 64, 128, 256}) {
+    TptTree::Options options;
+    options.max_node_entries = max_entries;
+    options.min_node_entries = std::max(2, max_entries * 2 / 5);
+
+    Stopwatch build;
+    auto tree = TptTree::BulkLoad(patterns, options);
+    HPM_CHECK(tree.ok());
+    const double build_ms = build.ElapsedMillis();
+    HPM_CHECK(tree->CheckInvariants().ok());
+
+    TptSearchStats stats;
+    size_t hits = 0;
+    Stopwatch search;
+    for (const PatternKey& q : queries) {
+      hits += tree->Search(q, SearchMode::kPremiseAndConsequence, &stats)
+                  .size();
+    }
+    const double search_us =
+        search.ElapsedMillis() * 1000.0 / kQueries;
+    if (reference_hits == 0) {
+      reference_hits = hits;
+    } else {
+      HPM_CHECK(hits == reference_hits);  // Capacity must not change results.
+    }
+
+    table.AddRow({std::to_string(max_entries), Fmt(build_ms, 1),
+                  std::to_string(tree->Height()),
+                  Fmt(static_cast<double>(tree->MemoryBytes()) / 1048576.0,
+                      2),
+                  Fmt(search_us, 1),
+                  std::to_string(stats.entries_tested / kQueries)});
+  }
+  table.Print(stdout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation — Premise weight functions (paper §VI-A).
+//
+// The paper evaluates four position-weight families for the premise
+// similarity measure and reports that "the linear and the quadratic
+// functions showed better prediction results". This bench compares all
+// four on every dataset at a near-time prediction length where premise
+// similarity dominates the ranking.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace hpm;
+  using namespace hpm::bench;
+
+  PrintHeader("Ablation: Premise weight functions (Section VI-A)",
+              "average FQP error per weight function; paper reports "
+              "linear and quadratic as the best performers");
+
+  const WeightFunction functions[] = {
+      WeightFunction::kLinear, WeightFunction::kQuadratic,
+      WeightFunction::kExponential, WeightFunction::kFactorial};
+
+  TablePrinter table({"dataset", "linear", "quadratic", "exponential",
+                      "factorial"});
+  for (const DatasetKind kind : AllDatasetKinds()) {
+    ExperimentConfig config;
+    config.prediction_length = 30;  // Non-distant: FQP path.
+    config.num_queries = 50;
+    // Longer premises (3 regions) are where the weight families actually
+    // diverge; for 2-region premises, linear, exponential and factorial
+    // all assign the same (1/3, 2/3) split.
+    config.max_pattern_length = 4;
+    const Dataset& dataset = GetDataset(kind, config);
+
+    // Weights only affect query-time ranking: train once per dataset.
+    const auto predictor = TrainPredictor(dataset, config);
+    const auto fqp_cases = MakeWorkload(dataset, config);
+    ExperimentConfig distant = config;
+    distant.prediction_length = 100;  // Distant: BQP path (Equation 5).
+    const auto bqp_cases = MakeWorkload(dataset, distant);
+
+    std::vector<std::string> row = {DatasetName(kind)};
+    for (const WeightFunction fn : functions) {
+      predictor->set_weight_function(fn);
+      const double fqp = RunHpm(*predictor, fqp_cases).mean_error;
+      const double bqp = RunHpm(*predictor, bqp_cases).mean_error;
+      row.push_back(Fmt(fqp) + " / " + Fmt(bqp));
+    }
+    table.AddRow(row);
+  }
+  table.Print(stdout);
+  std::printf(
+      "\ncells are FQP(len 30) / BQP(len 100) average error. Differences\n"
+      "between families are small because fully matching premises (Sr=1)\n"
+      "dominate the ranking whenever patterns are strong; the families\n"
+      "only reorder partially matching candidates.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+#include "common/table_printer.h"
+
+namespace hpm::bench {
+
+HybridPredictorOptions ToPredictorOptions(const ExperimentConfig& config) {
+  HybridPredictorOptions options;
+  options.regions.period = config.period;
+  options.regions.dbscan.eps = config.eps;
+  options.regions.dbscan.min_pts = config.min_pts;
+  options.regions.limit_sub_trajectories = config.train_subs;
+  options.mining.min_confidence = config.min_confidence;
+  options.mining.min_support = config.min_support;
+  options.mining.max_pattern_length = config.max_pattern_length;
+  options.mining.premise_window = config.premise_window;
+  options.weight_function = config.weight_function;
+  options.distant_threshold = config.distant_threshold;
+  options.time_relaxation = config.time_relaxation;
+  options.region_match_slack = config.region_match_slack;
+  options.rmf.window = config.rmf_window;
+  options.rmf.retrospect = config.rmf_retrospect;
+  options.premise_horizon = config.premise_horizon;
+  return options;
+}
+
+WorkloadConfig ToWorkloadConfig(const ExperimentConfig& config) {
+  WorkloadConfig workload;
+  workload.num_queries = config.num_queries;
+  workload.recent_length = config.recent_length;
+  workload.prediction_length = config.prediction_length;
+  workload.seed = config.workload_seed;
+  return workload;
+}
+
+const Dataset& GetDataset(DatasetKind kind, const ExperimentConfig& config) {
+  // One dataset per (kind, period, subs); benches sweep other knobs.
+  static std::map<std::tuple<int, Timestamp, int>, Dataset> cache;
+  const auto key = std::make_tuple(static_cast<int>(kind), config.period,
+                                   config.total_subs);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    PeriodicGeneratorConfig gen = DefaultConfig(kind);
+    gen.period = config.period;
+    gen.num_sub_trajectories = config.total_subs;
+    it = cache.emplace(key, MakeDataset(kind, gen)).first;
+  }
+  return it->second;
+}
+
+std::unique_ptr<HybridPredictor> TrainPredictor(
+    const Dataset& dataset, const ExperimentConfig& config) {
+  auto predictor = HybridPredictor::Train(dataset.trajectory,
+                                          ToPredictorOptions(config));
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 predictor.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*predictor);
+}
+
+std::vector<QueryCase> MakeWorkload(const Dataset& dataset,
+                                    const ExperimentConfig& config) {
+  auto cases = MakeQueryCases(dataset.trajectory, config.period,
+                              config.train_subs, ToWorkloadConfig(config));
+  if (!cases.ok()) {
+    std::fprintf(stderr, "workload failed: %s\n",
+                 cases.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*cases);
+}
+
+EvalResult RunHpm(const HybridPredictor& predictor,
+                  const std::vector<QueryCase>& cases) {
+  auto result = EvaluateHpm(predictor, cases);
+  if (!result.ok()) {
+    std::fprintf(stderr, "HPM evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *result;
+}
+
+EvalResult RunRmf(const std::vector<QueryCase>& cases) {
+  return RunRmf(cases, ExperimentConfig{});
+}
+
+EvalResult RunRmf(const std::vector<QueryCase>& cases,
+                  const ExperimentConfig& config) {
+  RmfOptions options;
+  options.window = config.rmf_window;
+  options.retrospect = config.rmf_retrospect;
+  auto result = EvaluateRmf(cases, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "RMF evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *result;
+}
+
+std::string Fmt(double v, int precision) {
+  return TablePrinter::FormatDouble(v, precision);
+}
+
+void PrintHeader(const std::string& title, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace hpm::bench

@@ -1,0 +1,83 @@
+// Shared harness for the figure benches: the paper's §VII experimental
+// defaults, dataset caching, and one-call HPM / RMF evaluation.
+
+#ifndef HPM_BENCH_BENCH_UTIL_H_
+#define HPM_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_predictor.h"
+#include "datagen/datasets.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+
+namespace hpm::bench {
+
+/// One experiment's knobs, defaulted to the paper's §VII-A settings:
+/// k=1, 60 training sub-trajectories, d=60, Eps=30, MinPts=4,
+/// min_confidence=0.3, T=300, 200 generated sub-trajectories, 50 queries.
+struct ExperimentConfig {
+  Timestamp period = 300;
+  int total_subs = 200;
+  int train_subs = 60;
+  double eps = 30.0;
+  int min_pts = 4;
+  double min_confidence = 0.3;
+  int min_support = 3;
+  int max_pattern_length = 3;
+  Timestamp premise_window = 3;
+  Timestamp distant_threshold = 60;
+  Timestamp time_relaxation = 2;
+  double region_match_slack = 25.0;
+  WeightFunction weight_function = WeightFunction::kLinear;
+  /// RMF fitting window (both the HPM fallback and the RMF baseline).
+  int rmf_window = 30;
+  /// RMF maximum retrospect (model-selection search space).
+  int rmf_retrospect = 3;
+  /// Recent movements used for the query premise (0 = all).
+  int premise_horizon = 10;
+  int num_queries = 50;
+  int recent_length = 10;
+  Timestamp prediction_length = 50;
+  uint64_t workload_seed = 1234;
+};
+
+/// Expands the experiment knobs into predictor options.
+HybridPredictorOptions ToPredictorOptions(const ExperimentConfig& config);
+
+/// Expands the experiment knobs into a workload configuration.
+WorkloadConfig ToWorkloadConfig(const ExperimentConfig& config);
+
+/// Generates (and caches across calls within one process) the dataset
+/// for a kind at the configured period / sub-trajectory count.
+const Dataset& GetDataset(DatasetKind kind, const ExperimentConfig& config);
+
+/// Trains an HPM predictor on the dataset under `config`. Aborts on
+/// configuration errors (benches are not recoverable).
+std::unique_ptr<HybridPredictor> TrainPredictor(
+    const Dataset& dataset, const ExperimentConfig& config);
+
+/// Builds the query workload for the dataset under `config`.
+std::vector<QueryCase> MakeWorkload(const Dataset& dataset,
+                                    const ExperimentConfig& config);
+
+/// Runs HPM over the cases.
+EvalResult RunHpm(const HybridPredictor& predictor,
+                  const std::vector<QueryCase>& cases);
+
+/// Runs the RMF baseline over the cases (window from `config`).
+EvalResult RunRmf(const std::vector<QueryCase>& cases);
+EvalResult RunRmf(const std::vector<QueryCase>& cases,
+                  const ExperimentConfig& config);
+
+/// Formats a double with `precision` decimals (forwarder for benches).
+std::string Fmt(double v, int precision = 1);
+
+/// Prints the standard bench banner (figure id + paper reference).
+void PrintHeader(const std::string& title, const std::string& description);
+
+}  // namespace hpm::bench
+
+#endif  // HPM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,42 @@
+// Figure 8 — Effect of MinPts (paper §VII-B).
+//
+// Sweeps DBSCAN's MinPts from 3 to 7 and reports (a) the number of
+// trajectory patterns and (b) the average error. Expected shape: the
+// pattern count falls as MinPts rises (clusters get harder to form), and
+// errors rise where the surviving pattern set becomes too small.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace hpm;
+  using namespace hpm::bench;
+
+  PrintHeader("Figure 8: Effect of MinPts",
+              "(a) number of patterns and (b) average error vs MinPts, "
+              "4 datasets, prediction length = 50");
+
+  for (const DatasetKind kind : AllDatasetKinds()) {
+    ExperimentConfig config;
+    config.prediction_length = 50;
+    const Dataset& dataset = GetDataset(kind, config);
+
+    TablePrinter table({"min_pts", "patterns", "regions", "HPM_error"});
+    for (int min_pts = 3; min_pts <= 7; ++min_pts) {
+      ExperimentConfig sweep = config;
+      sweep.min_pts = min_pts;
+      const auto predictor = TrainPredictor(dataset, sweep);
+      const auto cases = MakeWorkload(dataset, sweep);
+      const EvalResult hpm = RunHpm(*predictor, cases);
+      table.AddRow({std::to_string(min_pts),
+                    std::to_string(predictor->summary().num_patterns),
+                    std::to_string(predictor->summary().num_frequent_regions),
+                    Fmt(hpm.mean_error)});
+    }
+    std::printf("\n[%s]\n", DatasetName(kind));
+    table.Print(stdout);
+  }
+  return 0;
+}

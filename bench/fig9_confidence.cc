@@ -1,0 +1,44 @@
+// Figure 9 — Effect of minimum confidence (paper §VII-B).
+//
+// Sweeps min_confidence from 0% to 100% and reports (a) the number of
+// trajectory patterns kept and (b) the average error. Expected shape:
+// pattern counts fall steadily; datasets rich in patterns (Bike) barely
+// lose accuracy, while pattern-poor ones (Airplane) degrade sharply once
+// the confidence bar exceeds what their patterns can reach (~60%).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace hpm;
+  using namespace hpm::bench;
+
+  PrintHeader("Figure 9: Effect of minimum confidence",
+              "(a) number of patterns and (b) average error vs minimum "
+              "confidence (%), 4 datasets, prediction length = 50");
+
+  for (const DatasetKind kind : AllDatasetKinds()) {
+    ExperimentConfig config;
+    config.prediction_length = 50;
+    const Dataset& dataset = GetDataset(kind, config);
+
+    TablePrinter table(
+        {"min_confidence_pct", "patterns", "HPM_error", "fallbacks"});
+    for (int pct = 0; pct <= 100; pct += 10) {
+      ExperimentConfig sweep = config;
+      sweep.min_confidence = static_cast<double>(pct) / 100.0;
+      const auto predictor = TrainPredictor(dataset, sweep);
+      const auto cases = MakeWorkload(dataset, sweep);
+      const EvalResult hpm = RunHpm(*predictor, cases);
+      table.AddRow({std::to_string(pct),
+                    std::to_string(predictor->summary().num_patterns),
+                    Fmt(hpm.mean_error),
+                    std::to_string(hpm.motion_answers)});
+    }
+    std::printf("\n[%s]\n", DatasetName(kind));
+    table.Print(stdout);
+  }
+  return 0;
+}

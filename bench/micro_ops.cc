@@ -1,0 +1,190 @@
+// Micro-benchmarks (google-benchmark) for the hot operations underneath
+// the figure benches: pattern-key ops, TPT insert/search, DBSCAN,
+// Apriori support counting, and RMF fitting.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/dbscan.h"
+#include "common/random.h"
+#include "core/similarity.h"
+#include "mining/apriori.h"
+#include "mining/transaction.h"
+#include "motion/recursive_motion.h"
+#include "tpt/brute_force_store.h"
+#include "tpt/tpt_tree.h"
+
+namespace hpm {
+namespace {
+
+PatternKey RandomKey(Random* rng, size_t premise_len, size_t cons_len) {
+  PatternKey key(premise_len, cons_len);
+  key.mutable_premise().Set(rng->Uniform(premise_len));
+  key.mutable_premise().Set(rng->Uniform(premise_len));
+  key.mutable_consequence().Set(rng->Uniform(cons_len));
+  return key;
+}
+
+void BM_PatternKeyIntersect(benchmark::State& state) {
+  Random rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  const PatternKey a = RandomKey(&rng, len, 60);
+  const PatternKey b = RandomKey(&rng, len, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersects(b));
+  }
+}
+BENCHMARK(BM_PatternKeyIntersect)->Arg(80)->Arg(400)->Arg(800);
+
+void BM_PatternKeyUnion(benchmark::State& state) {
+  Random rng(2);
+  const size_t len = static_cast<size_t>(state.range(0));
+  PatternKey a = RandomKey(&rng, len, 60);
+  const PatternKey b = RandomKey(&rng, len, 60);
+  for (auto _ : state) {
+    a.UnionWith(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_PatternKeyUnion)->Arg(80)->Arg(800);
+
+void BM_PremiseSimilarity(benchmark::State& state) {
+  Random rng(3);
+  const size_t len = 400;
+  const PatternKey a = RandomKey(&rng, len, 60);
+  const PatternKey q = RandomKey(&rng, len, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PremiseSimilarity(
+        a.premise(), q.premise(), WeightFunction::kLinear));
+  }
+}
+BENCHMARK(BM_PremiseSimilarity);
+
+void BM_TptInsert(benchmark::State& state) {
+  Random rng(4);
+  const size_t regions = 400;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TptTree tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      IndexedPattern p;
+      p.key = RandomKey(&rng, regions, 60);
+      p.pattern_id = i;
+      benchmark::DoNotOptimize(tree.Insert(std::move(p)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TptInsert)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_TptSearch(benchmark::State& state) {
+  Random rng(5);
+  const size_t regions = 400;
+  TptTree tree;
+  BruteForceStore brute;
+  for (int i = 0; i < state.range(0); ++i) {
+    IndexedPattern p;
+    p.key = RandomKey(&rng, regions, 60);
+    p.pattern_id = i;
+    HPM_CHECK(brute.Insert(p).ok());
+    HPM_CHECK(tree.Insert(std::move(p)).ok());
+  }
+  const PatternKey q = RandomKey(&rng, regions, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Search(q, SearchMode::kPremiseAndConsequence));
+  }
+}
+BENCHMARK(BM_TptSearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BruteForceSearch(benchmark::State& state) {
+  Random rng(5);
+  const size_t regions = 400;
+  BruteForceStore brute;
+  for (int i = 0; i < state.range(0); ++i) {
+    IndexedPattern p;
+    p.key = RandomKey(&rng, regions, 60);
+    p.pattern_id = i;
+    HPM_CHECK(brute.Insert(std::move(p)).ok());
+  }
+  const PatternKey q = RandomKey(&rng, regions, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        brute.Search(q, SearchMode::kPremiseAndConsequence));
+  }
+}
+BENCHMARK(BM_BruteForceSearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Dbscan(benchmark::State& state) {
+  Random rng(6);
+  std::vector<Point> points(static_cast<size_t>(state.range(0)));
+  for (auto& p : points) {
+    p = {rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000)};
+  }
+  DbscanParams params;
+  params.eps = 30.0;
+  params.min_pts = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dbscan(points, params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Dbscan)->Arg(200)->Arg(2000)->Arg(20000);
+
+void BM_RmfFit(benchmark::State& state) {
+  Random rng(7);
+  std::vector<TimedPoint> recent;
+  for (int i = 0; i < state.range(0); ++i) {
+    recent.push_back({i, Point{100.0 * i + rng.Gaussian(0, 5),
+                               50.0 * i + rng.Gaussian(0, 5)}});
+  }
+  RmfOptions options;
+  options.window = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RecursiveMotionFunction rmf(options);
+    benchmark::DoNotOptimize(rmf.Fit(recent));
+  }
+}
+BENCHMARK(BM_RmfFit)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_AprioriSupportCounting(benchmark::State& state) {
+  Random rng(8);
+  const size_t num_regions = 300;
+  FrequentRegionSet regions;
+  regions.set_period(300);
+  for (size_t i = 0; i < num_regions; ++i) {
+    FrequentRegion r;
+    r.id = static_cast<int>(i);
+    r.offset = static_cast<Timestamp>(i);
+    r.center = {0, 0};
+    r.mbr.Extend(r.center);
+    r.support = 1;
+    regions.AddRegion(r);
+  }
+  std::vector<Transaction> transactions;
+  for (int t = 0; t < 60; ++t) {
+    std::vector<RegionVisit> visits;
+    for (size_t i = 0; i < num_regions; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        visits.push_back(
+            {static_cast<Timestamp>(i), static_cast<int>(i)});
+      }
+    }
+    transactions.emplace_back(visits, num_regions);
+  }
+  AprioriParams params;
+  params.min_confidence = 0.3;
+  params.min_support = 5;
+  params.max_pattern_length = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MineTrajectoryPatterns(transactions, regions, params));
+  }
+  state.SetLabel("pairs over 300 regions x 60 transactions");
+}
+BENCHMARK(BM_AprioriSupportCounting)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hpm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Fleet monitoring: one HybridPredictor per vehicle, distant-time ETAs.
+//
+// A delivery fleet's vans each repeat their own daily route with some
+// route deviation. The dispatcher wants, at mid-morning, each van's
+// probable location one hour ahead — a distant-time query that pure
+// motion functions answer badly. This example trains a per-vehicle
+// model, answers the same distant-time query against both the pattern
+// index (BQP) and the RMF fallback alone, and tabulates the errors.
+//
+// Build & run:  ./build/examples/fleet_monitoring
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "core/hybrid_predictor.h"
+#include "datagen/periodic_generator.h"
+#include "datagen/seed_generators.h"
+
+namespace {
+
+using namespace hpm;
+
+constexpr Timestamp kPeriod = 240;   // One shift, 240 ticks.
+constexpr int kDays = 60;
+constexpr int kFleetSize = 6;
+
+struct Vehicle {
+  int id;
+  Trajectory history;
+  std::unique_ptr<HybridPredictor> predictor;
+};
+
+Trajectory MakeVanHistory(int vehicle_id) {
+  // Each van follows its own grid route (car-like street movement).
+  SeedConfig seed;
+  seed.period = kPeriod;
+  seed.extent = 10000.0;
+  seed.seed = 400 + static_cast<uint64_t>(vehicle_id);
+  PeriodicGeneratorConfig gen;
+  gen.period = kPeriod;
+  gen.num_sub_trajectories = kDays;
+  gen.pattern_probability = 0.85;
+  gen.noise_sigma = 12.0;
+  gen.seed = 7000 + static_cast<uint64_t>(vehicle_id);
+  auto trajectory =
+      GeneratePeriodicTrajectory({{MakeCarSeed(seed), 1.0}}, gen);
+  HPM_CHECK(trajectory.ok());
+  return std::move(*trajectory);
+}
+
+}  // namespace
+
+int main() {
+  HybridPredictorOptions options;
+  options.regions.period = kPeriod;
+  options.regions.dbscan.eps = 30.0;
+  options.regions.dbscan.min_pts = 4;
+  options.regions.limit_sub_trajectories = kDays - 1;  // Hold out day 60.
+  options.mining.min_confidence = 0.3;
+  options.mining.min_support = 3;
+  options.distant_threshold = 30;
+  options.region_match_slack = 25.0;
+
+  std::vector<Vehicle> fleet;
+  for (int v = 0; v < kFleetSize; ++v) {
+    Vehicle vehicle{v, MakeVanHistory(v), nullptr};
+    auto trained = HybridPredictor::Train(vehicle.history, options);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "van %d training failed: %s\n", v,
+                   trained.status().ToString().c_str());
+      return 1;
+    }
+    vehicle.predictor = std::move(*trained);
+    fleet.push_back(std::move(vehicle));
+  }
+
+  // Dispatcher view: at tick 80 of the held-out day, where will each van
+  // be 60 ticks later?
+  const Timestamp now_offset = 80;
+  const Timestamp horizon = 60;
+  std::printf("fleet ETA board: now = tick %ld of day %d, horizon = +%ld\n\n",
+              static_cast<long>(now_offset), kDays,
+              static_cast<long>(horizon));
+
+  TablePrinter board({"van", "patterns", "predicted", "actual",
+                      "HPM_error", "RMF_only_error", "answer_source"});
+  for (Vehicle& vehicle : fleet) {
+    const Timestamp now =
+        static_cast<Timestamp>(kDays - 1) * kPeriod + now_offset;
+    PredictiveQuery query;
+    query.recent_movements = vehicle.history.RecentMovements(now, 10);
+    query.current_time = now;
+    query.query_time = now + horizon;
+
+    auto predictions = vehicle.predictor->Predict(query);
+    auto rmf_only = vehicle.predictor->MotionFunctionPredict(query);
+    if (!predictions.ok() || !rmf_only.ok()) {
+      std::fprintf(stderr, "van %d query failed\n", vehicle.id);
+      return 1;
+    }
+    const Point actual = vehicle.history.At(query.query_time);
+    const Prediction& top = predictions->front();
+    board.AddRow(
+        {"#" + std::to_string(vehicle.id),
+         std::to_string(vehicle.predictor->summary().num_patterns),
+         top.location.ToString(), actual.ToString(),
+         TablePrinter::FormatDouble(Distance(top.location, actual), 1),
+         TablePrinter::FormatDouble(Distance(rmf_only->location, actual),
+                                    1),
+         top.source == PredictionSource::kPattern ? "pattern" : "motion"});
+  }
+  board.Print(stdout);
+
+  std::printf(
+      "\nPattern answers place each van on its learned route at the\n"
+      "target time; the motion function alone extrapolates the last few\n"
+      "street segments and drifts off the route within a few blocks.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Wildlife tracking: the paper's Cow scenario (virtual fencing) with a
+// coarse "yearly" period and top-k distant-time prediction.
+//
+// A GPS-tagged cow grazes among paddock areas on a daily cycle. The
+// ranch system wants to know where the animal is likely to be hours
+// ahead (to pre-position a water truck), and — because animals split
+// time between areas — asks for the top-3 probable locations rather
+// than a single point. This exercises BQP's top-k ranking and the
+// interval relaxation on sparse patterns.
+//
+// Build & run:  ./build/examples/wildlife_tracking
+
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "core/hybrid_predictor.h"
+#include "datagen/periodic_generator.h"
+#include "datagen/seed_generators.h"
+
+int main() {
+  using namespace hpm;
+
+  constexpr Timestamp kPeriod = 288;  // One day at 5-minute fixes.
+  constexpr int kDays = 70;
+
+  // Two seasonal grazing rotations: most days the herd uses rotation A,
+  // sometimes rotation B.
+  SeedConfig seed;
+  seed.period = kPeriod;
+  seed.extent = 10000.0;
+  seed.seed = 77;
+  const auto rotation_a = MakeCowSeed(seed);
+  seed.seed = 78;
+  const auto rotation_b = MakeCowSeed(seed);
+
+  PeriodicGeneratorConfig gen;
+  gen.period = kPeriod;
+  gen.num_sub_trajectories = kDays;
+  gen.pattern_probability = 0.8;
+  gen.noise_sigma = 15.0;
+  gen.seed = 900;
+  auto history = GeneratePeriodicTrajectory(
+      {{rotation_a, 0.65}, {rotation_b, 0.35}}, gen);
+  if (!history.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 history.status().ToString().c_str());
+    return 1;
+  }
+
+  HybridPredictorOptions options;
+  options.regions.period = kPeriod;
+  options.regions.dbscan.eps = 40.0;
+  options.regions.dbscan.min_pts = 4;
+  options.regions.limit_sub_trajectories = kDays - 1;
+  options.mining.min_confidence = 0.25;
+  options.mining.min_support = 3;
+  options.distant_threshold = 36;  // 3 hours ahead is "distant".
+  options.time_relaxation = 3;
+  options.region_match_slack = 30.0;
+
+  auto trained = HybridPredictor::Train(*history, options);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  const auto& predictor = *trained;
+  std::printf("cow model: %zu frequent regions, %zu patterns "
+              "(period = %ld fixes/day)\n\n",
+              predictor->summary().num_frequent_regions,
+              predictor->summary().num_patterns,
+              static_cast<long>(kPeriod));
+
+  // Held-out day, 8:00 (fix 96); where will the cow graze at 14:00
+  // (fix 168)? Ask for the top-3 probable areas.
+  const Timestamp now =
+      static_cast<Timestamp>(kDays - 1) * kPeriod + 96;
+  PredictiveQuery query;
+  query.recent_movements = history->RecentMovements(now, 12);
+  query.current_time = now;
+  query.query_time = now + 72;  // +6 hours.
+  // Ask for many patterns, then keep the top 3 *distinct* areas — several
+  // patterns may share one consequence region (Table III's shared keys).
+  query.k = 1000;
+
+  auto predictions = predictor->BackwardQuery(query);
+  if (!predictions.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 predictions.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Prediction> distinct;
+  for (const Prediction& p : *predictions) {
+    bool seen = false;
+    for (const Prediction& d : distinct) {
+      if (Distance(d.location, p.location) < 100.0) seen = true;
+    }
+    if (!seen) distinct.push_back(p);
+    if (distinct.size() == 3) break;
+  }
+
+  const Point actual = history->At(query.query_time);
+  std::printf("top-%zu probable grazing areas at 14:00:\n",
+              distinct.size());
+  TablePrinter table({"rank", "location", "score", "confidence",
+                      "distance_to_actual"});
+  int rank = 1;
+  for (const Prediction& p : distinct) {
+    table.AddRow({std::to_string(rank++), p.location.ToString(),
+                  TablePrinter::FormatDouble(p.score, 3),
+                  TablePrinter::FormatDouble(p.confidence, 2),
+                  TablePrinter::FormatDouble(Distance(p.location, actual),
+                                             1)});
+  }
+  table.Print(stdout);
+  std::printf("\nactual position was %s\n", actual.ToString().c_str());
+  std::printf(
+      "\nWith two grazing rotations the top-k answers typically cover\n"
+      "both candidate areas; the true position is near one of them, far\n"
+      "from any extrapolation of the morning's movements.\n");
+  return 0;
+}

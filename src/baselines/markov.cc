@@ -1,0 +1,90 @@
+#include "baselines/markov.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpm {
+
+MarkovPredictor::MarkovPredictor(MarkovOptions options)
+    : options_(options),
+      cells_per_side_(std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 std::ceil(options.extent / options.cell_size)))) {}
+
+int64_t MarkovPredictor::CellOf(const Point& p) const {
+  const auto clamp_coord = [this](double v) {
+    const int64_t c = static_cast<int64_t>(
+        std::floor(v / options_.cell_size));
+    return std::clamp<int64_t>(c, 0, cells_per_side_ - 1);
+  };
+  return clamp_coord(p.y) * cells_per_side_ + clamp_coord(p.x);
+}
+
+Point MarkovPredictor::CellCenter(int64_t cell) const {
+  HPM_CHECK(cell >= 0 && cell < cells_per_side_ * cells_per_side_);
+  const double cx = static_cast<double>(cell % cells_per_side_);
+  const double cy = static_cast<double>(cell / cells_per_side_);
+  return {(cx + 0.5) * options_.cell_size, (cy + 0.5) * options_.cell_size};
+}
+
+StatusOr<MarkovPredictor> MarkovPredictor::Train(
+    const Trajectory& history, const MarkovOptions& options) {
+  if (options.cell_size <= 0.0 || options.extent <= 0.0) {
+    return Status::InvalidArgument(
+        "cell_size and extent must be positive");
+  }
+  if (history.size() < 2) {
+    return Status::FailedPrecondition(
+        "Markov training needs at least 2 samples");
+  }
+  MarkovPredictor predictor(options);
+  for (size_t i = 1; i < history.size(); ++i) {
+    const int64_t from = predictor.CellOf(history.points()[i - 1]);
+    const int64_t to = predictor.CellOf(history.points()[i]);
+    ++predictor.transitions_[from][to];
+  }
+  return predictor;
+}
+
+double MarkovPredictor::TransitionProbability(int64_t from_cell,
+                                              int64_t to_cell) const {
+  const auto it = transitions_.find(from_cell);
+  if (it == transitions_.end()) return 0.0;
+  int total = 0;
+  int hits = 0;
+  for (const auto& [to, count] : it->second) {
+    total += count;
+    if (to == to_cell) hits = count;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+StatusOr<Point> MarkovPredictor::Predict(
+    const std::vector<TimedPoint>& recent, Timestamp tq) const {
+  if (recent.empty()) {
+    return Status::InvalidArgument("recent movements are empty");
+  }
+  const Timestamp tc = recent.back().time;
+  if (tq < tc) {
+    return Status::InvalidArgument("query time precedes current time");
+  }
+  int64_t cell = CellOf(recent.back().location);
+  for (Timestamp t = tc; t < tq; ++t) {
+    const auto it = transitions_.find(cell);
+    if (it == transitions_.end() || it->second.empty()) break;
+    // Greedy: the most probable next cell.
+    int best_count = -1;
+    int64_t best_cell = cell;
+    for (const auto& [to, count] : it->second) {
+      if (count > best_count) {
+        best_count = count;
+        best_cell = to;
+      }
+    }
+    cell = best_cell;
+  }
+  return CellCenter(cell);
+}
+
+}  // namespace hpm

@@ -1,0 +1,74 @@
+// Grid-cell Markov location predictor — the pattern-based baseline family
+// the paper's related work discusses (§II-B, refs [8]/[14]): partition
+// the space into cells, learn first-order transition statistics between
+// consecutive timestamps, and predict by walking the most likely chain.
+//
+// The paper lists this family's deficiencies — accuracy is "considerably
+// affected by the size of each cell" and there is no sensible answer at
+// distant times — which the ablation_baselines bench reproduces.
+
+#ifndef HPM_BASELINES_MARKOV_H_
+#define HPM_BASELINES_MARKOV_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// Markov baseline parameters.
+struct MarkovOptions {
+  /// Side length of a grid cell. The knob the paper criticises.
+  double cell_size = 500.0;
+
+  /// Data-space extent (cells cover [0, extent]^2; outside locations
+  /// clamp to the boundary cells).
+  double extent = 10000.0;
+};
+
+/// First-order cell-transition predictor.
+class MarkovPredictor {
+ public:
+  /// Counts cell-to-cell transitions over consecutive samples of
+  /// `history`. Fails on invalid options or a history shorter than two
+  /// samples.
+  static StatusOr<MarkovPredictor> Train(const Trajectory& history,
+                                         const MarkovOptions& options);
+
+  /// Predicts the location at `tq`: starts from the cell of the last
+  /// recent movement and greedily follows the most probable transition
+  /// (tq - tc) times, returning the final cell's centre. A cell with no
+  /// recorded outgoing transition absorbs the walk (the object is
+  /// predicted to stay), which is this family's documented behaviour
+  /// when no pattern applies.
+  StatusOr<Point> Predict(const std::vector<TimedPoint>& recent,
+                          Timestamp tq) const;
+
+  /// Number of cells that have at least one outgoing transition.
+  size_t NumActiveCells() const { return transitions_.size(); }
+
+  /// Transition probability between two cell indices (0 when unseen).
+  double TransitionProbability(int64_t from_cell, int64_t to_cell) const;
+
+  /// Cell index of a location.
+  int64_t CellOf(const Point& p) const;
+
+  /// Centre of a cell index.
+  Point CellCenter(int64_t cell) const;
+
+ private:
+  explicit MarkovPredictor(MarkovOptions options);
+
+  MarkovOptions options_;
+  int64_t cells_per_side_ = 0;
+  /// from-cell -> (to-cell -> count).
+  std::unordered_map<int64_t, std::unordered_map<int64_t, int>>
+      transitions_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_BASELINES_MARKOV_H_

@@ -1,0 +1,157 @@
+#include "bitset/dynamic_bitset.h"
+
+#include <bit>
+
+#include "common/status.h"
+
+namespace hpm {
+
+namespace {
+constexpr size_t kBitsPerWord = 64;
+
+size_t WordsFor(size_t bits) {
+  return (bits + kBitsPerWord - 1) / kBitsPerWord;
+}
+}  // namespace
+
+DynamicBitset::DynamicBitset(size_t size)
+    : size_(size), words_(WordsFor(size), 0) {}
+
+DynamicBitset DynamicBitset::FromString(const std::string& bits) {
+  DynamicBitset b(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[bits.size() - 1 - i];
+    HPM_CHECK(c == '0' || c == '1');
+    if (c == '1') b.Set(i);
+  }
+  return b;
+}
+
+void DynamicBitset::Set(size_t pos, bool value) {
+  HPM_CHECK(pos < size_);
+  const uint64_t mask = uint64_t{1} << (pos % kBitsPerWord);
+  if (value) {
+    words_[pos / kBitsPerWord] |= mask;
+  } else {
+    words_[pos / kBitsPerWord] &= ~mask;
+  }
+}
+
+bool DynamicBitset::Test(size_t pos) const {
+  HPM_CHECK(pos < size_);
+  return (words_[pos / kBitsPerWord] >> (pos % kBitsPerWord)) & 1;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+int DynamicBitset::HighestSetBit() const {
+  for (size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != 0) {
+      return static_cast<int>(i * kBitsPerWord + kBitsPerWord - 1 -
+                              static_cast<size_t>(std::countl_zero(words_[i])));
+    }
+  }
+  return -1;
+}
+
+std::vector<size_t> DynamicBitset::SetBits() const {
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t w = words_[i];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      positions.push_back(i * kBitsPerWord + static_cast<size_t>(bit));
+      w &= w - 1;
+    }
+  }
+  return positions;
+}
+
+void DynamicBitset::Resize(size_t size) {
+  size_ = size;
+  words_.resize(WordsFor(size), 0);
+  ClearUnusedBits();
+}
+
+void DynamicBitset::ClearUnusedBits() {
+  const size_t used = size_ % kBitsPerWord;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << used) - 1;
+  }
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& o) {
+  HPM_CHECK(size_ == o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
+  HPM_CHECK(size_ == o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& o) {
+  HPM_CHECK(size_ == o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& o) const {
+  return size_ == o.size_ && words_ == o.words_;
+}
+
+bool DynamicBitset::Contains(const DynamicBitset& other) const {
+  HPM_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::AnyCommon(const DynamicBitset& other) const {
+  HPM_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+size_t DynamicBitset::DifferenceCount(const DynamicBitset& other) const {
+  HPM_CHECK(size_ == other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<size_t>(
+        std::popcount(words_[i] & ~other.words_[i]));
+  }
+  return total;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string s(size_, '0');
+  for (size_t i = 0; i < size_; ++i) {
+    if (Test(i)) s[size_ - 1 - i] = '1';
+  }
+  return s;
+}
+
+size_t DynamicBitset::Hash() const {
+  // FNV-1a over the words plus the size.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(size_);
+  for (uint64_t w : words_) mix(w);
+  return static_cast<size_t>(h);
+}
+
+}  // namespace hpm

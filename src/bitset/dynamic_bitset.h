@@ -1,0 +1,117 @@
+// Resizable bitmap: the substrate for TPT pattern keys (paper §V).
+//
+// Pattern keys are variable-length signatures (one bit per frequent region
+// plus one bit per consequence time offset), so std::bitset's fixed size
+// does not fit; this is a word-packed dynamic equivalent with the bitwise
+// operations the signature tree needs.
+
+#ifndef HPM_BITSET_DYNAMIC_BITSET_H_
+#define HPM_BITSET_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpm {
+
+/// Fixed-length (per instance) bitmap over size() bits, packed into
+/// 64-bit words. Bit positions are 0-based; position 0 is the least
+/// significant bit, which matches the paper's right-to-left numbering of
+/// '1's in a premise key (Property 1).
+class DynamicBitset {
+ public:
+  /// Creates an empty bitset (size 0).
+  DynamicBitset() = default;
+
+  /// Creates `size` bits, all zero.
+  explicit DynamicBitset(size_t size);
+
+  /// Parses a binary string, e.g. "00101" — leftmost character is the
+  /// most significant bit, as the paper prints keys. Characters other
+  /// than '0'/'1' are a programming error.
+  static DynamicBitset FromString(const std::string& bits);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Sets bit `pos` to `value`. Precondition: pos < size().
+  void Set(size_t pos, bool value = true);
+
+  /// Reads bit `pos`. Precondition: pos < size().
+  bool Test(size_t pos) const;
+
+  /// Number of '1' bits — the paper's Size(pk).
+  size_t Count() const;
+
+  /// True if no bit is set.
+  bool None() const { return Count() == 0; }
+
+  /// True if at least one bit is set.
+  bool Any() const { return !None(); }
+
+  /// Position of the highest set bit, or -1 when none is set.
+  int HighestSetBit() const;
+
+  /// Positions of all set bits, ascending.
+  std::vector<size_t> SetBits() const;
+
+  /// Grows (or shrinks) to `size` bits; new bits are zero, truncated bits
+  /// are discarded.
+  void Resize(size_t size);
+
+  /// In-place bitwise ops. Preconditions: same size().
+  DynamicBitset& operator&=(const DynamicBitset& o);
+  DynamicBitset& operator|=(const DynamicBitset& o);
+  DynamicBitset& operator^=(const DynamicBitset& o);
+
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator^(DynamicBitset a, const DynamicBitset& b) {
+    a ^= b;
+    return a;
+  }
+
+  bool operator==(const DynamicBitset& o) const;
+  bool operator!=(const DynamicBitset& o) const { return !(*this == o); }
+
+  /// True if every bit set in `other` is also set here
+  /// (this & other == other). Precondition: same size().
+  bool Contains(const DynamicBitset& other) const;
+
+  /// True if this and `other` share at least one set bit.
+  /// Precondition: same size().
+  bool AnyCommon(const DynamicBitset& other) const;
+
+  /// Number of bits set here but not in `other` — the paper's
+  /// Difference(pk1, pk2) = Size(pk1 ^ (pk1 & pk2)).
+  /// Precondition: same size().
+  size_t DifferenceCount(const DynamicBitset& other) const;
+
+  /// Binary string, most significant bit first (paper's printing order).
+  std::string ToString() const;
+
+  /// Bytes of heap memory used by the word array (for the Fig. 11a
+  /// storage accounting).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  /// Zeroes bits at positions >= size_ in the last word.
+  void ClearUnusedBits();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_BITSET_DYNAMIC_BITSET_H_

@@ -1,0 +1,67 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+#include "cluster/grid_index.h"
+
+namespace hpm {
+
+StatusOr<DbscanResult> Dbscan(const std::vector<Point>& points,
+                              const DbscanParams& params) {
+  if (params.eps <= 0.0) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (params.min_pts < 1) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+
+  DbscanResult result;
+  result.labels.assign(points.size(), DbscanResult::kNoise);
+  if (points.empty()) return result;
+
+  constexpr int kUnvisited = -2;
+  std::vector<int>& labels = result.labels;
+  std::fill(labels.begin(), labels.end(), kUnvisited);
+
+  GridIndex index(points, params.eps);
+  std::vector<int> neighbours;
+  std::deque<int> frontier;
+
+  int next_cluster = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] != kUnvisited) continue;
+    index.RangeQuery(points[i], &neighbours);
+    if (static_cast<int>(neighbours.size()) < params.min_pts) {
+      labels[i] = DbscanResult::kNoise;
+      continue;
+    }
+    // i is a core point: start a new cluster and expand it breadth-first
+    // over density-reachable points.
+    const int cluster = next_cluster++;
+    labels[i] = cluster;
+    frontier.assign(neighbours.begin(), neighbours.end());
+    while (!frontier.empty()) {
+      const int j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == DbscanResult::kNoise) {
+        labels[j] = cluster;  // Noise becomes a border point.
+        continue;
+      }
+      if (labels[j] != kUnvisited) continue;
+      labels[j] = cluster;
+      index.RangeQuery(points[static_cast<size_t>(j)], &neighbours);
+      if (static_cast<int>(neighbours.size()) >= params.min_pts) {
+        // j is itself core: its neighbourhood joins the cluster too.
+        for (int k : neighbours) {
+          if (labels[k] == kUnvisited || labels[k] == DbscanResult::kNoise) {
+            frontier.push_back(k);
+          }
+        }
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace hpm

@@ -1,0 +1,52 @@
+// DBSCAN density-based clustering (Ester et al., KDD'96).
+//
+// The pattern-discovery pipeline (paper §IV) runs DBSCAN on every offset
+// group G_t to find the dense clusters that become frequent regions; the
+// Eps / MinPts parameters play the role of support in classic frequent
+// item-set mining.
+
+#ifndef HPM_CLUSTER_DBSCAN_H_
+#define HPM_CLUSTER_DBSCAN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace hpm {
+
+/// Clustering outcome: one label per input point.
+struct DbscanResult {
+  /// Label for noise points.
+  static constexpr int kNoise = -1;
+
+  /// labels[i] is the cluster id of points[i] (0-based, dense), or
+  /// kNoise.
+  std::vector<int> labels;
+
+  /// Number of clusters found.
+  int num_clusters = 0;
+};
+
+/// DBSCAN parameters.
+struct DbscanParams {
+  /// Maximum neighbour distance (the paper's Eps).
+  double eps = 30.0;
+
+  /// Minimum neighbourhood size — including the point itself — for a
+  /// point to be a core point (the paper's MinPts).
+  int min_pts = 4;
+};
+
+/// Clusters `points` with DBSCAN. Border points are assigned to the first
+/// cluster that reaches them (standard DBSCAN tie behaviour); points
+/// density-reachable from no core point are labelled noise.
+///
+/// Returns InvalidArgument when eps <= 0 or min_pts < 1. An empty input
+/// yields an empty result.
+StatusOr<DbscanResult> Dbscan(const std::vector<Point>& points,
+                              const DbscanParams& params);
+
+}  // namespace hpm
+
+#endif  // HPM_CLUSTER_DBSCAN_H_

@@ -1,0 +1,56 @@
+#include "cluster/grid_index.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace hpm {
+
+GridIndex::GridIndex(const std::vector<Point>& points, double radius)
+    : points_(&points), radius_(radius) {
+  HPM_CHECK(radius > 0.0);
+  cells_.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const uint64_t key =
+        CellKey(CellCoord(points[i].x), CellCoord(points[i].y));
+    cells_[key].push_back(static_cast<int>(i));
+  }
+}
+
+int64_t GridIndex::CellCoord(double v) const {
+  return static_cast<int64_t>(std::floor(v / radius_));
+}
+
+uint64_t GridIndex::CellKey(int64_t cx, int64_t cy) const {
+  // Interleave the two 32-bit halves; coordinates this large would need a
+  // data space of ~radius * 2^31, far beyond the normalised [0,10000]².
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(cy));
+}
+
+std::vector<int> GridIndex::RangeQuery(const Point& center) const {
+  std::vector<int> out;
+  RangeQuery(center, &out);
+  return out;
+}
+
+void GridIndex::RangeQuery(const Point& center, std::vector<int>* out) const {
+  out->clear();
+  const int64_t cx = CellCoord(center.x);
+  const int64_t cy = CellCoord(center.y);
+  const double r2 = radius_ * radius_;
+  for (int64_t dx = -1; dx <= 1; ++dx) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(CellKey(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (int idx : it->second) {
+        if (SquaredDistance((*points_)[static_cast<size_t>(idx)], center) <=
+            r2) {
+          out->push_back(idx);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hpm

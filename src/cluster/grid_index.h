@@ -1,0 +1,50 @@
+// Uniform-grid spatial index for fixed-radius neighbour queries.
+//
+// DBSCAN issues one Eps-range query per point; a grid with cell size Eps
+// answers each from at most nine cells, which keeps the frequent-region
+// mining pass linear-ish instead of quadratic.
+
+#ifndef HPM_CLUSTER_GRID_INDEX_H_
+#define HPM_CLUSTER_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace hpm {
+
+/// Static grid index over a point set, built once for a fixed query
+/// radius. Points are referenced by their index in the input vector.
+class GridIndex {
+ public:
+  /// Builds the index. `radius` must be positive; it sets the cell size
+  /// and is the only radius RangeQuery supports exactly (larger radii
+  /// would miss neighbours).
+  GridIndex(const std::vector<Point>& points, double radius);
+
+  /// Indices of all points within `radius` (inclusive) of `center`,
+  /// where `radius` is the radius given at construction. The `center`
+  /// need not be an indexed point. Order is unspecified.
+  std::vector<int> RangeQuery(const Point& center) const;
+
+  /// Same, but appends into `out` (cleared first) to avoid reallocation
+  /// in tight loops.
+  void RangeQuery(const Point& center, std::vector<int>* out) const;
+
+  size_t num_points() const { return points_->size(); }
+  double radius() const { return radius_; }
+
+ private:
+  int64_t CellCoord(double v) const;
+  uint64_t CellKey(int64_t cx, int64_t cy) const;
+
+  const std::vector<Point>* points_;
+  double radius_;
+  std::unordered_map<uint64_t, std::vector<int>> cells_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_CLUSTER_GRID_INDEX_H_

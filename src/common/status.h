@@ -1,0 +1,160 @@
+// Status / StatusOr error model (RocksDB / Abseil idiom).
+//
+// Library code in hpm does not throw on expected failure paths; fallible
+// operations return Status, and fallible value-producing operations return
+// StatusOr<T>. Programmer errors (misuse of an API whose preconditions are
+// documented) abort via HPM_CHECK in debug and release alike, because a
+// corrupted index or model is worse than a crash.
+
+#ifndef HPM_COMMON_STATUS_H_
+#define HPM_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hpm {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a value outside the documented domain.
+  kNotFound,          ///< Lookup key / pattern / region does not exist.
+  kFailedPrecondition,///< Object not in a state where the call is legal.
+  kOutOfRange,        ///< Index or time offset outside the valid range.
+  kInternal,          ///< Invariant violation inside the library.
+  kUnimplemented,     ///< Feature declared but not available.
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (empty message). Use the static
+/// constructors (`Status::OK()`, `Status::InvalidArgument("...")`) rather
+/// than the raw constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+///
+/// Accessing `value()` on a non-OK StatusOr aborts; check `ok()` first or
+/// propagate with HPM_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from a value (OK result).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from an error Status. Must not be OK.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      std::fprintf(stderr, "StatusOr constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The held value. Precondition: ok().
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+/// Aborts with a message when `condition` is false. For invariants and
+/// documented preconditions, not for data-dependent failures.
+#define HPM_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "HPM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Propagates a non-OK Status from the current function.
+#define HPM_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::hpm::Status _hpm_status = (expr);        \
+    if (!_hpm_status.ok()) return _hpm_status; \
+  } while (0)
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_STATUS_H_

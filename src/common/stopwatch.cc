@@ -1,0 +1,21 @@
+#include "common/stopwatch.h"
+
+namespace hpm {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+int64_t Stopwatch::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedMillis() const {
+  return static_cast<double>(ElapsedMicros()) / 1000.0;
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedMicros()) / 1e6;
+}
+
+}  // namespace hpm

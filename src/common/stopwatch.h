@@ -1,0 +1,36 @@
+// Wall-clock timing for experiment harnesses.
+
+#ifndef HPM_COMMON_STOPWATCH_H_
+#define HPM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hpm {
+
+/// Monotonic wall-clock stopwatch with microsecond resolution.
+///
+/// Starts running on construction; `Restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the elapsed time to zero.
+  void Restart();
+
+  /// Elapsed time since construction or last Restart, in microseconds.
+  int64_t ElapsedMicros() const;
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const;
+
+  /// Elapsed time in seconds (fractional).
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_STOPWATCH_H_

@@ -1,0 +1,50 @@
+// Aligned-table and CSV output for the experiment harnesses.
+//
+// Every figure bench prints the same series the paper plots; TablePrinter
+// keeps that output readable on a terminal and trivially machine-parsable.
+
+#ifndef HPM_COMMON_TABLE_PRINTER_H_
+#define HPM_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hpm {
+
+/// Collects rows of string cells and prints them either as an aligned
+/// text table or as CSV.
+///
+/// Usage:
+///   TablePrinter t({"eps", "patterns", "error"});
+///   t.AddRow({"22", "1034", "812.4"});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows are a programming error.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string FormatDouble(double v, int precision = 2);
+
+  /// Prints an aligned, pipe-separated table.
+  void Print(std::FILE* out) const;
+
+  /// Prints RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void PrintCsv(std::FILE* out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,333 @@
+#include "core/hybrid_predictor.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "mining/transaction.h"
+
+namespace hpm {
+
+HybridPredictor::HybridPredictor(HybridPredictorOptions options,
+                                 FrequentRegionSet regions,
+                                 std::vector<TrajectoryPattern> patterns,
+                                 KeyTables key_tables, TptTree tpt)
+    : options_(options),
+      regions_(std::move(regions)),
+      patterns_(std::move(patterns)),
+      key_tables_(std::move(key_tables)),
+      tpt_(std::move(tpt)) {}
+
+StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::Train(
+    const Trajectory& history, const HybridPredictorOptions& options) {
+  if (options.distant_threshold <= 0 ||
+      options.distant_threshold >= options.regions.period) {
+    return Status::InvalidArgument(
+        "distant threshold d must satisfy 0 < d < period");
+  }
+  if (options.time_relaxation < 0) {
+    return Status::InvalidArgument("time relaxation must be >= 0");
+  }
+
+  Stopwatch timer;
+
+  // Discovery: decompose -> group -> DBSCAN per offset.
+  StatusOr<FrequentRegionMiningResult> discovery =
+      MineFrequentRegions(history, options.regions);
+  if (!discovery.ok()) return discovery.status();
+
+  // Transactions and Apriori pattern mining.
+  const std::vector<Transaction> transactions =
+      BuildTransactions(*discovery);
+  StatusOr<AprioriResult> mined = MineTrajectoryPatterns(
+      transactions, discovery->region_set, options.mining);
+  if (!mined.ok()) return mined.status();
+
+  // Key tables and TPT bulk load.
+  KeyTables tables =
+      KeyTables::Build(discovery->region_set, mined->patterns);
+  std::vector<IndexedPattern> indexed;
+  indexed.reserve(mined->patterns.size());
+  for (size_t i = 0; i < mined->patterns.size(); ++i) {
+    const TrajectoryPattern& p = mined->patterns[i];
+    indexed.push_back({tables.EncodePattern(p, discovery->region_set),
+                       p.confidence, p.consequence, static_cast<int>(i)});
+  }
+  StatusOr<TptTree> tpt = TptTree::BulkLoad(std::move(indexed), options.tpt);
+  if (!tpt.ok()) return tpt.status();
+
+  auto predictor = std::unique_ptr<HybridPredictor>(new HybridPredictor(
+      options, std::move(discovery->region_set), std::move(mined->patterns),
+      std::move(tables), std::move(*tpt)));
+  predictor->summary_.num_sub_trajectories = transactions.size();
+  predictor->summary_.num_frequent_regions =
+      predictor->regions_.NumRegions();
+  predictor->summary_.num_patterns = predictor->patterns_.size();
+  predictor->summary_.mining_stats = mined->stats;
+  predictor->summary_.tpt_memory_bytes = predictor->tpt_.MemoryBytes();
+  predictor->summary_.tpt_height = predictor->tpt_.Height();
+  predictor->summary_.train_seconds = timer.ElapsedSeconds();
+  return predictor;
+}
+
+std::vector<int> HybridPredictor::QueryPremise(
+    const PredictiveQuery& query) const {
+  const std::vector<TimedPoint>& recent = query.recent_movements;
+  if (options_.premise_horizon > 0 &&
+      recent.size() > static_cast<size_t>(options_.premise_horizon)) {
+    const std::vector<TimedPoint> window(
+        recent.end() - options_.premise_horizon, recent.end());
+    return MapMovementsToRegions(regions_, window,
+                                 options_.region_match_slack);
+  }
+  return MapMovementsToRegions(regions_, recent,
+                               options_.region_match_slack);
+}
+
+std::vector<Prediction> HybridPredictor::RankAndTake(
+    std::vector<Prediction> candidates, int k) const {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Prediction& a, const Prediction& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.confidence > b.confidence;
+            });
+  if (static_cast<int>(candidates.size()) > k) {
+    candidates.resize(static_cast<size_t>(k));
+  }
+  return candidates;
+}
+
+StatusOr<Prediction> HybridPredictor::MotionFunctionPredict(
+    const PredictiveQuery& query) const {
+  HPM_RETURN_IF_ERROR(ValidateQuery(query));
+  Prediction prediction;
+  prediction.source = PredictionSource::kMotionFunction;
+
+  RecursiveMotionFunction rmf(options_.rmf);
+  if (rmf.Fit(query.recent_movements).ok()) {
+    StatusOr<Point> p = rmf.Predict(query.query_time);
+    if (p.ok()) {
+      prediction.location = *p;
+      return prediction;
+    }
+  }
+  // Degenerate history (a single point): the best available answer is
+  // the last known location.
+  prediction.location = query.recent_movements.back().location;
+  return prediction;
+}
+
+StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
+    const PredictiveQuery& query) const {
+  HPM_RETURN_IF_ERROR(ValidateQuery(query));
+  ++counters_.forward_queries;
+
+  const Timestamp period = regions_.period();
+  const Timestamp tq_offset = query.query_time % period;
+
+  const std::vector<int> premise = QueryPremise(query);
+  if (!premise.empty()) {
+    StatusOr<PatternKey> qkey =
+        key_tables_.EncodeQuery(premise, tq_offset);
+    if (qkey.ok()) {
+      const std::vector<const IndexedPattern*> hits =
+          tpt_.Search(*qkey, SearchMode::kPremiseAndConsequence);
+      std::vector<Prediction> candidates;
+      candidates.reserve(hits.size());
+      for (const IndexedPattern* hit : hits) {
+        // Equation 2: Sp = Sr * c (premise similarity and confidence are
+        // independent evidences -> compound probability).
+        const double sr = PremiseSimilarity(
+            hit->key.premise(), qkey->premise(), options_.weight_function);
+        Prediction p;
+        p.location = regions_.Region(hit->consequence_region).center;
+        p.uncertainty = regions_.Region(hit->consequence_region).mbr;
+        p.score = sr * hit->confidence;
+        p.source = PredictionSource::kPattern;
+        p.pattern_id = hit->pattern_id;
+        p.consequence_region = hit->consequence_region;
+        p.confidence = hit->confidence;
+        candidates.push_back(p);
+      }
+      if (!candidates.empty()) {
+        ++counters_.pattern_answers;
+        return RankAndTake(std::move(candidates), query.k);
+      }
+    }
+  }
+
+  // No qualified candidate: call the motion function (Algorithm 2 line 6).
+  ++counters_.motion_fallbacks;
+  StatusOr<Prediction> fallback = MotionFunctionPredict(query);
+  if (!fallback.ok()) return fallback.status();
+  return std::vector<Prediction>{*fallback};
+}
+
+StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
+    const PredictiveQuery& query) const {
+  HPM_RETURN_IF_ERROR(ValidateQuery(query));
+  ++counters_.backward_queries;
+
+  const Timestamp period = regions_.period();
+  const Timestamp tq_offset = query.query_time % period;
+  const Timestamp t_eps = std::max<Timestamp>(1, options_.time_relaxation);
+  const std::vector<int> premise = QueryPremise(query);
+  const double length = static_cast<double>(query.PredictionLength());
+  const double premise_penalty =
+      std::min(1.0, static_cast<double>(options_.distant_threshold) / length);
+
+  // Algorithm 3: widen the consequence interval until a pattern is found
+  // or the interval's lower edge reaches the current time.
+  for (Timestamp i = 1;; ++i) {
+    const Timestamp lo_raw = query.query_time - i * t_eps;
+    const Timestamp hi_raw = query.query_time + i * t_eps;
+
+    // Map the raw-time interval to period offsets; it may wrap.
+    PatternKey qkey = [&] {
+      const Timestamp lo_off =
+          ((lo_raw % period) + period) % period;
+      const Timestamp hi_off = ((hi_raw % period) + period) % period;
+      if (hi_raw - lo_raw >= period) {
+        return key_tables_.EncodeQueryInterval(premise, 0, period - 1);
+      }
+      if (lo_off <= hi_off) {
+        return key_tables_.EncodeQueryInterval(premise, lo_off, hi_off);
+      }
+      PatternKey head =
+          key_tables_.EncodeQueryInterval(premise, lo_off, period - 1);
+      head.UnionWith(key_tables_.EncodeQueryInterval(premise, 0, hi_off));
+      return head;
+    }();
+
+    const std::vector<const IndexedPattern*> hits =
+        qkey.consequence().Any()
+            ? tpt_.Search(qkey, SearchMode::kConsequenceOnly)
+            : std::vector<const IndexedPattern*>{};
+
+    if (!hits.empty()) {
+      std::vector<Prediction> candidates;
+      candidates.reserve(hits.size());
+      for (const IndexedPattern* hit : hits) {
+        const int time_id = hit->key.consequence().HighestSetBit();
+        const Timestamp t = key_tables_.OffsetForTimeId(time_id);
+        const double sc = ConsequenceSimilarity(t, tq_offset, t_eps);
+        const double sr = PremiseSimilarity(
+            hit->key.premise(), qkey.premise(), options_.weight_function);
+        // Equation 5: Sp = (Sr * d / (tq - tc) + Sc) * c — the premise
+        // evidence is penalised as the prediction length grows.
+        Prediction p;
+        p.location = regions_.Region(hit->consequence_region).center;
+        p.uncertainty = regions_.Region(hit->consequence_region).mbr;
+        p.score = (sr * premise_penalty + sc) * hit->confidence;
+        p.source = PredictionSource::kPattern;
+        p.pattern_id = hit->pattern_id;
+        p.consequence_region = hit->consequence_region;
+        p.confidence = hit->confidence;
+        candidates.push_back(p);
+      }
+      ++counters_.pattern_answers;
+      return RankAndTake(std::move(candidates), query.k);
+    }
+
+    if (query.query_time - (i + 1) * t_eps <= query.current_time) break;
+  }
+
+  // No qualified pattern anywhere before the interval hit the current
+  // time: call the motion function (Algorithm 3 line 11).
+  ++counters_.motion_fallbacks;
+  StatusOr<Prediction> fallback = MotionFunctionPredict(query);
+  if (!fallback.ok()) return fallback.status();
+  return std::vector<Prediction>{*fallback};
+}
+
+Status HybridPredictor::RebuildIndex() {
+  key_tables_ = KeyTables::Build(regions_, patterns_);
+  std::vector<IndexedPattern> indexed;
+  indexed.reserve(patterns_.size());
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    indexed.push_back({key_tables_.EncodePattern(patterns_[i], regions_),
+                       patterns_[i].confidence, patterns_[i].consequence,
+                       static_cast<int>(i)});
+  }
+  StatusOr<TptTree> rebuilt =
+      TptTree::BulkLoad(std::move(indexed), options_.tpt);
+  if (!rebuilt.ok()) return rebuilt.status();
+  tpt_ = std::move(*rebuilt);
+  return Status::OK();
+}
+
+StatusOr<size_t> HybridPredictor::IncorporateNewHistory(
+    const Trajectory& new_history) {
+  const Timestamp period = options_.regions.period;
+  StatusOr<std::vector<Trajectory>> subs =
+      new_history.DecomposePeriodic(period);
+  if (!subs.ok()) return subs.status();
+
+  // Map each new sub-trajectory onto the existing frequent regions —
+  // region discovery stays anchored to the original training pass, as
+  // the paper's insertion path assumes a stable region universe.
+  std::vector<Transaction> transactions;
+  transactions.reserve(subs->size());
+  for (const Trajectory& sub : *subs) {
+    std::vector<RegionVisit> visits;
+    for (Timestamp t = 0; t < period; ++t) {
+      const int region = regions_.FindNearbyRegion(
+          t, sub.At(t), options_.region_match_slack);
+      if (region >= 0) visits.push_back({t, region});
+    }
+    transactions.emplace_back(visits, regions_.NumRegions());
+  }
+
+  StatusOr<AprioriResult> mined =
+      MineTrajectoryPatterns(transactions, regions_, options_.mining);
+  if (!mined.ok()) return mined.status();
+
+  // Dedupe against the already-indexed rules.
+  std::set<std::pair<std::vector<int>, int>> existing;
+  for (const TrajectoryPattern& p : patterns_) {
+    existing.emplace(p.premise, p.consequence);
+  }
+  std::vector<TrajectoryPattern> fresh;
+  bool new_consequence_offset = false;
+  for (TrajectoryPattern& p : mined->patterns) {
+    if (existing.count({p.premise, p.consequence})) continue;
+    if (key_tables_.TimeIdForOffset(
+            regions_.Region(p.consequence).offset) < 0) {
+      new_consequence_offset = true;
+    }
+    fresh.push_back(std::move(p));
+  }
+  if (fresh.empty()) return size_t{0};
+
+  if (new_consequence_offset) {
+    // The consequence-key universe grows: every key changes length, so
+    // re-encode and reload rather than inserting stale-width keys.
+    for (TrajectoryPattern& p : fresh) patterns_.push_back(std::move(p));
+    HPM_RETURN_IF_ERROR(RebuildIndex());
+  } else {
+    for (TrajectoryPattern& p : fresh) {
+      const int id = static_cast<int>(patterns_.size());
+      patterns_.push_back(std::move(p));
+      const TrajectoryPattern& stored = patterns_.back();
+      HPM_RETURN_IF_ERROR(
+          tpt_.Insert({key_tables_.EncodePattern(stored, regions_),
+                       stored.confidence, stored.consequence, id}));
+    }
+  }
+  summary_.num_patterns = patterns_.size();
+  summary_.tpt_memory_bytes = tpt_.MemoryBytes();
+  summary_.tpt_height = tpt_.Height();
+  return fresh.size();
+}
+
+StatusOr<std::vector<Prediction>> HybridPredictor::Predict(
+    const PredictiveQuery& query) const {
+  HPM_RETURN_IF_ERROR(ValidateQuery(query));
+  if (query.PredictionLength() >= options_.distant_threshold) {
+    return BackwardQuery(query);
+  }
+  return ForwardQuery(query);
+}
+
+}  // namespace hpm

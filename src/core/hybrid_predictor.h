@@ -1,0 +1,184 @@
+// HybridPredictor: the paper's primary contribution, tying together the
+// discovery pipeline (§IV), the Trajectory Pattern Tree (§V) and the
+// Hybrid Prediction Algorithm with its two query processors (§VI).
+
+#ifndef HPM_CORE_HYBRID_PREDICTOR_H_
+#define HPM_CORE_HYBRID_PREDICTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "core/similarity.h"
+#include "mining/apriori.h"
+#include "mining/frequent_region.h"
+#include "motion/recursive_motion.h"
+#include "tpt/key_tables.h"
+#include "tpt/tpt_tree.h"
+
+namespace hpm {
+
+/// Everything that configures training and query processing.
+struct HybridPredictorOptions {
+  /// Discovery: period T, DBSCAN Eps/MinPts, sub-trajectory limit.
+  FrequentRegionParams regions;
+
+  /// Pattern mining: min confidence/support, pattern length bounds.
+  AprioriParams mining;
+
+  /// TPT node capacity.
+  TptTree::Options tpt;
+
+  /// Premise-weight family (paper recommends linear or quadratic).
+  WeightFunction weight_function = WeightFunction::kLinear;
+
+  /// Distant-time threshold d (Definition 2): queries with prediction
+  /// length >= d use Backward Query Processing.
+  Timestamp distant_threshold = 60;
+
+  /// Time relaxation length t_eps for BQP (paper: best at 1..3).
+  Timestamp time_relaxation = 2;
+
+  /// Distance slack when matching recent movements to frequent-region
+  /// MBRs (0 = strict containment).
+  double region_match_slack = 0.0;
+
+  /// Only the last `premise_horizon` recent movements feed the query
+  /// premise key (0 = all). The motion-function fallback always sees the
+  /// full recent window — the premise is about *which regions were just
+  /// visited*, while the fallback wants as much kinematic history as it
+  /// can get.
+  int premise_horizon = 0;
+
+  /// Configuration of the RMF fallback motion function.
+  RmfOptions rmf;
+};
+
+/// Summary of a training run, for reporting and experiments.
+struct TrainingSummary {
+  size_t num_sub_trajectories = 0;
+  size_t num_frequent_regions = 0;
+  size_t num_patterns = 0;
+  AprioriStats mining_stats;
+  size_t tpt_memory_bytes = 0;
+  int tpt_height = 0;
+  double train_seconds = 0.0;
+};
+
+/// Per-predictor counters describing how queries were answered; the
+/// motion-fallback rate drives the paper's Fig. 10 discussion.
+struct QueryCounters {
+  size_t forward_queries = 0;
+  size_t backward_queries = 0;
+  size_t pattern_answers = 0;
+  size_t motion_fallbacks = 0;
+};
+
+/// A trained Hybrid Prediction Model for one moving object.
+///
+/// Train() mines the object's history once; Predict() answers any number
+/// of queries. The class is immutable after training except for the
+/// query counters; it is safe to share across readers if the counters'
+/// data race is acceptable (or disable them via Predict's argument).
+class HybridPredictor {
+ public:
+  /// Mines frequent regions and trajectory patterns from `history` and
+  /// indexes them in a TPT. Fails when the history is shorter than one
+  /// period or parameters are invalid.
+  static StatusOr<std::unique_ptr<HybridPredictor>> Train(
+      const Trajectory& history, const HybridPredictorOptions& options);
+
+  /// Answers a predictive query with the Hybrid Prediction Algorithm:
+  /// Forward Query Processing for prediction lengths below the distant
+  /// threshold, Backward Query Processing at or above it, with the
+  /// motion function as fallback when no pattern qualifies. Returns at
+  /// most k predictions, best first (pattern answers carry scores;
+  /// fallback answers are single).
+  StatusOr<std::vector<Prediction>> Predict(const PredictiveQuery& query) const;
+
+  /// Forward Query Processing (Algorithm 2), callable directly.
+  StatusOr<std::vector<Prediction>> ForwardQuery(
+      const PredictiveQuery& query) const;
+
+  /// Backward Query Processing (Algorithm 3), callable directly.
+  StatusOr<std::vector<Prediction>> BackwardQuery(
+      const PredictiveQuery& query) const;
+
+  /// The motion-function answer alone (no pattern lookup) — the
+  /// comparison baseline inside HPM.
+  StatusOr<Prediction> MotionFunctionPredict(
+      const PredictiveQuery& query) const;
+
+  /// Dynamic data (paper §V-B): "When a certain amount of new data is
+  /// accumulated, the system mines new patterns and adds them up to TPT
+  /// by using the insertion algorithm."
+  ///
+  /// `new_history` is the newly accumulated movement data (at least one
+  /// complete period). Its locations are matched to the *existing*
+  /// frequent regions, patterns are mined over the new sub-trajectories,
+  /// and rules not yet indexed are inserted into the TPT. Confidences of
+  /// the inserted rules reflect the new batch. If a new rule concludes
+  /// at a time offset the consequence-key table has never seen, the key
+  /// tables and the TPT are rebuilt (keys change length); otherwise the
+  /// insertion is incremental. Not safe to call concurrently with
+  /// Predict.
+  ///
+  /// Returns the number of patterns added.
+  StatusOr<size_t> IncorporateNewHistory(const Trajectory& new_history);
+
+  /// Persists the trained model (options, frequent regions, patterns) to
+  /// a binary file. The TPT itself is not stored — it is rebuilt on load
+  /// from the patterns, which is cheaper than its wire format and keeps
+  /// the format independent of node layout.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Restores a model written by SaveToFile. Fails with InvalidArgument
+  /// on a malformed/foreign file and FailedPrecondition on a version
+  /// mismatch.
+  static StatusOr<std::unique_ptr<HybridPredictor>> LoadFromFile(
+      const std::string& path);
+
+  const TrainingSummary& summary() const { return summary_; }
+  const QueryCounters& counters() const { return counters_; }
+  void ResetCounters() const { counters_ = QueryCounters{}; }
+
+  /// Runtime-tunable ranking knob: switches the premise-weight family
+  /// without retraining (the weights only affect query scoring).
+  void set_weight_function(WeightFunction fn) {
+    options_.weight_function = fn;
+  }
+
+  const FrequentRegionSet& regions() const { return regions_; }
+  const std::vector<TrajectoryPattern>& patterns() const { return patterns_; }
+  const TptTree& tpt() const { return tpt_; }
+  const KeyTables& key_tables() const { return key_tables_; }
+  const HybridPredictorOptions& options() const { return options_; }
+
+ private:
+  HybridPredictor(HybridPredictorOptions options, FrequentRegionSet regions,
+                  std::vector<TrajectoryPattern> patterns,
+                  KeyTables key_tables, TptTree tpt);
+
+  /// Maps recent movements to visited frequent regions (query premise).
+  std::vector<int> QueryPremise(const PredictiveQuery& query) const;
+
+  /// Ranks pattern candidates and materialises the top-k predictions.
+  std::vector<Prediction> RankAndTake(
+      std::vector<Prediction> candidates, int k) const;
+
+  /// Re-encodes every pattern against freshly built key tables and
+  /// reloads the TPT (needed when the key universe changes).
+  Status RebuildIndex();
+
+  HybridPredictorOptions options_;
+  FrequentRegionSet regions_;
+  std::vector<TrajectoryPattern> patterns_;
+  KeyTables key_tables_;
+  TptTree tpt_;
+  TrainingSummary summary_;
+  mutable QueryCounters counters_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_CORE_HYBRID_PREDICTOR_H_

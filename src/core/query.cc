@@ -1,0 +1,45 @@
+#include "core/query.h"
+
+#include <cstdio>
+
+namespace hpm {
+
+std::string Prediction::ToString() const {
+  char buf[160];
+  if (source == PredictionSource::kPattern) {
+    std::snprintf(buf, sizeof(buf),
+                  "pattern #%d (conf %.2f, score %.3f) -> %s", pattern_id,
+                  confidence, score, location.ToString().c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "motion function -> %s",
+                  location.ToString().c_str());
+  }
+  return buf;
+}
+
+Status ValidateQuery(const PredictiveQuery& query) {
+  if (query.recent_movements.empty()) {
+    return Status::InvalidArgument("recent movements are empty");
+  }
+  for (size_t i = 1; i < query.recent_movements.size(); ++i) {
+    if (query.recent_movements[i].time !=
+        query.recent_movements[i - 1].time + 1) {
+      return Status::InvalidArgument(
+          "recent movements must have consecutive unit timestamps");
+    }
+  }
+  if (query.recent_movements.back().time != query.current_time) {
+    return Status::InvalidArgument(
+        "recent movements must end at current_time");
+  }
+  if (query.query_time <= query.current_time) {
+    return Status::InvalidArgument(
+        "query_time must be strictly after current_time");
+  }
+  if (query.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace hpm

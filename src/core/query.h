@@ -1,0 +1,75 @@
+// Predictive-query and prediction types — the public vocabulary of the
+// HybridPredictor API.
+
+#ifndef HPM_CORE_QUERY_H_
+#define HPM_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/bounding_box.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// A spatio-temporal predictive query: "given these recent movements and
+/// the current time, where will the object be at query_time?"
+struct PredictiveQuery {
+  /// The object's recent movements m_q, oldest first, consecutive unit
+  /// timestamps ending at current_time.
+  std::vector<TimedPoint> recent_movements;
+
+  /// Current time t_c.
+  Timestamp current_time = 0;
+
+  /// Query time t_q (strictly after current_time).
+  Timestamp query_time = 0;
+
+  /// Number of predicted locations requested (top-k).
+  int k = 1;
+
+  /// Prediction length t_q - t_c.
+  Timestamp PredictionLength() const { return query_time - current_time; }
+};
+
+/// Where a prediction came from.
+enum class PredictionSource {
+  kPattern,         ///< A trajectory pattern's consequence centre.
+  kMotionFunction,  ///< The motion-function fallback (no pattern matched).
+};
+
+/// One predicted location.
+struct Prediction {
+  Point location;
+
+  /// Ranking weight Sp (Equations 2/5) for pattern answers; 0 for
+  /// motion-function answers.
+  double score = 0.0;
+
+  PredictionSource source = PredictionSource::kMotionFunction;
+
+  /// For pattern answers: which pattern produced it (id into the
+  /// predictor's pattern list) and its consequence region / confidence.
+  int pattern_id = -1;
+  int consequence_region = -1;
+  double confidence = 0.0;
+
+  /// For pattern answers: the consequence region's MBR — the natural
+  /// uncertainty region around `location` (its centre). Empty for
+  /// motion-function answers (point estimates).
+  BoundingBox uncertainty;
+
+  /// "pattern #12 (conf 0.50, score 0.41) -> (x, y)" style rendering.
+  std::string ToString() const;
+};
+
+/// Validates the structural requirements on a query (non-empty recent
+/// movements with consecutive timestamps ending at current_time, a
+/// strictly future query_time, k >= 1). Returns InvalidArgument with a
+/// specific message on the first violation.
+Status ValidateQuery(const PredictiveQuery& query);
+
+}  // namespace hpm
+
+#endif  // HPM_CORE_QUERY_H_

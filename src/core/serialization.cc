@@ -1,0 +1,317 @@
+// Binary persistence for trained HybridPredictor models.
+//
+// Format (little-endian, as written by the host):
+//   magic "HPM1" | version u32 | options | regions | patterns
+// The TPT is rebuilt from the patterns on load.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hybrid_predictor.h"
+
+namespace hpm {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'P', 'M', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+/// Thin RAII + error-latching wrapper over std::FILE for serialization.
+class BinaryFile {
+ public:
+  BinaryFile(const std::string& path, bool write)
+      : file_(std::fopen(path.c_str(), write ? "wb" : "rb")) {}
+  ~BinaryFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  BinaryFile(const BinaryFile&) = delete;
+  BinaryFile& operator=(const BinaryFile&) = delete;
+
+  bool is_open() const { return file_ != nullptr; }
+  bool failed() const { return failed_; }
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (std::fwrite(&value, sizeof(T), 1, file_) != 1) failed_ = true;
+  }
+
+  template <typename T>
+  void Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (std::fread(value, sizeof(T), 1, file_) != 1) failed_ = true;
+  }
+
+  void WriteBytes(const void* data, size_t n) {
+    if (std::fwrite(data, 1, n, file_) != n) failed_ = true;
+  }
+
+  void ReadBytes(void* data, size_t n) {
+    if (std::fread(data, 1, n, file_) != n) failed_ = true;
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+void WritePoint(BinaryFile* f, const Point& p) {
+  f->Write(p.x);
+  f->Write(p.y);
+}
+
+Point ReadPoint(BinaryFile* f) {
+  Point p;
+  f->Read(&p.x);
+  f->Read(&p.y);
+  return p;
+}
+
+void WriteBox(BinaryFile* f, const BoundingBox& box) {
+  const uint8_t empty = box.IsEmpty() ? 1 : 0;
+  f->Write(empty);
+  if (!box.IsEmpty()) {
+    WritePoint(f, box.min());
+    WritePoint(f, box.max());
+  }
+}
+
+BoundingBox ReadBox(BinaryFile* f) {
+  uint8_t empty = 0;
+  f->Read(&empty);
+  if (empty) return BoundingBox();
+  const Point lo = ReadPoint(f);
+  const Point hi = ReadPoint(f);
+  return BoundingBox(lo, hi);
+}
+
+void WriteOptions(BinaryFile* f, const HybridPredictorOptions& o) {
+  f->Write(o.regions.period);
+  f->Write(o.regions.dbscan.eps);
+  f->Write(static_cast<int64_t>(o.regions.dbscan.min_pts));
+  f->Write(static_cast<int64_t>(o.regions.limit_sub_trajectories));
+  f->Write(o.mining.min_confidence);
+  f->Write(static_cast<int64_t>(o.mining.min_support));
+  f->Write(static_cast<int64_t>(o.mining.max_pattern_length));
+  f->Write(o.mining.premise_window);
+  f->Write(static_cast<uint8_t>(o.mining.enable_pruning));
+  f->Write(static_cast<int64_t>(o.tpt.max_node_entries));
+  f->Write(static_cast<int64_t>(o.tpt.min_node_entries));
+  f->Write(static_cast<int64_t>(o.weight_function));
+  f->Write(o.distant_threshold);
+  f->Write(o.time_relaxation);
+  f->Write(o.region_match_slack);
+  f->Write(static_cast<int64_t>(o.rmf.retrospect));
+  f->Write(static_cast<uint8_t>(o.rmf.auto_retrospect));
+  f->Write(static_cast<int64_t>(o.rmf.window));
+  WriteBox(f, o.rmf.clamp_box);
+}
+
+HybridPredictorOptions ReadOptions(BinaryFile* f) {
+  HybridPredictorOptions o;
+  int64_t i64 = 0;
+  uint8_t u8 = 0;
+  f->Read(&o.regions.period);
+  f->Read(&o.regions.dbscan.eps);
+  f->Read(&i64);
+  o.regions.dbscan.min_pts = static_cast<int>(i64);
+  f->Read(&i64);
+  o.regions.limit_sub_trajectories = static_cast<int>(i64);
+  f->Read(&o.mining.min_confidence);
+  f->Read(&i64);
+  o.mining.min_support = static_cast<int>(i64);
+  f->Read(&i64);
+  o.mining.max_pattern_length = static_cast<int>(i64);
+  f->Read(&o.mining.premise_window);
+  f->Read(&u8);
+  o.mining.enable_pruning = u8 != 0;
+  f->Read(&i64);
+  o.tpt.max_node_entries = static_cast<int>(i64);
+  f->Read(&i64);
+  o.tpt.min_node_entries = static_cast<int>(i64);
+  f->Read(&i64);
+  o.weight_function = static_cast<WeightFunction>(i64);
+  f->Read(&o.distant_threshold);
+  f->Read(&o.time_relaxation);
+  f->Read(&o.region_match_slack);
+  f->Read(&i64);
+  o.rmf.retrospect = static_cast<int>(i64);
+  f->Read(&u8);
+  o.rmf.auto_retrospect = u8 != 0;
+  f->Read(&i64);
+  o.rmf.window = static_cast<int>(i64);
+  o.rmf.clamp_box = ReadBox(f);
+  return o;
+}
+
+}  // namespace
+
+Status HybridPredictor::SaveToFile(const std::string& path) const {
+  BinaryFile f(path, /*write=*/true);
+  if (!f.is_open()) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  f.WriteBytes(kMagic, sizeof(kMagic));
+  f.Write(kFormatVersion);
+  WriteOptions(&f, options_);
+
+  f.Write(static_cast<uint64_t>(regions_.NumRegions()));
+  for (const FrequentRegion& r : regions_.regions()) {
+    f.Write(static_cast<int64_t>(r.id));
+    f.Write(r.offset);
+    f.Write(static_cast<int64_t>(r.index_at_offset));
+    WritePoint(&f, r.center);
+    WriteBox(&f, r.mbr);
+    f.Write(static_cast<int64_t>(r.support));
+  }
+
+  f.Write(static_cast<uint64_t>(patterns_.size()));
+  for (const TrajectoryPattern& p : patterns_) {
+    f.Write(static_cast<uint64_t>(p.premise.size()));
+    for (int id : p.premise) f.Write(static_cast<int64_t>(id));
+    f.Write(static_cast<int64_t>(p.consequence));
+    f.Write(p.confidence);
+    f.Write(static_cast<int64_t>(p.support));
+  }
+
+  f.Write(static_cast<uint64_t>(summary_.num_sub_trajectories));
+  if (f.failed()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::LoadFromFile(
+    const std::string& path) {
+  BinaryFile f(path, /*write=*/false);
+  if (!f.is_open()) {
+    return Status::InvalidArgument("cannot open file for reading: " + path);
+  }
+  char magic[4] = {};
+  f.ReadBytes(magic, sizeof(magic));
+  if (f.failed() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an hpm model file: " + path);
+  }
+  uint32_t version = 0;
+  f.Read(&version);
+  if (version != kFormatVersion) {
+    return Status::FailedPrecondition("unsupported model format version " +
+                                      std::to_string(version));
+  }
+  HybridPredictorOptions options = ReadOptions(&f);
+  if (f.failed()) {
+    return Status::InvalidArgument("truncated model file: " + path);
+  }
+  if (options.regions.period <= 0 ||
+      options.regions.period > (1 << 24)) {
+    return Status::InvalidArgument("corrupt period");
+  }
+  if (options.tpt.max_node_entries < 4 ||
+      options.tpt.max_node_entries > (1 << 16) ||
+      options.tpt.min_node_entries < 2 ||
+      options.tpt.min_node_entries * 2 > options.tpt.max_node_entries + 1) {
+    return Status::InvalidArgument("corrupt TPT options");
+  }
+  if (static_cast<int64_t>(options.weight_function) < 0 ||
+      static_cast<int64_t>(options.weight_function) >
+          static_cast<int64_t>(WeightFunction::kFactorial)) {
+    return Status::InvalidArgument("corrupt weight function");
+  }
+
+  FrequentRegionSet regions;
+  regions.set_period(options.regions.period);
+  uint64_t num_regions = 0;
+  f.Read(&num_regions);
+  if (f.failed() || num_regions > (1u << 24)) {
+    return Status::InvalidArgument("corrupt region count");
+  }
+  for (uint64_t i = 0; i < num_regions; ++i) {
+    FrequentRegion r;
+    int64_t i64 = 0;
+    f.Read(&i64);
+    r.id = static_cast<int>(i64);
+    f.Read(&r.offset);
+    f.Read(&i64);
+    r.index_at_offset = static_cast<int>(i64);
+    r.center = ReadPoint(&f);
+    r.mbr = ReadBox(&f);
+    f.Read(&i64);
+    r.support = static_cast<int>(i64);
+    if (f.failed() || r.id != static_cast<int>(i) || r.offset < 0 ||
+        r.offset >= options.regions.period) {
+      return Status::InvalidArgument("corrupt region record");
+    }
+    regions.AddRegion(std::move(r));
+  }
+
+  std::vector<TrajectoryPattern> patterns;
+  uint64_t num_patterns = 0;
+  f.Read(&num_patterns);
+  if (f.failed() || num_patterns > (1u << 28)) {
+    return Status::InvalidArgument("corrupt pattern count");
+  }
+  patterns.reserve(num_patterns);
+  for (uint64_t i = 0; i < num_patterns; ++i) {
+    TrajectoryPattern p;
+    uint64_t premise_size = 0;
+    f.Read(&premise_size);
+    if (f.failed() || premise_size > 64) {
+      return Status::InvalidArgument("corrupt premise size");
+    }
+    for (uint64_t j = 0; j < premise_size; ++j) {
+      int64_t id = 0;
+      f.Read(&id);
+      if (id < 0 || static_cast<uint64_t>(id) >= num_regions) {
+        return Status::InvalidArgument("premise region id out of range");
+      }
+      p.premise.push_back(static_cast<int>(id));
+    }
+    int64_t i64 = 0;
+    f.Read(&i64);
+    if (i64 < 0 || static_cast<uint64_t>(i64) >= num_regions) {
+      return Status::InvalidArgument("consequence region id out of range");
+    }
+    p.consequence = static_cast<int>(i64);
+    f.Read(&p.confidence);
+    f.Read(&i64);
+    p.support = static_cast<int>(i64);
+    if (f.failed()) {
+      return Status::InvalidArgument("truncated pattern record");
+    }
+    patterns.push_back(std::move(p));
+  }
+
+  uint64_t num_subs = 0;
+  f.Read(&num_subs);
+  if (f.failed()) {
+    return Status::InvalidArgument("truncated model file: " + path);
+  }
+
+  // Rebuild the index from the restored patterns.
+  KeyTables tables = KeyTables::Build(regions, patterns);
+  std::vector<IndexedPattern> indexed;
+  indexed.reserve(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    indexed.push_back({tables.EncodePattern(patterns[i], regions),
+                       patterns[i].confidence, patterns[i].consequence,
+                       static_cast<int>(i)});
+  }
+  StatusOr<TptTree> tpt = TptTree::BulkLoad(std::move(indexed), options.tpt);
+  if (!tpt.ok()) return tpt.status();
+
+  auto predictor = std::unique_ptr<HybridPredictor>(
+      new HybridPredictor(options, std::move(regions), std::move(patterns),
+                          std::move(tables), std::move(*tpt)));
+  predictor->summary_.num_sub_trajectories =
+      static_cast<size_t>(num_subs);
+  predictor->summary_.num_frequent_regions =
+      predictor->regions_.NumRegions();
+  predictor->summary_.num_patterns = predictor->patterns_.size();
+  predictor->summary_.tpt_memory_bytes = predictor->tpt_.MemoryBytes();
+  predictor->summary_.tpt_height = predictor->tpt_.Height();
+  return predictor;
+}
+
+}  // namespace hpm

@@ -1,0 +1,74 @@
+#include "core/similarity.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace hpm {
+
+const char* WeightFunctionName(WeightFunction fn) {
+  switch (fn) {
+    case WeightFunction::kLinear:
+      return "linear";
+    case WeightFunction::kQuadratic:
+      return "quadratic";
+    case WeightFunction::kExponential:
+      return "exponential";
+    case WeightFunction::kFactorial:
+      return "factorial";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double RawWeight(WeightFunction fn, int i) {
+  switch (fn) {
+    case WeightFunction::kLinear:
+      return static_cast<double>(i);
+    case WeightFunction::kQuadratic:
+      return static_cast<double>(i) * static_cast<double>(i);
+    case WeightFunction::kExponential:
+      return std::exp2(static_cast<double>(i));
+    case WeightFunction::kFactorial:
+      return std::tgamma(static_cast<double>(i) + 1.0);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double PositionWeight(WeightFunction fn, int i, int size) {
+  HPM_CHECK(i >= 1 && i <= size);
+  double total = 0.0;
+  for (int j = 1; j <= size; ++j) total += RawWeight(fn, j);
+  return RawWeight(fn, i) / total;
+}
+
+double PremiseSimilarity(const DynamicBitset& rk, const DynamicBitset& rkq,
+                         WeightFunction fn) {
+  HPM_CHECK(rk.size() == rkq.size());
+  const std::vector<size_t> bits = rk.SetBits();
+  if (bits.empty()) return 0.0;
+  const int size = static_cast<int>(bits.size());
+
+  double total = 0.0;
+  for (int j = 1; j <= size; ++j) total += RawWeight(fn, j);
+
+  double similarity = 0.0;
+  for (int i = 1; i <= size; ++i) {
+    if (rkq.Test(bits[static_cast<size_t>(i - 1)])) {
+      similarity += RawWeight(fn, i) / total;
+    }
+  }
+  return similarity;
+}
+
+double ConsequenceSimilarity(Timestamp t, Timestamp tq, Timestamp t_eps) {
+  HPM_CHECK(t_eps >= 0);
+  const double distance = static_cast<double>(std::llabs(tq - t));
+  const double sc = 1.0 - distance / static_cast<double>(t_eps + 1);
+  return sc < 0.0 ? 0.0 : sc;
+}
+
+}  // namespace hpm

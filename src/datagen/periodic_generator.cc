@@ -1,0 +1,132 @@
+#include "datagen/periodic_generator.h"
+
+#define _USE_MATH_DEFINES
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hpm {
+
+namespace {
+
+Point Clamp(const Point& p, double extent) {
+  return {std::clamp(p.x, 0.0, extent), std::clamp(p.y, 0.0, extent)};
+}
+
+/// An irregular day: a random bounded wander with step sizes comparable
+/// to route speeds, so irregular days are kinematically plausible but
+/// spatially uncorrelated with the seed routes.
+void AppendIrregularDay(const PeriodicGeneratorConfig& config, Random* rng,
+                        Trajectory* out) {
+  Point pos{rng->UniformDouble(0.0, config.extent),
+            rng->UniformDouble(0.0, config.extent)};
+  Point velocity{rng->Gaussian(0.0, config.extent / 600.0),
+                 rng->Gaussian(0.0, config.extent / 600.0)};
+  for (Timestamp t = 0; t < config.period; ++t) {
+    velocity.x += rng->Gaussian(0.0, config.extent / 2000.0);
+    velocity.y += rng->Gaussian(0.0, config.extent / 2000.0);
+    // Mild drag keeps the wander bounded.
+    velocity = velocity * 0.98;
+    pos = Clamp(pos + velocity, config.extent);
+    out->Append(pos);
+  }
+}
+
+/// A pattern day: the chosen route with temporal jitter, spatial noise,
+/// and (with detour_probability per window) excursions away from the
+/// route that lower the supports and confidences of downstream patterns.
+void AppendPatternDay(const SeedRoute& route,
+                      const PeriodicGeneratorConfig& config, Random* rng,
+                      Trajectory* out) {
+  const Timestamp jitter =
+      config.time_jitter > 0
+          ? rng->UniformInt(-config.time_jitter, config.time_jitter)
+          : 0;
+  const Timestamp window = std::max<Timestamp>(1, config.detour_window);
+
+  bool detouring = false;
+  Point detour_direction;
+  for (Timestamp t = 0; t < config.period; ++t) {
+    if (t % window == 0) {
+      detouring = config.detour_probability > 0.0 &&
+                  rng->Bernoulli(config.detour_probability);
+      if (detouring) {
+        const double angle = rng->UniformDouble(0.0, 2.0 * M_PI);
+        detour_direction = {std::cos(angle), std::sin(angle)};
+      }
+    }
+    const Timestamp src =
+        std::clamp<Timestamp>(t + jitter, 0, config.period - 1);
+    Point p = route.points[static_cast<size_t>(src)];
+    if (detouring) {
+      // A smooth half-sine excursion: leave the route, peak at the
+      // window's midpoint, and rejoin by its end.
+      const double phase =
+          static_cast<double>(t % window) / static_cast<double>(window);
+      const double swing =
+          config.detour_magnitude * std::sin(phase * M_PI);
+      p = p + detour_direction * swing;
+    }
+    p.x += rng->Gaussian(0.0, config.noise_sigma);
+    p.y += rng->Gaussian(0.0, config.noise_sigma);
+    out->Append(Clamp(p, config.extent));
+  }
+}
+
+}  // namespace
+
+StatusOr<Trajectory> GeneratePeriodicTrajectory(
+    const std::vector<SeedRoute>& routes,
+    const PeriodicGeneratorConfig& config) {
+  if (config.period < 2) {
+    return Status::InvalidArgument("period must be >= 2");
+  }
+  if (config.num_sub_trajectories < 1) {
+    return Status::InvalidArgument("num_sub_trajectories must be >= 1");
+  }
+  if (config.pattern_probability < 0.0 ||
+      config.pattern_probability > 1.0) {
+    return Status::InvalidArgument("pattern_probability must be in [0,1]");
+  }
+  if (routes.empty()) {
+    return Status::InvalidArgument("at least one seed route is required");
+  }
+  double total_weight = 0.0;
+  for (const SeedRoute& r : routes) {
+    if (static_cast<Timestamp>(r.points.size()) != config.period) {
+      return Status::InvalidArgument(
+          "every seed route must have exactly `period` points");
+    }
+    if (r.weight < 0.0) {
+      return Status::InvalidArgument("route weights must be >= 0");
+    }
+    total_weight += r.weight;
+  }
+  if (total_weight <= 0.0) {
+    return Status::InvalidArgument("route weights sum to zero");
+  }
+
+  Random rng(config.seed);
+  Trajectory trajectory;
+  for (int day = 0; day < config.num_sub_trajectories; ++day) {
+    if (rng.Bernoulli(config.pattern_probability)) {
+      // Weighted route choice.
+      double pick = rng.NextDouble() * total_weight;
+      size_t chosen = 0;
+      for (size_t i = 0; i < routes.size(); ++i) {
+        pick -= routes[i].weight;
+        if (pick <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+      AppendPatternDay(routes[chosen], config, &rng, &trajectory);
+    } else {
+      AppendIrregularDay(config, &rng, &trajectory);
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace hpm

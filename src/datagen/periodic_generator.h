@@ -1,0 +1,76 @@
+// Periodic trajectory generator, modelled on the generator of Mamoulis
+// et al. (SIGKDD'04) as modified by the HPM paper (§VII): given seed
+// routes, produce N sub-trajectories, each of which is — with probability
+// f — a noisy repetition of a seed route, and otherwise an irregular
+// wander. f is the knob that orders the four datasets by pattern
+// strength (Bike > Cow > Car > Airplane).
+
+#ifndef HPM_DATAGEN_PERIODIC_GENERATOR_H_
+#define HPM_DATAGEN_PERIODIC_GENERATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// Generator parameters.
+struct PeriodicGeneratorConfig {
+  /// Period T (samples per sub-trajectory).
+  Timestamp period = 300;
+
+  /// How many sub-trajectories to produce (the paper generates 200 —
+  /// "a car's 200 days movements").
+  int num_sub_trajectories = 200;
+
+  /// Probability f that a sub-trajectory is similar to a seed route.
+  double pattern_probability = 0.8;
+
+  /// Spatial noise added to every point of a pattern-following
+  /// sub-trajectory (standard deviation, data-space units).
+  double noise_sigma = 10.0;
+
+  /// Maximum temporal jitter: a pattern day's route is shifted by a
+  /// uniform integer in [-time_jitter, +time_jitter] samples.
+  Timestamp time_jitter = 1;
+
+  /// Route adherence on pattern days: the day is divided into windows of
+  /// `detour_window` samples; each window independently becomes a
+  /// *detour* with this probability, during which the object swings away
+  /// from the route (up to `detour_magnitude`) and returns. Detours are
+  /// what give mined patterns confidences below 1 — an object can visit
+  /// a premise region and then not reach the usual consequence.
+  double detour_probability = 0.0;
+
+  /// Samples per adherence window.
+  Timestamp detour_window = 20;
+
+  /// Peak distance from the route during a detour.
+  double detour_magnitude = 600.0;
+
+  /// Data-space extent (results clamped to [0, extent]^2).
+  double extent = 10000.0;
+
+  /// RNG seed.
+  uint64_t seed = 7;
+};
+
+/// A seed route with a selection weight; weights among routes are
+/// normalised internally.
+struct SeedRoute {
+  std::vector<Point> points;
+  double weight = 1.0;
+};
+
+/// Generates the full trajectory (num_sub_trajectories * period samples)
+/// by concatenating generated sub-trajectories. Every route must have
+/// exactly `period` points. Returns InvalidArgument for malformed
+/// configuration or routes.
+StatusOr<Trajectory> GeneratePeriodicTrajectory(
+    const std::vector<SeedRoute>& routes,
+    const PeriodicGeneratorConfig& config);
+
+}  // namespace hpm
+
+#endif  // HPM_DATAGEN_PERIODIC_GENERATOR_H_

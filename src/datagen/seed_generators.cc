@@ -1,0 +1,184 @@
+#include "datagen/seed_generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace hpm {
+
+namespace {
+
+Point Clamp(const Point& p, double extent) {
+  return {std::clamp(p.x, 0.0, extent), std::clamp(p.y, 0.0, extent)};
+}
+
+}  // namespace
+
+std::vector<Point> ResampleUniform(const std::vector<Point>& polyline,
+                                   size_t count) {
+  HPM_CHECK(polyline.size() >= 2);
+  HPM_CHECK(count >= 2);
+
+  // Cumulative arc length at each vertex.
+  std::vector<double> cumulative(polyline.size(), 0.0);
+  for (size_t i = 1; i < polyline.size(); ++i) {
+    cumulative[i] =
+        cumulative[i - 1] + Distance(polyline[i - 1], polyline[i]);
+  }
+  const double total = cumulative.back();
+
+  std::vector<Point> samples;
+  samples.reserve(count);
+  if (total <= 0.0) {
+    samples.assign(count, polyline.front());
+    return samples;
+  }
+  size_t segment = 0;
+  for (size_t s = 0; s < count; ++s) {
+    const double target =
+        total * static_cast<double>(s) / static_cast<double>(count - 1);
+    while (segment + 2 < polyline.size() &&
+           cumulative[segment + 1] < target) {
+      ++segment;
+    }
+    const double seg_len = cumulative[segment + 1] - cumulative[segment];
+    const double frac =
+        seg_len > 0.0 ? (target - cumulative[segment]) / seg_len : 0.0;
+    samples.push_back(polyline[segment] +
+                      (polyline[segment + 1] - polyline[segment]) * frac);
+  }
+  return samples;
+}
+
+std::vector<Point> MakeBikeSeed(const SeedConfig& config) {
+  Random rng(config.seed);
+  const double e = config.extent;
+
+  // A long ride from one town (lower-left area) to another (upper-right
+  // area) through gently meandering waypoints.
+  std::vector<Point> waypoints;
+  const Point start{rng.UniformDouble(0.05, 0.15) * e,
+                    rng.UniformDouble(0.05, 0.20) * e};
+  const Point end{rng.UniformDouble(0.80, 0.95) * e,
+                  rng.UniformDouble(0.75, 0.95) * e};
+  const int num_mid = 10;
+  waypoints.push_back(start);
+  for (int i = 1; i <= num_mid; ++i) {
+    const double frac = static_cast<double>(i) / (num_mid + 1);
+    Point base = start + (end - start) * frac;
+    // Lateral meander perpendicular-ish to the main direction.
+    base.x += rng.Gaussian(0.0, 0.06 * e);
+    base.y += rng.Gaussian(0.0, 0.06 * e);
+    waypoints.push_back(Clamp(base, e));
+  }
+  waypoints.push_back(end);
+
+  // Chaikin corner-cutting twice for smooth riding lines.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<Point> smooth;
+    smooth.push_back(waypoints.front());
+    for (size_t i = 0; i + 1 < waypoints.size(); ++i) {
+      smooth.push_back(waypoints[i] * 0.75 + waypoints[i + 1] * 0.25);
+      smooth.push_back(waypoints[i] * 0.25 + waypoints[i + 1] * 0.75);
+    }
+    smooth.push_back(waypoints.back());
+    waypoints = std::move(smooth);
+  }
+  return ResampleUniform(waypoints, static_cast<size_t>(config.period));
+}
+
+std::vector<Point> MakeCowSeed(const SeedConfig& config) {
+  Random rng(config.seed);
+  const double e = config.extent;
+
+  // Three grazing areas visited in order over the period, with a slow
+  // bounded wander inside each and short transits between them.
+  std::vector<Point> dwell(3);
+  for (auto& d : dwell) {
+    d = {rng.UniformDouble(0.2, 0.8) * e, rng.UniformDouble(0.2, 0.8) * e};
+  }
+  const Timestamp period = config.period;
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(period));
+
+  Point pos = dwell[0];
+  for (Timestamp t = 0; t < period; ++t) {
+    const double phase =
+        static_cast<double>(t) / static_cast<double>(period);
+    const size_t target_idx = std::min<size_t>(
+        2, static_cast<size_t>(phase * 3.0));
+    const Point& target = dwell[target_idx];
+    // Ornstein-Uhlenbeck-style pull toward the current grazing area plus
+    // small diffusive steps — cattle move slowly and stay bounded.
+    pos = pos + (target - pos) * 0.08;
+    pos.x += rng.Gaussian(0.0, 0.0015 * e);
+    pos.y += rng.Gaussian(0.0, 0.0015 * e);
+    pos = Clamp(pos, e);
+    points.push_back(pos);
+  }
+  return points;
+}
+
+std::vector<Point> MakeCarSeed(const SeedConfig& config) {
+  Random rng(config.seed);
+  const double e = config.extent;
+  const double cell = e / 20.0;  // Road spacing: a 20x20 street grid.
+
+  // A lattice walk biased toward a destination: only axis-aligned moves,
+  // so every intersection produces the sudden direction change the paper
+  // calls out for the Car dataset.
+  int x = static_cast<int>(rng.UniformInt(2, 6));
+  int y = static_cast<int>(rng.UniformInt(2, 6));
+  const int dest_x = static_cast<int>(rng.UniformInt(14, 18));
+  const int dest_y = static_cast<int>(rng.UniformInt(14, 18));
+
+  std::vector<Point> vertices;
+  vertices.push_back({x * cell, y * cell});
+  while (x != dest_x || y != dest_y) {
+    // Drive several blocks in one direction before turning.
+    const bool move_x =
+        (x == dest_x) ? false
+                      : (y == dest_y) ? true : rng.Bernoulli(0.5);
+    const int blocks = static_cast<int>(rng.UniformInt(1, 4));
+    for (int b = 0; b < blocks; ++b) {
+      if (move_x && x != dest_x) {
+        x += (dest_x > x) ? 1 : -1;
+      } else if (!move_x && y != dest_y) {
+        y += (dest_y > y) ? 1 : -1;
+      }
+      vertices.push_back({x * cell, y * cell});
+      if (x == dest_x && y == dest_y) break;
+    }
+  }
+  return ResampleUniform(vertices, static_cast<size_t>(config.period));
+}
+
+std::vector<Point> MakeAirplaneSeed(const SeedConfig& config) {
+  Random rng(config.seed);
+  const double e = config.extent;
+
+  // Airports sampled uniformly (standing in for the paper's California
+  // road-network sample points), connected by straight constant-speed
+  // legs.
+  const int num_airports = 12;
+  std::vector<Point> airports(num_airports);
+  for (auto& a : airports) {
+    a = {rng.UniformDouble(0.05, 0.95) * e, rng.UniformDouble(0.05, 0.95) * e};
+  }
+  const int num_legs = static_cast<int>(rng.UniformInt(3, 5));
+  std::vector<Point> route;
+  int current = static_cast<int>(rng.Uniform(num_airports));
+  route.push_back(airports[static_cast<size_t>(current)]);
+  for (int leg = 0; leg < num_legs; ++leg) {
+    int next = current;
+    while (next == current) {
+      next = static_cast<int>(rng.Uniform(num_airports));
+    }
+    route.push_back(airports[static_cast<size_t>(next)]);
+    current = next;
+  }
+  return ResampleUniform(route, static_cast<size_t>(config.period));
+}
+
+}  // namespace hpm

@@ -1,0 +1,93 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "motion/linear_motion.h"
+
+namespace hpm {
+
+namespace {
+
+EvalResult Aggregate(std::vector<double> errors, double total_ms,
+                     int pattern_answers, int motion_answers) {
+  EvalResult result;
+  result.pattern_answers = pattern_answers;
+  result.motion_answers = motion_answers;
+  if (errors.empty()) return result;
+  double sum = 0.0;
+  for (double e : errors) sum += e;
+  result.mean_error = sum / static_cast<double>(errors.size());
+  std::sort(errors.begin(), errors.end());
+  const size_t mid = errors.size() / 2;
+  result.median_error = errors.size() % 2 == 1
+                            ? errors[mid]
+                            : (errors[mid - 1] + errors[mid]) / 2.0;
+  result.mean_response_ms = total_ms / static_cast<double>(errors.size());
+  return result;
+}
+
+}  // namespace
+
+StatusOr<EvalResult> EvaluateHpm(const HybridPredictor& predictor,
+                                 const std::vector<QueryCase>& cases) {
+  std::vector<double> errors;
+  errors.reserve(cases.size());
+  double total_ms = 0.0;
+  int pattern_answers = 0;
+  int motion_answers = 0;
+  for (const QueryCase& qc : cases) {
+    Stopwatch timer;
+    StatusOr<std::vector<Prediction>> predictions =
+        predictor.Predict(qc.query);
+    total_ms += timer.ElapsedMillis();
+    if (!predictions.ok()) return predictions.status();
+    if (predictions->empty()) {
+      return Status::Internal("predictor returned no predictions");
+    }
+    const Prediction& top = predictions->front();
+    errors.push_back(Distance(top.location, qc.actual));
+    if (top.source == PredictionSource::kPattern) {
+      ++pattern_answers;
+    } else {
+      ++motion_answers;
+    }
+  }
+  return Aggregate(std::move(errors), total_ms, pattern_answers,
+                   motion_answers);
+}
+
+StatusOr<EvalResult> EvaluateMotionBaseline(
+    const std::vector<QueryCase>& cases,
+    const std::function<std::unique_ptr<MotionFunction>()>& factory) {
+  std::vector<double> errors;
+  errors.reserve(cases.size());
+  double total_ms = 0.0;
+  for (const QueryCase& qc : cases) {
+    Stopwatch timer;
+    std::unique_ptr<MotionFunction> model = factory();
+    Point predicted = qc.query.recent_movements.back().location;
+    if (model->Fit(qc.query.recent_movements).ok()) {
+      StatusOr<Point> p = model->Predict(qc.query.query_time);
+      if (p.ok()) predicted = *p;
+    }
+    total_ms += timer.ElapsedMillis();
+    errors.push_back(Distance(predicted, qc.actual));
+  }
+  return Aggregate(std::move(errors), total_ms, 0,
+                   static_cast<int>(cases.size()));
+}
+
+StatusOr<EvalResult> EvaluateRmf(const std::vector<QueryCase>& cases,
+                                 const RmfOptions& options) {
+  return EvaluateMotionBaseline(cases, [&options]() {
+    return std::make_unique<RecursiveMotionFunction>(options);
+  });
+}
+
+StatusOr<EvalResult> EvaluateLinear(const std::vector<QueryCase>& cases) {
+  return EvaluateMotionBaseline(
+      cases, []() { return std::make_unique<LinearMotionFunction>(); });
+}
+
+}  // namespace hpm

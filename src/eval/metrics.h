@@ -1,0 +1,58 @@
+// Accuracy and cost measurement over a query workload (paper §VII).
+
+#ifndef HPM_EVAL_METRICS_H_
+#define HPM_EVAL_METRICS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/hybrid_predictor.h"
+#include "eval/workload.h"
+#include "motion/motion_function.h"
+#include "motion/recursive_motion.h"
+
+namespace hpm {
+
+/// Aggregated results for one predictor over one workload.
+struct EvalResult {
+  /// Mean Euclidean error of the top-1 prediction.
+  double mean_error = 0.0;
+
+  /// Median error (robust to fallback outliers).
+  double median_error = 0.0;
+
+  /// Mean per-query response time in milliseconds.
+  double mean_response_ms = 0.0;
+
+  /// Queries answered from patterns vs. the motion-function fallback
+  /// (always 0 / all for pure motion-function baselines).
+  int pattern_answers = 0;
+  int motion_answers = 0;
+};
+
+/// Runs every case through `predictor.Predict` and aggregates top-1
+/// error and response time. Propagates the first query error.
+StatusOr<EvalResult> EvaluateHpm(const HybridPredictor& predictor,
+                                 const std::vector<QueryCase>& cases);
+
+/// Evaluates a pure motion-function baseline: `factory` builds a fresh
+/// model per query, which is fitted on the case's recent movements and
+/// asked for the query time (the paper's RMF comparison retrains from
+/// recent history on every query). Cases whose history is too short for
+/// the model fall back to the last known location.
+StatusOr<EvalResult> EvaluateMotionBaseline(
+    const std::vector<QueryCase>& cases,
+    const std::function<std::unique_ptr<MotionFunction>()>& factory);
+
+/// The RMF baseline with the given options.
+StatusOr<EvalResult> EvaluateRmf(const std::vector<QueryCase>& cases,
+                                 const RmfOptions& options = {});
+
+/// The linear-motion baseline.
+StatusOr<EvalResult> EvaluateLinear(const std::vector<QueryCase>& cases);
+
+}  // namespace hpm
+
+#endif  // HPM_EVAL_METRICS_H_

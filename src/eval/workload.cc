@@ -1,0 +1,50 @@
+#include "eval/workload.h"
+
+#include "common/random.h"
+
+namespace hpm {
+
+StatusOr<std::vector<QueryCase>> MakeQueryCases(
+    const Trajectory& full, Timestamp period, int train_subs,
+    const WorkloadConfig& config) {
+  if (config.num_queries < 1 || config.recent_length < 2) {
+    return Status::InvalidArgument(
+        "need num_queries >= 1 and recent_length >= 2");
+  }
+  if (config.prediction_length < 1) {
+    return Status::InvalidArgument("prediction_length must be >= 1");
+  }
+  const int total_subs = static_cast<int>(full.NumSubTrajectories(period));
+  if (train_subs < 0 || train_subs >= total_subs) {
+    return Status::InvalidArgument(
+        "train_subs leaves no held-out sub-trajectories");
+  }
+  const Timestamp min_tc = config.recent_length - 1;
+  const Timestamp max_tc = period - 1 - config.prediction_length;
+  if (max_tc < min_tc) {
+    return Status::InvalidArgument(
+        "period too short for recent_length + prediction_length");
+  }
+
+  Random rng(config.seed);
+  std::vector<QueryCase> cases;
+  cases.reserve(static_cast<size_t>(config.num_queries));
+  for (int q = 0; q < config.num_queries; ++q) {
+    const int sub = static_cast<int>(
+        rng.UniformInt(train_subs, total_subs - 1));
+    const Timestamp tc_offset = rng.UniformInt(min_tc, max_tc);
+    const Timestamp base = static_cast<Timestamp>(sub) * period;
+
+    QueryCase qc;
+    qc.query.current_time = base + tc_offset;
+    qc.query.query_time = qc.query.current_time + config.prediction_length;
+    qc.query.k = 1;
+    qc.query.recent_movements =
+        full.RecentMovements(qc.query.current_time, config.recent_length);
+    qc.actual = full.At(qc.query.query_time);
+    cases.push_back(std::move(qc));
+  }
+  return cases;
+}
+
+}  // namespace hpm

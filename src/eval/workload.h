@@ -1,0 +1,53 @@
+// Predictive-query workload sampling for the experiment harnesses
+// (paper §VII: "We test 50 queries ... and average their errors").
+//
+// Queries are drawn from *held-out* sub-trajectories: the predictor
+// trains on the first `train_subs` periods and queries come from later
+// periods, so the evaluated error is out-of-sample.
+
+#ifndef HPM_EVAL_WORKLOAD_H_
+#define HPM_EVAL_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// Workload parameters.
+struct WorkloadConfig {
+  /// Number of queries to sample.
+  int num_queries = 50;
+
+  /// Length of the recent-movement window handed to the predictor.
+  int recent_length = 10;
+
+  /// Prediction length t_q - t_c.
+  Timestamp prediction_length = 50;
+
+  /// RNG seed.
+  uint64_t seed = 12345;
+};
+
+/// One query with its ground-truth answer.
+struct QueryCase {
+  PredictiveQuery query;
+  Point actual;
+};
+
+/// Samples `config.num_queries` cases from the sub-trajectories of
+/// `full` with index >= train_subs. Each case picks a held-out period
+/// and a current offset uniformly such that recent movements fit before
+/// it and the query offset stays inside the period. Fails when the
+/// trajectory has no held-out periods or the period is too short for
+/// recent_length + prediction_length.
+StatusOr<std::vector<QueryCase>> MakeQueryCases(const Trajectory& full,
+                                                Timestamp period,
+                                                int train_subs,
+                                                const WorkloadConfig& config);
+
+}  // namespace hpm
+
+#endif  // HPM_EVAL_WORKLOAD_H_

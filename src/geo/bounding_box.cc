@@ -1,0 +1,68 @@
+#include "geo/bounding_box.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace hpm {
+
+BoundingBox::BoundingBox() : empty_(true) {}
+
+BoundingBox::BoundingBox(const Point& a, const Point& b) : empty_(false) {
+  min_ = {std::min(a.x, b.x), std::min(a.y, b.y)};
+  max_ = {std::max(a.x, b.x), std::max(a.y, b.y)};
+}
+
+void BoundingBox::Extend(const Point& p) {
+  if (empty_) {
+    min_ = max_ = p;
+    empty_ = false;
+    return;
+  }
+  min_.x = std::min(min_.x, p.x);
+  min_.y = std::min(min_.y, p.y);
+  max_.x = std::max(max_.x, p.x);
+  max_.y = std::max(max_.y, p.y);
+}
+
+void BoundingBox::Extend(const BoundingBox& other) {
+  if (other.empty_) return;
+  Extend(other.min_);
+  Extend(other.max_);
+}
+
+bool BoundingBox::Contains(const Point& p) const {
+  if (empty_) return false;
+  return p.x >= min_.x && p.x <= max_.x && p.y >= min_.y && p.y <= max_.y;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  if (empty_ || other.empty_) return false;
+  return min_.x <= other.max_.x && max_.x >= other.min_.x &&
+         min_.y <= other.max_.y && max_.y >= other.min_.y;
+}
+
+Point BoundingBox::Center() const {
+  HPM_CHECK(!empty_);
+  return {(min_.x + max_.x) / 2.0, (min_.y + max_.y) / 2.0};
+}
+
+double BoundingBox::Area() const {
+  if (empty_) return 0.0;
+  return (max_.x - min_.x) * (max_.y - min_.y);
+}
+
+double BoundingBox::MinDistance(const Point& p) const {
+  HPM_CHECK(!empty_);
+  const double dx = std::max({min_.x - p.x, 0.0, p.x - max_.x});
+  const double dy = std::max({min_.y - p.y, 0.0, p.y - max_.y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string BoundingBox::ToString() const {
+  if (empty_) return "[empty]";
+  return "[" + min_.ToString() + " - " + max_.ToString() + "]";
+}
+
+}  // namespace hpm

@@ -1,0 +1,63 @@
+// Axis-aligned bounding box (MBR) used to describe frequent regions.
+
+#ifndef HPM_GEO_BOUNDING_BOX_H_
+#define HPM_GEO_BOUNDING_BOX_H_
+
+#include <string>
+
+#include "geo/point.h"
+
+namespace hpm {
+
+/// Axis-aligned minimum bounding rectangle.
+///
+/// A default-constructed box is *empty* (contains nothing); extending an
+/// empty box with a point makes it that single point.
+class BoundingBox {
+ public:
+  /// Creates an empty box.
+  BoundingBox();
+
+  /// Creates the box spanning the two corner points (any corner order).
+  BoundingBox(const Point& a, const Point& b);
+
+  /// True if no point has been added yet.
+  bool IsEmpty() const { return empty_; }
+
+  /// Grows the box to cover `p`.
+  void Extend(const Point& p);
+
+  /// Grows the box to cover `other` (no-op if `other` is empty).
+  void Extend(const BoundingBox& other);
+
+  /// True if `p` lies inside or on the boundary. Empty boxes contain nothing.
+  bool Contains(const Point& p) const;
+
+  /// True if the two boxes overlap (boundary touch counts).
+  bool Intersects(const BoundingBox& other) const;
+
+  /// Geometric centre. Precondition: !IsEmpty().
+  Point Center() const;
+
+  /// Width * height; zero for empty or degenerate boxes.
+  double Area() const;
+
+  /// Minimum distance from `p` to the box (0 when inside).
+  /// Precondition: !IsEmpty().
+  double MinDistance(const Point& p) const;
+
+  const Point& min() const { return min_; }
+  const Point& max() const { return max_; }
+
+  /// "[(x0,y0) - (x1,y1)]" or "[empty]".
+  std::string ToString() const;
+
+ private:
+  bool empty_;
+  Point min_;
+  Point max_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_GEO_BOUNDING_BOX_H_

@@ -1,0 +1,26 @@
+#include "geo/point.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hpm {
+
+double Point::Norm() const { return std::sqrt(x * x + y * y); }
+
+std::string Point::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.2f, %.2f)", x, y);
+  return buf;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace hpm

@@ -1,0 +1,41 @@
+// 2-D point primitive used throughout hpm.
+
+#ifndef HPM_GEO_POINT_H_
+#define HPM_GEO_POINT_H_
+
+#include <string>
+
+namespace hpm {
+
+/// A location in the (normalised) 2-D data space.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+  Point operator/(double s) const { return {x / s, y / s}; }
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+
+  /// Euclidean length of the vector from the origin.
+  double Norm() const;
+
+  /// "(x, y)" with two decimals.
+  std::string ToString() const;
+};
+
+/// Euclidean distance between two points. This is the paper's prediction
+/// error metric ("distance between a predicted location and its actual
+/// location").
+double Distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance (avoids the sqrt in hot loops).
+double SquaredDistance(const Point& a, const Point& b);
+
+}  // namespace hpm
+
+#endif  // HPM_GEO_POINT_H_

@@ -1,0 +1,90 @@
+#include "geo/trajectory.h"
+
+#include <algorithm>
+
+namespace hpm {
+
+Trajectory::Trajectory(std::vector<Point> points)
+    : points_(std::move(points)) {}
+
+void Trajectory::Append(const Point& p) { points_.push_back(p); }
+
+const Point& Trajectory::At(Timestamp t) const {
+  HPM_CHECK(t >= 0 && static_cast<size_t>(t) < points_.size());
+  return points_[static_cast<size_t>(t)];
+}
+
+StatusOr<Trajectory> Trajectory::Slice(Timestamp begin, Timestamp end) const {
+  if (begin < 0 || end < begin ||
+      static_cast<size_t>(end) > points_.size()) {
+    return Status::OutOfRange("invalid slice range");
+  }
+  return Trajectory(std::vector<Point>(points_.begin() + begin,
+                                       points_.begin() + end));
+}
+
+size_t Trajectory::NumSubTrajectories(Timestamp period) const {
+  if (period <= 0) return 0;
+  return points_.size() / static_cast<size_t>(period);
+}
+
+StatusOr<std::vector<Trajectory>> Trajectory::DecomposePeriodic(
+    Timestamp period) const {
+  if (period <= 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  const size_t n = NumSubTrajectories(period);
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        "trajectory shorter than one period");
+  }
+  std::vector<Trajectory> subs;
+  subs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Timestamp begin = static_cast<Timestamp>(i) * period;
+    subs.push_back(std::move(Slice(begin, begin + period).value()));
+  }
+  return subs;
+}
+
+StatusOr<std::vector<OffsetGroup>> Trajectory::GroupByOffset(
+    Timestamp period, int limit) const {
+  if (period <= 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  size_t n = NumSubTrajectories(period);
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        "trajectory shorter than one period");
+  }
+  if (limit > 0) n = std::min(n, static_cast<size_t>(limit));
+  std::vector<OffsetGroup> groups(static_cast<size_t>(period));
+  for (Timestamp t = 0; t < period; ++t) {
+    groups[static_cast<size_t>(t)].offset = t;
+    groups[static_cast<size_t>(t)].locations.reserve(n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (Timestamp t = 0; t < period; ++t) {
+      groups[static_cast<size_t>(t)].locations.push_back(
+          {static_cast<int>(i),
+           points_[i * static_cast<size_t>(period) +
+                   static_cast<size_t>(t)]});
+    }
+  }
+  return groups;
+}
+
+std::vector<TimedPoint> Trajectory::RecentMovements(Timestamp now,
+                                                    int count) const {
+  HPM_CHECK(now >= 0 && static_cast<size_t>(now) < points_.size());
+  HPM_CHECK(count > 0);
+  const Timestamp begin = std::max<Timestamp>(0, now - count + 1);
+  std::vector<TimedPoint> result;
+  result.reserve(static_cast<size_t>(now - begin + 1));
+  for (Timestamp t = begin; t <= now; ++t) {
+    result.push_back({t, points_[static_cast<size_t>(t)]});
+  }
+  return result;
+}
+
+}  // namespace hpm

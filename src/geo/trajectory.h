@@ -1,0 +1,92 @@
+// Trajectory model: a moving object's history sampled at unit timestamps,
+// plus the periodic decomposition used by the pattern-discovery pipeline
+// (paper §III, Fig. 2).
+
+#ifndef HPM_GEO_TRAJECTORY_H_
+#define HPM_GEO_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace hpm {
+
+/// Discrete time. Trajectory samples live at timestamps 0, 1, 2, ...
+using Timestamp = int64_t;
+
+/// A location observed at an explicit timestamp (used for query input,
+/// where the recent movements are not anchored at 0).
+struct TimedPoint {
+  Timestamp time = 0;
+  Point location;
+};
+
+/// One location of one sub-trajectory inside an offset group G_t.
+struct GroupedLocation {
+  /// Which sub-trajectory (period instance) the location came from.
+  int sub_trajectory = 0;
+  Point location;
+};
+
+/// All locations the object has occupied at one time offset t of the
+/// period T, across every sub-trajectory — the paper's G_t.
+struct OffsetGroup {
+  /// Time offset in [0, T).
+  Timestamp offset = 0;
+  std::vector<GroupedLocation> locations;
+};
+
+/// A moving object's trajectory: locations at consecutive timestamps
+/// 0..size()-1, following the paper's sequence model {(l_0, ..., l_{n-1})}.
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Builds a trajectory from locations at timestamps 0..points.size()-1.
+  explicit Trajectory(std::vector<Point> points);
+
+  /// Appends the location at the next timestamp.
+  void Append(const Point& p);
+
+  /// Number of samples (== number of timestamps covered).
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Location at timestamp t. Precondition: 0 <= t < size().
+  const Point& At(Timestamp t) const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Sub-trajectory [begin, end) as a new trajectory (timestamps re-based
+  /// to 0). Returns OutOfRange if the range is invalid.
+  StatusOr<Trajectory> Slice(Timestamp begin, Timestamp end) const;
+
+  /// Number of complete periods of length T contained. Partial trailing
+  /// data is ignored, matching the paper's floor(n/T) decomposition.
+  size_t NumSubTrajectories(Timestamp period) const;
+
+  /// Splits the trajectory into floor(n/T) complete sub-trajectories of
+  /// length `period` (Fig. 2(a)). Returns InvalidArgument when period<=0,
+  /// FailedPrecondition when no complete period fits.
+  StatusOr<std::vector<Trajectory>> DecomposePeriodic(Timestamp period) const;
+
+  /// Projects the first `limit` sub-trajectories onto the period,
+  /// producing one OffsetGroup G_t per offset t in [0, period)
+  /// (Fig. 2(b)). `limit` <= 0 means "all complete sub-trajectories".
+  StatusOr<std::vector<OffsetGroup>> GroupByOffset(Timestamp period,
+                                                   int limit = 0) const;
+
+  /// The timed points of the `count` most recent samples ending at
+  /// timestamp `now` inclusive, oldest first. Clamps count to what exists.
+  /// Precondition: 0 <= now < size().
+  std::vector<TimedPoint> RecentMovements(Timestamp now, int count) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_GEO_TRAJECTORY_H_

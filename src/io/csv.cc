@@ -1,0 +1,134 @@
+#include "io/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace hpm {
+
+namespace {
+
+Status LineError(size_t line_number, const std::string& message) {
+  return Status::InvalidArgument("csv line " + std::to_string(line_number) +
+                                 ": " + message);
+}
+
+/// Splits a CSV record into exactly three fields; no quoting (the format
+/// carries only numbers).
+bool SplitRecord(const std::string& line, std::string out[3]) {
+  size_t field = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      if (field >= 3) return false;
+      out[field++] = line.substr(start, i - start);
+      start = i + 1;
+    }
+  }
+  return field == 3;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+bool ParseTimestamp(const std::string& s, Timestamp* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+StatusOr<Trajectory> ParseTrajectoryCsv(const std::string& csv) {
+  std::istringstream stream(csv);
+  std::string line;
+  size_t line_number = 0;
+  bool header_seen = false;
+  Trajectory trajectory;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::string fields[3];
+    if (!SplitRecord(line, fields)) {
+      return LineError(line_number, "expected exactly 3 fields (t,x,y)");
+    }
+    if (!header_seen) {
+      if (fields[0] != "t" || fields[1] != "x" || fields[2] != "y") {
+        return LineError(line_number, "expected header 't,x,y'");
+      }
+      header_seen = true;
+      continue;
+    }
+    Timestamp t = 0;
+    Point p;
+    if (!ParseTimestamp(fields[0], &t)) {
+      return LineError(line_number, "bad timestamp '" + fields[0] + "'");
+    }
+    if (t != static_cast<Timestamp>(trajectory.size())) {
+      return LineError(line_number,
+                       "timestamps must be consecutive from 0; got " +
+                           fields[0]);
+    }
+    if (!ParseDouble(fields[1], &p.x) || !ParseDouble(fields[2], &p.y)) {
+      return LineError(line_number, "bad coordinate");
+    }
+    trajectory.Append(p);
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument("csv is empty (no header)");
+  }
+  return trajectory;
+}
+
+StatusOr<Trajectory> ReadTrajectoryCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  std::string content;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(f);
+  return ParseTrajectoryCsv(content);
+}
+
+std::string FormatTrajectoryCsv(const Trajectory& trajectory) {
+  std::string out = "t,x,y\n";
+  char buf[96];
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const Point& p = trajectory.points()[i];
+    std::snprintf(buf, sizeof(buf), "%zu,%.6f,%.6f\n", i, p.x, p.y);
+    out += buf;
+  }
+  return out;
+}
+
+Status WriteTrajectoryCsv(const Trajectory& trajectory,
+                          const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  const std::string content = FormatTrajectoryCsv(trajectory);
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  return ok ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+}  // namespace hpm

@@ -1,0 +1,41 @@
+// CSV import/export for trajectories.
+//
+// Real deployments feed GPS logs, not generators; this module reads and
+// writes the minimal interchange format
+//
+//     t,x,y
+//     0,4321.5,878.0
+//     1,4330.2,880.1
+//
+// with a required header row, strictly consecutive integer timestamps
+// starting at 0 (the paper's unit-sampled trajectory model), and one
+// decimal point per coordinate. Lines that are empty or start with '#'
+// are skipped.
+
+#ifndef HPM_IO_CSV_H_
+#define HPM_IO_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// Parses a trajectory from CSV text. Returns InvalidArgument with a
+/// line-numbered message on the first malformed record.
+StatusOr<Trajectory> ParseTrajectoryCsv(const std::string& csv);
+
+/// Reads a trajectory from a CSV file.
+StatusOr<Trajectory> ReadTrajectoryCsv(const std::string& path);
+
+/// Renders a trajectory as CSV text (header + one row per sample).
+std::string FormatTrajectoryCsv(const Trajectory& trajectory);
+
+/// Writes a trajectory to a CSV file.
+Status WriteTrajectoryCsv(const Trajectory& trajectory,
+                          const std::string& path);
+
+}  // namespace hpm
+
+#endif  // HPM_IO_CSV_H_

@@ -1,0 +1,139 @@
+#include "io/svg.h"
+
+#include <cstdio>
+
+namespace hpm {
+
+namespace {
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+SvgWriter::SvgWriter(const BoundingBox& viewport, double width_px)
+    : viewport_(viewport), width_px_(width_px) {
+  HPM_CHECK(!viewport.IsEmpty());
+  const double data_width = viewport.max().x - viewport.min().x;
+  const double data_height = viewport.max().y - viewport.min().y;
+  HPM_CHECK(data_width > 0.0 && data_height > 0.0);
+  HPM_CHECK(width_px > 0.0);
+  scale_ = width_px / data_width;
+  height_px_ = data_height * scale_;
+}
+
+double SvgWriter::MapX(double x) const {
+  return (x - viewport_.min().x) * scale_;
+}
+
+double SvgWriter::MapY(double y) const {
+  return height_px_ - (y - viewport_.min().y) * scale_;
+}
+
+double SvgWriter::MapLength(double len) const { return len * scale_; }
+
+void SvgWriter::AddPolyline(const std::vector<Point>& points,
+                            const std::string& color, double stroke_width,
+                            double opacity) {
+  HPM_CHECK(points.size() >= 2);
+  body_ += "  <polyline fill=\"none\" stroke=\"" + Escape(color) +
+           "\" stroke-width=\"" + Num(stroke_width) + "\" opacity=\"" +
+           Num(opacity) + "\" points=\"";
+  for (const Point& p : points) {
+    body_ += Num(MapX(p.x)) + "," + Num(MapY(p.y)) + " ";
+  }
+  body_ += "\"/>\n";
+}
+
+void SvgWriter::AddTrajectory(const Trajectory& trajectory,
+                              const std::string& color, double stroke_width,
+                              double opacity) {
+  AddPolyline(trajectory.points(), color, stroke_width, opacity);
+}
+
+void SvgWriter::AddCircle(const Point& center, double radius,
+                          const std::string& color, bool filled,
+                          double opacity) {
+  body_ += "  <circle cx=\"" + Num(MapX(center.x)) + "\" cy=\"" +
+           Num(MapY(center.y)) + "\" r=\"" + Num(MapLength(radius)) +
+           "\" opacity=\"" + Num(opacity) + "\" ";
+  if (filled) {
+    body_ += "fill=\"" + Escape(color) + "\"";
+  } else {
+    body_ += "fill=\"none\" stroke=\"" + Escape(color) + "\"";
+  }
+  body_ += "/>\n";
+}
+
+void SvgWriter::AddRect(const BoundingBox& box, const std::string& color,
+                        double stroke_width, double opacity) {
+  HPM_CHECK(!box.IsEmpty());
+  body_ += "  <rect x=\"" + Num(MapX(box.min().x)) + "\" y=\"" +
+           Num(MapY(box.max().y)) + "\" width=\"" +
+           Num(MapLength(box.max().x - box.min().x)) + "\" height=\"" +
+           Num(MapLength(box.max().y - box.min().y)) +
+           "\" fill=\"none\" stroke=\"" + Escape(color) +
+           "\" stroke-width=\"" + Num(stroke_width) + "\" opacity=\"" +
+           Num(opacity) + "\"/>\n";
+}
+
+void SvgWriter::AddText(const Point& position, const std::string& text,
+                        const std::string& color, double font_px) {
+  body_ += "  <text x=\"" + Num(MapX(position.x)) + "\" y=\"" +
+           Num(MapY(position.y)) + "\" font-size=\"" + Num(font_px) +
+           "\" fill=\"" + Escape(color) + "\">" + Escape(text) +
+           "</text>\n";
+}
+
+std::string SvgWriter::ToString() const {
+  std::string doc =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+      Num(width_px_) + "\" height=\"" + Num(height_px_) +
+      "\" viewBox=\"0 0 " + Num(width_px_) + " " + Num(height_px_) +
+      "\">\n";
+  doc += "  <rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n";
+  doc += body_;
+  doc += "</svg>\n";
+  return doc;
+}
+
+Status SvgWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  const std::string doc = ToString();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+}  // namespace hpm

@@ -1,0 +1,68 @@
+// Minimal SVG rendering for trajectories, frequent regions, and
+// predictions — the visual sanity check every spatial system needs.
+
+#ifndef HPM_IO_SVG_H_
+#define HPM_IO_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/bounding_box.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// Builds an SVG document in data-space coordinates. The viewport maps
+/// onto a fixed pixel width (height scales proportionally) and the y
+/// axis is flipped so that data-space "up" renders upward.
+class SvgWriter {
+ public:
+  /// `viewport` must be non-empty and non-degenerate.
+  explicit SvgWriter(const BoundingBox& viewport, double width_px = 800.0);
+
+  /// Polyline through the given points (at least 2).
+  void AddPolyline(const std::vector<Point>& points,
+                   const std::string& color, double stroke_width = 1.0,
+                   double opacity = 1.0);
+
+  /// Convenience: a trajectory's sample path.
+  void AddTrajectory(const Trajectory& trajectory, const std::string& color,
+                     double stroke_width = 1.0, double opacity = 1.0);
+
+  /// Circle of data-space radius `radius`.
+  void AddCircle(const Point& center, double radius,
+                 const std::string& color, bool filled = true,
+                 double opacity = 1.0);
+
+  /// Axis-aligned rectangle outline (e.g. a frequent region's MBR).
+  void AddRect(const BoundingBox& box, const std::string& color,
+               double stroke_width = 1.0, double opacity = 1.0);
+
+  /// Text label anchored at `position`.
+  void AddText(const Point& position, const std::string& text,
+               const std::string& color = "#333333",
+               double font_px = 12.0);
+
+  /// The complete SVG document.
+  std::string ToString() const;
+
+  /// Writes the document to a file.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  /// Data-space -> pixel-space.
+  double MapX(double x) const;
+  double MapY(double y) const;
+  double MapLength(double len) const;
+
+  BoundingBox viewport_;
+  double width_px_;
+  double height_px_;
+  double scale_;
+  std::string body_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_IO_SVG_H_

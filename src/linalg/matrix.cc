@@ -1,0 +1,111 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace hpm {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    HPM_CHECK(rows[r].size() == m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(size_t r, size_t c) {
+  HPM_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(size_t r, size_t c) const {
+  HPM_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  HPM_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix m(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) m.data_[i] = data_[i] + o.data_[i];
+  return m;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  HPM_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix m(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) m.data_[i] = data_[i] - o.data_[i];
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  HPM_CHECK(cols_ == o.rows_);
+  Matrix m(rows_, o.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = data_[r * cols_ + k];
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < o.cols_; ++c) {
+        m.data_[r * o.cols_ + c] += a * o.data_[k * o.cols_ + c];
+      }
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix m(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) m.data_[i] = data_[i] * s;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix m(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) m(c, r) = (*this)(r, c);
+  }
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& o) const {
+  HPM_CHECK(rows_ == o.rows_ && cols_ == o.cols_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - o.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string Matrix::ToString() const {
+  std::string s;
+  char buf[64];
+  for (size_t r = 0; r < rows_; ++r) {
+    s += "[ ";
+    for (size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%10.4f ", (*this)(r, c));
+      s += buf;
+    }
+    s += "]\n";
+  }
+  return s;
+}
+
+}  // namespace hpm

@@ -1,0 +1,71 @@
+// Small dense linear-algebra substrate.
+//
+// The Recursive Motion Function (Tao et al., SIGMOD'04) fits its
+// coefficient matrices by SVD-based least squares; this module provides
+// the dense matrix type those solvers operate on. Matrices here are tiny
+// (tens of rows/columns), so a simple row-major layout is the right tool.
+
+#ifndef HPM_LINALG_MATRIX_H_
+#define HPM_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpm {
+
+/// Dense row-major matrix of doubles.
+///
+/// Dimension mismatches are programmer errors and abort via HPM_CHECK;
+/// data-dependent failures (singular systems) surface as Status from the
+/// solver functions in solve.h / svd.h.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Creates `rows` x `cols`, zero-filled.
+  Matrix(size_t rows, size_t cols);
+
+  /// Creates from nested initializer data; all rows must be equal length.
+  static Matrix FromRows(
+      const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Element access. Preconditions: r < rows(), c < cols().
+  double& operator()(size_t r, size_t c);
+  double operator()(size_t r, size_t c) const;
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(double s) const;
+
+  Matrix Transposed() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Largest absolute element difference against `o`; used by tests.
+  /// Precondition: same shape.
+  double MaxAbsDiff(const Matrix& o) const;
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_LINALG_MATRIX_H_

@@ -1,0 +1,113 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <vector>
+
+namespace hpm {
+
+StatusOr<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("A must be square");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("A and B row counts differ");
+  }
+  const size_t n = a.rows();
+  const size_t m = b.cols();
+  Matrix lu = a;
+  Matrix x = b;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining entry to the diagonal.
+    size_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(lu(r, col)) > best) {
+        best = std::fabs(lu(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      for (size_t c = 0; c < m; ++c) std::swap(x(col, c), x(pivot, c));
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / lu(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) lu(r, c) -= factor * lu(col, c);
+      for (size_t c = 0; c < m; ++c) x(r, c) -= factor * x(col, c);
+    }
+  }
+  // Back substitution.
+  for (size_t col = n; col-- > 0;) {
+    for (size_t c = 0; c < m; ++c) {
+      double sum = x(col, c);
+      for (size_t k = col + 1; k < n; ++k) sum -= lu(col, k) * x(k, c);
+      x(col, c) = sum / lu(col, col);
+    }
+  }
+  return x;
+}
+
+StatusOr<Matrix> SolveLeastSquaresQr(const Matrix& a, const Matrix& b) {
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument("A must have rows >= cols");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("A and B row counts differ");
+  }
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  const size_t p = b.cols();
+  Matrix r = a;
+  Matrix qtb = b;
+
+  // Householder QR: annihilate below-diagonal entries column by column,
+  // applying the same reflections to B so that R * X = Q^T B remains.
+  std::vector<double> v(m);
+  for (size_t col = 0; col < n; ++col) {
+    double norm = 0.0;
+    for (size_t i = col; i < m; ++i) norm += r(i, col) * r(i, col);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      return Status::FailedPrecondition("A is rank deficient");
+    }
+    const double alpha = r(col, col) >= 0 ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (size_t i = col; i < m; ++i) {
+      v[i] = r(i, col);
+      if (i == col) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 < 1e-24) continue;  // Column already in triangular form.
+    auto apply = [&](Matrix* mat, size_t cols) {
+      for (size_t c = 0; c < cols; ++c) {
+        double dot = 0.0;
+        for (size_t i = col; i < m; ++i) dot += v[i] * (*mat)(i, c);
+        const double scale = 2.0 * dot / vnorm2;
+        for (size_t i = col; i < m; ++i) (*mat)(i, c) -= scale * v[i];
+      }
+    };
+    apply(&r, n);
+    apply(&qtb, p);
+  }
+
+  // Back substitution on the upper-triangular n x n block.
+  Matrix x(n, p);
+  for (size_t col = n; col-- > 0;) {
+    if (std::fabs(r(col, col)) < 1e-12) {
+      return Status::FailedPrecondition("A is rank deficient");
+    }
+    for (size_t c = 0; c < p; ++c) {
+      double sum = qtb(col, c);
+      for (size_t k = col + 1; k < n; ++k) sum -= r(col, k) * x(k, c);
+      x(col, c) = sum / r(col, col);
+    }
+  }
+  return x;
+}
+
+}  // namespace hpm

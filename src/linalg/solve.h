@@ -1,0 +1,24 @@
+// Direct linear solvers: Gaussian elimination and QR least squares.
+
+#ifndef HPM_LINALG_SOLVE_H_
+#define HPM_LINALG_SOLVE_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace hpm {
+
+/// Solves A * X = B for square A via Gaussian elimination with partial
+/// pivoting. Returns InvalidArgument on shape mismatch and
+/// FailedPrecondition when A is (numerically) singular.
+StatusOr<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b);
+
+/// Solves the least-squares problem min ||A * X - B||_F for A with
+/// rows >= cols, via Householder QR. Returns InvalidArgument on shape
+/// mismatch and FailedPrecondition when A is rank deficient (use
+/// SolveLeastSquaresSvd for a minimum-norm solution in that case).
+StatusOr<Matrix> SolveLeastSquaresQr(const Matrix& a, const Matrix& b);
+
+}  // namespace hpm
+
+#endif  // HPM_LINALG_SOLVE_H_

@@ -1,0 +1,123 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hpm {
+
+namespace {
+
+// One-sided Jacobi SVD for m >= n: repeatedly orthogonalises pairs of
+// columns of a working copy W of A while accumulating the rotations in V,
+// until all column pairs are orthogonal. Then s_j = ||W_j|| and
+// U_j = W_j / s_j.
+StatusOr<SvdResult> JacobiSvdTall(const Matrix& a) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  Matrix w = a;
+  Matrix v = Matrix::Identity(n);
+
+  const double eps = 1e-14;
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          alpha += w(i, p) * w(i, p);
+          beta += w(i, q) * w(i, q);
+          gamma += w(i, p) * w(i, q);
+        }
+        if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta)) continue;
+        converged = false;
+        // Jacobi rotation that zeroes the (p,q) inner product.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  std::vector<double> sigma(n);
+  Matrix u(m, n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    norm = std::sqrt(norm);
+    sigma[j] = norm;
+    if (norm > 0.0) {
+      for (size_t i = 0; i < m; ++i) u(i, j) = w(i, j) / norm;
+    }
+  }
+
+  // Sort singular values descending, permuting U and V columns to match.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&sigma](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+  SvdResult result{Matrix(m, n), std::vector<double>(n), Matrix(n, n)};
+  for (size_t j = 0; j < n; ++j) {
+    const size_t src = order[j];
+    result.singular_values[j] = sigma[src];
+    for (size_t i = 0; i < m; ++i) result.u(i, j) = u(i, src);
+    for (size_t i = 0; i < n; ++i) result.v(i, j) = v(i, src);
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<SvdResult> ComputeSvd(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("empty matrix");
+  }
+  if (a.rows() >= a.cols()) return JacobiSvdTall(a);
+  // A = U S V^T  <=>  A^T = V S U^T.
+  StatusOr<SvdResult> t = JacobiSvdTall(a.Transposed());
+  if (!t.ok()) return t.status();
+  SvdResult result;
+  result.u = std::move(t->v);
+  result.v = std::move(t->u);
+  result.singular_values = std::move(t->singular_values);
+  return result;
+}
+
+StatusOr<Matrix> SolveLeastSquaresSvd(const Matrix& a, const Matrix& b,
+                                      double rcond) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("A and B row counts differ");
+  }
+  StatusOr<SvdResult> svd = ComputeSvd(a);
+  if (!svd.ok()) return svd.status();
+  const size_t k = svd->singular_values.size();
+  const double s_max = k == 0 ? 0.0 : svd->singular_values[0];
+  const double cutoff = rcond * s_max;
+
+  // X = V * diag(1/s) * U^T * B with small singular values zeroed.
+  Matrix utb = svd->u.Transposed() * b;
+  for (size_t i = 0; i < k; ++i) {
+    const double s = svd->singular_values[i];
+    const double inv = (s > cutoff && s > 0.0) ? 1.0 / s : 0.0;
+    for (size_t c = 0; c < utb.cols(); ++c) utb(i, c) *= inv;
+  }
+  return svd->v * utb;
+}
+
+}  // namespace hpm

@@ -1,0 +1,41 @@
+// Singular value decomposition and SVD-based least squares.
+//
+// RMF (Tao et al., SIGMOD'04) fits its coefficient matrices with an SVD
+// pseudo-inverse — the paper's cost discussion ("n^3 due to Single Value
+// Decomposition") refers to exactly this step — so hpm carries its own
+// SVD rather than an external BLAS dependency.
+
+#ifndef HPM_LINALG_SVD_H_
+#define HPM_LINALG_SVD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace hpm {
+
+/// Thin SVD of an m x n matrix A (m >= n is handled directly; m < n is
+/// handled by transposing internally): A = U * diag(S) * V^T with
+/// U m x n, S length n descending, V n x n.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+};
+
+/// Computes the SVD via one-sided Jacobi rotations. Always succeeds for
+/// finite input; returns InvalidArgument on empty matrices.
+StatusOr<SvdResult> ComputeSvd(const Matrix& a);
+
+/// Minimum-norm least-squares solution of A * X = B using the SVD
+/// pseudo-inverse: singular values below `rcond * s_max` are treated as
+/// zero, which is what makes RMF fitting robust to degenerate recent
+/// movement (e.g. a stationary object). Returns InvalidArgument on shape
+/// mismatch.
+StatusOr<Matrix> SolveLeastSquaresSvd(const Matrix& a, const Matrix& b,
+                                      double rcond = 1e-10);
+
+}  // namespace hpm
+
+#endif  // HPM_LINALG_SVD_H_

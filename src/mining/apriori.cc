@@ -1,0 +1,254 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace hpm {
+
+namespace {
+
+/// Hash for item-set keys (sorted region-id vectors).
+struct ItemsetHash {
+  size_t operator()(const std::vector<int>& items) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int v : items) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using SupportMap =
+    std::unordered_map<std::vector<int>, int, ItemsetHash>;
+
+/// A frequent item set at some level, items ascending.
+struct Itemset {
+  std::vector<int> items;
+  int support = 0;
+};
+
+/// Counts how many transactions contain every item of `items`.
+int CountSupport(const std::vector<Transaction>& transactions,
+                 const std::vector<int>& items) {
+  int support = 0;
+  for (const Transaction& t : transactions) {
+    bool all = true;
+    for (int item : items) {
+      if (!t.Contains(item)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++support;
+  }
+  return support;
+}
+
+/// True when the item set (ascending ids == ascending offsets) has
+/// strictly increasing offsets, i.e. no two items share a time offset.
+bool OffsetsStrictlyIncreasing(const std::vector<int>& items,
+                               const FrequentRegionSet& regions) {
+  for (size_t i = 1; i < items.size(); ++i) {
+    if (regions.Region(items[i]).offset <=
+        regions.Region(items[i - 1]).offset) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TrajectoryPattern::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < premise.size(); ++i) {
+    if (i > 0) s += " ^ ";
+    s += "R" + std::to_string(premise[i]);
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " -(%.2f)-> R%d", confidence, consequence);
+  s += buf;
+  return s;
+}
+
+StatusOr<AprioriResult> MineTrajectoryPatterns(
+    const std::vector<Transaction>& transactions,
+    const FrequentRegionSet& regions, const AprioriParams& params) {
+  if (params.min_confidence < 0.0 || params.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in [0,1]");
+  }
+  if (params.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (params.max_pattern_length < 2) {
+    return Status::InvalidArgument("max_pattern_length must be >= 2");
+  }
+  if (params.premise_window < 0) {
+    return Status::InvalidArgument("premise_window must be >= 0");
+  }
+
+  AprioriResult result;
+  const size_t num_regions = regions.NumRegions();
+  if (num_regions == 0 || transactions.empty()) return result;
+
+  // --- Level 1: frequent single regions. -------------------------------
+  std::vector<int> item_support(num_regions, 0);
+  for (const Transaction& t : transactions) {
+    for (int item : t.items()) ++item_support[static_cast<size_t>(item)];
+  }
+  std::vector<Itemset> previous_level;
+  for (size_t id = 0; id < num_regions; ++id) {
+    if (item_support[id] >= params.min_support) {
+      previous_level.push_back(
+          {{static_cast<int>(id)}, item_support[id]});
+    }
+  }
+  result.stats.num_frequent_itemsets += previous_level.size();
+
+  // Support lookups for rule confidence (and subset pruning).
+  SupportMap all_supports;
+  for (const Itemset& s : previous_level) {
+    all_supports.emplace(s.items, s.support);
+  }
+
+  std::vector<Itemset> all_frequent_rules_source;  // size >= 2 item sets
+
+  // --- Levels k >= 2: join, prune, count. ------------------------------
+  for (int k = 2; k <= params.max_pattern_length && previous_level.size() > 1;
+       ++k) {
+    std::vector<Itemset> current_level;
+    // previous_level is sorted lexicographically (construction order).
+    for (size_t i = 0; i < previous_level.size(); ++i) {
+      const std::vector<int>& a_items = previous_level[i].items;
+      // For k >= 3 the candidate's premise is exactly `a`; hoist the
+      // premise-window check out of the join so wide-span prefixes are
+      // skipped before candidate construction.
+      if (params.premise_window > 0 && k >= 3) {
+        const Timestamp span =
+            regions.Region(a_items.back()).offset -
+            regions.Region(a_items.front()).offset;
+        if (span > params.premise_window) continue;
+      }
+      for (size_t j = i + 1; j < previous_level.size(); ++j) {
+        const std::vector<int>& a = previous_level[i].items;
+        const std::vector<int>& b = previous_level[j].items;
+        // Classic Apriori join: equal prefixes, differing last item.
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) {
+          // Sorted order means no later j can share the prefix either.
+          break;
+        }
+        std::vector<int> candidate = a;
+        candidate.push_back(b.back());
+
+        // Trajectory constraint: strictly increasing offsets. (Pruning
+        // rule 1 applied during generation — an item set that is not a
+        // time-ordered sequence can never form a valid pattern.)
+        if (!OffsetsStrictlyIncreasing(candidate, regions)) continue;
+
+        // Premise-window constraint: the first k-1 items will be the
+        // premise; bound their offset span.
+        if (params.premise_window > 0 && candidate.size() >= 3) {
+          const Timestamp first =
+              regions.Region(candidate.front()).offset;
+          const Timestamp last_premise =
+              regions.Region(candidate[candidate.size() - 2]).offset;
+          if (last_premise - first > params.premise_window) continue;
+        }
+
+        // Downward closure: every (k-1)-subset must be frequent.
+        bool closed = true;
+        if (k > 2) {
+          std::vector<int> subset(candidate.size() - 1);
+          for (size_t drop = 0; drop + 2 < candidate.size() && closed;
+               ++drop) {
+            size_t idx = 0;
+            for (size_t m = 0; m < candidate.size(); ++m) {
+              if (m != drop) subset[idx++] = candidate[m];
+            }
+            if (all_supports.find(subset) == all_supports.end()) {
+              // The subset may have been excluded by the window
+              // constraint rather than support; verify by counting.
+              if (CountSupport(transactions, subset) < params.min_support) {
+                closed = false;
+              }
+            }
+          }
+        }
+        if (!closed) continue;
+
+        ++result.stats.num_candidates_counted;
+        const int support = CountSupport(transactions, candidate);
+        if (support >= params.min_support) {
+          current_level.push_back({std::move(candidate), support});
+        }
+      }
+    }
+    result.stats.num_frequent_itemsets += current_level.size();
+    for (const Itemset& s : current_level) {
+      all_supports.emplace(s.items, s.support);
+      all_frequent_rules_source.push_back(s);
+    }
+    previous_level = std::move(current_level);
+  }
+
+  // --- Rule generation. -------------------------------------------------
+  for (const Itemset& s : all_frequent_rules_source) {
+    const size_t k = s.items.size();
+
+    // The single prediction-form rule: premise = all but the last
+    // (max-offset) item, consequence = last item.
+    std::vector<int> premise(s.items.begin(), s.items.end() - 1);
+    const auto premise_it = all_supports.find(premise);
+    const int premise_support = premise_it != all_supports.end()
+                                    ? premise_it->second
+                                    : CountSupport(transactions, premise);
+    ++result.stats.rules_evaluated;
+    const double confidence =
+        static_cast<double>(s.support) / premise_support;
+    if (confidence >= params.min_confidence) {
+      TrajectoryPattern p;
+      p.premise = std::move(premise);
+      p.consequence = s.items.back();
+      p.confidence = confidence;
+      p.support = s.support;
+      result.patterns.push_back(std::move(p));
+      ++result.stats.patterns_emitted;
+    }
+
+    // Ablation accounting: how many rules classic (unpruned) Apriori
+    // would additionally have produced from this item set.
+    if (!params.enable_pruning) {
+      const size_t num_partitions = (size_t{1} << k) - 2;
+      for (size_t mask = 1; mask <= num_partitions; ++mask) {
+        std::vector<int> cons, prem;
+        for (size_t m = 0; m < k; ++m) {
+          if (mask & (size_t{1} << m)) {
+            cons.push_back(s.items[m]);
+          } else {
+            prem.push_back(s.items[m]);
+          }
+        }
+        // Skip the valid prediction-form rule counted above.
+        if (cons.size() == 1 && cons[0] == s.items.back()) continue;
+
+        const auto it = all_supports.find(prem);
+        const int psupp = it != all_supports.end()
+                              ? it->second
+                              : CountSupport(transactions, prem);
+        if (psupp <= 0) continue;
+        const double c = static_cast<double>(s.support) / psupp;
+        if (c < params.min_confidence) continue;
+        if (cons.size() > 1) {
+          ++result.stats.rules_pruned_multi_consequence;
+        } else {
+          ++result.stats.rules_pruned_time_order;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hpm

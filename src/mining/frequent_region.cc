@@ -1,0 +1,128 @@
+#include "mining/frequent_region.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hpm {
+
+const FrequentRegion& FrequentRegionSet::Region(int id) const {
+  HPM_CHECK(id >= 0 && static_cast<size_t>(id) < regions_.size());
+  return regions_[static_cast<size_t>(id)];
+}
+
+std::vector<int> FrequentRegionSet::RegionsAtOffset(Timestamp offset) const {
+  if (offset < 0 || static_cast<size_t>(offset) >= by_offset_.size()) {
+    return {};
+  }
+  return by_offset_[static_cast<size_t>(offset)];
+}
+
+size_t FrequentRegionSet::NumOccupiedOffsets() const {
+  size_t count = 0;
+  for (const auto& ids : by_offset_) {
+    if (!ids.empty()) ++count;
+  }
+  return count;
+}
+
+int FrequentRegionSet::FindContainingRegion(Timestamp offset,
+                                            const Point& location) const {
+  return FindNearbyRegion(offset, location, 0.0);
+}
+
+int FrequentRegionSet::FindNearbyRegion(Timestamp offset,
+                                        const Point& location,
+                                        double slack) const {
+  if (offset < 0 || static_cast<size_t>(offset) >= by_offset_.size()) {
+    return -1;
+  }
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int id : by_offset_[static_cast<size_t>(offset)]) {
+    const FrequentRegion& r = regions_[static_cast<size_t>(id)];
+    if (r.mbr.MinDistance(location) > slack) continue;
+    const double d = SquaredDistance(r.center, location);
+    if (d < best_dist) {
+      best_dist = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+void FrequentRegionSet::AddRegion(FrequentRegion region) {
+  HPM_CHECK(region.id == static_cast<int>(regions_.size()));
+  HPM_CHECK(region.offset >= 0);
+  if (static_cast<size_t>(region.offset) >= by_offset_.size()) {
+    by_offset_.resize(static_cast<size_t>(region.offset) + 1);
+  }
+  by_offset_[static_cast<size_t>(region.offset)].push_back(region.id);
+  regions_.push_back(std::move(region));
+}
+
+StatusOr<FrequentRegionMiningResult> MineFrequentRegions(
+    const Trajectory& trajectory, const FrequentRegionParams& params) {
+  StatusOr<std::vector<OffsetGroup>> groups = trajectory.GroupByOffset(
+      params.period, params.limit_sub_trajectories);
+  if (!groups.ok()) return groups.status();
+
+  const size_t num_subs =
+      groups->empty() ? 0 : (*groups)[0].locations.size();
+
+  FrequentRegionMiningResult result;
+  result.region_set.set_period(params.period);
+  result.visits.assign(num_subs, {});
+
+  int next_id = 0;
+  std::vector<Point> points;
+  for (const OffsetGroup& group : *groups) {
+    points.clear();
+    points.reserve(group.locations.size());
+    for (const GroupedLocation& gl : group.locations) {
+      points.push_back(gl.location);
+    }
+    StatusOr<DbscanResult> clustering = Dbscan(points, params.dbscan);
+    if (!clustering.ok()) return clustering.status();
+
+    if (clustering->num_clusters == 0) continue;
+
+    // Build one FrequentRegion per cluster at this offset.
+    const int first_id = next_id;
+    std::vector<FrequentRegion> offset_regions(
+        static_cast<size_t>(clustering->num_clusters));
+    for (int j = 0; j < clustering->num_clusters; ++j) {
+      FrequentRegion& r = offset_regions[static_cast<size_t>(j)];
+      r.id = next_id++;
+      r.offset = group.offset;
+      r.index_at_offset = j;
+    }
+    for (size_t i = 0; i < points.size(); ++i) {
+      const int label = clustering->labels[i];
+      if (label == DbscanResult::kNoise) continue;
+      FrequentRegion& r = offset_regions[static_cast<size_t>(label)];
+      r.center = r.center + points[i];
+      r.mbr.Extend(points[i]);
+      ++r.support;
+      // Record the sub-trajectory's visit for transaction building.
+      result.visits[static_cast<size_t>(group.locations[i].sub_trajectory)]
+          .push_back({group.offset, first_id + label});
+    }
+    for (FrequentRegion& r : offset_regions) {
+      HPM_CHECK(r.support > 0);
+      r.center = r.center / static_cast<double>(r.support);
+      result.region_set.AddRegion(std::move(r));
+    }
+  }
+
+  // Visits were appended offset-by-offset in ascending order already, but
+  // make the invariant explicit and robust.
+  for (auto& visit_list : result.visits) {
+    std::sort(visit_list.begin(), visit_list.end(),
+              [](const RegionVisit& a, const RegionVisit& b) {
+                return a.offset < b.offset;
+              });
+  }
+  return result;
+}
+
+}  // namespace hpm

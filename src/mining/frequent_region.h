@@ -1,0 +1,129 @@
+// Frequent-region discovery (paper §III–IV, Fig. 2).
+//
+// The object's trajectory is decomposed into sub-trajectories of length T
+// (the period); all locations with the same time offset t form the group
+// G_t; DBSCAN on each G_t yields the dense clusters R_t^j — the frequent
+// regions in which the object often appears at offset t. Region ids are
+// assigned in (offset, cluster) order, which is exactly the ordering the
+// TPT pattern keys rely on (paper §V-A).
+
+#ifndef HPM_MINING_FREQUENT_REGION_H_
+#define HPM_MINING_FREQUENT_REGION_H_
+
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/status.h"
+#include "geo/bounding_box.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// One frequent region R_t^j.
+struct FrequentRegion {
+  /// Global id, dense, assigned in ascending (offset, j) order. Region id
+  /// order therefore equals time-offset order (ties broken by j), which
+  /// Property 1 of the paper depends on.
+  int id = 0;
+
+  /// Time offset t in [0, period).
+  Timestamp offset = 0;
+
+  /// Index j among the regions at this offset.
+  int index_at_offset = 0;
+
+  /// Centroid of the member locations; FQP/BQP return consequence
+  /// centres as predicted locations.
+  Point center;
+
+  /// Minimum bounding rectangle of the member locations; used to test
+  /// whether a query's recent movement falls in the region.
+  BoundingBox mbr;
+
+  /// Number of member locations (cluster size) — the region's support.
+  int support = 0;
+};
+
+/// Parameters of the discovery pass.
+struct FrequentRegionParams {
+  /// Period T: number of timestamps after which patterns may re-appear.
+  Timestamp period = 300;
+
+  /// DBSCAN parameters (Eps / MinPts); these play the role of support in
+  /// frequent item-set mining.
+  DbscanParams dbscan;
+
+  /// Use only the first `limit_sub_trajectories` periods of history
+  /// (0 = all). This is the x-axis of the paper's Fig. 6/10 sweeps.
+  int limit_sub_trajectories = 0;
+};
+
+/// The discovered regions plus, for every sub-trajectory, which region it
+/// was in at each offset — the raw material for transaction building.
+class FrequentRegionSet {
+ public:
+  FrequentRegionSet() = default;
+
+  /// All regions, ascending id.
+  const std::vector<FrequentRegion>& regions() const { return regions_; }
+
+  size_t NumRegions() const { return regions_.size(); }
+
+  /// Region by id. Precondition: 0 <= id < NumRegions().
+  const FrequentRegion& Region(int id) const;
+
+  /// Ids of the regions at time offset t (ascending j); empty when the
+  /// offset has none or is out of range.
+  std::vector<int> RegionsAtOffset(Timestamp offset) const;
+
+  /// Number of distinct offsets that have at least one region.
+  size_t NumOccupiedOffsets() const;
+
+  /// The region at `offset` containing `location` (inside the MBR). When
+  /// several match (MBRs may touch), the one whose centre is nearest is
+  /// returned. Returns -1 when none contains it.
+  int FindContainingRegion(Timestamp offset, const Point& location) const;
+
+  /// As above but accepts locations within `slack` distance of the MBR,
+  /// used when matching noisy query movements to regions.
+  int FindNearbyRegion(Timestamp offset, const Point& location,
+                       double slack) const;
+
+  /// Internal: appends a region; ids must arrive dense and ascending.
+  void AddRegion(FrequentRegion region);
+
+  Timestamp period() const { return period_; }
+  void set_period(Timestamp p) { period_ = p; }
+
+ private:
+  Timestamp period_ = 0;
+  std::vector<FrequentRegion> regions_;
+  /// offset -> ids of regions at that offset.
+  std::vector<std::vector<int>> by_offset_;
+};
+
+/// One sub-trajectory's region visits, offset-ascending: the transaction
+/// a pattern miner consumes.
+struct RegionVisit {
+  Timestamp offset = 0;
+  int region_id = 0;
+};
+
+/// Output of the discovery pass.
+struct FrequentRegionMiningResult {
+  FrequentRegionSet region_set;
+
+  /// visits[i] lists sub-trajectory i's region memberships (taken from
+  /// the DBSCAN labels, not re-derived geometrically), offset-ascending;
+  /// offsets where the location was noise are absent.
+  std::vector<std::vector<RegionVisit>> visits;
+};
+
+/// Runs the full discovery pass (decompose -> group -> DBSCAN per offset).
+/// Propagates errors from decomposition and clustering.
+StatusOr<FrequentRegionMiningResult> MineFrequentRegions(
+    const Trajectory& trajectory, const FrequentRegionParams& params);
+
+}  // namespace hpm
+
+#endif  // HPM_MINING_FREQUENT_REGION_H_

@@ -1,0 +1,55 @@
+#include "motion/linear_motion.h"
+
+namespace hpm {
+
+Status LinearMotionFunction::Fit(const std::vector<TimedPoint>& recent) {
+  if (recent.size() < 2) {
+    return Status::FailedPrecondition(
+        "linear motion needs at least 2 recent points");
+  }
+  for (size_t i = 1; i < recent.size(); ++i) {
+    if (recent[i].time <= recent[i - 1].time) {
+      return Status::InvalidArgument(
+          "recent movements must have strictly increasing timestamps");
+    }
+  }
+
+  // Least-squares slope of location against time. With the anchor at the
+  // last observation this degrades gracefully to two-point velocity when
+  // only two samples exist.
+  const size_t n = recent.size();
+  double mean_t = 0.0;
+  Point mean_l;
+  for (const auto& tp : recent) {
+    mean_t += static_cast<double>(tp.time);
+    mean_l = mean_l + tp.location;
+  }
+  mean_t /= static_cast<double>(n);
+  mean_l = mean_l / static_cast<double>(n);
+
+  double var_t = 0.0;
+  Point cov;
+  for (const auto& tp : recent) {
+    const double dt = static_cast<double>(tp.time) - mean_t;
+    var_t += dt * dt;
+    cov = cov + (tp.location - mean_l) * dt;
+  }
+  velocity_ = var_t > 0.0 ? cov / var_t : Point{0.0, 0.0};
+  anchor_time_ = recent.back().time;
+  anchor_ = recent.back().location;
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<Point> LinearMotionFunction::Predict(Timestamp tq) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Fit has not succeeded yet");
+  }
+  if (tq < anchor_time_) {
+    return Status::InvalidArgument("query time precedes fitted history");
+  }
+  const double dt = static_cast<double>(tq - anchor_time_);
+  return anchor_ + velocity_ * dt;
+}
+
+}  // namespace hpm

@@ -1,0 +1,34 @@
+// Linear motion model: l(tq) = l0 + v * (tq - t0).
+
+#ifndef HPM_MOTION_LINEAR_MOTION_H_
+#define HPM_MOTION_LINEAR_MOTION_H_
+
+#include "motion/motion_function.h"
+
+namespace hpm {
+
+/// The classic linear model used by TPR-tree-style predictive indexes
+/// (paper §II-A): velocity is estimated by a least-squares line over the
+/// fitted window, anchored at the most recent location.
+class LinearMotionFunction : public MotionFunction {
+ public:
+  /// Needs at least 2 recent points.
+  Status Fit(const std::vector<TimedPoint>& recent) override;
+
+  StatusOr<Point> Predict(Timestamp tq) const override;
+
+  std::string Name() const override { return "Linear"; }
+
+  /// Estimated velocity (units per timestamp) after Fit.
+  const Point& velocity() const { return velocity_; }
+
+ private:
+  bool fitted_ = false;
+  Timestamp anchor_time_ = 0;
+  Point anchor_;
+  Point velocity_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_MOTION_LINEAR_MOTION_H_

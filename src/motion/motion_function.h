@@ -1,0 +1,46 @@
+// Motion-function abstraction (paper §II-A, §VI).
+//
+// A motion function extrapolates an object's future location from its
+// recent movements alone. HPM uses one as the fallback predictor whenever
+// no trajectory pattern matches a query; the paper plugs in RMF because it
+// is the most accurate published motion function, but the interface admits
+// any model ("The motion function can be any type").
+
+#ifndef HPM_MOTION_MOTION_FUNCTION_H_
+#define HPM_MOTION_MOTION_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// Interface for recent-movement extrapolators.
+///
+/// Lifecycle: construct → Fit(recent movements) → Predict(tq) any number
+/// of times. Fit may be called again to re-train on newer movements.
+class MotionFunction {
+ public:
+  virtual ~MotionFunction() = default;
+
+  /// Trains the function on recent movements, ordered oldest-first with
+  /// strictly increasing timestamps. Implementations document their
+  /// minimum history length; fewer points yield FailedPrecondition.
+  virtual Status Fit(const std::vector<TimedPoint>& recent) = 0;
+
+  /// Predicts the location at time `tq`. Requires a successful Fit;
+  /// `tq` at or after the last fitted timestamp. Implementations must
+  /// return a finite location (clamping or degrading internally rather
+  /// than emitting NaN/Inf).
+  virtual StatusOr<Point> Predict(Timestamp tq) const = 0;
+
+  /// Short model name for reports ("Linear", "RMF").
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_MOTION_MOTION_FUNCTION_H_

@@ -1,0 +1,303 @@
+#include "motion/recursive_motion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/svd.h"
+
+namespace hpm {
+
+RecursiveMotionFunction::RecursiveMotionFunction(RmfOptions options)
+    : options_(options) {}
+
+Status RecursiveMotionFunction::FitRetrospect(
+    const std::vector<TimedPoint>& recent, int f,
+    std::vector<Matrix>* coeffs, double* error) const {
+  const int n = static_cast<int>(recent.size());
+  const int rows = n - f;
+  if (rows < 1) {
+    return Status::FailedPrecondition("window too short for retrospect");
+  }
+
+  // Centre the window: fitting the recurrence on displacements from the
+  // window mean conditions the system far better than raw coordinates in
+  // [0,10000]^2. The model becomes (l_t - mu) = sum C_i (l_{t-i} - mu),
+  // which represents the same family of motions locally.
+  Point mu;
+  for (const auto& tp : recent) mu = mu + tp.location;
+  mu = mu / static_cast<double>(n);
+
+  // Row t: target l_t from inputs [l_{t-1} ... l_{t-f}], all centred.
+  Matrix a(static_cast<size_t>(rows), static_cast<size_t>(2 * f));
+  Matrix b(static_cast<size_t>(rows), 2);
+  for (int r = 0; r < rows; ++r) {
+    const int t = r + f;
+    const Point target = recent[static_cast<size_t>(t)].location - mu;
+    b(static_cast<size_t>(r), 0) = target.x;
+    b(static_cast<size_t>(r), 1) = target.y;
+    for (int i = 1; i <= f; ++i) {
+      const Point input =
+          recent[static_cast<size_t>(t - i)].location - mu;
+      a(static_cast<size_t>(r), static_cast<size_t>(2 * (i - 1))) = input.x;
+      a(static_cast<size_t>(r), static_cast<size_t>(2 * (i - 1) + 1)) =
+          input.y;
+    }
+  }
+
+  StatusOr<Matrix> x = SolveLeastSquaresSvd(a, b);
+  if (!x.ok()) return x.status();
+
+  // X is (2f x 2): rows 2(i-1)..2(i-1)+1 hold C_i^T.
+  coeffs->clear();
+  coeffs->reserve(static_cast<size_t>(f));
+  for (int i = 0; i < f; ++i) {
+    Matrix c(2, 2);
+    c(0, 0) = (*x)(static_cast<size_t>(2 * i), 0);
+    c(0, 1) = (*x)(static_cast<size_t>(2 * i + 1), 0);
+    c(1, 0) = (*x)(static_cast<size_t>(2 * i), 1);
+    c(1, 1) = (*x)(static_cast<size_t>(2 * i + 1), 1);
+    coeffs->push_back(std::move(c));
+  }
+
+  // Mean squared one-step residual over the window, penalised slightly
+  // per extra lag so that ties prefer the simpler recurrence.
+  Matrix residual = a * *x - b;
+  double sse = 0.0;
+  for (size_t i = 0; i < residual.data().size(); ++i) {
+    sse += residual.data()[i] * residual.data()[i];
+  }
+  *error = sse / static_cast<double>(rows) * (1.0 + 0.01 * f);
+  return Status::OK();
+}
+
+Status RecursiveMotionFunction::Fit(const std::vector<TimedPoint>& recent) {
+  if (recent.size() < 2) {
+    return Status::FailedPrecondition("RMF needs at least 2 recent points");
+  }
+  for (size_t i = 1; i < recent.size(); ++i) {
+    if (recent[i].time != recent[i - 1].time + 1) {
+      return Status::InvalidArgument(
+          "RMF expects consecutive unit timestamps");
+    }
+  }
+  if (options_.retrospect < 1) {
+    return Status::InvalidArgument("retrospect must be >= 1");
+  }
+
+  // Trim to the fitting window (most recent points).
+  std::vector<TimedPoint> window = recent;
+  if (options_.window > 1 &&
+      window.size() > static_cast<size_t>(options_.window)) {
+    window.erase(window.begin(),
+                 window.end() - static_cast<long>(options_.window));
+  }
+
+  const int max_f = std::min(options_.retrospect,
+                             static_cast<int>(window.size()) - 1);
+  const int min_f = options_.auto_retrospect ? 1 : options_.retrospect;
+  if (max_f < min_f) {
+    return Status::FailedPrecondition(
+        "not enough history for the requested retrospect");
+  }
+
+  // Model selection: each candidate retrospect is fitted on a prefix of
+  // the window and judged by *multi-step held-out* error on the last few
+  // points — in-sample residuals reward over-fitted recurrences that
+  // extrapolate wildly. A plain linear extrapolation competes as an
+  // additional candidate; RMF must beat it out of sample to be used
+  // (per its published claim of dominating the linear model).
+  const int n = static_cast<int>(window.size());
+  const int holdout =
+      options_.auto_retrospect ? std::clamp(n / 4, 0, 5) : 0;
+  const bool validate = holdout >= 1 && n - holdout >= max_f + 1;
+
+  const auto multi_step_error = [&](const std::vector<Matrix>& coeffs,
+                                    int f, const Point& mu) {
+    // Seed with the last f prefix points (centred on the fit's mean) and
+    // roll the recurrence through the held-out span.
+    std::vector<Point> state;
+    for (int i = n - holdout - f; i < n - holdout; ++i) {
+      state.push_back(window[static_cast<size_t>(i)].location - mu);
+    }
+    double sse = 0.0;
+    for (int step = 0; step < holdout; ++step) {
+      Point next;
+      for (int i = 1; i <= f; ++i) {
+        const Point& lag = state[state.size() - static_cast<size_t>(i)];
+        const Matrix& c = coeffs[static_cast<size_t>(i - 1)];
+        next.x += c(0, 0) * lag.x + c(0, 1) * lag.y;
+        next.y += c(1, 0) * lag.x + c(1, 1) * lag.y;
+      }
+      if (!std::isfinite(next.x) || !std::isfinite(next.y)) {
+        return std::numeric_limits<double>::infinity();
+      }
+      const Point actual =
+          window[static_cast<size_t>(n - holdout + step)].location - mu;
+      sse += SquaredDistance(next, actual);
+      state.erase(state.begin());
+      state.push_back(next);
+    }
+    return sse / holdout;
+  };
+
+  double best_error = std::numeric_limits<double>::infinity();
+  std::vector<Matrix> best_coeffs;
+  int best_f = 0;
+  for (int f = min_f; f <= max_f; ++f) {
+    std::vector<Matrix> coeffs;
+    double error = 0.0;
+    if (validate) {
+      const std::vector<TimedPoint> prefix(window.begin(),
+                                           window.end() - holdout);
+      if (static_cast<int>(prefix.size()) <= f) continue;
+      if (!FitRetrospect(prefix, f, &coeffs, &error).ok()) continue;
+      Point mu;
+      for (const auto& tp : prefix) mu = mu + tp.location;
+      mu = mu / static_cast<double>(prefix.size());
+      error = multi_step_error(coeffs, f, mu);
+    } else {
+      if (!FitRetrospect(window, f, &coeffs, &error).ok()) continue;
+    }
+    if (error < best_error) {
+      best_error = error;
+      best_f = f;
+    }
+  }
+  if (best_f == 0) {
+    return Status::Internal("RMF fitting failed for all retrospects");
+  }
+
+  use_linear_ = false;
+  if (validate) {
+    // The linear candidate: least-squares velocity over the prefix,
+    // extrapolated through the held-out span.
+    const int prefix_n = n - holdout;
+    double mean_t = 0.0;
+    Point mean_l;
+    for (int i = 0; i < prefix_n; ++i) {
+      mean_t += static_cast<double>(i);
+      mean_l = mean_l + window[static_cast<size_t>(i)].location;
+    }
+    mean_t /= prefix_n;
+    mean_l = mean_l / static_cast<double>(prefix_n);
+    double var_t = 0.0;
+    Point cov;
+    for (int i = 0; i < prefix_n; ++i) {
+      const double dt = static_cast<double>(i) - mean_t;
+      var_t += dt * dt;
+      cov = cov + (window[static_cast<size_t>(i)].location - mean_l) * dt;
+    }
+    const Point velocity = var_t > 0.0 ? cov / var_t : Point{0.0, 0.0};
+    const Point anchor = window[static_cast<size_t>(prefix_n - 1)].location;
+    double linear_sse = 0.0;
+    for (int step = 1; step <= holdout; ++step) {
+      const Point predicted = anchor + velocity * static_cast<double>(step);
+      linear_sse += SquaredDistance(
+          predicted,
+          window[static_cast<size_t>(prefix_n - 1 + step)].location);
+    }
+    if (linear_sse / holdout < best_error) use_linear_ = true;
+  }
+
+  if (!use_linear_) {
+    // Refit the winning retrospect on the full window.
+    std::vector<Matrix> coeffs;
+    double ignored = 0.0;
+    HPM_RETURN_IF_ERROR(FitRetrospect(window, best_f, &coeffs, &ignored));
+    best_coeffs = std::move(coeffs);
+  }
+
+  coefficients_ = std::move(best_coeffs);
+  fitted_retrospect_ = use_linear_ ? 0 : best_f;
+
+  // Keep the centred tail needed to seed the recurrence. The centring
+  // mean must match the one used during fitting.
+  Point mu;
+  for (const auto& tp : window) mu = mu + tp.location;
+  mu = mu / static_cast<double>(window.size());
+  anchor_ = mu;
+
+  tail_.clear();
+  const size_t tail_len = use_linear_ ? 1 : static_cast<size_t>(best_f);
+  for (size_t i = window.size() - tail_len; i < window.size(); ++i) {
+    tail_.push_back(window[i].location - mu);
+  }
+  tail_end_time_ = window.back().time;
+
+  // Linear velocity: least squares over the whole window (used both as
+  // the selected model in linear mode and as the divergence fallback).
+  {
+    double mean_t = 0.0;
+    Point mean_l;
+    for (size_t i = 0; i < window.size(); ++i) {
+      mean_t += static_cast<double>(i);
+      mean_l = mean_l + window[i].location;
+    }
+    mean_t /= static_cast<double>(window.size());
+    mean_l = mean_l / static_cast<double>(window.size());
+    double var_t = 0.0;
+    Point cov;
+    for (size_t i = 0; i < window.size(); ++i) {
+      const double dt = static_cast<double>(i) - mean_t;
+      var_t += dt * dt;
+      cov = cov + (window[i].location - mean_l) * dt;
+    }
+    fallback_velocity_ = var_t > 0.0 ? cov / var_t : Point{0.0, 0.0};
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Point RecursiveMotionFunction::ClampToBox(const Point& p) const {
+  if (options_.clamp_box.IsEmpty()) return p;
+  Point q = p;
+  q.x = std::clamp(q.x, options_.clamp_box.min().x,
+                   options_.clamp_box.max().x);
+  q.y = std::clamp(q.y, options_.clamp_box.min().y,
+                   options_.clamp_box.max().y);
+  return q;
+}
+
+StatusOr<Point> RecursiveMotionFunction::Predict(Timestamp tq) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Fit has not succeeded yet");
+  }
+  if (tq < tail_end_time_) {
+    return Status::InvalidArgument("query time precedes fitted history");
+  }
+  if (tq == tail_end_time_) {
+    return ClampToBox(tail_.back() + anchor_);
+  }
+  if (use_linear_) {
+    const double dt = static_cast<double>(tq - tail_end_time_);
+    return ClampToBox(tail_.back() + anchor_ + fallback_velocity_ * dt);
+  }
+
+  const int f = fitted_retrospect_;
+  std::vector<Point> state = tail_;  // Oldest first, length f (centred).
+  Point current;
+  for (Timestamp t = tail_end_time_ + 1; t <= tq; ++t) {
+    Point next;
+    for (int i = 1; i <= f; ++i) {
+      const Point& lag = state[state.size() - static_cast<size_t>(i)];
+      const Matrix& c = coefficients_[static_cast<size_t>(i - 1)];
+      next.x += c(0, 0) * lag.x + c(0, 1) * lag.y;
+      next.y += c(1, 0) * lag.x + c(1, 1) * lag.y;
+    }
+    if (!std::isfinite(next.x) || !std::isfinite(next.y)) {
+      // The recurrence diverged: degrade to linear extrapolation from the
+      // end of the window, as any robust deployment of RMF must.
+      const double dt = static_cast<double>(tq - tail_end_time_);
+      const Point linear =
+          tail_.back() + anchor_ + fallback_velocity_ * dt;
+      return ClampToBox(linear);
+    }
+    state.erase(state.begin());
+    state.push_back(next);
+    current = next;
+  }
+  return ClampToBox(current + anchor_);
+}
+
+}  // namespace hpm

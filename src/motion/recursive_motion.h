@@ -1,0 +1,99 @@
+// Recursive Motion Function (RMF) — Tao, Faloutsos, Papadias, Liu,
+// SIGMOD'04 ("Prediction and indexing of moving objects with unknown
+// motion patterns").
+//
+// RMF models the next location as a linear recurrence over the f most
+// recent locations: l_t = sum_{i=1..f} C_i * l_{t-i}, where each C_i is a
+// constant d x d matrix and f is the "retrospect". The coefficients are
+// fitted over a sliding window of recent movements by SVD-based least
+// squares (the n^3 cost the HPM paper attributes to RMF), and prediction
+// iterates the recurrence forward to the query time.
+
+#ifndef HPM_MOTION_RECURSIVE_MOTION_H_
+#define HPM_MOTION_RECURSIVE_MOTION_H_
+
+#include <deque>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "linalg/matrix.h"
+#include "motion/motion_function.h"
+
+namespace hpm {
+
+/// RMF configuration.
+struct RmfOptions {
+  /// Retrospect f: how many past locations feed the recurrence. When
+  /// `auto_retrospect` is true this is the maximum tried.
+  int retrospect = 3;
+
+  /// Try retrospects 1..retrospect and keep the one with the smallest
+  /// one-step-ahead validation error on the fitted window, mirroring the
+  /// RMF paper's model selection.
+  bool auto_retrospect = true;
+
+  /// Maximum number of recent points used for fitting. RMF is a local
+  /// model; a bounded window keeps the SVD cheap and the fit responsive.
+  int window = 30;
+
+  /// Predictions are clamped into this box when non-empty. The HPM
+  /// experiments normalise data to [0,10000]^2; clamping prevents an
+  /// unstable recurrence (spectral radius > 1) from emitting astronomical
+  /// coordinates, matching how any deployed system would bound output.
+  BoundingBox clamp_box = BoundingBox({0.0, 0.0}, {10000.0, 10000.0});
+};
+
+/// Recursive Motion Function predictor.
+class RecursiveMotionFunction : public MotionFunction {
+ public:
+  explicit RecursiveMotionFunction(RmfOptions options = {});
+
+  /// Needs at least retrospect+1 points (with auto_retrospect, at least 2:
+  /// smaller retrospects are tried when history is short). Timestamps must
+  /// be strictly increasing and consecutive (unit sampling), matching the
+  /// paper's discrete trajectory model.
+  Status Fit(const std::vector<TimedPoint>& recent) override;
+
+  /// Iterates the recurrence from the end of the fitted window to `tq`.
+  /// If the recurrence diverges to non-finite values the prediction
+  /// degrades to linear extrapolation from the window, then clamps.
+  StatusOr<Point> Predict(Timestamp tq) const override;
+
+  std::string Name() const override { return "RMF"; }
+
+  /// The retrospect selected by the last successful Fit, or 0 when the
+  /// out-of-sample model selection preferred plain linear extrapolation
+  /// (which then serves the predictions).
+  int fitted_retrospect() const { return fitted_retrospect_; }
+
+  /// True when the last Fit selected the linear-extrapolation candidate.
+  bool used_linear_model() const { return use_linear_; }
+
+  /// Fitted coefficient matrices C_1..C_f (each 2x2), most recent lag
+  /// first. Empty before a successful Fit.
+  const std::vector<Matrix>& coefficients() const { return coefficients_; }
+
+ private:
+  /// Fits coefficients for a fixed retrospect over `recent`; returns the
+  /// mean squared one-step residual on the window through `*error`.
+  Status FitRetrospect(const std::vector<TimedPoint>& recent, int f,
+                       std::vector<Matrix>* coeffs, double* error) const;
+
+  Point ClampToBox(const Point& p) const;
+
+  RmfOptions options_;
+  bool fitted_ = false;
+  bool use_linear_ = false;
+  int fitted_retrospect_ = 0;
+  std::vector<Matrix> coefficients_;
+  /// Last f locations of the fitted window, oldest first.
+  std::vector<Point> tail_;
+  Timestamp tail_end_time_ = 0;
+  /// Fallback linear model in case the recurrence diverges.
+  Point anchor_;
+  Point fallback_velocity_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_MOTION_RECURSIVE_MOTION_H_

@@ -1,0 +1,254 @@
+#include "server/object_store.h"
+
+#include <algorithm>
+
+#include "motion/recursive_motion.h"
+
+namespace hpm {
+
+MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
+    : options_(std::move(options)) {
+  HPM_CHECK(options_.min_training_periods >= 1);
+  HPM_CHECK(options_.update_batch_periods >= 1);
+  HPM_CHECK(options_.recent_window >= 2);
+}
+
+Status MovingObjectStore::ReportLocation(ObjectId id,
+                                         const Point& location) {
+  ObjectState& state = objects_[id];
+  state.history.Append(location);
+  HPM_RETURN_IF_ERROR(MaybeTrain(&state));
+  if (!continuous_queries_.empty()) {
+    EvaluateContinuousQueries(id, state);
+  }
+  return Status::OK();
+}
+
+Status MovingObjectStore::ReportTrajectory(ObjectId id,
+                                           const Trajectory& trajectory) {
+  for (const Point& p : trajectory.points()) {
+    HPM_RETURN_IF_ERROR(ReportLocation(id, p));
+  }
+  return Status::OK();
+}
+
+Status MovingObjectStore::MaybeTrain(ObjectState* state) {
+  const Timestamp period = options_.predictor.regions.period;
+  const size_t period_samples = static_cast<size_t>(period);
+
+  if (state->predictor == nullptr) {
+    const size_t needed =
+        static_cast<size_t>(options_.min_training_periods) * period_samples;
+    if (state->history.size() < needed) return Status::OK();
+    auto trained = HybridPredictor::Train(state->history,
+                                          options_.predictor);
+    if (!trained.ok()) return trained.status();
+    state->predictor = std::move(*trained);
+    state->consumed_samples =
+        state->history.NumSubTrajectories(period) * period_samples;
+    return Status::OK();
+  }
+
+  const size_t fresh = state->history.size() - state->consumed_samples;
+  const size_t batch =
+      static_cast<size_t>(options_.update_batch_periods) * period_samples;
+  if (fresh < batch) return Status::OK();
+  const size_t whole_periods = (fresh / period_samples) * period_samples;
+  StatusOr<Trajectory> suffix = state->history.Slice(
+      static_cast<Timestamp>(state->consumed_samples),
+      static_cast<Timestamp>(state->consumed_samples + whole_periods));
+  if (!suffix.ok()) return suffix.status();
+  StatusOr<size_t> added = state->predictor->IncorporateNewHistory(*suffix);
+  if (!added.ok()) return added.status();
+  state->consumed_samples += whole_periods;
+  return Status::OK();
+}
+
+std::vector<ObjectId> MovingObjectStore::ObjectIds() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, state] : objects_) ids.push_back(id);
+  return ids;
+}
+
+size_t MovingObjectStore::HistoryLength(ObjectId id) const {
+  const auto it = objects_.find(id);
+  return it == objects_.end() ? 0 : it->second.history.size();
+}
+
+StatusOr<const HybridPredictor*> MovingObjectStore::GetPredictor(
+    ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("unknown object id");
+  }
+  if (it->second.predictor == nullptr) {
+    return Status::FailedPrecondition("object has no trained model yet");
+  }
+  return static_cast<const HybridPredictor*>(it->second.predictor.get());
+}
+
+StatusOr<std::vector<Prediction>> MovingObjectStore::PredictForState(
+    const ObjectState& state, Timestamp tq, int k) const {
+  if (state.history.size() < 2) {
+    return Status::FailedPrecondition(
+        "object has fewer than 2 reported locations");
+  }
+  const Timestamp now =
+      static_cast<Timestamp>(state.history.size()) - 1;
+  if (tq <= now) {
+    return Status::InvalidArgument(
+        "query time must be after the object's last report");
+  }
+  PredictiveQuery query;
+  query.recent_movements =
+      state.history.RecentMovements(now, options_.recent_window);
+  query.current_time = now;
+  query.query_time = tq;
+  query.k = k;
+
+  if (state.predictor != nullptr) {
+    return state.predictor->Predict(query);
+  }
+  // Cold start: pure motion function until the first training threshold.
+  RecursiveMotionFunction rmf(options_.predictor.rmf);
+  Prediction prediction;
+  prediction.source = PredictionSource::kMotionFunction;
+  prediction.location = query.recent_movements.back().location;
+  if (rmf.Fit(query.recent_movements).ok()) {
+    StatusOr<Point> p = rmf.Predict(tq);
+    if (p.ok()) prediction.location = *p;
+  }
+  return std::vector<Prediction>{prediction};
+}
+
+StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
+    ObjectId id, Timestamp tq, int k) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("unknown object id");
+  }
+  return PredictForState(it->second, tq, k);
+}
+
+StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveRangeQuery(
+    const BoundingBox& range, Timestamp tq, int k_per_object) const {
+  if (range.IsEmpty()) {
+    return Status::InvalidArgument("query range is empty");
+  }
+  if (k_per_object < 1) {
+    return Status::InvalidArgument("k_per_object must be >= 1");
+  }
+  std::vector<RangeHit> hits;
+  for (const auto& [id, state] : objects_) {
+    const Timestamp now =
+        static_cast<Timestamp>(state.history.size()) - 1;
+    if (state.history.size() < 2 || tq <= now) continue;
+    StatusOr<std::vector<Prediction>> predictions =
+        PredictForState(state, tq, k_per_object);
+    if (!predictions.ok()) return predictions.status();
+    const Prediction* best = nullptr;
+    for (const Prediction& p : *predictions) {
+      if (!range.Contains(p.location)) continue;
+      if (best == nullptr || p.score > best->score) best = &p;
+    }
+    if (best != nullptr) hits.push_back({id, *best});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const RangeHit& a, const RangeHit& b) {
+              if (a.prediction.score != b.prediction.score) {
+                return a.prediction.score > b.prediction.score;
+              }
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveNearestNeighbors(
+    const Point& target, Timestamp tq, int n) const {
+  if (n < 1) {
+    return Status::InvalidArgument("n must be >= 1");
+  }
+  std::vector<RangeHit> hits;
+  for (const auto& [id, state] : objects_) {
+    const Timestamp now =
+        static_cast<Timestamp>(state.history.size()) - 1;
+    if (state.history.size() < 2 || tq <= now) continue;
+    StatusOr<std::vector<Prediction>> predictions =
+        PredictForState(state, tq, 1);
+    if (!predictions.ok()) return predictions.status();
+    hits.push_back({id, predictions->front()});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [&target](const RangeHit& a, const RangeHit& b) {
+              const double da = SquaredDistance(a.prediction.location, target);
+              const double db = SquaredDistance(b.prediction.location, target);
+              if (da != db) return da < db;
+              return a.id < b.id;
+            });
+  if (static_cast<int>(hits.size()) > n) {
+    hits.resize(static_cast<size_t>(n));
+  }
+  return hits;
+}
+
+int MovingObjectStore::RegisterContinuousQuery(const BoundingBox& range,
+                                               Timestamp horizon,
+                                               int k_per_object) {
+  HPM_CHECK(!range.IsEmpty());
+  HPM_CHECK(horizon >= 1);
+  HPM_CHECK(k_per_object >= 1);
+  ContinuousQuery query;
+  query.id = next_query_id_++;
+  query.range = range;
+  query.horizon = horizon;
+  query.k_per_object = k_per_object;
+  const int id = query.id;
+  continuous_queries_.emplace(id, std::move(query));
+  return id;
+}
+
+void MovingObjectStore::UnregisterContinuousQuery(int query_id) {
+  continuous_queries_.erase(query_id);
+}
+
+void MovingObjectStore::EvaluateContinuousQueries(ObjectId id,
+                                                  const ObjectState& state) {
+  if (state.history.size() < 2) return;
+  const Timestamp now = static_cast<Timestamp>(state.history.size()) - 1;
+  for (auto& [query_id, query] : continuous_queries_) {
+    const Timestamp tq = now + query.horizon;
+    StatusOr<std::vector<Prediction>> predictions =
+        PredictForState(state, tq, query.k_per_object);
+    if (!predictions.ok()) continue;
+    const Prediction* matching = nullptr;
+    for (const Prediction& p : *predictions) {
+      if (query.range.Contains(p.location)) {
+        if (matching == nullptr || p.score > matching->score) matching = &p;
+      }
+    }
+    const bool inside_now = matching != nullptr;
+    const auto it = query.inside.find(id);
+    const bool inside_before = it != query.inside.end() && it->second;
+    if (inside_now != inside_before) {
+      ContinuousEvent event;
+      event.query_id = query_id;
+      event.object = id;
+      event.entered = inside_now;
+      event.prediction =
+          inside_now ? *matching : predictions->front();
+      event.evaluated_at = tq;
+      pending_events_.push_back(std::move(event));
+    }
+    query.inside[id] = inside_now;
+  }
+}
+
+std::vector<MovingObjectStore::ContinuousEvent>
+MovingObjectStore::DrainContinuousEvents() {
+  std::vector<ContinuousEvent> events = std::move(pending_events_);
+  pending_events_.clear();
+  return events;
+}
+
+}  // namespace hpm

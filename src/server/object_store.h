@@ -1,0 +1,179 @@
+// MovingObjectStore: the moving-objects-database front end around
+// HybridPredictor.
+//
+// The paper's model is per-object (patterns are mined from one object's
+// history); a deployment tracks a fleet. This store ingests per-object
+// location reports, bootstraps a HybridPredictor per object once enough
+// periods accumulate, folds newly accumulated data in batches through
+// the §V-B insertion path, and serves two query types:
+//   * point prediction  — "where will object O be at time tq?"
+//   * predictive range  — "which objects will probably be inside region
+//     R at time tq?" (the query type TPR-tree-style predictive indexes
+//     serve, here answered from patterns + motion fallback).
+
+#ifndef HPM_SERVER_OBJECT_STORE_H_
+#define HPM_SERVER_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/hybrid_predictor.h"
+
+namespace hpm {
+
+/// Identifies one tracked moving object.
+using ObjectId = int64_t;
+
+/// Store configuration.
+struct ObjectStoreOptions {
+  /// Training / query configuration shared by every object's predictor.
+  HybridPredictorOptions predictor;
+
+  /// Train an object's first model once this many complete periods of
+  /// history exist.
+  int min_training_periods = 5;
+
+  /// After initial training, run the §V-B incremental incorporation
+  /// whenever this many new complete periods accumulate.
+  int update_batch_periods = 2;
+
+  /// Recent movements handed to queries (and the motion fallback).
+  int recent_window = 10;
+};
+
+/// One object's answer to a predictive range query.
+struct RangeHit {
+  ObjectId id = 0;
+
+  /// The best-scored prediction that falls inside the query range.
+  Prediction prediction;
+};
+
+/// Per-object ingestion + prediction service. Not thread-safe; wrap
+/// externally if shared.
+class MovingObjectStore {
+ public:
+  explicit MovingObjectStore(ObjectStoreOptions options);
+
+  /// Appends one location sample for `id` at the object's next
+  /// timestamp (each object's clock starts at 0 and advances by 1 per
+  /// report). Training and incremental updates run inline when their
+  /// thresholds are crossed; their errors propagate.
+  Status ReportLocation(ObjectId id, const Point& location);
+
+  /// Bulk ingestion convenience.
+  Status ReportTrajectory(ObjectId id, const Trajectory& trajectory);
+
+  /// Ids of all tracked objects, ascending.
+  std::vector<ObjectId> ObjectIds() const;
+
+  size_t NumObjects() const { return objects_.size(); }
+
+  /// Samples reported so far for `id` (0 when unknown).
+  size_t HistoryLength(ObjectId id) const;
+
+  /// The object's trained predictor, or NotFound / FailedPrecondition
+  /// when the object is unknown / not yet trained.
+  StatusOr<const HybridPredictor*> GetPredictor(ObjectId id) const;
+
+  /// Predicts object `id`'s location at `tq` (absolute time on the
+  /// object's clock, after its last report). Uses the object's trained
+  /// predictor when available and a pure motion-function answer before
+  /// the first training threshold.
+  StatusOr<std::vector<Prediction>> PredictLocation(ObjectId id,
+                                                    Timestamp tq,
+                                                    int k = 1) const;
+
+  /// Predictive range query: every object whose predicted location(s)
+  /// at `tq` (its own clock) fall inside `range`. At most one hit per
+  /// object (its best-scored matching prediction); hits sorted by score
+  /// descending. `k_per_object` controls how many candidate locations
+  /// are considered per object. Objects whose last report precedes `tq`
+  /// by less than one step are skipped.
+  StatusOr<std::vector<RangeHit>> PredictiveRangeQuery(
+      const BoundingBox& range, Timestamp tq, int k_per_object = 3) const;
+
+  /// Predictive n-nearest-neighbours: the `n` objects whose top-1
+  /// predicted location at `tq` lies closest to `target`, nearest
+  /// first. Objects that cannot be queried at `tq` are skipped.
+  StatusOr<std::vector<RangeHit>> PredictiveNearestNeighbors(
+      const Point& target, Timestamp tq, int n) const;
+
+  /// ---- Continuous monitoring -----------------------------------------
+  /// Registers a standing range query: after every location report, the
+  /// reporting object's predicted membership in `range` at
+  /// (its now + horizon) is re-evaluated, and a ContinuousEvent is
+  /// queued whenever the membership flips. Returns the query id.
+  int RegisterContinuousQuery(const BoundingBox& range, Timestamp horizon,
+                              int k_per_object = 3);
+
+  /// Removes a standing query; pending events for it stay in the queue.
+  void UnregisterContinuousQuery(int query_id);
+
+  /// One membership flip detected by a standing query.
+  struct ContinuousEvent {
+    int query_id = 0;
+    ObjectId object = 0;
+    /// True when the object is now predicted inside the range; false
+    /// when it just left.
+    bool entered = false;
+    /// The triggering prediction (last matching one when entering; the
+    /// best available when leaving).
+    Prediction prediction;
+    /// The object-clock time the evaluation targeted (now + horizon).
+    Timestamp evaluated_at = 0;
+  };
+
+  /// Returns and clears the queued events, oldest first.
+  std::vector<ContinuousEvent> DrainContinuousEvents();
+
+  /// ---- Persistence ----------------------------------------------------
+  /// Writes the whole store (per-object history CSV + trained model +
+  /// manifest) under `directory`, creating it if needed.
+  Status SaveToDirectory(const std::string& directory) const;
+
+  /// Restores a store written by SaveToDirectory. `options` must match
+  /// the one the store was built with (per-object models carry their
+  /// own training options; the store options govern thresholds).
+  static StatusOr<MovingObjectStore> LoadFromDirectory(
+      const std::string& directory, ObjectStoreOptions options);
+
+ private:
+  struct ObjectState {
+    Trajectory history;
+    std::unique_ptr<HybridPredictor> predictor;
+    /// Samples already consumed by Train / IncorporateNewHistory.
+    size_t consumed_samples = 0;
+  };
+
+  struct ContinuousQuery {
+    int id = 0;
+    BoundingBox range;
+    Timestamp horizon = 0;
+    int k_per_object = 3;
+    /// Last known predicted-membership per object.
+    std::map<ObjectId, bool> inside;
+  };
+
+  /// Runs initial training or batch incorporation if thresholds allow.
+  Status MaybeTrain(ObjectState* state);
+
+  StatusOr<std::vector<Prediction>> PredictForState(
+      const ObjectState& state, Timestamp tq, int k) const;
+
+  /// Re-evaluates every standing query for the object that just
+  /// reported.
+  void EvaluateContinuousQueries(ObjectId id, const ObjectState& state);
+
+  ObjectStoreOptions options_;
+  std::map<ObjectId, ObjectState> objects_;
+  int next_query_id_ = 1;
+  std::map<int, ContinuousQuery> continuous_queries_;
+  std::vector<ContinuousEvent> pending_events_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_SERVER_OBJECT_STORE_H_

@@ -1,0 +1,120 @@
+// Directory persistence for MovingObjectStore.
+//
+// Layout:
+//   <dir>/manifest.txt       one line per object:
+//                            "object <id> <history_len> <consumed> <model?>"
+//   <dir>/<id>.csv           the object's full reported history
+//   <dir>/<id>.model         the trained HybridPredictor (when present)
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "io/csv.h"
+#include "server/object_store.h"
+
+namespace hpm {
+
+namespace {
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.txt";
+}
+
+std::string CsvPath(const std::string& dir, ObjectId id) {
+  return dir + "/" + std::to_string(id) + ".csv";
+}
+
+std::string ModelPath(const std::string& dir, ObjectId id) {
+  return dir + "/" + std::to_string(id) + ".model";
+}
+
+}  // namespace
+
+Status MovingObjectStore::SaveToDirectory(
+    const std::string& directory) const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory " + directory +
+                                   ": " + ec.message());
+  }
+
+  std::FILE* manifest = std::fopen(ManifestPath(directory).c_str(), "w");
+  if (manifest == nullptr) {
+    return Status::InvalidArgument("cannot write manifest in " + directory);
+  }
+  Status status = Status::OK();
+  for (const auto& [id, state] : objects_) {
+    const bool has_model = state.predictor != nullptr;
+    std::fprintf(manifest, "object %" PRId64 " %zu %zu %d\n", id,
+                 state.history.size(), state.consumed_samples,
+                 has_model ? 1 : 0);
+    status = WriteTrajectoryCsv(state.history, CsvPath(directory, id));
+    if (!status.ok()) break;
+    if (has_model) {
+      status = state.predictor->SaveToFile(ModelPath(directory, id));
+      if (!status.ok()) break;
+    }
+  }
+  std::fclose(manifest);
+  return status;
+}
+
+StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
+    const std::string& directory, ObjectStoreOptions options) {
+  std::FILE* manifest = std::fopen(ManifestPath(directory).c_str(), "r");
+  if (manifest == nullptr) {
+    return Status::InvalidArgument("no manifest in " + directory);
+  }
+
+  MovingObjectStore store(std::move(options));
+  char line[256];
+  Status status = Status::OK();
+  while (std::fgets(line, sizeof(line), manifest) != nullptr) {
+    int64_t id = 0;
+    size_t history_len = 0, consumed = 0;
+    int has_model = 0;
+    if (std::sscanf(line, "object %" SCNd64 " %zu %zu %d", &id,
+                    &history_len, &consumed, &has_model) != 4) {
+      status = Status::InvalidArgument("malformed manifest line: " +
+                                       std::string(line));
+      break;
+    }
+    StatusOr<Trajectory> history =
+        ReadTrajectoryCsv(CsvPath(directory, id));
+    if (!history.ok()) {
+      status = history.status();
+      break;
+    }
+    if (history->size() != history_len) {
+      status = Status::InvalidArgument(
+          "history length mismatch for object " + std::to_string(id));
+      break;
+    }
+    if (consumed > history_len) {
+      status = Status::InvalidArgument(
+          "corrupt consumed count for object " + std::to_string(id));
+      break;
+    }
+    ObjectState state;
+    state.history = std::move(*history);
+    state.consumed_samples = consumed;
+    if (has_model != 0) {
+      auto predictor =
+          HybridPredictor::LoadFromFile(ModelPath(directory, id));
+      if (!predictor.ok()) {
+        status = predictor.status();
+        break;
+      }
+      state.predictor = std::move(*predictor);
+    }
+    store.objects_.emplace(id, std::move(state));
+  }
+  std::fclose(manifest);
+  if (!status.ok()) return status;
+  return store;
+}
+
+}  // namespace hpm

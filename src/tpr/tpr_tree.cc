@@ -1,0 +1,418 @@
+#include "tpr/tpr_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace hpm {
+
+void TpBoundingBox::Extend(const MovingPoint& p) {
+  if (box.IsEmpty()) {
+    box.Extend(p.position);
+    min_vx = max_vx = p.velocity.x;
+    min_vy = max_vy = p.velocity.y;
+    return;
+  }
+  box.Extend(p.position);
+  min_vx = std::min(min_vx, p.velocity.x);
+  max_vx = std::max(max_vx, p.velocity.x);
+  min_vy = std::min(min_vy, p.velocity.y);
+  max_vy = std::max(max_vy, p.velocity.y);
+}
+
+void TpBoundingBox::Extend(const TpBoundingBox& other) {
+  if (other.IsEmpty()) return;
+  if (box.IsEmpty()) {
+    *this = other;
+    return;
+  }
+  box.Extend(other.box);
+  min_vx = std::min(min_vx, other.min_vx);
+  max_vx = std::max(max_vx, other.max_vx);
+  min_vy = std::min(min_vy, other.min_vy);
+  max_vy = std::max(max_vy, other.max_vy);
+}
+
+BoundingBox TpBoundingBox::BoxAt(double dt) const {
+  HPM_CHECK(!box.IsEmpty());
+  HPM_CHECK(dt >= 0.0);
+  const Point lo{box.min().x + min_vx * dt, box.min().y + min_vy * dt};
+  const Point hi{box.max().x + max_vx * dt, box.max().y + max_vy * dt};
+  return BoundingBox(lo, hi);
+}
+
+bool TpBoundingBox::Covers(const TpBoundingBox& other) const {
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  return box.min().x <= other.box.min().x &&
+         box.min().y <= other.box.min().y &&
+         box.max().x >= other.box.max().x &&
+         box.max().y >= other.box.max().y && min_vx <= other.min_vx &&
+         max_vx >= other.max_vx && min_vy <= other.min_vy &&
+         max_vy >= other.max_vy;
+}
+
+struct TprTree::Node {
+  bool is_leaf = true;
+  std::vector<MovingPoint> points;                 // Leaf payload.
+  std::vector<TpBoundingBox> boxes;                // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  int NumEntries() const {
+    return is_leaf ? static_cast<int>(points.size())
+                   : static_cast<int>(children.size());
+  }
+
+  TpBoundingBox EntryBox(int i) const {
+    if (is_leaf) {
+      TpBoundingBox b;
+      b.Extend(points[static_cast<size_t>(i)]);
+      return b;
+    }
+    return boxes[static_cast<size_t>(i)];
+  }
+
+  TpBoundingBox UnionBox() const {
+    TpBoundingBox u;
+    for (int i = 0; i < NumEntries(); ++i) u.Extend(EntryBox(i));
+    return u;
+  }
+};
+
+TprTree::TprTree(Timestamp reference_time, Options options)
+    : reference_time_(reference_time), options_(options) {
+  HPM_CHECK(options_.max_node_entries >= 4);
+  HPM_CHECK(options_.min_node_entries >= 2);
+  HPM_CHECK(options_.min_node_entries * 2 <= options_.max_node_entries + 1);
+  HPM_CHECK(options_.horizon >= 0);
+  root_ = std::make_unique<Node>();
+}
+
+TprTree::TprTree(Timestamp reference_time)
+    : TprTree(reference_time, Options{}) {}
+
+TprTree::~TprTree() = default;
+TprTree::TprTree(TprTree&&) noexcept = default;
+TprTree& TprTree::operator=(TprTree&&) noexcept = default;
+
+namespace {
+
+double AreaAt(const TpBoundingBox& b, double dt) {
+  return b.IsEmpty() ? 0.0 : b.BoxAt(dt).Area();
+}
+
+}  // namespace
+
+TprTree::Node* TprTree::ChooseLeaf(const MovingPoint& point,
+                                   std::vector<Node*>* path,
+                                   std::vector<int>* entry_indices) const {
+  // Enlargement is evaluated at the midpoint of the horizon — the
+  // standard collapse of the TPR-tree's integrated-area objective.
+  const double dt = static_cast<double>(options_.horizon) / 2.0;
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    const int n = node->NumEntries();
+    HPM_CHECK(n > 0);
+    int best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      TpBoundingBox enlarged = node->boxes[static_cast<size_t>(i)];
+      enlarged.Extend(point);
+      const double before =
+          AreaAt(node->boxes[static_cast<size_t>(i)], dt);
+      const double after = AreaAt(enlarged, dt);
+      const double enlargement = after - before;
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && before < best_area)) {
+        best_enlargement = enlargement;
+        best_area = before;
+        best = i;
+      }
+    }
+    path->push_back(node);
+    entry_indices->push_back(best);
+    node = node->children[static_cast<size_t>(best)].get();
+  }
+  return node;
+}
+
+std::unique_ptr<TprTree::Node> TprTree::SplitNode(Node* node) {
+  const int n = node->NumEntries();
+  HPM_CHECK(n > options_.max_node_entries);
+  const double dt = static_cast<double>(options_.horizon) / 2.0;
+
+  // Quadratic seeds: the pair whose combined midpoint-time rectangle
+  // wastes the most area.
+  int seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      TpBoundingBox both = node->EntryBox(i);
+      both.Extend(node->EntryBox(j));
+      const double waste = AreaAt(both, dt) - AreaAt(node->EntryBox(i), dt) -
+                           AreaAt(node->EntryBox(j), dt);
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  TpBoundingBox box_a = node->EntryBox(seed_a);
+  TpBoundingBox box_b = node->EntryBox(seed_b);
+  std::vector<int> group_a{seed_a}, group_b{seed_b};
+  std::vector<int> rest;
+  for (int i = 0; i < n; ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(i);
+  }
+  for (size_t r = 0; r < rest.size(); ++r) {
+    const int remaining = static_cast<int>(rest.size() - r);
+    const int i = rest[r];
+    bool to_a;
+    if (static_cast<int>(group_a.size()) + remaining ==
+        options_.min_node_entries) {
+      to_a = true;
+    } else if (static_cast<int>(group_b.size()) + remaining ==
+               options_.min_node_entries) {
+      to_a = false;
+    } else {
+      TpBoundingBox grown_a = box_a;
+      grown_a.Extend(node->EntryBox(i));
+      TpBoundingBox grown_b = box_b;
+      grown_b.Extend(node->EntryBox(i));
+      const double cost_a = AreaAt(grown_a, dt) - AreaAt(box_a, dt);
+      const double cost_b = AreaAt(grown_b, dt) - AreaAt(box_b, dt);
+      if (cost_a != cost_b) {
+        to_a = cost_a < cost_b;
+      } else {
+        to_a = group_a.size() <= group_b.size();
+      }
+    }
+    if (to_a) {
+      group_a.push_back(i);
+      box_a.Extend(node->EntryBox(i));
+    } else {
+      group_b.push_back(i);
+      box_b.Extend(node->EntryBox(i));
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  if (node->is_leaf) {
+    std::vector<MovingPoint> kept;
+    for (int i : group_a) kept.push_back(node->points[static_cast<size_t>(i)]);
+    for (int i : group_b) {
+      sibling->points.push_back(node->points[static_cast<size_t>(i)]);
+    }
+    node->points = std::move(kept);
+  } else {
+    std::vector<TpBoundingBox> kept_boxes;
+    std::vector<std::unique_ptr<Node>> kept_children;
+    for (int i : group_a) {
+      kept_boxes.push_back(node->boxes[static_cast<size_t>(i)]);
+      kept_children.push_back(
+          std::move(node->children[static_cast<size_t>(i)]));
+    }
+    for (int i : group_b) {
+      sibling->boxes.push_back(node->boxes[static_cast<size_t>(i)]);
+      sibling->children.push_back(
+          std::move(node->children[static_cast<size_t>(i)]));
+    }
+    node->boxes = std::move(kept_boxes);
+    node->children = std::move(kept_children);
+  }
+  return sibling;
+}
+
+Status TprTree::Insert(MovingPoint point) {
+  std::vector<Node*> path;
+  std::vector<int> entry_indices;
+  Node* leaf = ChooseLeaf(point, &path, &entry_indices);
+  leaf->points.push_back(point);
+  ++size_;
+
+  for (size_t level = 0; level < path.size(); ++level) {
+    path[level]->boxes[static_cast<size_t>(entry_indices[level])].Extend(
+        point);
+  }
+
+  Node* node = leaf;
+  int level = static_cast<int>(path.size()) - 1;
+  while (node->NumEntries() > options_.max_node_entries) {
+    std::unique_ptr<Node> sibling = SplitNode(node);
+    if (level < 0) {
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      new_root->boxes.push_back(node->UnionBox());
+      new_root->boxes.push_back(sibling->UnionBox());
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      root_ = std::move(new_root);
+      break;
+    }
+    Node* parent = path[static_cast<size_t>(level)];
+    const int idx = entry_indices[static_cast<size_t>(level)];
+    parent->boxes[static_cast<size_t>(idx)] = node->UnionBox();
+    parent->boxes.push_back(sibling->UnionBox());
+    parent->children.push_back(std::move(sibling));
+    node = parent;
+    --level;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void SearchNode(const TprTree::Node* node, const BoundingBox& range,
+                Timestamp reference_time, Timestamp tq,
+                std::vector<const MovingPoint*>* out,
+                TprSearchStats* stats) {
+  if (stats != nullptr) ++stats->nodes_visited;
+  const double dt = static_cast<double>(tq - reference_time);
+  if (node->is_leaf) {
+    for (const MovingPoint& p : node->points) {
+      if (stats != nullptr) ++stats->entries_tested;
+      if (range.Contains(p.PositionAt(reference_time, tq))) {
+        out->push_back(&p);
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    if (stats != nullptr) ++stats->entries_tested;
+    if (node->boxes[i].BoxAt(dt).Intersects(range)) {
+      SearchNode(node->children[i].get(), range, reference_time, tq, out,
+                 stats);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<const MovingPoint*>> TprTree::RangeQuery(
+    const BoundingBox& range, Timestamp tq, TprSearchStats* stats) const {
+  if (range.IsEmpty()) {
+    return Status::InvalidArgument("query range is empty");
+  }
+  if (tq < reference_time_) {
+    return Status::InvalidArgument(
+        "query time precedes the snapshot reference time");
+  }
+  std::vector<const MovingPoint*> out;
+  if (size_ == 0) return out;
+  SearchNode(root_.get(), range, reference_time_, tq, &out, stats);
+  return out;
+}
+
+StatusOr<std::vector<const MovingPoint*>> TprTree::NearestNeighbors(
+    const Point& target, Timestamp tq, int n,
+    TprSearchStats* stats) const {
+  if (tq < reference_time_) {
+    return Status::InvalidArgument(
+        "query time precedes the snapshot reference time");
+  }
+  if (n < 1) {
+    return Status::InvalidArgument("n must be >= 1");
+  }
+  std::vector<const MovingPoint*> result;
+  if (size_ == 0) return result;
+
+  const double dt = static_cast<double>(tq - reference_time_);
+
+  // Best-first search: a priority queue over nodes (keyed by the min
+  // distance from `target` to the node's TPBR at tq) and points (their
+  // exact distance). Nodes are only expanded while they could still
+  // beat the current n-th best point.
+  struct QueueItem {
+    double distance;
+    const Node* node;          // nullptr => point entry.
+    const MovingPoint* point;  // Set when node == nullptr.
+  };
+  const auto worse = [](const QueueItem& a, const QueueItem& b) {
+    return a.distance > b.distance;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(worse)>
+      queue(worse);
+  queue.push({0.0, root_.get(), nullptr});
+
+  while (!queue.empty() && static_cast<int>(result.size()) < n) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (item.node == nullptr) {
+      result.push_back(item.point);
+      continue;
+    }
+    if (stats != nullptr) ++stats->nodes_visited;
+    const Node* node = item.node;
+    if (node->is_leaf) {
+      for (const MovingPoint& p : node->points) {
+        if (stats != nullptr) ++stats->entries_tested;
+        queue.push({Distance(p.PositionAt(reference_time_, tq), target),
+                    nullptr, &p});
+      }
+    } else {
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (stats != nullptr) ++stats->entries_tested;
+        queue.push({node->boxes[i].BoxAt(dt).MinDistance(target),
+                    node->children[i].get(), nullptr});
+      }
+    }
+  }
+  return result;
+}
+
+int TprTree::Height() const {
+  if (size_ == 0) return 0;
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++h;
+    node = node->children[0].get();
+  }
+  return h;
+}
+
+namespace {
+
+Status CheckTprNode(const TprTree::Node* node, bool is_root,
+                    int min_entries, int max_entries, int depth,
+                    int* leaf_depth) {
+  const int n = node->NumEntries();
+  if (n > max_entries) return Status::Internal("node overflow");
+  if (!is_root && n < min_entries) return Status::Internal("node underflow");
+  if (node->is_leaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Internal("leaves at different depths");
+    }
+    return Status::OK();
+  }
+  if (node->boxes.size() != node->children.size()) {
+    return Status::Internal("boxes/children size mismatch");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const TpBoundingBox child_union = node->children[i]->UnionBox();
+    if (!node->boxes[i].Covers(child_union)) {
+      return Status::Internal("entry TPBR does not cover its subtree");
+    }
+    HPM_RETURN_IF_ERROR(CheckTprNode(node->children[i].get(), false,
+                                     min_entries, max_entries, depth + 1,
+                                     leaf_depth));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TprTree::CheckInvariants() const {
+  if (size_ == 0) return Status::OK();
+  int leaf_depth = -1;
+  return CheckTprNode(root_.get(), true, options_.min_node_entries,
+                      options_.max_node_entries, 0, &leaf_depth);
+}
+
+}  // namespace hpm

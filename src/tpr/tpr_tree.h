@@ -1,0 +1,136 @@
+// TPR-tree: a time-parameterized R-tree over linearly moving points —
+// the §II-A access-method family (Šaltenis et al., SIGMOD'00) that HPM
+// is positioned against. It answers predictive *range* queries ("which
+// objects will be inside R at future time tq?") by indexing each
+// object's current position and velocity under time-parameterized
+// bounding rectangles whose edges move with the children's velocity
+// extremes.
+//
+// This implementation is a snapshot index: all points share one
+// reference time (the fleet's "now"), insertion minimises the enlarged
+// area at the midpoint of the configured horizon (the classic
+// integrated-area heuristic collapsed to its midpoint approximation),
+// and queries expand every rectangle to the query time. Like every
+// member of its family it is exact for linear motion and silently wrong
+// for objects that turn — which is precisely the contrast the
+// ablation_range_queries bench measures against HPM.
+
+#ifndef HPM_TPR_TPR_TREE_H_
+#define HPM_TPR_TPR_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/bounding_box.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+/// One indexed object: position at the snapshot's reference time plus a
+/// constant velocity (units per timestamp).
+struct MovingPoint {
+  int64_t id = 0;
+  Point position;
+  Point velocity;
+
+  /// Extrapolated location at `t` relative to the reference time.
+  Point PositionAt(Timestamp reference_time, Timestamp t) const {
+    return position + velocity * static_cast<double>(t - reference_time);
+  }
+};
+
+/// A time-parameterized bounding rectangle: spatial bounds at the
+/// reference time plus velocity bounds; conservative expansion to any
+/// future time.
+struct TpBoundingBox {
+  BoundingBox box;          ///< Bounds at the reference time.
+  double min_vx = 0, max_vx = 0;
+  double min_vy = 0, max_vy = 0;
+
+  /// Extends to cover a moving point.
+  void Extend(const MovingPoint& p);
+
+  /// Extends to cover another TPBR.
+  void Extend(const TpBoundingBox& other);
+
+  /// The (conservative) spatial bounds `dt` timestamps after the
+  /// reference time. Precondition: dt >= 0 and non-empty box.
+  BoundingBox BoxAt(double dt) const;
+
+  /// True if every point/velocity bound of `other` is inside this.
+  bool Covers(const TpBoundingBox& other) const;
+
+  bool IsEmpty() const { return box.IsEmpty(); }
+};
+
+/// Per-query instrumentation.
+struct TprSearchStats {
+  size_t nodes_visited = 0;
+  size_t entries_tested = 0;
+};
+
+/// Snapshot TPR-tree.
+class TprTree {
+ public:
+  struct Options {
+    int max_node_entries = 16;
+    int min_node_entries = 6;
+
+    /// Insertion optimises node area at reference_time + horizon/2.
+    Timestamp horizon = 60;
+  };
+
+  /// Creates an empty snapshot index anchored at `reference_time`.
+  TprTree(Timestamp reference_time, Options options);
+  explicit TprTree(Timestamp reference_time);
+  ~TprTree();
+  TprTree(TprTree&&) noexcept;
+  TprTree& operator=(TprTree&&) noexcept;
+  TprTree(const TprTree&) = delete;
+  TprTree& operator=(const TprTree&) = delete;
+
+  Timestamp reference_time() const { return reference_time_; }
+
+  /// Indexes one moving point.
+  Status Insert(MovingPoint point);
+
+  /// All points whose extrapolated position at `tq` lies inside
+  /// `range`. `tq` must be at or after the reference time.
+  StatusOr<std::vector<const MovingPoint*>> RangeQuery(
+      const BoundingBox& range, Timestamp tq,
+      TprSearchStats* stats = nullptr) const;
+
+  /// The `n` points whose extrapolated positions at `tq` are nearest to
+  /// `target`, nearest first (predictive k-NN, best-first search with
+  /// TPBR distance bounds). `tq` must be at or after the reference
+  /// time; n >= 1.
+  StatusOr<std::vector<const MovingPoint*>> NearestNeighbors(
+      const Point& target, Timestamp tq, int n,
+      TprSearchStats* stats = nullptr) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int Height() const;
+
+  /// Structural self-check: uniform leaf depth, fill bounds, and TPBR
+  /// containment on every internal entry.
+  Status CheckInvariants() const;
+
+  struct Node;
+
+ private:
+  Node* ChooseLeaf(const MovingPoint& point, std::vector<Node*>* path,
+                   std::vector<int>* entry_indices) const;
+  std::unique_ptr<Node> SplitNode(Node* node);
+
+  Timestamp reference_time_;
+  Options options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_TPR_TPR_TREE_H_

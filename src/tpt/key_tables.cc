@@ -1,0 +1,89 @@
+#include "tpt/key_tables.h"
+
+#include <algorithm>
+
+namespace hpm {
+
+KeyTables KeyTables::Build(const FrequentRegionSet& regions,
+                           const std::vector<TrajectoryPattern>& patterns) {
+  KeyTables tables;
+  tables.num_regions_ = regions.NumRegions();
+
+  std::vector<Timestamp> offsets;
+  offsets.reserve(patterns.size());
+  for (const TrajectoryPattern& p : patterns) {
+    offsets.push_back(regions.Region(p.consequence).offset);
+  }
+  std::sort(offsets.begin(), offsets.end());
+  offsets.erase(std::unique(offsets.begin(), offsets.end()), offsets.end());
+  tables.consequence_offsets_ = std::move(offsets);
+  for (size_t i = 0; i < tables.consequence_offsets_.size(); ++i) {
+    tables.offset_to_time_id_.emplace(tables.consequence_offsets_[i],
+                                      static_cast<int>(i));
+  }
+  return tables;
+}
+
+int KeyTables::TimeIdForOffset(Timestamp offset) const {
+  const auto it = offset_to_time_id_.find(offset);
+  return it == offset_to_time_id_.end() ? -1 : it->second;
+}
+
+Timestamp KeyTables::OffsetForTimeId(int time_id) const {
+  HPM_CHECK(time_id >= 0 &&
+            static_cast<size_t>(time_id) < consequence_offsets_.size());
+  return consequence_offsets_[static_cast<size_t>(time_id)];
+}
+
+DynamicBitset KeyTables::EncodePremise(
+    const std::vector<int>& region_ids) const {
+  DynamicBitset premise(num_regions_);
+  for (int id : region_ids) {
+    HPM_CHECK(id >= 0 && static_cast<size_t>(id) < num_regions_);
+    premise.Set(static_cast<size_t>(id));
+  }
+  return premise;
+}
+
+PatternKey KeyTables::EncodePattern(const TrajectoryPattern& pattern,
+                                    const FrequentRegionSet& regions) const {
+  DynamicBitset premise = EncodePremise(pattern.premise);
+  DynamicBitset consequence(consequence_key_length());
+  const int time_id =
+      TimeIdForOffset(regions.Region(pattern.consequence).offset);
+  HPM_CHECK(time_id >= 0);
+  consequence.Set(static_cast<size_t>(time_id));
+  return PatternKey(std::move(premise), std::move(consequence));
+}
+
+StatusOr<PatternKey> KeyTables::EncodeQuery(
+    const std::vector<int>& premise_regions, Timestamp query_offset) const {
+  const int time_id = TimeIdForOffset(query_offset);
+  if (time_id < 0) {
+    return Status::NotFound("no pattern concludes at the query offset");
+  }
+  DynamicBitset consequence(consequence_key_length());
+  consequence.Set(static_cast<size_t>(time_id));
+  return PatternKey(EncodePremise(premise_regions), std::move(consequence));
+}
+
+PatternKey KeyTables::EncodeQueryInterval(
+    const std::vector<int>& premise_regions, Timestamp lo,
+    Timestamp hi) const {
+  DynamicBitset consequence(consequence_key_length());
+  if (lo > hi) {
+    return PatternKey(EncodePremise(premise_regions),
+                      std::move(consequence));
+  }
+  // consequence_offsets_ is sorted; mark every offset in [lo, hi].
+  const auto begin = std::lower_bound(consequence_offsets_.begin(),
+                                      consequence_offsets_.end(), lo);
+  const auto end = std::upper_bound(consequence_offsets_.begin(),
+                                    consequence_offsets_.end(), hi);
+  for (auto it = begin; it != end; ++it) {
+    consequence.Set(static_cast<size_t>(it - consequence_offsets_.begin()));
+  }
+  return PatternKey(EncodePremise(premise_regions), std::move(consequence));
+}
+
+}  // namespace hpm

@@ -1,0 +1,82 @@
+// Region-key and consequence-key tables (paper §V-A, Tables I & II).
+//
+// The region key table maps frequent-region ids to bit positions via the
+// hash 2^id (the table itself need not be materialised — the hash is the
+// id — but the premise-key length is the number of frequent regions).
+// The consequence key table collects the distinct time offsets appearing
+// as pattern consequences, sorts them, and assigns dense time ids.
+
+#ifndef HPM_TPT_KEY_TABLES_H_
+#define HPM_TPT_KEY_TABLES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/trajectory.h"
+#include "mining/apriori.h"
+#include "mining/frequent_region.h"
+#include "tpt/pattern_key.h"
+
+namespace hpm {
+
+/// Immutable encoder from patterns / queries to pattern keys.
+class KeyTables {
+ public:
+  KeyTables() = default;
+
+  /// Builds the tables from the mined regions and patterns: premise-key
+  /// length = number of regions; consequence-key length = number of
+  /// distinct consequence offsets among `patterns`.
+  static KeyTables Build(const FrequentRegionSet& regions,
+                         const std::vector<TrajectoryPattern>& patterns);
+
+  /// Length of every premise key (number of frequent regions).
+  size_t premise_key_length() const { return num_regions_; }
+
+  /// Length of every consequence key (number of consequence offsets).
+  size_t consequence_key_length() const {
+    return consequence_offsets_.size();
+  }
+
+  /// The sorted consequence offsets (time id i -> offset).
+  const std::vector<Timestamp>& consequence_offsets() const {
+    return consequence_offsets_;
+  }
+
+  /// Time id of an offset, or -1 when no pattern concludes at it.
+  int TimeIdForOffset(Timestamp offset) const;
+
+  /// Offset of a time id. Precondition: 0 <= id < consequence count.
+  Timestamp OffsetForTimeId(int time_id) const;
+
+  /// Encodes a mined pattern. All of its region ids and its consequence
+  /// offset must be known to the tables (they are, when the tables were
+  /// built from the same mining run).
+  PatternKey EncodePattern(const TrajectoryPattern& pattern,
+                           const FrequentRegionSet& regions) const;
+
+  /// Encodes a query: premise bits for the recently-visited regions,
+  /// one consequence bit for the query offset. Returns NotFound when no
+  /// pattern concludes at `query_offset` (FQP then falls back to the
+  /// motion function).
+  StatusOr<PatternKey> EncodeQuery(const std::vector<int>& premise_regions,
+                                   Timestamp query_offset) const;
+
+  /// Encodes a BQP query: premise bits as above, consequence bits for
+  /// *every* table offset inside [lo, hi] (inclusive, clamped). The
+  /// consequence part is empty-bitted when the interval covers no offset.
+  PatternKey EncodeQueryInterval(const std::vector<int>& premise_regions,
+                                 Timestamp lo, Timestamp hi) const;
+
+ private:
+  DynamicBitset EncodePremise(const std::vector<int>& region_ids) const;
+
+  size_t num_regions_ = 0;
+  std::vector<Timestamp> consequence_offsets_;
+  std::unordered_map<Timestamp, int> offset_to_time_id_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_TPT_KEY_TABLES_H_

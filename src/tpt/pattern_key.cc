@@ -1,0 +1,51 @@
+#include "tpt/pattern_key.h"
+
+namespace hpm {
+
+PatternKey::PatternKey(size_t premise_length, size_t consequence_length)
+    : premise_(premise_length), consequence_(consequence_length) {}
+
+PatternKey::PatternKey(DynamicBitset premise, DynamicBitset consequence)
+    : premise_(std::move(premise)), consequence_(std::move(consequence)) {}
+
+size_t PatternKey::Size() const {
+  return premise_.Count() + consequence_.Count();
+}
+
+void PatternKey::UnionWith(const PatternKey& other) {
+  premise_ |= other.premise_;
+  consequence_ |= other.consequence_;
+}
+
+bool PatternKey::ContainsKey(const PatternKey& other) const {
+  return premise_.Contains(other.premise_) &&
+         consequence_.Contains(other.consequence_);
+}
+
+size_t PatternKey::DifferenceFrom(const PatternKey& other) const {
+  return premise_.DifferenceCount(other.premise_) +
+         consequence_.DifferenceCount(other.consequence_);
+}
+
+bool PatternKey::Intersects(const PatternKey& other) const {
+  return consequence_.AnyCommon(other.consequence_) &&
+         premise_.AnyCommon(other.premise_);
+}
+
+bool PatternKey::IntersectsConsequence(const PatternKey& other) const {
+  return consequence_.AnyCommon(other.consequence_);
+}
+
+bool PatternKey::operator==(const PatternKey& other) const {
+  return premise_ == other.premise_ && consequence_ == other.consequence_;
+}
+
+std::string PatternKey::ToString() const {
+  return consequence_.ToString() + premise_.ToString();
+}
+
+size_t PatternKey::MemoryBytes() const {
+  return premise_.MemoryBytes() + consequence_.MemoryBytes();
+}
+
+}  // namespace hpm

@@ -1,0 +1,147 @@
+#include "baselines/markov.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+MarkovOptions Options(double cell = 100.0, double extent = 1000.0) {
+  MarkovOptions o;
+  o.cell_size = cell;
+  o.extent = extent;
+  return o;
+}
+
+TEST(MarkovTest, TrainValidation) {
+  Trajectory t;
+  t.Append({0, 0});
+  EXPECT_EQ(MarkovPredictor::Train(t, Options()).status().code(),
+            StatusCode::kFailedPrecondition);
+  t.Append({1, 1});
+  EXPECT_EQ(
+      MarkovPredictor::Train(t, Options(0.0)).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      MarkovPredictor::Train(t, Options(10.0, -1.0)).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_TRUE(MarkovPredictor::Train(t, Options()).ok());
+}
+
+TEST(MarkovTest, CellGeometryRoundTrips) {
+  Trajectory t;
+  t.Append({0, 0});
+  t.Append({1, 1});
+  auto m = MarkovPredictor::Train(t, Options(100.0, 1000.0));
+  ASSERT_TRUE(m.ok());
+  // A point maps to the cell whose centre it is near.
+  const Point p{250, 850};
+  const int64_t cell = m->CellOf(p);
+  const Point center = m->CellCenter(cell);
+  EXPECT_NEAR(center.x, 250, 50.0);
+  EXPECT_NEAR(center.y, 850, 50.0);
+  // Out-of-extent points clamp to boundary cells, never crash.
+  EXPECT_EQ(m->CellOf({-50, 2000}), m->CellOf({0, 999}));
+}
+
+TEST(MarkovTest, LearnsDeterministicChain) {
+  // The object marches right one cell per tick.
+  Trajectory t;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (int i = 0; i < 9; ++i) {
+      t.Append({i * 100.0 + 50.0, 50.0});
+    }
+  }
+  auto m = MarkovPredictor::Train(t, Options(100.0, 1000.0));
+  ASSERT_TRUE(m.ok());
+  const std::vector<TimedPoint> recent = {{0, {50.0, 50.0}}};
+  auto p = m->Predict(recent, 4);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 450.0, 1e-9);
+  EXPECT_NEAR(p->y, 50.0, 1e-9);
+}
+
+TEST(MarkovTest, TransitionProbabilities) {
+  // From cell A: 3 times to B, 1 time to C.
+  Trajectory t;
+  auto a = Point{50, 50};
+  auto b = Point{150, 50};
+  auto c = Point{50, 150};
+  for (int i = 0; i < 3; ++i) {
+    t.Append(a);
+    t.Append(b);
+  }
+  t.Append(a);
+  t.Append(c);
+  auto m = MarkovPredictor::Train(t, Options(100.0, 1000.0));
+  ASSERT_TRUE(m.ok());
+  // Note transitions b->a and c... also counted; check a's row.
+  const int64_t cell_a = m->CellOf(a);
+  const int64_t cell_b = m->CellOf(b);
+  const int64_t cell_c = m->CellOf(c);
+  EXPECT_NEAR(m->TransitionProbability(cell_a, cell_b), 0.75, 1e-9);
+  EXPECT_NEAR(m->TransitionProbability(cell_a, cell_c), 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(m->TransitionProbability(cell_a, 99), 0.0);
+  EXPECT_DOUBLE_EQ(m->TransitionProbability(12345, cell_a), 0.0);
+}
+
+TEST(MarkovTest, AbsorbingCellStopsWalk) {
+  // Chain ends at the right edge; a long-horizon query parks there.
+  Trajectory t;
+  for (int i = 0; i < 5; ++i) t.Append({i * 100.0 + 50.0, 50.0});
+  auto m = MarkovPredictor::Train(t, Options(100.0, 1000.0));
+  ASSERT_TRUE(m.ok());
+  const std::vector<TimedPoint> recent = {{0, {450.0, 50.0}}};
+  auto p = m->Predict(recent, 100);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 450.0, 1e-9);
+}
+
+TEST(MarkovTest, PredictValidation) {
+  Trajectory t;
+  t.Append({0, 0});
+  t.Append({1, 1});
+  auto m = MarkovPredictor::Train(t, Options());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->Predict({}, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(m->Predict({{10, {0, 0}}}, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  // tq == tc returns the current cell centre.
+  auto p = m->Predict({{10, {0, 0}}}, 10);
+  ASSERT_TRUE(p.ok());
+}
+
+TEST(MarkovTest, CellSizeChangesAnswer) {
+  // The paper's §II-B criticism: accuracy depends on cell size. With a
+  // diagonal mover, a coarse grid snaps the prediction far from truth.
+  Trajectory t;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 10; ++i) {
+      t.Append({i * 100.0 + 10.0, i * 100.0 + 10.0});
+    }
+  }
+  const std::vector<TimedPoint> recent = {{0, {10.0, 10.0}}};
+  auto fine = MarkovPredictor::Train(t, Options(100.0, 1000.0));
+  auto coarse = MarkovPredictor::Train(t, Options(500.0, 1000.0));
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  const Point actual{510.0, 510.0};
+  auto fine_p = fine->Predict(recent, 5);
+  auto coarse_p = coarse->Predict(recent, 5);
+  ASSERT_TRUE(fine_p.ok());
+  ASSERT_TRUE(coarse_p.ok());
+  EXPECT_LT(Distance(*fine_p, actual), Distance(*coarse_p, actual));
+}
+
+TEST(MarkovTest, ActiveCellCount) {
+  Trajectory t;
+  for (int i = 0; i < 5; ++i) t.Append({i * 100.0 + 50.0, 50.0});
+  auto m = MarkovPredictor::Train(t, Options(100.0, 1000.0));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->NumActiveCells(), 4u);  // Last cell has no outgoing edge.
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,221 @@
+#include "bitset/dynamic_bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+TEST(DynamicBitsetTest, DefaultIsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+}
+
+TEST(DynamicBitsetTest, SetAndTest) {
+  DynamicBitset b(70);  // Spans two words.
+  EXPECT_EQ(b.size(), 70u);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Set(63, false);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, FromStringMatchesPaperOrder) {
+  // Paper's printing: leftmost character = most significant bit.
+  const DynamicBitset b = DynamicBitset::FromString("00101");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_TRUE(b.Test(2));
+  EXPECT_FALSE(b.Test(3));
+  EXPECT_FALSE(b.Test(4));
+  EXPECT_EQ(b.ToString(), "00101");
+}
+
+TEST(DynamicBitsetTest, ToStringRoundTrip) {
+  const std::vector<std::string> cases = {"0", "1", "10", "0100001",
+                                          "1000011", "1111111111"};
+  for (const auto& s : cases) {
+    EXPECT_EQ(DynamicBitset::FromString(s).ToString(), s);
+  }
+}
+
+TEST(DynamicBitsetTest, BitwiseOps) {
+  const auto a = DynamicBitset::FromString("1100");
+  const auto b = DynamicBitset::FromString("1010");
+  EXPECT_EQ((a & b).ToString(), "1000");
+  EXPECT_EQ((a | b).ToString(), "1110");
+  EXPECT_EQ((a ^ b).ToString(), "0110");
+}
+
+TEST(DynamicBitsetTest, InPlaceOps) {
+  auto a = DynamicBitset::FromString("1100");
+  a |= DynamicBitset::FromString("0011");
+  EXPECT_EQ(a.ToString(), "1111");
+  a &= DynamicBitset::FromString("0110");
+  EXPECT_EQ(a.ToString(), "0110");
+  a ^= DynamicBitset::FromString("0110");
+  EXPECT_TRUE(a.None());
+}
+
+TEST(DynamicBitsetTest, ContainsMatchesPaperContain) {
+  // Contain(pk1, pk2) iff pk1 & pk2 == pk2.
+  const auto big = DynamicBitset::FromString("10111");
+  EXPECT_TRUE(big.Contains(DynamicBitset::FromString("00101")));
+  EXPECT_TRUE(big.Contains(DynamicBitset::FromString("10111")));
+  EXPECT_TRUE(big.Contains(DynamicBitset::FromString("00000")));
+  EXPECT_FALSE(big.Contains(DynamicBitset::FromString("01000")));
+  EXPECT_FALSE(
+      DynamicBitset::FromString("00101").Contains(big));
+}
+
+TEST(DynamicBitsetTest, AnyCommon) {
+  const auto a = DynamicBitset::FromString("0101");
+  EXPECT_TRUE(a.AnyCommon(DynamicBitset::FromString("0100")));
+  EXPECT_FALSE(a.AnyCommon(DynamicBitset::FromString("1010")));
+  EXPECT_FALSE(a.AnyCommon(DynamicBitset::FromString("0000")));
+}
+
+TEST(DynamicBitsetTest, DifferenceCountMatchesPaperDefinition) {
+  // Difference(pk1, pk2) = Size(pk1 XOR (pk1 AND pk2)).
+  const auto a = DynamicBitset::FromString("1110");
+  const auto b = DynamicBitset::FromString("0111");
+  EXPECT_EQ(a.DifferenceCount(b), 1u);  // Bit 3 only in a.
+  EXPECT_EQ(b.DifferenceCount(a), 1u);  // Bit 0 only in b.
+  EXPECT_EQ(a.DifferenceCount(a), 0u);
+  const auto manual = (a ^ (a & b)).Count();
+  EXPECT_EQ(a.DifferenceCount(b), manual);
+}
+
+TEST(DynamicBitsetTest, HighestSetBit) {
+  EXPECT_EQ(DynamicBitset(10).HighestSetBit(), -1);
+  EXPECT_EQ(DynamicBitset::FromString("00101").HighestSetBit(), 2);
+  DynamicBitset b(130);
+  b.Set(129);
+  b.Set(5);
+  EXPECT_EQ(b.HighestSetBit(), 129);
+}
+
+TEST(DynamicBitsetTest, SetBitsAscending) {
+  DynamicBitset b(100);
+  b.Set(3);
+  b.Set(64);
+  b.Set(99);
+  const std::vector<size_t> expected = {3, 64, 99};
+  EXPECT_EQ(b.SetBits(), expected);
+}
+
+TEST(DynamicBitsetTest, ResizeGrowZeroFills) {
+  auto b = DynamicBitset::FromString("111");
+  b.Resize(70);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_EQ(b.Count(), 3u);
+  EXPECT_FALSE(b.Test(69));
+}
+
+TEST(DynamicBitsetTest, ResizeShrinkTruncates) {
+  DynamicBitset b(70);
+  b.Set(69);
+  b.Set(1);
+  b.Resize(10);
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_TRUE(b.Test(1));
+}
+
+TEST(DynamicBitsetTest, ShrinkThenGrowDoesNotResurrectBits) {
+  DynamicBitset b(64);
+  b.Set(63);
+  b.Resize(32);
+  b.Resize(64);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, EqualityIncludesSize) {
+  const auto a = DynamicBitset::FromString("0101");
+  EXPECT_EQ(a, DynamicBitset::FromString("0101"));
+  EXPECT_NE(a, DynamicBitset::FromString("1101"));
+  EXPECT_NE(a, DynamicBitset::FromString("00101"));  // Different size.
+}
+
+TEST(DynamicBitsetTest, HashDistinguishesTypicalKeys) {
+  const auto a = DynamicBitset::FromString("0101");
+  const auto b = DynamicBitset::FromString("1010");
+  const auto c = DynamicBitset::FromString("0101");
+  EXPECT_EQ(a.Hash(), c.Hash());
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(DynamicBitsetTest, MemoryBytesTracksWords) {
+  EXPECT_EQ(DynamicBitset(0).MemoryBytes(), 0u);
+  EXPECT_EQ(DynamicBitset(1).MemoryBytes(), 8u);
+  EXPECT_EQ(DynamicBitset(64).MemoryBytes(), 8u);
+  EXPECT_EQ(DynamicBitset(65).MemoryBytes(), 16u);
+}
+
+TEST(DynamicBitsetDeathTest, OutOfRangeAborts) {
+  DynamicBitset b(8);
+  EXPECT_DEATH(b.Set(8), "HPM_CHECK");
+  EXPECT_DEATH((void)b.Test(8), "HPM_CHECK");
+}
+
+TEST(DynamicBitsetDeathTest, SizeMismatchAborts) {
+  DynamicBitset a(8), b(9);
+  EXPECT_DEATH((void)(a & b), "HPM_CHECK");
+  EXPECT_DEATH((void)a.Contains(b), "HPM_CHECK");
+  EXPECT_DEATH((void)a.AnyCommon(b), "HPM_CHECK");
+  EXPECT_DEATH((void)a.DifferenceCount(b), "HPM_CHECK");
+}
+
+/// Property sweep: random bitsets obey the algebraic identities the TPT
+/// relies on.
+class BitsetPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitsetPropertyTest, AlgebraicIdentitiesHold) {
+  const size_t n = GetParam();
+  Random rng(n * 31 + 7);
+  for (int round = 0; round < 50; ++round) {
+    DynamicBitset a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) a.Set(i);
+      if (rng.Bernoulli(0.3)) b.Set(i);
+    }
+    // Count splits over the difference decomposition.
+    EXPECT_EQ(a.Count(),
+              (a & b).Count() + a.DifferenceCount(b));
+    // Contains iff difference is zero.
+    EXPECT_EQ(a.Contains(b), b.DifferenceCount(a) == 0);
+    // AnyCommon iff AND non-empty.
+    EXPECT_EQ(a.AnyCommon(b), (a & b).Any());
+    // De Morgan-ish: |a| + |b| = |a|b| + |a&b|.
+    EXPECT_EQ(a.Count() + b.Count(), (a | b).Count() + (a & b).Count());
+    // XOR = union minus intersection.
+    EXPECT_EQ((a ^ b).Count(), (a | b).Count() - (a & b).Count());
+    // SetBits count agrees with Count.
+    EXPECT_EQ(a.SetBits().size(), a.Count());
+    // Round trip through string.
+    EXPECT_EQ(DynamicBitset::FromString(a.ToString()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetPropertyTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 128, 300));
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,189 @@
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+DbscanParams Params(double eps, int min_pts) {
+  DbscanParams p;
+  p.eps = eps;
+  p.min_pts = min_pts;
+  return p;
+}
+
+TEST(DbscanTest, EmptyInput) {
+  auto result = Dbscan({}, Params(1.0, 3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 0);
+  EXPECT_TRUE(result->labels.empty());
+}
+
+TEST(DbscanTest, InvalidParamsRejected) {
+  const std::vector<Point> pts = {{0, 0}};
+  EXPECT_EQ(Dbscan(pts, Params(0.0, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Dbscan(pts, Params(-1.0, 3)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Dbscan(pts, Params(1.0, 0)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DbscanTest, SingleDenseCluster) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({static_cast<double>(i) * 0.1, 0.0});
+  }
+  auto result = Dbscan(pts, Params(0.2, 3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1);
+  for (int label : result->labels) EXPECT_EQ(label, 0);
+}
+
+TEST(DbscanTest, TwoSeparatedClusters) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 6; ++i) pts.push_back({i * 0.1, 0.0});
+  for (int i = 0; i < 6; ++i) pts.push_back({100 + i * 0.1, 0.0});
+  auto result = Dbscan(pts, Params(0.2, 3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 2);
+  // All of the first six share one label, all of the last six another.
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(result->labels[i], result->labels[0]);
+  for (int i = 7; i < 12; ++i) EXPECT_EQ(result->labels[i], result->labels[6]);
+  EXPECT_NE(result->labels[0], result->labels[6]);
+}
+
+TEST(DbscanTest, IsolatedPointsAreNoise) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 6; ++i) pts.push_back({i * 0.1, 0.0});
+  pts.push_back({50, 50});
+  auto result = Dbscan(pts, Params(0.2, 3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.back(), DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, MinPtsCountsThePointItself) {
+  // Two points within eps: neighbourhood size 2. min_pts=2 clusters them;
+  // min_pts=3 leaves noise.
+  const std::vector<Point> pts = {{0, 0}, {0.1, 0}};
+  auto loose = Dbscan(pts, Params(0.2, 2));
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose->num_clusters, 1);
+  auto strict = Dbscan(pts, Params(0.2, 3));
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->num_clusters, 0);
+  EXPECT_EQ(strict->labels[0], DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, BorderPointJoinsCluster) {
+  // A dense core at x ~ 0 and one border point reachable from the core
+  // but itself non-core.
+  std::vector<Point> pts = {{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}};
+  pts.push_back({0.25, 0});  // Within eps of (0.1, 0) only.
+  auto result = Dbscan(pts, Params(0.2, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1);
+  EXPECT_EQ(result->labels.back(), 0);
+}
+
+TEST(DbscanTest, ChainedDensityReachability) {
+  // A long chain where each point is core: one cluster spans the chain.
+  std::vector<Point> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({i * 0.1, 0.0});
+  auto result = Dbscan(pts, Params(0.15, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1);
+  const double spread = Distance(pts.front(), pts.back());
+  EXPECT_GT(spread, 4.0);  // Cluster diameter far exceeds eps.
+}
+
+TEST(DbscanTest, LabelsAreDense) {
+  Random rng(77);
+  std::vector<Point> pts;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      pts.push_back({c * 100.0 + rng.Gaussian(0, 1),
+                     c * 100.0 + rng.Gaussian(0, 1)});
+    }
+  }
+  auto result = Dbscan(pts, Params(5.0, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 4);
+  std::set<int> labels(result->labels.begin(), result->labels.end());
+  for (int c = 0; c < 4; ++c) EXPECT_TRUE(labels.count(c));
+}
+
+/// Property: core points are never noise, and every cluster contains at
+/// least one core point; verified against a brute-force neighbourhood
+/// count.
+class DbscanPropertyTest
+    : public ::testing::TestWithParam<std::pair<double, int>> {};
+
+TEST_P(DbscanPropertyTest, CoreInvariantsHold) {
+  const auto [eps, min_pts] = GetParam();
+  Random rng(static_cast<uint64_t>(eps * 10 + min_pts));
+  std::vector<Point> pts(200);
+  for (auto& p : pts) {
+    p = {rng.UniformDouble(0, 50), rng.UniformDouble(0, 50)};
+  }
+  auto result = Dbscan(pts, Params(eps, min_pts));
+  ASSERT_TRUE(result.ok());
+
+  auto neighbourhood_size = [&](size_t i) {
+    int n = 0;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (SquaredDistance(pts[i], pts[j]) <= eps * eps) ++n;
+    }
+    return n;
+  };
+
+  std::set<int> clusters_with_core;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const bool core = neighbourhood_size(i) >= min_pts;
+    if (core) {
+      // Core points always belong to a cluster.
+      EXPECT_NE(result->labels[i], DbscanResult::kNoise);
+      clusters_with_core.insert(result->labels[i]);
+    }
+    if (result->labels[i] == DbscanResult::kNoise) {
+      // Noise points are non-core.
+      EXPECT_LT(neighbourhood_size(i), min_pts);
+    } else {
+      EXPECT_GE(result->labels[i], 0);
+      EXPECT_LT(result->labels[i], result->num_clusters);
+    }
+  }
+  // Every cluster id is anchored by a core point.
+  EXPECT_EQ(static_cast<int>(clusters_with_core.size()),
+            result->num_clusters);
+  // Border points must be within eps of a core point of their cluster.
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (result->labels[i] == DbscanResult::kNoise) continue;
+    if (neighbourhood_size(i) >= min_pts) continue;  // Core.
+    bool near_core = false;
+    for (size_t j = 0; j < pts.size() && !near_core; ++j) {
+      if (result->labels[j] == result->labels[i] &&
+          neighbourhood_size(j) >= min_pts &&
+          SquaredDistance(pts[i], pts[j]) <= eps * eps) {
+        near_core = true;
+      }
+    }
+    EXPECT_TRUE(near_core) << "border point " << i << " not near any core";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DbscanPropertyTest,
+                         ::testing::Values(std::make_pair(1.0, 3),
+                                           std::make_pair(2.0, 4),
+                                           std::make_pair(3.0, 5),
+                                           std::make_pair(5.0, 4),
+                                           std::make_pair(8.0, 10)));
+
+}  // namespace
+}  // namespace hpm

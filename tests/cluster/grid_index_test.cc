@@ -1,0 +1,102 @@
+#include "cluster/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+std::vector<int> Sorted(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Reference implementation: linear scan.
+std::vector<int> BruteRange(const std::vector<Point>& pts, const Point& c,
+                            double r) {
+  std::vector<int> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (SquaredDistance(pts[i], c) <= r * r) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+TEST(GridIndexTest, FindsNeighboursWithinRadius) {
+  const std::vector<Point> pts = {{0, 0}, {1, 0}, {3, 0}, {0, 2.5}};
+  GridIndex index(pts, 2.0);
+  EXPECT_EQ(Sorted(index.RangeQuery({0, 0})), (std::vector<int>{0, 1}));
+}
+
+TEST(GridIndexTest, RadiusIsInclusive) {
+  const std::vector<Point> pts = {{0, 0}, {2, 0}};
+  GridIndex index(pts, 2.0);
+  EXPECT_EQ(Sorted(index.RangeQuery({0, 0})), (std::vector<int>{0, 1}));
+}
+
+TEST(GridIndexTest, QueryCenterNeedNotBeIndexed) {
+  const std::vector<Point> pts = {{10, 10}, {11, 10}};
+  GridIndex index(pts, 1.5);
+  EXPECT_EQ(Sorted(index.RangeQuery({10.5, 10})),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(GridIndexTest, EmptyPointSet) {
+  const std::vector<Point> pts;
+  GridIndex index(pts, 1.0);
+  EXPECT_TRUE(index.RangeQuery({0, 0}).empty());
+}
+
+TEST(GridIndexTest, NegativeCoordinates) {
+  const std::vector<Point> pts = {{-5, -5}, {-5.5, -5.2}, {5, 5}};
+  GridIndex index(pts, 1.0);
+  EXPECT_EQ(Sorted(index.RangeQuery({-5, -5})), (std::vector<int>{0, 1}));
+}
+
+TEST(GridIndexTest, DuplicatePointsAllReturned) {
+  const std::vector<Point> pts = {{1, 1}, {1, 1}, {1, 1}};
+  GridIndex index(pts, 0.5);
+  EXPECT_EQ(index.RangeQuery({1, 1}).size(), 3u);
+}
+
+TEST(GridIndexTest, OutParameterVariantClearsFirst) {
+  const std::vector<Point> pts = {{0, 0}};
+  GridIndex index(pts, 1.0);
+  std::vector<int> out = {99, 98};
+  index.RangeQuery({0, 0}, &out);
+  EXPECT_EQ(out, std::vector<int>{0});
+}
+
+TEST(GridIndexDeathTest, NonPositiveRadiusAborts) {
+  const std::vector<Point> pts = {{0, 0}};
+  EXPECT_DEATH(GridIndex(pts, 0.0), "HPM_CHECK");
+}
+
+class GridIndexPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridIndexPropertyTest, AgreesWithBruteForce) {
+  const double radius = GetParam();
+  Random rng(static_cast<uint64_t>(radius * 100));
+  std::vector<Point> pts(400);
+  for (auto& p : pts) {
+    p = {rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+  }
+  GridIndex index(pts, radius);
+  for (int q = 0; q < 50; ++q) {
+    const Point center{rng.UniformDouble(-10, 110),
+                       rng.UniformDouble(-10, 110)};
+    EXPECT_EQ(Sorted(index.RangeQuery(center)),
+              BruteRange(pts, center, radius));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, GridIndexPropertyTest,
+                         ::testing::Values(0.5, 2.0, 10.0, 30.0, 150.0));
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,150 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hpm {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversAllValues) {
+  Random rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, UniformIntInclusiveBounds) {
+  Random rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, UniformIntSingleton) {
+  Random rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextDoubleMeanNearHalf) {
+  Random rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomTest, UniformDoubleRespectsBounds) {
+  Random rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble(-2.5, 7.5);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 7.5);
+  }
+}
+
+TEST(RandomTest, GaussianMomentsApproximatelyStandard) {
+  Random rng(31);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RandomTest, GaussianShiftAndScale) {
+  Random rng(37);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RandomTest, BernoulliEdgeProbabilities) {
+  Random rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RandomTest, BernoulliFrequencyMatchesP) {
+  Random rng(43);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RandomUniformSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomUniformSweep, ModuloUnbiasedWithinTolerance) {
+  const uint64_t n = GetParam();
+  Random rng(n * 7 + 1);
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<size_t>(rng.Uniform(n))];
+  }
+  const double expected = static_cast<double>(draws) / static_cast<double>(n);
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomUniformSweep,
+                         ::testing::Values(2, 3, 5, 10, 16, 33));
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,125 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hpm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string name;
+  };
+  const std::vector<Case> cases = {
+      {Status::InvalidArgument("bad"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("missing"), StatusCode::kNotFound, "NotFound"},
+      {Status::FailedPrecondition("early"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::OutOfRange("far"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::Internal("bug"), StatusCode::kInternal, "Internal"},
+      {Status::Unimplemented("todo"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeName(c.code), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+    EXPECT_NE(c.status.ToString().find(c.status.message()),
+              std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  Status s(StatusCode::kInternal, "");
+  EXPECT_EQ(s.ToString(), "Internal");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  ASSERT_TRUE(v.ok());
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::vector<int>> v(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusOrTest, MutableAccess) {
+  StatusOr<std::vector<int>> v(std::vector<int>{1});
+  v->push_back(2);
+  EXPECT_EQ(v.value().size(), 2u);
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  HPM_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(5).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> v(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)v.value(); }, "StatusOr::value");
+}
+
+TEST(StatusOrDeathTest, ConstructFromOkStatusAborts) {
+  EXPECT_DEATH({ StatusOr<int> v{Status::OK()}; }, "OK status");
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ HPM_CHECK(1 == 2); }, "HPM_CHECK failed");
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,57 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpm {
+namespace {
+
+/// Busy-waits long enough to be measurable on any clock.
+void Burn(int64_t micros) {
+  Stopwatch w;
+  volatile double sink = 0.0;
+  while (w.ElapsedMicros() < micros) {
+    sink = sink + std::sqrt(sink + 1.0);
+  }
+}
+
+TEST(StopwatchTest, StartsNearZero) {
+  Stopwatch w;
+  EXPECT_LT(w.ElapsedMicros(), 10000);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch w;
+  int64_t previous = 0;
+  for (int i = 0; i < 5; ++i) {
+    Burn(200);
+    const int64_t now = w.ElapsedMicros();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  EXPECT_GE(previous, 1000);
+}
+
+TEST(StopwatchTest, UnitsAgree) {
+  Stopwatch w;
+  Burn(2000);
+  const int64_t micros = w.ElapsedMicros();
+  const double millis = w.ElapsedMillis();
+  const double seconds = w.ElapsedSeconds();
+  EXPECT_NEAR(millis, static_cast<double>(micros) / 1000.0,
+              static_cast<double>(micros) * 0.5);
+  EXPECT_NEAR(seconds, millis / 1000.0, millis);
+  EXPECT_GE(micros, 2000);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch w;
+  Burn(2000);
+  EXPECT_GE(w.ElapsedMicros(), 2000);
+  w.Restart();
+  EXPECT_LT(w.ElapsedMicros(), 2000);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,84 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hpm {
+namespace {
+
+std::string CaptureTable(const TablePrinter& t, bool csv) {
+  std::FILE* tmp = std::tmpfile();
+  EXPECT_NE(tmp, nullptr);
+  if (csv) {
+    t.PrintCsv(tmp);
+  } else {
+    t.Print(tmp);
+  }
+  std::fflush(tmp);
+  std::rewind(tmp);
+  std::string out;
+  char buf[256];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(tmp);
+  return out;
+}
+
+TEST(TablePrinterTest, CountsRowsAndColumns) {
+  TablePrinter t({"a", "b"});
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, AlignedOutputContainsHeadersAndCells) {
+  TablePrinter t({"eps", "patterns"});
+  t.AddRow({"22", "1034"});
+  t.AddRow({"38", "65558"});
+  const std::string out = CaptureTable(t, false);
+  EXPECT_NE(out.find("eps"), std::string::npos);
+  EXPECT_NE(out.find("65558"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"x", "y", "z"});
+  t.AddRow({"1"});
+  const std::string out = CaptureTable(t, true);
+  EXPECT_NE(out.find("1,,"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCharacters) {
+  TablePrinter t({"name"});
+  t.AddRow({"a,b"});
+  t.AddRow({"quote\"inside"});
+  const std::string out = CaptureTable(t, true);
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvPlainFieldsUnquoted) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(CaptureTable(t, true), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FormatDoublePrecision) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 4), "3.1416");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+}
+
+TEST(TablePrinterDeathTest, RowWiderThanHeaderAborts) {
+  TablePrinter t({"only"});
+  EXPECT_DEATH(t.AddRow({"a", "b"}), "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

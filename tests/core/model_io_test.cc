@@ -1,0 +1,267 @@
+// Tests for model persistence (SaveToFile / LoadFromFile) and dynamic
+// pattern incorporation (IncorporateNewHistory, paper §V-B).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "core/hybrid_predictor.h"
+
+namespace hpm {
+namespace {
+
+constexpr Timestamp kPeriod = 20;
+
+Point RouteA(Timestamp t) {
+  return {100.0 * static_cast<double>(t) + 50.0, 100.0};
+}
+Point RouteB(Timestamp t) {
+  return {100.0 * static_cast<double>(t) + 50.0, 1200.0};
+}
+
+Trajectory MakeHistory(int days, bool route_b = false, uint64_t seed = 4) {
+  Random rng(seed);
+  Trajectory traj;
+  for (int d = 0; d < days; ++d) {
+    for (Timestamp t = 0; t < kPeriod; ++t) {
+      Point p = route_b ? RouteB(t) : RouteA(t);
+      p.x += rng.Gaussian(0, 1.0);
+      p.y += rng.Gaussian(0, 1.0);
+      traj.Append(p);
+    }
+  }
+  return traj;
+}
+
+HybridPredictorOptions Options() {
+  HybridPredictorOptions options;
+  options.regions.period = kPeriod;
+  options.regions.dbscan.eps = 20.0;
+  options.regions.dbscan.min_pts = 4;
+  options.mining.min_confidence = 0.2;
+  options.mining.min_support = 3;
+  options.distant_threshold = 8;
+  options.region_match_slack = 8.0;
+  return options;
+}
+
+PredictiveQuery RouteAQuery(Timestamp tc_offset, Timestamp length) {
+  PredictiveQuery q;
+  const Timestamp base = 100 * kPeriod;
+  for (Timestamp t = tc_offset - 3; t <= tc_offset; ++t) {
+    q.recent_movements.push_back({base + t, RouteA(t)});
+  }
+  q.current_time = base + tc_offset;
+  q.query_time = q.current_time + length;
+  return q;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ModelIoTest, SaveLoadRoundTripPreservesModel) {
+  auto trained = HybridPredictor::Train(MakeHistory(30), Options());
+  ASSERT_TRUE(trained.ok());
+  const std::string path = TempPath("model_roundtrip.hpm");
+  ASSERT_TRUE((*trained)->SaveToFile(path).ok());
+
+  auto loaded = HybridPredictor::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ((*loaded)->summary().num_frequent_regions,
+            (*trained)->summary().num_frequent_regions);
+  EXPECT_EQ((*loaded)->summary().num_patterns,
+            (*trained)->summary().num_patterns);
+  EXPECT_EQ((*loaded)->summary().num_sub_trajectories,
+            (*trained)->summary().num_sub_trajectories);
+  EXPECT_TRUE((*loaded)->tpt().CheckInvariants().ok());
+
+  // Identical answers on both query paths.
+  for (const Timestamp length : {4, 12}) {
+    const PredictiveQuery q = RouteAQuery(10, length);
+    auto original = (*trained)->Predict(q);
+    auto restored = (*loaded)->Predict(q);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(original->size(), restored->size());
+    EXPECT_EQ(original->front().location, restored->front().location);
+    EXPECT_DOUBLE_EQ(original->front().score, restored->front().score);
+    EXPECT_EQ(original->front().source, restored->front().source);
+  }
+}
+
+TEST(ModelIoTest, LoadRejectsMissingFile) {
+  EXPECT_EQ(
+      HybridPredictor::LoadFromFile("/nonexistent/model").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ModelIoTest, LoadRejectsForeignFile) {
+  const std::string path = TempPath("not_a_model.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a model", f);
+  std::fclose(f);
+  EXPECT_EQ(HybridPredictor::LoadFromFile(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ModelIoTest, LoadRejectsTruncatedFile) {
+  auto trained = HybridPredictor::Train(MakeHistory(30), Options());
+  ASSERT_TRUE(trained.ok());
+  const std::string path = TempPath("model_full.hpm");
+  ASSERT_TRUE((*trained)->SaveToFile(path).ok());
+
+  // Copy a truncated prefix.
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  char buffer[256];
+  const size_t n = std::fread(buffer, 1, sizeof(buffer), in);
+  std::fclose(in);
+  const std::string cut_path = TempPath("model_cut.hpm");
+  std::FILE* out = std::fopen(cut_path.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  std::fwrite(buffer, 1, n / 2, out);
+  std::fclose(out);
+
+  EXPECT_FALSE(HybridPredictor::LoadFromFile(cut_path).ok());
+}
+
+TEST(ModelIoTest, RandomByteCorruptionNeverCrashes) {
+  // Failure injection: flip bytes at random offsets; every corrupted
+  // file must either load to a structurally valid model or fail with a
+  // clean Status — never crash or hang.
+  auto trained = HybridPredictor::Train(MakeHistory(30), Options());
+  ASSERT_TRUE(trained.ok());
+  const std::string path = TempPath("model_fuzz_base.hpm");
+  ASSERT_TRUE((*trained)->SaveToFile(path).ok());
+
+  // Read the pristine bytes.
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) bytes.append(buf, n);
+  std::fclose(in);
+  ASSERT_GT(bytes.size(), 64u);
+
+  Random rng(99);
+  const std::string fuzz_path = TempPath("model_fuzz.hpm");
+  for (int round = 0; round < 60; ++round) {
+    std::string corrupted = bytes;
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < flips; ++i) {
+      const size_t pos = rng.Uniform(corrupted.size());
+      corrupted[pos] = static_cast<char>(
+          corrupted[pos] ^ static_cast<char>(1 + rng.Uniform(255)));
+    }
+    std::FILE* out = std::fopen(fuzz_path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(corrupted.data(), 1, corrupted.size(), out);
+    std::fclose(out);
+
+    auto loaded = HybridPredictor::LoadFromFile(fuzz_path);
+    if (loaded.ok()) {
+      // If it loads (the flipped bytes were e.g. inside a coordinate),
+      // the model must still be structurally sound.
+      EXPECT_TRUE((*loaded)->tpt().CheckInvariants().ok());
+    }
+  }
+}
+
+TEST(ModelIoTest, SaveToUnwritablePathFails) {
+  auto trained = HybridPredictor::Train(MakeHistory(30), Options());
+  ASSERT_TRUE(trained.ok());
+  EXPECT_EQ((*trained)->SaveToFile("/nonexistent/dir/model").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IncorporateTest, NewDataOnKnownRouteAddsNothingNew) {
+  auto trained = HybridPredictor::Train(MakeHistory(30), Options());
+  ASSERT_TRUE(trained.ok());
+  // Fresh days on the same route: every mined rule already exists.
+  auto added =
+      (*trained)->IncorporateNewHistory(MakeHistory(10, false, 99));
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 0u);
+}
+
+TEST(IncorporateTest, RequiresACompletePeriod) {
+  auto trained = HybridPredictor::Train(MakeHistory(30), Options());
+  ASSERT_TRUE(trained.ok());
+  Trajectory partial;
+  for (int i = 0; i < 5; ++i) partial.Append({0, 0});
+  EXPECT_EQ((*trained)->IncorporateNewHistory(partial).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IncorporateTest, CrossRoutePatternsEmergeFromNewBehaviour) {
+  // Train on a history where the object is on route A OR route B on any
+  // given day, then feed new days that *switch* from A to B mid-period:
+  // region structure already covers both routes, so new cross-route
+  // rules (A-premise -> B-consequence) become minable and insertable.
+  Random rng(17);
+  Trajectory history;
+  for (int d = 0; d < 30; ++d) {
+    const bool b = d % 2 == 0;
+    for (Timestamp t = 0; t < kPeriod; ++t) {
+      Point p = b ? RouteB(t) : RouteA(t);
+      p.x += rng.Gaussian(0, 1.0);
+      p.y += rng.Gaussian(0, 1.0);
+      history.Append(p);
+    }
+  }
+  auto trained = HybridPredictor::Train(history, Options());
+  ASSERT_TRUE(trained.ok());
+  const size_t before = (*trained)->summary().num_patterns;
+
+  Trajectory switching;
+  for (int d = 0; d < 10; ++d) {
+    for (Timestamp t = 0; t < kPeriod; ++t) {
+      Point p = (t < kPeriod / 2) ? RouteA(t) : RouteB(t);
+      p.x += rng.Gaussian(0, 1.0);
+      p.y += rng.Gaussian(0, 1.0);
+      switching.Append(p);
+    }
+  }
+  auto added = (*trained)->IncorporateNewHistory(switching);
+  ASSERT_TRUE(added.ok());
+  EXPECT_GT(*added, 0u);
+  EXPECT_EQ((*trained)->summary().num_patterns, before + *added);
+  EXPECT_TRUE((*trained)->tpt().CheckInvariants().ok());
+  EXPECT_EQ((*trained)->tpt().size(),
+            (*trained)->summary().num_patterns);
+
+  // The new knowledge is queryable: an object seen on route A early in
+  // the period is now predicted to be on route B later.
+  PredictiveQuery q;
+  const Timestamp base = 200 * kPeriod;
+  for (Timestamp t = 5; t <= 8; ++t) {
+    q.recent_movements.push_back({base + t, RouteA(t)});
+  }
+  q.current_time = base + 8;
+  q.query_time = base + 15;  // Past the switch point, BQP range.
+  auto predictions = (*trained)->Predict(q);
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions->front().source, PredictionSource::kPattern);
+}
+
+TEST(IncorporateTest, SaveLoadAfterIncorporationRoundTrips) {
+  auto trained = HybridPredictor::Train(MakeHistory(30), Options());
+  ASSERT_TRUE(trained.ok());
+  ASSERT_TRUE(
+      (*trained)->IncorporateNewHistory(MakeHistory(8, true, 5)).ok());
+  const std::string path = TempPath("model_after_update.hpm");
+  ASSERT_TRUE((*trained)->SaveToFile(path).ok());
+  auto loaded = HybridPredictor::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->summary().num_patterns,
+            (*trained)->summary().num_patterns);
+}
+
+}  // namespace
+}  // namespace hpm

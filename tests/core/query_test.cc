@@ -1,0 +1,89 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+namespace hpm {
+namespace {
+
+PredictiveQuery ValidQuery() {
+  PredictiveQuery q;
+  q.recent_movements = {{5, {0, 0}}, {6, {1, 1}}, {7, {2, 2}}};
+  q.current_time = 7;
+  q.query_time = 12;
+  q.k = 1;
+  return q;
+}
+
+TEST(QueryTest, ValidQueryPasses) {
+  EXPECT_TRUE(ValidateQuery(ValidQuery()).ok());
+}
+
+TEST(QueryTest, PredictionLength) {
+  EXPECT_EQ(ValidQuery().PredictionLength(), 5);
+}
+
+TEST(QueryTest, EmptyRecentMovementsRejected) {
+  PredictiveQuery q = ValidQuery();
+  q.recent_movements.clear();
+  EXPECT_EQ(ValidateQuery(q).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, NonConsecutiveTimestampsRejected) {
+  PredictiveQuery q = ValidQuery();
+  q.recent_movements[1].time = 8;
+  EXPECT_EQ(ValidateQuery(q).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, RecentMovementsMustEndAtCurrentTime) {
+  PredictiveQuery q = ValidQuery();
+  q.current_time = 9;
+  q.query_time = 14;
+  EXPECT_EQ(ValidateQuery(q).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, QueryTimeMustBeFuture) {
+  PredictiveQuery q = ValidQuery();
+  q.query_time = 7;
+  EXPECT_EQ(ValidateQuery(q).code(), StatusCode::kInvalidArgument);
+  q.query_time = 3;
+  EXPECT_EQ(ValidateQuery(q).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, KMustBePositive) {
+  PredictiveQuery q = ValidQuery();
+  q.k = 0;
+  EXPECT_EQ(ValidateQuery(q).code(), StatusCode::kInvalidArgument);
+  q.k = -3;
+  EXPECT_EQ(ValidateQuery(q).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, SingleRecentMovementAllowed) {
+  PredictiveQuery q;
+  q.recent_movements = {{7, {1, 1}}};
+  q.current_time = 7;
+  q.query_time = 8;
+  EXPECT_TRUE(ValidateQuery(q).ok());
+}
+
+TEST(PredictionTest, ToStringPatternForm) {
+  Prediction p;
+  p.source = PredictionSource::kPattern;
+  p.pattern_id = 12;
+  p.confidence = 0.5;
+  p.score = 0.41;
+  p.location = {3, 4};
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("pattern #12"), std::string::npos);
+  EXPECT_NE(s.find("0.50"), std::string::npos);
+  EXPECT_NE(s.find("0.410"), std::string::npos);
+}
+
+TEST(PredictionTest, ToStringMotionForm) {
+  Prediction p;
+  p.source = PredictionSource::kMotionFunction;
+  p.location = {3, 4};
+  EXPECT_NE(p.ToString().find("motion function"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,164 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpm {
+namespace {
+
+DynamicBitset Bits(const std::string& s) {
+  return DynamicBitset::FromString(s);
+}
+
+TEST(WeightFunctionTest, Names) {
+  EXPECT_STREQ(WeightFunctionName(WeightFunction::kLinear), "linear");
+  EXPECT_STREQ(WeightFunctionName(WeightFunction::kQuadratic), "quadratic");
+  EXPECT_STREQ(WeightFunctionName(WeightFunction::kExponential),
+               "exponential");
+  EXPECT_STREQ(WeightFunctionName(WeightFunction::kFactorial), "factorial");
+}
+
+TEST(PositionWeightTest, LinearWeightsMatchPaper) {
+  // §VI-A: for premise key 00011 (2 ones), linear weights are 1/3, 2/3.
+  EXPECT_NEAR(PositionWeight(WeightFunction::kLinear, 1, 2), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(PositionWeight(WeightFunction::kLinear, 2, 2), 2.0 / 3, 1e-12);
+}
+
+TEST(PositionWeightTest, QuadraticWeights) {
+  // f(i) = i^2; size 3: 1/14, 4/14, 9/14.
+  EXPECT_NEAR(PositionWeight(WeightFunction::kQuadratic, 1, 3), 1.0 / 14,
+              1e-12);
+  EXPECT_NEAR(PositionWeight(WeightFunction::kQuadratic, 3, 3), 9.0 / 14,
+              1e-12);
+}
+
+TEST(PositionWeightTest, ExponentialWeights) {
+  // f(i) = 2^i; size 2: 2/6, 4/6.
+  EXPECT_NEAR(PositionWeight(WeightFunction::kExponential, 1, 2), 2.0 / 6,
+              1e-12);
+  EXPECT_NEAR(PositionWeight(WeightFunction::kExponential, 2, 2), 4.0 / 6,
+              1e-12);
+}
+
+TEST(PositionWeightTest, FactorialWeights) {
+  // f(i) = i!; size 3: 1/9, 2/9, 6/9.
+  EXPECT_NEAR(PositionWeight(WeightFunction::kFactorial, 1, 3), 1.0 / 9,
+              1e-12);
+  EXPECT_NEAR(PositionWeight(WeightFunction::kFactorial, 3, 3), 6.0 / 9,
+              1e-12);
+}
+
+class WeightSumTest : public ::testing::TestWithParam<WeightFunction> {};
+
+TEST_P(WeightSumTest, WeightsSumToOneAndIncrease) {
+  const WeightFunction fn = GetParam();
+  for (int size = 1; size <= 8; ++size) {
+    double sum = 0.0;
+    double prev = 0.0;
+    for (int i = 1; i <= size; ++i) {
+      const double w = PositionWeight(fn, i, size);
+      EXPECT_GT(w, 0.0);
+      // Property 1 + §VI-A: later positions weigh at least as much.
+      EXPECT_GE(w, prev);
+      prev = w;
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, WeightSumTest,
+                         ::testing::Values(WeightFunction::kLinear,
+                                           WeightFunction::kQuadratic,
+                                           WeightFunction::kExponential,
+                                           WeightFunction::kFactorial));
+
+TEST(PremiseSimilarityTest, PaperExamples) {
+  // §VI-A: Sr(00011, 00011) = 1; Sr(00011, 00010) = 2/3 (linear).
+  EXPECT_NEAR(
+      PremiseSimilarity(Bits("00011"), Bits("00011"), WeightFunction::kLinear),
+      1.0, 1e-12);
+  EXPECT_NEAR(
+      PremiseSimilarity(Bits("00011"), Bits("00010"), WeightFunction::kLinear),
+      2.0 / 3, 1e-12);
+}
+
+TEST(PremiseSimilarityTest, LowerPositionWorthLess) {
+  EXPECT_NEAR(
+      PremiseSimilarity(Bits("00011"), Bits("00001"), WeightFunction::kLinear),
+      1.0 / 3, 1e-12);
+}
+
+TEST(PremiseSimilarityTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(
+      PremiseSimilarity(Bits("00011"), Bits("11100"),
+                        WeightFunction::kLinear),
+      0.0);
+}
+
+TEST(PremiseSimilarityTest, EmptyPremiseIsZero) {
+  EXPECT_DOUBLE_EQ(
+      PremiseSimilarity(Bits("00000"), Bits("11111"),
+                        WeightFunction::kLinear),
+      0.0);
+}
+
+TEST(PremiseSimilarityTest, ExtraQueryBitsDoNotIncreaseSimilarity) {
+  // Only rk's bits matter; rkq superset yields exactly 1.
+  EXPECT_NEAR(PremiseSimilarity(Bits("00011"), Bits("11111"),
+                                WeightFunction::kQuadratic),
+              1.0, 1e-12);
+}
+
+TEST(PremiseSimilarityTest, WeightsAssignedByRankAmongSetBits) {
+  // rk = 10100: its two '1's are at bit positions 2 and 4; ranks 1 and 2.
+  // Query matching only bit 4 gets the rank-2 weight 2/3.
+  EXPECT_NEAR(PremiseSimilarity(Bits("10100"), Bits("10000"),
+                                WeightFunction::kLinear),
+              2.0 / 3, 1e-12);
+  EXPECT_NEAR(PremiseSimilarity(Bits("10100"), Bits("00100"),
+                                WeightFunction::kLinear),
+              1.0 / 3, 1e-12);
+}
+
+TEST(PremiseSimilarityTest, BoundedInUnitInterval) {
+  for (const auto fn :
+       {WeightFunction::kLinear, WeightFunction::kQuadratic,
+        WeightFunction::kExponential, WeightFunction::kFactorial}) {
+    const double s =
+        PremiseSimilarity(Bits("110101"), Bits("010001"), fn);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ConsequenceSimilarityTest, ExactOffsetIsOne) {
+  EXPECT_DOUBLE_EQ(ConsequenceSimilarity(10, 10, 2), 1.0);
+}
+
+TEST(ConsequenceSimilarityTest, DecaysLinearlyWithDistance) {
+  // Equation 3: Sc = 1 - |tq - t| / (t_eps + 1).
+  EXPECT_NEAR(ConsequenceSimilarity(9, 10, 2), 1.0 - 1.0 / 3, 1e-12);
+  EXPECT_NEAR(ConsequenceSimilarity(12, 10, 2), 1.0 - 2.0 / 3, 1e-12);
+  EXPECT_NEAR(ConsequenceSimilarity(13, 10, 2), 0.0, 1e-12);
+}
+
+TEST(ConsequenceSimilarityTest, ClampedAtZeroBeyondRelaxation) {
+  EXPECT_DOUBLE_EQ(ConsequenceSimilarity(100, 10, 2), 0.0);
+}
+
+TEST(ConsequenceSimilarityTest, SymmetricInTimeDistance) {
+  EXPECT_DOUBLE_EQ(ConsequenceSimilarity(8, 10, 3),
+                   ConsequenceSimilarity(12, 10, 3));
+}
+
+TEST(PositionWeightDeathTest, OutOfRangeAborts) {
+  EXPECT_DEATH((void)PositionWeight(WeightFunction::kLinear, 0, 3),
+               "HPM_CHECK");
+  EXPECT_DEATH((void)PositionWeight(WeightFunction::kLinear, 4, 3),
+               "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

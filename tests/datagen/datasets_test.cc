@@ -1,0 +1,93 @@
+#include "datagen/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace hpm {
+namespace {
+
+TEST(DatasetsTest, NamesAndKinds) {
+  EXPECT_STREQ(DatasetName(DatasetKind::kBike), "Bike");
+  EXPECT_STREQ(DatasetName(DatasetKind::kCow), "Cow");
+  EXPECT_STREQ(DatasetName(DatasetKind::kCar), "Car");
+  EXPECT_STREQ(DatasetName(DatasetKind::kAirplane), "Airplane");
+  EXPECT_EQ(AllDatasetKinds().size(), 4u);
+}
+
+TEST(DatasetsTest, DefaultConfigMatchesPaperSetup) {
+  for (const DatasetKind kind : AllDatasetKinds()) {
+    const PeriodicGeneratorConfig config = DefaultConfig(kind);
+    EXPECT_EQ(config.period, 300);                // T = 300.
+    EXPECT_EQ(config.num_sub_trajectories, 200);  // 200 sub-trajectories.
+    EXPECT_DOUBLE_EQ(config.extent, 10000.0);     // [0,10000]^2.
+  }
+}
+
+TEST(DatasetsTest, PatternProbabilityOrderingBikeToAirplane) {
+  // The paper sets f so Bike > Cow > Car > Airplane.
+  const double bike = DefaultConfig(DatasetKind::kBike).pattern_probability;
+  const double cow = DefaultConfig(DatasetKind::kCow).pattern_probability;
+  const double car = DefaultConfig(DatasetKind::kCar).pattern_probability;
+  const double airplane =
+      DefaultConfig(DatasetKind::kAirplane).pattern_probability;
+  EXPECT_GT(bike, cow);
+  EXPECT_GT(cow, car);
+  EXPECT_GT(car, airplane);
+}
+
+TEST(DatasetsTest, GeneratedShapeMatchesConfig) {
+  PeriodicGeneratorConfig config = DefaultConfig(DatasetKind::kCar);
+  config.period = 60;
+  config.num_sub_trajectories = 12;
+  const Dataset dataset = MakeDataset(DatasetKind::kCar, config);
+  EXPECT_EQ(dataset.kind, DatasetKind::kCar);
+  EXPECT_EQ(dataset.trajectory.size(), 60u * 12u);
+  EXPECT_EQ(dataset.routes.size(), 2u);
+  for (const SeedRoute& r : dataset.routes) {
+    EXPECT_EQ(r.points.size(), 60u);
+  }
+}
+
+TEST(DatasetsTest, DataInsideExtent) {
+  PeriodicGeneratorConfig config = DefaultConfig(DatasetKind::kBike);
+  config.period = 50;
+  config.num_sub_trajectories = 10;
+  const Dataset dataset = MakeDataset(DatasetKind::kBike, config);
+  for (const Point& p : dataset.trajectory.points()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, config.extent);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, config.extent);
+  }
+}
+
+TEST(DatasetsTest, Deterministic) {
+  PeriodicGeneratorConfig config = DefaultConfig(DatasetKind::kCow);
+  config.period = 40;
+  config.num_sub_trajectories = 5;
+  const Dataset a = MakeDataset(DatasetKind::kCow, config);
+  const Dataset b = MakeDataset(DatasetKind::kCow, config);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_EQ(a.trajectory.points()[i], b.trajectory.points()[i]);
+  }
+}
+
+TEST(DatasetsTest, KindsProduceDifferentData) {
+  PeriodicGeneratorConfig config = DefaultConfig(DatasetKind::kBike);
+  config.period = 40;
+  config.num_sub_trajectories = 5;
+  const Dataset bike = MakeDataset(DatasetKind::kBike, config);
+  config = DefaultConfig(DatasetKind::kCar);
+  config.period = 40;
+  config.num_sub_trajectories = 5;
+  const Dataset car = MakeDataset(DatasetKind::kCar, config);
+  double total = 0.0;
+  for (size_t i = 0; i < bike.trajectory.size(); ++i) {
+    total +=
+        Distance(bike.trajectory.points()[i], car.trajectory.points()[i]);
+  }
+  EXPECT_GT(total / static_cast<double>(bike.trajectory.size()), 100.0);
+}
+
+}  // namespace
+}  // namespace hpm

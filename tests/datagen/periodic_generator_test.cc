@@ -1,0 +1,181 @@
+#include "datagen/periodic_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpm {
+namespace {
+
+std::vector<Point> StraightRoute(Timestamp period, double y) {
+  std::vector<Point> route;
+  for (Timestamp t = 0; t < period; ++t) {
+    route.push_back({10.0 * static_cast<double>(t), y});
+  }
+  return route;
+}
+
+PeriodicGeneratorConfig Config(Timestamp period = 50, int subs = 30,
+                               double f = 0.8) {
+  PeriodicGeneratorConfig c;
+  c.period = period;
+  c.num_sub_trajectories = subs;
+  c.pattern_probability = f;
+  c.noise_sigma = 2.0;
+  c.time_jitter = 1;
+  c.extent = 10000.0;
+  c.seed = 21;
+  return c;
+}
+
+/// Fraction of sub-trajectories whose mean distance to the route is
+/// small (a "pattern day").
+double PatternDayFraction(const Trajectory& traj,
+                          const std::vector<Point>& route,
+                          Timestamp period) {
+  const size_t subs = traj.NumSubTrajectories(period);
+  int pattern_days = 0;
+  for (size_t s = 0; s < subs; ++s) {
+    double total = 0.0;
+    for (Timestamp t = 0; t < period; ++t) {
+      total += Distance(traj.At(static_cast<Timestamp>(s) * period + t),
+                        route[static_cast<size_t>(t)]);
+    }
+    if (total / static_cast<double>(period) < 50.0) ++pattern_days;
+  }
+  return static_cast<double>(pattern_days) / static_cast<double>(subs);
+}
+
+TEST(PeriodicGeneratorTest, ProducesExpectedLength) {
+  const auto config = Config(50, 30);
+  auto traj = GeneratePeriodicTrajectory(
+      {{StraightRoute(50, 100.0), 1.0}}, config);
+  ASSERT_TRUE(traj.ok());
+  EXPECT_EQ(traj->size(), 50u * 30u);
+}
+
+TEST(PeriodicGeneratorTest, StaysInsideExtent) {
+  auto traj = GeneratePeriodicTrajectory(
+      {{StraightRoute(50, 9999.0), 1.0}}, Config());
+  ASSERT_TRUE(traj.ok());
+  for (const Point& p : traj->points()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10000.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 10000.0);
+  }
+}
+
+TEST(PeriodicGeneratorTest, PatternProbabilityControlsSimilarDays) {
+  const auto route = StraightRoute(50, 5000.0);
+  auto strong =
+      GeneratePeriodicTrajectory({{route, 1.0}}, Config(50, 100, 0.9));
+  auto weak =
+      GeneratePeriodicTrajectory({{route, 1.0}}, Config(50, 100, 0.3));
+  ASSERT_TRUE(strong.ok());
+  ASSERT_TRUE(weak.ok());
+  const double strong_frac = PatternDayFraction(*strong, route, 50);
+  const double weak_frac = PatternDayFraction(*weak, route, 50);
+  EXPECT_NEAR(strong_frac, 0.9, 0.1);
+  EXPECT_NEAR(weak_frac, 0.3, 0.12);
+  EXPECT_GT(strong_frac, weak_frac);
+}
+
+TEST(PeriodicGeneratorTest, ExtremeProbabilities) {
+  const auto route = StraightRoute(50, 5000.0);
+  auto always =
+      GeneratePeriodicTrajectory({{route, 1.0}}, Config(50, 20, 1.0));
+  ASSERT_TRUE(always.ok());
+  EXPECT_DOUBLE_EQ(PatternDayFraction(*always, route, 50), 1.0);
+  auto never =
+      GeneratePeriodicTrajectory({{route, 1.0}}, Config(50, 20, 0.0));
+  ASSERT_TRUE(never.ok());
+  EXPECT_LT(PatternDayFraction(*never, route, 50), 0.2);
+}
+
+TEST(PeriodicGeneratorTest, MultipleRoutesBothUsed) {
+  const auto route_a = StraightRoute(50, 1000.0);
+  const auto route_b = StraightRoute(50, 8000.0);
+  auto traj = GeneratePeriodicTrajectory(
+      {{route_a, 0.6}, {route_b, 0.4}}, Config(50, 100, 1.0));
+  ASSERT_TRUE(traj.ok());
+  const double frac_a = PatternDayFraction(*traj, route_a, 50);
+  const double frac_b = PatternDayFraction(*traj, route_b, 50);
+  EXPECT_NEAR(frac_a, 0.6, 0.15);
+  EXPECT_NEAR(frac_b, 0.4, 0.15);
+  EXPECT_NEAR(frac_a + frac_b, 1.0, 1e-9);
+}
+
+TEST(PeriodicGeneratorTest, DeterministicForSeed) {
+  const auto route = StraightRoute(20, 100.0);
+  auto a = GeneratePeriodicTrajectory({{route, 1.0}}, Config(20, 5));
+  auto b = GeneratePeriodicTrajectory({{route, 1.0}}, Config(20, 5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->points()[i], b->points()[i]);
+  }
+}
+
+TEST(PeriodicGeneratorTest, NoiseSigmaControlsSpread) {
+  const auto route = StraightRoute(50, 5000.0);
+  auto tight_config = Config(50, 50, 1.0);
+  tight_config.noise_sigma = 1.0;
+  auto loose_config = Config(50, 50, 1.0);
+  loose_config.noise_sigma = 50.0;
+  auto tight = GeneratePeriodicTrajectory({{route, 1.0}}, tight_config);
+  auto loose = GeneratePeriodicTrajectory({{route, 1.0}}, loose_config);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  auto mean_error = [&route](const Trajectory& t) {
+    double total = 0.0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      total += Distance(t.points()[i], route[i % route.size()]);
+    }
+    return total / static_cast<double>(t.size());
+  };
+  EXPECT_LT(mean_error(*tight) * 5.0, mean_error(*loose));
+}
+
+TEST(PeriodicGeneratorTest, InvalidConfigurationsRejected) {
+  const auto route = StraightRoute(50, 100.0);
+  auto bad_period = Config();
+  bad_period.period = 1;
+  EXPECT_EQ(GeneratePeriodicTrajectory({{route, 1.0}}, bad_period)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto bad_subs = Config();
+  bad_subs.num_sub_trajectories = 0;
+  EXPECT_EQ(GeneratePeriodicTrajectory({{route, 1.0}}, bad_subs)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto bad_prob = Config();
+  bad_prob.pattern_probability = 1.5;
+  EXPECT_EQ(GeneratePeriodicTrajectory({{route, 1.0}}, bad_prob)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // No routes.
+  EXPECT_EQ(GeneratePeriodicTrajectory({}, Config()).status().code(),
+            StatusCode::kInvalidArgument);
+  // Route length mismatch.
+  EXPECT_EQ(GeneratePeriodicTrajectory({{StraightRoute(49, 0), 1.0}},
+                                       Config())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Bad weights.
+  EXPECT_EQ(GeneratePeriodicTrajectory({{route, -1.0}}, Config())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GeneratePeriodicTrajectory({{route, 0.0}}, Config())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,150 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+/// Periodic two-anchor route so HPM can learn patterns.
+constexpr Timestamp kPeriod = 30;
+
+Point Route(Timestamp t) {
+  return {50.0 * static_cast<double>(t) + 25.0, 400.0};
+}
+
+Trajectory MakeHistory(int days, double noise = 1.0, uint64_t seed = 8) {
+  Random rng(seed);
+  Trajectory traj;
+  for (int d = 0; d < days; ++d) {
+    for (Timestamp t = 0; t < kPeriod; ++t) {
+      Point p = Route(t);
+      p.x += rng.Gaussian(0, noise);
+      p.y += rng.Gaussian(0, noise);
+      traj.Append(p);
+    }
+  }
+  return traj;
+}
+
+HybridPredictorOptions Options() {
+  HybridPredictorOptions options;
+  options.regions.period = kPeriod;
+  options.regions.dbscan.eps = 15.0;
+  options.regions.dbscan.min_pts = 4;
+  options.regions.limit_sub_trajectories = 30;
+  options.mining.min_confidence = 0.2;
+  options.mining.min_support = 3;
+  options.distant_threshold = 10;
+  return options;
+}
+
+WorkloadConfig Workload(Timestamp length) {
+  WorkloadConfig c;
+  c.num_queries = 25;
+  c.recent_length = 6;
+  c.prediction_length = length;
+  c.seed = 99;
+  return c;
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    history_ = new Trajectory(MakeHistory(40));
+    auto trained = HybridPredictor::Train(*history_, Options());
+    ASSERT_TRUE(trained.ok());
+    predictor_ = trained->release();
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete history_;
+  }
+  static Trajectory* history_;
+  static HybridPredictor* predictor_;
+};
+
+Trajectory* MetricsTest::history_ = nullptr;
+HybridPredictor* MetricsTest::predictor_ = nullptr;
+
+TEST_F(MetricsTest, HpmAccurateOnPatternedData) {
+  auto cases = MakeQueryCases(*history_, kPeriod, 30, Workload(8));
+  ASSERT_TRUE(cases.ok());
+  auto result = EvaluateHpm(*predictor_, *cases);
+  ASSERT_TRUE(result.ok());
+  // On clean periodic data the pattern answer is the region centre:
+  // error within a few noise standard deviations.
+  EXPECT_LT(result->mean_error, 20.0);
+  EXPECT_GT(result->pattern_answers, 0);
+  EXPECT_GE(result->mean_response_ms, 0.0);
+  EXPECT_EQ(result->pattern_answers + result->motion_answers, 25);
+}
+
+TEST_F(MetricsTest, MedianLeqMeanUnderOutliers) {
+  auto cases = MakeQueryCases(*history_, kPeriod, 30, Workload(8));
+  ASSERT_TRUE(cases.ok());
+  auto result = EvaluateHpm(*predictor_, *cases);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->mean_error, 0.0);
+  EXPECT_GE(result->median_error, 0.0);
+}
+
+TEST_F(MetricsTest, RmfDegradesWithPredictionLength) {
+  auto near_cases = MakeQueryCases(*history_, kPeriod, 30, Workload(3));
+  auto far_cases = MakeQueryCases(*history_, kPeriod, 30, Workload(20));
+  ASSERT_TRUE(near_cases.ok());
+  ASSERT_TRUE(far_cases.ok());
+  auto near_result = EvaluateRmf(*near_cases);
+  auto far_result = EvaluateRmf(*far_cases);
+  ASSERT_TRUE(near_result.ok());
+  ASSERT_TRUE(far_result.ok());
+  EXPECT_LT(near_result->mean_error, far_result->mean_error);
+  EXPECT_EQ(near_result->pattern_answers, 0);
+}
+
+TEST_F(MetricsTest, HpmBeatsRmfAtDistantTime) {
+  // The headline claim of the paper, in miniature.
+  auto cases = MakeQueryCases(*history_, kPeriod, 30, Workload(20));
+  ASSERT_TRUE(cases.ok());
+  auto hpm = EvaluateHpm(*predictor_, *cases);
+  auto rmf = EvaluateRmf(*cases);
+  ASSERT_TRUE(hpm.ok());
+  ASSERT_TRUE(rmf.ok());
+  EXPECT_LT(hpm->mean_error, rmf->mean_error);
+}
+
+TEST_F(MetricsTest, LinearBaselineRuns) {
+  auto cases = MakeQueryCases(*history_, kPeriod, 30, Workload(5));
+  ASSERT_TRUE(cases.ok());
+  auto result = EvaluateLinear(*cases);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->mean_error, 0.0);
+  EXPECT_EQ(result->motion_answers, 25);
+}
+
+TEST(MetricsEdgeTest, EmptyCaseListYieldsZeroes) {
+  auto history = MakeHistory(35);
+  auto predictor = HybridPredictor::Train(history, Options());
+  ASSERT_TRUE(predictor.ok());
+  auto result = EvaluateHpm(**predictor, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_error, 0.0);
+  EXPECT_EQ(result->pattern_answers, 0);
+}
+
+TEST(MetricsEdgeTest, MotionBaselineHandlesShortHistory) {
+  // A one-point history cannot fit RMF; the baseline must fall back to
+  // the last known location rather than fail.
+  QueryCase qc;
+  qc.query.recent_movements = {{0, {10, 10}}};
+  qc.query.current_time = 0;
+  qc.query.query_time = 5;
+  qc.actual = {13, 14};
+  auto result = EvaluateRmf({qc});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_error, 5.0);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,106 @@
+#include "eval/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace hpm {
+namespace {
+
+Trajectory MakeRamp(int n) {
+  Trajectory t;
+  for (int i = 0; i < n; ++i) {
+    t.Append({static_cast<double>(i), static_cast<double>(i)});
+  }
+  return t;
+}
+
+WorkloadConfig Config(int queries = 20, int recent = 5,
+                      Timestamp length = 10) {
+  WorkloadConfig c;
+  c.num_queries = queries;
+  c.recent_length = recent;
+  c.prediction_length = length;
+  c.seed = 7;
+  return c;
+}
+
+TEST(WorkloadTest, ProducesRequestedQueryCount) {
+  const Trajectory full = MakeRamp(100 * 10);  // 10 periods of 100.
+  auto cases = MakeQueryCases(full, 100, 5, Config(30));
+  ASSERT_TRUE(cases.ok());
+  EXPECT_EQ(cases->size(), 30u);
+}
+
+TEST(WorkloadTest, QueriesAreStructurallyValid) {
+  const Trajectory full = MakeRamp(100 * 10);
+  auto cases = MakeQueryCases(full, 100, 5, Config());
+  ASSERT_TRUE(cases.ok());
+  for (const QueryCase& qc : *cases) {
+    EXPECT_TRUE(ValidateQuery(qc.query).ok());
+    EXPECT_EQ(qc.query.PredictionLength(), 10);
+    EXPECT_EQ(qc.query.recent_movements.size(), 5u);
+  }
+}
+
+TEST(WorkloadTest, QueriesComeFromHeldOutPeriods) {
+  const Trajectory full = MakeRamp(100 * 10);
+  const int train_subs = 7;
+  auto cases = MakeQueryCases(full, 100, train_subs, Config());
+  ASSERT_TRUE(cases.ok());
+  for (const QueryCase& qc : *cases) {
+    EXPECT_GE(qc.query.current_time, train_subs * 100);
+  }
+}
+
+TEST(WorkloadTest, QueryStaysWithinOnePeriod) {
+  const Trajectory full = MakeRamp(100 * 10);
+  auto cases = MakeQueryCases(full, 100, 5, Config(50, 5, 40));
+  ASSERT_TRUE(cases.ok());
+  for (const QueryCase& qc : *cases) {
+    // Current and query offsets lie in the same period instance.
+    EXPECT_EQ(qc.query.current_time / 100, qc.query.query_time / 100);
+  }
+}
+
+TEST(WorkloadTest, ActualMatchesTrajectory) {
+  const Trajectory full = MakeRamp(100 * 10);
+  auto cases = MakeQueryCases(full, 100, 5, Config());
+  ASSERT_TRUE(cases.ok());
+  for (const QueryCase& qc : *cases) {
+    EXPECT_EQ(qc.actual, full.At(qc.query.query_time));
+    EXPECT_EQ(qc.query.recent_movements.back().location,
+              full.At(qc.query.current_time));
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const Trajectory full = MakeRamp(100 * 10);
+  auto a = MakeQueryCases(full, 100, 5, Config());
+  auto b = MakeQueryCases(full, 100, 5, Config());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].query.current_time, (*b)[i].query.current_time);
+    EXPECT_EQ((*a)[i].query.query_time, (*b)[i].query.query_time);
+  }
+}
+
+TEST(WorkloadTest, ErrorsOnBadConfiguration) {
+  const Trajectory full = MakeRamp(100 * 10);
+  EXPECT_EQ(MakeQueryCases(full, 100, 5, Config(0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeQueryCases(full, 100, 5, Config(10, 1)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      MakeQueryCases(full, 100, 5, Config(10, 5, 0)).status().code(),
+      StatusCode::kInvalidArgument);
+  // No held-out periods.
+  EXPECT_EQ(MakeQueryCases(full, 100, 10, Config()).status().code(),
+            StatusCode::kInvalidArgument);
+  // Period too short for the windows.
+  EXPECT_EQ(
+      MakeQueryCases(full, 100, 5, Config(10, 60, 60)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/bounding_box.h"
+#include "geo/point.h"
+
+namespace hpm {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Point(4.0, 1.0));
+  EXPECT_EQ(a - b, Point(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Point(1.5, -0.5));
+}
+
+TEST(PointTest, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Point(3.0, 4.0).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {4, 5}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({2, 2}, {2, 2}), 0.0);
+}
+
+TEST(PointTest, DistanceSymmetry) {
+  const Point a{1.5, -2.25}, b{-7.0, 3.5};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(PointTest, ToString) {
+  EXPECT_EQ(Point(1.0, 2.5).ToString(), "(1.00, 2.50)");
+}
+
+TEST(BoundingBoxTest, EmptyBoxProperties) {
+  BoundingBox box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_FALSE(box.Contains({0, 0}));
+  EXPECT_DOUBLE_EQ(box.Area(), 0.0);
+  EXPECT_EQ(box.ToString(), "[empty]");
+}
+
+TEST(BoundingBoxTest, CornerConstructorNormalisesOrder) {
+  BoundingBox box({5.0, 1.0}, {2.0, 8.0});
+  EXPECT_EQ(box.min(), Point(2.0, 1.0));
+  EXPECT_EQ(box.max(), Point(5.0, 8.0));
+}
+
+TEST(BoundingBoxTest, ExtendWithPoints) {
+  BoundingBox box;
+  box.Extend({2, 3});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_EQ(box.min(), Point(2, 3));
+  EXPECT_EQ(box.max(), Point(2, 3));
+  box.Extend({-1, 5});
+  EXPECT_EQ(box.min(), Point(-1, 3));
+  EXPECT_EQ(box.max(), Point(2, 5));
+}
+
+TEST(BoundingBoxTest, ExtendWithBox) {
+  BoundingBox a({0, 0}, {1, 1});
+  const BoundingBox b({2, -1}, {3, 0.5});
+  a.Extend(b);
+  EXPECT_EQ(a.min(), Point(0, -1));
+  EXPECT_EQ(a.max(), Point(3, 1));
+  // Extending by an empty box is a no-op.
+  const BoundingBox before = a;
+  a.Extend(BoundingBox());
+  EXPECT_EQ(a.min(), before.min());
+  EXPECT_EQ(a.max(), before.max());
+}
+
+TEST(BoundingBoxTest, ContainsIncludesBoundary) {
+  const BoundingBox box({0, 0}, {10, 10});
+  EXPECT_TRUE(box.Contains({5, 5}));
+  EXPECT_TRUE(box.Contains({0, 0}));
+  EXPECT_TRUE(box.Contains({10, 10}));
+  EXPECT_TRUE(box.Contains({0, 10}));
+  EXPECT_FALSE(box.Contains({10.001, 5}));
+  EXPECT_FALSE(box.Contains({-0.001, 5}));
+}
+
+TEST(BoundingBoxTest, Intersects) {
+  const BoundingBox a({0, 0}, {5, 5});
+  EXPECT_TRUE(a.Intersects(BoundingBox({4, 4}, {8, 8})));
+  EXPECT_TRUE(a.Intersects(BoundingBox({5, 5}, {9, 9})));  // Boundary touch.
+  EXPECT_FALSE(a.Intersects(BoundingBox({6, 6}, {9, 9})));
+  EXPECT_FALSE(a.Intersects(BoundingBox()));
+  EXPECT_FALSE(BoundingBox().Intersects(a));
+}
+
+TEST(BoundingBoxTest, CenterAndArea) {
+  const BoundingBox box({0, 0}, {4, 2});
+  EXPECT_EQ(box.Center(), Point(2, 1));
+  EXPECT_DOUBLE_EQ(box.Area(), 8.0);
+  const BoundingBox degenerate({3, 3}, {3, 3});
+  EXPECT_DOUBLE_EQ(degenerate.Area(), 0.0);
+  EXPECT_EQ(degenerate.Center(), Point(3, 3));
+}
+
+TEST(BoundingBoxTest, MinDistance) {
+  const BoundingBox box({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(box.MinDistance({5, 5}), 0.0);      // Inside.
+  EXPECT_DOUBLE_EQ(box.MinDistance({10, 10}), 0.0);    // On boundary.
+  EXPECT_DOUBLE_EQ(box.MinDistance({13, 5}), 3.0);     // Right of box.
+  EXPECT_DOUBLE_EQ(box.MinDistance({5, -2}), 2.0);     // Below box.
+  EXPECT_DOUBLE_EQ(box.MinDistance({13, 14}), 5.0);    // Corner (3-4-5).
+}
+
+TEST(BoundingBoxDeathTest, CenterOfEmptyAborts) {
+  BoundingBox box;
+  EXPECT_DEATH((void)box.Center(), "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,185 @@
+#include "geo/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hpm {
+namespace {
+
+Trajectory MakeRamp(int n) {
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({static_cast<double>(i), static_cast<double>(2 * i)});
+  }
+  return Trajectory(std::move(pts));
+}
+
+TEST(TrajectoryTest, SizeAndAt) {
+  const Trajectory t = MakeRamp(5);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.At(0), Point(0, 0));
+  EXPECT_EQ(t.At(4), Point(4, 8));
+}
+
+TEST(TrajectoryTest, AppendGrows) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  t.Append({1, 1});
+  t.Append({2, 2});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.At(1), Point(2, 2));
+}
+
+TEST(TrajectoryTest, SliceValidRange) {
+  const Trajectory t = MakeRamp(10);
+  auto s = t.Slice(2, 5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 3u);
+  EXPECT_EQ(s->At(0), Point(2, 4));  // Re-based to timestamp 0.
+  EXPECT_EQ(s->At(2), Point(4, 8));
+}
+
+TEST(TrajectoryTest, SliceEmptyRangeAllowed) {
+  const Trajectory t = MakeRamp(4);
+  auto s = t.Slice(2, 2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(TrajectoryTest, SliceInvalidRanges) {
+  const Trajectory t = MakeRamp(4);
+  EXPECT_EQ(t.Slice(-1, 2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t.Slice(3, 2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t.Slice(0, 5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TrajectoryTest, NumSubTrajectoriesFloors) {
+  const Trajectory t = MakeRamp(10);
+  EXPECT_EQ(t.NumSubTrajectories(3), 3u);  // 10/3 = 3 complete.
+  EXPECT_EQ(t.NumSubTrajectories(5), 2u);
+  EXPECT_EQ(t.NumSubTrajectories(10), 1u);
+  EXPECT_EQ(t.NumSubTrajectories(11), 0u);
+  EXPECT_EQ(t.NumSubTrajectories(0), 0u);
+  EXPECT_EQ(t.NumSubTrajectories(-2), 0u);
+}
+
+TEST(TrajectoryTest, DecomposePeriodic) {
+  const Trajectory t = MakeRamp(10);
+  auto subs = t.DecomposePeriodic(3);
+  ASSERT_TRUE(subs.ok());
+  ASSERT_EQ(subs->size(), 3u);
+  for (size_t i = 0; i < subs->size(); ++i) {
+    EXPECT_EQ((*subs)[i].size(), 3u);
+    for (Timestamp off = 0; off < 3; ++off) {
+      EXPECT_EQ((*subs)[i].At(off),
+                t.At(static_cast<Timestamp>(i) * 3 + off));
+    }
+  }
+}
+
+TEST(TrajectoryTest, DecomposeErrors) {
+  const Trajectory t = MakeRamp(4);
+  EXPECT_EQ(t.DecomposePeriodic(0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.DecomposePeriodic(-1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.DecomposePeriodic(5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TrajectoryTest, GroupByOffsetCollectsAcrossSubTrajectories) {
+  const Trajectory t = MakeRamp(9);
+  auto groups = t.GroupByOffset(3);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 3u);
+  for (Timestamp off = 0; off < 3; ++off) {
+    const OffsetGroup& g = (*groups)[static_cast<size_t>(off)];
+    EXPECT_EQ(g.offset, off);
+    ASSERT_EQ(g.locations.size(), 3u);
+    for (int sub = 0; sub < 3; ++sub) {
+      EXPECT_EQ(g.locations[static_cast<size_t>(sub)].sub_trajectory, sub);
+      EXPECT_EQ(g.locations[static_cast<size_t>(sub)].location,
+                t.At(sub * 3 + off));
+    }
+  }
+}
+
+TEST(TrajectoryTest, GroupByOffsetHonoursLimit) {
+  const Trajectory t = MakeRamp(9);
+  auto groups = t.GroupByOffset(3, 2);
+  ASSERT_TRUE(groups.ok());
+  for (const OffsetGroup& g : *groups) {
+    EXPECT_EQ(g.locations.size(), 2u);
+  }
+}
+
+TEST(TrajectoryTest, GroupByOffsetLimitLargerThanDataClamps) {
+  const Trajectory t = MakeRamp(6);
+  auto groups = t.GroupByOffset(3, 100);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ((*groups)[0].locations.size(), 2u);
+}
+
+TEST(TrajectoryTest, GroupByOffsetIgnoresPartialTrailingPeriod) {
+  const Trajectory t = MakeRamp(10);  // 3 complete periods of 3 + 1 extra.
+  auto groups = t.GroupByOffset(3);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ((*groups)[0].locations.size(), 3u);
+}
+
+TEST(TrajectoryTest, RecentMovementsReturnsTimedWindow) {
+  const Trajectory t = MakeRamp(10);
+  const auto recent = t.RecentMovements(7, 3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].time, 5);
+  EXPECT_EQ(recent[2].time, 7);
+  EXPECT_EQ(recent[2].location, t.At(7));
+}
+
+TEST(TrajectoryTest, RecentMovementsClampsAtStart) {
+  const Trajectory t = MakeRamp(10);
+  const auto recent = t.RecentMovements(1, 5);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].time, 0);
+  EXPECT_EQ(recent[1].time, 1);
+}
+
+class DecompositionRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, Timestamp>> {};
+
+TEST_P(DecompositionRoundTrip, GroupsAndSubTrajectoriesAgree) {
+  const auto [n, period] = GetParam();
+  const Trajectory t = MakeRamp(n);
+  auto subs = t.DecomposePeriodic(period);
+  auto groups = t.GroupByOffset(period);
+  ASSERT_TRUE(subs.ok());
+  ASSERT_TRUE(groups.ok());
+  // Property: group(t)[i] must equal sub_trajectory[i].At(t).
+  for (Timestamp off = 0; off < period; ++off) {
+    const OffsetGroup& g = (*groups)[static_cast<size_t>(off)];
+    ASSERT_EQ(g.locations.size(), subs->size());
+    for (size_t i = 0; i < subs->size(); ++i) {
+      EXPECT_EQ(g.locations[i].location, (*subs)[i].At(off));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompositionRoundTrip,
+    ::testing::Values(std::make_pair(12, Timestamp{3}),
+                      std::make_pair(100, Timestamp{7}),
+                      std::make_pair(99, Timestamp{10}),
+                      std::make_pair(5, Timestamp{5}),
+                      std::make_pair(301, Timestamp{300})));
+
+TEST(TrajectoryDeathTest, AtOutOfRangeAborts) {
+  const Trajectory t = MakeRamp(3);
+  EXPECT_DEATH((void)t.At(3), "HPM_CHECK");
+  EXPECT_DEATH((void)t.At(-1), "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,137 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+TEST(CsvTest, ParsesMinimalFile) {
+  auto t = ParseTrajectoryCsv("t,x,y\n0,1.5,2.5\n1,3.0,4.0\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->size(), 2u);
+  EXPECT_EQ(t->At(0), Point(1.5, 2.5));
+  EXPECT_EQ(t->At(1), Point(3.0, 4.0));
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  auto t = ParseTrajectoryCsv(
+      "# GPS export\n\nt,x,y\n# day one\n0,1,1\n\n1,2,2\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 2u);
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto t = ParseTrajectoryCsv("t,x,y\r\n0,1,1\r\n1,2,2\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 2u);
+}
+
+TEST(CsvTest, EmptyTrajectoryAfterHeaderIsOk) {
+  auto t = ParseTrajectoryCsv("t,x,y\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->empty());
+}
+
+TEST(CsvTest, RejectsMissingHeader) {
+  auto t = ParseTrajectoryCsv("0,1,1\n");
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("header"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseTrajectoryCsv("").ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("# only a comment\n").ok());
+}
+
+TEST(CsvTest, RejectsWrongFieldCount) {
+  auto t = ParseTrajectoryCsv("t,x,y\n0,1\n");
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x,y\n0,1,2,3\n").ok());
+}
+
+TEST(CsvTest, RejectsNonConsecutiveTimestamps) {
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x,y\n1,1,1\n").ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x,y\n0,1,1\n2,2,2\n").ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x,y\n0,1,1\n0,2,2\n").ok());
+}
+
+TEST(CsvTest, RejectsMalformedNumbers) {
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x,y\nzero,1,1\n").ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x,y\n0,abc,1\n").ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x,y\n0,1,\n").ok());
+  EXPECT_FALSE(ParseTrajectoryCsv("t,x,y\n0,1.5x,2\n").ok());
+}
+
+TEST(CsvTest, FormatRoundTrips) {
+  Trajectory original;
+  original.Append({1.25, -3.5});
+  original.Append({1e4, 0.000123});
+  const std::string csv = FormatTrajectoryCsv(original);
+  auto parsed = ParseTrajectoryCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_NEAR(parsed->At(0).x, 1.25, 1e-6);
+  EXPECT_NEAR(parsed->At(0).y, -3.5, 1e-6);
+  EXPECT_NEAR(parsed->At(1).x, 1e4, 1e-2);
+  EXPECT_NEAR(parsed->At(1).y, 0.000123, 1e-6);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Trajectory original;
+  for (int i = 0; i < 20; ++i) {
+    original.Append({i * 1.5, i * -0.25});
+  }
+  const std::string path =
+      std::string(::testing::TempDir()) + "/trajectory.csv";
+  ASSERT_TRUE(WriteTrajectoryCsv(original, path).ok());
+  auto loaded = ReadTrajectoryCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded->points()[i].x, original.points()[i].x, 1e-6);
+    EXPECT_NEAR(loaded->points()[i].y, original.points()[i].y, 1e-6);
+  }
+}
+
+TEST(CsvTest, RandomJunkNeverCrashes) {
+  // Fuzz-ish robustness: arbitrary byte soup must produce a clean
+  // Status (or in freak cases a valid parse), never a crash.
+  Random rng(7);
+  const std::string alphabet = "0123456789.,-+eE tx y#\n\r\"abc";
+  for (int round = 0; round < 200; ++round) {
+    std::string junk;
+    const size_t len = rng.Uniform(200);
+    for (size_t i = 0; i < len; ++i) {
+      junk += alphabet[rng.Uniform(alphabet.size())];
+    }
+    (void)ParseTrajectoryCsv(junk);
+  }
+  // Prefix-valid input with junk appended must fail cleanly too.
+  const std::string valid = "t,x,y\n0,1,1\n1,2,2\n";
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = valid;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = alphabet[rng.Uniform(alphabet.size())];
+    (void)ParseTrajectoryCsv(mutated);
+  }
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadTrajectoryCsv("/nonexistent/file.csv").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  Trajectory t;
+  t.Append({0, 0});
+  EXPECT_EQ(WriteTrajectoryCsv(t, "/nonexistent/dir/out.csv").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,100 @@
+#include "io/svg.h"
+
+#include <gtest/gtest.h>
+
+namespace hpm {
+namespace {
+
+BoundingBox Viewport() { return BoundingBox({0, 0}, {100, 50}); }
+
+TEST(SvgTest, DocumentStructure) {
+  SvgWriter svg(Viewport(), 800.0);
+  const std::string doc = svg.ToString();
+  EXPECT_EQ(doc.find("<?xml"), 0u);
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  // Aspect ratio preserved: 100x50 data -> 800x400 pixels.
+  EXPECT_NE(doc.find("width=\"800.00\""), std::string::npos);
+  EXPECT_NE(doc.find("height=\"400.00\""), std::string::npos);
+}
+
+TEST(SvgTest, PolylineMapsCoordinates) {
+  SvgWriter svg(Viewport(), 800.0);
+  svg.AddPolyline({{0, 0}, {100, 50}}, "#ff0000", 2.0);
+  const std::string doc = svg.ToString();
+  // (0,0) maps to the bottom-left pixel (0, 400); (100,50) to (800, 0).
+  EXPECT_NE(doc.find("0.00,400.00"), std::string::npos);
+  EXPECT_NE(doc.find("800.00,0.00"), std::string::npos);
+  EXPECT_NE(doc.find("stroke=\"#ff0000\""), std::string::npos);
+}
+
+TEST(SvgTest, CircleFilledAndOutlined) {
+  SvgWriter svg(Viewport());
+  svg.AddCircle({50, 25}, 5.0, "blue", /*filled=*/true);
+  svg.AddCircle({50, 25}, 5.0, "green", /*filled=*/false);
+  const std::string doc = svg.ToString();
+  EXPECT_NE(doc.find("fill=\"blue\""), std::string::npos);
+  EXPECT_NE(doc.find("fill=\"none\" stroke=\"green\""),
+            std::string::npos);
+}
+
+TEST(SvgTest, RectUsesTopLeftAnchor) {
+  SvgWriter svg(Viewport(), 800.0);
+  svg.AddRect(BoundingBox({10, 10}, {20, 20}), "#000000");
+  const std::string doc = svg.ToString();
+  // Top-left of the box in pixel space: x = 80, y = 400 - 160 = 240.
+  EXPECT_NE(doc.find("x=\"80.00\" y=\"240.00\""), std::string::npos);
+  EXPECT_NE(doc.find("width=\"80.00\" height=\"80.00\""),
+            std::string::npos);
+}
+
+TEST(SvgTest, TextIsEscaped) {
+  SvgWriter svg(Viewport());
+  svg.AddText({1, 1}, "a<b & \"c\"");
+  const std::string doc = svg.ToString();
+  EXPECT_NE(doc.find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_EQ(doc.find("a<b"), std::string::npos);
+}
+
+TEST(SvgTest, TrajectoryConvenience) {
+  Trajectory t;
+  t.Append({0, 0});
+  t.Append({50, 25});
+  t.Append({100, 50});
+  SvgWriter svg(Viewport());
+  svg.AddTrajectory(t, "#123456");
+  EXPECT_NE(svg.ToString().find("#123456"), std::string::npos);
+}
+
+TEST(SvgTest, FileRoundTrip) {
+  SvgWriter svg(Viewport());
+  svg.AddCircle({10, 10}, 2.0, "red");
+  const std::string path = std::string(::testing::TempDir()) + "/t.svg";
+  ASSERT_TRUE(svg.WriteToFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  ASSERT_GT(std::fread(buf, 1, 5, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, 5), "<?xml");
+}
+
+TEST(SvgTest, WriteToBadPathFails) {
+  SvgWriter svg(Viewport());
+  EXPECT_FALSE(svg.WriteToFile("/nonexistent/dir/x.svg").ok());
+}
+
+TEST(SvgDeathTest, BadViewportAborts) {
+  EXPECT_DEATH(SvgWriter(BoundingBox(), 800.0), "HPM_CHECK");
+  EXPECT_DEATH(SvgWriter(BoundingBox({0, 0}, {0, 10}), 800.0),
+               "HPM_CHECK");
+  EXPECT_DEATH(SvgWriter(Viewport(), 0.0), "HPM_CHECK");
+}
+
+TEST(SvgDeathTest, DegeneratePolylineAborts) {
+  SvgWriter svg(Viewport());
+  EXPECT_DEATH(svg.AddPolyline({{1, 1}}, "red"), "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

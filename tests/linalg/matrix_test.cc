@@ -1,0 +1,133 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpm {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, ZeroInitialised) {
+  Matrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRowsAndAccess) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, FromRowsEmpty) {
+  const Matrix m = Matrix::FromRows({});
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, AddSubtract) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix ab = a * b;
+  EXPECT_DOUBLE_EQ(ab(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(ab(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(ab(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(ab(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyRectangular) {
+  const Matrix a = Matrix::FromRows({{1, 0, 2}});       // 1x3
+  const Matrix b = Matrix::FromRows({{1}, {2}, {3}});   // 3x1
+  const Matrix ab = a * b;                              // 1x1
+  EXPECT_EQ(ab.rows(), 1u);
+  EXPECT_EQ(ab.cols(), 1u);
+  EXPECT_DOUBLE_EQ(ab(0, 0), 7.0);
+}
+
+TEST(MatrixTest, IdentityIsMultiplicativeNeutral) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ((a * Matrix::Identity(2)).MaxAbsDiff(a), 0.0);
+  EXPECT_DOUBLE_EQ((Matrix::Identity(2) * a).MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, ScalarMultiply) {
+  const Matrix a = Matrix::FromRows({{1, -2}});
+  const Matrix s = a * -3.0;
+  EXPECT_DOUBLE_EQ(s(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 6.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t.Transposed().MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix a = Matrix::FromRows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(Matrix(2, 2).FrobeniusNorm(), 0.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  const Matrix a = Matrix::FromRows({{1, 2}});
+  const Matrix b = Matrix::FromRows({{1.5, -2}});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 4.0);
+}
+
+TEST(MatrixTest, ToStringContainsElements) {
+  const Matrix a = Matrix::FromRows({{1.5, 2.0}});
+  const std::string s = a.ToString();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+TEST(MatrixDeathTest, ShapeMismatchAborts) {
+  const Matrix a(2, 2), b(3, 3);
+  EXPECT_DEATH((void)(a + b), "HPM_CHECK");
+  EXPECT_DEATH((void)(a - b), "HPM_CHECK");
+  EXPECT_DEATH((void)(a * b), "HPM_CHECK");
+  EXPECT_DEATH((void)a.MaxAbsDiff(b), "HPM_CHECK");
+}
+
+TEST(MatrixDeathTest, OutOfRangeAccessAborts) {
+  const Matrix a(2, 2);
+  EXPECT_DEATH((void)a(2, 0), "HPM_CHECK");
+  EXPECT_DEATH((void)a(0, 2), "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,127 @@
+#include "linalg/solve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+TEST(SolveLinearSystemTest, SolvesSimpleSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  const Matrix b = Matrix::FromRows({{5}, {10}});
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, MultipleRightHandSides) {
+  const Matrix a = Matrix::FromRows({{1, 0}, {0, 2}});
+  const Matrix b = Matrix::FromRows({{3, 4}, {6, 8}});
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR((*x)(0, 1), 4.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 3.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 1), 4.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Zero on the initial diagonal; only solvable with row swaps.
+  const Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  const Matrix b = Matrix::FromRows({{2}, {7}});
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 7.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularDetected) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  const Matrix b = Matrix::FromRows({{1}, {2}});
+  EXPECT_EQ(SolveLinearSystem(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SolveLinearSystemTest, ShapeErrors) {
+  EXPECT_EQ(SolveLinearSystem(Matrix(2, 3), Matrix(2, 1)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SolveLinearSystem(Matrix(2, 2), Matrix(3, 1)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SolveLinearSystemTest, RandomSystemsRoundTrip) {
+  Random rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 1 + rng.Uniform(6);
+    Matrix a(n, n);
+    Matrix x_true(n, 2);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) a(r, c) = rng.Gaussian(0, 1);
+      a(r, r) += static_cast<double>(n);  // Diagonally dominant.
+      x_true(r, 0) = rng.Gaussian(0, 3);
+      x_true(r, 1) = rng.Gaussian(0, 3);
+    }
+    const Matrix b = a * x_true;
+    auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    EXPECT_LT(x->MaxAbsDiff(x_true), 1e-8);
+  }
+}
+
+TEST(LeastSquaresQrTest, ExactSystemRecovered) {
+  const Matrix a = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  const Matrix x_true = Matrix::FromRows({{2}, {-1}});
+  const Matrix b = a * x_true;
+  auto x = SolveLeastSquaresQr(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(x->MaxAbsDiff(x_true), 1e-10);
+}
+
+TEST(LeastSquaresQrTest, OverdeterminedMinimisesResidual) {
+  // Fit y = p0 + p1*t through noisy-ish points; the classic line fit.
+  const Matrix a = Matrix::FromRows({{1, 0}, {1, 1}, {1, 2}, {1, 3}});
+  const Matrix b = Matrix::FromRows({{1}, {3}, {5}, {7}});  // y = 1 + 2t.
+  auto x = SolveLeastSquaresQr(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR((*x)(1, 0), 2.0, 1e-10);
+}
+
+TEST(LeastSquaresQrTest, ResidualOrthogonalToColumns) {
+  Random rng(17);
+  const size_t m = 10, n = 3;
+  Matrix a(m, n);
+  Matrix b(m, 1);
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.Gaussian(0, 1);
+    b(r, 0) = rng.Gaussian(0, 1);
+  }
+  auto x = SolveLeastSquaresQr(a, b);
+  ASSERT_TRUE(x.ok());
+  // Normal equations: A^T (A x - b) = 0.
+  const Matrix residual = a * *x - b;
+  const Matrix grad = a.Transposed() * residual;
+  EXPECT_LT(grad.FrobeniusNorm(), 1e-9);
+}
+
+TEST(LeastSquaresQrTest, RankDeficientDetected) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}});
+  const Matrix b = Matrix::FromRows({{1}, {2}, {3}});
+  EXPECT_EQ(SolveLeastSquaresQr(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LeastSquaresQrTest, ShapeErrors) {
+  EXPECT_EQ(
+      SolveLeastSquaresQr(Matrix(2, 3), Matrix(2, 1)).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      SolveLeastSquaresQr(Matrix(3, 2), Matrix(2, 1)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,156 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+/// Reconstructs U * diag(S) * V^T.
+Matrix Reconstruct(const SvdResult& svd) {
+  Matrix s(svd.singular_values.size(), svd.singular_values.size());
+  for (size_t i = 0; i < svd.singular_values.size(); ++i) {
+    s(i, i) = svd.singular_values[i];
+  }
+  return svd.u * s * svd.v.Transposed();
+}
+
+/// Max |M^T M - I| over the n x n Gram matrix: orthonormality check.
+double OrthonormalityError(const Matrix& m) {
+  const Matrix gram = m.Transposed() * m;
+  return gram.MaxAbsDiff(Matrix::Identity(gram.rows()));
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  const Matrix a = Matrix::FromRows({{3, 0}, {0, 2}});
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 3.0, 1e-10);
+  EXPECT_NEAR(svd->singular_values[1], 2.0, 1e-10);
+  EXPECT_LT(Reconstruct(*svd).MaxAbsDiff(a), 1e-10);
+}
+
+TEST(SvdTest, SingularValuesSortedDescending) {
+  const Matrix a = Matrix::FromRows({{1, 0}, {0, 5}});
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_GE(svd->singular_values[0], svd->singular_values[1]);
+  EXPECT_NEAR(svd->singular_values[0], 5.0, 1e-10);
+}
+
+TEST(SvdTest, TallMatrixReconstruction) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(Reconstruct(*svd).MaxAbsDiff(a), 1e-9);
+  EXPECT_LT(OrthonormalityError(svd->u), 1e-9);
+  EXPECT_LT(OrthonormalityError(svd->v), 1e-9);
+}
+
+TEST(SvdTest, WideMatrixHandledByTransposition) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(Reconstruct(*svd).MaxAbsDiff(a), 1e-9);
+}
+
+TEST(SvdTest, RankDeficientHasZeroSingularValue) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}, {3, 6}});
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_GT(svd->singular_values[0], 1.0);
+  EXPECT_NEAR(svd->singular_values[1], 0.0, 1e-9);
+  EXPECT_LT(Reconstruct(*svd).MaxAbsDiff(a), 1e-9);
+}
+
+TEST(SvdTest, SingularValuesMatchFrobeniusNorm) {
+  Random rng(3);
+  Matrix a(6, 4);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 4; ++c) a(r, c) = rng.Gaussian(0, 2);
+  }
+  auto svd = ComputeSvd(a);
+  ASSERT_TRUE(svd.ok());
+  double sum_sq = 0.0;
+  for (double s : svd->singular_values) sum_sq += s * s;
+  EXPECT_NEAR(std::sqrt(sum_sq), a.FrobeniusNorm(), 1e-9);
+}
+
+TEST(SvdTest, RandomMatricesRoundTrip) {
+  Random rng(11);
+  for (int round = 0; round < 15; ++round) {
+    const size_t m = 2 + rng.Uniform(8);
+    const size_t n = 2 + rng.Uniform(8);
+    Matrix a(m, n);
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < n; ++c) a(r, c) = rng.Gaussian(0, 1);
+    }
+    auto svd = ComputeSvd(a);
+    ASSERT_TRUE(svd.ok());
+    EXPECT_LT(Reconstruct(*svd).MaxAbsDiff(a), 1e-8);
+    for (size_t i = 1; i < svd->singular_values.size(); ++i) {
+      EXPECT_GE(svd->singular_values[i - 1],
+                svd->singular_values[i] - 1e-12);
+    }
+  }
+}
+
+TEST(SvdTest, EmptyMatrixRejected) {
+  EXPECT_EQ(ComputeSvd(Matrix()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SvdLeastSquaresTest, MatchesExactSolution) {
+  const Matrix a = Matrix::FromRows({{2, 0}, {0, 3}, {0, 0}});
+  const Matrix b = Matrix::FromRows({{4}, {9}, {0}});
+  auto x = SolveLeastSquaresSvd(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 2.0, 1e-10);
+  EXPECT_NEAR((*x)(1, 0), 3.0, 1e-10);
+}
+
+TEST(SvdLeastSquaresTest, RankDeficientGivesMinimumNorm) {
+  // Columns identical: infinitely many LS solutions; the pseudo-inverse
+  // picks the minimum-norm one, splitting the coefficient evenly.
+  const Matrix a = Matrix::FromRows({{1, 1}, {1, 1}, {1, 1}});
+  const Matrix b = Matrix::FromRows({{2}, {2}, {2}});
+  auto x = SolveLeastSquaresSvd(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR((*x)(1, 0), 1.0, 1e-9);
+}
+
+TEST(SvdLeastSquaresTest, ZeroMatrixYieldsZeroSolution) {
+  auto x = SolveLeastSquaresSvd(Matrix(3, 2), Matrix(3, 1));
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 0.0, 1e-12);
+}
+
+TEST(SvdLeastSquaresTest, AgreesWithQrOnFullRank) {
+  Random rng(23);
+  Matrix a(12, 4);
+  Matrix b(12, 2);
+  for (size_t r = 0; r < 12; ++r) {
+    for (size_t c = 0; c < 4; ++c) a(r, c) = rng.Gaussian(0, 1);
+    b(r, 0) = rng.Gaussian(0, 1);
+    b(r, 1) = rng.Gaussian(0, 1);
+  }
+  // Local include keeps the QR comparison honest.
+  auto x_svd = SolveLeastSquaresSvd(a, b);
+  ASSERT_TRUE(x_svd.ok());
+  const Matrix grad = a.Transposed() * (a * *x_svd - b);
+  EXPECT_LT(grad.FrobeniusNorm(), 1e-8);
+}
+
+TEST(SvdLeastSquaresTest, ShapeMismatchRejected) {
+  EXPECT_EQ(
+      SolveLeastSquaresSvd(Matrix(3, 2), Matrix(2, 1)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpm

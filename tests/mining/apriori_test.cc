@@ -1,0 +1,384 @@
+#include "mining/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+/// Builds a region set from (id, offset) pairs; geometry is irrelevant to
+/// the miner, only offsets matter.
+FrequentRegionSet MakeRegions(const std::vector<Timestamp>& offsets) {
+  FrequentRegionSet set;
+  set.set_period(100);
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    FrequentRegion r;
+    r.id = static_cast<int>(i);
+    r.offset = offsets[i];
+    r.center = {static_cast<double>(i), 0};
+    r.mbr.Extend(r.center);
+    r.support = 1;
+    set.AddRegion(r);
+  }
+  return set;
+}
+
+std::vector<Transaction> MakeTransactions(
+    const std::vector<std::vector<int>>& item_lists, size_t num_regions) {
+  std::vector<Transaction> out;
+  for (const auto& items : item_lists) {
+    std::vector<RegionVisit> visits;
+    for (int id : items) visits.push_back({0, id});
+    out.emplace_back(visits, num_regions);
+  }
+  return out;
+}
+
+AprioriParams Params(double min_conf, int min_supp, int max_len = 3,
+                     Timestamp window = 0, bool pruning = true) {
+  AprioriParams p;
+  p.min_confidence = min_conf;
+  p.min_support = min_supp;
+  p.max_pattern_length = max_len;
+  p.premise_window = window;
+  p.enable_pruning = pruning;
+  return p;
+}
+
+const TrajectoryPattern* FindPattern(const AprioriResult& result,
+                                     const std::vector<int>& premise,
+                                     int consequence) {
+  for (const auto& p : result.patterns) {
+    if (p.premise == premise && p.consequence == consequence) return &p;
+  }
+  return nullptr;
+}
+
+TEST(AprioriTest, ParameterValidation) {
+  const auto regions = MakeRegions({0, 1});
+  const auto txns = MakeTransactions({{0, 1}}, 2);
+  EXPECT_EQ(MineTrajectoryPatterns(txns, regions, Params(-0.1, 1))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MineTrajectoryPatterns(txns, regions, Params(1.1, 1))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MineTrajectoryPatterns(txns, regions, Params(0.5, 0))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MineTrajectoryPatterns(txns, regions, Params(0.5, 1, 1))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  AprioriParams bad = Params(0.5, 1);
+  bad.premise_window = -1;
+  EXPECT_EQ(MineTrajectoryPatterns(txns, regions, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AprioriTest, EmptyInputsYieldNoPatterns) {
+  const auto regions = MakeRegions({});
+  auto result =
+      MineTrajectoryPatterns({}, regions, Params(0.3, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->patterns.empty());
+}
+
+TEST(AprioriTest, PairRuleConfidenceExact) {
+  // Region 0 (offset 0) appears in 4 transactions; {0,1} co-occur in 2.
+  const auto regions = MakeRegions({0, 5});
+  const auto txns =
+      MakeTransactions({{0, 1}, {0, 1}, {0}, {0}}, 2);
+  auto result = MineTrajectoryPatterns(txns, regions, Params(0.3, 2));
+  ASSERT_TRUE(result.ok());
+  const TrajectoryPattern* p = FindPattern(*result, {0}, 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->confidence, 0.5);
+  EXPECT_EQ(p->support, 2);
+}
+
+TEST(AprioriTest, MinConfidenceFilters) {
+  const auto regions = MakeRegions({0, 5});
+  const auto txns =
+      MakeTransactions({{0, 1}, {0, 1}, {0}, {0}}, 2);
+  auto strict = MineTrajectoryPatterns(txns, regions, Params(0.6, 2));
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(FindPattern(*strict, {0}, 1), nullptr);
+}
+
+TEST(AprioriTest, MinSupportFilters) {
+  const auto regions = MakeRegions({0, 5});
+  const auto txns = MakeTransactions({{0, 1}, {0}}, 2);
+  auto result = MineTrajectoryPatterns(txns, regions, Params(0.0, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(FindPattern(*result, {0}, 1), nullptr);
+}
+
+TEST(AprioriTest, ConsequenceAlwaysMaxOffset) {
+  // Items at offsets 0 < 3 < 7; all rules must conclude at the latest
+  // offset of their item set (pruning rule 1).
+  const auto regions = MakeRegions({0, 3, 7});
+  const auto txns = MakeTransactions(
+      {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1}}, 3);
+  auto result = MineTrajectoryPatterns(txns, regions, Params(0.0, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->patterns.empty());
+  for (const auto& p : result->patterns) {
+    const Timestamp cons_offset = regions.Region(p.consequence).offset;
+    Timestamp prev = -1;
+    for (int id : p.premise) {
+      const Timestamp o = regions.Region(id).offset;
+      EXPECT_GT(o, prev);          // Strictly increasing premise.
+      EXPECT_LT(o, cons_offset);   // All premise offsets precede it.
+      prev = o;
+    }
+  }
+  // The 3-item set yields the Jane-style rule {0,1} -> 2 with conf 3/4
+  // when the premise {0,1} occurred 4 times.
+  const TrajectoryPattern* jane = FindPattern(*result, {0, 1}, 2);
+  ASSERT_NE(jane, nullptr);
+  EXPECT_DOUBLE_EQ(jane->confidence, 0.75);
+}
+
+TEST(AprioriTest, SameOffsetItemsNeverCombine) {
+  // Regions 0 and 1 share offset 2: no rule may join them.
+  const auto regions = MakeRegions({2, 2, 6});
+  const auto txns = MakeTransactions({{0, 1, 2}, {0, 1, 2}}, 3);
+  auto result = MineTrajectoryPatterns(txns, regions, Params(0.0, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(FindPattern(*result, {0, 1}, 2), nullptr);
+  // But each may predict region 2 alone.
+  EXPECT_NE(FindPattern(*result, {0}, 2), nullptr);
+  EXPECT_NE(FindPattern(*result, {1}, 2), nullptr);
+  // And neither predicts the other (equal offsets are not "later").
+  EXPECT_EQ(FindPattern(*result, {0}, 1), nullptr);
+}
+
+TEST(AprioriTest, MaxPatternLengthBoundsPremise) {
+  const auto regions = MakeRegions({0, 1, 2, 3});
+  const auto txns =
+      MakeTransactions({{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}}, 4);
+  auto short_rules =
+      MineTrajectoryPatterns(txns, regions, Params(0.0, 2, 2));
+  ASSERT_TRUE(short_rules.ok());
+  for (const auto& p : short_rules->patterns) {
+    EXPECT_EQ(p.premise.size(), 1u);
+  }
+  auto long_rules =
+      MineTrajectoryPatterns(txns, regions, Params(0.0, 2, 4));
+  ASSERT_TRUE(long_rules.ok());
+  size_t max_premise = 0;
+  for (const auto& p : long_rules->patterns) {
+    max_premise = std::max(max_premise, p.premise.size());
+  }
+  EXPECT_EQ(max_premise, 3u);
+}
+
+TEST(AprioriTest, PremiseWindowConstrainsSpan) {
+  // Regions at offsets 0, 10, 20. With window 5 the premise {0,10} (span
+  // 10) is disallowed, so no 2-premise rule appears; with window 0
+  // (unbounded) it does.
+  const auto regions = MakeRegions({0, 10, 20});
+  const auto txns =
+      MakeTransactions({{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}, 3);
+  auto bounded =
+      MineTrajectoryPatterns(txns, regions, Params(0.0, 2, 3, 5));
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(FindPattern(*bounded, {0, 1}, 2), nullptr);
+  auto unbounded =
+      MineTrajectoryPatterns(txns, regions, Params(0.0, 2, 3, 0));
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_NE(FindPattern(*unbounded, {0, 1}, 2), nullptr);
+}
+
+TEST(AprioriTest, StatsCountFrequentItemsets) {
+  const auto regions = MakeRegions({0, 1, 2});
+  const auto txns = MakeTransactions({{0, 1, 2}, {0, 1, 2}}, 3);
+  auto result = MineTrajectoryPatterns(txns, regions, Params(0.0, 2, 3));
+  ASSERT_TRUE(result.ok());
+  // 3 singletons + 3 pairs + 1 triple.
+  EXPECT_EQ(result->stats.num_frequent_itemsets, 7u);
+  EXPECT_EQ(result->stats.patterns_emitted, result->patterns.size());
+  // Pairs {0,1},{0,2},{1,2} and triple {0,1,2} each emit one rule.
+  EXPECT_EQ(result->patterns.size(), 4u);
+}
+
+TEST(AprioriTest, UnprunedModeCountsDominatedRules) {
+  const auto regions = MakeRegions({0, 1, 2});
+  const auto txns =
+      MakeTransactions({{0, 1, 2}, {0, 1, 2}, {0, 1}}, 3);
+  auto pruned = MineTrajectoryPatterns(txns, regions, Params(0.0, 2, 3));
+  auto unpruned = MineTrajectoryPatterns(txns, regions,
+                                         Params(0.0, 2, 3, 0, false));
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(unpruned.ok());
+  // Emitted (valid) patterns identical either way.
+  EXPECT_EQ(pruned->patterns.size(), unpruned->patterns.size());
+  EXPECT_EQ(pruned->stats.rules_pruned_time_order, 0u);
+  EXPECT_EQ(pruned->stats.rules_pruned_multi_consequence, 0u);
+  // Unpruned mode observed dominated rules of both kinds.
+  EXPECT_GT(unpruned->stats.rules_pruned_time_order, 0u);
+  EXPECT_GT(unpruned->stats.rules_pruned_multi_consequence, 0u);
+}
+
+TEST(AprioriTest, Theorem1MultiConsequenceConfidenceNeverHigher) {
+  // Verify the theorem numerically in unpruned counting: for item set
+  // {0,1,2}, conf({0} -> {1,2}) <= conf({0} -> {1}).
+  const auto regions = MakeRegions({0, 1, 2});
+  const auto txns = MakeTransactions(
+      {{0, 1, 2}, {0, 1, 2}, {0, 1}, {0}}, 3);
+  // N(0)=4, N(0,1)=3, N(0,1,2)=2.
+  // conf(0->1) = 3/4; conf(0 -> 1^2) = 2/4. Theorem 1 holds.
+  auto result = MineTrajectoryPatterns(txns, regions, Params(0.0, 2, 3));
+  ASSERT_TRUE(result.ok());
+  const TrajectoryPattern* single = FindPattern(*result, {0}, 1);
+  ASSERT_NE(single, nullptr);
+  EXPECT_DOUBLE_EQ(single->confidence, 0.75);
+  EXPECT_GE(single->confidence, 2.0 / 4.0);
+}
+
+TEST(AprioriTest, ToStringRendersRule) {
+  TrajectoryPattern p;
+  p.premise = {0, 1};
+  p.consequence = 3;
+  p.confidence = 0.5;
+  EXPECT_EQ(p.ToString(), "R0 ^ R1 -(0.50)-> R3");
+}
+
+/// Property test: mined pairs agree with brute-force counting on random
+/// transaction databases.
+class AprioriPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AprioriPropertyTest, PairRulesMatchBruteForce) {
+  const int num_regions = GetParam();
+  Random rng(static_cast<uint64_t>(num_regions) * 13);
+  // Distinct offsets so any ordered pair is a candidate.
+  std::vector<Timestamp> offsets;
+  for (int i = 0; i < num_regions; ++i) offsets.push_back(i);
+  const auto regions = MakeRegions(offsets);
+
+  std::vector<std::vector<int>> item_lists(20);
+  for (auto& items : item_lists) {
+    for (int r = 0; r < num_regions; ++r) {
+      if (rng.Bernoulli(0.4)) items.push_back(r);
+    }
+  }
+  const auto txns = MakeTransactions(item_lists, offsets.size());
+
+  const double min_conf = 0.3;
+  const int min_supp = 2;
+  auto result = MineTrajectoryPatterns(txns, regions,
+                                       Params(min_conf, min_supp, 2));
+  ASSERT_TRUE(result.ok());
+
+  // Brute force: every ordered pair (a, b), a < b by offset.
+  std::set<std::pair<int, int>> expected;
+  for (int a = 0; a < num_regions; ++a) {
+    for (int b = a + 1; b < num_regions; ++b) {
+      int supp_a = 0, supp_ab = 0;
+      for (const auto& items : item_lists) {
+        const bool has_a =
+            std::find(items.begin(), items.end(), a) != items.end();
+        const bool has_b =
+            std::find(items.begin(), items.end(), b) != items.end();
+        supp_a += has_a;
+        supp_ab += has_a && has_b;
+      }
+      if (supp_ab >= min_supp && supp_a >= min_supp &&
+          static_cast<double>(supp_ab) / supp_a >= min_conf) {
+        expected.insert({a, b});
+      }
+    }
+  }
+  std::set<std::pair<int, int>> mined;
+  for (const auto& p : result->patterns) {
+    ASSERT_EQ(p.premise.size(), 1u);
+    mined.insert({p.premise[0], p.consequence});
+  }
+  EXPECT_EQ(mined, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(UniverseSizes, AprioriPropertyTest,
+                         ::testing::Values(3, 5, 8, 12));
+
+/// Property test for 2-premise (triple) rules against brute force.
+class AprioriTriplePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AprioriTriplePropertyTest, TripleRulesMatchBruteForce) {
+  const int num_regions = GetParam();
+  Random rng(static_cast<uint64_t>(num_regions) * 29 + 3);
+  std::vector<Timestamp> offsets;
+  for (int i = 0; i < num_regions; ++i) offsets.push_back(i);
+  const auto regions = MakeRegions(offsets);
+
+  std::vector<std::vector<int>> item_lists(24);
+  for (auto& items : item_lists) {
+    for (int r = 0; r < num_regions; ++r) {
+      if (rng.Bernoulli(0.5)) items.push_back(r);
+    }
+  }
+  const auto txns = MakeTransactions(item_lists, offsets.size());
+
+  const double min_conf = 0.4;
+  const int min_supp = 3;
+  auto result = MineTrajectoryPatterns(
+      txns, regions, Params(min_conf, min_supp, 3, /*window=*/0));
+  ASSERT_TRUE(result.ok());
+
+  auto support = [&item_lists](const std::vector<int>& items) {
+    int count = 0;
+    for (const auto& txn : item_lists) {
+      bool all = true;
+      for (int item : items) {
+        if (std::find(txn.begin(), txn.end(), item) == txn.end()) {
+          all = false;
+          break;
+        }
+      }
+      count += all;
+    }
+    return count;
+  };
+
+  // Brute force: every ordered triple (a < b < c by offset) emits the
+  // rule {a,b} -> c when the itemset is frequent and confident.
+  std::set<std::tuple<int, int, int>> expected;
+  for (int a = 0; a < num_regions; ++a) {
+    for (int b = a + 1; b < num_regions; ++b) {
+      for (int c = b + 1; c < num_regions; ++c) {
+        const int supp_abc = support({a, b, c});
+        const int supp_ab = support({a, b});
+        if (supp_abc >= min_supp && supp_ab > 0 &&
+            static_cast<double>(supp_abc) / supp_ab >= min_conf) {
+          expected.insert({a, b, c});
+        }
+      }
+    }
+  }
+  std::set<std::tuple<int, int, int>> mined;
+  for (const auto& p : result->patterns) {
+    if (p.premise.size() != 2) continue;
+    mined.insert({p.premise[0], p.premise[1], p.consequence});
+    // Confidence agrees with brute force.
+    EXPECT_NEAR(p.confidence,
+                static_cast<double>(
+                    support({p.premise[0], p.premise[1], p.consequence})) /
+                    support(p.premise),
+                1e-12);
+  }
+  EXPECT_EQ(mined, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(UniverseSizes, AprioriTriplePropertyTest,
+                         ::testing::Values(4, 6, 9));
+
+}  // namespace
+}  // namespace hpm

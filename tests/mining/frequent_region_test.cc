@@ -1,0 +1,179 @@
+#include "mining/frequent_region.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+/// A trajectory with `subs` periods of length `period`; on each day the
+/// object visits fixed anchor points (one per offset) plus tiny noise,
+/// so DBSCAN finds one tight region per offset.
+Trajectory MakePeriodicData(int subs, Timestamp period, double noise,
+                            uint64_t seed = 3) {
+  Random rng(seed);
+  std::vector<Point> anchors;
+  for (Timestamp t = 0; t < period; ++t) {
+    anchors.push_back(
+        {100.0 * static_cast<double>(t) + 50.0, 200.0});
+  }
+  Trajectory traj;
+  for (int s = 0; s < subs; ++s) {
+    for (Timestamp t = 0; t < period; ++t) {
+      Point p = anchors[static_cast<size_t>(t)];
+      p.x += rng.Gaussian(0, noise);
+      p.y += rng.Gaussian(0, noise);
+      traj.Append(p);
+    }
+  }
+  return traj;
+}
+
+FrequentRegionParams Params(Timestamp period, double eps, int min_pts,
+                            int limit = 0) {
+  FrequentRegionParams params;
+  params.period = period;
+  params.dbscan.eps = eps;
+  params.dbscan.min_pts = min_pts;
+  params.limit_sub_trajectories = limit;
+  return params;
+}
+
+TEST(FrequentRegionTest, OneRegionPerOffsetOnCleanData) {
+  const Trajectory traj = MakePeriodicData(20, 5, 1.0);
+  auto result = MineFrequentRegions(traj, Params(5, 10.0, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->region_set.NumRegions(), 5u);
+  EXPECT_EQ(result->region_set.NumOccupiedOffsets(), 5u);
+  for (Timestamp t = 0; t < 5; ++t) {
+    const auto ids = result->region_set.RegionsAtOffset(t);
+    ASSERT_EQ(ids.size(), 1u);
+    const FrequentRegion& r = result->region_set.Region(ids[0]);
+    EXPECT_EQ(r.offset, t);
+    EXPECT_EQ(r.index_at_offset, 0);
+    EXPECT_EQ(r.support, 20);
+    EXPECT_NEAR(r.center.x, 100.0 * static_cast<double>(t) + 50.0, 2.0);
+    EXPECT_NEAR(r.center.y, 200.0, 2.0);
+    EXPECT_TRUE(r.mbr.Contains(r.center));
+  }
+}
+
+TEST(FrequentRegionTest, RegionIdsAscendWithOffset) {
+  const Trajectory traj = MakePeriodicData(10, 8, 0.5);
+  auto result = MineFrequentRegions(traj, Params(8, 10.0, 4));
+  ASSERT_TRUE(result.ok());
+  const auto& regions = result->region_set.regions();
+  for (size_t i = 0; i < regions.size(); ++i) {
+    EXPECT_EQ(regions[i].id, static_cast<int>(i));
+    if (i > 0) {
+      EXPECT_GE(regions[i].offset, regions[i - 1].offset);
+    }
+  }
+}
+
+TEST(FrequentRegionTest, VisitsCoverEveryOffsetOnCleanData) {
+  const Trajectory traj = MakePeriodicData(12, 6, 0.5);
+  auto result = MineFrequentRegions(traj, Params(6, 10.0, 4));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->visits.size(), 12u);
+  for (const auto& visits : result->visits) {
+    EXPECT_EQ(visits.size(), 6u);
+    for (size_t i = 1; i < visits.size(); ++i) {
+      EXPECT_LT(visits[i - 1].offset, visits[i].offset);
+    }
+  }
+}
+
+TEST(FrequentRegionTest, LimitSubTrajectoriesReducesSupport) {
+  const Trajectory traj = MakePeriodicData(20, 4, 0.5);
+  auto limited = MineFrequentRegions(traj, Params(4, 10.0, 4, 5));
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->visits.size(), 5u);
+  for (const auto& r : limited->region_set.regions()) {
+    EXPECT_EQ(r.support, 5);
+  }
+}
+
+TEST(FrequentRegionTest, HighMinPtsSuppressesRegions) {
+  const Trajectory traj = MakePeriodicData(5, 4, 0.5);
+  auto result = MineFrequentRegions(traj, Params(4, 10.0, 10));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->region_set.NumRegions(), 0u);
+  for (const auto& visits : result->visits) EXPECT_TRUE(visits.empty());
+}
+
+TEST(FrequentRegionTest, TwoAlternativeRoutesGiveTwoRegions) {
+  // Half the days at y=0, half at y=1000: two regions per offset.
+  Random rng(5);
+  Trajectory traj;
+  const Timestamp period = 3;
+  for (int s = 0; s < 20; ++s) {
+    const double y = (s % 2 == 0) ? 0.0 : 1000.0;
+    for (Timestamp t = 0; t < period; ++t) {
+      traj.Append({100.0 * static_cast<double>(t) + rng.Gaussian(0, 1),
+                   y + rng.Gaussian(0, 1)});
+    }
+  }
+  auto result = MineFrequentRegions(traj, Params(period, 10.0, 4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->region_set.NumRegions(), 6u);
+  for (Timestamp t = 0; t < period; ++t) {
+    EXPECT_EQ(result->region_set.RegionsAtOffset(t).size(), 2u);
+  }
+}
+
+TEST(FrequentRegionTest, FindContainingRegion) {
+  const Trajectory traj = MakePeriodicData(20, 3, 1.0);
+  auto result = MineFrequentRegions(traj, Params(3, 10.0, 4));
+  ASSERT_TRUE(result.ok());
+  const FrequentRegionSet& set = result->region_set;
+  const FrequentRegion& r0 = set.Region(set.RegionsAtOffset(0)[0]);
+  EXPECT_EQ(set.FindContainingRegion(0, r0.center), r0.id);
+  // A far-away point matches nothing.
+  EXPECT_EQ(set.FindContainingRegion(0, {9999, 9999}), -1);
+  // Out-of-range offsets match nothing.
+  EXPECT_EQ(set.FindContainingRegion(-1, r0.center), -1);
+  EXPECT_EQ(set.FindContainingRegion(99, r0.center), -1);
+}
+
+TEST(FrequentRegionTest, FindNearbyRegionUsesSlack) {
+  const Trajectory traj = MakePeriodicData(20, 3, 1.0);
+  auto result = MineFrequentRegions(traj, Params(3, 10.0, 4));
+  ASSERT_TRUE(result.ok());
+  const FrequentRegionSet& set = result->region_set;
+  const FrequentRegion& r0 = set.Region(set.RegionsAtOffset(0)[0]);
+  const Point outside{r0.mbr.max().x + 5.0, r0.center.y};
+  EXPECT_EQ(set.FindContainingRegion(0, outside), -1);
+  EXPECT_EQ(set.FindNearbyRegion(0, outside, 6.0), r0.id);
+}
+
+TEST(FrequentRegionTest, ErrorsPropagate) {
+  const Trajectory traj = MakePeriodicData(3, 4, 0.5);
+  // Period longer than data.
+  EXPECT_EQ(MineFrequentRegions(traj, Params(100, 10.0, 4))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Bad DBSCAN parameters.
+  EXPECT_EQ(
+      MineFrequentRegions(traj, Params(4, -1.0, 4)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(FrequentRegionTest, SupportEqualsSumOfMemberships) {
+  const Trajectory traj = MakePeriodicData(15, 5, 1.0);
+  auto result = MineFrequentRegions(traj, Params(5, 10.0, 4));
+  ASSERT_TRUE(result.ok());
+  // Sum of supports equals the number of recorded visits.
+  size_t total_visits = 0;
+  for (const auto& visits : result->visits) total_visits += visits.size();
+  int total_support = 0;
+  for (const auto& r : result->region_set.regions()) {
+    total_support += r.support;
+  }
+  EXPECT_EQ(static_cast<size_t>(total_support), total_visits);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,115 @@
+#include "motion/linear_motion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+std::vector<TimedPoint> LinearTrack(Timestamp start, int n, Point origin,
+                                    Point velocity) {
+  std::vector<TimedPoint> track;
+  for (int i = 0; i < n; ++i) {
+    track.push_back(
+        {start + i, origin + velocity * static_cast<double>(i)});
+  }
+  return track;
+}
+
+TEST(LinearMotionTest, NeedsTwoPoints) {
+  LinearMotionFunction f;
+  EXPECT_EQ(f.Fit({{0, {1, 1}}}).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(f.Fit(LinearTrack(0, 2, {0, 0}, {1, 0})).ok());
+}
+
+TEST(LinearMotionTest, RejectsNonIncreasingTimestamps) {
+  LinearMotionFunction f;
+  const std::vector<TimedPoint> bad = {{3, {0, 0}}, {3, {1, 1}}};
+  EXPECT_EQ(f.Fit(bad).code(), StatusCode::kInvalidArgument);
+  const std::vector<TimedPoint> reversed = {{3, {0, 0}}, {2, {1, 1}}};
+  EXPECT_EQ(f.Fit(reversed).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearMotionTest, PredictBeforeFitFails) {
+  LinearMotionFunction f;
+  EXPECT_EQ(f.Predict(10).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LinearMotionTest, ExactLinearMotionRecovered) {
+  LinearMotionFunction f;
+  ASSERT_TRUE(f.Fit(LinearTrack(0, 10, {5, 5}, {2, -1})).ok());
+  EXPECT_NEAR(f.velocity().x, 2.0, 1e-10);
+  EXPECT_NEAR(f.velocity().y, -1.0, 1e-10);
+  auto p = f.Predict(20);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 5 + 2 * 20, 1e-9);
+  EXPECT_NEAR(p->y, 5 - 20, 1e-9);
+}
+
+TEST(LinearMotionTest, PredictAtCurrentTimeReturnsAnchor) {
+  LinearMotionFunction f;
+  ASSERT_TRUE(f.Fit(LinearTrack(0, 5, {0, 0}, {3, 3})).ok());
+  auto p = f.Predict(4);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 12.0, 1e-10);
+  EXPECT_NEAR(p->y, 12.0, 1e-10);
+}
+
+TEST(LinearMotionTest, PastQueryTimeRejected) {
+  LinearMotionFunction f;
+  ASSERT_TRUE(f.Fit(LinearTrack(0, 5, {0, 0}, {1, 1})).ok());
+  EXPECT_EQ(f.Predict(3).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearMotionTest, StationaryObjectStaysPut) {
+  LinearMotionFunction f;
+  ASSERT_TRUE(f.Fit(LinearTrack(0, 8, {7, 7}, {0, 0})).ok());
+  auto p = f.Predict(100);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 7.0, 1e-10);
+  EXPECT_NEAR(p->y, 7.0, 1e-10);
+}
+
+TEST(LinearMotionTest, NoisyTrackVelocityNearTruth) {
+  Random rng(9);
+  std::vector<TimedPoint> track;
+  for (int i = 0; i < 30; ++i) {
+    track.push_back({i, Point{2.0 * i + rng.Gaussian(0, 0.1),
+                              -1.5 * i + rng.Gaussian(0, 0.1)}});
+  }
+  LinearMotionFunction f;
+  ASSERT_TRUE(f.Fit(track).ok());
+  EXPECT_NEAR(f.velocity().x, 2.0, 0.05);
+  EXPECT_NEAR(f.velocity().y, -1.5, 0.05);
+}
+
+TEST(LinearMotionTest, RefitReplacesModel) {
+  LinearMotionFunction f;
+  ASSERT_TRUE(f.Fit(LinearTrack(0, 5, {0, 0}, {1, 0})).ok());
+  ASSERT_TRUE(f.Fit(LinearTrack(10, 5, {0, 0}, {0, 2})).ok());
+  EXPECT_NEAR(f.velocity().x, 0.0, 1e-10);
+  EXPECT_NEAR(f.velocity().y, 2.0, 1e-10);
+  // The anchor moved to the new track's last point (t = 14).
+  auto p = f.Predict(15);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->y, 10.0, 1e-9);
+}
+
+TEST(LinearMotionTest, NonUnitTimestampGapsSupported) {
+  // Linear motion sampled every 3 ticks.
+  const std::vector<TimedPoint> track = {
+      {0, {0, 0}}, {3, {6, 3}}, {6, {12, 6}}};
+  LinearMotionFunction f;
+  ASSERT_TRUE(f.Fit(track).ok());
+  EXPECT_NEAR(f.velocity().x, 2.0, 1e-10);
+  EXPECT_NEAR(f.velocity().y, 1.0, 1e-10);
+}
+
+TEST(LinearMotionTest, Name) {
+  EXPECT_EQ(LinearMotionFunction().Name(), "Linear");
+}
+
+}  // namespace
+}  // namespace hpm

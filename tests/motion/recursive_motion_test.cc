@@ -1,0 +1,235 @@
+#include "motion/recursive_motion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+std::vector<TimedPoint> Track(int n, const std::function<Point(int)>& f,
+                              Timestamp start = 0) {
+  std::vector<TimedPoint> track;
+  for (int i = 0; i < n; ++i) track.push_back({start + i, f(i)});
+  return track;
+}
+
+RmfOptions Unclamped() {
+  RmfOptions options;
+  options.clamp_box = BoundingBox();  // No clamping for numeric tests.
+  return options;
+}
+
+TEST(RmfTest, NeedsAtLeastTwoPoints) {
+  RecursiveMotionFunction rmf(Unclamped());
+  EXPECT_EQ(rmf.Fit({{0, {1, 1}}}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RmfTest, RejectsNonConsecutiveTimestamps) {
+  RecursiveMotionFunction rmf(Unclamped());
+  const std::vector<TimedPoint> gaps = {{0, {0, 0}}, {2, {1, 1}}};
+  EXPECT_EQ(rmf.Fit(gaps).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RmfTest, PredictBeforeFitFails) {
+  RecursiveMotionFunction rmf(Unclamped());
+  EXPECT_EQ(rmf.Predict(5).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RmfTest, PastQueryTimeRejected) {
+  RecursiveMotionFunction rmf(Unclamped());
+  ASSERT_TRUE(
+      rmf.Fit(Track(10, [](int i) { return Point{1.0 * i, 0.0}; })).ok());
+  EXPECT_EQ(rmf.Predict(3).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RmfTest, ExactLinearMotionReproduced) {
+  // l_t = 2 l_{t-1} - l_{t-2} reproduces linear motion exactly; RMF must
+  // find an equivalent recurrence.
+  RecursiveMotionFunction rmf(Unclamped());
+  ASSERT_TRUE(
+      rmf.Fit(Track(12, [](int i) { return Point{3.0 * i + 5, -2.0 * i}; }))
+          .ok());
+  for (Timestamp tq : {12, 15, 20, 30}) {
+    auto p = rmf.Predict(tq);
+    ASSERT_TRUE(p.ok());
+    EXPECT_NEAR(p->x, 3.0 * static_cast<double>(tq) + 5, 1e-5);
+    EXPECT_NEAR(p->y, -2.0 * static_cast<double>(tq), 1e-5);
+  }
+}
+
+TEST(RmfTest, StationaryObjectStaysPut) {
+  RecursiveMotionFunction rmf(Unclamped());
+  ASSERT_TRUE(
+      rmf.Fit(Track(10, [](int) { return Point{42.0, 17.0}; })).ok());
+  auto p = rmf.Predict(50);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 42.0, 1e-6);
+  EXPECT_NEAR(p->y, 17.0, 1e-6);
+}
+
+TEST(RmfTest, PredictAtCurrentTimeReturnsLastLocation) {
+  RecursiveMotionFunction rmf(Unclamped());
+  ASSERT_TRUE(
+      rmf.Fit(Track(8, [](int i) { return Point{2.0 * i, 1.0 * i}; })).ok());
+  auto p = rmf.Predict(7);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 14.0, 1e-9);
+  EXPECT_NEAR(p->y, 7.0, 1e-9);
+}
+
+TEST(RmfTest, CapturesCircularMotionBetterThanLinear) {
+  // The RMF paper's motivating case: non-linear (circular) movement.
+  const double radius = 100.0;
+  const double omega = 0.15;
+  auto circle = [&](int i) {
+    return Point{radius * std::cos(omega * i), radius * std::sin(omega * i)};
+  };
+  RmfOptions options = Unclamped();
+  options.window = 30;
+  RecursiveMotionFunction rmf(options);
+  ASSERT_TRUE(rmf.Fit(Track(30, circle)).ok());
+
+  const Timestamp tq = 36;  // 6 steps ahead.
+  auto p = rmf.Predict(tq);
+  ASSERT_TRUE(p.ok());
+  const Point actual = circle(static_cast<int>(tq));
+  const double rmf_error = Distance(*p, actual);
+
+  // Linear extrapolation from the last two points for comparison.
+  const Point v = circle(29) - circle(28);
+  const Point linear = circle(29) + v * 7.0;
+  const double linear_error = Distance(linear, actual);
+
+  EXPECT_LT(rmf_error, linear_error);
+  EXPECT_LT(rmf_error, radius * 0.1);
+}
+
+TEST(RmfTest, AutoSelectionConsistentOnLinearMotion) {
+  // On exactly linear data either a recurrence or the linear candidate
+  // may win the out-of-sample selection (both are exact); whichever is
+  // chosen, the accessors must agree with each other.
+  RecursiveMotionFunction rmf(Unclamped());
+  ASSERT_TRUE(
+      rmf.Fit(Track(12, [](int i) { return Point{5.0 * i, 0.0}; })).ok());
+  if (rmf.used_linear_model()) {
+    EXPECT_EQ(rmf.fitted_retrospect(), 0);
+    EXPECT_TRUE(rmf.coefficients().empty());
+  } else {
+    EXPECT_GE(rmf.fitted_retrospect(), 1);
+    EXPECT_LE(rmf.fitted_retrospect(), 3);
+    EXPECT_EQ(rmf.coefficients().size(),
+              static_cast<size_t>(rmf.fitted_retrospect()));
+  }
+}
+
+TEST(RmfTest, OutOfSampleSelectionRejectsOverfitOnShortNoisyWindows) {
+  // A short, noisy, essentially linear window: in-sample residuals would
+  // pick a high-order recurrence that extrapolates wildly; the held-out
+  // selection must keep predictions in the same ballpark as linear
+  // extrapolation.
+  Random rng(41);
+  auto noisy_line = [&rng](int i) {
+    return Point{100.0 * i + rng.Gaussian(0, 8),
+                 40.0 * i + rng.Gaussian(0, 8)};
+  };
+  RecursiveMotionFunction rmf(Unclamped());
+  ASSERT_TRUE(rmf.Fit(Track(10, noisy_line)).ok());
+  auto p = rmf.Predict(25);  // 16 steps ahead of a 10-point window.
+  ASSERT_TRUE(p.ok());
+  const Point truth{100.0 * 25, 40.0 * 25};
+  EXPECT_LT(Distance(*p, truth), 600.0);
+}
+
+TEST(RmfTest, FixedRetrospectRespected) {
+  RmfOptions options = Unclamped();
+  options.auto_retrospect = false;
+  options.retrospect = 2;
+  RecursiveMotionFunction rmf(options);
+  ASSERT_TRUE(
+      rmf.Fit(Track(12, [](int i) { return Point{1.0 * i, 2.0 * i}; })).ok());
+  EXPECT_EQ(rmf.fitted_retrospect(), 2);
+}
+
+TEST(RmfTest, FixedRetrospectTooLargeForHistoryFails) {
+  RmfOptions options = Unclamped();
+  options.auto_retrospect = false;
+  options.retrospect = 5;
+  RecursiveMotionFunction rmf(options);
+  EXPECT_EQ(
+      rmf.Fit(Track(4, [](int i) { return Point{1.0 * i, 0.0}; })).code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(RmfTest, InvalidRetrospectRejected) {
+  RmfOptions options = Unclamped();
+  options.retrospect = 0;
+  RecursiveMotionFunction rmf(options);
+  EXPECT_EQ(
+      rmf.Fit(Track(5, [](int i) { return Point{1.0 * i, 0.0}; })).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(RmfTest, PredictionsAlwaysFiniteAndClamped) {
+  // A violently accelerating track can produce an unstable recurrence;
+  // the default clamp box must keep output inside the data space.
+  RmfOptions options;  // Default clamp to [0,10000]^2.
+  RecursiveMotionFunction rmf(options);
+  Random rng(5);
+  auto wild = [&rng](int i) {
+    return Point{std::exp2(i % 11) + rng.Gaussian(0, 10),
+                 std::exp2((i + 3) % 11)};
+  };
+  ASSERT_TRUE(rmf.Fit(Track(20, wild)).ok());
+  for (Timestamp tq = 20; tq < 220; tq += 20) {
+    auto p = rmf.Predict(tq);
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(std::isfinite(p->x));
+    EXPECT_TRUE(std::isfinite(p->y));
+    EXPECT_GE(p->x, 0.0);
+    EXPECT_LE(p->x, 10000.0);
+    EXPECT_GE(p->y, 0.0);
+    EXPECT_LE(p->y, 10000.0);
+  }
+}
+
+TEST(RmfTest, WindowLimitsFittedHistory) {
+  // A track whose early half moves +x and late half moves +y: a small
+  // window should track the recent +y motion.
+  auto elbow = [](int i) {
+    return i < 30 ? Point{1.0 * i, 0.0} : Point{30.0, 1.0 * (i - 30)};
+  };
+  RmfOptions options = Unclamped();
+  options.window = 10;
+  RecursiveMotionFunction rmf(options);
+  ASSERT_TRUE(rmf.Fit(Track(60, elbow)).ok());
+  auto p = rmf.Predict(65);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->x, 30.0, 1.0);
+  EXPECT_NEAR(p->y, 35.0, 1.0);
+}
+
+TEST(RmfTest, ErrorGrowsWithPredictionLength) {
+  // The paper's core claim about motion functions: distant-time accuracy
+  // decays. Use curved motion so extrapolation genuinely drifts.
+  const double omega = 0.08;
+  auto curve = [&](int i) {
+    return Point{5000 + 2000 * std::cos(omega * i),
+                 5000 + 2000 * std::sin(omega * i)};
+  };
+  RecursiveMotionFunction rmf;  // Default clamped options.
+  ASSERT_TRUE(rmf.Fit(Track(25, curve)).ok());
+  const double near_error =
+      Distance(rmf.Predict(30).value(), curve(30));
+  const double far_error =
+      Distance(rmf.Predict(200).value(), curve(200));
+  EXPECT_LT(near_error, far_error);
+}
+
+TEST(RmfTest, Name) { EXPECT_EQ(RecursiveMotionFunction().Name(), "RMF"); }
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,342 @@
+#include "server/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+constexpr Timestamp kPeriod = 20;
+
+Point Route(ObjectId id, Timestamp t) {
+  return {100.0 * static_cast<double>(t) + 50.0,
+          500.0 + 1000.0 * static_cast<double>(id)};
+}
+
+/// One noisy period for object `id`.
+Trajectory OnePeriod(ObjectId id, Random* rng) {
+  Trajectory t;
+  for (Timestamp off = 0; off < kPeriod; ++off) {
+    Point p = Route(id, off);
+    p.x += rng->Gaussian(0, 1.0);
+    p.y += rng->Gaussian(0, 1.0);
+    t.Append(p);
+  }
+  return t;
+}
+
+ObjectStoreOptions Options() {
+  ObjectStoreOptions options;
+  options.predictor.regions.period = kPeriod;
+  options.predictor.regions.dbscan.eps = 15.0;
+  options.predictor.regions.dbscan.min_pts = 3;
+  options.predictor.mining.min_confidence = 0.2;
+  options.predictor.mining.min_support = 2;
+  options.predictor.distant_threshold = 8;
+  options.predictor.region_match_slack = 8.0;
+  options.min_training_periods = 5;
+  options.update_batch_periods = 2;
+  options.recent_window = 5;
+  return options;
+}
+
+TEST(ObjectStoreTest, StartsEmpty) {
+  MovingObjectStore store(Options());
+  EXPECT_EQ(store.NumObjects(), 0u);
+  EXPECT_TRUE(store.ObjectIds().empty());
+  EXPECT_EQ(store.HistoryLength(7), 0u);
+  EXPECT_EQ(store.PredictLocation(7, 10).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.GetPredictor(7).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectStoreTest, TracksMultipleObjects) {
+  MovingObjectStore store(Options());
+  Random rng(1);
+  for (ObjectId id : {3, 1, 2}) {
+    ASSERT_TRUE(store.ReportTrajectory(id, OnePeriod(id, &rng)).ok());
+  }
+  EXPECT_EQ(store.NumObjects(), 3u);
+  EXPECT_EQ(store.ObjectIds(), (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_EQ(store.HistoryLength(2), static_cast<size_t>(kPeriod));
+}
+
+TEST(ObjectStoreTest, ColdStartUsesMotionFunction) {
+  MovingObjectStore store(Options());
+  Random rng(2);
+  ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  EXPECT_EQ(store.GetPredictor(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  auto predictions = store.PredictLocation(0, kPeriod + 3);
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions->front().source,
+            PredictionSource::kMotionFunction);
+}
+
+TEST(ObjectStoreTest, TrainsAfterThresholdAndAnswersFromPatterns) {
+  MovingObjectStore store(Options());
+  Random rng(3);
+  for (int day = 0; day < 5; ++day) {
+    ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  }
+  ASSERT_TRUE(store.GetPredictor(0).ok());
+  // Report a fresh partial day so "now" sits mid-period.
+  for (Timestamp t = 0; t <= 10; ++t) {
+    ASSERT_TRUE(store.ReportLocation(0, Route(0, t)).ok());
+  }
+  const Timestamp now = 5 * kPeriod + 10;
+  auto predictions = store.PredictLocation(0, now + 5);
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions->front().source, PredictionSource::kPattern);
+  EXPECT_LT(Distance(predictions->front().location, Route(0, 15)), 20.0);
+}
+
+TEST(ObjectStoreTest, QueryTimeMustBeFuture) {
+  MovingObjectStore store(Options());
+  Random rng(4);
+  ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  EXPECT_EQ(store.PredictLocation(0, kPeriod - 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectStoreTest, IncrementalBatchesConsumeHistory) {
+  MovingObjectStore store(Options());
+  Random rng(5);
+  for (int day = 0; day < 5; ++day) {
+    ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  }
+  auto predictor = store.GetPredictor(0);
+  ASSERT_TRUE(predictor.ok());
+  const size_t patterns_before = (*predictor)->summary().num_patterns;
+  // Two more periods trigger the §V-B incorporation (which may or may
+  // not add patterns, but must not disturb the model's integrity).
+  for (int day = 0; day < 2; ++day) {
+    ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  }
+  predictor = store.GetPredictor(0);
+  ASSERT_TRUE(predictor.ok());
+  EXPECT_GE((*predictor)->summary().num_patterns, patterns_before);
+  EXPECT_TRUE((*predictor)->tpt().CheckInvariants().ok());
+}
+
+TEST(ObjectStoreTest, PredictiveRangeQueryFindsTheRightObjects) {
+  MovingObjectStore store(Options());
+  Random rng(6);
+  // Objects 0/1/2 run parallel routes at y = 500 / 1500 / 2500.
+  for (ObjectId id : {0, 1, 2}) {
+    for (int day = 0; day < 5; ++day) {
+      ASSERT_TRUE(store.ReportTrajectory(id, OnePeriod(id, &rng)).ok());
+    }
+    for (Timestamp t = 0; t <= 5; ++t) {
+      ASSERT_TRUE(store.ReportLocation(id, Route(id, t)).ok());
+    }
+  }
+  const Timestamp tq = 5 * kPeriod + 10;  // Offset 10 of the fresh day.
+  // A box around object 1's offset-10 position only.
+  const Point center = Route(1, 10);
+  const BoundingBox around(center - Point{120, 120},
+                           center + Point{120, 120});
+  auto hits = store.PredictiveRangeQuery(around, tq);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].id, 1);
+  EXPECT_TRUE(around.Contains((*hits)[0].prediction.location));
+}
+
+TEST(ObjectStoreTest, PredictiveRangeQueryWholeSpaceReturnsEveryone) {
+  MovingObjectStore store(Options());
+  Random rng(7);
+  for (ObjectId id : {0, 1}) {
+    for (int day = 0; day < 5; ++day) {
+      ASSERT_TRUE(store.ReportTrajectory(id, OnePeriod(id, &rng)).ok());
+    }
+    for (Timestamp t = 0; t <= 5; ++t) {
+      ASSERT_TRUE(store.ReportLocation(id, Route(id, t)).ok());
+    }
+  }
+  const BoundingBox everywhere({-1e7, -1e7}, {1e7, 1e7});
+  auto hits = store.PredictiveRangeQuery(everywhere, 5 * kPeriod + 9);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+  // Sorted by score descending.
+  EXPECT_GE((*hits)[0].prediction.score, (*hits)[1].prediction.score);
+}
+
+TEST(ObjectStoreTest, RangeQueryValidation) {
+  MovingObjectStore store(Options());
+  EXPECT_EQ(store.PredictiveRangeQuery(BoundingBox(), 10).status().code(),
+            StatusCode::kInvalidArgument);
+  const BoundingBox box({0, 0}, {1, 1});
+  EXPECT_EQ(store.PredictiveRangeQuery(box, 10, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  // No objects: empty result, not an error.
+  auto hits = store.PredictiveRangeQuery(box, 10);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(ObjectStoreTest, RangeQuerySkipsObjectsWithStaleClocks) {
+  MovingObjectStore store(Options());
+  Random rng(8);
+  ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  // tq == the object's last timestamp: nothing to predict.
+  const BoundingBox everywhere({-1e7, -1e7}, {1e7, 1e7});
+  auto hits = store.PredictiveRangeQuery(everywhere, kPeriod - 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(ObjectStoreTest, PredictiveNearestNeighborsOrdersByDistance) {
+  MovingObjectStore store(Options());
+  Random rng(9);
+  for (ObjectId id : {0, 1, 2}) {
+    for (int day = 0; day < 5; ++day) {
+      ASSERT_TRUE(store.ReportTrajectory(id, OnePeriod(id, &rng)).ok());
+    }
+    for (Timestamp t = 0; t <= 5; ++t) {
+      ASSERT_TRUE(store.ReportLocation(id, Route(id, t)).ok());
+    }
+  }
+  const Timestamp tq = 5 * kPeriod + 10;
+  // Target at object 1's future position: expect order 1, then 0/2.
+  auto nn = store.PredictiveNearestNeighbors(Route(1, 10), tq, 2);
+  ASSERT_TRUE(nn.ok());
+  ASSERT_EQ(nn->size(), 2u);
+  EXPECT_EQ((*nn)[0].id, 1);
+  const double d0 = Distance((*nn)[0].prediction.location, Route(1, 10));
+  const double d1 = Distance((*nn)[1].prediction.location, Route(1, 10));
+  EXPECT_LE(d0, d1);
+  // n larger than the fleet returns everyone.
+  auto all = store.PredictiveNearestNeighbors(Route(1, 10), tq, 10);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+  // Validation.
+  EXPECT_EQ(store.PredictiveNearestNeighbors({0, 0}, tq, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectStoreTest, ContinuousQueryEmitsEnterAndLeaveEvents) {
+  MovingObjectStore store(Options());
+  Random rng(10);
+  for (int day = 0; day < 5; ++day) {
+    ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  }
+  // Watch a box around the route's offset-10 position, 5 ticks ahead.
+  const Point center = Route(0, 10);
+  const BoundingBox around(center - Point{120, 120},
+                           center + Point{120, 120});
+  const int query_id = store.RegisterContinuousQuery(around, 5);
+  EXPECT_TRUE(store.DrainContinuousEvents().empty());
+
+  // Feed the fresh day; as "now" approaches offset 5, now+5 hits the
+  // box (enter event); as it moves past, the prediction leaves it.
+  std::vector<MovingObjectStore::ContinuousEvent> events;
+  for (Timestamp t = 0; t <= 19; ++t) {
+    ASSERT_TRUE(store.ReportLocation(0, Route(0, t)).ok());
+    for (auto& e : store.DrainContinuousEvents()) {
+      events.push_back(std::move(e));
+    }
+  }
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].query_id, query_id);
+  EXPECT_EQ(events[0].object, 0);
+  EXPECT_TRUE(events[0].entered);
+  EXPECT_TRUE(around.Contains(events[0].prediction.location));
+  // The last event is the departure.
+  EXPECT_FALSE(events.back().entered);
+  // Events drain exactly once.
+  EXPECT_TRUE(store.DrainContinuousEvents().empty());
+}
+
+TEST(ObjectStoreTest, UnregisteredQueryStopsFiring) {
+  MovingObjectStore store(Options());
+  Random rng(11);
+  for (int day = 0; day < 5; ++day) {
+    ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  }
+  const BoundingBox everywhere({-1e7, -1e7}, {1e7, 1e7});
+  const int query_id = store.RegisterContinuousQuery(everywhere, 3);
+  ASSERT_TRUE(store.ReportLocation(0, Route(0, 0)).ok());
+  EXPECT_FALSE(store.DrainContinuousEvents().empty());  // Entered.
+  store.UnregisterContinuousQuery(query_id);
+  ASSERT_TRUE(store.ReportLocation(0, Route(0, 1)).ok());
+  EXPECT_TRUE(store.DrainContinuousEvents().empty());
+}
+
+TEST(ObjectStoreTest, DirectoryPersistenceRoundTrips) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/store_roundtrip";
+  Random rng(12);
+  MovingObjectStore original(Options());
+  for (ObjectId id : {0, 1}) {
+    for (int day = 0; day < 5; ++day) {
+      ASSERT_TRUE(original.ReportTrajectory(id, OnePeriod(id, &rng)).ok());
+    }
+    for (Timestamp t = 0; t <= 5; ++t) {
+      ASSERT_TRUE(original.ReportLocation(id, Route(id, t)).ok());
+    }
+  }
+  ASSERT_TRUE(original.SaveToDirectory(dir).ok());
+
+  auto restored = MovingObjectStore::LoadFromDirectory(dir, Options());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumObjects(), 2u);
+  EXPECT_EQ(restored->HistoryLength(0), original.HistoryLength(0));
+  ASSERT_TRUE(restored->GetPredictor(0).ok());
+
+  // Same answers from both stores.
+  const Timestamp tq = 5 * kPeriod + 10;
+  auto before = original.PredictLocation(1, tq);
+  auto after = restored->PredictLocation(1, tq);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->front().location, after->front().location);
+
+  // And the restored store keeps ingesting + training.
+  ASSERT_TRUE(restored->ReportLocation(0, Route(0, 6)).ok());
+  EXPECT_EQ(restored->HistoryLength(0), original.HistoryLength(0) + 1);
+}
+
+TEST(ObjectStoreTest, LoadFromMissingDirectoryFails) {
+  EXPECT_EQ(MovingObjectStore::LoadFromDirectory("/nonexistent/store",
+                                                 Options())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectStoreTest, ColdObjectsPersistWithoutModels) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/store_cold";
+  Random rng(13);
+  MovingObjectStore original(Options());
+  ASSERT_TRUE(original.ReportTrajectory(5, OnePeriod(5, &rng)).ok());
+  ASSERT_TRUE(original.SaveToDirectory(dir).ok());
+  auto restored = MovingObjectStore::LoadFromDirectory(dir, Options());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->GetPredictor(5).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(restored->HistoryLength(5), static_cast<size_t>(kPeriod));
+}
+
+TEST(ObjectStoreDeathTest, ContinuousQueryValidationAborts) {
+  MovingObjectStore store(Options());
+  EXPECT_DEATH(store.RegisterContinuousQuery(BoundingBox(), 5),
+               "HPM_CHECK");
+  const BoundingBox box({0, 0}, {1, 1});
+  EXPECT_DEATH(store.RegisterContinuousQuery(box, 0), "HPM_CHECK");
+  EXPECT_DEATH(store.RegisterContinuousQuery(box, 5, 0), "HPM_CHECK");
+}
+
+TEST(ObjectStoreDeathTest, BadOptionsAbort) {
+  ObjectStoreOptions bad = Options();
+  bad.min_training_periods = 0;
+  EXPECT_DEATH(MovingObjectStore{bad}, "HPM_CHECK");
+  bad = Options();
+  bad.recent_window = 1;
+  EXPECT_DEATH(MovingObjectStore{bad}, "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

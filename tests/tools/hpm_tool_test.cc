@@ -1,0 +1,175 @@
+// End-to-end tests for the hpm_tool CLI: each subcommand is executed as
+// a real process against temp files.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace hpm {
+namespace {
+
+std::string ToolPath() {
+  // ctest runs test binaries from the build tree; the tool sits in
+  // build/tools/ relative to the build root. HPM_TOOL may override.
+  if (const char* env = std::getenv("HPM_TOOL")) return env;
+  return std::string(HPM_TOOL_PATH);
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunTool(const std::string& args) {
+  const std::string command = ToolPath() + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return result;
+  char buffer[512];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string Tmp(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(HpmToolTest, NoArgumentsShowsUsage) {
+  const RunResult r = RunTool("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(HpmToolTest, UnknownCommandShowsUsage) {
+  EXPECT_EQ(RunTool("frobnicate").exit_code, 2);
+}
+
+TEST(HpmToolTest, UnknownFlagRejected) {
+  const RunResult r =
+      RunTool("generate --out /tmp/x.csv --bogus 1 --kind car");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(HpmToolTest, GenerateRequiresOut) {
+  const RunResult r = RunTool("generate --kind bike");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--out"), std::string::npos);
+}
+
+TEST(HpmToolTest, GenerateRejectsBadKind) {
+  const RunResult r = RunTool("generate --kind submarine --out /tmp/x.csv");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown --kind"), std::string::npos);
+}
+
+TEST(HpmToolTest, FullPipelineGenerateTrainInfoPredict) {
+  const std::string csv = Tmp("tool_history.csv");
+  const std::string model = Tmp("tool_model.bin");
+
+  const RunResult gen = RunTool(
+      "generate --kind car --out " + csv + " --period 60 --days 30");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  EXPECT_NE(gen.output.find("wrote 1800 samples"), std::string::npos);
+
+  const RunResult train =
+      RunTool("train --history " + csv + " --model " + model +
+          " --period 60 --eps 30 --min-pts 4 --distant 20");
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+  EXPECT_NE(train.output.find("trained on 30 sub-trajectories"),
+            std::string::npos);
+
+  const RunResult info = RunTool("info --model " + model);
+  ASSERT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("period (T):          60"),
+            std::string::npos);
+  EXPECT_NE(info.output.find("trajectory patterns:"), std::string::npos);
+
+  const RunResult near = RunTool("predict --model " + model + " --history " +
+                             csv + " --now 1770 --horizon 10");
+  ASSERT_EQ(near.exit_code, 0) << near.output;
+  EXPECT_NE(near.output.find("near-time, FQP"), std::string::npos);
+
+  const RunResult far = RunTool("predict --model " + model + " --history " +
+                            csv + " --now 1770 --horizon 25 --k 2");
+  ASSERT_EQ(far.exit_code, 0) << far.output;
+  EXPECT_NE(far.output.find("distant-time, BQP"), std::string::npos);
+}
+
+TEST(HpmToolTest, EvaluateComparesAgainstBaselines) {
+  const std::string csv = Tmp("tool_eval.csv");
+  const std::string model = Tmp("tool_eval.bin");
+  ASSERT_EQ(RunTool("generate --kind car --out " + csv +
+                    " --period 60 --days 40")
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool("train --history " + csv + " --model " + model +
+                    " --period 60 --distant 20 --train-subs 30")
+                .exit_code,
+            0);
+  const RunResult r = RunTool("evaluate --model " + model + " --history " +
+                              csv + " --length 25 --queries 20");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("held-out periods 30..39"), std::string::npos);
+  EXPECT_NE(r.output.find("HPM"), std::string::npos);
+  EXPECT_NE(r.output.find("RMF"), std::string::npos);
+  EXPECT_NE(r.output.find("Linear"), std::string::npos);
+}
+
+TEST(HpmToolTest, EvaluateRequiresHeldOutPeriods) {
+  const std::string csv = Tmp("tool_eval2.csv");
+  const std::string model = Tmp("tool_eval2.bin");
+  ASSERT_EQ(RunTool("generate --kind bike --out " + csv +
+                    " --period 40 --days 10")
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool("train --history " + csv + " --model " + model +
+                    " --period 40 --distant 15")
+                .exit_code,
+            0);
+  const RunResult r =
+      RunTool("evaluate --model " + model + " --history " + csv);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("held-out"), std::string::npos);
+}
+
+TEST(HpmToolTest, TrainRejectsMissingHistoryFile) {
+  const RunResult r = RunTool("train --history /nonexistent.csv --model " +
+                          Tmp("m.bin"));
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(HpmToolTest, PredictValidatesNowAndHorizon) {
+  const std::string csv = Tmp("tool_history2.csv");
+  const std::string model = Tmp("tool_model2.bin");
+  ASSERT_EQ(RunTool("generate --kind bike --out " + csv +
+                " --period 40 --days 10")
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool("train --history " + csv + " --model " + model +
+                " --period 40 --distant 15")
+                .exit_code,
+            0);
+  EXPECT_EQ(RunTool("predict --model " + model + " --history " + csv +
+                " --horizon 5")
+                .exit_code,
+            1);  // Missing --now.
+  EXPECT_EQ(RunTool("predict --model " + model + " --history " + csv +
+                " --now 99999 --horizon 5")
+                .exit_code,
+            1);  // Beyond history.
+  EXPECT_EQ(RunTool("predict --model " + model + " --history " + csv +
+                " --now 100 --horizon 0")
+                .exit_code,
+            1);  // Bad horizon.
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,285 @@
+#include "tpr/tpr_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+MovingPoint MakePoint(int64_t id, Point position, Point velocity) {
+  MovingPoint p;
+  p.id = id;
+  p.position = position;
+  p.velocity = velocity;
+  return p;
+}
+
+std::set<int64_t> Ids(const std::vector<const MovingPoint*>& hits) {
+  std::set<int64_t> ids;
+  for (const auto* hit : hits) ids.insert(hit->id);
+  return ids;
+}
+
+TEST(TpBoundingBoxTest, ExtendWithPointsTracksVelocityBounds) {
+  TpBoundingBox b;
+  EXPECT_TRUE(b.IsEmpty());
+  b.Extend(MakePoint(0, {10, 10}, {1, -2}));
+  b.Extend(MakePoint(1, {20, 5}, {-3, 4}));
+  EXPECT_DOUBLE_EQ(b.min_vx, -3);
+  EXPECT_DOUBLE_EQ(b.max_vx, 1);
+  EXPECT_DOUBLE_EQ(b.min_vy, -2);
+  EXPECT_DOUBLE_EQ(b.max_vy, 4);
+  EXPECT_EQ(b.box.min(), Point(10, 5));
+  EXPECT_EQ(b.box.max(), Point(20, 10));
+}
+
+TEST(TpBoundingBoxTest, BoxAtExpandsConservatively) {
+  TpBoundingBox b;
+  b.Extend(MakePoint(0, {0, 0}, {1, 0}));
+  b.Extend(MakePoint(1, {10, 10}, {-1, 2}));
+  const BoundingBox at5 = b.BoxAt(5.0);
+  // x: min edge moves with min_vx=-1 -> -5; max edge with max_vx=1 -> 15.
+  EXPECT_DOUBLE_EQ(at5.min().x, -5);
+  EXPECT_DOUBLE_EQ(at5.max().x, 15);
+  EXPECT_DOUBLE_EQ(at5.min().y, 0);
+  EXPECT_DOUBLE_EQ(at5.max().y, 20);
+  // The extrapolated points are always inside the expanded box.
+  EXPECT_TRUE(at5.Contains(Point{5, 0}));
+  EXPECT_TRUE(at5.Contains(Point{5, 20}));
+}
+
+TEST(TpBoundingBoxTest, Covers) {
+  TpBoundingBox outer;
+  outer.Extend(MakePoint(0, {0, 0}, {-1, -1}));
+  outer.Extend(MakePoint(1, {10, 10}, {1, 1}));
+  TpBoundingBox inner;
+  inner.Extend(MakePoint(2, {5, 5}, {0, 0}));
+  EXPECT_TRUE(outer.Covers(inner));
+  EXPECT_FALSE(inner.Covers(outer));
+  TpBoundingBox empty;
+  EXPECT_TRUE(outer.Covers(empty));
+  EXPECT_FALSE(empty.Covers(outer));
+}
+
+TEST(TprTreeTest, EmptyTree) {
+  TprTree tree(0);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  auto hits = tree.RangeQuery(BoundingBox({0, 0}, {1, 1}), 5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(TprTreeTest, QueryValidation) {
+  TprTree tree(100);
+  ASSERT_TRUE(tree.Insert(MakePoint(0, {0, 0}, {1, 1})).ok());
+  EXPECT_EQ(tree.RangeQuery(BoundingBox(), 110).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      tree.RangeQuery(BoundingBox({0, 0}, {1, 1}), 99).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(TprTreeTest, FindsMovingObjectAtFutureTime) {
+  TprTree tree(0);
+  // Object 7 moves right 10/tick from the origin.
+  ASSERT_TRUE(tree.Insert(MakePoint(7, {0, 0}, {10, 0})).ok());
+  // At t=10 it sits at (100, 0).
+  const BoundingBox around(Point{95, -5}, Point{105, 5});
+  auto hits = tree.RangeQuery(around, 10);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0]->id, 7);
+  // At t=0 it is not there.
+  auto now = tree.RangeQuery(around, 0);
+  ASSERT_TRUE(now.ok());
+  EXPECT_TRUE(now->empty());
+}
+
+TEST(TprTreeTest, SplitsKeepInvariants) {
+  TprTree::Options options;
+  options.max_node_entries = 4;
+  options.min_node_entries = 2;
+  TprTree tree(0, options);
+  Random rng(1);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree.Insert(MakePoint(
+                        i,
+                        {rng.UniformDouble(0, 1000),
+                         rng.UniformDouble(0, 1000)},
+                        {rng.Gaussian(0, 3), rng.Gaussian(0, 3)}))
+                    .ok());
+    if (i % 30 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after insert " << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 300u);
+  EXPECT_GT(tree.Height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(TprTreeTest, PrunesComparedToScan) {
+  TprTree tree(0);
+  Random rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Insert(MakePoint(
+                        i,
+                        {rng.UniformDouble(0, 10000),
+                         rng.UniformDouble(0, 10000)},
+                        {rng.Gaussian(0, 2), rng.Gaussian(0, 2)}))
+                    .ok());
+  }
+  TprSearchStats stats;
+  const BoundingBox small(Point{4000, 4000}, Point{4500, 4500});
+  auto hits = tree.RangeQuery(small, 20, &stats);
+  ASSERT_TRUE(hits.ok());
+  // The index must inspect far fewer entries than a full scan would.
+  EXPECT_LT(stats.entries_tested, 5000u / 2);
+}
+
+class TprEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, Timestamp>> {};
+
+TEST_P(TprEquivalenceTest, MatchesBruteForceAtEveryHorizon) {
+  const auto [count, tq] = GetParam();
+  Random rng(static_cast<uint64_t>(count) * 7 +
+             static_cast<uint64_t>(tq));
+  const Timestamp ref = 50;
+  TprTree tree(ref);
+  std::vector<MovingPoint> all;
+  for (int i = 0; i < count; ++i) {
+    const MovingPoint p = MakePoint(
+        i, {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)},
+        {rng.Gaussian(0, 5), rng.Gaussian(0, 5)});
+    all.push_back(p);
+    ASSERT_TRUE(tree.Insert(p).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  for (int q = 0; q < 25; ++q) {
+    const Point corner{rng.UniformDouble(-200, 1100),
+                       rng.UniformDouble(-200, 1100)};
+    const BoundingBox range(corner,
+                            corner + Point{rng.UniformDouble(50, 400),
+                                           rng.UniformDouble(50, 400)});
+    std::set<int64_t> expected;
+    for (const MovingPoint& p : all) {
+      if (range.Contains(p.PositionAt(ref, tq))) expected.insert(p.id);
+    }
+    auto hits = tree.RangeQuery(range, tq);
+    ASSERT_TRUE(hits.ok());
+    EXPECT_EQ(Ids(*hits), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TprEquivalenceTest,
+    ::testing::Combine(::testing::Values(10, 200, 2000),
+                       ::testing::Values(Timestamp{50}, Timestamp{60},
+                                         Timestamp{150})));
+
+TEST(TprNearestNeighborTest, Validation) {
+  TprTree tree(10);
+  ASSERT_TRUE(tree.Insert(MakePoint(0, {0, 0}, {1, 1})).ok());
+  EXPECT_EQ(tree.NearestNeighbors({0, 0}, 5, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.NearestNeighbors({0, 0}, 15, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  TprTree empty(0);
+  auto nn = empty.NearestNeighbors({0, 0}, 5, 3);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_TRUE(nn->empty());
+}
+
+TEST(TprNearestNeighborTest, FindsFutureNearest) {
+  TprTree tree(0);
+  // Object 0 sits still at the origin; object 1 starts far away but
+  // races toward (100, 0).
+  ASSERT_TRUE(tree.Insert(MakePoint(0, {0, 0}, {0, 0})).ok());
+  ASSERT_TRUE(tree.Insert(MakePoint(1, {1000, 0}, {-90, 0})).ok());
+  // At t = 0 the nearest to (100, 0) is object 0.
+  auto now = tree.NearestNeighbors({100, 0}, 0, 1);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ((*now)[0]->id, 0);
+  // At t = 10 object 1 has arrived at (100, 0).
+  auto later = tree.NearestNeighbors({100, 0}, 10, 1);
+  ASSERT_TRUE(later.ok());
+  EXPECT_EQ((*later)[0]->id, 1);
+}
+
+class TprNnEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TprNnEquivalenceTest, MatchesBruteForce) {
+  const int n = GetParam();
+  Random rng(static_cast<uint64_t>(n) * 17);
+  const Timestamp ref = 0;
+  TprTree tree(ref);
+  std::vector<MovingPoint> all;
+  for (int i = 0; i < 500; ++i) {
+    const MovingPoint p = MakePoint(
+        i, {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)},
+        {rng.Gaussian(0, 4), rng.Gaussian(0, 4)});
+    all.push_back(p);
+    ASSERT_TRUE(tree.Insert(p).ok());
+  }
+  for (int q = 0; q < 20; ++q) {
+    const Point target{rng.UniformDouble(0, 1000),
+                       rng.UniformDouble(0, 1000)};
+    const Timestamp tq = rng.UniformInt(0, 50);
+    auto hits = tree.NearestNeighbors(target, tq, n);
+    ASSERT_TRUE(hits.ok());
+    ASSERT_EQ(hits->size(), static_cast<size_t>(n));
+    // Brute-force distances, sorted.
+    std::vector<double> expected;
+    for (const MovingPoint& p : all) {
+      expected.push_back(Distance(p.PositionAt(ref, tq), target));
+    }
+    std::sort(expected.begin(), expected.end());
+    for (int i = 0; i < n; ++i) {
+      const double got =
+          Distance((*hits)[static_cast<size_t>(i)]->PositionAt(ref, tq),
+                   target);
+      EXPECT_NEAR(got, expected[static_cast<size_t>(i)], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TprNnEquivalenceTest,
+                         ::testing::Values(1, 3, 10));
+
+TEST(TprNearestNeighborTest, BestFirstPrunes) {
+  TprTree tree(0);
+  Random rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Insert(MakePoint(
+                        i,
+                        {rng.UniformDouble(0, 10000),
+                         rng.UniformDouble(0, 10000)},
+                        {rng.Gaussian(0, 2), rng.Gaussian(0, 2)}))
+                    .ok());
+  }
+  TprSearchStats stats;
+  auto nn = tree.NearestNeighbors({5000, 5000}, 20, 5, &stats);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->size(), 5u);
+  // Best-first search must touch a small fraction of the index.
+  EXPECT_LT(stats.entries_tested, 5000u / 2);
+}
+
+TEST(TprTreeDeathTest, BadOptionsAbort) {
+  TprTree::Options bad;
+  bad.max_node_entries = 3;
+  EXPECT_DEATH(TprTree(0, bad), "HPM_CHECK");
+  TprTree::Options inconsistent;
+  inconsistent.max_node_entries = 8;
+  inconsistent.min_node_entries = 5;
+  EXPECT_DEATH(TprTree(0, inconsistent), "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

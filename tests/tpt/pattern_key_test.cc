@@ -1,0 +1,123 @@
+#include "tpt/pattern_key.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace {
+
+PatternKey Key(const std::string& consequence, const std::string& premise) {
+  return PatternKey(DynamicBitset::FromString(premise),
+                    DynamicBitset::FromString(consequence));
+}
+
+TEST(PatternKeyTest, ZeroConstructed) {
+  PatternKey k(5, 2);
+  EXPECT_EQ(k.premise().size(), 5u);
+  EXPECT_EQ(k.consequence().size(), 2u);
+  EXPECT_EQ(k.Size(), 0u);
+}
+
+TEST(PatternKeyTest, ToStringPutsConsequenceFirst) {
+  // Table III: pattern key 1000011 = consequence key 10, premise 00011.
+  const PatternKey k = Key("10", "00011");
+  EXPECT_EQ(k.ToString(), "1000011");
+}
+
+TEST(PatternKeyTest, SizeCountsBothParts) {
+  EXPECT_EQ(Key("10", "00011").Size(), 3u);
+  EXPECT_EQ(Key("00", "00000").Size(), 0u);
+}
+
+TEST(PatternKeyTest, UnionWith) {
+  PatternKey a = Key("01", "00001");
+  a.UnionWith(Key("10", "00010"));
+  EXPECT_EQ(a.ToString(), "1100011");
+}
+
+TEST(PatternKeyTest, ContainsKeyRequiresBothParts) {
+  const PatternKey big = Key("11", "00111");
+  EXPECT_TRUE(big.ContainsKey(Key("01", "00101")));
+  EXPECT_TRUE(big.ContainsKey(Key("00", "00000")));
+  EXPECT_FALSE(big.ContainsKey(Key("01", "01000")));  // Premise outside.
+  EXPECT_FALSE(Key("01", "00111").ContainsKey(Key("10", "00001")));
+}
+
+TEST(PatternKeyTest, DifferenceSumsBothParts) {
+  const PatternKey a = Key("11", "00110");
+  const PatternKey b = Key("01", "00011");
+  // Consequence: bit 1 only in a (diff 1). Premise: bit 2 only in a
+  // (diff 1). Total 2.
+  EXPECT_EQ(a.DifferenceFrom(b), 2u);
+  EXPECT_EQ(a.DifferenceFrom(a), 0u);
+}
+
+TEST(PatternKeyTest, IntersectsNeedsCommonOnesOnBothParts) {
+  // Paper's Intersect: Size(ck1&ck2) > 0 AND Size(rk1&rk2) > 0.
+  const PatternKey a = Key("10", "00011");
+  EXPECT_TRUE(a.Intersects(Key("10", "00001")));
+  EXPECT_FALSE(a.Intersects(Key("01", "00001")));  // Consequences disjoint.
+  EXPECT_FALSE(a.Intersects(Key("10", "00100")));  // Premises disjoint.
+  EXPECT_FALSE(a.Intersects(Key("01", "00100")));
+}
+
+TEST(PatternKeyTest, IntersectsConsequenceIgnoresPremise) {
+  const PatternKey a = Key("10", "00011");
+  EXPECT_TRUE(a.IntersectsConsequence(Key("10", "00100")));
+  EXPECT_TRUE(a.IntersectsConsequence(Key("10", "00000")));
+  EXPECT_FALSE(a.IntersectsConsequence(Key("01", "00011")));
+}
+
+TEST(PatternKeyTest, Equality) {
+  EXPECT_EQ(Key("10", "00011"), Key("10", "00011"));
+  EXPECT_NE(Key("10", "00011"), Key("01", "00011"));
+  EXPECT_NE(Key("10", "00011"), Key("10", "00010"));
+}
+
+TEST(PatternKeyTest, PaperTableIIIKeys) {
+  // Fig. 3 / Table III: four patterns over 5 regions and 2 consequence
+  // offsets.
+  EXPECT_EQ(Key("01", "00001").ToString(), "0100001");  // R0 -> R1^0.
+  EXPECT_EQ(Key("01", "00001").ToString(), "0100001");  // R0 -> R1^1.
+  EXPECT_EQ(Key("10", "00011").ToString(), "1000011");  // R0^R1 -> R2^0.
+  EXPECT_EQ(Key("10", "00101").ToString(), "1000101");  // R0^R1' -> R2^1.
+}
+
+TEST(PatternKeyTest, MemoryBytesSumsParts) {
+  const PatternKey k(100, 10);
+  EXPECT_EQ(k.MemoryBytes(),
+            k.premise().MemoryBytes() + k.consequence().MemoryBytes());
+}
+
+TEST(PatternKeyTest, IntersectSymmetryProperty) {
+  Random rng(99);
+  for (int round = 0; round < 100; ++round) {
+    PatternKey a(20, 6), b(20, 6);
+    for (size_t i = 0; i < 20; ++i) {
+      if (rng.Bernoulli(0.25)) a.mutable_premise().Set(i);
+      if (rng.Bernoulli(0.25)) b.mutable_premise().Set(i);
+    }
+    for (size_t i = 0; i < 6; ++i) {
+      if (rng.Bernoulli(0.3)) a.mutable_consequence().Set(i);
+      if (rng.Bernoulli(0.3)) b.mutable_consequence().Set(i);
+    }
+    // Intersect is symmetric.
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+    // Contain implies Intersect unless the contained key has an empty
+    // part.
+    if (a.ContainsKey(b) && b.premise().Any() && b.consequence().Any()) {
+      EXPECT_TRUE(a.Intersects(b));
+    }
+    // Union contains both operands.
+    PatternKey u = a;
+    u.UnionWith(b);
+    EXPECT_TRUE(u.ContainsKey(a));
+    EXPECT_TRUE(u.ContainsKey(b));
+    // Difference of a from the union is zero.
+    EXPECT_EQ(a.DifferenceFrom(u), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hpm

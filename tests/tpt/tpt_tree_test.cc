@@ -1,0 +1,356 @@
+#include "tpt/tpt_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "tpt/brute_force_store.h"
+
+namespace hpm {
+namespace {
+
+PatternKey RandomKey(Random* rng, size_t premise_len, size_t cons_len,
+                     double premise_density = 0.1) {
+  PatternKey key(premise_len, cons_len);
+  // Patterns always have at least one premise bit and exactly one
+  // consequence bit (as mined patterns do).
+  key.mutable_premise().Set(rng->Uniform(premise_len));
+  for (size_t i = 0; i < premise_len; ++i) {
+    if (rng->Bernoulli(premise_density)) key.mutable_premise().Set(i);
+  }
+  key.mutable_consequence().Set(rng->Uniform(cons_len));
+  return key;
+}
+
+IndexedPattern MakePattern(PatternKey key, int id) {
+  IndexedPattern p;
+  p.key = std::move(key);
+  p.confidence = 0.5;
+  p.consequence_region = id % 7;
+  p.pattern_id = id;
+  return p;
+}
+
+std::set<int> Ids(const std::vector<const IndexedPattern*>& hits) {
+  std::set<int> ids;
+  for (const auto* hit : hits) ids.insert(hit->pattern_id);
+  return ids;
+}
+
+TEST(TptTreeTest, EmptyTree) {
+  TptTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  PatternKey q(8, 2);
+  q.mutable_premise().Set(0);
+  q.mutable_consequence().Set(0);
+  EXPECT_TRUE(tree.Search(q, SearchMode::kPremiseAndConsequence).empty());
+}
+
+TEST(TptTreeTest, SingleInsertAndFind) {
+  TptTree tree;
+  PatternKey key(8, 2);
+  key.mutable_premise().Set(3);
+  key.mutable_consequence().Set(1);
+  ASSERT_TRUE(tree.Insert(MakePattern(key, 42)).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  const auto hits = tree.Search(key, SearchMode::kPremiseAndConsequence);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->pattern_id, 42);
+}
+
+TEST(TptTreeTest, MismatchedKeyLengthRejected) {
+  TptTree tree;
+  PatternKey a(8, 2);
+  a.mutable_premise().Set(0);
+  a.mutable_consequence().Set(0);
+  ASSERT_TRUE(tree.Insert(MakePattern(a, 0)).ok());
+  PatternKey b(9, 2);
+  b.mutable_premise().Set(0);
+  b.mutable_consequence().Set(0);
+  EXPECT_EQ(tree.Insert(MakePattern(b, 1)).code(),
+            StatusCode::kInvalidArgument);
+  PatternKey c(8, 3);
+  c.mutable_premise().Set(0);
+  c.mutable_consequence().Set(0);
+  EXPECT_EQ(tree.Insert(MakePattern(c, 2)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TptTreeTest, SplitsGrowHeightAndKeepInvariants) {
+  TptTree::Options options;
+  options.max_node_entries = 4;
+  options.min_node_entries = 2;
+  TptTree tree(options);
+  Random rng(1);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        tree.Insert(MakePattern(RandomKey(&rng, 32, 8), i)).ok());
+    if (i % 20 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after insert " << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GT(tree.Height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(TptTreeTest, SearchFindsExactPatternAmongMany) {
+  TptTree tree;
+  Random rng(2);
+  // A distinctive pattern in a sea of others.
+  PatternKey needle(64, 10);
+  needle.mutable_premise().Set(63);
+  needle.mutable_consequence().Set(9);
+  ASSERT_TRUE(tree.Insert(MakePattern(needle, 777)).ok());
+  for (int i = 0; i < 300; ++i) {
+    PatternKey key(64, 10);
+    key.mutable_premise().Set(rng.Uniform(32));  // Lower half only.
+    key.mutable_consequence().Set(rng.Uniform(5));
+    ASSERT_TRUE(tree.Insert(MakePattern(key, i)).ok());
+  }
+  const auto hits =
+      tree.Search(needle, SearchMode::kPremiseAndConsequence);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->pattern_id, 777);
+}
+
+TEST(TptTreeTest, ConsequenceOnlyModeIgnoresPremise) {
+  TptTree tree;
+  PatternKey key(8, 4);
+  key.mutable_premise().Set(2);
+  key.mutable_consequence().Set(1);
+  ASSERT_TRUE(tree.Insert(MakePattern(key, 0)).ok());
+  PatternKey q(8, 4);
+  q.mutable_premise().Set(5);  // Disjoint premise.
+  q.mutable_consequence().Set(1);
+  EXPECT_TRUE(tree.Search(q, SearchMode::kPremiseAndConsequence).empty());
+  EXPECT_EQ(tree.Search(q, SearchMode::kConsequenceOnly).size(), 1u);
+}
+
+TEST(TptTreeTest, DuplicateKeysAllRetrievable) {
+  // Table III notes one pattern key may represent several patterns.
+  TptTree tree;
+  PatternKey key(8, 2);
+  key.mutable_premise().Set(0);
+  key.mutable_consequence().Set(1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Insert(MakePattern(key, i)).ok());
+  }
+  const auto hits = tree.Search(key, SearchMode::kPremiseAndConsequence);
+  EXPECT_EQ(hits.size(), 50u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(TptTreeTest, BulkLoadEqualsSequentialInsert) {
+  Random rng(3);
+  std::vector<IndexedPattern> patterns;
+  for (int i = 0; i < 120; ++i) {
+    patterns.push_back(MakePattern(RandomKey(&rng, 24, 6), i));
+  }
+  auto tree = TptTree::BulkLoad(patterns);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 120u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(TptTreeTest, MemoryGrowsWithPatternsAndKeyLength) {
+  Random rng(4);
+  auto build = [&rng](int n, size_t premise_len) {
+    TptTree tree;
+    for (int i = 0; i < n; ++i) {
+      HPM_CHECK(
+          tree.Insert(MakePattern(RandomKey(&rng, premise_len, 4), i)).ok());
+    }
+    return tree.MemoryBytes();
+  };
+  const size_t small = build(50, 64);
+  const size_t more_patterns = build(500, 64);
+  const size_t longer_keys = build(50, 2048);
+  EXPECT_GT(more_patterns, small);
+  EXPECT_GT(longer_keys, small);
+}
+
+TEST(TptTreeDeathTest, BadOptionsAbort) {
+  TptTree::Options tiny;
+  tiny.max_node_entries = 2;
+  tiny.min_node_entries = 2;
+  EXPECT_DEATH(TptTree{tiny}, "HPM_CHECK");
+  TptTree::Options inconsistent;
+  inconsistent.max_node_entries = 8;
+  inconsistent.min_node_entries = 6;  // 2*min > max+1.
+  EXPECT_DEATH(TptTree{inconsistent}, "HPM_CHECK");
+}
+
+/// The central correctness property (paper §V-C): TPT search returns
+/// exactly the patterns whose key Intersects the query — the same set a
+/// brute-force scan finds — for both search modes, across tree shapes.
+class TptSearchEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TptSearchEquivalenceTest, MatchesBruteForce) {
+  const auto [num_patterns, max_entries] = GetParam();
+  Random rng(static_cast<uint64_t>(num_patterns * 31 + max_entries));
+  TptTree::Options options;
+  options.max_node_entries = max_entries;
+  options.min_node_entries = std::max(2, max_entries * 2 / 5);
+  TptTree tree(options);
+  BruteForceStore brute;
+
+  const size_t premise_len = 40;
+  const size_t cons_len = 12;
+  for (int i = 0; i < num_patterns; ++i) {
+    const PatternKey key = RandomKey(&rng, premise_len, cons_len, 0.08);
+    ASSERT_TRUE(tree.Insert(MakePattern(key, i)).ok());
+    ASSERT_TRUE(brute.Insert(MakePattern(key, i)).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  for (int q = 0; q < 40; ++q) {
+    PatternKey query(premise_len, cons_len);
+    for (size_t i = 0; i < premise_len; ++i) {
+      if (rng.Bernoulli(0.1)) query.mutable_premise().Set(i);
+    }
+    for (size_t i = 0; i < cons_len; ++i) {
+      if (rng.Bernoulli(0.15)) query.mutable_consequence().Set(i);
+    }
+    for (const SearchMode mode : {SearchMode::kPremiseAndConsequence,
+                                  SearchMode::kConsequenceOnly}) {
+      EXPECT_EQ(Ids(tree.Search(query, mode)),
+                Ids(brute.Search(query, mode)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TptSearchEquivalenceTest,
+    ::testing::Combine(::testing::Values(10, 100, 1000),
+                       ::testing::Values(4, 8, 32)));
+
+TEST(TptTreeTest, RemoveSinglePattern) {
+  TptTree tree;
+  Random rng(21);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(MakePattern(RandomKey(&rng, 24, 6), i)).ok());
+  }
+  EXPECT_TRUE(tree.Remove(42));
+  EXPECT_EQ(tree.size(), 99u);
+  EXPECT_FALSE(tree.Remove(42));  // Already gone.
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // The removed pattern is unreachable; all others still are.
+  PatternKey everything(24, 6);
+  for (size_t i = 0; i < 24; ++i) everything.mutable_premise().Set(i);
+  for (size_t i = 0; i < 6; ++i) everything.mutable_consequence().Set(i);
+  const auto ids = Ids(tree.Search(everything,
+                                   SearchMode::kPremiseAndConsequence));
+  EXPECT_EQ(ids.size(), 99u);
+  EXPECT_EQ(ids.count(42), 0u);
+}
+
+TEST(TptTreeTest, RemoveIfByConfidence) {
+  TptTree tree;
+  Random rng(22);
+  for (int i = 0; i < 300; ++i) {
+    IndexedPattern p = MakePattern(RandomKey(&rng, 24, 6), i);
+    p.confidence = (i % 2 == 0) ? 0.9 : 0.1;
+    ASSERT_TRUE(tree.Insert(std::move(p)).ok());
+  }
+  const size_t removed = tree.RemoveIf(
+      [](const IndexedPattern& p) { return p.confidence < 0.5; });
+  EXPECT_EQ(removed, 150u);
+  EXPECT_EQ(tree.size(), 150u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(TptTreeTest, RemoveEverythingLeavesUsableTree) {
+  TptTree::Options options;
+  options.max_node_entries = 4;
+  options.min_node_entries = 2;
+  TptTree tree(options);
+  Random rng(23);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Insert(MakePattern(RandomKey(&rng, 24, 6), i)).ok());
+  }
+  EXPECT_EQ(tree.RemoveIf([](const IndexedPattern&) { return true; }),
+            200u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // And the tree accepts new inserts afterwards.
+  ASSERT_TRUE(tree.Insert(MakePattern(RandomKey(&rng, 24, 6), 0)).ok());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(TptTreeTest, RemoveIfOnEmptyTree) {
+  TptTree tree;
+  EXPECT_EQ(tree.RemoveIf([](const IndexedPattern&) { return true; }), 0u);
+}
+
+TEST(TptTreeTest, InterleavedInsertRemoveKeepsInvariantsAndContent) {
+  TptTree::Options options;
+  options.max_node_entries = 6;
+  options.min_node_entries = 2;
+  TptTree tree(options);
+  BruteForceStore reference;
+  Random rng(24);
+  std::set<int> live;
+  int next_id = 0;
+  for (int round = 0; round < 400; ++round) {
+    if (live.empty() || rng.Bernoulli(0.65)) {
+      const PatternKey key = RandomKey(&rng, 32, 8);
+      ASSERT_TRUE(tree.Insert(MakePattern(key, next_id)).ok());
+      ASSERT_TRUE(reference.Insert(MakePattern(key, next_id)).ok());
+      live.insert(next_id);
+      ++next_id;
+    } else {
+      // Remove a random live id.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(live.size())));
+      EXPECT_TRUE(tree.Remove(*it));
+      live.erase(it);
+    }
+    if (round % 50 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "round " << round;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), live.size());
+  // Search result equals the brute-force result filtered to live ids.
+  for (int q = 0; q < 10; ++q) {
+    const PatternKey query = RandomKey(&rng, 32, 8);
+    std::set<int> expected;
+    for (const auto* hit :
+         reference.Search(query, SearchMode::kPremiseAndConsequence)) {
+      if (live.count(hit->pattern_id)) expected.insert(hit->pattern_id);
+    }
+    EXPECT_EQ(Ids(tree.Search(query, SearchMode::kPremiseAndConsequence)),
+              expected);
+  }
+}
+
+TEST(TptTreeTest, SearchStatsPruneVersusBrute) {
+  Random rng(6);
+  TptTree tree;
+  for (int i = 0; i < 2000; ++i) {
+    // Clustered keys: premise bits localised so subtrees separate well.
+    PatternKey key(128, 16);
+    const size_t base = (static_cast<size_t>(i) % 8) * 16;
+    key.mutable_premise().Set(base + rng.Uniform(16));
+    key.mutable_consequence().Set((static_cast<size_t>(i) % 8) * 2);
+    ASSERT_TRUE(tree.Insert(MakePattern(key, i)).ok());
+  }
+  PatternKey query(128, 16);
+  query.mutable_premise().Set(3);
+  query.mutable_consequence().Set(0);
+  TptSearchStats stats;
+  (void)tree.Search(query, SearchMode::kPremiseAndConsequence, &stats);
+  // The signature tree must prune: far fewer entry tests than patterns.
+  EXPECT_LT(stats.entries_tested, 2000u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+}
+
+}  // namespace
+}  // namespace hpm

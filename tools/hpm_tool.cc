@@ -1,0 +1,338 @@
+// hpm_tool: command-line front end for the hpm library.
+//
+// Subcommands:
+//   generate --kind bike|cow|car|airplane --out history.csv
+//            [--period N] [--days N] [--seed N]
+//       Synthesise a dataset and write it as CSV.
+//
+//   train --history history.csv --model model.bin
+//         [--period N] [--eps X] [--min-pts N] [--min-conf X]
+//         [--distant N] [--slack X] [--train-subs N]
+//       Mine patterns from a CSV history and persist the model.
+//
+//   info --model model.bin
+//       Print a trained model's summary.
+//
+//   predict --model model.bin --history history.csv --now T
+//           --horizon N [--k N]
+//       Answer a predictive query: recent movements are read from the
+//       history around time T; the query time is T + horizon.
+//
+//   evaluate --model model.bin --history history.csv
+//            [--length N] [--queries N] [--recent N]
+//       Measure prediction error on held-out periods (those beyond the
+//       model's training range) against the RMF and linear baselines.
+//
+// All subcommands exit 0 on success and print errors to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/hybrid_predictor.h"
+#include "datagen/datasets.h"
+#include "common/table_printer.h"
+#include "eval/metrics.h"
+#include "io/csv.h"
+
+namespace {
+
+using namespace hpm;
+
+/// Minimal --flag value parser: flags must be passed as "--name value".
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        ok_ = false;
+        bad_ = argv[i];
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      ok_ = false;
+      bad_ = argv[argc - 1];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& bad() const { return bad_; }
+
+  std::string Get(const std::string& name, const std::string& fallback) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    used_.insert(it->first);
+    return it->second;
+  }
+
+  double GetDouble(const std::string& name, double fallback) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    used_.insert(it->first);
+    return std::atof(it->second.c_str());
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    used_.insert(it->first);
+    return std::atoll(it->second.c_str());
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name); }
+
+  /// Any flag that no Get* consumed (a typo) — empty string if none.
+  std::string FirstUnused() const {
+    for (const auto& [name, value] : values_) {
+      if (!used_.count(name)) return name;
+    }
+    return "";
+  }
+
+ private:
+  bool ok_ = true;
+  std::string bad_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hpm_tool <generate|train|info|predict|evaluate> [--flag "
+               "value ...]\n  (see the header of tools/hpm_tool.cc)\n");
+  return 2;
+}
+
+int FinishArgs(Args* args) {
+  const std::string unused = args->FirstUnused();
+  if (!unused.empty()) return Fail("unknown flag --" + unused);
+  return 0;
+}
+
+int RunGenerate(Args args) {
+  const std::string kind_name = args.Get("kind", "car");
+  const std::string out = args.Get("out", "");
+  PeriodicGeneratorConfig config;
+  DatasetKind kind;
+  if (kind_name == "bike") {
+    kind = DatasetKind::kBike;
+  } else if (kind_name == "cow") {
+    kind = DatasetKind::kCow;
+  } else if (kind_name == "car") {
+    kind = DatasetKind::kCar;
+  } else if (kind_name == "airplane") {
+    kind = DatasetKind::kAirplane;
+  } else {
+    return Fail("unknown --kind '" + kind_name + "'");
+  }
+  config = DefaultConfig(kind);
+  config.period = args.GetInt("period", config.period);
+  config.num_sub_trajectories =
+      static_cast<int>(args.GetInt("days", config.num_sub_trajectories));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  if (out.empty()) return Fail("--out is required");
+  if (int rc = FinishArgs(&args)) return rc;
+
+  const Dataset dataset = MakeDataset(kind, config);
+  if (Status s = WriteTrajectoryCsv(dataset.trajectory, out); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("wrote %zu samples (%d days x %ld) to %s\n",
+              dataset.trajectory.size(), config.num_sub_trajectories,
+              static_cast<long>(config.period), out.c_str());
+  return 0;
+}
+
+int RunTrain(Args args) {
+  const std::string history_path = args.Get("history", "");
+  const std::string model_path = args.Get("model", "");
+  HybridPredictorOptions options;
+  options.regions.period = args.GetInt("period", 300);
+  options.regions.dbscan.eps = args.GetDouble("eps", 30.0);
+  options.regions.dbscan.min_pts =
+      static_cast<int>(args.GetInt("min-pts", 4));
+  options.regions.limit_sub_trajectories =
+      static_cast<int>(args.GetInt("train-subs", 0));
+  options.mining.min_confidence = args.GetDouble("min-conf", 0.3);
+  options.distant_threshold = args.GetInt("distant", 60);
+  options.region_match_slack = args.GetDouble("slack", 25.0);
+  if (history_path.empty() || model_path.empty()) {
+    return Fail("--history and --model are required");
+  }
+  if (int rc = FinishArgs(&args)) return rc;
+
+  auto history = ReadTrajectoryCsv(history_path);
+  if (!history.ok()) return Fail(history.status().ToString());
+  auto predictor = HybridPredictor::Train(*history, options);
+  if (!predictor.ok()) return Fail(predictor.status().ToString());
+  if (Status s = (*predictor)->SaveToFile(model_path); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  const TrainingSummary& summary = (*predictor)->summary();
+  std::printf("trained on %zu sub-trajectories: %zu regions, %zu patterns "
+              "(%.2f s); model -> %s\n",
+              summary.num_sub_trajectories, summary.num_frequent_regions,
+              summary.num_patterns, summary.train_seconds,
+              model_path.c_str());
+  return 0;
+}
+
+int RunInfo(Args args) {
+  const std::string model_path = args.Get("model", "");
+  if (model_path.empty()) return Fail("--model is required");
+  if (int rc = FinishArgs(&args)) return rc;
+
+  auto predictor = HybridPredictor::LoadFromFile(model_path);
+  if (!predictor.ok()) return Fail(predictor.status().ToString());
+  const TrainingSummary& summary = (*predictor)->summary();
+  const HybridPredictorOptions& options = (*predictor)->options();
+  std::printf("model: %s\n", model_path.c_str());
+  std::printf("  period (T):          %ld\n",
+              static_cast<long>(options.regions.period));
+  std::printf("  sub-trajectories:    %zu\n",
+              summary.num_sub_trajectories);
+  std::printf("  frequent regions:    %zu\n",
+              summary.num_frequent_regions);
+  std::printf("  trajectory patterns: %zu\n", summary.num_patterns);
+  std::printf("  TPT height:          %d\n", summary.tpt_height);
+  std::printf("  TPT memory:          %.2f MB\n",
+              static_cast<double>(summary.tpt_memory_bytes) / 1048576.0);
+  std::printf("  distant threshold d: %ld\n",
+              static_cast<long>(options.distant_threshold));
+  std::printf("  Eps / MinPts:        %.1f / %d\n",
+              options.regions.dbscan.eps, options.regions.dbscan.min_pts);
+  std::printf("  min confidence:      %.2f\n",
+              options.mining.min_confidence);
+  return 0;
+}
+
+int RunPredict(Args args) {
+  const std::string model_path = args.Get("model", "");
+  const std::string history_path = args.Get("history", "");
+  const Timestamp now = args.GetInt("now", -1);
+  const Timestamp horizon = args.GetInt("horizon", 0);
+  const int k = static_cast<int>(args.GetInt("k", 1));
+  const int recent = static_cast<int>(args.GetInt("recent", 10));
+  if (model_path.empty() || history_path.empty()) {
+    return Fail("--model and --history are required");
+  }
+  if (now < 0) return Fail("--now is required (and must be >= 0)");
+  if (horizon < 1) return Fail("--horizon must be >= 1");
+  if (int rc = FinishArgs(&args)) return rc;
+
+  auto predictor = HybridPredictor::LoadFromFile(model_path);
+  if (!predictor.ok()) return Fail(predictor.status().ToString());
+  auto history = ReadTrajectoryCsv(history_path);
+  if (!history.ok()) return Fail(history.status().ToString());
+  if (static_cast<size_t>(now) >= history->size()) {
+    return Fail("--now is beyond the history length " +
+                std::to_string(history->size()));
+  }
+
+  PredictiveQuery query;
+  query.recent_movements = history->RecentMovements(now, recent);
+  query.current_time = now;
+  query.query_time = now + horizon;
+  query.k = k;
+  auto predictions = (*predictor)->Predict(query);
+  if (!predictions.ok()) return Fail(predictions.status().ToString());
+  std::printf("query: now=%ld horizon=%ld (%s)\n", static_cast<long>(now),
+              static_cast<long>(horizon),
+              horizon >= (*predictor)->options().distant_threshold
+                  ? "distant-time, BQP"
+                  : "near-time, FQP");
+  for (const Prediction& p : *predictions) {
+    std::printf("  %s\n", p.ToString().c_str());
+  }
+  return 0;
+}
+
+int RunEvaluate(Args args) {
+  const std::string model_path = args.Get("model", "");
+  const std::string history_path = args.Get("history", "");
+  const Timestamp length = args.GetInt("length", 50);
+  const int queries = static_cast<int>(args.GetInt("queries", 50));
+  const int recent = static_cast<int>(args.GetInt("recent", 10));
+  if (model_path.empty() || history_path.empty()) {
+    return Fail("--model and --history are required");
+  }
+  if (int rc = FinishArgs(&args)) return rc;
+
+  auto predictor = HybridPredictor::LoadFromFile(model_path);
+  if (!predictor.ok()) return Fail(predictor.status().ToString());
+  auto history = ReadTrajectoryCsv(history_path);
+  if (!history.ok()) return Fail(history.status().ToString());
+
+  const Timestamp period = (*predictor)->options().regions.period;
+  const int train_subs =
+      static_cast<int>((*predictor)->summary().num_sub_trajectories);
+  const int total_subs =
+      static_cast<int>(history->NumSubTrajectories(period));
+  if (total_subs <= train_subs) {
+    return Fail("history has no held-out periods beyond the model's " +
+                std::to_string(train_subs) + " training sub-trajectories");
+  }
+
+  WorkloadConfig workload;
+  workload.num_queries = queries;
+  workload.recent_length = recent;
+  workload.prediction_length = length;
+  auto cases = MakeQueryCases(*history, period, train_subs, workload);
+  if (!cases.ok()) return Fail(cases.status().ToString());
+
+  auto hpm_result = EvaluateHpm(**predictor, *cases);
+  auto rmf_result = EvaluateRmf(*cases);
+  auto linear_result = EvaluateLinear(*cases);
+  if (!hpm_result.ok()) return Fail(hpm_result.status().ToString());
+  if (!rmf_result.ok()) return Fail(rmf_result.status().ToString());
+  if (!linear_result.ok()) return Fail(linear_result.status().ToString());
+
+  std::printf("evaluation: %d queries, prediction length %ld, "
+              "held-out periods %d..%d\n",
+              queries, static_cast<long>(length), train_subs,
+              total_subs - 1);
+  TablePrinter table({"predictor", "mean_error", "median_error",
+                      "mean_ms", "pattern_answers"});
+  table.AddRow({"HPM", TablePrinter::FormatDouble(hpm_result->mean_error, 1),
+                TablePrinter::FormatDouble(hpm_result->median_error, 1),
+                TablePrinter::FormatDouble(hpm_result->mean_response_ms, 3),
+                std::to_string(hpm_result->pattern_answers)});
+  table.AddRow({"RMF", TablePrinter::FormatDouble(rmf_result->mean_error, 1),
+                TablePrinter::FormatDouble(rmf_result->median_error, 1),
+                TablePrinter::FormatDouble(rmf_result->mean_response_ms, 3),
+                "0"});
+  table.AddRow(
+      {"Linear", TablePrinter::FormatDouble(linear_result->mean_error, 1),
+       TablePrinter::FormatDouble(linear_result->median_error, 1),
+       TablePrinter::FormatDouble(linear_result->mean_response_ms, 3),
+       "0"});
+  table.Print(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (!args.ok()) {
+    return Fail("malformed arguments near '" + args.bad() + "'");
+  }
+  if (command == "generate") return RunGenerate(std::move(args));
+  if (command == "train") return RunTrain(std::move(args));
+  if (command == "info") return RunInfo(std::move(args));
+  if (command == "predict") return RunPredict(std::move(args));
+  if (command == "evaluate") return RunEvaluate(std::move(args));
+  return Usage();
+}
