@@ -1,0 +1,204 @@
+// Concurrent serving throughput of the sharded MovingObjectStore.
+//
+// Measures ingest (ReportLocation), query (PredictLocation) and mixed
+// (alternating report/predict) throughput in operations per second at
+// 1, 2, 4 and 8 client threads against one shared store, and emits the
+// series as JSON — to stdout and to a file (default
+// BENCH_throughput.json, override with --out PATH) so successive runs
+// leave a perf trajectory in the repo.
+//
+// Client threads own disjoint object ranges for ingest (the store
+// orders same-object reports by arrival, so sharing objects would
+// measure scheduler noise, not the store). Queries are read-only and
+// round-robin over the whole fleet. Scaling beyond the machine's core
+// count measures lock overhead, not parallelism — on a single-core
+// host every series is flat by construction.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "server/object_store.h"
+
+namespace {
+
+using namespace hpm;
+
+constexpr Timestamp kPeriod = 20;
+constexpr int kObjects = 32;
+constexpr int kTrainPeriods = 5;
+constexpr int kIngestOpsPerThread = 4000;
+constexpr int kQueryOpsPerThread = 2000;
+constexpr int kMixedOpsPerThread = 2000;
+
+Point Route(ObjectId id, Timestamp t) {
+  return {100.0 * static_cast<double>(t % kPeriod) + 50.0,
+          500.0 + 1000.0 * static_cast<double>(id)};
+}
+
+ObjectStoreOptions StoreOptions() {
+  ObjectStoreOptions options;
+  options.predictor.regions.period = kPeriod;
+  options.predictor.regions.dbscan.eps = 15.0;
+  options.predictor.regions.dbscan.min_pts = 3;
+  options.predictor.mining.min_confidence = 0.2;
+  options.predictor.mining.min_support = 2;
+  options.predictor.distant_threshold = 8;
+  options.predictor.region_match_slack = 8.0;
+  options.min_training_periods = kTrainPeriods;
+  options.update_batch_periods = 2;
+  options.recent_window = 5;
+  options.num_shards = 8;
+  options.query_threads = 1;  // Scaling comes from client threads here.
+  return options;
+}
+
+/// A store with kObjects trained objects (setup, untimed).
+MovingObjectStore MakeWarmStore() {
+  MovingObjectStore store(StoreOptions());
+  for (ObjectId id = 0; id < kObjects; ++id) {
+    for (Timestamp t = 0; t < kTrainPeriods * kPeriod; ++t) {
+      const Status status = store.ReportLocation(id, Route(id, t));
+      if (!status.ok()) {
+        std::fprintf(stderr, "setup failed: %s\n",
+                     status.ToString().c_str());
+        std::abort();
+      }
+    }
+  }
+  return store;
+}
+
+/// Runs `op(thread_index, i)` kOps times on each of `threads` threads
+/// and returns aggregate operations per second.
+template <typename Op>
+double MeasureOps(int threads, int ops_per_thread, Op op) {
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([w, ops_per_thread, &op] {
+      for (int i = 0; i < ops_per_thread; ++i) op(w, i);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double seconds = watch.ElapsedSeconds();
+  return static_cast<double>(threads) * ops_per_thread /
+         (seconds > 0 ? seconds : 1e-9);
+}
+
+struct ThreadPoint {
+  int threads = 0;
+  double ingest_ops = 0;
+  double query_ops = 0;
+  double mixed_ops = 0;
+};
+
+ThreadPoint RunAtThreadCount(int threads) {
+  ThreadPoint point;
+  point.threads = threads;
+
+  // Ingest: each thread reports into its own slice of the fleet.
+  {
+    MovingObjectStore store = MakeWarmStore();
+    const int span = kObjects / threads;
+    point.ingest_ops = MeasureOps(
+        threads, kIngestOpsPerThread, [&store, span](int w, int i) {
+          const ObjectId id = static_cast<ObjectId>(w * span + i % span);
+          const Timestamp t =
+              static_cast<Timestamp>(kTrainPeriods * kPeriod + i / span);
+          (void)store.ReportLocation(id, Route(id, t));
+        });
+  }
+
+  // Query: read-only point predictions round-robin over the fleet.
+  {
+    MovingObjectStore store = MakeWarmStore();
+    const Timestamp tq = kTrainPeriods * kPeriod + 3;
+    point.query_ops = MeasureOps(
+        threads, kQueryOpsPerThread, [&store, tq](int w, int i) {
+          const ObjectId id =
+              static_cast<ObjectId>((w * 31 + i) % kObjects);
+          (void)store.PredictLocation(id, tq);
+        });
+  }
+
+  // Mixed: alternating report (own slice) and predict (whole fleet).
+  {
+    MovingObjectStore store = MakeWarmStore();
+    const int span = kObjects / threads;
+    point.mixed_ops = MeasureOps(
+        threads, kMixedOpsPerThread, [&store, span](int w, int i) {
+          if (i % 2 == 0) {
+            const ObjectId id = static_cast<ObjectId>(w * span + i % span);
+            const Timestamp t =
+                static_cast<Timestamp>(kTrainPeriods * kPeriod + i / span);
+            (void)store.ReportLocation(id, Route(id, t));
+          } else {
+            const ObjectId id =
+                static_cast<ObjectId>((w * 31 + i) % kObjects);
+            (void)store.PredictLocation(id, 1000000 + i);
+          }
+        });
+  }
+  return point;
+}
+
+std::string ToJson(const std::vector<ThreadPoint>& points) {
+  std::string json = "{\n  \"bench\": \"throughput_concurrent\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"objects\": %d,\n  \"num_shards\": %d,\n"
+                "  \"hardware_threads\": %u,\n  \"series\": [\n",
+                kObjects, StoreOptions().num_shards,
+                std::thread::hardware_concurrency());
+  json += buf;
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %d, \"ingest_ops_per_sec\": %.0f, "
+                  "\"query_ops_per_sec\": %.0f, "
+                  "\"mixed_ops_per_sec\": %.0f}%s\n",
+                  points[i].threads, points[i].ingest_ops,
+                  points[i].query_ops, points[i].mixed_ops,
+                  i + 1 < points.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  std::vector<ThreadPoint> points;
+  for (int threads : {1, 2, 4, 8}) {
+    points.push_back(RunAtThreadCount(threads));
+    std::fprintf(stderr, "threads=%d done\n", threads);
+  }
+
+  const std::string json = ToJson(points);
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "common/thread_pool.h"
+
+namespace hpm {
+
+ThreadPool::ThreadPool(int num_threads) {
+  HPM_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  condition_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      condition_.wait(lock,
+                      [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+int ThreadPool::DefaultThreadCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 2 : static_cast<int>(n);
+}
+
+}  // namespace hpm

@@ -1,0 +1,84 @@
+// Fixed-size worker pool for shard fan-out in the serving layer.
+//
+// Submit() hands a callable to the workers and returns a std::future for
+// its result; tasks already queued when the pool is destroyed still run
+// (the destructor drains the queue before joining).
+//
+// Locking design note: the serving layer pairs this pool with one plain
+// std::shared_mutex per store shard rather than a hand-rolled spinning
+// reader-writer lock. Shard critical sections are short (append one
+// sample, copy a recent-movement window, swap a shared_ptr), but the
+// *writer* sections occasionally stretch — initial model training is
+// milliseconds — and a spinlock would burn a core per blocked reader for
+// that whole stretch. std::shared_mutex parks waiters in the kernel,
+// costs one uncontended atomic on the fast path, and keeps the code
+// obviously correct under TSan; at our shard counts the fast-path
+// difference is unmeasurable next to prediction work.
+
+#ifndef HPM_COMMON_THREAD_POOL_H_
+#define HPM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hpm {
+
+/// A fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers. Precondition: num_threads >= 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue (pending tasks still execute) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `f` and returns a future for its result. Safe to call from
+  /// any thread, including pool workers — but a task that *blocks* on a
+  /// future of another task can deadlock once every worker does it, so
+  /// fan-out code should submit leaves only.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      HPM_CHECK(!stopping_);
+      queue_.push([task] { (*task)(); });
+    }
+    condition_.notify_one();
+    return future;
+  }
+
+  /// hardware_concurrency, or 2 when the runtime cannot tell.
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable condition_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_THREAD_POOL_H_

@@ -9,6 +9,41 @@
 
 namespace hpm {
 
+HybridPredictor::AtomicQueryCounters&
+HybridPredictor::AtomicQueryCounters::operator=(
+    const AtomicQueryCounters& other) {
+  forward_queries.store(other.forward_queries.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  backward_queries.store(
+      other.backward_queries.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  pattern_answers.store(other.pattern_answers.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  motion_fallbacks.store(
+      other.motion_fallbacks.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  return *this;
+}
+
+QueryCounters HybridPredictor::AtomicQueryCounters::Snapshot() const {
+  QueryCounters snapshot;
+  snapshot.forward_queries = forward_queries.load(std::memory_order_relaxed);
+  snapshot.backward_queries =
+      backward_queries.load(std::memory_order_relaxed);
+  snapshot.pattern_answers = pattern_answers.load(std::memory_order_relaxed);
+  snapshot.motion_fallbacks =
+      motion_fallbacks.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+QueryCounters HybridPredictor::counters() const {
+  return counters_.Snapshot();
+}
+
+void HybridPredictor::ResetCounters() const {
+  counters_ = AtomicQueryCounters{};
+}
+
 HybridPredictor::HybridPredictor(HybridPredictorOptions options,
                                  FrequentRegionSet regions,
                                  std::vector<TrajectoryPattern> patterns,
@@ -121,7 +156,7 @@ StatusOr<Prediction> HybridPredictor::MotionFunctionPredict(
 StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
     const PredictiveQuery& query) const {
   HPM_RETURN_IF_ERROR(ValidateQuery(query));
-  ++counters_.forward_queries;
+  counters_.forward_queries.fetch_add(1, std::memory_order_relaxed);
 
   const Timestamp period = regions_.period();
   const Timestamp tq_offset = query.query_time % period;
@@ -151,14 +186,14 @@ StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
         candidates.push_back(p);
       }
       if (!candidates.empty()) {
-        ++counters_.pattern_answers;
+        counters_.pattern_answers.fetch_add(1, std::memory_order_relaxed);
         return RankAndTake(std::move(candidates), query.k);
       }
     }
   }
 
   // No qualified candidate: call the motion function (Algorithm 2 line 6).
-  ++counters_.motion_fallbacks;
+  counters_.motion_fallbacks.fetch_add(1, std::memory_order_relaxed);
   StatusOr<Prediction> fallback = MotionFunctionPredict(query);
   if (!fallback.ok()) return fallback.status();
   return std::vector<Prediction>{*fallback};
@@ -167,7 +202,7 @@ StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
 StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
     const PredictiveQuery& query) const {
   HPM_RETURN_IF_ERROR(ValidateQuery(query));
-  ++counters_.backward_queries;
+  counters_.backward_queries.fetch_add(1, std::memory_order_relaxed);
 
   const Timestamp period = regions_.period();
   const Timestamp tq_offset = query.query_time % period;
@@ -226,7 +261,7 @@ StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
         p.confidence = hit->confidence;
         candidates.push_back(p);
       }
-      ++counters_.pattern_answers;
+      counters_.pattern_answers.fetch_add(1, std::memory_order_relaxed);
       return RankAndTake(std::move(candidates), query.k);
     }
 
@@ -235,30 +270,14 @@ StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
 
   // No qualified pattern anywhere before the interval hit the current
   // time: call the motion function (Algorithm 3 line 11).
-  ++counters_.motion_fallbacks;
+  counters_.motion_fallbacks.fetch_add(1, std::memory_order_relaxed);
   StatusOr<Prediction> fallback = MotionFunctionPredict(query);
   if (!fallback.ok()) return fallback.status();
   return std::vector<Prediction>{*fallback};
 }
 
-Status HybridPredictor::RebuildIndex() {
-  key_tables_ = KeyTables::Build(regions_, patterns_);
-  std::vector<IndexedPattern> indexed;
-  indexed.reserve(patterns_.size());
-  for (size_t i = 0; i < patterns_.size(); ++i) {
-    indexed.push_back({key_tables_.EncodePattern(patterns_[i], regions_),
-                       patterns_[i].confidence, patterns_[i].consequence,
-                       static_cast<int>(i)});
-  }
-  StatusOr<TptTree> rebuilt =
-      TptTree::BulkLoad(std::move(indexed), options_.tpt);
-  if (!rebuilt.ok()) return rebuilt.status();
-  tpt_ = std::move(*rebuilt);
-  return Status::OK();
-}
-
-StatusOr<size_t> HybridPredictor::IncorporateNewHistory(
-    const Trajectory& new_history) {
+StatusOr<std::vector<TrajectoryPattern>> HybridPredictor::MineFreshPatterns(
+    const Trajectory& new_history, bool* new_consequence_offset) const {
   const Timestamp period = options_.regions.period;
   StatusOr<std::vector<Trajectory>> subs =
       new_history.DecomposePeriodic(period);
@@ -289,36 +308,66 @@ StatusOr<size_t> HybridPredictor::IncorporateNewHistory(
     existing.emplace(p.premise, p.consequence);
   }
   std::vector<TrajectoryPattern> fresh;
-  bool new_consequence_offset = false;
+  *new_consequence_offset = false;
   for (TrajectoryPattern& p : mined->patterns) {
     if (existing.count({p.premise, p.consequence})) continue;
     if (key_tables_.TimeIdForOffset(
             regions_.Region(p.consequence).offset) < 0) {
-      new_consequence_offset = true;
+      *new_consequence_offset = true;
     }
     fresh.push_back(std::move(p));
   }
-  if (fresh.empty()) return size_t{0};
+  return fresh;
+}
 
-  if (new_consequence_offset) {
-    // The consequence-key universe grows: every key changes length, so
-    // re-encode and reload rather than inserting stale-width keys.
-    for (TrajectoryPattern& p : fresh) patterns_.push_back(std::move(p));
-    HPM_RETURN_IF_ERROR(RebuildIndex());
-  } else {
-    for (TrajectoryPattern& p : fresh) {
-      const int id = static_cast<int>(patterns_.size());
-      patterns_.push_back(std::move(p));
-      const TrajectoryPattern& stored = patterns_.back();
-      HPM_RETURN_IF_ERROR(
-          tpt_.Insert({key_tables_.EncodePattern(stored, regions_),
-                       stored.confidence, stored.consequence, id}));
-    }
+StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::WithNewHistory(
+    const Trajectory& new_history) const {
+  bool new_consequence_offset = false;
+  StatusOr<std::vector<TrajectoryPattern>> fresh =
+      MineFreshPatterns(new_history, &new_consequence_offset);
+  if (!fresh.ok()) return fresh.status();
+
+  std::vector<TrajectoryPattern> combined = patterns_;
+  combined.reserve(combined.size() + fresh->size());
+  for (TrajectoryPattern& p : *fresh) combined.push_back(std::move(p));
+
+  // When a new consequence offset appears the key universe grows, so the
+  // tables are rebuilt (keys change length). Either way the TPT is bulk
+  // loaded from scratch: bulk loading is sequential insertion, so the
+  // result is the exact tree the in-place insertion path would produce.
+  KeyTables tables = new_consequence_offset
+                         ? KeyTables::Build(regions_, combined)
+                         : key_tables_;
+  std::vector<IndexedPattern> indexed;
+  indexed.reserve(combined.size());
+  for (size_t i = 0; i < combined.size(); ++i) {
+    indexed.push_back({tables.EncodePattern(combined[i], regions_),
+                       combined[i].confidence, combined[i].consequence,
+                       static_cast<int>(i)});
   }
-  summary_.num_patterns = patterns_.size();
-  summary_.tpt_memory_bytes = tpt_.MemoryBytes();
-  summary_.tpt_height = tpt_.Height();
-  return fresh.size();
+  StatusOr<TptTree> tpt = TptTree::BulkLoad(std::move(indexed), options_.tpt);
+  if (!tpt.ok()) return tpt.status();
+
+  auto updated = std::unique_ptr<HybridPredictor>(
+      new HybridPredictor(options_, regions_, std::move(combined),
+                          std::move(tables), std::move(*tpt)));
+  updated->summary_ = summary_;
+  updated->summary_.num_patterns = updated->patterns_.size();
+  updated->summary_.tpt_memory_bytes = updated->tpt_.MemoryBytes();
+  updated->summary_.tpt_height = updated->tpt_.Height();
+  // Carry the counts so they stay monotonic across snapshot swaps.
+  updated->counters_ = counters_;
+  return updated;
+}
+
+StatusOr<size_t> HybridPredictor::IncorporateNewHistory(
+    const Trajectory& new_history) {
+  StatusOr<std::unique_ptr<HybridPredictor>> updated =
+      WithNewHistory(new_history);
+  if (!updated.ok()) return updated.status();
+  const size_t added = (*updated)->patterns_.size() - patterns_.size();
+  *this = std::move(**updated);
+  return added;
 }
 
 StatusOr<std::vector<Prediction>> HybridPredictor::Predict(

@@ -5,6 +5,7 @@
 #ifndef HPM_CORE_HYBRID_PREDICTOR_H_
 #define HPM_CORE_HYBRID_PREDICTOR_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -66,7 +67,9 @@ struct TrainingSummary {
 };
 
 /// Per-predictor counters describing how queries were answered; the
-/// motion-fallback rate drives the paper's Fig. 10 discussion.
+/// motion-fallback rate drives the paper's Fig. 10 discussion. This is
+/// the plain snapshot type returned by counters(); internally the
+/// predictor keeps atomic counters so concurrent readers can count.
 struct QueryCounters {
   size_t forward_queries = 0;
   size_t backward_queries = 0;
@@ -77,9 +80,13 @@ struct QueryCounters {
 /// A trained Hybrid Prediction Model for one moving object.
 ///
 /// Train() mines the object's history once; Predict() answers any number
-/// of queries. The class is immutable after training except for the
-/// query counters; it is safe to share across readers if the counters'
-/// data race is acceptable (or disable them via Predict's argument).
+/// of queries. The model state is immutable after training, and the
+/// query counters are atomic, so a trained predictor is safe to share
+/// across concurrently-predicting readers. Updates produce *new*
+/// predictors via WithNewHistory(); the only mutating members —
+/// IncorporateNewHistory() and set_weight_function() — must be
+/// externally serialised against readers (the serving layer instead
+/// swaps in WithNewHistory() snapshots and never mutates a shared one).
 class HybridPredictor {
  public:
   /// Mines frequent regions and trajectory patterns from `history` and
@@ -120,11 +127,23 @@ class HybridPredictor {
   /// the inserted rules reflect the new batch. If a new rule concludes
   /// at a time offset the consequence-key table has never seen, the key
   /// tables and the TPT are rebuilt (keys change length); otherwise the
-  /// insertion is incremental. Not safe to call concurrently with
-  /// Predict.
+  /// keys are unchanged and only the pattern set grows. Not safe to call
+  /// concurrently with Predict — concurrent deployments should use
+  /// WithNewHistory() and swap the returned snapshot instead.
   ///
   /// Returns the number of patterns added.
   StatusOr<size_t> IncorporateNewHistory(const Trajectory& new_history);
+
+  /// The snapshot-building flavour of the §V-B insertion path: mines
+  /// `new_history` exactly like IncorporateNewHistory, but leaves *this
+  /// untouched and returns a fresh predictor carrying the combined
+  /// pattern set (and a query-counter snapshot, so counts stay monotonic
+  /// across swaps). Because the TPT bulk loader is sequential insertion,
+  /// the fresh instance's index is bit-identical to what in-place
+  /// insertion would have produced. Safe to call while other threads
+  /// Predict() on *this.
+  StatusOr<std::unique_ptr<HybridPredictor>> WithNewHistory(
+      const Trajectory& new_history) const;
 
   /// Persists the trained model (options, frequent regions, patterns) to
   /// a binary file. The TPT itself is not stored — it is rebuilt on load
@@ -139,11 +158,16 @@ class HybridPredictor {
       const std::string& path);
 
   const TrainingSummary& summary() const { return summary_; }
-  const QueryCounters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = QueryCounters{}; }
+
+  /// A consistent-enough snapshot of the query counters (each field is
+  /// read with a relaxed atomic load; fields may straddle a concurrent
+  /// query, but every increment is eventually visible exactly once).
+  QueryCounters counters() const;
+  void ResetCounters() const;
 
   /// Runtime-tunable ranking knob: switches the premise-weight family
-  /// without retraining (the weights only affect query scoring).
+  /// without retraining (the weights only affect query scoring). Not
+  /// thread-safe: call before sharing the predictor across threads.
   void set_weight_function(WeightFunction fn) {
     options_.weight_function = fn;
   }
@@ -155,9 +179,31 @@ class HybridPredictor {
   const HybridPredictorOptions& options() const { return options_; }
 
  private:
+  /// Relaxed atomic counterpart of QueryCounters. Copying snapshots the
+  /// source (so move/copy of a predictor carries the counts over).
+  struct AtomicQueryCounters {
+    std::atomic<size_t> forward_queries{0};
+    std::atomic<size_t> backward_queries{0};
+    std::atomic<size_t> pattern_answers{0};
+    std::atomic<size_t> motion_fallbacks{0};
+
+    AtomicQueryCounters() = default;
+    AtomicQueryCounters(const AtomicQueryCounters& other) { *this = other; }
+    AtomicQueryCounters& operator=(const AtomicQueryCounters& other);
+
+    QueryCounters Snapshot() const;
+  };
+
   HybridPredictor(HybridPredictorOptions options, FrequentRegionSet regions,
                   std::vector<TrajectoryPattern> patterns,
                   KeyTables key_tables, TptTree tpt);
+
+  /// Shared §V-B front half: decomposes `new_history`, maps it onto the
+  /// existing regions, mines, and dedupes against patterns_. Sets
+  /// `*new_consequence_offset` when a mined rule concludes at a time
+  /// offset the consequence-key table has never seen.
+  StatusOr<std::vector<TrajectoryPattern>> MineFreshPatterns(
+      const Trajectory& new_history, bool* new_consequence_offset) const;
 
   /// Maps recent movements to visited frequent regions (query premise).
   std::vector<int> QueryPremise(const PredictiveQuery& query) const;
@@ -166,17 +212,13 @@ class HybridPredictor {
   std::vector<Prediction> RankAndTake(
       std::vector<Prediction> candidates, int k) const;
 
-  /// Re-encodes every pattern against freshly built key tables and
-  /// reloads the TPT (needed when the key universe changes).
-  Status RebuildIndex();
-
   HybridPredictorOptions options_;
   FrequentRegionSet regions_;
   std::vector<TrajectoryPattern> patterns_;
   KeyTables key_tables_;
   TptTree tpt_;
   TrainingSummary summary_;
-  mutable QueryCounters counters_;
+  mutable AtomicQueryCounters counters_;
 };
 
 }  // namespace hpm

@@ -1,25 +1,57 @@
 #include "server/object_store.h"
 
 #include <algorithm>
+#include <future>
+#include <optional>
+#include <utility>
 
 #include "motion/recursive_motion.h"
 
 namespace hpm {
 
 MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      continuous_(std::make_unique<ContinuousState>()) {
   HPM_CHECK(options_.min_training_periods >= 1);
   HPM_CHECK(options_.update_batch_periods >= 1);
   HPM_CHECK(options_.recent_window >= 2);
+  HPM_CHECK(options_.num_shards >= 1);
+  HPM_CHECK(options_.query_threads >= 0);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  const int threads = options_.query_threads > 0
+                          ? options_.query_threads
+                          : ThreadPool::DefaultThreadCount();
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {
+  // splitmix64 finaliser: object ids are often sequential, and the
+  // identity hash would put runs of ids on the same shard.
+  uint64_t x = static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % num_shards);
 }
 
 Status MovingObjectStore::ReportLocation(ObjectId id,
                                          const Point& location) {
-  ObjectState& state = objects_[id];
-  state.history.Append(location);
-  HPM_RETURN_IF_ERROR(MaybeTrain(&state));
-  if (!continuous_queries_.empty()) {
-    EvaluateContinuousQueries(id, state);
+  Shard& shard = ShardFor(id);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.objects[id].history.Append(location);
+  }
+  HPM_RETURN_IF_ERROR(MaybeTrain(shard, id));
+  if (HasContinuousQueries()) {
+    QuerySnapshot snapshot;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      snapshot = MakeSnapshot(id, shard.objects.at(id));
+    }
+    EvaluateContinuousQueries(snapshot);
   }
   return Status::OK();
 }
@@ -32,83 +64,140 @@ Status MovingObjectStore::ReportTrajectory(ObjectId id,
   return Status::OK();
 }
 
-Status MovingObjectStore::MaybeTrain(ObjectState* state) {
+Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id) {
   const Timestamp period = options_.predictor.regions.period;
   const size_t period_samples = static_cast<size_t>(period);
 
-  if (state->predictor == nullptr) {
-    const size_t needed =
-        static_cast<size_t>(options_.min_training_periods) * period_samples;
-    if (state->history.size() < needed) return Status::OK();
-    auto trained = HybridPredictor::Train(state->history,
-                                          options_.predictor);
-    if (!trained.ok()) return trained.status();
-    state->predictor = std::move(*trained);
-    state->consumed_samples =
-        state->history.NumSubTrajectories(period) * period_samples;
-    return Status::OK();
+  // Decide under the writer lock; mine outside it. `training_in_flight`
+  // keeps a second reporter of the same object from mining the same
+  // batch concurrently — it re-checks the threshold on its next report.
+  enum class Action { kNone, kInitial, kIncremental };
+  Action action = Action::kNone;
+  Trajectory training_input;
+  std::shared_ptr<const HybridPredictor> base;
+  size_t consumed_at_capture = 0;
+  size_t whole_periods = 0;
+
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    ObjectState& state = shard.objects.at(id);
+    if (state.training_in_flight) return Status::OK();
+    if (state.predictor == nullptr) {
+      const size_t needed =
+          static_cast<size_t>(options_.min_training_periods) * period_samples;
+      if (state.history.size() < needed) return Status::OK();
+      action = Action::kInitial;
+      training_input = state.history;
+    } else {
+      const size_t fresh = state.history.size() - state.consumed_samples;
+      const size_t batch =
+          static_cast<size_t>(options_.update_batch_periods) * period_samples;
+      if (fresh < batch) return Status::OK();
+      whole_periods = (fresh / period_samples) * period_samples;
+      StatusOr<Trajectory> suffix = state.history.Slice(
+          static_cast<Timestamp>(state.consumed_samples),
+          static_cast<Timestamp>(state.consumed_samples + whole_periods));
+      if (!suffix.ok()) return suffix.status();
+      action = Action::kIncremental;
+      training_input = std::move(*suffix);
+      base = state.predictor;
+      consumed_at_capture = state.consumed_samples;
+    }
+    state.training_in_flight = true;
   }
 
-  const size_t fresh = state->history.size() - state->consumed_samples;
-  const size_t batch =
-      static_cast<size_t>(options_.update_batch_periods) * period_samples;
-  if (fresh < batch) return Status::OK();
-  const size_t whole_periods = (fresh / period_samples) * period_samples;
-  StatusOr<Trajectory> suffix = state->history.Slice(
-      static_cast<Timestamp>(state->consumed_samples),
-      static_cast<Timestamp>(state->consumed_samples + whole_periods));
-  if (!suffix.ok()) return suffix.status();
-  StatusOr<size_t> added = state->predictor->IncorporateNewHistory(*suffix);
-  if (!added.ok()) return added.status();
-  state->consumed_samples += whole_periods;
+  // Mining runs unlocked: readers keep serving the previous snapshot.
+  StatusOr<std::unique_ptr<HybridPredictor>> built =
+      action == Action::kInitial
+          ? HybridPredictor::Train(training_input, options_.predictor)
+          : base->WithNewHistory(training_input);
+
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  ObjectState& state = shard.objects.at(id);
+  state.training_in_flight = false;
+  if (!built.ok()) return built.status();
+  state.predictor =
+      std::shared_ptr<const HybridPredictor>(std::move(*built));
+  state.consumed_samples =
+      action == Action::kInitial
+          ? training_input.NumSubTrajectories(period) * period_samples
+          : consumed_at_capture + whole_periods;
   return Status::OK();
 }
 
 std::vector<ObjectId> MovingObjectStore::ObjectIds() const {
   std::vector<ObjectId> ids;
-  ids.reserve(objects_.size());
-  for (const auto& [id, state] : objects_) ids.push_back(id);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    ids.reserve(ids.size() + shard->objects.size());
+    for (const auto& [id, state] : shard->objects) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
-size_t MovingObjectStore::HistoryLength(ObjectId id) const {
-  const auto it = objects_.find(id);
-  return it == objects_.end() ? 0 : it->second.history.size();
+size_t MovingObjectStore::NumObjects() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->objects.size();
+  }
+  return total;
 }
 
-StatusOr<const HybridPredictor*> MovingObjectStore::GetPredictor(
-    ObjectId id) const {
-  const auto it = objects_.find(id);
-  if (it == objects_.end()) {
+size_t MovingObjectStore::HistoryLength(ObjectId id) const {
+  Shard& shard = ShardFor(id);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const auto it = shard.objects.find(id);
+  return it == shard.objects.end() ? 0 : it->second.history.size();
+}
+
+StatusOr<std::shared_ptr<const HybridPredictor>>
+MovingObjectStore::GetPredictor(ObjectId id) const {
+  Shard& shard = ShardFor(id);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const auto it = shard.objects.find(id);
+  if (it == shard.objects.end()) {
     return Status::NotFound("unknown object id");
   }
   if (it->second.predictor == nullptr) {
     return Status::FailedPrecondition("object has no trained model yet");
   }
-  return static_cast<const HybridPredictor*>(it->second.predictor.get());
+  return it->second.predictor;
 }
 
-StatusOr<std::vector<Prediction>> MovingObjectStore::PredictForState(
-    const ObjectState& state, Timestamp tq, int k) const {
-  if (state.history.size() < 2) {
+MovingObjectStore::QuerySnapshot MovingObjectStore::MakeSnapshot(
+    ObjectId id, const ObjectState& state) const {
+  QuerySnapshot snapshot;
+  snapshot.id = id;
+  snapshot.history_size = state.history.size();
+  snapshot.now = static_cast<Timestamp>(state.history.size()) - 1;
+  if (state.history.size() >= 2) {
+    snapshot.recent =
+        state.history.RecentMovements(snapshot.now, options_.recent_window);
+  }
+  snapshot.predictor = state.predictor;
+  return snapshot;
+}
+
+StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
+    const QuerySnapshot& snapshot, Timestamp tq, int k) const {
+  if (snapshot.history_size < 2) {
     return Status::FailedPrecondition(
         "object has fewer than 2 reported locations");
   }
-  const Timestamp now =
-      static_cast<Timestamp>(state.history.size()) - 1;
-  if (tq <= now) {
+  if (tq <= snapshot.now) {
     return Status::InvalidArgument(
         "query time must be after the object's last report");
   }
   PredictiveQuery query;
-  query.recent_movements =
-      state.history.RecentMovements(now, options_.recent_window);
-  query.current_time = now;
+  query.recent_movements = snapshot.recent;
+  query.current_time = snapshot.now;
   query.query_time = tq;
   query.k = k;
 
-  if (state.predictor != nullptr) {
-    return state.predictor->Predict(query);
+  if (snapshot.predictor != nullptr) {
+    return snapshot.predictor->Predict(query);
   }
   // Cold start: pure motion function until the first training threshold.
   RecursiveMotionFunction rmf(options_.predictor.rmf);
@@ -124,11 +213,153 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictForState(
 
 StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
     ObjectId id, Timestamp tq, int k) const {
-  const auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return Status::NotFound("unknown object id");
+  Shard& shard = ShardFor(id);
+  QuerySnapshot snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const auto it = shard.objects.find(id);
+    if (it == shard.objects.end()) {
+      return Status::NotFound("unknown object id");
+    }
+    snapshot = MakeSnapshot(id, it->second);
   }
-  return PredictForState(it->second, tq, k);
+  return PredictSnapshot(snapshot, tq, k);
+}
+
+std::vector<StatusOr<std::vector<Prediction>>>
+MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
+                                        Timestamp tq, int k) const {
+  using Result = StatusOr<std::vector<Prediction>>;
+
+  // One lock acquisition per shard: group the input indices by shard,
+  // then snapshot each group in a single critical section.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    by_shard[ShardIndex(ids[i], shards_.size())].push_back(i);
+  }
+  std::vector<std::optional<QuerySnapshot>> snapshots(ids.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    std::shared_lock<std::shared_mutex> lock(shards_[s]->mutex);
+    for (size_t i : by_shard[s]) {
+      const auto it = shards_[s]->objects.find(ids[i]);
+      if (it != shards_[s]->objects.end()) {
+        snapshots[i] = MakeSnapshot(ids[i], it->second);
+      }
+    }
+  }
+
+  // Predict lock-free, fanning contiguous chunks out on the pool.
+  std::vector<std::optional<Result>> results(ids.size());
+  auto predict_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      results[i] = snapshots[i].has_value()
+                       ? PredictSnapshot(*snapshots[i], tq, k)
+                       : Result(Status::NotFound("unknown object id"));
+    }
+  };
+  const size_t workers = static_cast<size_t>(pool_->num_threads());
+  if (workers <= 1 || ids.size() < 2) {
+    predict_range(0, ids.size());
+  } else {
+    const size_t chunk = (ids.size() + workers - 1) / workers;
+    std::vector<std::future<void>> futures;
+    for (size_t begin = 0; begin < ids.size(); begin += chunk) {
+      const size_t end = std::min(begin + chunk, ids.size());
+      futures.push_back(
+          pool_->Submit([&predict_range, begin, end] {
+            predict_range(begin, end);
+          }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  }
+
+  std::vector<Result> out;
+  out.reserve(ids.size());
+  for (std::optional<Result>& r : results) out.push_back(std::move(*r));
+  return out;
+}
+
+MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
+    const Shard& shard, const BoundingBox& range, Timestamp tq,
+    int k_per_object) const {
+  std::vector<QuerySnapshot> snapshots;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    snapshots.reserve(shard.objects.size());
+    for (const auto& [id, state] : shard.objects) {
+      const Timestamp now = static_cast<Timestamp>(state.history.size()) - 1;
+      if (state.history.size() < 2 || tq <= now) continue;
+      snapshots.push_back(MakeSnapshot(id, state));
+    }
+  }
+  ShardHits result;
+  for (const QuerySnapshot& snapshot : snapshots) {
+    StatusOr<std::vector<Prediction>> predictions =
+        PredictSnapshot(snapshot, tq, k_per_object);
+    if (!predictions.ok()) {
+      result.status = predictions.status();
+      return result;
+    }
+    const Prediction* best = nullptr;
+    for (const Prediction& p : *predictions) {
+      if (!range.Contains(p.location)) continue;
+      if (best == nullptr || p.score > best->score) best = &p;
+    }
+    if (best != nullptr) result.hits.push_back({snapshot.id, *best});
+  }
+  return result;
+}
+
+MovingObjectStore::ShardHits MovingObjectStore::NearestNeighborShard(
+    const Shard& shard, Timestamp tq) const {
+  std::vector<QuerySnapshot> snapshots;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    snapshots.reserve(shard.objects.size());
+    for (const auto& [id, state] : shard.objects) {
+      const Timestamp now = static_cast<Timestamp>(state.history.size()) - 1;
+      if (state.history.size() < 2 || tq <= now) continue;
+      snapshots.push_back(MakeSnapshot(id, state));
+    }
+  }
+  ShardHits result;
+  for (const QuerySnapshot& snapshot : snapshots) {
+    StatusOr<std::vector<Prediction>> predictions =
+        PredictSnapshot(snapshot, tq, 1);
+    if (!predictions.ok()) {
+      result.status = predictions.status();
+      return result;
+    }
+    result.hits.push_back({snapshot.id, predictions->front()});
+  }
+  return result;
+}
+
+template <typename Fn>
+StatusOr<std::vector<RangeHit>> MovingObjectStore::FanOut(Fn&& fn) const {
+  std::vector<ShardHits> partials(shards_.size());
+  if (pool_->num_threads() <= 1 || shards_.size() == 1) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      partials[s] = fn(*shards_[s]);
+    }
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      futures.push_back(pool_->Submit(
+          [this, &fn, &partials, s] { partials[s] = fn(*shards_[s]); }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  }
+  std::vector<RangeHit> hits;
+  for (ShardHits& partial : partials) {
+    if (!partial.status.ok()) return partial.status;
+    hits.insert(hits.end(),
+                std::make_move_iterator(partial.hits.begin()),
+                std::make_move_iterator(partial.hits.end()));
+  }
+  return hits;
 }
 
 StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveRangeQuery(
@@ -139,22 +370,12 @@ StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveRangeQuery(
   if (k_per_object < 1) {
     return Status::InvalidArgument("k_per_object must be >= 1");
   }
-  std::vector<RangeHit> hits;
-  for (const auto& [id, state] : objects_) {
-    const Timestamp now =
-        static_cast<Timestamp>(state.history.size()) - 1;
-    if (state.history.size() < 2 || tq <= now) continue;
-    StatusOr<std::vector<Prediction>> predictions =
-        PredictForState(state, tq, k_per_object);
-    if (!predictions.ok()) return predictions.status();
-    const Prediction* best = nullptr;
-    for (const Prediction& p : *predictions) {
-      if (!range.Contains(p.location)) continue;
-      if (best == nullptr || p.score > best->score) best = &p;
-    }
-    if (best != nullptr) hits.push_back({id, *best});
-  }
-  std::sort(hits.begin(), hits.end(),
+  StatusOr<std::vector<RangeHit>> hits = FanOut(
+      [this, &range, tq, k_per_object](const Shard& shard) {
+        return RangeQueryShard(shard, range, tq, k_per_object);
+      });
+  if (!hits.ok()) return hits.status();
+  std::sort(hits->begin(), hits->end(),
             [](const RangeHit& a, const RangeHit& b) {
               if (a.prediction.score != b.prediction.score) {
                 return a.prediction.score > b.prediction.score;
@@ -169,25 +390,20 @@ StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveNearestNeighbors(
   if (n < 1) {
     return Status::InvalidArgument("n must be >= 1");
   }
-  std::vector<RangeHit> hits;
-  for (const auto& [id, state] : objects_) {
-    const Timestamp now =
-        static_cast<Timestamp>(state.history.size()) - 1;
-    if (state.history.size() < 2 || tq <= now) continue;
-    StatusOr<std::vector<Prediction>> predictions =
-        PredictForState(state, tq, 1);
-    if (!predictions.ok()) return predictions.status();
-    hits.push_back({id, predictions->front()});
-  }
-  std::sort(hits.begin(), hits.end(),
+  StatusOr<std::vector<RangeHit>> hits = FanOut(
+      [this, tq](const Shard& shard) {
+        return NearestNeighborShard(shard, tq);
+      });
+  if (!hits.ok()) return hits.status();
+  std::sort(hits->begin(), hits->end(),
             [&target](const RangeHit& a, const RangeHit& b) {
               const double da = SquaredDistance(a.prediction.location, target);
               const double db = SquaredDistance(b.prediction.location, target);
               if (da != db) return da < db;
               return a.id < b.id;
             });
-  if (static_cast<int>(hits.size()) > n) {
-    hits.resize(static_cast<size_t>(n));
+  if (static_cast<int>(hits->size()) > n) {
+    hits->resize(static_cast<size_t>(n));
   }
   return hits;
 }
@@ -198,28 +414,35 @@ int MovingObjectStore::RegisterContinuousQuery(const BoundingBox& range,
   HPM_CHECK(!range.IsEmpty());
   HPM_CHECK(horizon >= 1);
   HPM_CHECK(k_per_object >= 1);
+  std::lock_guard<std::mutex> lock(continuous_->mutex);
   ContinuousQuery query;
-  query.id = next_query_id_++;
+  query.id = continuous_->next_query_id++;
   query.range = range;
   query.horizon = horizon;
   query.k_per_object = k_per_object;
   const int id = query.id;
-  continuous_queries_.emplace(id, std::move(query));
+  continuous_->queries.emplace(id, std::move(query));
   return id;
 }
 
 void MovingObjectStore::UnregisterContinuousQuery(int query_id) {
-  continuous_queries_.erase(query_id);
+  std::lock_guard<std::mutex> lock(continuous_->mutex);
+  continuous_->queries.erase(query_id);
 }
 
-void MovingObjectStore::EvaluateContinuousQueries(ObjectId id,
-                                                  const ObjectState& state) {
-  if (state.history.size() < 2) return;
-  const Timestamp now = static_cast<Timestamp>(state.history.size()) - 1;
-  for (auto& [query_id, query] : continuous_queries_) {
-    const Timestamp tq = now + query.horizon;
+bool MovingObjectStore::HasContinuousQueries() const {
+  std::lock_guard<std::mutex> lock(continuous_->mutex);
+  return !continuous_->queries.empty();
+}
+
+void MovingObjectStore::EvaluateContinuousQueries(
+    const QuerySnapshot& snapshot) {
+  if (snapshot.history_size < 2) return;
+  std::lock_guard<std::mutex> lock(continuous_->mutex);
+  for (auto& [query_id, query] : continuous_->queries) {
+    const Timestamp tq = snapshot.now + query.horizon;
     StatusOr<std::vector<Prediction>> predictions =
-        PredictForState(state, tq, query.k_per_object);
+        PredictSnapshot(snapshot, tq, query.k_per_object);
     if (!predictions.ok()) continue;
     const Prediction* matching = nullptr;
     for (const Prediction& p : *predictions) {
@@ -228,26 +451,28 @@ void MovingObjectStore::EvaluateContinuousQueries(ObjectId id,
       }
     }
     const bool inside_now = matching != nullptr;
-    const auto it = query.inside.find(id);
+    const auto it = query.inside.find(snapshot.id);
     const bool inside_before = it != query.inside.end() && it->second;
     if (inside_now != inside_before) {
       ContinuousEvent event;
       event.query_id = query_id;
-      event.object = id;
+      event.object = snapshot.id;
       event.entered = inside_now;
-      event.prediction =
-          inside_now ? *matching : predictions->front();
+      event.prediction = inside_now ? *matching : predictions->front();
       event.evaluated_at = tq;
-      pending_events_.push_back(std::move(event));
+      std::lock_guard<std::mutex> events_lock(continuous_->events_mutex);
+      continuous_->pending_events.push_back(std::move(event));
     }
-    query.inside[id] = inside_now;
+    query.inside[snapshot.id] = inside_now;
   }
 }
 
 std::vector<MovingObjectStore::ContinuousEvent>
 MovingObjectStore::DrainContinuousEvents() {
-  std::vector<ContinuousEvent> events = std::move(pending_events_);
-  pending_events_.clear();
+  std::lock_guard<std::mutex> lock(continuous_->events_mutex);
+  std::vector<ContinuousEvent> events =
+      std::move(continuous_->pending_events);
+  continuous_->pending_events.clear();
   return events;
 }
 

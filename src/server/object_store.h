@@ -10,6 +10,16 @@
 //   * predictive range  — "which objects will probably be inside region
 //     R at time tq?" (the query type TPR-tree-style predictive indexes
 //     serve, here answered from patterns + motion fallback).
+//
+// Threading model (see docs/ARCHITECTURE.md §8 for the full story): the
+// fleet is hash-partitioned into `num_shards` shards, each owning its
+// object map behind a std::shared_mutex. Trained models are immutable
+// HybridPredictor snapshots held by shared_ptr and swapped atomically on
+// (re)train, so readers never block behind training; fleet queries fan
+// out across shards on an internal thread pool. Every public member is
+// safe to call concurrently from any number of threads, except move
+// construction/assignment and SaveToDirectory/LoadFromDirectory's
+// returned store before it is published to other threads.
 
 #ifndef HPM_SERVER_OBJECT_STORE_H_
 #define HPM_SERVER_OBJECT_STORE_H_
@@ -17,8 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/hybrid_predictor.h"
 
 namespace hpm {
@@ -41,6 +54,16 @@ struct ObjectStoreOptions {
 
   /// Recent movements handed to queries (and the motion fallback).
   int recent_window = 10;
+
+  /// Number of hash partitions of the fleet; each shard has its own
+  /// reader/writer lock, so independent shards ingest and serve fully
+  /// concurrently. Must be >= 1.
+  int num_shards = 8;
+
+  /// Worker threads for fleet-query fan-out (range / kNN / batch).
+  /// 0 = ThreadPool::DefaultThreadCount(). With 1, fan-out runs inline
+  /// on the calling thread (no pool hop).
+  int query_threads = 0;
 };
 
 /// One object's answer to a predictive range query.
@@ -51,32 +74,49 @@ struct RangeHit {
   Prediction prediction;
 };
 
-/// Per-object ingestion + prediction service. Not thread-safe; wrap
-/// externally if shared.
+/// Per-object ingestion + prediction service. Thread-safe: shards, lock
+/// striping and model-snapshot swaps are internal (see header comment).
 class MovingObjectStore {
  public:
   explicit MovingObjectStore(ObjectStoreOptions options);
 
+  /// Movable so LoadFromDirectory can return by value; moving a store
+  /// that other threads are using is undefined (publish after moving).
+  MovingObjectStore(MovingObjectStore&&) noexcept = default;
+  MovingObjectStore& operator=(MovingObjectStore&&) noexcept = default;
+
   /// Appends one location sample for `id` at the object's next
   /// timestamp (each object's clock starts at 0 and advances by 1 per
-  /// report). Training and incremental updates run inline when their
-  /// thresholds are crossed; their errors propagate.
+  /// report). Training and incremental updates run on the reporting
+  /// thread when their thresholds are crossed — but outside the shard
+  /// lock, against a history/model snapshot, so concurrent readers of
+  /// the same shard are never blocked behind mining; their errors
+  /// propagate. Concurrent reports for the *same* object are safe but
+  /// their relative order (and thus the object's trajectory) is up to
+  /// the scheduler; give each object one reporting thread for
+  /// deterministic histories.
   Status ReportLocation(ObjectId id, const Point& location);
 
   /// Bulk ingestion convenience.
   Status ReportTrajectory(ObjectId id, const Trajectory& trajectory);
 
-  /// Ids of all tracked objects, ascending.
+  /// Ids of all tracked objects, ascending. Shard-snapshot read: ids
+  /// reported while the call runs may or may not be included.
   std::vector<ObjectId> ObjectIds() const;
 
-  size_t NumObjects() const { return objects_.size(); }
+  size_t NumObjects() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// Samples reported so far for `id` (0 when unknown).
   size_t HistoryLength(ObjectId id) const;
 
-  /// The object's trained predictor, or NotFound / FailedPrecondition
-  /// when the object is unknown / not yet trained.
-  StatusOr<const HybridPredictor*> GetPredictor(ObjectId id) const;
+  /// A shared snapshot of the object's trained predictor, or NotFound /
+  /// FailedPrecondition when the object is unknown / not yet trained.
+  /// The snapshot stays valid (and immutable) after later retrains swap
+  /// the live model.
+  StatusOr<std::shared_ptr<const HybridPredictor>> GetPredictor(
+      ObjectId id) const;
 
   /// Predicts object `id`'s location at `tq` (absolute time on the
   /// object's clock, after its last report). Uses the object's trained
@@ -86,18 +126,30 @@ class MovingObjectStore {
                                                     Timestamp tq,
                                                     int k = 1) const;
 
+  /// Amortised multi-object point prediction: one result per input id,
+  /// in input order. Snapshots are taken with one lock acquisition per
+  /// shard and the per-object prediction work fans out on the thread
+  /// pool. `nullopt`-free: every slot holds the same StatusOr that
+  /// PredictLocation(ids[i], tq, k) would have returned at snapshot
+  /// time.
+  std::vector<StatusOr<std::vector<Prediction>>> PredictLocationBatch(
+      const std::vector<ObjectId>& ids, Timestamp tq, int k = 1) const;
+
   /// Predictive range query: every object whose predicted location(s)
   /// at `tq` (its own clock) fall inside `range`. At most one hit per
   /// object (its best-scored matching prediction); hits sorted by score
   /// descending. `k_per_object` controls how many candidate locations
   /// are considered per object. Objects whose last report precedes `tq`
-  /// by less than one step are skipped.
+  /// by less than one step are skipped. Fans out across shards on the
+  /// thread pool; each shard's objects are evaluated against a snapshot
+  /// taken under its reader lock.
   StatusOr<std::vector<RangeHit>> PredictiveRangeQuery(
       const BoundingBox& range, Timestamp tq, int k_per_object = 3) const;
 
   /// Predictive n-nearest-neighbours: the `n` objects whose top-1
   /// predicted location at `tq` lies closest to `target`, nearest
-  /// first. Objects that cannot be queried at `tq` are skipped.
+  /// first. Objects that cannot be queried at `tq` are skipped. Same
+  /// fan-out as PredictiveRangeQuery.
   StatusOr<std::vector<RangeHit>> PredictiveNearestNeighbors(
       const Point& target, Timestamp tq, int n) const;
 
@@ -126,12 +178,15 @@ class MovingObjectStore {
     Timestamp evaluated_at = 0;
   };
 
-  /// Returns and clears the queued events, oldest first.
+  /// Returns and clears the queued events, oldest first. Safe under
+  /// concurrent reporters (the event queue has its own mutex).
   std::vector<ContinuousEvent> DrainContinuousEvents();
 
   /// ---- Persistence ----------------------------------------------------
   /// Writes the whole store (per-object history CSV + trained model +
-  /// manifest) under `directory`, creating it if needed.
+  /// manifest) under `directory`, creating it if needed. Each object is
+  /// snapshotted under its shard's reader lock; objects reported while
+  /// the save runs may be missed.
   Status SaveToDirectory(const std::string& directory) const;
 
   /// Restores a store written by SaveToDirectory. `options` must match
@@ -143,9 +198,29 @@ class MovingObjectStore {
  private:
   struct ObjectState {
     Trajectory history;
-    std::unique_ptr<HybridPredictor> predictor;
-    /// Samples already consumed by Train / IncorporateNewHistory.
+    /// Immutable trained model; replaced wholesale (never mutated) when
+    /// training or incremental incorporation completes.
+    std::shared_ptr<const HybridPredictor> predictor;
+    /// Samples already consumed by Train / WithNewHistory.
     size_t consumed_samples = 0;
+    /// True while a reporting thread is mining this object outside the
+    /// shard lock; prevents duplicate concurrent (re)trains.
+    bool training_in_flight = false;
+  };
+
+  /// Everything a prediction needs, copied out under the shard's reader
+  /// lock so the computation runs lock-free against immutable state.
+  struct QuerySnapshot {
+    ObjectId id = 0;
+    size_t history_size = 0;
+    Timestamp now = 0;
+    std::vector<TimedPoint> recent;
+    std::shared_ptr<const HybridPredictor> predictor;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<ObjectId, ObjectState> objects;
   };
 
   struct ContinuousQuery {
@@ -157,21 +232,61 @@ class MovingObjectStore {
     std::map<ObjectId, bool> inside;
   };
 
-  /// Runs initial training or batch incorporation if thresholds allow.
-  Status MaybeTrain(ObjectState* state);
+  /// Standing-query registry and pending-event queue. Lock ordering:
+  /// `mutex` before `events_mutex`; neither is ever held while taking a
+  /// shard lock.
+  struct ContinuousState {
+    std::mutex mutex;
+    int next_query_id = 1;
+    std::map<int, ContinuousQuery> queries;
+    std::mutex events_mutex;
+    std::vector<ContinuousEvent> pending_events;
+  };
 
-  StatusOr<std::vector<Prediction>> PredictForState(
-      const ObjectState& state, Timestamp tq, int k) const;
+  /// Partial result of one shard's share of a fleet query.
+  struct ShardHits {
+    std::vector<RangeHit> hits;
+    Status status;
+  };
+
+  static size_t ShardIndex(ObjectId id, size_t num_shards);
+  Shard& ShardFor(ObjectId id) const {
+    return *shards_[ShardIndex(id, shards_.size())];
+  }
+
+  /// Builds a snapshot from a state the caller has (at least) read-locked.
+  QuerySnapshot MakeSnapshot(ObjectId id, const ObjectState& state) const;
+
+  /// Predicts against a snapshot; no locks held. Mirrors the pre-shard
+  /// PredictForState semantics exactly.
+  StatusOr<std::vector<Prediction>> PredictSnapshot(
+      const QuerySnapshot& snapshot, Timestamp tq, int k) const;
+
+  /// Runs initial training or batch incorporation for `id` if the
+  /// post-append thresholds allow, mining outside the shard lock.
+  Status MaybeTrain(Shard& shard, ObjectId id);
+
+  /// One shard's share of PredictiveRangeQuery / NearestNeighbors:
+  /// snapshot eligible objects under the reader lock, predict unlocked.
+  ShardHits RangeQueryShard(const Shard& shard, const BoundingBox& range,
+                            Timestamp tq, int k_per_object) const;
+  ShardHits NearestNeighborShard(const Shard& shard, Timestamp tq) const;
+
+  /// Runs `fn(shard)` for every shard — on the pool when it has more
+  /// than one worker, inline otherwise — and merges in shard order.
+  template <typename Fn>
+  StatusOr<std::vector<RangeHit>> FanOut(Fn&& fn) const;
 
   /// Re-evaluates every standing query for the object that just
-  /// reported.
-  void EvaluateContinuousQueries(ObjectId id, const ObjectState& state);
+  /// reported, against the given snapshot.
+  void EvaluateContinuousQueries(const QuerySnapshot& snapshot);
+
+  bool HasContinuousQueries() const;
 
   ObjectStoreOptions options_;
-  std::map<ObjectId, ObjectState> objects_;
-  int next_query_id_ = 1;
-  std::map<int, ContinuousQuery> continuous_queries_;
-  std::vector<ContinuousEvent> pending_events_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ContinuousState> continuous_;
 };
 
 }  // namespace hpm

@@ -46,15 +46,27 @@ Status MovingObjectStore::SaveToDirectory(
     return Status::InvalidArgument("cannot write manifest in " + directory);
   }
   Status status = Status::OK();
-  for (const auto& [id, state] : objects_) {
-    const bool has_model = state.predictor != nullptr;
+  // ObjectIds() is ascending, matching the pre-shard manifest order.
+  for (ObjectId id : ObjectIds()) {
+    Trajectory history;
+    std::shared_ptr<const HybridPredictor> predictor;
+    size_t consumed = 0;
+    {
+      Shard& shard = ShardFor(id);
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      const auto it = shard.objects.find(id);
+      if (it == shard.objects.end()) continue;
+      history = it->second.history;
+      predictor = it->second.predictor;
+      consumed = it->second.consumed_samples;
+    }
+    const bool has_model = predictor != nullptr;
     std::fprintf(manifest, "object %" PRId64 " %zu %zu %d\n", id,
-                 state.history.size(), state.consumed_samples,
-                 has_model ? 1 : 0);
-    status = WriteTrajectoryCsv(state.history, CsvPath(directory, id));
+                 history.size(), consumed, has_model ? 1 : 0);
+    status = WriteTrajectoryCsv(history, CsvPath(directory, id));
     if (!status.ok()) break;
     if (has_model) {
-      status = state.predictor->SaveToFile(ModelPath(directory, id));
+      status = predictor->SaveToFile(ModelPath(directory, id));
       if (!status.ok()) break;
     }
   }
@@ -110,7 +122,8 @@ StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
       }
       state.predictor = std::move(*predictor);
     }
-    store.objects_.emplace(id, std::move(state));
+    // The store is unpublished while loading; no lock needed.
+    store.ShardFor(id).objects.emplace(id, std::move(state));
   }
   std::fclose(manifest);
   if (!status.ok()) return status;

@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace hpm {
+namespace {
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> result = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(result.get(), 42);
+}
+
+TEST(ThreadPoolTest, RunsManyTasksExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (std::future<void>& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, TasksReturnDistinctValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  futures.reserve(50);
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  long long sum = 0;
+  for (std::future<int>& f : futures) sum += f.get();
+  // Sum of squares 0..49.
+  EXPECT_EQ(sum, 49LL * 50 * 99 / 6);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);  // Single worker: tasks queue up behind the sleep.
+    futures.push_back(pool.Submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }));
+    for (int i = 0; i < 10; ++i) {
+      futures.push_back(pool.Submit(
+          [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+    }
+  }  // Destructor must let every queued task run before joining.
+  EXPECT_EQ(ran.load(), 10);
+  for (std::future<void>& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::future<int> outer = pool.Submit([&pool] {
+    // Fire-and-forget leaf task submitted from inside a worker.
+    pool.Submit([] {}).wait();
+    return 7;
+  });
+  EXPECT_EQ(outer.get(), 7);
+}
+
+TEST(ThreadPoolDeathTest, RejectsZeroThreads) {
+  EXPECT_DEATH(ThreadPool{0}, "HPM_CHECK");
+}
+
+}  // namespace
+}  // namespace hpm

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 
@@ -355,6 +357,104 @@ TEST(HybridPredictorBqpTest, IntervalExpansionFindsSparseConsequences) {
   const double error_a = Distance(predictions->front().location, RouteA(18));
   const double error_b = Distance(predictions->front().location, RouteB(18));
   EXPECT_LT(std::min(error_a, error_b), 250.0);
+}
+
+TEST(HybridPredictorCountersTest, TotalsAddUpSingleThreaded) {
+  auto predictor = HybridPredictor::Train(MakeHistory(40), SmallOptions());
+  ASSERT_TRUE(predictor.ok());
+  constexpr int kForward = 7;
+  constexpr int kBackward = 5;
+  for (int i = 0; i < kForward; ++i) {
+    ASSERT_TRUE((*predictor)->Predict(RouteAQuery(10, 4)).ok());
+  }
+  for (int i = 0; i < kBackward; ++i) {
+    ASSERT_TRUE((*predictor)->Predict(RouteAQuery(5, 12)).ok());
+  }
+  const QueryCounters counters = (*predictor)->counters();
+  EXPECT_EQ(counters.forward_queries, static_cast<size_t>(kForward));
+  EXPECT_EQ(counters.backward_queries, static_cast<size_t>(kBackward));
+  // Every Predict is answered exactly once, by pattern or fallback.
+  EXPECT_EQ(counters.pattern_answers + counters.motion_fallbacks,
+            static_cast<size_t>(kForward + kBackward));
+  (*predictor)->ResetCounters();
+  const QueryCounters cleared = (*predictor)->counters();
+  EXPECT_EQ(cleared.forward_queries, 0u);
+  EXPECT_EQ(cleared.backward_queries, 0u);
+  EXPECT_EQ(cleared.pattern_answers, 0u);
+  EXPECT_EQ(cleared.motion_fallbacks, 0u);
+}
+
+TEST(HybridPredictorCountersTest, ConcurrentPredictsLoseNoCounts) {
+  auto predictor = HybridPredictor::Train(MakeHistory(40), SmallOptions());
+  ASSERT_TRUE(predictor.ok());
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&predictor, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const bool forward = (t + i) % 2 == 0;
+        ASSERT_TRUE(
+            (*predictor)->Predict(RouteAQuery(forward ? 10 : 5,
+                                              forward ? 4 : 12)).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const QueryCounters counters = (*predictor)->counters();
+  constexpr size_t kTotal =
+      static_cast<size_t>(kThreads) * kQueriesPerThread;
+  EXPECT_EQ(counters.forward_queries + counters.backward_queries, kTotal);
+  EXPECT_EQ(counters.pattern_answers + counters.motion_fallbacks, kTotal);
+}
+
+TEST(HybridPredictorUpdateTest, WithNewHistoryMatchesInPlaceIncorporation) {
+  // Two identically-trained predictors; one takes the mutating §V-B
+  // path, the other builds a snapshot. The snapshot must carry the same
+  // pattern set and answer every query identically, and the source
+  // predictor must be untouched.
+  auto in_place = HybridPredictor::Train(MakeHistory(20), SmallOptions());
+  auto snapshotting = HybridPredictor::Train(MakeHistory(20), SmallOptions());
+  ASSERT_TRUE(in_place.ok());
+  ASSERT_TRUE(snapshotting.ok());
+
+  const Trajectory fresh = MakeHistory(10, 99);
+  const size_t patterns_before = (*snapshotting)->patterns().size();
+
+  auto added = (*in_place)->IncorporateNewHistory(fresh);
+  ASSERT_TRUE(added.ok());
+  auto snapshot = (*snapshotting)->WithNewHistory(fresh);
+  ASSERT_TRUE(snapshot.ok());
+
+  // The source of WithNewHistory is unchanged.
+  EXPECT_EQ((*snapshotting)->patterns().size(), patterns_before);
+
+  EXPECT_EQ((*snapshot)->patterns().size(),
+            patterns_before + *added);
+  EXPECT_EQ((*snapshot)->patterns().size(), (*in_place)->patterns().size());
+  EXPECT_EQ((*snapshot)->tpt().size(), (*in_place)->tpt().size());
+  EXPECT_EQ((*snapshot)->summary().num_patterns,
+            (*in_place)->summary().num_patterns);
+  EXPECT_EQ((*snapshot)->summary().tpt_height,
+            (*in_place)->summary().tpt_height);
+
+  for (Timestamp tc = 4; tc <= 14; tc += 2) {
+    for (Timestamp length : {2, 4, 9, 12}) {
+      const PredictiveQuery q = RouteAQuery(tc, length, 4);
+      auto a = (*in_place)->Predict(q);
+      auto b = (*snapshot)->Predict(q);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (!a.ok()) continue;
+      ASSERT_EQ(a->size(), b->size());
+      for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ((*a)[i].location.x, (*b)[i].location.x);
+        EXPECT_EQ((*a)[i].location.y, (*b)[i].location.y);
+        EXPECT_EQ((*a)[i].score, (*b)[i].score);
+        EXPECT_EQ((*a)[i].source, (*b)[i].source);
+        EXPECT_EQ((*a)[i].pattern_id, (*b)[i].pattern_id);
+      }
+    }
+  }
 }
 
 }  // namespace

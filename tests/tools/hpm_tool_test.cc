@@ -171,5 +171,22 @@ TEST(HpmToolTest, PredictValidatesNowAndHorizon) {
             1);  // Bad horizon.
 }
 
+TEST(HpmToolTest, ThroughputReportsBothWorkloads) {
+  const RunResult r = RunTool(
+      "throughput --shards 2 --threads 2 --clients 2 --objects 4 "
+      "--ops 50");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("2 shards"), std::string::npos);
+  EXPECT_NE(r.output.find("2 fan-out threads"), std::string::npos);
+  EXPECT_NE(r.output.find("ingest"), std::string::npos);
+  EXPECT_NE(r.output.find("query"), std::string::npos);
+}
+
+TEST(HpmToolTest, ThroughputValidatesFlags) {
+  EXPECT_EQ(RunTool("throughput --shards 0").exit_code, 1);
+  EXPECT_EQ(RunTool("throughput --threads 0").exit_code, 1);
+  EXPECT_EQ(RunTool("throughput --clients 8 --objects 4").exit_code, 1);
+}
+
 }  // namespace
 }  // namespace hpm

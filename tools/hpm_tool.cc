@@ -23,6 +23,12 @@
 //       Measure prediction error on held-out periods (those beyond the
 //       model's training range) against the RMF and linear baselines.
 //
+//   throughput [--shards N] [--threads N] [--clients N]
+//              [--objects N] [--ops N]
+//       Measure concurrent MovingObjectStore throughput: ingest and
+//       point-query ops/sec with --clients client threads against a
+//       store built with --shards shards and --threads fan-out workers.
+//
 // All subcommands exit 0 on success and print errors to stderr.
 
 #include <cstdio>
@@ -31,12 +37,16 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/stopwatch.h"
 #include "core/hybrid_predictor.h"
 #include "datagen/datasets.h"
 #include "common/table_printer.h"
 #include "eval/metrics.h"
 #include "io/csv.h"
+#include "server/object_store.h"
 
 namespace {
 
@@ -108,7 +118,8 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hpm_tool <generate|train|info|predict|evaluate> [--flag "
+               "usage: hpm_tool "
+               "<generate|train|info|predict|evaluate|throughput> [--flag "
                "value ...]\n  (see the header of tools/hpm_tool.cc)\n");
   return 2;
 }
@@ -320,6 +331,92 @@ int RunEvaluate(Args args) {
   return 0;
 }
 
+int RunThroughput(Args args) {
+  const int shards = static_cast<int>(args.GetInt("shards", 8));
+  const int threads = static_cast<int>(args.GetInt("threads", 1));
+  const int clients = static_cast<int>(args.GetInt("clients", 4));
+  const int objects = static_cast<int>(args.GetInt("objects", 32));
+  const int ops = static_cast<int>(args.GetInt("ops", 2000));
+  if (shards < 1) return Fail("--shards must be >= 1");
+  if (threads < 1) return Fail("--threads must be >= 1");
+  if (clients < 1) return Fail("--clients must be >= 1");
+  if (objects < clients) return Fail("--objects must be >= --clients");
+  if (ops < 1) return Fail("--ops must be >= 1");
+  if (int rc = FinishArgs(&args)) return rc;
+
+  constexpr Timestamp kPeriod = 20;
+  constexpr int kWarmPeriods = 5;
+  ObjectStoreOptions options;
+  options.predictor.regions.period = kPeriod;
+  options.predictor.regions.dbscan.eps = 15.0;
+  options.predictor.regions.dbscan.min_pts = 3;
+  options.predictor.mining.min_confidence = 0.2;
+  options.predictor.mining.min_support = 2;
+  options.predictor.distant_threshold = 8;
+  options.predictor.region_match_slack = 8.0;
+  options.min_training_periods = kWarmPeriods;
+  options.update_batch_periods = 2;
+  options.recent_window = 5;
+  options.num_shards = shards;
+  options.query_threads = threads;
+
+  const auto route = [](ObjectId id, Timestamp t) -> Point {
+    return {100.0 * static_cast<double>(t % kPeriod) + 50.0,
+            500.0 + 1000.0 * static_cast<double>(id)};
+  };
+  const auto warm_store = [&]() {
+    MovingObjectStore store(options);
+    for (ObjectId id = 0; id < objects; ++id) {
+      for (Timestamp t = 0; t < kWarmPeriods * kPeriod; ++t) {
+        (void)store.ReportLocation(id, route(id, t));
+      }
+    }
+    return store;
+  };
+  const auto measure = [&](auto op) {
+    Stopwatch watch;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < clients; ++w) {
+      workers.emplace_back([w, ops, &op] {
+        for (int i = 0; i < ops; ++i) op(w, i);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    const double seconds = watch.ElapsedSeconds();
+    return static_cast<double>(clients) * ops /
+           (seconds > 0 ? seconds : 1e-9);
+  };
+
+  double ingest_ops = 0;
+  {
+    MovingObjectStore store = warm_store();
+    const int span = objects / clients;
+    ingest_ops = measure([&](int w, int i) {
+      const ObjectId id = static_cast<ObjectId>(w * span + i % span);
+      (void)store.ReportLocation(
+          id, route(id, kWarmPeriods * kPeriod + i / span));
+    });
+  }
+  double query_ops = 0;
+  {
+    MovingObjectStore store = warm_store();
+    const Timestamp tq = kWarmPeriods * kPeriod + 3;
+    query_ops = measure([&](int w, int i) {
+      (void)store.PredictLocation(
+          static_cast<ObjectId>((w * 31 + i) % objects), tq);
+    });
+  }
+
+  std::printf("throughput: %d shards, %d fan-out threads, %d clients, "
+              "%d objects, %d ops/client\n",
+              shards, threads, clients, objects, ops);
+  TablePrinter table({"workload", "ops_per_sec"});
+  table.AddRow({"ingest", TablePrinter::FormatDouble(ingest_ops, 0)});
+  table.AddRow({"query", TablePrinter::FormatDouble(query_ops, 0)});
+  table.Print(stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,5 +431,6 @@ int main(int argc, char** argv) {
   if (command == "info") return RunInfo(std::move(args));
   if (command == "predict") return RunPredict(std::move(args));
   if (command == "evaluate") return RunEvaluate(std::move(args));
+  if (command == "throughput") return RunThroughput(std::move(args));
   return Usage();
 }
