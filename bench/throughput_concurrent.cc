@@ -14,12 +14,15 @@
 // count measures lock overhead, not parallelism — on a single-core
 // host every series is flat by construction.
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/random.h"
 #include "common/stopwatch.h"
 #include "server/object_store.h"
 
@@ -28,6 +31,7 @@ namespace {
 using namespace hpm;
 
 constexpr Timestamp kPeriod = 20;
+constexpr uint64_t kDefaultSeed = 20260805;
 constexpr int kObjects = 32;
 constexpr int kTrainPeriods = 5;
 constexpr int kIngestOpsPerThread = 4000;
@@ -72,16 +76,19 @@ MovingObjectStore MakeWarmStore() {
   return store;
 }
 
-/// Runs `op(thread_index, i)` kOps times on each of `threads` threads
-/// and returns aggregate operations per second.
+/// Runs `op(thread_index, i, rng)` kOps times on each of `threads`
+/// threads and returns aggregate operations per second. Each worker owns
+/// a Random stream derived from `seed` and its index, so a run is
+/// reproducible from the seed recorded in the output JSON.
 template <typename Op>
-double MeasureOps(int threads, int ops_per_thread, Op op) {
+double MeasureOps(int threads, int ops_per_thread, uint64_t seed, Op op) {
   Stopwatch watch;
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int w = 0; w < threads; ++w) {
-    workers.emplace_back([w, ops_per_thread, &op] {
-      for (int i = 0; i < ops_per_thread; ++i) op(w, i);
+    workers.emplace_back([w, ops_per_thread, seed, &op] {
+      Random rng(seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(w + 1));
+      for (int i = 0; i < ops_per_thread; ++i) op(w, i, rng);
     });
   }
   for (std::thread& t : workers) t.join();
@@ -97,31 +104,40 @@ struct ThreadPoint {
   double mixed_ops = 0;
 };
 
-ThreadPoint RunAtThreadCount(int threads) {
+/// GPS-style measurement noise on a route point.
+Point Jitter(Random& rng, Point p) {
+  p.x += rng.Gaussian(0.0, 2.0);
+  p.y += rng.Gaussian(0.0, 2.0);
+  return p;
+}
+
+ThreadPoint RunAtThreadCount(int threads, uint64_t seed) {
   ThreadPoint point;
   point.threads = threads;
 
-  // Ingest: each thread reports into its own slice of the fleet.
+  // Ingest: each thread reports into its own slice of the fleet, with
+  // per-report jitter so the store sees realistic noisy samples.
   {
     MovingObjectStore store = MakeWarmStore();
     const int span = kObjects / threads;
     point.ingest_ops = MeasureOps(
-        threads, kIngestOpsPerThread, [&store, span](int w, int i) {
+        threads, kIngestOpsPerThread, seed,
+        [&store, span](int w, int i, Random& rng) {
           const ObjectId id = static_cast<ObjectId>(w * span + i % span);
           const Timestamp t =
               static_cast<Timestamp>(kTrainPeriods * kPeriod + i / span);
-          (void)store.ReportLocation(id, Route(id, t));
+          (void)store.ReportLocation(id, Jitter(rng, Route(id, t)));
         });
   }
 
-  // Query: read-only point predictions round-robin over the fleet.
+  // Query: read-only point predictions over randomly drawn objects.
   {
     MovingObjectStore store = MakeWarmStore();
     const Timestamp tq = kTrainPeriods * kPeriod + 3;
     point.query_ops = MeasureOps(
-        threads, kQueryOpsPerThread, [&store, tq](int w, int i) {
-          const ObjectId id =
-              static_cast<ObjectId>((w * 31 + i) % kObjects);
+        threads, kQueryOpsPerThread, seed,
+        [&store, tq](int /*w*/, int /*i*/, Random& rng) {
+          const ObjectId id = static_cast<ObjectId>(rng.Uniform(kObjects));
           (void)store.PredictLocation(id, tq);
         });
   }
@@ -131,15 +147,15 @@ ThreadPoint RunAtThreadCount(int threads) {
     MovingObjectStore store = MakeWarmStore();
     const int span = kObjects / threads;
     point.mixed_ops = MeasureOps(
-        threads, kMixedOpsPerThread, [&store, span](int w, int i) {
+        threads, kMixedOpsPerThread, seed,
+        [&store, span](int w, int i, Random& rng) {
           if (i % 2 == 0) {
             const ObjectId id = static_cast<ObjectId>(w * span + i % span);
             const Timestamp t =
                 static_cast<Timestamp>(kTrainPeriods * kPeriod + i / span);
-            (void)store.ReportLocation(id, Route(id, t));
+            (void)store.ReportLocation(id, Jitter(rng, Route(id, t)));
           } else {
-            const ObjectId id =
-                static_cast<ObjectId>((w * 31 + i) % kObjects);
+            const ObjectId id = static_cast<ObjectId>(rng.Uniform(kObjects));
             (void)store.PredictLocation(id, 1000000 + i);
           }
         });
@@ -147,14 +163,15 @@ ThreadPoint RunAtThreadCount(int threads) {
   return point;
 }
 
-std::string ToJson(const std::vector<ThreadPoint>& points) {
+std::string ToJson(const std::vector<ThreadPoint>& points, uint64_t seed) {
   std::string json = "{\n  \"bench\": \"throughput_concurrent\",\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "  \"objects\": %d,\n  \"num_shards\": %d,\n"
-                "  \"hardware_threads\": %u,\n  \"series\": [\n",
+                "  \"hardware_threads\": %u,\n  \"rng_seed\": %" PRIu64
+                ",\n  \"series\": [\n",
                 kObjects, StoreOptions().num_shards,
-                std::thread::hardware_concurrency());
+                std::thread::hardware_concurrency(), seed);
   json += buf;
   for (size_t i = 0; i < points.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
@@ -174,22 +191,27 @@ std::string ToJson(const std::vector<ThreadPoint>& points) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_throughput.json";
+  uint64_t seed = kDefaultSeed;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--out PATH] [--seed N]\n", argv[0]);
       return 1;
     }
   }
 
   std::vector<ThreadPoint> points;
   for (int threads : {1, 2, 4, 8}) {
-    points.push_back(RunAtThreadCount(threads));
+    points.push_back(RunAtThreadCount(threads, seed));
     std::fprintf(stderr, "threads=%d done\n", threads);
   }
 
-  const std::string json = ToJson(points);
+  const std::string json = ToJson(points, seed);
   std::fputs(json.c_str(), stdout);
   if (!out_path.empty()) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");

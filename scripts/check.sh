@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full verification matrix: tier-1 + property suites under
+# AddressSanitizer, then ThreadSanitizer. Any test failure or sanitizer
+# report (sanitizers make the binary exit non-zero) fails the run.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the slow-labelled binaries in the sanitizer builds
+#            (integration, concurrency, store-level property suites)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+CTEST_ARGS=(--output-on-failure)
+if [[ "${1:-}" == "--fast" ]]; then
+  CTEST_ARGS+=(-LE slow)
+fi
+
+run_matrix() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" -L tier1 "${CTEST_ARGS[@]}" -j "$JOBS"
+  ctest --test-dir "$build_dir" -L prop "${CTEST_ARGS[@]}" -j "$JOBS"
+}
+
+echo "== plain build: tier1 + prop =="
+run_matrix build
+
+echo "== AddressSanitizer: tier1 + prop =="
+run_matrix build-asan -DHPM_SANITIZE=address
+
+echo "== ThreadSanitizer: tier1 + prop =="
+run_matrix build-tsan -DHPM_SANITIZE=thread
+
+echo "check.sh: all green"

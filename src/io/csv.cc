@@ -111,7 +111,10 @@ std::string FormatTrajectoryCsv(const Trajectory& trajectory) {
   char buf[96];
   for (size_t i = 0; i < trajectory.size(); ++i) {
     const Point& p = trajectory.points()[i];
-    std::snprintf(buf, sizeof(buf), "%zu,%.6f,%.6f\n", i, p.x, p.y);
+    // %.17g is the shortest printf format that round-trips any double
+    // exactly; store persistence relies on reloaded histories being
+    // bit-identical to the saved ones.
+    std::snprintf(buf, sizeof(buf), "%zu,%.17g,%.17g\n", i, p.x, p.y);
     out += buf;
   }
   return out;

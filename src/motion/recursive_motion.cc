@@ -61,13 +61,23 @@ Status RecursiveMotionFunction::FitRetrospect(
   }
 
   // Mean squared one-step residual over the window, penalised slightly
-  // per extra lag so that ties prefer the simpler recurrence.
+  // per extra lag so that ties prefer the simpler recurrence. The penalty
+  // must include an additive, data-scaled term: an underdetermined fit
+  // (rows < 2f) reaches sse == 0.0 exactly, where a multiplicative
+  // penalty alone cannot break the tie and the min-norm solution of the
+  // larger retrospect extrapolates wildly despite its perfect residual.
   Matrix residual = a * *x - b;
   double sse = 0.0;
   for (size_t i = 0; i < residual.data().size(); ++i) {
     sse += residual.data()[i] * residual.data()[i];
   }
-  *error = sse / static_cast<double>(rows) * (1.0 + 0.01 * f);
+  double target_scale = 0.0;
+  for (size_t i = 0; i < b.data().size(); ++i) {
+    target_scale += b.data()[i] * b.data()[i];
+  }
+  target_scale /= static_cast<double>(rows);
+  *error = sse / static_cast<double>(rows) * (1.0 + 0.01 * f) +
+           1e-12 * target_scale * f;
   return Status::OK();
 }
 
@@ -169,6 +179,14 @@ Status RecursiveMotionFunction::Fit(const std::vector<TimedPoint>& recent) {
   }
 
   use_linear_ = false;
+  if (!validate && n - best_f < 2 * best_f) {
+    // The window is too short for held-out validation AND the winning
+    // recurrence is underdetermined (fewer rows than unknowns per
+    // coordinate), so its perfect in-sample residual says nothing about
+    // extrapolation — the minimum-norm solution can oscillate wildly.
+    // Degrade to the linear model rather than trust it.
+    use_linear_ = true;
+  }
   if (validate) {
     // The linear candidate: least-squares velocity over the prefix,
     // extrapolated through the held-out span.

@@ -1,0 +1,75 @@
+#include "proptest/proptest.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace hpm {
+namespace proptest {
+
+namespace {
+
+/// splitmix64 step — the same mixer Random uses for seeding, so case
+/// seeds inherit its avalanche behaviour.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::mutex forced_seed_mutex;
+bool forced_seed_set = false;
+bool env_seed_checked = false;
+uint64_t forced_seed_value = 0;
+
+}  // namespace
+
+std::optional<uint64_t> ForcedSeed() {
+  std::lock_guard<std::mutex> lock(forced_seed_mutex);
+  if (!forced_seed_set && !env_seed_checked) {
+    env_seed_checked = true;
+    if (const char* env = std::getenv("HPM_PROP_SEED")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') {
+        forced_seed_set = true;
+        forced_seed_value = static_cast<uint64_t>(parsed);
+      }
+    }
+  }
+  if (!forced_seed_set) return std::nullopt;
+  return forced_seed_value;
+}
+
+void SetForcedSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(forced_seed_mutex);
+  forced_seed_set = true;
+  forced_seed_value = seed;
+}
+
+uint64_t SeedForTest(uint64_t default_seed) {
+  return ForcedSeed().value_or(default_seed);
+}
+
+std::string ReplayLine(uint64_t seed) {
+  const std::string n = std::to_string(seed);
+  return "[proptest] replay: re-run this test binary with --seed=" + n +
+         "  (or HPM_PROP_SEED=" + n + ")";
+}
+
+uint64_t CaseSeed(uint64_t base_seed, uint64_t index) {
+  return SplitMix64(base_seed + SplitMix64(index));
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a, then one splitmix round to spread short names.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return SplitMix64(h);
+}
+
+}  // namespace proptest
+}  // namespace hpm

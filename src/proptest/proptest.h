@@ -1,0 +1,178 @@
+// Property-based testing harness (see docs/TESTING.md).
+//
+// A Property couples a deterministic generator (seeded Random -> input),
+// a pure check (input -> failure message or empty string), and an
+// optional shrinker (input -> smaller candidate inputs). The runner
+// derives one seed per case from a base seed, reports the first failure
+// after bounded greedy shrinking, and prints a one-line `--seed=<n>`
+// replay command so any failure can be reproduced exactly — re-run the
+// test binary with `--seed=<n>` (or HPM_PROP_SEED=<n> in the
+// environment) and the runner executes just that case.
+//
+// The harness is gtest-agnostic: Run() returns a RunResult and test
+// code asserts on it (EXPECT_TRUE(r.ok) << r.message). Non-property
+// randomized tests reuse SeedForTest()/ReplayLine() so their failures
+// carry the same replay line.
+
+#ifndef HPM_PROPTEST_PROPTEST_H_
+#define HPM_PROPTEST_PROPTEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hpm {
+namespace proptest {
+
+/// Per-property runner configuration.
+struct RunnerOptions {
+  /// Random cases to run when no seed is forced.
+  int num_cases = 100;
+
+  /// Base seed the per-case seeds are derived from. Distinct properties
+  /// in one binary should use distinct bases (the default mixes in the
+  /// property name, so leaving it 0 is fine).
+  uint64_t base_seed = 0;
+
+  /// Total check() invocations the shrinking pass may spend.
+  int max_shrink_checks = 200;
+};
+
+/// The seed forced for this process via `--seed=<n>` (parsed by
+/// RunGtestMain) or the HPM_PROP_SEED environment variable; nullopt when
+/// neither is present.
+std::optional<uint64_t> ForcedSeed();
+
+/// Installs a forced seed (used by the `--seed=` flag; tests may call it
+/// to pin a case programmatically).
+void SetForcedSeed(uint64_t seed);
+
+/// The seed a randomized test should use: ForcedSeed() when set, else
+/// `default_seed`. Pair with ReplayLine(seed) in a SCOPED_TRACE so every
+/// failure names its seed.
+uint64_t SeedForTest(uint64_t default_seed);
+
+/// The one-line replay recipe printed on every failure, e.g.
+/// "[proptest] replay: <binary> --seed=12345  (or HPM_PROP_SEED=12345)".
+std::string ReplayLine(uint64_t seed);
+
+/// Seed of case `index` under `base_seed` (splitmix64 of the pair).
+uint64_t CaseSeed(uint64_t base_seed, uint64_t index);
+
+/// Stable 64-bit hash of a property name, mixed into the base seed so
+/// two properties with base_seed 0 explore different streams.
+uint64_t HashName(const std::string& name);
+
+/// Outcome of a property run.
+struct RunResult {
+  bool ok = true;
+
+  /// On failure: property name, failing seed, replay line, the check's
+  /// failure description, and the (possibly shrunk) input rendering.
+  std::string message;
+};
+
+/// A named property over inputs of type T.
+template <typename T>
+class Property {
+ public:
+  using Generator = std::function<T(Random&)>;
+  /// Returns "" when the input satisfies the property, else a failure
+  /// description. Must be a pure function of the input.
+  using Check = std::function<std::string(const T&)>;
+  /// Returns strictly-simpler candidate inputs to try while shrinking.
+  using Shrinker = std::function<std::vector<T>(const T&)>;
+  using Printer = std::function<std::string(const T&)>;
+
+  Property(std::string name, Generator gen, Check check)
+      : name_(std::move(name)),
+        gen_(std::move(gen)),
+        check_(std::move(check)) {}
+
+  Property& WithShrinker(Shrinker shrink) {
+    shrink_ = std::move(shrink);
+    return *this;
+  }
+
+  Property& WithPrinter(Printer print) {
+    print_ = std::move(print);
+    return *this;
+  }
+
+  /// Runs the property: one case per derived seed, or exactly the forced
+  /// case when a seed is forced for the process.
+  RunResult Run(const RunnerOptions& options = {}) const {
+    const std::optional<uint64_t> forced = ForcedSeed();
+    if (forced.has_value()) return RunCase(*forced);
+    const uint64_t base = options.base_seed ^ HashName(name_);
+    for (int i = 0; i < options.num_cases; ++i) {
+      RunResult result = RunCase(CaseSeed(base, static_cast<uint64_t>(i)),
+                                 options.max_shrink_checks);
+      if (!result.ok) return result;
+    }
+    return RunResult{};
+  }
+
+ private:
+  RunResult RunCase(uint64_t seed, int max_shrink_checks = 0) const {
+    Random rng(seed);
+    T input = gen_(rng);
+    std::string failure = check_(input);
+    if (failure.empty()) return RunResult{};
+
+    // Greedy bounded shrink: keep the smallest input that still fails.
+    int shrink_steps = 0;
+    if (shrink_) {
+      int budget = max_shrink_checks;
+      bool progressed = true;
+      while (progressed && budget > 0) {
+        progressed = false;
+        for (T& candidate : shrink_(input)) {
+          if (--budget < 0) break;
+          std::string candidate_failure = check_(candidate);
+          if (!candidate_failure.empty()) {
+            input = std::move(candidate);
+            failure = std::move(candidate_failure);
+            ++shrink_steps;
+            progressed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    RunResult result;
+    result.ok = false;
+    result.message = "property '" + name_ + "' failed (seed " +
+                     std::to_string(seed) + ")\n" + ReplayLine(seed) + "\n" +
+                     failure;
+    if (shrink_steps > 0) {
+      result.message +=
+          "\n(input shrunk " + std::to_string(shrink_steps) + " steps)";
+    }
+    if (print_) result.message += "\ninput: " + print_(input);
+    return result;
+  }
+
+  std::string name_;
+  Generator gen_;
+  Check check_;
+  Shrinker shrink_;
+  Printer print_;
+};
+
+/// gtest main replacement for property-test binaries: strips a leading
+/// `--seed=<n>` / `--seed <n>` argument into SetForcedSeed, initialises
+/// gtest with the rest, and runs all tests. Defined in proptest_main.cc
+/// (link hpm_proptest_main instead of GTest::gtest_main).
+int RunGtestMain(int argc, char** argv);
+
+}  // namespace proptest
+}  // namespace hpm
+
+#endif  // HPM_PROPTEST_PROPTEST_H_

@@ -1,0 +1,63 @@
+// main() for property-test binaries: accepts `--seed=<n>` (or
+// `--seed <n>`) before gtest flags and pins the proptest harness to that
+// single case — the replay path every failure message prints. All other
+// arguments pass through to gtest.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proptest/proptest.h"
+
+namespace hpm {
+namespace proptest {
+
+namespace {
+
+bool ParseSeedValue(const char* text, uint64_t* seed) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *seed = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+int RunGtestMain(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    uint64_t seed = 0;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      if (!ParseSeedValue(argv[i] + 7, &seed)) {
+        std::fprintf(stderr, "invalid --seed value: %s\n", argv[i] + 7);
+        return 2;
+      }
+      SetForcedSeed(seed);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      if (!ParseSeedValue(argv[i + 1], &seed)) {
+        std::fprintf(stderr, "invalid --seed value: %s\n", argv[i + 1]);
+        return 2;
+      }
+      SetForcedSeed(seed);
+      ++i;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int passthrough_argc = static_cast<int>(passthrough.size());
+  passthrough.push_back(nullptr);
+  ::testing::InitGoogleTest(&passthrough_argc, passthrough.data());
+  return RUN_ALL_TESTS();
+}
+
+}  // namespace proptest
+}  // namespace hpm
+
+int main(int argc, char** argv) {
+  return hpm::proptest::RunGtestMain(argc, argv);
+}

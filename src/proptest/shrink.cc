@@ -1,0 +1,32 @@
+#include "proptest/shrink.h"
+
+namespace hpm {
+namespace proptest {
+
+std::vector<DynamicBitset> ShrinkBitset(const DynamicBitset& bits) {
+  std::vector<DynamicBitset> out;
+  for (const size_t pos : bits.SetBits()) {
+    DynamicBitset smaller = bits;
+    smaller.Set(pos, false);
+    out.push_back(std::move(smaller));
+  }
+  return out;
+}
+
+std::vector<Trajectory> ShrinkTrajectory(const Trajectory& trajectory) {
+  std::vector<Trajectory> out;
+  const size_t n = trajectory.size();
+  if (n <= 1) return out;
+  const auto prefix = [&trajectory](size_t count) {
+    std::vector<Point> points(trajectory.points().begin(),
+                              trajectory.points().begin() +
+                                  static_cast<ptrdiff_t>(count));
+    return Trajectory(std::move(points));
+  };
+  out.push_back(prefix(n / 2));
+  out.push_back(prefix(n - 1));
+  return out;
+}
+
+}  // namespace proptest
+}  // namespace hpm

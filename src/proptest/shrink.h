@@ -1,0 +1,53 @@
+// Bounded shrinking helpers for the property harness: each function
+// returns a list of strictly-simpler candidates, ordered most-aggressive
+// first so the runner's greedy pass converges in few checks.
+
+#ifndef HPM_PROPTEST_SHRINK_H_
+#define HPM_PROPTEST_SHRINK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bitset/dynamic_bitset.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+namespace proptest {
+
+/// Candidates for a vector input: both halves, then the vector with one
+/// element deleted (at most `max_single_deletions` evenly spread
+/// positions, so huge inputs stay cheap).
+template <typename T>
+std::vector<std::vector<T>> ShrinkVector(const std::vector<T>& v,
+                                         size_t max_single_deletions = 16) {
+  std::vector<std::vector<T>> out;
+  if (v.size() <= 1) return out;
+  const size_t half = v.size() / 2;
+  out.emplace_back(v.begin(), v.begin() + static_cast<ptrdiff_t>(half));
+  out.emplace_back(v.begin() + static_cast<ptrdiff_t>(half), v.end());
+  const size_t deletions =
+      v.size() < max_single_deletions ? v.size() : max_single_deletions;
+  for (size_t k = 0; k < deletions; ++k) {
+    const size_t pos = k * v.size() / deletions;
+    std::vector<T> smaller;
+    smaller.reserve(v.size() - 1);
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i != pos) smaller.push_back(v[i]);
+    }
+    out.push_back(std::move(smaller));
+  }
+  return out;
+}
+
+/// Candidates for a bitset input: clear one set bit at a time (the size
+/// is part of the input's type-level contract and is preserved).
+std::vector<DynamicBitset> ShrinkBitset(const DynamicBitset& bits);
+
+/// Candidates for a trajectory input: prefix of half the samples, then
+/// prefixes dropping one trailing sample.
+std::vector<Trajectory> ShrinkTrajectory(const Trajectory& trajectory);
+
+}  // namespace proptest
+}  // namespace hpm
+
+#endif  // HPM_PROPTEST_SHRINK_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "proptest/proptest.h"
+
 #include <algorithm>
 #include <vector>
 
@@ -189,7 +191,9 @@ class BitsetPropertyTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(BitsetPropertyTest, AlgebraicIdentitiesHold) {
   const size_t n = GetParam();
-  Random rng(n * 31 + 7);
+  const uint64_t seed = proptest::SeedForTest(n * 31 + 7);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int round = 0; round < 50; ++round) {
     DynamicBitset a(n), b(n);
     for (size_t i = 0; i < n; ++i) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "proptest/proptest.h"
+
 #include <algorithm>
 #include <set>
 #include <vector>
@@ -104,7 +106,9 @@ TEST(DbscanTest, ChainedDensityReachability) {
 }
 
 TEST(DbscanTest, LabelsAreDense) {
-  Random rng(77);
+  const uint64_t seed = proptest::SeedForTest(77);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   std::vector<Point> pts;
   for (int c = 0; c < 4; ++c) {
     for (int i = 0; i < 20; ++i) {
@@ -127,7 +131,10 @@ class DbscanPropertyTest
 
 TEST_P(DbscanPropertyTest, CoreInvariantsHold) {
   const auto [eps, min_pts] = GetParam();
-  Random rng(static_cast<uint64_t>(eps * 10 + min_pts));
+  const uint64_t seed =
+      proptest::SeedForTest(static_cast<uint64_t>(eps * 10 + min_pts));
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   std::vector<Point> pts(200);
   for (auto& p : pts) {
     p = {rng.UniformDouble(0, 50), rng.UniformDouble(0, 50)};

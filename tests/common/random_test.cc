@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "proptest/proptest.h"
+
 #include <cmath>
 #include <set>
 #include <vector>
@@ -26,21 +28,27 @@ TEST(RandomTest, DifferentSeedsDiffer) {
 }
 
 TEST(RandomTest, UniformStaysInRange) {
-  Random rng(7);
+  const uint64_t seed = proptest::SeedForTest(7);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 10000; ++i) {
     EXPECT_LT(rng.Uniform(17), 17u);
   }
 }
 
 TEST(RandomTest, UniformCoversAllValues) {
-  Random rng(11);
+  const uint64_t seed = proptest::SeedForTest(11);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   std::set<uint64_t> seen;
   for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
   EXPECT_EQ(seen.size(), 8u);
 }
 
 TEST(RandomTest, UniformIntInclusiveBounds) {
-  Random rng(13);
+  const uint64_t seed = proptest::SeedForTest(13);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   bool saw_lo = false, saw_hi = false;
   for (int i = 0; i < 5000; ++i) {
     const int64_t v = rng.UniformInt(-3, 3);
@@ -54,12 +62,16 @@ TEST(RandomTest, UniformIntInclusiveBounds) {
 }
 
 TEST(RandomTest, UniformIntSingleton) {
-  Random rng(17);
+  const uint64_t seed = proptest::SeedForTest(17);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
 }
 
 TEST(RandomTest, NextDoubleInUnitInterval) {
-  Random rng(19);
+  const uint64_t seed = proptest::SeedForTest(19);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 10000; ++i) {
     const double d = rng.NextDouble();
     EXPECT_GE(d, 0.0);
@@ -68,7 +80,9 @@ TEST(RandomTest, NextDoubleInUnitInterval) {
 }
 
 TEST(RandomTest, NextDoubleMeanNearHalf) {
-  Random rng(23);
+  const uint64_t seed = proptest::SeedForTest(23);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   double sum = 0.0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) sum += rng.NextDouble();
@@ -76,7 +90,9 @@ TEST(RandomTest, NextDoubleMeanNearHalf) {
 }
 
 TEST(RandomTest, UniformDoubleRespectsBounds) {
-  Random rng(29);
+  const uint64_t seed = proptest::SeedForTest(29);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 1000; ++i) {
     const double d = rng.UniformDouble(-2.5, 7.5);
     EXPECT_GE(d, -2.5);
@@ -85,7 +101,9 @@ TEST(RandomTest, UniformDoubleRespectsBounds) {
 }
 
 TEST(RandomTest, GaussianMomentsApproximatelyStandard) {
-  Random rng(31);
+  const uint64_t seed = proptest::SeedForTest(31);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   const int n = 200000;
   double sum = 0.0, sum_sq = 0.0;
   for (int i = 0; i < n; ++i) {
@@ -100,7 +118,9 @@ TEST(RandomTest, GaussianMomentsApproximatelyStandard) {
 }
 
 TEST(RandomTest, GaussianShiftAndScale) {
-  Random rng(37);
+  const uint64_t seed = proptest::SeedForTest(37);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   const int n = 100000;
   double sum = 0.0;
   for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
@@ -108,7 +128,9 @@ TEST(RandomTest, GaussianShiftAndScale) {
 }
 
 TEST(RandomTest, BernoulliEdgeProbabilities) {
-  Random rng(41);
+  const uint64_t seed = proptest::SeedForTest(41);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 100; ++i) {
     EXPECT_FALSE(rng.Bernoulli(0.0));
     EXPECT_TRUE(rng.Bernoulli(1.0));
@@ -118,7 +140,9 @@ TEST(RandomTest, BernoulliEdgeProbabilities) {
 }
 
 TEST(RandomTest, BernoulliFrequencyMatchesP) {
-  Random rng(43);
+  const uint64_t seed = proptest::SeedForTest(43);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   const int n = 100000;
   int hits = 0;
   for (int i = 0; i < n; ++i) {
@@ -131,7 +155,9 @@ class RandomUniformSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomUniformSweep, ModuloUnbiasedWithinTolerance) {
   const uint64_t n = GetParam();
-  Random rng(n * 7 + 1);
+  const uint64_t seed = proptest::SeedForTest(n * 7 + 1);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   std::vector<int> counts(static_cast<size_t>(n), 0);
   const int draws = 20000;
   for (int i = 0; i < draws; ++i) {

@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include "proptest/proptest.h"
+
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "core/hybrid_predictor.h"
@@ -149,7 +154,9 @@ TEST(ModelIoTest, RandomByteCorruptionNeverCrashes) {
   std::fclose(in);
   ASSERT_GT(bytes.size(), 64u);
 
-  Random rng(99);
+  const uint64_t seed = proptest::SeedForTest(99);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   const std::string fuzz_path = TempPath("model_fuzz.hpm");
   for (int round = 0; round < 60; ++round) {
     std::string corrupted = bytes;
@@ -180,6 +187,150 @@ TEST(ModelIoTest, SaveToUnwritablePathFails) {
             StatusCode::kInvalidArgument);
 }
 
+// --- Surgical field corruption ---------------------------------------
+//
+// The loader validates every count and size it reads; these tests flip
+// one specific field each and assert the file is rejected (instead of,
+// say, a multi-gigabyte allocation on a corrupt count). Offsets of the
+// tail fields are computed from the trained model's own structure:
+//   ... | u64 num_regions | regions | u64 num_patterns | patterns
+//       | u64 num_subs(end)
+// where each pattern is u64 premise_size + 8*premise + 24 bytes and
+// each region is 48 bytes + its MBR (1 byte empty flag, +32 if set).
+
+std::vector<unsigned char> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::vector<unsigned char> bytes;
+  unsigned char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<unsigned char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+void OverwriteU64(std::vector<unsigned char>& bytes, size_t offset,
+                  uint64_t value) {
+  ASSERT_LE(offset + sizeof(value), bytes.size());
+  std::memcpy(bytes.data() + offset, &value, sizeof(value));
+}
+
+class ModelCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto trained = HybridPredictor::Train(MakeHistory(30), Options());
+    ASSERT_TRUE(trained.ok());
+    model_ = std::move(*trained);
+    ASSERT_FALSE(model_->patterns().empty());
+    path_ = TempPath("model_corrupt_base.hpm");
+    ASSERT_TRUE(model_->SaveToFile(path_).ok());
+    bytes_ = ReadFileBytes(path_);
+
+    size_t patterns_bytes = 0;
+    for (const TrajectoryPattern& p : model_->patterns()) {
+      patterns_bytes += 8 + 8 * p.premise.size() + 24;
+    }
+    size_t regions_bytes = 0;
+    for (const FrequentRegion& r : model_->regions().regions()) {
+      regions_bytes += 48 + (r.mbr.IsEmpty() ? 1 : 33);
+    }
+    num_subs_offset_ = bytes_.size() - 8;
+    first_premise_size_offset_ = num_subs_offset_ - patterns_bytes;
+    num_patterns_offset_ = first_premise_size_offset_ - 8;
+    num_regions_offset_ = num_patterns_offset_ - regions_bytes - 8;
+  }
+
+  /// Writes the corrupted bytes and returns the load status.
+  Status LoadCorrupted(const char* name) {
+    const std::string path = TempPath(name);
+    WriteFileBytes(path, bytes_);
+    return HybridPredictor::LoadFromFile(path).status();
+  }
+
+  std::unique_ptr<HybridPredictor> model_;
+  std::string path_;
+  std::vector<unsigned char> bytes_;
+  size_t num_subs_offset_ = 0;
+  size_t first_premise_size_offset_ = 0;
+  size_t num_patterns_offset_ = 0;
+  size_t num_regions_offset_ = 0;
+};
+
+TEST_F(ModelCorruptionTest, SanityCheckOffsetsByRoundTrip) {
+  // The computed offsets must point at the real fields: overwriting each
+  // with its current value must leave the file loadable.
+  uint64_t current = 0;
+  std::memcpy(&current, bytes_.data() + num_patterns_offset_, 8);
+  ASSERT_EQ(current, model_->patterns().size());
+  std::memcpy(&current, bytes_.data() + num_regions_offset_, 8);
+  ASSERT_EQ(current, model_->regions().NumRegions());
+  std::memcpy(&current, bytes_.data() + first_premise_size_offset_, 8);
+  ASSERT_EQ(current, model_->patterns().front().premise.size());
+  EXPECT_TRUE(LoadCorrupted("model_untouched.hpm").ok());
+}
+
+TEST_F(ModelCorruptionTest, RejectsUnsupportedFormatVersion) {
+  // Clobber just the u32 version after the 4-byte magic.
+  const uint32_t bad_version = 0xdead;
+  std::memcpy(bytes_.data() + 4, &bad_version, sizeof(bad_version));
+  const Status status = LoadCorrupted("model_bad_version.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("unsupported model format version"),
+            std::string::npos);
+}
+
+TEST_F(ModelCorruptionTest, RejectsCorruptPeriod) {
+  // The period is the first options field, an int64 right after
+  // magic + version.
+  OverwriteU64(bytes_, 8, static_cast<uint64_t>(-1));
+  const Status status = LoadCorrupted("model_bad_period.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("corrupt period"), std::string::npos);
+}
+
+TEST_F(ModelCorruptionTest, RejectsOversizedRegionCount) {
+  OverwriteU64(bytes_, num_regions_offset_, 1ull << 40);
+  const Status status = LoadCorrupted("model_bad_region_count.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("corrupt region count"),
+            std::string::npos);
+}
+
+TEST_F(ModelCorruptionTest, RejectsOversizedPatternCount) {
+  OverwriteU64(bytes_, num_patterns_offset_, 1ull << 40);
+  const Status status = LoadCorrupted("model_bad_pattern_count.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("corrupt pattern count"),
+            std::string::npos);
+}
+
+TEST_F(ModelCorruptionTest, RejectsOversizedPremiseKey) {
+  // A premise longer than 64 regions cannot be encoded into a pattern
+  // key; the loader must reject it before touching the ids.
+  OverwriteU64(bytes_, first_premise_size_offset_, 65);
+  const Status status = LoadCorrupted("model_oversized_premise.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("corrupt premise size"),
+            std::string::npos);
+}
+
+TEST_F(ModelCorruptionTest, RejectsTruncatedTail) {
+  bytes_.resize(bytes_.size() - 4);  // Clip half of num_subs.
+  const Status status = LoadCorrupted("model_clipped_tail.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos);
+}
+
 TEST(IncorporateTest, NewDataOnKnownRouteAddsNothingNew) {
   auto trained = HybridPredictor::Train(MakeHistory(30), Options());
   ASSERT_TRUE(trained.ok());
@@ -204,7 +355,9 @@ TEST(IncorporateTest, CrossRoutePatternsEmergeFromNewBehaviour) {
   // given day, then feed new days that *switch* from A to B mid-period:
   // region structure already covers both routes, so new cross-route
   // rules (A-premise -> B-consequence) become minable and insertable.
-  Random rng(17);
+  const uint64_t seed = proptest::SeedForTest(17);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   Trajectory history;
   for (int d = 0; d < 30; ++d) {
     const bool b = d % 2 == 0;

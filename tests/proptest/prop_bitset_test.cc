@@ -1,0 +1,162 @@
+// Property suite: DynamicBitset vs a std::vector<bool> oracle. Every
+// word-packed operation must agree with the obvious bit-at-a-time
+// implementation on random inputs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitset/dynamic_bitset.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+#include "proptest/shrink.h"
+
+namespace hpm {
+namespace {
+
+using proptest::Property;
+using proptest::RunnerOptions;
+
+/// A pair of equal-size bitsets plus the target size of a Resize step.
+struct BitsetCase {
+  DynamicBitset a;
+  DynamicBitset b;
+  size_t resize_to = 0;
+};
+
+std::vector<bool> ToBools(const DynamicBitset& bits) {
+  std::vector<bool> out(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) out[i] = bits.Test(i);
+  return out;
+}
+
+std::string DescribeMismatch(const std::string& what,
+                             const BitsetCase& input) {
+  return what + "\n  a = " + input.a.ToString() +
+         "\n  b = " + input.b.ToString();
+}
+
+BitsetCase GenCase(Random& rng) {
+  BitsetCase c;
+  // Sizes straddle the 64-bit word boundaries on purpose.
+  const size_t size = rng.Uniform(200);
+  const double density = rng.UniformDouble(0.05, 0.95);
+  c.a = proptest::RandomBitset(rng, size, density);
+  c.b = proptest::RandomBitset(rng, size, density);
+  c.resize_to = rng.Uniform(260);
+  return c;
+}
+
+std::string CheckAlgebra(const BitsetCase& input) {
+  const std::vector<bool> a = ToBools(input.a);
+  const std::vector<bool> b = ToBools(input.b);
+  const size_t n = a.size();
+
+  size_t count_a = 0, common = 0, difference = 0;
+  bool contains = true;
+  int highest = -1;
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i]) {
+      ++count_a;
+      highest = static_cast<int>(i);
+      if (!b[i]) ++difference;
+    }
+    if (a[i] && b[i]) ++common;
+    if (b[i] && !a[i]) contains = false;
+  }
+  if (input.a.Count() != count_a) {
+    return DescribeMismatch("Count() disagrees with the oracle", input);
+  }
+  if (input.a.HighestSetBit() != highest) {
+    return DescribeMismatch("HighestSetBit() disagrees", input);
+  }
+  if (input.a.Contains(input.b) != contains) {
+    return DescribeMismatch("Contains() disagrees", input);
+  }
+  if (input.a.AnyCommon(input.b) != (common > 0)) {
+    return DescribeMismatch("AnyCommon() disagrees", input);
+  }
+  if (input.a.DifferenceCount(input.b) != difference) {
+    return DescribeMismatch("DifferenceCount() disagrees", input);
+  }
+
+  const DynamicBitset and_result = input.a & input.b;
+  const DynamicBitset or_result = input.a | input.b;
+  const DynamicBitset xor_result = input.a ^ input.b;
+  for (size_t i = 0; i < n; ++i) {
+    if (and_result.Test(i) != (a[i] && b[i])) {
+      return DescribeMismatch("operator& wrong at bit " + std::to_string(i),
+                              input);
+    }
+    if (or_result.Test(i) != (a[i] || b[i])) {
+      return DescribeMismatch("operator| wrong at bit " + std::to_string(i),
+                              input);
+    }
+    if (xor_result.Test(i) != (a[i] != b[i])) {
+      return DescribeMismatch("operator^ wrong at bit " + std::to_string(i),
+                              input);
+    }
+  }
+
+  // SetBits must list exactly the oracle's set positions, ascending.
+  const std::vector<size_t> set_bits = input.a.SetBits();
+  size_t expected_index = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a[i]) continue;
+    if (expected_index >= set_bits.size() ||
+        set_bits[expected_index] != i) {
+      return DescribeMismatch("SetBits() disagrees", input);
+    }
+    ++expected_index;
+  }
+  if (expected_index != set_bits.size()) {
+    return DescribeMismatch("SetBits() has extra positions", input);
+  }
+
+  // String round-trip and hashing of equal values.
+  const DynamicBitset reparsed =
+      DynamicBitset::FromString(input.a.ToString());
+  if (reparsed != input.a || reparsed.Hash() != input.a.Hash()) {
+    return DescribeMismatch("ToString/FromString round-trip broke", input);
+  }
+
+  // Resize keeps the surviving prefix and zeroes everything new.
+  DynamicBitset resized = input.a;
+  resized.Resize(input.resize_to);
+  for (size_t i = 0; i < input.resize_to; ++i) {
+    const bool expected = i < n ? a[i] : false;
+    if (resized.Test(i) != expected) {
+      return DescribeMismatch(
+          "Resize(" + std::to_string(input.resize_to) +
+              ") wrong at bit " + std::to_string(i),
+          input);
+    }
+  }
+  return "";
+}
+
+std::vector<BitsetCase> ShrinkCase(const BitsetCase& input) {
+  std::vector<BitsetCase> out;
+  for (DynamicBitset& smaller : proptest::ShrinkBitset(input.a)) {
+    out.push_back({std::move(smaller), input.b, input.resize_to});
+  }
+  for (DynamicBitset& smaller : proptest::ShrinkBitset(input.b)) {
+    out.push_back({input.a, std::move(smaller), input.resize_to});
+  }
+  return out;
+}
+
+TEST(PropBitsetTest, AlgebraMatchesVectorBoolOracle) {
+  Property<BitsetCase> property("bitset-vs-vector-bool", GenCase,
+                                CheckAlgebra);
+  property.WithShrinker(ShrinkCase);
+  RunnerOptions options;
+  options.num_cases = 200;
+  const proptest::RunResult result = property.Run(options);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,174 @@
+// Property suite: grid-accelerated DBSCAN vs a naive O(n^2) oracle.
+// Core points, cluster connectivity, border attachment and noise must
+// all match the textbook definitions on random inputs.
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+#include "proptest/shrink.h"
+
+namespace hpm {
+namespace {
+
+using proptest::Property;
+using proptest::RunnerOptions;
+
+struct DbscanCase {
+  std::vector<Point> points;
+  DbscanParams params;
+};
+
+DbscanCase GenCase(Random& rng) {
+  DbscanCase c;
+  c.params.eps = rng.UniformDouble(8.0, 40.0);
+  c.params.min_pts = static_cast<int>(2 + rng.Uniform(5));
+  const BoundingBox extent({0.0, 0.0}, {1000.0, 1000.0});
+  // A few Gaussian blobs (clusterable) plus uniform background noise.
+  const int blobs = static_cast<int>(rng.Uniform(4));
+  for (int b = 0; b < blobs; ++b) {
+    const Point center = proptest::RandomPoint(rng, extent);
+    const double stddev = rng.UniformDouble(2.0, 25.0);
+    const int members = static_cast<int>(2 + rng.Uniform(30));
+    for (int i = 0; i < members; ++i) {
+      c.points.push_back({center.x + rng.Gaussian(0.0, stddev),
+                          center.y + rng.Gaussian(0.0, stddev)});
+    }
+  }
+  const int background = static_cast<int>(rng.Uniform(40));
+  for (int i = 0; i < background; ++i) {
+    c.points.push_back(proptest::RandomPoint(rng, extent));
+  }
+  return c;
+}
+
+/// Union-find over point indices.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+std::string CheckAgainstOracle(const DbscanCase& input) {
+  const StatusOr<DbscanResult> result =
+      Dbscan(input.points, input.params);
+  if (!result.ok()) return "Dbscan failed: " + result.status().ToString();
+  const std::vector<int>& labels = result->labels;
+  const size_t n = input.points.size();
+  if (labels.size() != n) return "label count mismatch";
+
+  // Oracle: quadratic neighbourhood counts -> core flags.
+  const double eps = input.params.eps;
+  std::vector<bool> core(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    int neighbours = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (Distance(input.points[i], input.points[j]) <= eps) ++neighbours;
+    }
+    core[i] = neighbours >= input.params.min_pts;
+  }
+
+  // Connected components of the core-core eps graph.
+  DisjointSets components(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!core[i]) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (core[j] && Distance(input.points[i], input.points[j]) <= eps) {
+        components.Union(i, j);
+      }
+    }
+  }
+
+  int max_label = -1;
+  for (size_t i = 0; i < n; ++i) {
+    max_label = std::max(max_label, labels[i]);
+    if (labels[i] < DbscanResult::kNoise ||
+        labels[i] >= result->num_clusters) {
+      return "label " + std::to_string(labels[i]) + " out of range at " +
+             std::to_string(i);
+    }
+    if (core[i]) {
+      if (labels[i] == DbscanResult::kNoise) {
+        return "core point " + std::to_string(i) + " labelled noise";
+      }
+      continue;
+    }
+    // Non-core: must be noise iff no core point reaches it; otherwise
+    // it must carry the label of some core point within eps.
+    bool reachable = false;
+    bool label_matches_reacher = false;
+    for (size_t j = 0; j < n; ++j) {
+      if (!core[j] || Distance(input.points[i], input.points[j]) > eps) {
+        continue;
+      }
+      reachable = true;
+      if (labels[i] == labels[j]) label_matches_reacher = true;
+    }
+    if (!reachable && labels[i] != DbscanResult::kNoise) {
+      return "unreachable point " + std::to_string(i) +
+             " assigned to cluster " + std::to_string(labels[i]);
+    }
+    if (reachable &&
+        (labels[i] == DbscanResult::kNoise || !label_matches_reacher)) {
+      return "border point " + std::to_string(i) +
+             " not attached to any reaching cluster";
+    }
+  }
+  if (max_label + 1 != result->num_clusters) {
+    return "num_clusters=" + std::to_string(result->num_clusters) +
+           " but max label is " + std::to_string(max_label);
+  }
+
+  // Core points agree with the component structure in both directions.
+  for (size_t i = 0; i < n; ++i) {
+    if (!core[i]) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!core[j]) continue;
+      const bool same_component =
+          components.Find(i) == components.Find(j);
+      const bool same_label = labels[i] == labels[j];
+      if (same_component != same_label) {
+        return "core points " + std::to_string(i) + " and " +
+               std::to_string(j) +
+               (same_component ? " split one density component"
+                               : " merged two density components");
+      }
+    }
+  }
+  return "";
+}
+
+std::vector<DbscanCase> ShrinkCase(const DbscanCase& input) {
+  std::vector<DbscanCase> out;
+  for (std::vector<Point>& fewer : proptest::ShrinkVector(input.points)) {
+    out.push_back({std::move(fewer), input.params});
+  }
+  return out;
+}
+
+TEST(PropDbscanTest, MatchesQuadraticOracle) {
+  Property<DbscanCase> property("dbscan-vs-naive-oracle", GenCase,
+                                CheckAgainstOracle);
+  property.WithShrinker(ShrinkCase);
+  RunnerOptions options;
+  options.num_cases = 60;
+  const proptest::RunResult result = property.Run(options);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,103 @@
+// Property suite: Householder QR least squares vs Gaussian elimination
+// on random well-conditioned systems — two independent solver families
+// must produce the same solution.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+
+namespace hpm {
+namespace {
+
+using proptest::Property;
+using proptest::RunnerOptions;
+
+struct SquareSystem {
+  Matrix a;
+  Matrix b;
+};
+
+SquareSystem GenSquareSystem(Random& rng) {
+  const size_t n = 1 + rng.Uniform(8);
+  const size_t rhs = 1 + rng.Uniform(3);
+  return {proptest::RandomWellConditionedMatrix(rng, n),
+          proptest::RandomMatrix(rng, n, rhs, -10.0, 10.0)};
+}
+
+std::string CheckSquareAgreement(const SquareSystem& input) {
+  const StatusOr<Matrix> gauss = SolveLinearSystem(input.a, input.b);
+  const StatusOr<Matrix> qr = SolveLeastSquaresQr(input.a, input.b);
+  if (!gauss.ok()) {
+    return "Gaussian elimination failed on a well-conditioned system: " +
+           gauss.status().ToString();
+  }
+  if (!qr.ok()) {
+    return "QR failed on a well-conditioned system: " +
+           qr.status().ToString();
+  }
+  const double diff = gauss->MaxAbsDiff(*qr);
+  if (diff > 1e-8) {
+    return "solvers disagree by " + std::to_string(diff) + " on A =\n" +
+           input.a.ToString();
+  }
+  return "";
+}
+
+TEST(PropLinalgTest, QrMatchesGaussianEliminationOnSquareSystems) {
+  Property<SquareSystem> property("qr-vs-gaussian-square", GenSquareSystem,
+                                  CheckSquareAgreement);
+  RunnerOptions options;
+  options.num_cases = 150;
+  const proptest::RunResult result = property.Run(options);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+/// Overdetermined consistent system: B = A * X0 with full-rank tall A,
+/// so the least-squares minimiser is exactly X0.
+struct TallSystem {
+  Matrix a;
+  Matrix x0;
+};
+
+TallSystem GenTallSystem(Random& rng) {
+  const size_t cols = 1 + rng.Uniform(5);
+  const size_t rows = cols + 1 + rng.Uniform(8);
+  const size_t rhs = 1 + rng.Uniform(2);
+  Matrix a = proptest::RandomMatrix(rng, rows, cols, -1.0, 1.0);
+  // A diagonally-boosted top block guarantees full column rank.
+  for (size_t i = 0; i < cols; ++i) a(i, i) += static_cast<double>(cols);
+  return {std::move(a), proptest::RandomMatrix(rng, cols, rhs, -5.0, 5.0)};
+}
+
+std::string CheckTallRecovery(const TallSystem& input) {
+  const Matrix b = input.a * input.x0;
+  const StatusOr<Matrix> solved = SolveLeastSquaresQr(input.a, b);
+  if (!solved.ok()) {
+    return "QR failed on a full-rank tall system: " +
+           solved.status().ToString();
+  }
+  const double diff = solved->MaxAbsDiff(input.x0);
+  if (diff > 1e-8) {
+    return "QR missed the exact least-squares solution by " +
+           std::to_string(diff);
+  }
+  return "";
+}
+
+TEST(PropLinalgTest, QrRecoversExactSolutionOfConsistentTallSystems) {
+  Property<TallSystem> property("qr-consistent-tall", GenTallSystem,
+                                CheckTallRecovery);
+  RunnerOptions options;
+  options.num_cases = 150;
+  const proptest::RunResult result = property.Run(options);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+}  // namespace
+}  // namespace hpm

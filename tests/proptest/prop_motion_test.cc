@@ -1,0 +1,101 @@
+// Property suite: motion functions vs closed-form linear motion. On an
+// exactly-linear track l(t) = l0 + v*t both the linear model and the
+// RMF recurrence (which can express linear motion exactly, e.g.
+// l_t = 2*l_{t-1} - l_{t-2}) must reproduce the closed form.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "motion/linear_motion.h"
+#include "motion/recursive_motion.h"
+#include "proptest/generators.h"
+#include "proptest/proptest.h"
+
+namespace hpm {
+namespace {
+
+using proptest::Property;
+using proptest::RunnerOptions;
+
+struct LinearCase {
+  Trajectory track;
+  Timestamp horizon = 1;
+};
+
+constexpr Timestamp kMaxHorizon = 40;
+
+LinearCase GenCase(Random& rng) {
+  LinearCase c;
+  const size_t n = 3 + rng.Uniform(28);
+  const BoundingBox extent({0.0, 0.0}, {10000.0, 10000.0});
+  c.track = proptest::LinearTrack(rng, n, extent, kMaxHorizon);
+  c.horizon = static_cast<Timestamp>(1 + rng.Uniform(kMaxHorizon));
+  return c;
+}
+
+Point ClosedForm(const LinearCase& input, Timestamp tq) {
+  const Point l0 = input.track.At(0);
+  const Point v = input.track.size() > 1
+                      ? input.track.At(1) - input.track.At(0)
+                      : Point{0.0, 0.0};
+  return l0 + v * static_cast<double>(tq);
+}
+
+std::string CheckModel(MotionFunction& model, const LinearCase& input,
+                       double tolerance) {
+  const Timestamp now = static_cast<Timestamp>(input.track.size()) - 1;
+  const std::vector<TimedPoint> recent =
+      input.track.RecentMovements(now, static_cast<int>(input.track.size()));
+  const Status fit = model.Fit(recent);
+  if (!fit.ok()) {
+    return model.Name() + " failed to fit a linear track: " +
+           fit.ToString();
+  }
+  const Timestamp tq = now + input.horizon;
+  const StatusOr<Point> predicted = model.Predict(tq);
+  if (!predicted.ok()) {
+    return model.Name() + " failed to predict: " +
+           predicted.status().ToString();
+  }
+  const Point expected = ClosedForm(input, tq);
+  const double error = Distance(*predicted, expected);
+  if (error > tolerance) {
+    return model.Name() + " off closed form by " + std::to_string(error) +
+           " at horizon " + std::to_string(input.horizon) + " (expected " +
+           expected.ToString() + ", got " + predicted->ToString() + ")";
+  }
+  return "";
+}
+
+TEST(PropMotionTest, LinearModelReproducesClosedFormExactly) {
+  Property<LinearCase> property(
+      "linear-motion-vs-closed-form", GenCase, [](const LinearCase& input) {
+        LinearMotionFunction model;
+        return CheckModel(model, input, 1e-6);
+      });
+  RunnerOptions options;
+  options.num_cases = 150;
+  const proptest::RunResult result = property.Run(options);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(PropMotionTest, RmfReproducesClosedFormOnLinearTracks) {
+  Property<LinearCase> property(
+      "rmf-vs-closed-form", GenCase, [](const LinearCase& input) {
+        // The fitted recurrence is exact up to least-squares rounding,
+        // which the forward iteration can amplify ~quadratically in the
+        // horizon; the tolerance stays far below any real model bug.
+        RecursiveMotionFunction model;
+        return CheckModel(model, input, 1e-2);
+      });
+  RunnerOptions options;
+  options.num_cases = 100;
+  const proptest::RunResult result = property.Run(options);
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+}  // namespace
+}  // namespace hpm

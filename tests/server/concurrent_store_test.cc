@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "proptest/proptest.h"
 #include "server/object_store.h"
 
 namespace hpm {
@@ -44,9 +45,11 @@ ObjectStoreOptions Options() {
 }
 
 /// Deterministic per-object noise so concurrent and single-threaded
-/// ingestion see byte-identical trajectories.
-Point NoisySample(ObjectId id, Timestamp t) {
-  Random rng(static_cast<uint64_t>(id) * 7919 + static_cast<uint64_t>(t));
+/// ingestion see byte-identical trajectories. `base` comes from
+/// proptest::SeedForTest, so a failure replays via HPM_PROP_SEED.
+Point NoisySample(ObjectId id, Timestamp t, uint64_t base) {
+  Random rng(base ^
+             (static_cast<uint64_t>(id) * 7919 + static_cast<uint64_t>(t)));
   Point p = Route(id, t);
   p.x += rng.Gaussian(0, 1.0);
   p.y += rng.Gaussian(0, 1.0);
@@ -58,6 +61,8 @@ Point NoisySample(ObjectId id, Timestamp t) {
 // Afterwards the store must hold exactly what a single-threaded store
 // fed the same samples holds.
 TEST(ConcurrentStoreTest, ParallelWritersAndReadersKeepStateExact) {
+  const uint64_t seed = proptest::SeedForTest(7919);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
   MovingObjectStore store(Options());
   const Timestamp samples = kPeriodsPerObject * kPeriod;
 
@@ -66,10 +71,10 @@ TEST(ConcurrentStoreTest, ParallelWritersAndReadersKeepStateExact) {
 
   std::vector<std::thread> writers;
   for (int w = 0; w < kWriters; ++w) {
-    writers.emplace_back([&store, &writer_failures, w, samples] {
+    writers.emplace_back([&store, &writer_failures, w, samples, seed] {
       const ObjectId id = w;  // Disjoint: one object per writer.
       for (Timestamp t = 0; t < samples; ++t) {
-        if (!store.ReportLocation(id, NoisySample(id, t)).ok()) {
+        if (!store.ReportLocation(id, NoisySample(id, t, seed)).ok()) {
           writer_failures.fetch_add(1);
           return;
         }
@@ -149,7 +154,7 @@ TEST(ConcurrentStoreTest, ParallelWritersAndReadersKeepStateExact) {
   MovingObjectStore reference(Options());
   for (ObjectId id = 0; id < kWriters; ++id) {
     for (Timestamp t = 0; t < samples; ++t) {
-      ASSERT_TRUE(reference.ReportLocation(id, NoisySample(id, t)).ok());
+      ASSERT_TRUE(reference.ReportLocation(id, NoisySample(id, t, seed)).ok());
     }
   }
   const Timestamp tq = samples + 3;
@@ -232,11 +237,13 @@ TEST(ConcurrentStoreTest, MetadataReadsDuringConcurrentReports) {
 // Model snapshots handed out by GetPredictor stay valid and give the
 // same answers after later retrains swap the live model.
 TEST(ConcurrentStoreTest, SnapshotsSurviveRetrains) {
+  const uint64_t seed = proptest::SeedForTest(7919);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
   ObjectStoreOptions options = Options();
   MovingObjectStore store(options);
   const Timestamp trained = options.min_training_periods * kPeriod;
   for (Timestamp t = 0; t < trained; ++t) {
-    ASSERT_TRUE(store.ReportLocation(0, NoisySample(0, t)).ok());
+    ASSERT_TRUE(store.ReportLocation(0, NoisySample(0, t, seed)).ok());
   }
   auto snapshot = store.GetPredictor(0);
   ASSERT_TRUE(snapshot.ok());
@@ -246,14 +253,16 @@ TEST(ConcurrentStoreTest, SnapshotsSurviveRetrains) {
   query.query_time = trained + 2;
   query.k = 3;
   Trajectory so_far;
-  for (Timestamp t = 0; t < trained; ++t) so_far.Append(NoisySample(0, t));
+  for (Timestamp t = 0; t < trained; ++t) {
+    so_far.Append(NoisySample(0, t, seed));
+  }
   query.recent_movements = so_far.RecentMovements(trained - 1, 5);
   auto before = (*snapshot)->Predict(query);
   ASSERT_TRUE(before.ok());
 
   // Drive two more retrain batches; the live model is replaced.
   for (Timestamp t = trained; t < trained + 4 * kPeriod; ++t) {
-    ASSERT_TRUE(store.ReportLocation(0, NoisySample(0, t)).ok());
+    ASSERT_TRUE(store.ReportLocation(0, NoisySample(0, t, seed)).ok());
   }
   auto live = store.GetPredictor(0);
   ASSERT_TRUE(live.ok());

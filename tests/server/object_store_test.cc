@@ -1,5 +1,8 @@
 #include "server/object_store.h"
 
+#include <cstdio>
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -304,6 +307,75 @@ TEST(ObjectStoreTest, LoadFromMissingDirectoryFails) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+namespace {
+
+/// A saved single-object store whose manifest the test then vandalises.
+std::string SavedStoreDir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  Random rng(14);
+  MovingObjectStore original(Options());
+  EXPECT_TRUE(original.ReportTrajectory(3, OnePeriod(3, &rng)).ok());
+  EXPECT_TRUE(original.SaveToDirectory(dir).ok());
+  return dir;
+}
+
+void WriteManifest(const std::string& dir, const std::string& content) {
+  std::FILE* f = std::fopen((dir + "/manifest.txt").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+TEST(ObjectStoreTest, LoadRejectsMalformedManifestLine) {
+  const std::string dir = SavedStoreDir("store_bad_manifest");
+  WriteManifest(dir, "object three 20 0 0\n");
+  const Status status =
+      MovingObjectStore::LoadFromDirectory(dir, Options()).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("malformed manifest line"),
+            std::string::npos);
+}
+
+TEST(ObjectStoreTest, LoadRejectsHistoryLengthMismatch) {
+  const std::string dir = SavedStoreDir("store_len_mismatch");
+  WriteManifest(dir, "object 3 999 0 0\n");
+  const Status status =
+      MovingObjectStore::LoadFromDirectory(dir, Options()).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("history length mismatch"),
+            std::string::npos);
+}
+
+TEST(ObjectStoreTest, LoadRejectsCorruptConsumedCount) {
+  const std::string dir = SavedStoreDir("store_bad_consumed");
+  // Consumed count larger than the (true) history length.
+  WriteManifest(dir, "object 3 20 21 0\n");
+  const Status status =
+      MovingObjectStore::LoadFromDirectory(dir, Options()).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("corrupt consumed count"),
+            std::string::npos);
+}
+
+TEST(ObjectStoreTest, LoadRejectsManifestEntryWithoutCsv) {
+  const std::string dir = SavedStoreDir("store_missing_csv");
+  // References an object whose history file does not exist.
+  WriteManifest(dir, "object 4 20 0 0\n");
+  EXPECT_FALSE(
+      MovingObjectStore::LoadFromDirectory(dir, Options()).ok());
+}
+
+TEST(ObjectStoreTest, LoadRejectsManifestClaimingMissingModel) {
+  const std::string dir = SavedStoreDir("store_missing_model");
+  // Claims a trained model, but no 3.model file was saved.
+  WriteManifest(dir, "object 3 20 20 1\n");
+  EXPECT_FALSE(
+      MovingObjectStore::LoadFromDirectory(dir, Options()).ok());
 }
 
 TEST(ObjectStoreTest, ColdObjectsPersistWithoutModels) {

@@ -109,10 +109,40 @@ TEST(KeyTablesTest, EmptyPatternsGiveEmptyConsequenceTable) {
   EXPECT_EQ(tables.TimeIdForOffset(1), -1);
 }
 
+TEST(KeyTablesTest, EncodeQueryIntervalOnEmptyTablesHasNoConsequence) {
+  const FrequentRegionSet regions = PaperRegions();
+  const KeyTables tables = KeyTables::Build(regions, {});
+  const PatternKey k = tables.EncodeQueryInterval({0}, 1, 4);
+  EXPECT_TRUE(k.consequence().None());
+  EXPECT_TRUE(k.premise().Test(0));
+}
+
 TEST(KeyTablesDeathTest, EncodeQueryBadRegionAborts) {
   const FrequentRegionSet regions = PaperRegions();
   const KeyTables tables = KeyTables::Build(regions, PaperPatterns());
   EXPECT_DEATH((void)tables.EncodeQuery({7}, 1), "HPM_CHECK");
+}
+
+TEST(KeyTablesDeathTest, EncodeQueryNegativeRegionAborts) {
+  const FrequentRegionSet regions = PaperRegions();
+  const KeyTables tables = KeyTables::Build(regions, PaperPatterns());
+  EXPECT_DEATH((void)tables.EncodeQuery({-1}, 1), "HPM_CHECK");
+}
+
+TEST(KeyTablesDeathTest, EncodePatternUnknownConsequenceOffsetAborts) {
+  const FrequentRegionSet regions = PaperRegions();
+  const KeyTables tables = KeyTables::Build(regions, PaperPatterns());
+  // Region 0 concludes at offset 0, which no pattern's consequence uses,
+  // so the consequence-time table has no slot for it.
+  const TrajectoryPattern rogue = {{1}, 0, 0.5, 3};
+  EXPECT_DEATH((void)tables.EncodePattern(rogue, regions), "HPM_CHECK");
+}
+
+TEST(KeyTablesDeathTest, OffsetForTimeIdOutOfRangeAborts) {
+  const FrequentRegionSet regions = PaperRegions();
+  const KeyTables tables = KeyTables::Build(regions, PaperPatterns());
+  EXPECT_DEATH((void)tables.OffsetForTimeId(99), "HPM_CHECK");
+  EXPECT_DEATH((void)tables.OffsetForTimeId(-1), "HPM_CHECK");
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "proptest/proptest.h"
+
 #include <algorithm>
 #include <set>
 
@@ -86,7 +88,9 @@ TEST(TptTreeTest, SplitsGrowHeightAndKeepInvariants) {
   options.max_node_entries = 4;
   options.min_node_entries = 2;
   TptTree tree(options);
-  Random rng(1);
+  const uint64_t seed = proptest::SeedForTest(1);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 200; ++i) {
     ASSERT_TRUE(
         tree.Insert(MakePattern(RandomKey(&rng, 32, 8), i)).ok());
@@ -101,7 +105,9 @@ TEST(TptTreeTest, SplitsGrowHeightAndKeepInvariants) {
 
 TEST(TptTreeTest, SearchFindsExactPatternAmongMany) {
   TptTree tree;
-  Random rng(2);
+  const uint64_t seed = proptest::SeedForTest(2);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   // A distinctive pattern in a sea of others.
   PatternKey needle(64, 10);
   needle.mutable_premise().Set(63);
@@ -147,7 +153,9 @@ TEST(TptTreeTest, DuplicateKeysAllRetrievable) {
 }
 
 TEST(TptTreeTest, BulkLoadEqualsSequentialInsert) {
-  Random rng(3);
+  const uint64_t seed = proptest::SeedForTest(3);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   std::vector<IndexedPattern> patterns;
   for (int i = 0; i < 120; ++i) {
     patterns.push_back(MakePattern(RandomKey(&rng, 24, 6), i));
@@ -159,7 +167,9 @@ TEST(TptTreeTest, BulkLoadEqualsSequentialInsert) {
 }
 
 TEST(TptTreeTest, MemoryGrowsWithPatternsAndKeyLength) {
-  Random rng(4);
+  const uint64_t seed = proptest::SeedForTest(4);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   auto build = [&rng](int n, size_t premise_len) {
     TptTree tree;
     for (int i = 0; i < n; ++i) {
@@ -194,7 +204,9 @@ class TptSearchEquivalenceTest
 
 TEST_P(TptSearchEquivalenceTest, MatchesBruteForce) {
   const auto [num_patterns, max_entries] = GetParam();
-  Random rng(static_cast<uint64_t>(num_patterns * 31 + max_entries));
+  const uint64_t seed = proptest::SeedForTest(static_cast<uint64_t>(num_patterns * 31 + max_entries));
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   TptTree::Options options;
   options.max_node_entries = max_entries;
   options.min_node_entries = std::max(2, max_entries * 2 / 5);
@@ -233,7 +245,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(TptTreeTest, RemoveSinglePattern) {
   TptTree tree;
-  Random rng(21);
+  const uint64_t seed = proptest::SeedForTest(21);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(tree.Insert(MakePattern(RandomKey(&rng, 24, 6), i)).ok());
   }
@@ -253,7 +267,9 @@ TEST(TptTreeTest, RemoveSinglePattern) {
 
 TEST(TptTreeTest, RemoveIfByConfidence) {
   TptTree tree;
-  Random rng(22);
+  const uint64_t seed = proptest::SeedForTest(22);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 300; ++i) {
     IndexedPattern p = MakePattern(RandomKey(&rng, 24, 6), i);
     p.confidence = (i % 2 == 0) ? 0.9 : 0.1;
@@ -271,7 +287,9 @@ TEST(TptTreeTest, RemoveEverythingLeavesUsableTree) {
   options.max_node_entries = 4;
   options.min_node_entries = 2;
   TptTree tree(options);
-  Random rng(23);
+  const uint64_t seed = proptest::SeedForTest(23);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   for (int i = 0; i < 200; ++i) {
     ASSERT_TRUE(tree.Insert(MakePattern(RandomKey(&rng, 24, 6), i)).ok());
   }
@@ -295,7 +313,9 @@ TEST(TptTreeTest, InterleavedInsertRemoveKeepsInvariantsAndContent) {
   options.min_node_entries = 2;
   TptTree tree(options);
   BruteForceStore reference;
-  Random rng(24);
+  const uint64_t seed = proptest::SeedForTest(24);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   std::set<int> live;
   int next_id = 0;
   for (int round = 0; round < 400; ++round) {
@@ -332,7 +352,9 @@ TEST(TptTreeTest, InterleavedInsertRemoveKeepsInvariantsAndContent) {
 }
 
 TEST(TptTreeTest, SearchStatsPruneVersusBrute) {
-  Random rng(6);
+  const uint64_t seed = proptest::SeedForTest(6);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
   TptTree tree;
   for (int i = 0; i < 2000; ++i) {
     // Clustered keys: premise bits localised so subtrees separate well.
