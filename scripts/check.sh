@@ -33,4 +33,11 @@ run_matrix build-asan -DHPM_SANITIZE=address
 echo "== ThreadSanitizer: tier1 + prop =="
 run_matrix build-tsan -DHPM_SANITIZE=thread
 
+echo "== AddressSanitizer + fault hooks: tier1 + fault =="
+cmake -B build-fault -S . -DHPM_SANITIZE=address -DHPM_ENABLE_FAULTS=ON >/dev/null
+cmake --build build-fault -j "$JOBS"
+ctest --test-dir build-fault -L tier1 "${CTEST_ARGS[@]}" -j "$JOBS"
+ctest --test-dir build-fault -L fault "${CTEST_ARGS[@]}" -j "$JOBS"
+./build-fault/tools/hpm_tool faultcheck --seed 1
+
 echo "check.sh: all green"

@@ -1,0 +1,24 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) for detecting torn writes and
+// bit rot in persisted files. Not cryptographic — it guards against
+// accidental corruption, not adversaries.
+
+#ifndef HPM_COMMON_CRC32_H_
+#define HPM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hpm {
+
+/// CRC32 of `n` bytes, continuing from `seed` (pass the previous return
+/// value to checksum data arriving in chunks; 0 starts a fresh sum).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(const std::string& data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_CRC32_H_

@@ -1,0 +1,68 @@
+// Deadline for time-bounded operations.
+//
+// A Deadline is a point on the steady (monotonic) clock; queries carry one
+// through the serving path and long-running steps poll `expired()` at safe
+// points. The default-constructed Deadline is infinite, so existing callers
+// that never set one see no behaviour change and pay one branch per check.
+
+#ifndef HPM_COMMON_DEADLINE_H_
+#define HPM_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hpm {
+
+/// A monotonic-clock point in time after which an operation should give up
+/// (or, in the serving path, degrade to the cheap RMF answer).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires. Same as Deadline::Infinite().
+  Deadline() : infinite_(true), when_() {}
+
+  /// A deadline that never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `d` from now.
+  template <typename Rep, typename Period>
+  static Deadline After(std::chrono::duration<Rep, Period> d) {
+    return Deadline(Clock::now() + d);
+  }
+
+  /// Expires `ms` milliseconds from now.
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+
+  /// Already expired. Useful in tests to force the degradation path
+  /// without depending on wall-clock timing.
+  static Deadline Expired() {
+    return Deadline(Clock::now() - std::chrono::hours(1));
+  }
+
+  bool is_infinite() const { return infinite_; }
+
+  /// True once the clock has passed the deadline. Infinite deadlines
+  /// never expire.
+  bool expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  /// Time left before expiry; zero if expired, Clock::duration::max()
+  /// if infinite.
+  Clock::duration remaining() const {
+    if (infinite_) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= when_ ? Clock::duration::zero() : when_ - now;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : infinite_(false), when_(when) {}
+
+  bool infinite_;
+  Clock::time_point when_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_DEADLINE_H_

@@ -1,0 +1,141 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code marks the places where the outside world can fail — a
+// pattern lookup, a file write, a snapshot swap — with named fault sites:
+//
+//   HPM_RETURN_IF_ERROR(HPM_FAULT_HIT("store/save_manifest"));
+//
+// In a normal build the macro expands to an OK status (or nothing) and the
+// compiler deletes it; configuring with -DHPM_ENABLE_FAULTS=ON compiles the
+// hooks in, and tests arm sites on the global FaultInjector with rules like
+// "fail the 3rd call" or "fail with probability 0.1". All randomness comes
+// from a seedable hpm::Random, so a failing fault schedule replays exactly
+// from its seed (see docs/ROBUSTNESS.md).
+//
+// The FaultInjector class itself is always compiled (tests of the framework
+// run in every build); only the hooks in production code are gated.
+
+#ifndef HPM_COMMON_FAULT_INJECTION_H_
+#define HPM_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace hpm {
+
+/// When and how an armed fault site fails.
+///
+/// A rule fires when any of its triggers matches: `always`, `probability`
+/// (per call, from the injector's deterministic RNG), or `nth_call`
+/// (1-based index of the call that fails; calls are counted from the last
+/// Reset/ResetCounters). `max_fires` caps the total number of failures a
+/// rule produces (-1 = unlimited), which lets tests model transient faults
+/// that heal.
+struct FaultRule {
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message;      ///< Appended to "injected fault at <site>".
+  double probability = 0.0; ///< Chance each call fails, in [0, 1].
+  int64_t nth_call = 0;     ///< 1-based call index that fails; 0 = off.
+  /// Every call from this 1-based index onward fails. This is the
+  /// crash model: once the process "dies" at call N, later calls at the
+  /// site cannot succeed either — unlike nth_call, a retry loop cannot
+  /// absorb it. 0 = off.
+  int64_t from_nth_call = 0;
+  bool always = false;      ///< Every call fails.
+  int64_t max_fires = -1;   ///< Stop firing after this many; -1 = unlimited.
+};
+
+/// Registry of named fault sites. Thread-safe; production code calls
+/// `Hit(site)` through the HPM_FAULT_* macros, tests arm and inspect.
+///
+/// Call counters advance on every Hit, armed or not, so a test can run a
+/// scenario once to count the kill points at a site and then re-run arming
+/// `nth_call = 1..count` — the crash-recovery suite does exactly this.
+class FaultInjector {
+ public:
+  /// The process-wide injector the HPM_FAULT_* macros consult.
+  static FaultInjector& Global();
+
+  /// Arms `site` with `rule`, replacing any existing rule. Counters for
+  /// the site are preserved.
+  void Arm(const std::string& site, FaultRule rule);
+
+  /// Removes the rule for `site` (counters are preserved).
+  void Disarm(const std::string& site);
+
+  /// Removes all rules and zeroes all counters. Does not reseed.
+  void Reset();
+
+  /// Zeroes call/fire counters but keeps armed rules.
+  void ResetCounters();
+
+  /// Reseeds the RNG used by probability triggers. Same seed + same call
+  /// sequence => same fault schedule.
+  void Seed(uint64_t seed);
+
+  /// Records a call at `site` and returns the injected failure if an armed
+  /// rule fires, OK otherwise. This is what HPM_FAULT_HIT expands to.
+  Status Hit(const std::string& site);
+
+  /// Calls observed at `site` since the last Reset/ResetCounters.
+  int64_t calls(const std::string& site) const;
+
+  /// Failures injected at `site` since the last Reset/ResetCounters.
+  int64_t fires(const std::string& site) const;
+
+  /// Sites that have been hit or armed, sorted. For diagnostics
+  /// (`hpm_tool faultcheck` prints this table).
+  std::vector<std::string> Sites() const;
+
+ private:
+  FaultInjector() : rng_(0x68706d5f666c74ULL) {}  // "hpm_flt"
+
+  struct SiteState {
+    bool armed = false;
+    FaultRule rule;
+    int64_t calls = 0;
+    int64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  Random rng_;
+};
+
+/// Names of the fault sites compiled into the library, for tools and tests
+/// that want to iterate over every kill point. Keep in sync with the
+/// HPM_FAULT_* call sites (docs/ROBUSTNESS.md lists each one's meaning).
+extern const char* const kKnownFaultSites[];
+extern const int kNumKnownFaultSites;
+
+}  // namespace hpm
+
+#ifdef HPM_ENABLE_FAULTS
+
+/// Evaluates to the Status injected at `site` (OK when unarmed / not firing).
+#define HPM_FAULT_HIT(site) ::hpm::FaultInjector::Global().Hit(site)
+
+/// Returns the injected failure from the current function, if any. Works in
+/// functions returning Status or StatusOr<T>.
+#define HPM_INJECT_FAULT(site)                                   \
+  do {                                                           \
+    ::hpm::Status _hpm_fault = HPM_FAULT_HIT(site);              \
+    if (!_hpm_fault.ok()) return _hpm_fault;                     \
+  } while (0)
+
+#else  // !HPM_ENABLE_FAULTS
+
+#define HPM_FAULT_HIT(site) ::hpm::Status::OK()
+#define HPM_INJECT_FAULT(site) \
+  do {                         \
+  } while (0)
+
+#endif  // HPM_ENABLE_FAULTS
+
+#endif  // HPM_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,92 @@
+// Bounded retry with exponential backoff and deterministic jitter.
+//
+// Only kUnavailable is retryable: it is the one code that promises the
+// failure is transient. Everything else (corruption, bad arguments,
+// expired deadlines) fails fast — retrying a DataLoss would just re-read
+// the same torn file.
+//
+// Jitter comes from a caller-supplied hpm::Random, and sleeping goes
+// through a caller-supplied function, so tests (and the fault-injection
+// prop suites) run retries deterministically and without wall-clock
+// delays.
+
+#ifndef HPM_COMMON_RETRY_H_
+#define HPM_COMMON_RETRY_H_
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace hpm {
+
+/// Shape of the backoff schedule. With the defaults a call is attempted at
+/// most 3 times, sleeping ~1ms then ~2ms (each +/- up to 50% jitter)
+/// between attempts.
+struct RetryPolicy {
+  int max_attempts = 3;
+  std::chrono::microseconds initial_backoff{1000};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{100000};
+  double jitter = 0.5;  ///< Each sleep is scaled by 1 +/- jitter * U[-1,1).
+};
+
+/// True for failures worth retrying under RetryPolicy.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+namespace retry_internal {
+
+inline const Status& GetStatus(const Status& s) { return s; }
+
+template <typename T>
+Status GetStatus(const StatusOr<T>& s) {
+  return s.status();
+}
+
+inline void SleepFor(std::chrono::microseconds d) {
+  std::this_thread::sleep_for(d);
+}
+
+}  // namespace retry_internal
+
+/// Invokes `fn` until it succeeds, fails non-retryably, or
+/// `policy.max_attempts` attempts are exhausted; returns the last result.
+/// `fn` returns Status or StatusOr<T>. `sleep_fn` receives each backoff
+/// duration — pass a no-op lambda in tests to retry without sleeping.
+template <typename Fn, typename SleepFn>
+auto RetryWithBackoff(const RetryPolicy& policy, Random& rng, Fn&& fn,
+                      SleepFn&& sleep_fn) -> decltype(fn()) {
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    auto result = fn();
+    const Status status = retry_internal::GetStatus(result);
+    if (status.ok() || !IsRetryable(status) ||
+        attempt >= policy.max_attempts) {
+      return result;
+    }
+    const double scale = 1.0 + policy.jitter * rng.UniformDouble(-1.0, 1.0);
+    auto sleep = std::chrono::microseconds(
+        static_cast<int64_t>(static_cast<double>(backoff.count()) * scale));
+    if (sleep > policy.max_backoff) sleep = policy.max_backoff;
+    if (sleep.count() > 0) sleep_fn(sleep);
+    backoff = std::chrono::microseconds(static_cast<int64_t>(
+        static_cast<double>(backoff.count()) * policy.multiplier));
+    if (backoff > policy.max_backoff) backoff = policy.max_backoff;
+  }
+}
+
+/// RetryWithBackoff sleeping on the real clock.
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, Random& rng, Fn&& fn)
+    -> decltype(fn()) {
+  return RetryWithBackoff(policy, rng, std::forward<Fn>(fn),
+                          retry_internal::SleepFor);
+}
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_RETRY_H_

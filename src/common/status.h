@@ -26,6 +26,9 @@ enum class StatusCode {
   kOutOfRange,        ///< Index or time offset outside the valid range.
   kInternal,          ///< Invariant violation inside the library.
   kUnimplemented,     ///< Feature declared but not available.
+  kDeadlineExceeded,  ///< The operation's deadline expired before it finished.
+  kUnavailable,       ///< Transient failure; retrying may succeed.
+  kDataLoss,          ///< Unrecoverable corruption or a torn/short write.
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -64,6 +67,15 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +83,14 @@ class Status {
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
+
+  /// Returns the same status with "<site>: " prefixed to the message
+  /// (no-op on OK), so a failure crossing layers names every site it
+  /// passed through instead of collapsing into the innermost string.
+  Status Annotate(const std::string& site) const {
+    if (ok()) return *this;
+    return Status(code_, message_.empty() ? site : site + ": " + message_);
+  }
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

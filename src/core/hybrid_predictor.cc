@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "mining/transaction.h"
 
@@ -22,6 +23,9 @@ HybridPredictor::AtomicQueryCounters::operator=(
   motion_fallbacks.store(
       other.motion_fallbacks.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
+  degraded_answers.store(
+      other.degraded_answers.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   return *this;
 }
 
@@ -33,6 +37,8 @@ QueryCounters HybridPredictor::AtomicQueryCounters::Snapshot() const {
   snapshot.pattern_answers = pattern_answers.load(std::memory_order_relaxed);
   snapshot.motion_fallbacks =
       motion_fallbacks.load(std::memory_order_relaxed);
+  snapshot.degraded_answers =
+      degraded_answers.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -64,6 +70,7 @@ StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::Train(
   if (options.time_relaxation < 0) {
     return Status::InvalidArgument("time relaxation must be >= 0");
   }
+  HPM_INJECT_FAULT("core/train");
 
   Stopwatch timer;
 
@@ -153,10 +160,29 @@ StatusOr<Prediction> HybridPredictor::MotionFunctionPredict(
   return prediction;
 }
 
+StatusOr<std::vector<Prediction>> HybridPredictor::DegradedAnswer(
+    const PredictiveQuery& query, DegradedReason reason) const {
+  counters_.motion_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  counters_.degraded_answers.fetch_add(1, std::memory_order_relaxed);
+  StatusOr<Prediction> fallback = MotionFunctionPredict(query);
+  if (!fallback.ok()) return fallback.status();
+  fallback->degraded = reason;
+  return std::vector<Prediction>{*fallback};
+}
+
 StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
     const PredictiveQuery& query) const {
   HPM_RETURN_IF_ERROR(ValidateQuery(query));
   counters_.forward_queries.fetch_add(1, std::memory_order_relaxed);
+
+  // The pattern side is the expensive half; when it cannot be consulted
+  // in time (or at all), serve the cheap RMF answer instead of failing.
+  if (query.deadline.expired()) {
+    return DegradedAnswer(query, DegradedReason::kDeadlineExceeded);
+  }
+  if (!HPM_FAULT_HIT("core/pattern_lookup").ok()) {
+    return DegradedAnswer(query, DegradedReason::kPatternUnavailable);
+  }
 
   const Timestamp period = regions_.period();
   const Timestamp tq_offset = query.query_time % period;
@@ -204,6 +230,13 @@ StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
   HPM_RETURN_IF_ERROR(ValidateQuery(query));
   counters_.backward_queries.fetch_add(1, std::memory_order_relaxed);
 
+  if (query.deadline.expired()) {
+    return DegradedAnswer(query, DegradedReason::kDeadlineExceeded);
+  }
+  if (!HPM_FAULT_HIT("core/pattern_lookup").ok()) {
+    return DegradedAnswer(query, DegradedReason::kPatternUnavailable);
+  }
+
   const Timestamp period = regions_.period();
   const Timestamp tq_offset = query.query_time % period;
   const Timestamp t_eps = std::max<Timestamp>(1, options_.time_relaxation);
@@ -213,8 +246,12 @@ StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
       std::min(1.0, static_cast<double>(options_.distant_threshold) / length);
 
   // Algorithm 3: widen the consequence interval until a pattern is found
-  // or the interval's lower edge reaches the current time.
+  // or the interval's lower edge reaches the current time. Each widening
+  // step is another TPT search, so the deadline is re-checked per round.
   for (Timestamp i = 1;; ++i) {
+    if (i > 1 && query.deadline.expired()) {
+      return DegradedAnswer(query, DegradedReason::kDeadlineExceeded);
+    }
     const Timestamp lo_raw = query.query_time - i * t_eps;
     const Timestamp hi_raw = query.query_time + i * t_eps;
 
@@ -322,6 +359,7 @@ StatusOr<std::vector<TrajectoryPattern>> HybridPredictor::MineFreshPatterns(
 
 StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::WithNewHistory(
     const Trajectory& new_history) const {
+  HPM_INJECT_FAULT("core/train");
   bool new_consequence_offset = false;
   StatusOr<std::vector<TrajectoryPattern>> fresh =
       MineFreshPatterns(new_history, &new_consequence_offset);

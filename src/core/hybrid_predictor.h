@@ -75,6 +75,11 @@ struct QueryCounters {
   size_t backward_queries = 0;
   size_t pattern_answers = 0;
   size_t motion_fallbacks = 0;
+
+  /// Subset of motion_fallbacks produced because the pattern side could
+  /// not be consulted (expired deadline / pattern-side fault) rather than
+  /// because no pattern matched. The serving degradation rate.
+  size_t degraded_answers = 0;
 };
 
 /// A trained Hybrid Prediction Model for one moving object.
@@ -186,6 +191,7 @@ class HybridPredictor {
     std::atomic<size_t> backward_queries{0};
     std::atomic<size_t> pattern_answers{0};
     std::atomic<size_t> motion_fallbacks{0};
+    std::atomic<size_t> degraded_answers{0};
 
     AtomicQueryCounters() = default;
     AtomicQueryCounters(const AtomicQueryCounters& other) { *this = other; }
@@ -207,6 +213,11 @@ class HybridPredictor {
 
   /// Maps recent movements to visited frequent regions (query premise).
   std::vector<int> QueryPremise(const PredictiveQuery& query) const;
+
+  /// The graceful-degradation answer: the RMF motion-function prediction
+  /// stamped with `reason`, counted as a (degraded) motion fallback.
+  StatusOr<std::vector<Prediction>> DegradedAnswer(
+      const PredictiveQuery& query, DegradedReason reason) const;
 
   /// Ranks pattern candidates and materialises the top-k predictions.
   std::vector<Prediction> RankAndTake(

@@ -4,12 +4,27 @@
 
 namespace hpm {
 
+const char* DegradedReasonName(DegradedReason reason) {
+  switch (reason) {
+    case DegradedReason::kNone:
+      return "None";
+    case DegradedReason::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case DegradedReason::kPatternUnavailable:
+      return "PatternUnavailable";
+  }
+  return "Unknown";
+}
+
 std::string Prediction::ToString() const {
-  char buf[160];
+  char buf[192];
   if (source == PredictionSource::kPattern) {
     std::snprintf(buf, sizeof(buf),
                   "pattern #%d (conf %.2f, score %.3f) -> %s", pattern_id,
                   confidence, score, location.ToString().c_str());
+  } else if (degraded != DegradedReason::kNone) {
+    std::snprintf(buf, sizeof(buf), "motion function (degraded: %s) -> %s",
+                  DegradedReasonName(degraded), location.ToString().c_str());
   } else {
     std::snprintf(buf, sizeof(buf), "motion function -> %s",
                   location.ToString().c_str());

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "geo/bounding_box.h"
 #include "geo/trajectory.h"
@@ -29,6 +30,11 @@ struct PredictiveQuery {
   /// Number of predicted locations requested (top-k).
   int k = 1;
 
+  /// Latency budget. When it expires mid-query the predictor degrades to
+  /// the motion-function answer (Prediction::degraded says so) rather than
+  /// failing. Defaults to no deadline.
+  Deadline deadline;
+
   /// Prediction length t_q - t_c.
   Timestamp PredictionLength() const { return query_time - current_time; }
 };
@@ -38,6 +44,18 @@ enum class PredictionSource {
   kPattern,         ///< A trajectory pattern's consequence centre.
   kMotionFunction,  ///< The motion-function fallback (no pattern matched).
 };
+
+/// Why a prediction fell back to the motion function when the pattern side
+/// was never consulted to completion. kNone covers both pattern answers and
+/// the paper's ordinary fallback (pattern side consulted, no match).
+enum class DegradedReason {
+  kNone = 0,
+  kDeadlineExceeded,    ///< The query's deadline expired mid-evaluation.
+  kPatternUnavailable,  ///< Pattern-side lookup failed (e.g. injected fault).
+};
+
+/// Human-readable name ("None", "DeadlineExceeded", "PatternUnavailable").
+const char* DegradedReasonName(DegradedReason reason);
 
 /// One predicted location.
 struct Prediction {
@@ -59,6 +77,11 @@ struct Prediction {
   /// uncertainty region around `location` (its centre). Empty for
   /// motion-function answers (point estimates).
   BoundingBox uncertainty;
+
+  /// Non-kNone when this is a motion-function answer produced because the
+  /// pattern side could not be (fully) consulted — expired deadline or
+  /// pattern-side fault — rather than because no pattern matched.
+  DegradedReason degraded = DegradedReason::kNone;
 
   /// "pattern #12 (conf 0.50, score 0.41) -> (x, y)" style rendering.
   std::string ToString() const;

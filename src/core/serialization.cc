@@ -1,77 +1,95 @@
 // Binary persistence for trained HybridPredictor models.
 //
 // Format (little-endian, as written by the host):
-//   magic "HPM1" | version u32 | options | regions | patterns
-// The TPT is rebuilt from the patterns on load.
+//   magic "HPM1" | version u32 | options | regions | patterns | num_subs u64
+//   | footer: magic "HPMC" | crc32 u32 of every preceding byte
+// The TPT is rebuilt from the patterns on load. The footer makes torn
+// writes and bit rot detectable (DataLoss) before the field validators
+// run; the file itself is written via AtomicWriteFile, so a crashed save
+// leaves the previous model intact rather than a prefix.
 
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "core/hybrid_predictor.h"
+#include "io/atomic_file.h"
 
 namespace hpm {
 
 namespace {
 
 constexpr char kMagic[4] = {'H', 'P', 'M', '1'};
+constexpr char kFooterMagic[4] = {'H', 'P', 'M', 'C'};
 constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kFooterSize = sizeof(kFooterMagic) + sizeof(uint32_t);
 
-/// Thin RAII + error-latching wrapper over std::FILE for serialization.
-class BinaryFile {
+/// Serialises trivially-copyable values into an in-memory buffer; the
+/// whole buffer is checksummed and written atomically at the end.
+class BinaryWriter {
  public:
-  BinaryFile(const std::string& path, bool write)
-      : file_(std::fopen(path.c_str(), write ? "wb" : "rb")) {}
-  ~BinaryFile() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-  BinaryFile(const BinaryFile&) = delete;
-  BinaryFile& operator=(const BinaryFile&) = delete;
-
-  bool is_open() const { return file_ != nullptr; }
-  bool failed() const { return failed_; }
-
   template <typename T>
   void Write(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (std::fwrite(&value, sizeof(T), 1, file_) != 1) failed_ = true;
+    WriteBytes(&value, sizeof(T));
   }
+
+  void WriteBytes(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Reads trivially-copyable values back out of a byte range, latching an
+/// error (like the old FILE-based reader) on reads past the end.
+class BinaryReader {
+ public:
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
 
   template <typename T>
   void Read(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (std::fread(value, sizeof(T), 1, file_) != 1) failed_ = true;
-  }
-
-  void WriteBytes(const void* data, size_t n) {
-    if (std::fwrite(data, 1, n, file_) != n) failed_ = true;
+    ReadBytes(value, sizeof(T));
   }
 
   void ReadBytes(void* data, size_t n) {
-    if (std::fread(data, 1, n, file_) != n) failed_ = true;
+    if (failed_ || n > size_ - pos_) {
+      failed_ = true;
+      return;
+    }
+    std::memcpy(data, data_ + pos_, n);
+    pos_ += n;
   }
 
+  bool failed() const { return failed_; }
+
  private:
-  std::FILE* file_;
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
   bool failed_ = false;
 };
 
-void WritePoint(BinaryFile* f, const Point& p) {
+void WritePoint(BinaryWriter* f, const Point& p) {
   f->Write(p.x);
   f->Write(p.y);
 }
 
-Point ReadPoint(BinaryFile* f) {
+Point ReadPoint(BinaryReader* f) {
   Point p;
   f->Read(&p.x);
   f->Read(&p.y);
   return p;
 }
 
-void WriteBox(BinaryFile* f, const BoundingBox& box) {
+void WriteBox(BinaryWriter* f, const BoundingBox& box) {
   const uint8_t empty = box.IsEmpty() ? 1 : 0;
   f->Write(empty);
   if (!box.IsEmpty()) {
@@ -80,7 +98,7 @@ void WriteBox(BinaryFile* f, const BoundingBox& box) {
   }
 }
 
-BoundingBox ReadBox(BinaryFile* f) {
+BoundingBox ReadBox(BinaryReader* f) {
   uint8_t empty = 0;
   f->Read(&empty);
   if (empty) return BoundingBox();
@@ -89,7 +107,7 @@ BoundingBox ReadBox(BinaryFile* f) {
   return BoundingBox(lo, hi);
 }
 
-void WriteOptions(BinaryFile* f, const HybridPredictorOptions& o) {
+void WriteOptions(BinaryWriter* f, const HybridPredictorOptions& o) {
   f->Write(o.regions.period);
   f->Write(o.regions.dbscan.eps);
   f->Write(static_cast<int64_t>(o.regions.dbscan.min_pts));
@@ -111,7 +129,7 @@ void WriteOptions(BinaryFile* f, const HybridPredictorOptions& o) {
   WriteBox(f, o.rmf.clamp_box);
 }
 
-HybridPredictorOptions ReadOptions(BinaryFile* f) {
+HybridPredictorOptions ReadOptions(BinaryReader* f) {
   HybridPredictorOptions o;
   int64_t i64 = 0;
   uint8_t u8 = 0;
@@ -151,10 +169,7 @@ HybridPredictorOptions ReadOptions(BinaryFile* f) {
 }  // namespace
 
 Status HybridPredictor::SaveToFile(const std::string& path) const {
-  BinaryFile f(path, /*write=*/true);
-  if (!f.is_open()) {
-    return Status::InvalidArgument("cannot open file for writing: " + path);
-  }
+  BinaryWriter f;
   f.WriteBytes(kMagic, sizeof(kMagic));
   f.Write(kFormatVersion);
   WriteOptions(&f, options_);
@@ -179,21 +194,47 @@ Status HybridPredictor::SaveToFile(const std::string& path) const {
   }
 
   f.Write(static_cast<uint64_t>(summary_.num_sub_trajectories));
-  if (f.failed()) return Status::Internal("write failed: " + path);
-  return Status::OK();
+
+  std::string content = f.buffer();
+  const uint32_t crc = Crc32(content);
+  content.append(kFooterMagic, sizeof(kFooterMagic));
+  content.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return AtomicWriteFile(path, content).Annotate("model");
 }
 
 StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::LoadFromFile(
     const std::string& path) {
-  BinaryFile f(path, /*write=*/false);
-  if (!f.is_open()) {
-    return Status::InvalidArgument("cannot open file for reading: " + path);
+  StatusOr<std::string> read = ReadFileToString(path);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kInvalidArgument) {
+      return Status::InvalidArgument("cannot open file for reading: " + path);
+    }
+    return read.status();
   }
-  char magic[4] = {};
-  f.ReadBytes(magic, sizeof(magic));
-  if (f.failed() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  const std::string& content = *read;
+
+  // Header magic first: a foreign file is InvalidArgument, reserving
+  // DataLoss for files that *were* hpm models but got torn or flipped.
+  if (content.size() < sizeof(kMagic) ||
+      std::memcmp(content.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not an hpm model file: " + path);
   }
+  if (content.size() < sizeof(kMagic) + kFooterSize ||
+      std::memcmp(content.data() + content.size() - kFooterSize,
+                  kFooterMagic, sizeof(kFooterMagic)) != 0) {
+    return Status::DataLoss("torn model file (missing footer): " + path);
+  }
+  const size_t body_size = content.size() - kFooterSize;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc,
+              content.data() + body_size + sizeof(kFooterMagic),
+              sizeof(stored_crc));
+  if (Crc32(content.data(), body_size) != stored_crc) {
+    return Status::DataLoss("model file checksum mismatch: " + path);
+  }
+
+  BinaryReader f(content.data() + sizeof(kMagic),
+                 body_size - sizeof(kMagic));
   uint32_t version = 0;
   f.Read(&version);
   if (version != kFormatVersion) {

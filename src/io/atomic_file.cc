@@ -1,0 +1,79 @@
+#include "io/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/fault_injection.h"
+
+namespace hpm {
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + tmp + ": " +
+                                   std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool flushed = wrote && std::fflush(f) == 0;
+  const bool synced = flushed && ::fsync(::fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!(wrote && synced && closed)) {
+    std::remove(tmp.c_str());
+    return Status::DataLoss("short write to " + tmp + ": " +
+                            std::strerror(errno));
+  }
+
+  // The crash window a torn-write test cares about: the temp file is
+  // complete and durable, but the target has not been replaced yet.
+  const Status fault = HPM_FAULT_HIT("io/atomic_write");
+  if (!fault.ok()) {
+    std::remove(tmp.c_str());
+    return fault;
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::DataLoss("cannot rename " + tmp + " to " +
+                                           path + ": " +
+                                           std::strerror(errno));
+    std::remove(tmp.c_str());
+    return status;
+  }
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) FsyncDirectory(path.substr(0, slash));
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  std::string content;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::DataLoss("short read from " + path);
+  }
+  return content;
+}
+
+void FsyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace hpm

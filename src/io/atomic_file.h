@@ -1,0 +1,35 @@
+// Crash-safe whole-file IO.
+//
+// AtomicWriteFile gives the all-or-nothing guarantee persistence needs:
+// after a crash at any instant, `path` holds either its previous content
+// or the complete new content — never a torn prefix. The implementation
+// is the classic write-to-temp + fsync + rename(2) dance (rename within
+// a filesystem is atomic on POSIX).
+
+#ifndef HPM_IO_ATOMIC_FILE_H_
+#define HPM_IO_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hpm {
+
+/// Replaces `path` with `content` atomically: writes `path`.tmp, flushes
+/// it to disk, and renames it over `path`. On any failure the temp file
+/// is removed and `path` is untouched. Unavailable is returned for
+/// injected transient faults; real IO errors map to InvalidArgument
+/// (unopenable path) or DataLoss (short write / failed flush).
+Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+/// Reads all of `path`. Short reads are detected (ferror is checked), so
+/// a successful return really is the whole file.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Best-effort fsync of a directory, making renames inside it durable.
+/// Failures are ignored (some filesystems reject directory fsync).
+void FsyncDirectory(const std::string& dir);
+
+}  // namespace hpm
+
+#endif  // HPM_IO_ATOMIC_FILE_H_

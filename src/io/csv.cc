@@ -6,6 +6,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "io/atomic_file.h"
+
 namespace hpm {
 
 namespace {
@@ -91,19 +93,11 @@ StatusOr<Trajectory> ParseTrajectoryCsv(const std::string& csv) {
 }
 
 StatusOr<Trajectory> ReadTrajectoryCsv(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open " + path + ": " +
-                                   std::strerror(errno));
-  }
-  std::string content;
-  char buffer[4096];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    content.append(buffer, n);
-  }
-  std::fclose(f);
-  return ParseTrajectoryCsv(content);
+  // ReadFileToString checks ferror: a short read surfaces as DataLoss
+  // instead of silently parsing a truncated (but well-formed) prefix.
+  StatusOr<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseTrajectoryCsv(*content);
 }
 
 std::string FormatTrajectoryCsv(const Trajectory& trajectory) {
@@ -122,16 +116,8 @@ std::string FormatTrajectoryCsv(const Trajectory& trajectory) {
 
 Status WriteTrajectoryCsv(const Trajectory& trajectory,
                           const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open " + path + ": " +
-                                   std::strerror(errno));
-  }
-  const std::string content = FormatTrajectoryCsv(trajectory);
-  const bool ok =
-      std::fwrite(content.data(), 1, content.size(), f) == content.size();
-  std::fclose(f);
-  return ok ? Status::OK() : Status::Internal("write failed: " + path);
+  return AtomicWriteFile(path, FormatTrajectoryCsv(trajectory))
+      .Annotate("csv");
 }
 
 }  // namespace hpm

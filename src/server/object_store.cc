@@ -5,6 +5,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/fault_injection.h"
+#include "common/retry.h"
 #include "motion/recursive_motion.h"
 
 namespace hpm {
@@ -107,15 +109,23 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id) {
   }
 
   // Mining runs unlocked: readers keep serving the previous snapshot.
-  StatusOr<std::unique_ptr<HybridPredictor>> built =
-      action == Action::kInitial
-          ? HybridPredictor::Train(training_input, options_.predictor)
-          : base->WithNewHistory(training_input);
+  // Transient (kUnavailable) build failures — a wedged allocator, an
+  // injected fault — are retried with backoff before the swap is given
+  // up; the RNG is seeded from the object id so schedules replay.
+  Random retry_rng(0x74726e5f72747279ULL ^ static_cast<uint64_t>(id));
+  StatusOr<std::unique_ptr<HybridPredictor>> built = RetryWithBackoff(
+      RetryPolicy{}, retry_rng,
+      [&]() -> StatusOr<std::unique_ptr<HybridPredictor>> {
+        return action == Action::kInitial
+                   ? HybridPredictor::Train(training_input,
+                                            options_.predictor)
+                   : base->WithNewHistory(training_input);
+      });
 
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
   ObjectState& state = shard.objects.at(id);
   state.training_in_flight = false;
-  if (!built.ok()) return built.status();
+  if (!built.ok()) return built.status().Annotate("train");
   state.predictor =
       std::shared_ptr<const HybridPredictor>(std::move(*built));
   state.consumed_samples =
@@ -181,7 +191,8 @@ MovingObjectStore::QuerySnapshot MovingObjectStore::MakeSnapshot(
 }
 
 StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
-    const QuerySnapshot& snapshot, Timestamp tq, int k) const {
+    const QuerySnapshot& snapshot, Timestamp tq, int k,
+    Deadline deadline) const {
   if (snapshot.history_size < 2) {
     return Status::FailedPrecondition(
         "object has fewer than 2 reported locations");
@@ -195,6 +206,7 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
   query.current_time = snapshot.now;
   query.query_time = tq;
   query.k = k;
+  query.deadline = deadline;
 
   if (snapshot.predictor != nullptr) {
     return snapshot.predictor->Predict(query);
@@ -212,7 +224,7 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
 }
 
 StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
-    ObjectId id, Timestamp tq, int k) const {
+    ObjectId id, Timestamp tq, int k, Deadline deadline) const {
   Shard& shard = ShardFor(id);
   QuerySnapshot snapshot;
   {
@@ -223,12 +235,13 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
     }
     snapshot = MakeSnapshot(id, it->second);
   }
-  return PredictSnapshot(snapshot, tq, k);
+  return PredictSnapshot(snapshot, tq, k, deadline);
 }
 
 std::vector<StatusOr<std::vector<Prediction>>>
 MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
-                                        Timestamp tq, int k) const {
+                                        Timestamp tq, int k,
+                                        Deadline deadline) const {
   using Result = StatusOr<std::vector<Prediction>>;
 
   // One lock acquisition per shard: group the input indices by shard,
@@ -254,7 +267,7 @@ MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
   auto predict_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       results[i] = snapshots[i].has_value()
-                       ? PredictSnapshot(*snapshots[i], tq, k)
+                       ? PredictSnapshot(*snapshots[i], tq, k, deadline)
                        : Result(Status::NotFound("unknown object id"));
     }
   };
@@ -282,7 +295,7 @@ MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
 
 MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
     const Shard& shard, const BoundingBox& range, Timestamp tq,
-    int k_per_object) const {
+    int k_per_object, Deadline deadline) const {
   std::vector<QuerySnapshot> snapshots;
   {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
@@ -295,8 +308,11 @@ MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
   }
   ShardHits result;
   for (const QuerySnapshot& snapshot : snapshots) {
+    // The deadline travels inside the query: once it expires, each
+    // remaining object's answer degrades to the cheap RMF prediction
+    // instead of the shard aborting with partial coverage.
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, k_per_object);
+        PredictSnapshot(snapshot, tq, k_per_object, deadline);
     if (!predictions.ok()) {
       result.status = predictions.status();
       return result;
@@ -312,7 +328,7 @@ MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
 }
 
 MovingObjectStore::ShardHits MovingObjectStore::NearestNeighborShard(
-    const Shard& shard, Timestamp tq) const {
+    const Shard& shard, Timestamp tq, Deadline deadline) const {
   std::vector<QuerySnapshot> snapshots;
   {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
@@ -326,7 +342,7 @@ MovingObjectStore::ShardHits MovingObjectStore::NearestNeighborShard(
   ShardHits result;
   for (const QuerySnapshot& snapshot : snapshots) {
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, 1);
+        PredictSnapshot(snapshot, tq, 1, deadline);
     if (!predictions.ok()) {
       result.status = predictions.status();
       return result;
@@ -363,7 +379,8 @@ StatusOr<std::vector<RangeHit>> MovingObjectStore::FanOut(Fn&& fn) const {
 }
 
 StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveRangeQuery(
-    const BoundingBox& range, Timestamp tq, int k_per_object) const {
+    const BoundingBox& range, Timestamp tq, int k_per_object,
+    Deadline deadline) const {
   if (range.IsEmpty()) {
     return Status::InvalidArgument("query range is empty");
   }
@@ -371,8 +388,8 @@ StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveRangeQuery(
     return Status::InvalidArgument("k_per_object must be >= 1");
   }
   StatusOr<std::vector<RangeHit>> hits = FanOut(
-      [this, &range, tq, k_per_object](const Shard& shard) {
-        return RangeQueryShard(shard, range, tq, k_per_object);
+      [this, &range, tq, k_per_object, deadline](const Shard& shard) {
+        return RangeQueryShard(shard, range, tq, k_per_object, deadline);
       });
   if (!hits.ok()) return hits.status();
   std::sort(hits->begin(), hits->end(),
@@ -386,13 +403,13 @@ StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveRangeQuery(
 }
 
 StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveNearestNeighbors(
-    const Point& target, Timestamp tq, int n) const {
+    const Point& target, Timestamp tq, int n, Deadline deadline) const {
   if (n < 1) {
     return Status::InvalidArgument("n must be >= 1");
   }
   StatusOr<std::vector<RangeHit>> hits = FanOut(
-      [this, tq](const Shard& shard) {
-        return NearestNeighborShard(shard, tq);
+      [this, tq, deadline](const Shard& shard) {
+        return NearestNeighborShard(shard, tq, deadline);
       });
   if (!hits.ok()) return hits.status();
   std::sort(hits->begin(), hits->end(),

@@ -31,6 +31,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "core/hybrid_predictor.h"
 
@@ -121,10 +122,12 @@ class MovingObjectStore {
   /// Predicts object `id`'s location at `tq` (absolute time on the
   /// object's clock, after its last report). Uses the object's trained
   /// predictor when available and a pure motion-function answer before
-  /// the first training threshold.
-  StatusOr<std::vector<Prediction>> PredictLocation(ObjectId id,
-                                                    Timestamp tq,
-                                                    int k = 1) const;
+  /// the first training threshold. When `deadline` expires mid-query the
+  /// answer degrades to the RMF motion function (Prediction::degraded
+  /// records why) instead of failing.
+  StatusOr<std::vector<Prediction>> PredictLocation(
+      ObjectId id, Timestamp tq, int k = 1,
+      Deadline deadline = Deadline::Infinite()) const;
 
   /// Amortised multi-object point prediction: one result per input id,
   /// in input order. Snapshots are taken with one lock acquisition per
@@ -133,7 +136,8 @@ class MovingObjectStore {
   /// PredictLocation(ids[i], tq, k) would have returned at snapshot
   /// time.
   std::vector<StatusOr<std::vector<Prediction>>> PredictLocationBatch(
-      const std::vector<ObjectId>& ids, Timestamp tq, int k = 1) const;
+      const std::vector<ObjectId>& ids, Timestamp tq, int k = 1,
+      Deadline deadline = Deadline::Infinite()) const;
 
   /// Predictive range query: every object whose predicted location(s)
   /// at `tq` (its own clock) fall inside `range`. At most one hit per
@@ -143,15 +147,20 @@ class MovingObjectStore {
   /// by less than one step are skipped. Fans out across shards on the
   /// thread pool; each shard's objects are evaluated against a snapshot
   /// taken under its reader lock.
+  /// A `deadline` bounds the pattern-side work per object: once it
+  /// expires, remaining objects are evaluated with their (cheap) RMF
+  /// answers, so the result set still covers every eligible object.
   StatusOr<std::vector<RangeHit>> PredictiveRangeQuery(
-      const BoundingBox& range, Timestamp tq, int k_per_object = 3) const;
+      const BoundingBox& range, Timestamp tq, int k_per_object = 3,
+      Deadline deadline = Deadline::Infinite()) const;
 
   /// Predictive n-nearest-neighbours: the `n` objects whose top-1
   /// predicted location at `tq` lies closest to `target`, nearest
   /// first. Objects that cannot be queried at `tq` are skipped. Same
   /// fan-out as PredictiveRangeQuery.
   StatusOr<std::vector<RangeHit>> PredictiveNearestNeighbors(
-      const Point& target, Timestamp tq, int n) const;
+      const Point& target, Timestamp tq, int n,
+      Deadline deadline = Deadline::Infinite()) const;
 
   /// ---- Continuous monitoring -----------------------------------------
   /// Registers a standing range query: after every location report, the
@@ -260,7 +269,8 @@ class MovingObjectStore {
   /// Predicts against a snapshot; no locks held. Mirrors the pre-shard
   /// PredictForState semantics exactly.
   StatusOr<std::vector<Prediction>> PredictSnapshot(
-      const QuerySnapshot& snapshot, Timestamp tq, int k) const;
+      const QuerySnapshot& snapshot, Timestamp tq, int k,
+      Deadline deadline = Deadline::Infinite()) const;
 
   /// Runs initial training or batch incorporation for `id` if the
   /// post-append thresholds allow, mining outside the shard lock.
@@ -269,8 +279,10 @@ class MovingObjectStore {
   /// One shard's share of PredictiveRangeQuery / NearestNeighbors:
   /// snapshot eligible objects under the reader lock, predict unlocked.
   ShardHits RangeQueryShard(const Shard& shard, const BoundingBox& range,
-                            Timestamp tq, int k_per_object) const;
-  ShardHits NearestNeighborShard(const Shard& shard, Timestamp tq) const;
+                            Timestamp tq, int k_per_object,
+                            Deadline deadline) const;
+  ShardHits NearestNeighborShard(const Shard& shard, Timestamp tq,
+                                 Deadline deadline) const;
 
   /// Runs `fn(shard)` for every shard — on the pool when it has more
   /// than one worker, inline otherwise — and merges in shard order.

@@ -1,16 +1,39 @@
-// Directory persistence for MovingObjectStore.
+// Directory persistence for MovingObjectStore — generational, crash-safe.
 //
-// Layout:
-//   <dir>/manifest.txt       one line per object:
-//                            "object <id> <history_len> <consumed> <model?>"
-//   <dir>/<id>.csv           the object's full reported history
-//   <dir>/<id>.model         the trained HybridPredictor (when present)
+// Layout (docs/ROBUSTNESS.md has the recovery semantics):
+//   <dir>/CURRENT            "MANIFEST-<gen>\n"; atomically swapped *last*,
+//                            so it always names a fully written generation
+//   <dir>/MANIFEST-<gen>     header "hpm-store-manifest v2", one line per
+//                            object:
+//                            "object <id> <len> <consumed> <model?> <crc>"
+//                            (crc = CRC32 of the object's csv bytes, hex),
+//                            and a trailing "crc32 <hex>" line over every
+//                            preceding byte
+//   <dir>/<id>-<gen>.csv     the object's full reported history
+//   <dir>/<id>-<gen>.model   the trained HybridPredictor (when present;
+//                            self-validating via its own CRC footer)
+//   <dir>/quarantine/        corrupt files are moved here on load, so a
+//                            failed generation can be inspected without
+//                            being retried forever
+//
+// Every file is written via AtomicWriteFile (temp + fsync + rename), and a
+// save becomes visible only when CURRENT is swapped; a crash anywhere
+// before that leaves the previous generation fully intact. Loads verify
+// checksums, quarantine whatever fails, and fall back generation by
+// generation until one verifies.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/retry.h"
+#include "io/atomic_file.h"
 #include "io/csv.h"
 #include "server/object_store.h"
 
@@ -18,16 +41,146 @@ namespace hpm {
 
 namespace {
 
-std::string ManifestPath(const std::string& dir) {
-  return dir + "/manifest.txt";
+constexpr char kManifestHeader[] = "hpm-store-manifest v2";
+constexpr uint64_t kStoreIoRetrySeed = 0x73746f72655f696fULL;  // "store_io"
+
+std::string CurrentPath(const std::string& dir) { return dir + "/CURRENT"; }
+
+std::string ManifestName(uint64_t gen) {
+  return "MANIFEST-" + std::to_string(gen);
 }
 
-std::string CsvPath(const std::string& dir, ObjectId id) {
-  return dir + "/" + std::to_string(id) + ".csv";
+std::string ManifestPath(const std::string& dir, uint64_t gen) {
+  return dir + "/" + ManifestName(gen);
 }
 
-std::string ModelPath(const std::string& dir, ObjectId id) {
-  return dir + "/" + std::to_string(id) + ".model";
+std::string CsvPath(const std::string& dir, ObjectId id, uint64_t gen) {
+  return dir + "/" + std::to_string(id) + "-" + std::to_string(gen) + ".csv";
+}
+
+std::string ModelPath(const std::string& dir, ObjectId id, uint64_t gen) {
+  return dir + "/" + std::to_string(id) + "-" + std::to_string(gen) +
+         ".model";
+}
+
+/// Parses the generation number out of a "MANIFEST-<gen>" name.
+bool ParseManifestName(const std::string& name, uint64_t* gen) {
+  const std::string prefix = "MANIFEST-";
+  if (name.rfind(prefix, 0) != 0 || name.size() == prefix.size()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *gen = value;
+  return true;
+}
+
+/// All generations with a manifest file in `dir`, descending.
+std::vector<uint64_t> ListGenerations(const std::string& dir) {
+  std::vector<uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t gen = 0;
+    if (ParseManifestName(entry.path().filename().string(), &gen)) {
+      gens.push_back(gen);
+    }
+  }
+  std::sort(gens.begin(), gens.end(), std::greater<uint64_t>());
+  return gens;
+}
+
+/// The generation CURRENT points at, if CURRENT exists and parses.
+bool ReadCurrentGeneration(const std::string& dir, uint64_t* gen) {
+  StatusOr<std::string> content = ReadFileToString(CurrentPath(dir));
+  if (!content.ok()) return false;
+  std::string name = *content;
+  while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+    name.pop_back();
+  }
+  return ParseManifestName(name, gen);
+}
+
+/// Moves a corrupt file into <dir>/quarantine/ (best effort).
+void QuarantineFile(const std::string& dir, const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path source(path);
+  if (!std::filesystem::exists(source, ec)) return;
+  const std::filesystem::path target_dir =
+      std::filesystem::path(dir) / "quarantine";
+  std::filesystem::create_directories(target_dir, ec);
+  std::filesystem::rename(source, target_dir / source.filename(), ec);
+}
+
+/// One parsed manifest entry.
+struct ManifestEntry {
+  ObjectId id = 0;
+  size_t history_len = 0;
+  size_t consumed = 0;
+  bool has_model = false;
+  uint32_t csv_crc = 0;
+};
+
+/// Parses and checksum-verifies a v2 manifest. On failure the manifest
+/// itself is the corrupt file.
+Status ParseManifest(const std::string& content,
+                     std::vector<ManifestEntry>* entries) {
+  // The trailing line must be "crc32 <hex>" over every byte before it.
+  const size_t last_newline = content.size() >= 2
+                                  ? content.rfind('\n', content.size() - 2)
+                                  : std::string::npos;
+  if (content.empty() || content.back() != '\n' ||
+      last_newline == std::string::npos) {
+    return Status::DataLoss("manifest missing checksum line");
+  }
+  const std::string crc_line =
+      content.substr(last_newline + 1,
+                     content.size() - last_newline - 2);
+  uint32_t stored_crc = 0;
+  if (std::sscanf(crc_line.c_str(), "crc32 %" SCNx32, &stored_crc) != 1) {
+    return Status::DataLoss("manifest missing checksum line");
+  }
+  if (Crc32(content.data(), last_newline + 1) != stored_crc) {
+    return Status::DataLoss("manifest checksum mismatch");
+  }
+
+  size_t pos = 0;
+  bool header_seen = false;
+  while (pos <= last_newline) {
+    const size_t eol = content.find('\n', pos);
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!header_seen) {
+      if (line != kManifestHeader) {
+        return Status::DataLoss("bad manifest header: " + line);
+      }
+      header_seen = true;
+      continue;
+    }
+    ManifestEntry entry;
+    int has_model = 0;
+    if (std::sscanf(line.c_str(),
+                    "object %" SCNd64 " %zu %zu %d %" SCNx32, &entry.id,
+                    &entry.history_len, &entry.consumed, &has_model,
+                    &entry.csv_crc) != 5) {
+      return Status::DataLoss("malformed manifest line: " + line);
+    }
+    entry.has_model = has_model != 0;
+    entries->push_back(entry);
+  }
+  return Status::OK();
+}
+
+/// Reads a file through the load-side fault site with transient-failure
+/// retry.
+StatusOr<std::string> ReadStoreFile(const std::string& path, Random& rng) {
+  return RetryWithBackoff(
+      RetryPolicy{}, rng, [&]() -> StatusOr<std::string> {
+        HPM_INJECT_FAULT("store/load_read");
+        return ReadFileToString(path);
+      });
 }
 
 }  // namespace
@@ -41,11 +194,21 @@ Status MovingObjectStore::SaveToDirectory(
                                    ": " + ec.message());
   }
 
-  std::FILE* manifest = std::fopen(ManifestPath(directory).c_str(), "w");
-  if (manifest == nullptr) {
-    return Status::InvalidArgument("cannot write manifest in " + directory);
+  // The new generation is one past everything visible in the directory,
+  // whether or not CURRENT points at the newest manifest.
+  uint64_t gen = 1;
+  const std::vector<uint64_t> existing = ListGenerations(directory);
+  if (!existing.empty()) gen = existing.front() + 1;
+  uint64_t current_gen = 0;
+  if (ReadCurrentGeneration(directory, &current_gen) && current_gen >= gen) {
+    gen = current_gen + 1;
   }
-  Status status = Status::OK();
+
+  Random retry_rng(kStoreIoRetrySeed ^ gen);
+  const RetryPolicy policy;
+
+  std::string manifest = kManifestHeader;
+  manifest += '\n';
   // ObjectIds() is ascending, matching the pre-shard manifest order.
   for (ObjectId id : ObjectIds()) {
     Trajectory history;
@@ -61,73 +224,148 @@ Status MovingObjectStore::SaveToDirectory(
       consumed = it->second.consumed_samples;
     }
     const bool has_model = predictor != nullptr;
-    std::fprintf(manifest, "object %" PRId64 " %zu %zu %d\n", id,
-                 history.size(), consumed, has_model ? 1 : 0);
-    status = WriteTrajectoryCsv(history, CsvPath(directory, id));
-    if (!status.ok()) break;
-    if (has_model) {
-      status = predictor->SaveToFile(ModelPath(directory, id));
-      if (!status.ok()) break;
+    const std::string csv = FormatTrajectoryCsv(history);
+
+    Status written = RetryWithBackoff(policy, retry_rng, [&]() -> Status {
+      HPM_INJECT_FAULT("store/save_object");
+      HPM_RETURN_IF_ERROR(AtomicWriteFile(CsvPath(directory, id, gen), csv));
+      if (has_model) {
+        return predictor->SaveToFile(ModelPath(directory, id, gen));
+      }
+      return Status::OK();
+    });
+    if (!written.ok()) {
+      return written.Annotate("save object " + std::to_string(id));
     }
+
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "object %" PRId64 " %zu %zu %d %08x\n", id,
+                  history.size(), consumed, has_model ? 1 : 0, Crc32(csv));
+    manifest += line;
   }
-  std::fclose(manifest);
-  return status;
+
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc32 %08x\n", Crc32(manifest));
+  manifest += crc_line;
+
+  Status wrote_manifest =
+      RetryWithBackoff(policy, retry_rng, [&]() -> Status {
+        HPM_INJECT_FAULT("store/save_manifest");
+        return AtomicWriteFile(ManifestPath(directory, gen), manifest);
+      });
+  if (!wrote_manifest.ok()) return wrote_manifest.Annotate("save manifest");
+
+  // The commit point: after this rename the new generation is live.
+  Status committed = RetryWithBackoff(policy, retry_rng, [&]() -> Status {
+    HPM_INJECT_FAULT("store/save_commit");
+    return AtomicWriteFile(CurrentPath(directory), ManifestName(gen) + "\n");
+  });
+  if (!committed.ok()) return committed.Annotate("commit");
+
+  // Best-effort cleanup: keep this generation and the previous one (the
+  // recovery target if this generation's files later rot).
+  for (uint64_t old_gen : ListGenerations(directory)) {
+    if (old_gen + 1 >= gen) continue;
+    StatusOr<std::string> old_manifest =
+        ReadFileToString(ManifestPath(directory, old_gen));
+    if (old_manifest.ok()) {
+      std::vector<ManifestEntry> entries;
+      if (ParseManifest(*old_manifest, &entries).ok()) {
+        for (const ManifestEntry& entry : entries) {
+          std::remove(CsvPath(directory, entry.id, old_gen).c_str());
+          std::remove(ModelPath(directory, entry.id, old_gen).c_str());
+        }
+      }
+    }
+    std::remove(ManifestPath(directory, old_gen).c_str());
+  }
+  return Status::OK();
 }
 
 StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
     const std::string& directory, ObjectStoreOptions options) {
-  std::FILE* manifest = std::fopen(ManifestPath(directory).c_str(), "r");
-  if (manifest == nullptr) {
+  // Attempts a full verified load of one generation. On failure,
+  // `*bad_file` names the file that should be quarantined.
+  Random retry_rng(kStoreIoRetrySeed);
+  const auto try_load_generation =
+      [&](uint64_t gen,
+          std::string* bad_file) -> StatusOr<MovingObjectStore> {
+    const std::string manifest_path = ManifestPath(directory, gen);
+    *bad_file = manifest_path;
+    StatusOr<std::string> manifest = ReadStoreFile(manifest_path, retry_rng);
+    if (!manifest.ok()) return manifest.status();
+    std::vector<ManifestEntry> entries;
+    HPM_RETURN_IF_ERROR(ParseManifest(*manifest, &entries));
+
+    MovingObjectStore store(options);
+    for (const ManifestEntry& entry : entries) {
+      const std::string csv_path = CsvPath(directory, entry.id, gen);
+      *bad_file = csv_path;
+      StatusOr<std::string> csv = ReadStoreFile(csv_path, retry_rng);
+      if (!csv.ok()) return csv.status();
+      if (Crc32(*csv) != entry.csv_crc) {
+        return Status::DataLoss("csv checksum mismatch: " + csv_path);
+      }
+      StatusOr<Trajectory> history = ParseTrajectoryCsv(*csv);
+      if (!history.ok()) return history.status();
+      if (history->size() != entry.history_len) {
+        return Status::DataLoss("history length mismatch for object " +
+                                std::to_string(entry.id));
+      }
+      if (entry.consumed > entry.history_len) {
+        return Status::DataLoss("corrupt consumed count for object " +
+                                std::to_string(entry.id));
+      }
+      ObjectState state;
+      state.history = std::move(*history);
+      state.consumed_samples = entry.consumed;
+      if (entry.has_model) {
+        const std::string model_path = ModelPath(directory, entry.id, gen);
+        *bad_file = model_path;
+        auto predictor = RetryWithBackoff(
+            RetryPolicy{}, retry_rng,
+            [&]() -> StatusOr<std::unique_ptr<HybridPredictor>> {
+              HPM_INJECT_FAULT("store/load_read");
+              return HybridPredictor::LoadFromFile(model_path);
+            });
+        if (!predictor.ok()) return predictor.status();
+        state.predictor = std::move(*predictor);
+      }
+      // The store is unpublished while loading; no lock needed.
+      store.ShardFor(entry.id).objects.emplace(entry.id, std::move(state));
+    }
+    bad_file->clear();
+    return store;
+  };
+
+  // Candidate generations: CURRENT's first, then every other manifest in
+  // the directory, newest first.
+  std::vector<uint64_t> candidates;
+  uint64_t current_gen = 0;
+  const bool have_current =
+      ReadCurrentGeneration(directory, &current_gen);
+  if (have_current) candidates.push_back(current_gen);
+  for (uint64_t gen : ListGenerations(directory)) {
+    if (!have_current || gen != current_gen) candidates.push_back(gen);
+  }
+  if (candidates.empty()) {
     return Status::InvalidArgument("no manifest in " + directory);
   }
 
-  MovingObjectStore store(std::move(options));
-  char line[256];
-  Status status = Status::OK();
-  while (std::fgets(line, sizeof(line), manifest) != nullptr) {
-    int64_t id = 0;
-    size_t history_len = 0, consumed = 0;
-    int has_model = 0;
-    if (std::sscanf(line, "object %" SCNd64 " %zu %zu %d", &id,
-                    &history_len, &consumed, &has_model) != 4) {
-      status = Status::InvalidArgument("malformed manifest line: " +
-                                       std::string(line));
-      break;
-    }
-    StatusOr<Trajectory> history =
-        ReadTrajectoryCsv(CsvPath(directory, id));
-    if (!history.ok()) {
-      status = history.status();
-      break;
-    }
-    if (history->size() != history_len) {
-      status = Status::InvalidArgument(
-          "history length mismatch for object " + std::to_string(id));
-      break;
-    }
-    if (consumed > history_len) {
-      status = Status::InvalidArgument(
-          "corrupt consumed count for object " + std::to_string(id));
-      break;
-    }
-    ObjectState state;
-    state.history = std::move(*history);
-    state.consumed_samples = consumed;
-    if (has_model != 0) {
-      auto predictor =
-          HybridPredictor::LoadFromFile(ModelPath(directory, id));
-      if (!predictor.ok()) {
-        status = predictor.status();
-        break;
-      }
-      state.predictor = std::move(*predictor);
-    }
-    // The store is unpublished while loading; no lock needed.
-    store.ShardFor(id).objects.emplace(id, std::move(state));
+  Status last_error = Status::OK();
+  for (uint64_t gen : candidates) {
+    std::string bad_file;
+    StatusOr<MovingObjectStore> store =
+        try_load_generation(gen, &bad_file);
+    if (store.ok()) return store;
+    last_error = store.status().Annotate(ManifestName(gen));
+    // Retries are exhausted by now: the file is corrupt (or persistently
+    // unreadable), so move it aside and fall back a generation.
+    if (!bad_file.empty()) QuarantineFile(directory, bad_file);
   }
-  std::fclose(manifest);
-  if (!status.ok()) return status;
-  return store;
+  return Status::DataLoss("no loadable store generation in " + directory +
+                          " (last error: " + last_error.ToString() + ")");
 }
 
 }  // namespace hpm

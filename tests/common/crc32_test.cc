@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hpm {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical IEEE check value.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string("")), 0u);
+  EXPECT_EQ(Crc32(std::string("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, ChunkedEqualsWhole) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t head = Crc32(data.data(), split);
+    const uint32_t chunked = Crc32(data.data() + split, data.size() - split,
+                                   head);
+    EXPECT_EQ(chunked, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "hpm model bytes";
+  const uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32(data), clean) << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpm

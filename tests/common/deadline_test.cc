@@ -1,0 +1,52 @@
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace hpm {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), Deadline::Clock::duration::max());
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  const Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, ExpiredIsExpired) {
+  const Deadline d = Deadline::Expired();
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), Deadline::Clock::duration::zero());
+}
+
+TEST(DeadlineTest, FarFutureDeadlineNotExpired) {
+  const Deadline d = Deadline::After(std::chrono::hours(24));
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), std::chrono::hours(23));
+}
+
+TEST(DeadlineTest, AfterMillisExpiresOnceElapsed) {
+  const Deadline d = Deadline::AfterMillis(1);
+  const auto until = Deadline::Clock::now() + std::chrono::milliseconds(5);
+  while (Deadline::Clock::now() < until) {
+  }
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, CopyKeepsExpiry) {
+  const Deadline d = Deadline::Expired();
+  const Deadline copy = d;
+  EXPECT_TRUE(copy.expired());
+}
+
+}  // namespace
+}  // namespace hpm

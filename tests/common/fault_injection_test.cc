@@ -1,0 +1,175 @@
+// FaultInjector unit tests. These exercise the injector class directly, so
+// they run (and pass) in every build; only the HPM_FAULT_* macro expansion
+// differs between builds, which MacroDisabledInNormalBuilds covers.
+
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hpm {
+namespace {
+
+/// Each test works on its own injector state.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSiteReturnsOkAndCounts) {
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.Hit("test/site").ok());
+  EXPECT_TRUE(injector.Hit("test/site").ok());
+  EXPECT_EQ(injector.calls("test/site"), 2);
+  EXPECT_EQ(injector.fires("test/site"), 0);
+}
+
+TEST_F(FaultInjectionTest, AlwaysRuleFiresEveryCall) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.always = true;
+  rule.code = StatusCode::kUnavailable;
+  rule.message = "disk on fire";
+  injector.Arm("test/site", rule);
+  const Status status = injector.Hit("test/site");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("test/site"), std::string::npos);
+  EXPECT_NE(status.message().find("disk on fire"), std::string::npos);
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  EXPECT_EQ(injector.fires("test/site"), 2);
+}
+
+TEST_F(FaultInjectionTest, NthCallFiresExactlyOnce) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.nth_call = 3;
+  injector.Arm("test/site", rule);
+  EXPECT_TRUE(injector.Hit("test/site").ok());
+  EXPECT_TRUE(injector.Hit("test/site").ok());
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  EXPECT_TRUE(injector.Hit("test/site").ok());
+  EXPECT_EQ(injector.calls("test/site"), 4);
+  EXPECT_EQ(injector.fires("test/site"), 1);
+}
+
+TEST_F(FaultInjectionTest, FromNthCallFailsForeverAfter) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.from_nth_call = 2;
+  injector.Arm("test/site", rule);
+  EXPECT_TRUE(injector.Hit("test/site").ok());
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  EXPECT_EQ(injector.fires("test/site"), 3);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresCapsFailures) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.always = true;
+  rule.max_fires = 2;
+  injector.Arm("test/site", rule);
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  EXPECT_TRUE(injector.Hit("test/site").ok());
+  EXPECT_EQ(injector.fires("test/site"), 2);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicUnderSeed) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.probability = 0.5;
+  const auto run_schedule = [&](uint64_t seed) {
+    injector.Reset();
+    injector.Seed(seed);
+    injector.Arm("test/site", rule);
+    std::string outcome;
+    for (int i = 0; i < 64; ++i) {
+      outcome += injector.Hit("test/site").ok() ? '.' : 'X';
+    }
+    return outcome;
+  };
+  const std::string first = run_schedule(1234);
+  const std::string second = run_schedule(1234);
+  const std::string different = run_schedule(99);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, different);  // 2^-64 chance of a false failure
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFiringButKeepsCounters) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.always = true;
+  injector.Arm("test/site", rule);
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  injector.Disarm("test/site");
+  EXPECT_TRUE(injector.Hit("test/site").ok());
+  EXPECT_EQ(injector.calls("test/site"), 2);
+  EXPECT_EQ(injector.fires("test/site"), 1);
+}
+
+TEST_F(FaultInjectionTest, ResetCountersKeepsRules) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.nth_call = 1;
+  injector.Arm("test/site", rule);
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+  injector.ResetCounters();
+  EXPECT_EQ(injector.calls("test/site"), 0);
+  // nth_call counts from the reset, so the rule fires again.
+  EXPECT_FALSE(injector.Hit("test/site").ok());
+}
+
+TEST_F(FaultInjectionTest, SitesListsEverythingTouched) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Hit("b/site");
+  injector.Arm("a/site", FaultRule{});
+  const std::vector<std::string> sites = injector.Sites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], "a/site");
+  EXPECT_EQ(sites[1], "b/site");
+}
+
+TEST_F(FaultInjectionTest, CustomCodePropagates) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.always = true;
+  rule.code = StatusCode::kDataLoss;
+  injector.Arm("test/site", rule);
+  EXPECT_EQ(injector.Hit("test/site").code(), StatusCode::kDataLoss);
+}
+
+TEST_F(FaultInjectionTest, KnownSitesAreNamedAndUnique) {
+  ASSERT_GE(kNumKnownFaultSites, 5);
+  for (int i = 0; i < kNumKnownFaultSites; ++i) {
+    EXPECT_NE(kKnownFaultSites[i], nullptr);
+    for (int j = i + 1; j < kNumKnownFaultSites; ++j) {
+      EXPECT_STRNE(kKnownFaultSites[i], kKnownFaultSites[j]);
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, MacroMatchesBuildConfiguration) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultRule rule;
+  rule.always = true;
+  injector.Arm("test/macro", rule);
+  const Status status = HPM_FAULT_HIT("test/macro");
+#ifdef HPM_ENABLE_FAULTS
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(injector.calls("test/macro"), 1);
+#else
+  // Hooks compiled out: the macro is a constant OK and never reaches the
+  // injector.
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(injector.calls("test/macro"), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,155 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace hpm {
+namespace {
+
+/// Collects backoff durations instead of sleeping.
+struct RecordingSleep {
+  std::vector<std::chrono::microseconds>* slept;
+  void operator()(std::chrono::microseconds d) const { slept->push_back(d); }
+};
+
+TEST(RetryTest, SucceedsFirstTryNoSleep) {
+  Random rng(1);
+  std::vector<std::chrono::microseconds> slept;
+  int attempts = 0;
+  const Status status = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&]() {
+        ++attempts;
+        return Status::OK();
+      },
+      RecordingSleep{&slept});
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryTest, RetriesUnavailableUntilSuccess) {
+  Random rng(1);
+  std::vector<std::chrono::microseconds> slept;
+  int attempts = 0;
+  const Status status = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&]() {
+        ++attempts;
+        return attempts < 3 ? Status::Unavailable("transient")
+                            : Status::OK();
+      },
+      RecordingSleep{&slept});
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(slept.size(), 2u);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  Random rng(1);
+  std::vector<std::chrono::microseconds> slept;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  int attempts = 0;
+  const Status status = RetryWithBackoff(
+      policy, rng,
+      [&]() {
+        ++attempts;
+        return Status::Unavailable("still down");
+      },
+      RecordingSleep{&slept});
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attempts, 4);
+  EXPECT_EQ(slept.size(), 3u);
+}
+
+TEST(RetryTest, NonRetryableFailsImmediately) {
+  Random rng(1);
+  std::vector<std::chrono::microseconds> slept;
+  int attempts = 0;
+  const Status status = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&]() {
+        ++attempts;
+        return Status::DataLoss("torn file");
+      },
+      RecordingSleep{&slept});
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryTest, BackoffGrowsAndRespectsCap) {
+  Random rng(7);
+  std::vector<std::chrono::microseconds> slept;
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff = std::chrono::microseconds(100);
+  policy.multiplier = 10.0;
+  policy.max_backoff = std::chrono::microseconds(2000);
+  policy.jitter = 0.0;
+  RetryWithBackoff(
+      policy, rng, [&]() { return Status::Unavailable("down"); },
+      RecordingSleep{&slept});
+  ASSERT_EQ(slept.size(), 5u);
+  EXPECT_EQ(slept[0].count(), 100);
+  EXPECT_EQ(slept[1].count(), 1000);
+  EXPECT_EQ(slept[2].count(), 2000);  // capped
+  EXPECT_EQ(slept[3].count(), 2000);
+  EXPECT_EQ(slept[4].count(), 2000);
+}
+
+TEST(RetryTest, JitterIsDeterministicUnderSeed) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  const auto run = [&](uint64_t seed) {
+    Random rng(seed);
+    std::vector<std::chrono::microseconds> slept;
+    RetryWithBackoff(
+        policy, rng, [&]() { return Status::Unavailable("down"); },
+        RecordingSleep{&slept});
+    return slept;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(RetryTest, StatusOrResultPropagatesValue) {
+  Random rng(1);
+  std::vector<std::chrono::microseconds> slept;
+  int attempts = 0;
+  const StatusOr<int> result = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&]() -> StatusOr<int> {
+        ++attempts;
+        if (attempts < 2) return Status::Unavailable("transient");
+        return 77;
+      },
+      RecordingSleep{&slept});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 77);
+  EXPECT_EQ(attempts, 2);
+}
+
+TEST(RetryTest, StatusOrErrorAfterExhaustion) {
+  Random rng(1);
+  std::vector<std::chrono::microseconds> slept;
+  const StatusOr<int> result = RetryWithBackoff(
+      RetryPolicy{}, rng,
+      [&]() -> StatusOr<int> { return Status::Unavailable("down"); },
+      RecordingSleep{&slept});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RetryTest, IsRetryableOnlyForUnavailable) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("x")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::DataLoss("x")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("x")));
+}
+
+}  // namespace
+}  // namespace hpm

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/random.h"
 #include "core/hybrid_predictor.h"
 
@@ -194,9 +195,21 @@ TEST(ModelIoTest, SaveToUnwritablePathFails) {
 // say, a multi-gigabyte allocation on a corrupt count). Offsets of the
 // tail fields are computed from the trained model's own structure:
 //   ... | u64 num_regions | regions | u64 num_patterns | patterns
-//       | u64 num_subs(end)
+//       | u64 num_subs | footer ("HPMC" + crc32, 8 bytes, at the end)
 // where each pattern is u64 premise_size + 8*premise + 24 bytes and
 // each region is 48 bytes + its MBR (1 byte empty flag, +32 if set).
+// Each surgical edit re-stamps the footer CRC so the corruption reaches
+// the semantic validator it targets instead of tripping the checksum.
+
+constexpr size_t kFooterSize = 8;
+
+void RestampFooter(std::vector<unsigned char>& bytes) {
+  ASSERT_GE(bytes.size(), kFooterSize);
+  const size_t body = bytes.size() - kFooterSize;
+  const uint32_t crc = Crc32(bytes.data(), body);
+  std::memcpy(bytes.data() + body, "HPMC", 4);
+  std::memcpy(bytes.data() + body + 4, &crc, sizeof(crc));
+}
 
 std::vector<unsigned char> ReadFileBytes(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -244,14 +257,16 @@ class ModelCorruptionTest : public ::testing::Test {
     for (const FrequentRegion& r : model_->regions().regions()) {
       regions_bytes += 48 + (r.mbr.IsEmpty() ? 1 : 33);
     }
-    num_subs_offset_ = bytes_.size() - 8;
+    num_subs_offset_ = bytes_.size() - kFooterSize - 8;
     first_premise_size_offset_ = num_subs_offset_ - patterns_bytes;
     num_patterns_offset_ = first_premise_size_offset_ - 8;
     num_regions_offset_ = num_patterns_offset_ - regions_bytes - 8;
   }
 
-  /// Writes the corrupted bytes and returns the load status.
+  /// Re-stamps the footer CRC, writes the corrupted bytes and returns
+  /// the load status.
   Status LoadCorrupted(const char* name) {
+    RestampFooter(bytes_);
     const std::string path = TempPath(name);
     WriteFileBytes(path, bytes_);
     return HybridPredictor::LoadFromFile(path).status();
@@ -325,10 +340,34 @@ TEST_F(ModelCorruptionTest, RejectsOversizedPremiseKey) {
 }
 
 TEST_F(ModelCorruptionTest, RejectsTruncatedTail) {
-  bytes_.resize(bytes_.size() - 4);  // Clip half of num_subs.
+  // Clip half of num_subs (the last body field). LoadCorrupted re-stamps
+  // the footer, so the reader itself must catch the short body.
+  bytes_.erase(bytes_.end() - kFooterSize - 4, bytes_.end() - kFooterSize);
   const Status status = LoadCorrupted("model_clipped_tail.hpm");
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(status.message().find("truncated"), std::string::npos);
+}
+
+TEST_F(ModelCorruptionTest, TornWriteWithoutFooterIsDataLoss) {
+  // A crash mid-write leaves a prefix with no footer: DataLoss, not a
+  // confusing semantic error.
+  bytes_.resize(bytes_.size() - kFooterSize);
+  const std::string path = TempPath("model_torn.hpm");
+  WriteFileBytes(path, bytes_);
+  const Status status = HybridPredictor::LoadFromFile(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("torn model file"), std::string::npos);
+}
+
+TEST_F(ModelCorruptionTest, BitRotWithoutRestampIsChecksumMismatch) {
+  // Flip one body byte but keep the old footer: the CRC catches it
+  // before any field validator runs.
+  bytes_[num_patterns_offset_] ^= 0x01;
+  const std::string path = TempPath("model_bitrot.hpm");
+  WriteFileBytes(path, bytes_);
+  const Status status = HybridPredictor::LoadFromFile(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos);
 }
 
 TEST(IncorporateTest, NewDataOnKnownRouteAddsNothingNew) {

@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/random.h"
 
 namespace hpm {
@@ -322,8 +324,50 @@ std::string SavedStoreDir(const char* name) {
   return dir;
 }
 
-void WriteManifest(const std::string& dir, const std::string& content) {
-  std::FILE* f = std::fopen((dir + "/manifest.txt").c_str(), "w");
+std::string ReadSmallFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string content;
+  char buf[256];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+/// The manifest name CURRENT points at, e.g. "MANIFEST-1".
+std::string CurrentManifestName(const std::string& dir) {
+  std::string name = ReadSmallFile(dir + "/CURRENT");
+  while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+    name.pop_back();
+  }
+  return name;
+}
+
+/// The generation number CURRENT points at.
+std::string CurrentGeneration(const std::string& dir) {
+  return CurrentManifestName(dir).substr(std::string("MANIFEST-").size());
+}
+
+/// CRC (manifest hex form) of the current generation's csv for `id`.
+std::string CsvCrcHex(const std::string& dir, ObjectId id) {
+  const std::string csv = ReadSmallFile(
+      dir + "/" + std::to_string(id) + "-" + CurrentGeneration(dir) + ".csv");
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08x", Crc32(csv));
+  return hex;
+}
+
+/// Replaces the current generation's manifest body with `body` (object
+/// lines), re-stamping the v2 header and checksum line so the corruption
+/// under test is what the parser sees — not a checksum mismatch.
+void WriteManifest(const std::string& dir, const std::string& body) {
+  std::string content = "hpm-store-manifest v2\n" + body;
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc32 %08x\n", Crc32(content));
+  content += crc_line;
+  std::FILE* f =
+      std::fopen((dir + "/" + CurrentManifestName(dir)).c_str(), "w");
   ASSERT_NE(f, nullptr);
   std::fputs(content.c_str(), f);
   std::fclose(f);
@@ -333,20 +377,39 @@ void WriteManifest(const std::string& dir, const std::string& content) {
 
 TEST(ObjectStoreTest, LoadRejectsMalformedManifestLine) {
   const std::string dir = SavedStoreDir("store_bad_manifest");
-  WriteManifest(dir, "object three 20 0 0\n");
+  const std::string manifest_name = CurrentManifestName(dir);
+  WriteManifest(dir, "object three 20 0 0 00000000\n");
   const Status status =
       MovingObjectStore::LoadFromDirectory(dir, Options()).status();
-  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
   EXPECT_NE(status.message().find("malformed manifest line"),
+            std::string::npos);
+  // The sole generation failed: its manifest is quarantined for autopsy.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/quarantine/" + manifest_name));
+}
+
+TEST(ObjectStoreTest, LoadRejectsTamperedManifestChecksum) {
+  const std::string dir = SavedStoreDir("store_manifest_bitrot");
+  const std::string path = dir + "/" + CurrentManifestName(dir);
+  std::string content = ReadSmallFile(path);
+  content[content.find("object") + 7] ^= 0x01;  // Flip a digit of the id.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  const Status status =
+      MovingObjectStore::LoadFromDirectory(dir, Options()).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("manifest checksum mismatch"),
             std::string::npos);
 }
 
 TEST(ObjectStoreTest, LoadRejectsHistoryLengthMismatch) {
   const std::string dir = SavedStoreDir("store_len_mismatch");
-  WriteManifest(dir, "object 3 999 0 0\n");
+  WriteManifest(dir, "object 3 999 0 0 " + CsvCrcHex(dir, 3) + "\n");
   const Status status =
       MovingObjectStore::LoadFromDirectory(dir, Options()).status();
-  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
   EXPECT_NE(status.message().find("history length mismatch"),
             std::string::npos);
 }
@@ -354,10 +417,10 @@ TEST(ObjectStoreTest, LoadRejectsHistoryLengthMismatch) {
 TEST(ObjectStoreTest, LoadRejectsCorruptConsumedCount) {
   const std::string dir = SavedStoreDir("store_bad_consumed");
   // Consumed count larger than the (true) history length.
-  WriteManifest(dir, "object 3 20 21 0\n");
+  WriteManifest(dir, "object 3 20 21 0 " + CsvCrcHex(dir, 3) + "\n");
   const Status status =
       MovingObjectStore::LoadFromDirectory(dir, Options()).status();
-  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
   EXPECT_NE(status.message().find("corrupt consumed count"),
             std::string::npos);
 }
@@ -365,17 +428,43 @@ TEST(ObjectStoreTest, LoadRejectsCorruptConsumedCount) {
 TEST(ObjectStoreTest, LoadRejectsManifestEntryWithoutCsv) {
   const std::string dir = SavedStoreDir("store_missing_csv");
   // References an object whose history file does not exist.
-  WriteManifest(dir, "object 4 20 0 0\n");
+  WriteManifest(dir, "object 4 20 0 0 00000000\n");
   EXPECT_FALSE(
       MovingObjectStore::LoadFromDirectory(dir, Options()).ok());
 }
 
 TEST(ObjectStoreTest, LoadRejectsManifestClaimingMissingModel) {
   const std::string dir = SavedStoreDir("store_missing_model");
-  // Claims a trained model, but no 3.model file was saved.
-  WriteManifest(dir, "object 3 20 20 1\n");
+  // Claims a trained model, but no 3-<gen>.model file was saved.
+  WriteManifest(dir, "object 3 20 20 1 " + CsvCrcHex(dir, 3) + "\n");
   EXPECT_FALSE(
       MovingObjectStore::LoadFromDirectory(dir, Options()).ok());
+}
+
+TEST(ObjectStoreTest, ResavingAdvancesGenerationAndKeepsPrevious) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/store_generations";
+  std::filesystem::remove_all(dir);
+  Random rng(15);
+  MovingObjectStore store(Options());
+  ASSERT_TRUE(store.ReportTrajectory(1, OnePeriod(1, &rng)).ok());
+  ASSERT_TRUE(store.SaveToDirectory(dir).ok());
+  EXPECT_EQ(CurrentManifestName(dir), "MANIFEST-1");
+  ASSERT_TRUE(store.ReportTrajectory(1, OnePeriod(1, &rng)).ok());
+  ASSERT_TRUE(store.SaveToDirectory(dir).ok());
+  EXPECT_EQ(CurrentManifestName(dir), "MANIFEST-2");
+  // The previous generation stays on disk as the recovery target...
+  EXPECT_TRUE(std::filesystem::exists(dir + "/MANIFEST-1"));
+  // ...and a third save retires it.
+  ASSERT_TRUE(store.SaveToDirectory(dir).ok());
+  EXPECT_EQ(CurrentManifestName(dir), "MANIFEST-3");
+  EXPECT_FALSE(std::filesystem::exists(dir + "/MANIFEST-1"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/1-1.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/MANIFEST-2"));
+
+  auto restored = MovingObjectStore::LoadFromDirectory(dir, Options());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->HistoryLength(1), store.HistoryLength(1));
 }
 
 TEST(ObjectStoreTest, ColdObjectsPersistWithoutModels) {

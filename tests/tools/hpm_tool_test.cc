@@ -182,6 +182,19 @@ TEST(HpmToolTest, ThroughputReportsBothWorkloads) {
   EXPECT_NE(r.output.find("query"), std::string::npos);
 }
 
+TEST(HpmToolTest, FaultcheckRunsOrReportsMissingHooks) {
+  const std::string dir = Tmp("tool_faultcheck");
+  const RunResult r = RunTool("faultcheck --seed 7 --dir " + dir);
+#ifdef HPM_ENABLE_FAULTS
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("faultcheck --seed 7"), std::string::npos);
+  EXPECT_NE(r.output.find("core/pattern_lookup"), std::string::npos);
+#else
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("HPM_ENABLE_FAULTS"), std::string::npos);
+#endif
+}
+
 TEST(HpmToolTest, ThroughputValidatesFlags) {
   EXPECT_EQ(RunTool("throughput --shards 0").exit_code, 1);
   EXPECT_EQ(RunTool("throughput --threads 0").exit_code, 1);

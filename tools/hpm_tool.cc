@@ -29,17 +29,26 @@
 //       point-query ops/sec with --clients client threads against a
 //       store built with --shards shards and --threads fan-out workers.
 //
+//   faultcheck [--seed N] [--dir PATH]
+//       Run a deterministic fault-injection scenario (degraded serving,
+//       save-kill recovery) and report per-site hit/fire counts. Needs a
+//       -DHPM_ENABLE_FAULTS=ON build; exits 2 when the hooks are
+//       compiled out, 1 when an invariant breaks, 0 on success.
+//
 // All subcommands exit 0 on success and print errors to stderr.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/hybrid_predictor.h"
 #include "datagen/datasets.h"
@@ -119,8 +128,8 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: hpm_tool "
-               "<generate|train|info|predict|evaluate|throughput> [--flag "
-               "value ...]\n  (see the header of tools/hpm_tool.cc)\n");
+               "<generate|train|info|predict|evaluate|throughput|faultcheck> "
+               "[--flag value ...]\n  (see the header of tools/hpm_tool.cc)\n");
   return 2;
 }
 
@@ -417,6 +426,143 @@ int RunThroughput(Args args) {
   return 0;
 }
 
+int RunFaultcheck(Args args) {
+#ifndef HPM_ENABLE_FAULTS
+  (void)args;
+  std::fprintf(stderr,
+               "faultcheck needs the fault-injection hooks; rebuild with "
+               "-DHPM_ENABLE_FAULTS=ON\n");
+  return 2;
+#else
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string dir = args.Get(
+      "dir", (std::filesystem::temp_directory_path() / "hpm_faultcheck")
+                 .string());
+  if (int rc = FinishArgs(&args)) return rc;
+
+  constexpr Timestamp kPeriod = 20;
+  ObjectStoreOptions options;
+  options.predictor.regions.period = kPeriod;
+  options.predictor.regions.dbscan.eps = 15.0;
+  options.predictor.regions.dbscan.min_pts = 3;
+  options.predictor.mining.min_confidence = 0.2;
+  options.predictor.mining.min_support = 2;
+  options.predictor.distant_threshold = 8;
+  options.predictor.region_match_slack = 8.0;
+  options.min_training_periods = 5;
+  options.update_batch_periods = 2;
+  options.recent_window = 5;
+
+  const auto route = [](ObjectId id, Timestamp t) -> Point {
+    return {100.0 * static_cast<double>(t % kPeriod) + 50.0,
+            500.0 + 1000.0 * static_cast<double>(id)};
+  };
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Reset();
+  injector.Seed(seed);
+
+  MovingObjectStore store(options);
+  for (ObjectId id = 0; id < 3; ++id) {
+    for (Timestamp t = 0; t < 5 * kPeriod + 11; ++t) {
+      if (Status s = store.ReportLocation(id, route(id, t)); !s.ok()) {
+        return Fail("ingest failed: " + s.ToString());
+      }
+    }
+  }
+  const Timestamp now = 5 * kPeriod + 10;
+
+  // 1. Pattern-side faults: every query must still answer; anything
+  //    flagged degraded must come from the motion function.
+  FaultRule flaky;
+  flaky.probability = 0.5;
+  injector.Arm("core/pattern_lookup", flaky);
+  int degraded = 0, pattern_answers = 0;
+  for (int i = 0; i < 200; ++i) {
+    const ObjectId id = i % 3;
+    auto result = store.PredictLocation(id, now + 2 + i % 10);
+    if (!result.ok()) {
+      return Fail("query failed under pattern faults: " +
+                  result.status().ToString());
+    }
+    if (result->front().degraded != DegradedReason::kNone) {
+      ++degraded;
+      if (result->front().source != PredictionSource::kMotionFunction) {
+        return Fail("degraded answer not from the motion function");
+      }
+    } else if (result->front().source == PredictionSource::kPattern) {
+      ++pattern_answers;
+    }
+  }
+  injector.Disarm("core/pattern_lookup");
+  if (degraded == 0) {
+    return Fail("fault schedule never fired at probability 0.5");
+  }
+
+  // 2. Expired deadlines degrade rather than fail.
+  auto rushed = store.PredictLocation(0, now + 5, 1, Deadline::Expired());
+  if (!rushed.ok() ||
+      rushed->front().degraded != DegradedReason::kDeadlineExceeded) {
+    return Fail("expired deadline did not degrade to the motion function");
+  }
+
+  // 3. Save-kill recovery: kill the save at seeded random write points;
+  //    the directory must always reload to the committed state.
+  std::filesystem::remove_all(dir);
+  if (Status s = store.SaveToDirectory(dir); !s.ok()) {
+    return Fail("clean save failed: " + s.ToString());
+  }
+  const char* const kill_sites[] = {"store/save_object",
+                                    "store/save_manifest",
+                                    "store/save_commit", "io/atomic_write"};
+  Random rng(seed);
+  int kills = 0;
+  for (int round = 0; round < 6; ++round) {
+    const char* site = kill_sites[rng.Uniform(4)];
+    FaultRule crash;
+    crash.from_nth_call = static_cast<int64_t>(1 + rng.Uniform(6));
+    injector.Arm(site, crash);
+    const Status killed = store.SaveToDirectory(dir);
+    injector.Disarm(site);
+    if (!killed.ok()) ++kills;
+    auto restored = MovingObjectStore::LoadFromDirectory(dir, options);
+    if (!restored.ok()) {
+      return Fail(std::string("unrecoverable after killing ") + site +
+                  ": " + restored.status().ToString());
+    }
+    for (ObjectId id = 0; id < 3; ++id) {
+      if (restored->HistoryLength(id) != store.HistoryLength(id)) {
+        return Fail(std::string("recovered history differs after killing ") +
+                    site);
+      }
+      auto expected = store.PredictLocation(id, now + 5);
+      auto actual = restored->PredictLocation(id, now + 5);
+      if (!expected.ok() || !actual.ok() ||
+          !(expected->front().location == actual->front().location)) {
+        return Fail(std::string("recovered answers differ after killing ") +
+                    site);
+      }
+    }
+  }
+  if (kills == 0) {
+    return Fail("no save was ever killed; kill schedule is miscalibrated");
+  }
+
+  std::printf("faultcheck --seed %llu: %d degraded / %d pattern answers, "
+              "%d/6 saves killed, all recoveries served committed state\n",
+              static_cast<unsigned long long>(seed), degraded,
+              pattern_answers, kills);
+  TablePrinter table({"site", "calls", "fires"});
+  for (const std::string& site : injector.Sites()) {
+    table.AddRow({site, std::to_string(injector.calls(site)),
+                  std::to_string(injector.fires(site))});
+  }
+  table.Print(stdout);
+  std::filesystem::remove_all(dir);
+  injector.Reset();
+  return 0;
+#endif  // HPM_ENABLE_FAULTS
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -432,5 +578,6 @@ int main(int argc, char** argv) {
   if (command == "predict") return RunPredict(std::move(args));
   if (command == "evaluate") return RunEvaluate(std::move(args));
   if (command == "throughput") return RunThroughput(std::move(args));
+  if (command == "faultcheck") return RunFaultcheck(std::move(args));
   return Usage();
 }
