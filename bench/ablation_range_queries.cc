@@ -176,7 +176,7 @@ void AccuracyExperiment() {
       auto hpm_hits = fleet.store.PredictiveRangeQuery(range, tq, 3);
       HPM_CHECK(hpm_hits.ok());
       std::set<int64_t> hpm_ids;
-      for (const RangeHit& hit : *hpm_hits) hpm_ids.insert(hit.id);
+      for (const RangeHit& hit : hpm_hits->hits) hpm_ids.insert(hit.id);
       for (int64_t id : hpm_ids) {
         truth.count(id) ? ++hpm_tp : ++hpm_fp;
       }

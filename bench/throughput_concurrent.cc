@@ -13,14 +13,29 @@
 // round-robin over the whole fleet. Scaling beyond the machine's core
 // count measures lock overhead, not parallelism — on a single-core
 // host every series is flat by construction.
+//
+// --overload additionally exercises the overload-control ladder
+// (docs/ROBUSTNESS.md): an uncontended baseline of range queries is
+// measured first, then 4x the client threads are thrown at a store
+// configured with admission control and queue-depth shedding. Every
+// response is classified full / degraded(Overloaded) / shed
+// (kUnavailable + retry-after), and the p50/p99 latency of *accepted*
+// work is reported next to the baseline — the resilience claim is that
+// accepted p99 stays within ~2x of uncontended p99 while the excess is
+// shed instead of queued.
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/retry.h"
 
 #include "common/random.h"
 #include "common/stopwatch.h"
@@ -60,12 +75,11 @@ ObjectStoreOptions StoreOptions() {
   return options;
 }
 
-/// A store with kObjects trained objects (setup, untimed).
-MovingObjectStore MakeWarmStore() {
-  MovingObjectStore store(StoreOptions());
+/// Trains kObjects objects into `store` (setup, untimed).
+void WarmUp(MovingObjectStore* store) {
   for (ObjectId id = 0; id < kObjects; ++id) {
     for (Timestamp t = 0; t < kTrainPeriods * kPeriod; ++t) {
-      const Status status = store.ReportLocation(id, Route(id, t));
+      const Status status = store->ReportLocation(id, Route(id, t));
       if (!status.ok()) {
         std::fprintf(stderr, "setup failed: %s\n",
                      status.ToString().c_str());
@@ -73,6 +87,12 @@ MovingObjectStore MakeWarmStore() {
       }
     }
   }
+}
+
+/// A store with kObjects trained objects (setup, untimed).
+MovingObjectStore MakeWarmStore() {
+  MovingObjectStore store(StoreOptions());
+  WarmUp(&store);
   return store;
 }
 
@@ -163,16 +183,196 @@ ThreadPoint RunAtThreadCount(int threads, uint64_t seed) {
   return point;
 }
 
-std::string ToJson(const std::vector<ThreadPoint>& points, uint64_t seed) {
+// ---- Overload mode ---------------------------------------------------------
+
+constexpr int kMaxInFlight = 2;  ///< The store's serving capacity.
+constexpr int kOverloadThreads = 4 * kMaxInFlight;  // 4x offered load.
+constexpr int kBaselineThreads = 1;  ///< Truly uncontended reference run.
+constexpr int kOverloadOpsPerThread = 500;
+/// Per-query deadline; queries reaching the store with less than
+/// kMinHeadroomUs of it left (client-side queueing under overload) are
+/// answered RMF-only instead of blowing the budget on the pattern side.
+constexpr int kDeadlineUs = 5000;
+constexpr int kMinHeadroomUs = 2000;
+
+struct OverloadReport {
+  uint64_t full = 0;      ///< Admitted, answered with the full hybrid model.
+  uint64_t degraded = 0;  ///< Admitted, answered RMF-only (rung 1).
+  uint64_t shed = 0;      ///< Rejected kUnavailable + retry-after (rung 2).
+  uint64_t other = 0;     ///< Anything else — must stay 0.
+  OverloadStats store_stats;  ///< The server's own ladder counters.
+  double baseline_p50_us = 0;
+  double baseline_p99_us = 0;
+  double accepted_p50_us = 0;
+  double accepted_p99_us = 0;
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const size_t index = std::min(
+      sorted_us.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[index];
+}
+
+/// The overload store: same model configuration as the scaling series,
+/// plus the ladder — an in-flight cap sized to the baseline client
+/// count, a bounded fan-out queue, and queue-depth shedding.
+ObjectStoreOptions OverloadStoreOptions() {
+  ObjectStoreOptions options = StoreOptions();
+  options.query_threads = 2;
+  options.admission.max_in_flight = kMaxInFlight;
+  options.max_pool_queue = 16;
+  // Rung 1 fires on either pressure signal: fan-out backlog, or a query
+  // arriving with most of its deadline already burned in client-side
+  // queueing (the dominant signal when admission bounds the backlog).
+  options.degrade_queue_depth = 1;
+  options.degrade_min_headroom = std::chrono::microseconds(kMinHeadroomUs);
+  return options;
+}
+
+/// Fires closed-loop range queries from `threads` clients. Each logical
+/// request carries one deadline; a shed attempt honors the server's
+/// retry-after hint and retries against the *same* deadline (so a
+/// readmitted request arrives with its headroom partly burned — the
+/// rung-1 trigger), giving up when the deadline runs out. Accepted
+/// latencies record the service time of the successful attempt.
+void DriveRangeQueries(const MovingObjectStore& store, int threads,
+                       uint64_t seed, OverloadReport* report,
+                       std::vector<double>* accepted_us) {
+  const Timestamp tq = kTrainPeriods * kPeriod + 3;
+  std::mutex merge_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      Random rng(seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(w + 1));
+      OverloadReport local;
+      std::vector<double> latencies;
+      latencies.reserve(kOverloadOpsPerThread);
+      for (int i = 0; i < kOverloadOpsPerThread; ++i) {
+        // A window around a random object's lane, wide enough in x to
+        // hold both the pattern answer and the RMF extrapolation (which
+        // overshoots the sawtooth route's wrap-around), so hits are
+        // non-empty and degraded answers stay visible to the classifier.
+        const double lane =
+            500.0 + 1000.0 * static_cast<double>(rng.Uniform(kObjects));
+        const BoundingBox range({-1000.0, lane - 600.0},
+                                {3000.0, lane + 600.0});
+        const Deadline deadline =
+            Deadline::After(std::chrono::microseconds(kDeadlineUs));
+        for (;;) {
+          const auto start = std::chrono::steady_clock::now();
+          const StatusOr<FleetQueryResult> result =
+              store.PredictiveRangeQuery(range, tq, /*k_per_object=*/3,
+                                         deadline);
+          const double elapsed_us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          if (result.ok()) {
+            latencies.push_back(elapsed_us);
+            const bool rmf_only = std::any_of(
+                result->hits.begin(), result->hits.end(),
+                [](const RangeHit& hit) {
+                  return hit.prediction.degraded != DegradedReason::kNone;
+                });
+            if (rmf_only) {
+              ++local.degraded;
+            } else {
+              ++local.full;
+            }
+            break;
+          }
+          const auto hint = RetryAfterHint(result.status());
+          if (result.status().code() != StatusCode::kUnavailable ||
+              !hint.has_value()) {
+            ++local.other;  // Outside the ladder's contract.
+            break;
+          }
+          if (deadline.expired()) {
+            ++local.shed;  // Out of budget: the request is dropped.
+            break;
+          }
+          std::this_thread::sleep_for(
+              std::min<Deadline::Clock::duration>(*hint,
+                                                  deadline.remaining()));
+        }
+      }
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      report->full += local.full;
+      report->degraded += local.degraded;
+      report->shed += local.shed;
+      report->other += local.other;
+      accepted_us->insert(accepted_us->end(), latencies.begin(),
+                          latencies.end());
+    });
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+OverloadReport RunOverload(uint64_t seed) {
+  OverloadReport report;
+
+  // Uncontended baseline: the same store configuration, driven at the
+  // in-flight cap so nothing is shed or degraded.
+  {
+    MovingObjectStore store(OverloadStoreOptions());
+    WarmUp(&store);
+    OverloadReport baseline;
+    std::vector<double> latencies;
+    DriveRangeQueries(store, kBaselineThreads, seed, &baseline, &latencies);
+    std::sort(latencies.begin(), latencies.end());
+    report.baseline_p50_us = Percentile(latencies, 0.50);
+    report.baseline_p99_us = Percentile(latencies, 0.99);
+  }
+
+  // 4x offered load against a fresh store: classify every response.
+  {
+    MovingObjectStore store(OverloadStoreOptions());
+    WarmUp(&store);
+    std::vector<double> latencies;
+    DriveRangeQueries(store, kOverloadThreads, seed, &report, &latencies);
+    std::sort(latencies.begin(), latencies.end());
+    report.accepted_p50_us = Percentile(latencies, 0.50);
+    report.accepted_p99_us = Percentile(latencies, 0.99);
+    report.store_stats = store.overload_stats();
+  }
+  return report;
+}
+
+std::string OverloadJson(const OverloadReport& report) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"overload\": {\"baseline_threads\": %d, \"overload_threads\": %d,\n"
+      "    \"full\": %" PRIu64 ", \"degraded\": %" PRIu64
+      ", \"shed\": %" PRIu64 ", \"other\": %" PRIu64 ",\n"
+      "    \"store_admitted\": %" PRIu64 ", \"store_shed\": %" PRIu64
+      ", \"store_degraded_answers\": %" PRIu64 ",\n"
+      "    \"baseline_p50_us\": %.1f, \"baseline_p99_us\": %.1f,\n"
+      "    \"accepted_p50_us\": %.1f, \"accepted_p99_us\": %.1f},\n",
+      kBaselineThreads, kOverloadThreads, report.full, report.degraded,
+      report.shed, report.other, report.store_stats.admitted,
+      report.store_stats.shed, report.store_stats.degraded_overload,
+      report.baseline_p50_us, report.baseline_p99_us,
+      report.accepted_p50_us, report.accepted_p99_us);
+  return buf;
+}
+
+std::string ToJson(const std::vector<ThreadPoint>& points, uint64_t seed,
+                   const std::string& overload_json) {
   std::string json = "{\n  \"bench\": \"throughput_concurrent\",\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "  \"objects\": %d,\n  \"num_shards\": %d,\n"
                 "  \"hardware_threads\": %u,\n  \"rng_seed\": %" PRIu64
-                ",\n  \"series\": [\n",
+                ",\n",
                 kObjects, StoreOptions().num_shards,
                 std::thread::hardware_concurrency(), seed);
   json += buf;
+  json += overload_json;  // Empty unless --overload ran.
+  json += "  \"series\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
                   "    {\"threads\": %d, \"ingest_ops_per_sec\": %.0f, "
@@ -192,6 +392,7 @@ std::string ToJson(const std::vector<ThreadPoint>& points, uint64_t seed) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_throughput.json";
   uint64_t seed = kDefaultSeed;
+  bool overload = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -199,10 +400,24 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--out PATH] [--seed N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--out PATH] [--seed N] [--overload]\n",
+                   argv[0]);
       return 1;
     }
+  }
+
+  std::string overload_json;
+  if (overload) {
+    const OverloadReport report = RunOverload(seed);
+    overload_json = OverloadJson(report);
+    std::fprintf(stderr,
+                 "overload done: full=%" PRIu64 " degraded=%" PRIu64
+                 " shed=%" PRIu64 " other=%" PRIu64 "\n",
+                 report.full, report.degraded, report.shed, report.other);
   }
 
   std::vector<ThreadPoint> points;
@@ -211,7 +426,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "threads=%d done\n", threads);
   }
 
-  const std::string json = ToJson(points, seed);
+  const std::string json = ToJson(points, seed, overload_json);
   std::fputs(json.c_str(), stdout);
   if (!out_path.empty()) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");

@@ -121,7 +121,7 @@ int main() {
   TablePrinter table({"rank", "van", "predicted_location",
                       "distance_to_incident"});
   int rank = 1;
-  for (const RangeHit& hit : *nearest) {
+  for (const RangeHit& hit : nearest->hits) {
     table.AddRow({std::to_string(rank++),
                   "#" + std::to_string(hit.id),
                   hit.prediction.location.ToString(),

@@ -40,4 +40,14 @@ ctest --test-dir build-fault -L tier1 "${CTEST_ARGS[@]}" -j "$JOBS"
 ctest --test-dir build-fault -L fault "${CTEST_ARGS[@]}" -j "$JOBS"
 ./build-fault/tools/hpm_tool faultcheck --seed 1
 
+# The overload-control layer (admission, load shedding, breakers) is
+# where shutdown/submit and breaker/fan-out races would live; run its
+# suites, plus everything fault-labelled, under TSan with the hooks on.
+echo "== ThreadSanitizer + fault hooks: overload + fault =="
+cmake -B build-tsan-fault -S . -DHPM_SANITIZE=thread \
+      -DHPM_ENABLE_FAULTS=ON >/dev/null
+cmake --build build-tsan-fault -j "$JOBS"
+ctest --test-dir build-tsan-fault -L 'overload|fault' "${CTEST_ARGS[@]}" \
+      -j "$JOBS"
+
 echo "check.sh: all green"

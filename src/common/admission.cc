@@ -1,0 +1,88 @@
+#include "common/admission.h"
+
+#include <algorithm>
+
+#include "common/retry.h"
+
+namespace hpm {
+
+void AdmissionTicket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {
+  HPM_CHECK(options_.tokens_per_second >= 0.0);
+  HPM_CHECK(options_.max_in_flight >= 0);
+  if (options_.tokens_per_second > 0.0 && options_.burst < 1.0) {
+    options_.burst = 1.0;
+  }
+  tokens_ = options_.burst;
+  last_refill_ = Now();
+}
+
+void AdmissionController::Refill(AdmissionOptions::Clock::time_point now) {
+  if (now <= last_refill_) return;
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  tokens_ = std::min(options_.burst,
+                     tokens_ + elapsed * options_.tokens_per_second);
+  last_refill_ = now;
+}
+
+StatusOr<AdmissionTicket> AdmissionController::Admit(const char* what) {
+  // Gauge first: it is the cheaper check and the one that protects the
+  // machine (tokens protect the schedule).
+  if (options_.max_in_flight > 0) {
+    int current = in_flight_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current >= options_.max_in_flight) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return AttachRetryAfter(
+            Status::Unavailable(std::string(what) +
+                                ": admission rejected (in-flight limit)"),
+            options_.in_flight_retry_hint);
+      }
+      if (in_flight_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  } else {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (options_.tokens_per_second > 0.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Refill(Now());
+    if (tokens_ < 1.0) {
+      ReleaseSlot();
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      // Time until one whole token exists, at the configured rate.
+      const double deficit_seconds =
+          (1.0 - tokens_) / options_.tokens_per_second;
+      const auto hint = std::chrono::microseconds(std::max<int64_t>(
+          1, static_cast<int64_t>(deficit_seconds * 1e6)));
+      return AttachRetryAfter(
+          Status::Unavailable(std::string(what) +
+                              ": admission rejected (rate limit)"),
+          hint);
+    }
+    tokens_ -= 1.0;
+  }
+
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return AdmissionTicket(this);
+}
+
+double AdmissionController::available_tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Refill is logically const: it only advances the bucket to `now`.
+  const_cast<AdmissionController*>(this)->Refill(Now());
+  return tokens_;
+}
+
+}  // namespace hpm

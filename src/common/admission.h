@@ -1,0 +1,148 @@
+// Admission control for the serving layer: a token bucket bounding the
+// sustained request rate plus a gauge bounding concurrent in-flight work.
+//
+// The controller is consulted at every MovingObjectStore entry point;
+// when it rejects, the caller gets kUnavailable with a machine-readable
+// retry-after hint (see common/retry.h — RetryWithBackoff uses the hint
+// as a floor on its next backoff, so a rejected client naturally backs
+// off to the rate the server asked for instead of hammering).
+//
+// Determinism: all time comes through an injectable clock function, so
+// tests (and the prop suites) drive the bucket with a manual clock and
+// every admit/reject decision replays exactly. No RNG is involved — the
+// only randomness in the retry path is the caller's jitter.
+
+#ifndef HPM_COMMON_ADMISSION_H_
+#define HPM_COMMON_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace hpm {
+
+/// Configures an AdmissionController. The defaults disable every limit,
+/// so a default-constructed controller admits everything — stores built
+/// with default options behave exactly as before.
+struct AdmissionOptions {
+  using Clock = std::chrono::steady_clock;
+
+  /// Sustained admission rate. 0 = rate-unlimited (no token bucket).
+  double tokens_per_second = 0.0;
+
+  /// Token-bucket capacity: how large a burst is admitted after idle
+  /// time. Clamped to >= 1 when a rate is set.
+  double burst = 1.0;
+
+  /// Maximum requests simultaneously holding a ticket. 0 = unlimited.
+  int max_in_flight = 0;
+
+  /// Retry-after hint attached to gauge (max_in_flight) rejections,
+  /// where no refill schedule exists to compute one from.
+  std::chrono::microseconds in_flight_retry_hint{1000};
+
+  /// Time source; null = Clock::now. Inject a manual clock in tests for
+  /// fully deterministic admit/reject schedules.
+  std::function<Clock::time_point()> clock;
+};
+
+class AdmissionController;
+
+/// RAII handle for one admitted request: releases the in-flight slot on
+/// destruction. Movable; the moved-from ticket releases nothing.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket() { Release(); }
+
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  /// Releases the in-flight slot early (idempotent).
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {}
+
+  AdmissionController* controller_ = nullptr;
+};
+
+/// Token bucket + in-flight gauge. Thread-safe; one instance guards one
+/// resource (the serving layer holds one per store).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Tries to admit one request. On success the returned ticket holds an
+  /// in-flight slot until it is destroyed/released. On rejection returns
+  /// kUnavailable whose message carries a retry-after hint that
+  /// RetryAfterHint() (common/retry.h) can parse; `what` names the
+  /// rejected operation in the message.
+  StatusOr<AdmissionTicket> Admit(const char* what);
+
+  /// Requests currently holding a ticket.
+  int in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Total requests admitted / rejected since construction.
+  uint64_t admitted_total() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Tokens available right now (refilled to the injected clock); only
+  /// meaningful when a rate is configured. For tests and introspection.
+  double available_tokens() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  friend class AdmissionTicket;
+
+  AdmissionOptions::Clock::time_point Now() const {
+    return options_.clock ? options_.clock()
+                          : AdmissionOptions::Clock::now();
+  }
+
+  /// Advances the bucket to `now`. Caller holds mu_.
+  void Refill(AdmissionOptions::Clock::time_point now);
+
+  void ReleaseSlot() {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  double tokens_;  ///< Guarded by mu_.
+  AdmissionOptions::Clock::time_point last_refill_;  ///< Guarded by mu_.
+
+  std::atomic<int> in_flight_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_ADMISSION_H_

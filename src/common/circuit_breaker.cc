@@ -1,0 +1,134 @@
+#include "common/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace hpm {
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "Closed";
+    case State::kOpen:
+      return "Open";
+    case State::kHalfOpen:
+      return "HalfOpen";
+  }
+  return "Unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(std::move(options)) {
+  HPM_CHECK(options_.window >= 1);
+  HPM_CHECK(options_.min_samples >= 1);
+  HPM_CHECK(options_.min_samples <= options_.window);
+  HPM_CHECK(options_.failure_threshold > 0.0 &&
+            options_.failure_threshold <= 1.0);
+  HPM_CHECK(options_.half_open_successes >= 1);
+  outcomes_.assign(static_cast<size_t>(options_.window), 0);
+}
+
+void CircuitBreaker::TransitionTo(State next) {
+  const State from = state_;
+  if (from == next) return;
+  state_ = next;
+  switch (next) {
+    case State::kClosed:
+      std::fill(outcomes_.begin(), outcomes_.end(), 0);
+      next_slot_ = 0;
+      samples_ = 0;
+      failures_ = 0;
+      break;
+    case State::kOpen:
+      opened_at_ = Now();
+      ++times_opened_;
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      probe_successes_ = 0;
+      break;
+  }
+  if (listener_) listener_(from, next);
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Now() - opened_at_ < options_.open_duration) return false;
+      TransitionTo(State::kHalfOpen);
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed: {
+      failures_ -= outcomes_[static_cast<size_t>(next_slot_)];
+      outcomes_[static_cast<size_t>(next_slot_)] = 0;
+      next_slot_ = (next_slot_ + 1) % options_.window;
+      samples_ = std::min(samples_ + 1, options_.window);
+      break;
+    }
+    case State::kOpen:
+      // A straggler from before the trip; the cooldown stands.
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++probe_successes_ >= options_.half_open_successes) {
+        TransitionTo(State::kClosed);
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed: {
+      failures_ += 1 - outcomes_[static_cast<size_t>(next_slot_)];
+      outcomes_[static_cast<size_t>(next_slot_)] = 1;
+      next_slot_ = (next_slot_ + 1) % options_.window;
+      samples_ = std::min(samples_ + 1, options_.window);
+      if (samples_ >= options_.min_samples &&
+          static_cast<double>(failures_) >=
+              options_.failure_threshold * static_cast<double>(samples_)) {
+        TransitionTo(State::kOpen);
+      }
+      break;
+    }
+    case State::kOpen:
+      break;
+    case State::kHalfOpen:
+      // The probe failed: the dependency is still sick. Restart the
+      // cooldown from now.
+      probe_in_flight_ = false;
+      TransitionTo(State::kOpen);
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return times_opened_;
+}
+
+void CircuitBreaker::SetStateListener(
+    std::function<void(State, State)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(listener);
+}
+
+}  // namespace hpm

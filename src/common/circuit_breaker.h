@@ -1,0 +1,123 @@
+// Circuit breaker: trips a persistently failing dependency out of the
+// request path so callers fail fast (or route around it) instead of
+// paying the failure latency on every call.
+//
+// Classic three-state machine:
+//
+//   kClosed    normal operation; outcomes are recorded in a sliding
+//              window, and when the failure rate over a full-enough
+//              window crosses the threshold the breaker OPENS.
+//   kOpen      Allow() refuses everything until `open_duration` has
+//              elapsed, then the next Allow() moves to half-open and
+//              admits a single probe.
+//   kHalfOpen  one probe in flight at a time; `half_open_successes`
+//              consecutive successes close the breaker, any failure
+//              re-opens it (with a fresh cooldown).
+//
+// The serving layer keeps one breaker per store shard: a shard whose
+// queries keep failing (injected faults, a corrupt index) is tripped out
+// of range/kNN fan-outs and the query returns partial results flagged
+// `partial=true` instead of timing out end to end.
+//
+// Determinism: time comes through an injectable clock and outcome
+// recording is explicit, so tests drive the full state machine with a
+// manual clock; there is no internal randomness.
+
+#ifndef HPM_COMMON_CIRCUIT_BREAKER_H_
+#define HPM_COMMON_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hpm {
+
+/// Tuning knobs; the defaults are conservative (a shard must fail half
+/// of a 32-call window before tripping).
+struct CircuitBreakerOptions {
+  using Clock = std::chrono::steady_clock;
+
+  /// Sliding window of most-recent outcomes inspected in kClosed.
+  int window = 32;
+
+  /// Minimum outcomes in the window before the breaker may trip (avoids
+  /// tripping on the first failure after idle).
+  int min_samples = 8;
+
+  /// Failure fraction (failures / samples) at or above which the
+  /// breaker opens. In (0, 1].
+  double failure_threshold = 0.5;
+
+  /// How long an open breaker refuses before allowing a half-open probe.
+  std::chrono::microseconds open_duration{100000};  // 100 ms
+
+  /// Consecutive half-open probe successes required to close.
+  int half_open_successes = 1;
+
+  /// Time source; null = Clock::now. Inject a manual clock in tests.
+  std::function<Clock::time_point()> clock;
+};
+
+/// Thread-safe closed/open/half-open breaker over explicit outcomes.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// "Closed" / "Open" / "HalfOpen".
+  static const char* StateName(State state);
+
+  explicit CircuitBreaker(CircuitBreakerOptions options);
+
+  /// True when a call may proceed. May transition kOpen -> kHalfOpen
+  /// once the cooldown has elapsed; in kHalfOpen admits one probe at a
+  /// time (further calls are refused until the probe reports).
+  bool Allow();
+
+  /// Reports the outcome of an allowed call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+
+  /// Total open transitions (for stats / the faultcheck report).
+  uint64_t times_opened() const;
+
+  /// Observer invoked (under the breaker's lock — keep it cheap) on
+  /// every state transition. One listener; replaces any previous one.
+  void SetStateListener(std::function<void(State from, State to)> listener);
+
+ private:
+  CircuitBreakerOptions::Clock::time_point Now() const {
+    return options_.clock ? options_.clock()
+                          : CircuitBreakerOptions::Clock::now();
+  }
+
+  /// Transitions to `next`, resetting per-state bookkeeping. Caller
+  /// holds mu_.
+  void TransitionTo(State next);
+
+  CircuitBreakerOptions options_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  /// Ring buffer of the last `window` outcomes (1 = failure) and its
+  /// occupancy, valid in kClosed.
+  std::vector<uint8_t> outcomes_;
+  int next_slot_ = 0;
+  int samples_ = 0;
+  int failures_ = 0;
+  /// kOpen: when the cooldown started. kHalfOpen: probe bookkeeping.
+  CircuitBreakerOptions::Clock::time_point opened_at_{};
+  bool probe_in_flight_ = false;
+  int probe_successes_ = 0;
+  uint64_t times_opened_ = 0;
+  std::function<void(State, State)> listener_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_CIRCUIT_BREAKER_H_

@@ -10,6 +10,11 @@ const char* const kKnownFaultSites[] = {
     "store/save_manifest",  // manifest write for the new generation
     "store/save_commit",    // CURRENT pointer swap (the commit point)
     "store/load_read",      // per-file read during store load
+    // Per-shard family: the literal sites are "server/shard_query:0",
+    // "server/shard_query:1", ... (ShardQueryFaultSite(shard) in
+    // server/object_store.h). Arming one fails that shard's share of
+    // every fan-out query — the circuit-breaker kill switch.
+    "server/shard_query:<shard>",
 };
 const int kNumKnownFaultSites =
     static_cast<int>(sizeof(kKnownFaultSites) / sizeof(kKnownFaultSites[0]));

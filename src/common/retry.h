@@ -14,6 +14,11 @@
 #define HPM_COMMON_RETRY_H_
 
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -21,6 +26,36 @@
 #include "common/status.h"
 
 namespace hpm {
+
+/// ---- Retry-after hints ---------------------------------------------------
+/// A rejecting server (the admission controller) knows *when* retrying
+/// will succeed; it encodes that as a machine-readable suffix on the
+/// status message, and RetryWithBackoff uses it as a floor on the next
+/// sleep — so rejected clients back off to the rate the server asked
+/// for instead of retrying on their own schedule.
+
+/// Appends " [retry-after-us=N]" to the status message (no-op on OK).
+inline Status AttachRetryAfter(const Status& status,
+                               std::chrono::microseconds retry_after) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                status.message() + " [retry-after-us=" +
+                    std::to_string(retry_after.count()) + "]");
+}
+
+/// Parses the hint AttachRetryAfter wrote; nullopt when absent.
+inline std::optional<std::chrono::microseconds> RetryAfterHint(
+    const Status& status) {
+  static constexpr char kMarker[] = " [retry-after-us=";
+  const std::string& message = status.message();
+  const size_t at = message.rfind(kMarker);
+  if (at == std::string::npos) return std::nullopt;
+  const char* digits = message.c_str() + at + sizeof(kMarker) - 1;
+  char* end = nullptr;
+  const long long us = std::strtoll(digits, &end, 10);
+  if (end == digits || *end != ']' || us < 0) return std::nullopt;
+  return std::chrono::microseconds(us);
+}
 
 /// Shape of the backoff schedule. With the defaults a call is attempted at
 /// most 3 times, sleeping ~1ms then ~2ms (each +/- up to 50% jitter)
@@ -72,6 +107,13 @@ auto RetryWithBackoff(const RetryPolicy& policy, Random& rng, Fn&& fn,
     auto sleep = std::chrono::microseconds(
         static_cast<int64_t>(static_cast<double>(backoff.count()) * scale));
     if (sleep > policy.max_backoff) sleep = policy.max_backoff;
+    // A server-supplied retry-after hint floors the sleep: retrying any
+    // sooner is guaranteed to be rejected again. The hint may exceed
+    // max_backoff — the server knows its own refill schedule best.
+    if (const auto hint = RetryAfterHint(status);
+        hint.has_value() && *hint > sleep) {
+      sleep = *hint;
+    }
     if (sleep.count() > 0) sleep_fn(sleep);
     backoff = std::chrono::microseconds(static_cast<int64_t>(
         static_cast<double>(backoff.count()) * policy.multiplier));

@@ -2,21 +2,36 @@
 
 namespace hpm {
 
-ThreadPool::ThreadPool(int num_threads) {
-  HPM_CHECK(num_threads >= 1);
-  workers_.reserve(static_cast<size_t>(num_threads));
-  for (int i = 0; i < num_threads; ++i) {
+ThreadPool::ThreadPool(ThreadPoolOptions options) : options_(options) {
+  HPM_CHECK(options_.num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(DrainPolicy::kRunPending); }
+
+ThreadPool::DrainStats ThreadPool::Shutdown(DrainPolicy policy) {
+  DrainStats stats;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return stats;  // Second call: someone already decided.
     stopping_ = true;
+    if (policy == DrainPolicy::kDiscardPending) {
+      // Destroying the queued closures destroys their packaged_tasks,
+      // which breaks their promises — every discarded task is reported
+      // through its future, never silently lost.
+      stats.discarded = queue_.size();
+      std::queue<std::function<void()>>().swap(queue_);
+    } else {
+      stats.ran = queue_.size();
+    }
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
   }
   condition_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  return stats;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -29,8 +44,11 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and fully drained
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
     }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     task();
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -160,6 +160,18 @@ StatusOr<Prediction> HybridPredictor::MotionFunctionPredict(
   return prediction;
 }
 
+StatusOr<std::vector<Prediction>> HybridPredictor::DegradedPredict(
+    const PredictiveQuery& query, DegradedReason reason) const {
+  HPM_CHECK(reason != DegradedReason::kNone);
+  HPM_RETURN_IF_ERROR(ValidateQuery(query));
+  if (query.PredictionLength() < options_.distant_threshold) {
+    counters_.forward_queries.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.backward_queries.fetch_add(1, std::memory_order_relaxed);
+  }
+  return DegradedAnswer(query, reason);
+}
+
 StatusOr<std::vector<Prediction>> HybridPredictor::DegradedAnswer(
     const PredictiveQuery& query, DegradedReason reason) const {
   counters_.motion_fallbacks.fetch_add(1, std::memory_order_relaxed);

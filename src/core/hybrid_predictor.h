@@ -121,6 +121,16 @@ class HybridPredictor {
   StatusOr<Prediction> MotionFunctionPredict(
       const PredictiveQuery& query) const;
 
+  /// The load-shedding entry point: answers `query` with the RMF motion
+  /// function alone, stamped with `reason`, without touching the pattern
+  /// side. Counters stay consistent with Predict() — the call is counted
+  /// as a forward/backward query (by prediction length), a motion
+  /// fallback and a degraded answer — so the rung-1 ladder response
+  /// (DegradedReason::kOverloaded) is indistinguishable from a deadline
+  /// degradation in every aggregate metric. `reason` must not be kNone.
+  StatusOr<std::vector<Prediction>> DegradedPredict(
+      const PredictiveQuery& query, DegradedReason reason) const;
+
   /// Dynamic data (paper §V-B): "When a certain amount of new data is
   /// accumulated, the system mines new patterns and adds them up to TPT
   /// by using the insertion algorithm."

@@ -12,6 +12,8 @@ const char* DegradedReasonName(DegradedReason reason) {
       return "DeadlineExceeded";
     case DegradedReason::kPatternUnavailable:
       return "PatternUnavailable";
+    case DegradedReason::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -52,9 +52,12 @@ enum class DegradedReason {
   kNone = 0,
   kDeadlineExceeded,    ///< The query's deadline expired mid-evaluation.
   kPatternUnavailable,  ///< Pattern-side lookup failed (e.g. injected fault).
+  kOverloaded,          ///< Load shedding: the serving layer skipped the
+                        ///< pattern side to protect overall throughput.
 };
 
-/// Human-readable name ("None", "DeadlineExceeded", "PatternUnavailable").
+/// Human-readable name ("None", "DeadlineExceeded", "PatternUnavailable",
+/// "Overloaded").
 const char* DegradedReasonName(DegradedReason reason);
 
 /// One predicted location.

@@ -1,6 +1,7 @@
 #include "server/object_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
 #include <optional>
 #include <utility>
@@ -11,9 +12,14 @@
 
 namespace hpm {
 
+std::string ShardQueryFaultSite(int shard) {
+  return "server/shard_query:" + std::to_string(shard);
+}
+
 MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
     : options_(std::move(options)),
-      continuous_(std::make_unique<ContinuousState>()) {
+      continuous_(std::make_unique<ContinuousState>()),
+      stats_(std::make_unique<AtomicOverloadStats>()) {
   HPM_CHECK(options_.min_training_periods >= 1);
   HPM_CHECK(options_.update_batch_periods >= 1);
   HPM_CHECK(options_.recent_window >= 2);
@@ -23,10 +29,24 @@ MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  const int threads = options_.query_threads > 0
-                          ? options_.query_threads
-                          : ThreadPool::DefaultThreadCount();
-  pool_ = std::make_unique<ThreadPool>(threads);
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads = options_.query_threads > 0
+                                 ? options_.query_threads
+                                 : ThreadPool::DefaultThreadCount();
+  pool_options.max_queue_depth = options_.max_pool_queue;
+  pool_ = std::make_unique<ThreadPool>(pool_options);
+  admission_ = std::make_unique<AdmissionController>(options_.admission);
+  breakers_.reserve(shards_.size());
+  for (int i = 0; i < options_.num_shards; ++i) {
+    breakers_.push_back(
+        std::make_unique<CircuitBreaker>(options_.breaker));
+    if (options_.breaker_listener) {
+      auto listener = options_.breaker_listener;
+      breakers_.back()->SetStateListener(
+          [listener, i](CircuitBreaker::State from,
+                        CircuitBreaker::State to) { listener(i, from, to); });
+    }
+  }
 }
 
 size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {
@@ -39,11 +59,68 @@ size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {
   return static_cast<size_t>(x % num_shards);
 }
 
-Status MovingObjectStore::ReportLocation(ObjectId id,
-                                         const Point& location) {
+bool MovingObjectStore::ShouldShedToRmf(const Deadline& deadline) const {
+  if (options_.degrade_queue_depth > 0 &&
+      pool_->queue_depth() >= options_.degrade_queue_depth) {
+    return true;
+  }
+  if (options_.degrade_min_headroom.count() > 0 && !deadline.is_infinite() &&
+      deadline.remaining() < options_.degrade_min_headroom) {
+    return true;
+  }
+  return false;
+}
+
+void MovingObjectStore::CountRejectedReport(ObjectId id) {
+  stats_->reports_rejected.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  ++shard.rejected_reports[id];
+}
+
+uint64_t MovingObjectStore::RejectedReports(ObjectId id) const {
+  Shard& shard = ShardFor(id);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const auto it = shard.rejected_reports.find(id);
+  return it == shard.rejected_reports.end() ? 0 : it->second;
+}
+
+Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
+                                 const Timestamp* expected_t) {
+  if (!std::isfinite(location.x) || !std::isfinite(location.y)) {
+    CountRejectedReport(id);
+    return Status::InvalidArgument(
+        "report: non-finite coordinate rejected");
+  }
+  StatusOr<AdmissionTicket> ticket = admission_->Admit("report");
+  if (!ticket.ok()) {
+    stats_->shed.fetch_add(1, std::memory_order_relaxed);
+    return ticket.status();
+  }
+  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+
   Shard& shard = ShardFor(id);
   {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (expected_t != nullptr) {
+      // find(), not operator[]: a rejected report for an unknown object
+      // must not create a phantom entry.
+      const auto it = shard.objects.find(id);
+      const Timestamp next =
+          it == shard.objects.end()
+              ? 0
+              : static_cast<Timestamp>(it->second.history.size());
+      if (*expected_t != next) {
+        ++shard.rejected_reports[id];
+        stats_->reports_rejected.fetch_add(1, std::memory_order_relaxed);
+        return Status::InvalidArgument(
+            *expected_t < next
+                ? "report: non-monotone timestamp (object clock is at " +
+                      std::to_string(next) + ")"
+                : "report: timestamp gap (object clock is at " +
+                      std::to_string(next) + ")");
+      }
+    }
     shard.objects[id].history.Append(location);
   }
   HPM_RETURN_IF_ERROR(MaybeTrain(shard, id));
@@ -56,6 +133,20 @@ Status MovingObjectStore::ReportLocation(ObjectId id,
     EvaluateContinuousQueries(snapshot);
   }
   return Status::OK();
+}
+
+Status MovingObjectStore::ReportLocation(ObjectId id,
+                                         const Point& location) {
+  return Ingest(id, location, nullptr);
+}
+
+Status MovingObjectStore::ReportLocationAt(ObjectId id, Timestamp t,
+                                           const Point& location) {
+  if (t < 0) {
+    CountRejectedReport(id);
+    return Status::InvalidArgument("report: negative timestamp");
+  }
+  return Ingest(id, location, &t);
 }
 
 Status MovingObjectStore::ReportTrajectory(ObjectId id,
@@ -89,18 +180,29 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id) {
           static_cast<size_t>(options_.min_training_periods) * period_samples;
       if (state.history.size() < needed) return Status::OK();
       action = Action::kInitial;
-      training_input = state.history;
     } else {
       const size_t fresh = state.history.size() - state.consumed_samples;
       const size_t batch =
           static_cast<size_t>(options_.update_batch_periods) * period_samples;
       if (fresh < batch) return Status::OK();
+      action = Action::kIncremental;
+    }
+    // Training is the most expendable work in the system: under rung-1
+    // pressure it is deferred outright — the thresholds stay satisfied,
+    // so the next report after pressure clears picks it up.
+    if (ShouldShedToRmf(Deadline::Infinite())) {
+      stats_->trains_deferred.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    if (action == Action::kInitial) {
+      training_input = state.history;
+    } else {
+      const size_t fresh = state.history.size() - state.consumed_samples;
       whole_periods = (fresh / period_samples) * period_samples;
       StatusOr<Trajectory> suffix = state.history.Slice(
           static_cast<Timestamp>(state.consumed_samples),
           static_cast<Timestamp>(state.consumed_samples + whole_periods));
       if (!suffix.ok()) return suffix.status();
-      action = Action::kIncremental;
       training_input = std::move(*suffix);
       base = state.predictor;
       consumed_at_capture = state.consumed_samples;
@@ -176,6 +278,26 @@ MovingObjectStore::GetPredictor(ObjectId id) const {
   return it->second.predictor;
 }
 
+OverloadStats MovingObjectStore::overload_stats() const {
+  OverloadStats stats;
+  stats.admitted = stats_->admitted.load(std::memory_order_relaxed);
+  stats.shed = stats_->shed.load(std::memory_order_relaxed);
+  stats.degraded_overload =
+      stats_->degraded_overload.load(std::memory_order_relaxed);
+  stats.trains_deferred =
+      stats_->trains_deferred.load(std::memory_order_relaxed);
+  stats.shards_skipped =
+      stats_->shards_skipped.load(std::memory_order_relaxed);
+  stats.reports_rejected =
+      stats_->reports_rejected.load(std::memory_order_relaxed);
+  return stats;
+}
+
+CircuitBreaker::State MovingObjectStore::BreakerState(int shard) const {
+  HPM_CHECK(shard >= 0 && shard < static_cast<int>(breakers_.size()));
+  return breakers_[static_cast<size_t>(shard)]->state();
+}
+
 MovingObjectStore::QuerySnapshot MovingObjectStore::MakeSnapshot(
     ObjectId id, const ObjectState& state) const {
   QuerySnapshot snapshot;
@@ -192,7 +314,7 @@ MovingObjectStore::QuerySnapshot MovingObjectStore::MakeSnapshot(
 
 StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
     const QuerySnapshot& snapshot, Timestamp tq, int k,
-    Deadline deadline) const {
+    Deadline deadline, bool shed_to_rmf) const {
   if (snapshot.history_size < 2) {
     return Status::FailedPrecondition(
         "object has fewer than 2 reported locations");
@@ -209,9 +331,17 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
   query.deadline = deadline;
 
   if (snapshot.predictor != nullptr) {
+    if (shed_to_rmf) {
+      // Rung 1: the pattern side is skipped wholesale; the answer is the
+      // exact RMF prediction, visibly stamped Overloaded.
+      stats_->degraded_overload.fetch_add(1, std::memory_order_relaxed);
+      return snapshot.predictor->DegradedPredict(
+          query, DegradedReason::kOverloaded);
+    }
     return snapshot.predictor->Predict(query);
   }
   // Cold start: pure motion function until the first training threshold.
+  // This is already the cheapest answer, so overload changes nothing.
   RecursiveMotionFunction rmf(options_.predictor.rmf);
   Prediction prediction;
   prediction.source = PredictionSource::kMotionFunction;
@@ -225,6 +355,14 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
 
 StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
     ObjectId id, Timestamp tq, int k, Deadline deadline) const {
+  StatusOr<AdmissionTicket> ticket = admission_->Admit("predict");
+  if (!ticket.ok()) {
+    stats_->shed.fetch_add(1, std::memory_order_relaxed);
+    return ticket.status();
+  }
+  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+  const bool shed_to_rmf = ShouldShedToRmf(deadline);
+
   Shard& shard = ShardFor(id);
   QuerySnapshot snapshot;
   {
@@ -235,7 +373,7 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
     }
     snapshot = MakeSnapshot(id, it->second);
   }
-  return PredictSnapshot(snapshot, tq, k, deadline);
+  return PredictSnapshot(snapshot, tq, k, deadline, shed_to_rmf);
 }
 
 std::vector<StatusOr<std::vector<Prediction>>>
@@ -243,6 +381,15 @@ MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
                                         Timestamp tq, int k,
                                         Deadline deadline) const {
   using Result = StatusOr<std::vector<Prediction>>;
+
+  // One admission ticket covers the whole batch (it is one request).
+  StatusOr<AdmissionTicket> ticket = admission_->Admit("predict_batch");
+  if (!ticket.ok()) {
+    stats_->shed.fetch_add(1, std::memory_order_relaxed);
+    return std::vector<Result>(ids.size(), Result(ticket.status()));
+  }
+  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+  const bool shed_to_rmf = ShouldShedToRmf(deadline);
 
   // One lock acquisition per shard: group the input indices by shard,
   // then snapshot each group in a single critical section.
@@ -266,9 +413,10 @@ MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
   std::vector<std::optional<Result>> results(ids.size());
   auto predict_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      results[i] = snapshots[i].has_value()
-                       ? PredictSnapshot(*snapshots[i], tq, k, deadline)
-                       : Result(Status::NotFound("unknown object id"));
+      results[i] =
+          snapshots[i].has_value()
+              ? PredictSnapshot(*snapshots[i], tq, k, deadline, shed_to_rmf)
+              : Result(Status::NotFound("unknown object id"));
     }
   };
   const size_t workers = static_cast<size_t>(pool_->num_threads());
@@ -279,10 +427,16 @@ MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
     std::vector<std::future<void>> futures;
     for (size_t begin = 0; begin < ids.size(); begin += chunk) {
       const size_t end = std::min(begin + chunk, ids.size());
-      futures.push_back(
-          pool_->Submit([&predict_range, begin, end] {
-            predict_range(begin, end);
-          }));
+      // Bounded queue: when the pool is saturated the chunk runs inline
+      // — the caller pays with its own time (backpressure) rather than
+      // growing the queue.
+      StatusOr<std::future<void>> submitted = pool_->TrySubmit(
+          [&predict_range, begin, end] { predict_range(begin, end); });
+      if (submitted.ok()) {
+        futures.push_back(std::move(*submitted));
+      } else {
+        predict_range(begin, end);
+      }
     }
     for (std::future<void>& f : futures) f.get();
   }
@@ -294,8 +448,17 @@ MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
 }
 
 MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
-    const Shard& shard, const BoundingBox& range, Timestamp tq,
-    int k_per_object, Deadline deadline) const {
+    int shard_index, const BoundingBox& range, Timestamp tq,
+    int k_per_object, Deadline deadline, bool shed_to_rmf) const {
+  ShardHits result;
+  // The per-shard kill switch: a -DHPM_ENABLE_FAULTS=ON build can force
+  // this shard's share of every fan-out to fail, driving its breaker.
+  if (Status injected = HPM_FAULT_HIT(ShardQueryFaultSite(shard_index));
+      !injected.ok()) {
+    result.status = injected.Annotate("shard_query");
+    return result;
+  }
+  const Shard& shard = *shards_[static_cast<size_t>(shard_index)];
   std::vector<QuerySnapshot> snapshots;
   {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
@@ -306,13 +469,12 @@ MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
       snapshots.push_back(MakeSnapshot(id, state));
     }
   }
-  ShardHits result;
   for (const QuerySnapshot& snapshot : snapshots) {
     // The deadline travels inside the query: once it expires, each
     // remaining object's answer degrades to the cheap RMF prediction
     // instead of the shard aborting with partial coverage.
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, k_per_object, deadline);
+        PredictSnapshot(snapshot, tq, k_per_object, deadline, shed_to_rmf);
     if (!predictions.ok()) {
       result.status = predictions.status();
       return result;
@@ -328,7 +490,15 @@ MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
 }
 
 MovingObjectStore::ShardHits MovingObjectStore::NearestNeighborShard(
-    const Shard& shard, Timestamp tq, Deadline deadline) const {
+    int shard_index, Timestamp tq, Deadline deadline,
+    bool shed_to_rmf) const {
+  ShardHits result;
+  if (Status injected = HPM_FAULT_HIT(ShardQueryFaultSite(shard_index));
+      !injected.ok()) {
+    result.status = injected.Annotate("shard_query");
+    return result;
+  }
+  const Shard& shard = *shards_[static_cast<size_t>(shard_index)];
   std::vector<QuerySnapshot> snapshots;
   {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
@@ -339,10 +509,9 @@ MovingObjectStore::ShardHits MovingObjectStore::NearestNeighborShard(
       snapshots.push_back(MakeSnapshot(id, state));
     }
   }
-  ShardHits result;
   for (const QuerySnapshot& snapshot : snapshots) {
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, 1, deadline);
+        PredictSnapshot(snapshot, tq, 1, deadline, shed_to_rmf);
     if (!predictions.ok()) {
       result.status = predictions.status();
       return result;
@@ -353,32 +522,65 @@ MovingObjectStore::ShardHits MovingObjectStore::NearestNeighborShard(
 }
 
 template <typename Fn>
-StatusOr<std::vector<RangeHit>> MovingObjectStore::FanOut(Fn&& fn) const {
-  std::vector<ShardHits> partials(shards_.size());
-  if (pool_->num_threads() <= 1 || shards_.size() == 1) {
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      partials[s] = fn(*shards_[s]);
+FleetQueryResult MovingObjectStore::FanOut(Fn&& fn) const {
+  const size_t n = shards_.size();
+  std::vector<ShardHits> partials(n);
+  std::vector<char> allowed(n, 0);
+
+  // Breaker gate first: an open breaker costs one atomic-ish check, not
+  // a doomed shard query.
+  for (size_t s = 0; s < n; ++s) {
+    allowed[s] = breakers_[s]->Allow() ? 1 : 0;
+  }
+
+  if (pool_->num_threads() <= 1 || n == 1) {
+    for (size_t s = 0; s < n; ++s) {
+      if (allowed[s]) partials[s] = fn(static_cast<int>(s));
     }
   } else {
     std::vector<std::future<void>> futures;
-    futures.reserve(shards_.size());
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      futures.push_back(pool_->Submit(
-          [this, &fn, &partials, s] { partials[s] = fn(*shards_[s]); }));
+    futures.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      if (!allowed[s]) continue;
+      // Bounded queue: a saturated pool means the shard runs inline on
+      // the calling thread — backpressure, not unbounded queueing.
+      StatusOr<std::future<void>> submitted = pool_->TrySubmit(
+          [this, &fn, &partials, s] { partials[s] = fn(static_cast<int>(s)); });
+      if (submitted.ok()) {
+        futures.push_back(std::move(*submitted));
+      } else {
+        partials[s] = fn(static_cast<int>(s));
+      }
     }
     for (std::future<void>& f : futures) f.get();
   }
-  std::vector<RangeHit> hits;
-  for (ShardHits& partial : partials) {
-    if (!partial.status.ok()) return partial.status;
-    hits.insert(hits.end(),
-                std::make_move_iterator(partial.hits.begin()),
-                std::make_move_iterator(partial.hits.end()));
+
+  FleetQueryResult result;
+  for (size_t s = 0; s < n; ++s) {
+    if (!allowed[s]) {
+      result.partial = true;
+      result.skipped_shards.push_back(static_cast<int>(s));
+      stats_->shards_skipped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!partials[s].status.ok()) {
+      // The shard failed: feed its breaker and serve without it rather
+      // than failing the whole query.
+      breakers_[s]->RecordFailure();
+      result.partial = true;
+      result.skipped_shards.push_back(static_cast<int>(s));
+      stats_->shards_skipped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    breakers_[s]->RecordSuccess();
+    result.hits.insert(result.hits.end(),
+                       std::make_move_iterator(partials[s].hits.begin()),
+                       std::make_move_iterator(partials[s].hits.end()));
   }
-  return hits;
+  return result;
 }
 
-StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveRangeQuery(
+StatusOr<FleetQueryResult> MovingObjectStore::PredictiveRangeQuery(
     const BoundingBox& range, Timestamp tq, int k_per_object,
     Deadline deadline) const {
   if (range.IsEmpty()) {
@@ -387,42 +589,57 @@ StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveRangeQuery(
   if (k_per_object < 1) {
     return Status::InvalidArgument("k_per_object must be >= 1");
   }
-  StatusOr<std::vector<RangeHit>> hits = FanOut(
-      [this, &range, tq, k_per_object, deadline](const Shard& shard) {
-        return RangeQueryShard(shard, range, tq, k_per_object, deadline);
+  StatusOr<AdmissionTicket> ticket = admission_->Admit("range_query");
+  if (!ticket.ok()) {
+    stats_->shed.fetch_add(1, std::memory_order_relaxed);
+    return ticket.status();
+  }
+  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+  const bool shed_to_rmf = ShouldShedToRmf(deadline);
+
+  FleetQueryResult result = FanOut(
+      [this, &range, tq, k_per_object, deadline, shed_to_rmf](int shard) {
+        return RangeQueryShard(shard, range, tq, k_per_object, deadline,
+                               shed_to_rmf);
       });
-  if (!hits.ok()) return hits.status();
-  std::sort(hits->begin(), hits->end(),
+  std::sort(result.hits.begin(), result.hits.end(),
             [](const RangeHit& a, const RangeHit& b) {
               if (a.prediction.score != b.prediction.score) {
                 return a.prediction.score > b.prediction.score;
               }
               return a.id < b.id;
             });
-  return hits;
+  return result;
 }
 
-StatusOr<std::vector<RangeHit>> MovingObjectStore::PredictiveNearestNeighbors(
+StatusOr<FleetQueryResult> MovingObjectStore::PredictiveNearestNeighbors(
     const Point& target, Timestamp tq, int n, Deadline deadline) const {
   if (n < 1) {
     return Status::InvalidArgument("n must be >= 1");
   }
-  StatusOr<std::vector<RangeHit>> hits = FanOut(
-      [this, tq, deadline](const Shard& shard) {
-        return NearestNeighborShard(shard, tq, deadline);
+  StatusOr<AdmissionTicket> ticket = admission_->Admit("knn_query");
+  if (!ticket.ok()) {
+    stats_->shed.fetch_add(1, std::memory_order_relaxed);
+    return ticket.status();
+  }
+  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+  const bool shed_to_rmf = ShouldShedToRmf(deadline);
+
+  FleetQueryResult result =
+      FanOut([this, tq, deadline, shed_to_rmf](int shard) {
+        return NearestNeighborShard(shard, tq, deadline, shed_to_rmf);
       });
-  if (!hits.ok()) return hits.status();
-  std::sort(hits->begin(), hits->end(),
+  std::sort(result.hits.begin(), result.hits.end(),
             [&target](const RangeHit& a, const RangeHit& b) {
               const double da = SquaredDistance(a.prediction.location, target);
               const double db = SquaredDistance(b.prediction.location, target);
               if (da != db) return da < db;
               return a.id < b.id;
             });
-  if (static_cast<int>(hits->size()) > n) {
-    hits->resize(static_cast<size_t>(n));
+  if (static_cast<int>(result.hits.size()) > n) {
+    result.hits.resize(static_cast<size_t>(n));
   }
-  return hits;
+  return result;
 }
 
 int MovingObjectStore::RegisterContinuousQuery(const BoundingBox& range,

@@ -24,13 +24,19 @@
 #ifndef HPM_SERVER_OBJECT_STORE_H_
 #define HPM_SERVER_OBJECT_STORE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
+#include "common/admission.h"
+#include "common/circuit_breaker.h"
 #include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "core/hybrid_predictor.h"
@@ -39,6 +45,11 @@ namespace hpm {
 
 /// Identifies one tracked moving object.
 using ObjectId = int64_t;
+
+/// The fault site that fails shard `shard`'s share of every fan-out
+/// query in a -DHPM_ENABLE_FAULTS=ON build: "server/shard_query:<shard>".
+/// Arming it `always` is the circuit-breaker kill switch.
+std::string ShardQueryFaultSite(int shard);
 
 /// Store configuration.
 struct ObjectStoreOptions {
@@ -65,6 +76,53 @@ struct ObjectStoreOptions {
   /// 0 = ThreadPool::DefaultThreadCount(). With 1, fan-out runs inline
   /// on the calling thread (no pool hop).
   int query_threads = 0;
+
+  /// ---- Overload control (all defaults = off; see docs/ROBUSTNESS.md) ----
+
+  /// Admission control consulted at every entry point (ingest and
+  /// queries). The defaults admit everything; configure a rate and/or
+  /// in-flight cap to make the store reject excess work with
+  /// kUnavailable plus a retry-after hint (rung 2 of the ladder).
+  AdmissionOptions admission;
+
+  /// Bound on the fan-out pool's queued-but-unstarted tasks. When the
+  /// queue is full, fan-out work runs inline on the calling thread
+  /// (backpressure) instead of queueing unboundedly. 0 = unbounded.
+  size_t max_pool_queue = 0;
+
+  /// Rung 1 of the load-shedding ladder: once the fan-out pool's queue
+  /// depth reaches this, queries skip the pattern side and answer with
+  /// the RMF motion function (Prediction::degraded = kOverloaded).
+  /// 0 = never degrade on queue depth.
+  size_t degrade_queue_depth = 0;
+
+  /// Rung 1, deadline-headroom trigger: a query whose deadline has less
+  /// than this much time remaining is answered RMF-only immediately —
+  /// the pattern side would blow the budget anyway. 0 = off.
+  std::chrono::microseconds degrade_min_headroom{0};
+
+  /// Per-shard circuit breakers over fan-out outcomes: a shard whose
+  /// queries keep failing is tripped out of range/kNN fan-outs (the
+  /// query returns partial=true) until a half-open probe succeeds.
+  /// The defaults never trip on a healthy shard.
+  CircuitBreakerOptions breaker;
+
+  /// Observes every per-shard breaker transition (called under the
+  /// breaker's lock — keep it cheap). For diagnostics; `hpm_tool
+  /// faultcheck` prints these.
+  std::function<void(int shard, CircuitBreaker::State from,
+                     CircuitBreaker::State to)>
+      breaker_listener;
+};
+
+/// Relaxed counters describing the overload-control layer's decisions.
+struct OverloadStats {
+  uint64_t admitted = 0;         ///< Entry-point calls past admission.
+  uint64_t shed = 0;             ///< Entry-point calls rejected (rung 2).
+  uint64_t degraded_overload = 0;///< Queries answered RMF-only (rung 1).
+  uint64_t trains_deferred = 0;  ///< (Re)trains postponed under pressure.
+  uint64_t shards_skipped = 0;   ///< Shard fan-outs skipped or failed.
+  uint64_t reports_rejected = 0; ///< Malformed ReportLocation inputs.
 };
 
 /// One object's answer to a predictive range query.
@@ -73,6 +131,22 @@ struct RangeHit {
 
   /// The best-scored prediction that falls inside the query range.
   Prediction prediction;
+};
+
+/// Result of a fleet query (range / kNN). `partial` is the
+/// overload-resilience contract: a shard whose circuit breaker is open,
+/// or whose share of the fan-out failed, is *skipped* — the query still
+/// answers from the healthy shards instead of failing end to end.
+struct FleetQueryResult {
+  /// Hits from every shard that answered, in the query's sort order.
+  std::vector<RangeHit> hits;
+
+  /// True when at least one shard did not contribute.
+  bool partial = false;
+
+  /// Indices of the shards that were skipped (breaker open) or failed
+  /// during this call, ascending.
+  std::vector<int> skipped_shards;
 };
 
 /// Per-object ingestion + prediction service. Thread-safe: shards, lock
@@ -96,10 +170,28 @@ class MovingObjectStore {
   /// their relative order (and thus the object's trajectory) is up to
   /// the scheduler; give each object one reporting thread for
   /// deterministic histories.
+  ///
+  /// Hardened against malformed input: NaN/Inf coordinates are rejected
+  /// with kInvalidArgument (and counted — RejectedReports(id)) instead
+  /// of poisoning later training. Under overload, admission control may
+  /// reject with kUnavailable + retry-after, and (re)training is
+  /// deferred until pressure clears (queries outrank model refreshes).
   Status ReportLocation(ObjectId id, const Point& location);
+
+  /// ReportLocation with an explicit timestamp: `t` must be exactly the
+  /// object's next tick (== HistoryLength(id)). A smaller `t` is a
+  /// non-monotone (out-of-order / duplicate) report and a larger one a
+  /// gap; both are rejected with kInvalidArgument and counted per
+  /// object rather than silently corrupting the trajectory's unit-step
+  /// time base.
+  Status ReportLocationAt(ObjectId id, Timestamp t, const Point& location);
 
   /// Bulk ingestion convenience.
   Status ReportTrajectory(ObjectId id, const Trajectory& trajectory);
+
+  /// Malformed reports rejected so far for `id` (NaN/Inf coordinates,
+  /// non-monotone timestamps). 0 for unknown objects.
+  uint64_t RejectedReports(ObjectId id) const;
 
   /// Ids of all tracked objects, ascending. Shard-snapshot read: ids
   /// reported while the call runs may or may not be included.
@@ -150,17 +242,36 @@ class MovingObjectStore {
   /// A `deadline` bounds the pattern-side work per object: once it
   /// expires, remaining objects are evaluated with their (cheap) RMF
   /// answers, so the result set still covers every eligible object.
-  StatusOr<std::vector<RangeHit>> PredictiveRangeQuery(
+  /// A shard whose circuit breaker is open (or whose share fails) is
+  /// skipped and the result is flagged partial instead of the whole
+  /// query failing; under overload the per-object answers degrade to
+  /// RMF (DegradedReason::kOverloaded) or the call is rejected with
+  /// kUnavailable + retry-after.
+  StatusOr<FleetQueryResult> PredictiveRangeQuery(
       const BoundingBox& range, Timestamp tq, int k_per_object = 3,
       Deadline deadline = Deadline::Infinite()) const;
 
   /// Predictive n-nearest-neighbours: the `n` objects whose top-1
   /// predicted location at `tq` lies closest to `target`, nearest
   /// first. Objects that cannot be queried at `tq` are skipped. Same
-  /// fan-out as PredictiveRangeQuery.
-  StatusOr<std::vector<RangeHit>> PredictiveNearestNeighbors(
+  /// fan-out (and the same partial/overload contract) as
+  /// PredictiveRangeQuery.
+  StatusOr<FleetQueryResult> PredictiveNearestNeighbors(
       const Point& target, Timestamp tq, int n,
       Deadline deadline = Deadline::Infinite()) const;
+
+  /// ---- Overload introspection ----------------------------------------
+  /// Snapshot of the overload-control counters.
+  OverloadStats overload_stats() const;
+
+  /// State of shard `shard`'s circuit breaker.
+  CircuitBreaker::State BreakerState(int shard) const;
+
+  /// Queued-but-unstarted fan-out tasks (the rung-1 pressure signal).
+  size_t PoolQueueDepth() const { return pool_->queue_depth(); }
+
+  /// Entry-point calls currently admitted and running.
+  int InFlight() const { return admission_->in_flight(); }
 
   /// ---- Continuous monitoring -----------------------------------------
   /// Registers a standing range query: after every location report, the
@@ -230,6 +341,10 @@ class MovingObjectStore {
   struct Shard {
     mutable std::shared_mutex mutex;
     std::map<ObjectId, ObjectState> objects;
+    /// Malformed reports rejected per object. Kept beside `objects` (not
+    /// inside ObjectState) so a rejected report never creates a phantom
+    /// object in ObjectIds()/NumObjects().
+    std::map<ObjectId, uint64_t> rejected_reports;
   };
 
   struct ContinuousQuery {
@@ -258,6 +373,17 @@ class MovingObjectStore {
     Status status;
   };
 
+  /// Relaxed-atomic backing of OverloadStats. Held behind unique_ptr so
+  /// the store stays movable.
+  struct AtomicOverloadStats {
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> degraded_overload{0};
+    std::atomic<uint64_t> trains_deferred{0};
+    std::atomic<uint64_t> shards_skipped{0};
+    std::atomic<uint64_t> reports_rejected{0};
+  };
+
   static size_t ShardIndex(ObjectId id, size_t num_shards);
   Shard& ShardFor(ObjectId id) const {
     return *shards_[ShardIndex(id, shards_.size())];
@@ -267,27 +393,49 @@ class MovingObjectStore {
   QuerySnapshot MakeSnapshot(ObjectId id, const ObjectState& state) const;
 
   /// Predicts against a snapshot; no locks held. Mirrors the pre-shard
-  /// PredictForState semantics exactly.
+  /// PredictForState semantics exactly. With `shed_to_rmf` the pattern
+  /// side is skipped and a trained object's answer is the RMF motion
+  /// function stamped DegradedReason::kOverloaded (rung 1).
   StatusOr<std::vector<Prediction>> PredictSnapshot(
       const QuerySnapshot& snapshot, Timestamp tq, int k,
-      Deadline deadline = Deadline::Infinite()) const;
+      Deadline deadline = Deadline::Infinite(),
+      bool shed_to_rmf = false) const;
+
+  /// True when the rung-1 triggers (pool queue depth, deadline
+  /// headroom) say the pattern side should be skipped.
+  bool ShouldShedToRmf(const Deadline& deadline) const;
+
+  /// Shared ReportLocation/ReportLocationAt back half: validates the
+  /// sample, appends, trains, feeds continuous queries.
+  Status Ingest(ObjectId id, const Point& location,
+                const Timestamp* expected_t);
+
+  /// Records a malformed report for `id` (creates no trajectory).
+  void CountRejectedReport(ObjectId id);
 
   /// Runs initial training or batch incorporation for `id` if the
   /// post-append thresholds allow, mining outside the shard lock.
+  /// Under rung-1 pressure the train is deferred — query traffic
+  /// outranks model refreshes; the thresholds re-fire on a later report.
   Status MaybeTrain(Shard& shard, ObjectId id);
 
   /// One shard's share of PredictiveRangeQuery / NearestNeighbors:
   /// snapshot eligible objects under the reader lock, predict unlocked.
-  ShardHits RangeQueryShard(const Shard& shard, const BoundingBox& range,
+  /// `shard_index` names the per-shard fault site.
+  ShardHits RangeQueryShard(int shard_index, const BoundingBox& range,
                             Timestamp tq, int k_per_object,
-                            Deadline deadline) const;
-  ShardHits NearestNeighborShard(const Shard& shard, Timestamp tq,
-                                 Deadline deadline) const;
+                            Deadline deadline, bool shed_to_rmf) const;
+  ShardHits NearestNeighborShard(int shard_index, Timestamp tq,
+                                 Deadline deadline, bool shed_to_rmf) const;
 
-  /// Runs `fn(shard)` for every shard — on the pool when it has more
-  /// than one worker, inline otherwise — and merges in shard order.
+  /// Runs `fn(shard_index)` for every shard whose breaker admits the
+  /// call — on the pool when it has more than one worker (TrySubmit
+  /// with inline fallback under backpressure), inline otherwise —
+  /// records each outcome on the shard's breaker, and merges healthy
+  /// shards in shard order. Failed/skipped shards flag the result
+  /// partial instead of failing the query.
   template <typename Fn>
-  StatusOr<std::vector<RangeHit>> FanOut(Fn&& fn) const;
+  FleetQueryResult FanOut(Fn&& fn) const;
 
   /// Re-evaluates every standing query for the object that just
   /// reported, against the given snapshot.
@@ -299,6 +447,9 @@ class MovingObjectStore {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ContinuousState> continuous_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::unique_ptr<AtomicOverloadStats> stats_;
 };
 
 }  // namespace hpm

@@ -1,0 +1,194 @@
+#include "common/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/retry.h"
+
+namespace hpm {
+namespace {
+
+using Clock = AdmissionOptions::Clock;
+
+/// A clock the test advances by hand, making every admit/reject decision
+/// deterministic.
+struct ManualClock {
+  Clock::time_point now{};
+  std::function<Clock::time_point()> fn() {
+    return [this] { return now; };
+  }
+  void Advance(std::chrono::microseconds d) { now += d; }
+};
+
+TEST(AdmissionTest, DefaultOptionsAdmitEverything) {
+  AdmissionController controller(AdmissionOptions{});
+  for (int i = 0; i < 1000; ++i) {
+    auto ticket = controller.Admit("test");
+    ASSERT_TRUE(ticket.ok());
+  }
+  EXPECT_EQ(controller.admitted_total(), 1000u);
+  EXPECT_EQ(controller.rejected_total(), 0u);
+}
+
+TEST(AdmissionTest, TokenBucketEnforcesTheRate) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.tokens_per_second = 10.0;  // One token per 100ms.
+  options.burst = 2.0;
+  options.clock = clock.fn();
+  AdmissionController controller(options);
+
+  // The bucket starts full: the burst is admitted...
+  EXPECT_TRUE(controller.Admit("a").ok());
+  EXPECT_TRUE(controller.Admit("b").ok());
+  // ...and the next request is rejected as kUnavailable.
+  auto rejected = controller.Admit("c");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  // 100ms later one token has refilled.
+  clock.Advance(std::chrono::microseconds(100000));
+  EXPECT_TRUE(controller.Admit("d").ok());
+  EXPECT_FALSE(controller.Admit("e").ok());
+  EXPECT_EQ(controller.admitted_total(), 3u);
+  EXPECT_EQ(controller.rejected_total(), 2u);
+}
+
+TEST(AdmissionTest, RateRejectionCarriesAParsableRetryAfterHint) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.tokens_per_second = 10.0;  // Empty bucket refills in ~100ms.
+  options.burst = 1.0;
+  options.clock = clock.fn();
+  AdmissionController controller(options);
+  ASSERT_TRUE(controller.Admit("a").ok());
+
+  auto rejected = controller.Admit("b");
+  ASSERT_FALSE(rejected.ok());
+  const auto hint = RetryAfterHint(rejected.status());
+  ASSERT_TRUE(hint.has_value());
+  // An empty bucket at 10 tokens/s needs ~100ms for the next token.
+  EXPECT_GT(*hint, std::chrono::microseconds(0));
+  EXPECT_LE(*hint, std::chrono::microseconds(100000));
+  // Waiting out the hint makes the next request succeed.
+  clock.Advance(*hint);
+  EXPECT_TRUE(controller.Admit("c").ok());
+}
+
+TEST(AdmissionTest, BucketNeverExceedsBurst) {
+  ManualClock clock;
+  AdmissionOptions options;
+  options.tokens_per_second = 1000.0;
+  options.burst = 3.0;
+  options.clock = clock.fn();
+  AdmissionController controller(options);
+  // A long idle stretch must not bank more than `burst` tokens.
+  clock.Advance(std::chrono::microseconds(60 * 1000 * 1000));
+  EXPECT_DOUBLE_EQ(controller.available_tokens(), 3.0);
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (controller.Admit("burst").ok()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 3);
+}
+
+TEST(AdmissionTest, InFlightGaugeBoundsConcurrency) {
+  AdmissionOptions options;
+  options.max_in_flight = 2;
+  AdmissionController controller(options);
+
+  auto a = controller.Admit("a");
+  auto b = controller.Admit("b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(controller.in_flight(), 2);
+
+  auto c = controller.Admit("c");
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(RetryAfterHint(c.status()).has_value());
+
+  // Releasing a ticket frees the slot.
+  a->Release();
+  EXPECT_EQ(controller.in_flight(), 1);
+  EXPECT_TRUE(controller.Admit("d").ok());
+}
+
+TEST(AdmissionTest, TicketReleasesOnDestructionAndMove) {
+  AdmissionOptions options;
+  options.max_in_flight = 1;
+  AdmissionController controller(options);
+  {
+    auto ticket = controller.Admit("a");
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_EQ(controller.in_flight(), 1);
+    // Moving transfers ownership; only one release happens.
+    AdmissionTicket moved = std::move(*ticket);
+    EXPECT_EQ(controller.in_flight(), 1);
+  }
+  EXPECT_EQ(controller.in_flight(), 0);
+  // Release is idempotent.
+  auto ticket = controller.Admit("b");
+  ASSERT_TRUE(ticket.ok());
+  ticket->Release();
+  ticket->Release();
+  EXPECT_EQ(controller.in_flight(), 0);
+}
+
+TEST(AdmissionTest, GaugeIsExactUnderConcurrentTraffic) {
+  AdmissionOptions options;
+  options.max_in_flight = 4;
+  AdmissionController controller(options);
+  std::atomic<int> peak{0};
+  std::atomic<int> current{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto ticket = controller.Admit("load");
+        if (!ticket.ok()) continue;
+        const int now = current.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        current.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The gauge never admitted more than the cap, and drained fully.
+  EXPECT_LE(peak.load(), 4);
+  EXPECT_EQ(controller.in_flight(), 0);
+}
+
+TEST(AdmissionTest, RetryWithBackoffHonorsTheHint) {
+  // A status carrying a 5000us hint must floor the backoff sleep at
+  // 5000us even though the policy caps its own backoff at 2us.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::microseconds(1);
+  policy.max_backoff = std::chrono::microseconds(2);
+  Random rng(7);
+  int attempts = 0;
+  std::vector<std::chrono::microseconds> sleeps;
+  const Status status = RetryWithBackoff(
+      policy, rng,
+      [&]() -> Status {
+        ++attempts;
+        return AttachRetryAfter(Status::Unavailable("busy"),
+                                std::chrono::microseconds(5000));
+      },
+      [&](std::chrono::microseconds d) { sleeps.push_back(d); });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(attempts, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  for (const auto d : sleeps) {
+    EXPECT_GE(d, std::chrono::microseconds(5000));
+  }
+}
+
+}  // namespace
+}  // namespace hpm

@@ -1,0 +1,189 @@
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace hpm {
+namespace {
+
+using Clock = CircuitBreakerOptions::Clock;
+using State = CircuitBreaker::State;
+
+struct ManualClock {
+  Clock::time_point now{};
+  std::function<Clock::time_point()> fn() {
+    return [this] { return now; };
+  }
+  void Advance(std::chrono::microseconds d) { now += d; }
+};
+
+CircuitBreakerOptions SmallOptions(ManualClock* clock) {
+  CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_samples = 4;
+  options.failure_threshold = 0.5;
+  options.open_duration = std::chrono::microseconds(1000);
+  options.half_open_successes = 1;
+  options.clock = clock->fn();
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllowsEverything) {
+  ManualClock clock;
+  CircuitBreaker breaker(SmallOptions(&clock));
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_EQ(breaker.times_opened(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsWhenFailureRateCrossesThreshold) {
+  ManualClock clock;
+  CircuitBreaker breaker(SmallOptions(&clock));
+  // min_samples gates the trip: three failures are not enough evidence,
+  // the fourth completes the window at 100% >= 50% and opens it.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kClosed);  // min_samples not reached.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, MinSamplesPreventsTrippingOnSparseData) {
+  ManualClock clock;
+  CircuitBreakerOptions options = SmallOptions(&clock);
+  options.window = 8;
+  options.min_samples = 6;
+  CircuitBreaker breaker(options);
+  // 100% failure rate but below min_samples: stays closed.
+  for (int i = 0; i < 5; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  breaker.RecordFailure();  // Sixth sample trips it.
+  EXPECT_EQ(breaker.state(), State::kOpen);
+}
+
+TEST(CircuitBreakerTest, SlidingWindowForgetsOldFailures) {
+  ManualClock clock;
+  CircuitBreakerOptions options = SmallOptions(&clock);
+  options.window = 4;
+  options.min_samples = 4;
+  CircuitBreaker breaker(options);
+  // Two old failures, then a run of successes pushing them out of the
+  // window: the failure rate at every full-window point stays below 50%.
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();  // Window full: 25% < 50%.
+  for (int i = 0; i < 10; ++i) breaker.RecordSuccess();
+  breaker.RecordFailure();  // 1 failure in the last 4: 25%.
+  EXPECT_EQ(breaker.state(), State::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenBreakerAdmitsOneProbeAfterCooldown) {
+  ManualClock clock;
+  CircuitBreaker breaker(SmallOptions(&clock));
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), State::kOpen);
+
+  // Refused during the cooldown.
+  EXPECT_FALSE(breaker.Allow());
+  clock.Advance(std::chrono::microseconds(999));
+  EXPECT_FALSE(breaker.Allow());
+
+  // Cooldown over: exactly one probe is admitted.
+  clock.Advance(std::chrono::microseconds(1));
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());  // Second caller waits for the probe.
+
+  // Successful probe closes the breaker.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithFreshCooldown) {
+  ManualClock clock;
+  CircuitBreaker breaker(SmallOptions(&clock));
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  clock.Advance(std::chrono::microseconds(1000));
+  ASSERT_TRUE(breaker.Allow());  // Probe.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  // The cooldown restarted: still refused until another full interval.
+  clock.Advance(std::chrono::microseconds(999));
+  EXPECT_FALSE(breaker.Allow());
+  clock.Advance(std::chrono::microseconds(1));
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, MultipleHalfOpenSuccessesRequired) {
+  ManualClock clock;
+  CircuitBreakerOptions options = SmallOptions(&clock);
+  options.half_open_successes = 3;
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  clock.Advance(std::chrono::microseconds(1000));
+  for (int probe = 0; probe < 2; ++probe) {
+    ASSERT_TRUE(breaker.Allow());
+    breaker.RecordSuccess();
+    EXPECT_EQ(breaker.state(), State::kHalfOpen);
+  }
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();  // Third success closes.
+  EXPECT_EQ(breaker.state(), State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ClosingClearsTheWindow) {
+  ManualClock clock;
+  CircuitBreaker breaker(SmallOptions(&clock));
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  clock.Advance(std::chrono::microseconds(1000));
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  ASSERT_EQ(breaker.state(), State::kClosed);
+  // The pre-trip failures were forgotten: it takes a full fresh window
+  // of failures to trip again.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), State::kOpen);
+}
+
+TEST(CircuitBreakerTest, ListenerSeesEveryTransition) {
+  ManualClock clock;
+  CircuitBreaker breaker(SmallOptions(&clock));
+  std::vector<std::pair<State, State>> transitions;
+  breaker.SetStateListener([&](State from, State to) {
+    transitions.emplace_back(from, to);
+  });
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  clock.Advance(std::chrono::microseconds(1000));
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0], std::make_pair(State::kClosed, State::kOpen));
+  EXPECT_EQ(transitions[1], std::make_pair(State::kOpen, State::kHalfOpen));
+  EXPECT_EQ(transitions[2], std::make_pair(State::kHalfOpen, State::kClosed));
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kClosed), "Closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kOpen), "Open");
+  EXPECT_STREQ(CircuitBreaker::StateName(State::kHalfOpen), "HalfOpen");
+}
+
+}  // namespace
+}  // namespace hpm

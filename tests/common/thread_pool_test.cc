@@ -87,5 +87,169 @@ TEST(ThreadPoolDeathTest, RejectsZeroThreads) {
   EXPECT_DEATH(ThreadPool{0}, "HPM_CHECK");
 }
 
+// ---- Bounded queue / backpressure -----------------------------------------
+
+/// A pool whose single worker is parked on a latch, so the queue's
+/// contents are fully under the test's control.
+struct BlockedPool {
+  explicit BlockedPool(size_t max_queue_depth)
+      : pool(ThreadPoolOptions{1, max_queue_depth}) {
+    gate_future = pool.Submit([this] { gate.get_future().wait(); });
+    // Wait until the worker has actually *started* the blocking task, so
+    // later submissions sit in the queue rather than racing it.
+    while (pool.in_flight() == 0) std::this_thread::yield();
+  }
+  ~BlockedPool() { Open(); }
+  void Open() {
+    if (!opened) {
+      gate.set_value();
+      opened = true;
+    }
+  }
+  ThreadPool pool;
+  std::promise<void> gate;
+  std::future<void> gate_future;
+  bool opened = false;
+};
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueIsFull) {
+  BlockedPool blocked(2);
+  auto a = blocked.pool.TrySubmit([] { return 1; });
+  auto b = blocked.pool.TrySubmit([] { return 2; });
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(blocked.pool.queue_depth(), 2u);
+  // Third queued task exceeds max_queue_depth=2: backpressure.
+  auto c = blocked.pool.TrySubmit([] { return 3; });
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnavailable);
+  // Unbounded Submit still accepts (legacy path ignores the bound).
+  std::future<int> d = blocked.pool.Submit([] { return 4; });
+  blocked.Open();
+  EXPECT_EQ(a->get(), 1);
+  EXPECT_EQ(b->get(), 2);
+  EXPECT_EQ(d.get(), 4);
+}
+
+TEST(ThreadPoolTest, TrySubmitUnboundedOnlyRejectsDuringShutdown) {
+  ThreadPool pool(ThreadPoolOptions{1, 0});
+  auto ok = pool.TrySubmit([] { return 5; });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->get(), 5);
+  pool.Shutdown();
+  auto rejected = pool.TrySubmit([] { return 6; });
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ThreadPoolTest, QueueDepthAndInFlightTrackTheWorker) {
+  BlockedPool blocked(0);
+  EXPECT_EQ(blocked.pool.in_flight(), 1);
+  EXPECT_EQ(blocked.pool.queue_depth(), 0u);
+  std::future<void> queued = blocked.pool.Submit([] {});
+  EXPECT_EQ(blocked.pool.queue_depth(), 1u);
+  blocked.Open();
+  queued.wait();
+  EXPECT_EQ(blocked.pool.queue_depth(), 0u);
+  blocked.gate_future.wait();
+}
+
+// ---- Deterministic shutdown ------------------------------------------------
+
+TEST(ThreadPoolTest, ShutdownRunPendingExecutesEveryQueuedTask) {
+  std::atomic<int> ran{0};
+  BlockedPool blocked(0);
+  for (int i = 0; i < 8; ++i) {
+    blocked.pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  blocked.Open();
+  const ThreadPool::DrainStats stats =
+      blocked.pool.Shutdown(ThreadPool::DrainPolicy::kRunPending);
+  // Every queued task ran; none were dropped. (Tasks the worker had
+  // already dequeued before Shutdown don't count as "queued".)
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(stats.discarded, 0u);
+  EXPECT_LE(stats.ran, 8u);
+}
+
+TEST(ThreadPoolTest, ShutdownDiscardPendingReportsEveryDroppedTask) {
+  std::atomic<int> ran{0};
+  BlockedPool blocked(0);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(blocked.pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  EXPECT_EQ(blocked.pool.queue_depth(), 8u);
+  blocked.Open();
+  const ThreadPool::DrainStats stats =
+      blocked.pool.Shutdown(ThreadPool::DrainPolicy::kDiscardPending);
+  // run-or-report: each of the 8 tasks either executed or is accounted
+  // discarded — no silent drops.
+  EXPECT_EQ(static_cast<size_t>(ran.load()) + stats.discarded, 8u);
+  // Discarded tasks report through their futures too: broken promise.
+  size_t broken = 0;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+      ++broken;
+    }
+  }
+  EXPECT_EQ(broken, stats.discarded);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Submit([] {}).wait();
+  const ThreadPool::DrainStats first = pool.Shutdown();
+  const ThreadPool::DrainStats second = pool.Shutdown();
+  EXPECT_EQ(first.discarded, 0u);
+  EXPECT_EQ(second.ran, 0u);
+  EXPECT_EQ(second.discarded, 0u);
+}
+
+// The shutdown-vs-submit race regression (run under TSan by
+// scripts/check.sh): concurrent TrySubmit during Shutdown must yield, for
+// every task, exactly one of {executed, kUnavailable rejection, broken
+// promise} — never a hang, double-run, or silent drop.
+TEST(ThreadPoolTest, ConcurrentTrySubmitDuringShutdownNeverDropsSilently) {
+  for (int round = 0; round < 20; ++round) {
+    auto pool = std::make_unique<ThreadPool>(ThreadPoolOptions{2, 4});
+    std::atomic<int> ran{0};
+    std::atomic<int> rejected{0};
+    std::atomic<int> broken{0};
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 25;
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          auto result = pool->TrySubmit([&ran] { ran.fetch_add(1); });
+          if (!result.ok()) {
+            rejected.fetch_add(1);
+            continue;
+          }
+          try {
+            result->get();
+          } catch (const std::future_error&) {
+            broken.fetch_add(1);
+          }
+        }
+      });
+    }
+    // Race the shutdown against the submitters.
+    const ThreadPool::DrainStats stats =
+        pool->Shutdown(round % 2 == 0
+                           ? ThreadPool::DrainPolicy::kRunPending
+                           : ThreadPool::DrainPolicy::kDiscardPending);
+    for (std::thread& t : submitters) t.join();
+    EXPECT_EQ(ran.load() + rejected.load() + broken.load(),
+              kSubmitters * kPerThread);
+    EXPECT_EQ(static_cast<size_t>(broken.load()), stats.discarded);
+  }
+}
+
 }  // namespace
 }  // namespace hpm

@@ -95,8 +95,8 @@ std::string CheckMetamorphicLaws(const MetamorphicCase& input) {
            (small_hits.ok() ? big_hits.status() : small_hits.status())
                .ToString();
   }
-  const std::set<ObjectId> small_ids = HitIds(*small_hits);
-  const std::set<ObjectId> big_ids = HitIds(*big_hits);
+  const std::set<ObjectId> small_ids = HitIds(small_hits->hits);
+  const std::set<ObjectId> big_ids = HitIds(big_hits->hits);
   for (const ObjectId id : small_ids) {
     if (big_ids.count(id) == 0) {
       return "object " + std::to_string(id) +
@@ -117,12 +117,12 @@ std::string CheckMetamorphicLaws(const MetamorphicCase& input) {
            (knn_short.ok() ? knn_long.status() : knn_short.status())
                .ToString();
   }
-  if (knn_short->size() >
-      std::min(static_cast<size_t>(n), knn_long->size())) {
+  if (knn_short->hits.size() >
+      std::min(static_cast<size_t>(n), knn_long->hits.size())) {
     return "kNN returned more than the requested n";
   }
-  for (size_t i = 0; i < knn_short->size(); ++i) {
-    if ((*knn_short)[i].id != (*knn_long)[i].id) {
+  for (size_t i = 0; i < knn_short->hits.size(); ++i) {
+    if (knn_short->hits[i].id != knn_long->hits[i].id) {
       return "kNN prefix diverges at position " + std::to_string(i);
     }
   }

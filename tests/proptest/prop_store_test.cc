@@ -184,8 +184,8 @@ std::string CheckShardedMatchesReference(const WorkloadCase& input) {
       return "range-query status differs";
     }
     if (sharded_hits.ok() &&
-        !SameHits(CanonicalHits(*sharded_hits),
-                  CanonicalHits(*reference_hits))) {
+        !SameHits(CanonicalHits(sharded_hits->hits),
+                  CanonicalHits(reference_hits->hits))) {
       return "range-query hits differ on " + range.ToString();
     }
   }
@@ -198,8 +198,8 @@ std::string CheckShardedMatchesReference(const WorkloadCase& input) {
     if (sharded_nn.ok() != reference_nn.ok()) {
       return "kNN status differs";
     }
-    if (sharded_nn.ok() && !SameHits(CanonicalHits(*sharded_nn),
-                                     CanonicalHits(*reference_nn))) {
+    if (sharded_nn.ok() && !SameHits(CanonicalHits(sharded_nn->hits),
+                                     CanonicalHits(reference_nn->hits))) {
       return "kNN hits differ";
     }
   }

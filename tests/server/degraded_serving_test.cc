@@ -138,8 +138,9 @@ TEST_F(DegradedServingTest, DegradedRangeQueryStillCoversEveryObject) {
       store.PredictiveRangeQuery(everywhere, kNow + 5, 3, Deadline::Expired());
   ASSERT_TRUE(hits.ok()) << hits.status().ToString();
   // No partial coverage: every object answers (degraded), none dropped.
-  ASSERT_EQ(hits->size(), 2u);
-  for (const RangeHit& hit : *hits) {
+  EXPECT_FALSE(hits->partial);
+  ASSERT_EQ(hits->hits.size(), 2u);
+  for (const RangeHit& hit : hits->hits) {
     EXPECT_EQ(hit.prediction.degraded, DegradedReason::kDeadlineExceeded);
     EXPECT_EQ(hit.prediction.source, PredictionSource::kMotionFunction);
   }
@@ -150,8 +151,9 @@ TEST_F(DegradedServingTest, DegradedNearestNeighborsStillAnswer) {
   auto nn = store.PredictiveNearestNeighbors(Route(1, 15), kNow + 5, 2,
                                              Deadline::Expired());
   ASSERT_TRUE(nn.ok()) << nn.status().ToString();
-  ASSERT_EQ(nn->size(), 2u);
-  EXPECT_EQ((*nn)[0].prediction.degraded, DegradedReason::kDeadlineExceeded);
+  ASSERT_EQ(nn->hits.size(), 2u);
+  EXPECT_EQ(nn->hits[0].prediction.degraded,
+            DegradedReason::kDeadlineExceeded);
 }
 
 TEST_F(DegradedServingTest, DegradedBatchAnswersEverySlot) {

@@ -1,7 +1,9 @@
 #include "server/object_store.h"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -144,9 +146,10 @@ TEST(ObjectStoreTest, PredictiveRangeQueryFindsTheRightObjects) {
                            center + Point{120, 120});
   auto hits = store.PredictiveRangeQuery(around, tq);
   ASSERT_TRUE(hits.ok());
-  ASSERT_EQ(hits->size(), 1u);
-  EXPECT_EQ((*hits)[0].id, 1);
-  EXPECT_TRUE(around.Contains((*hits)[0].prediction.location));
+  EXPECT_FALSE(hits->partial);
+  ASSERT_EQ(hits->hits.size(), 1u);
+  EXPECT_EQ(hits->hits[0].id, 1);
+  EXPECT_TRUE(around.Contains(hits->hits[0].prediction.location));
 }
 
 TEST(ObjectStoreTest, PredictiveRangeQueryWholeSpaceReturnsEveryone) {
@@ -163,9 +166,9 @@ TEST(ObjectStoreTest, PredictiveRangeQueryWholeSpaceReturnsEveryone) {
   const BoundingBox everywhere({-1e7, -1e7}, {1e7, 1e7});
   auto hits = store.PredictiveRangeQuery(everywhere, 5 * kPeriod + 9);
   ASSERT_TRUE(hits.ok());
-  EXPECT_EQ(hits->size(), 2u);
+  EXPECT_EQ(hits->hits.size(), 2u);
   // Sorted by score descending.
-  EXPECT_GE((*hits)[0].prediction.score, (*hits)[1].prediction.score);
+  EXPECT_GE(hits->hits[0].prediction.score, hits->hits[1].prediction.score);
 }
 
 TEST(ObjectStoreTest, RangeQueryValidation) {
@@ -178,7 +181,8 @@ TEST(ObjectStoreTest, RangeQueryValidation) {
   // No objects: empty result, not an error.
   auto hits = store.PredictiveRangeQuery(box, 10);
   ASSERT_TRUE(hits.ok());
-  EXPECT_TRUE(hits->empty());
+  EXPECT_TRUE(hits->hits.empty());
+  EXPECT_FALSE(hits->partial);
 }
 
 TEST(ObjectStoreTest, RangeQuerySkipsObjectsWithStaleClocks) {
@@ -189,7 +193,7 @@ TEST(ObjectStoreTest, RangeQuerySkipsObjectsWithStaleClocks) {
   const BoundingBox everywhere({-1e7, -1e7}, {1e7, 1e7});
   auto hits = store.PredictiveRangeQuery(everywhere, kPeriod - 1);
   ASSERT_TRUE(hits.ok());
-  EXPECT_TRUE(hits->empty());
+  EXPECT_TRUE(hits->hits.empty());
 }
 
 TEST(ObjectStoreTest, PredictiveNearestNeighborsOrdersByDistance) {
@@ -207,18 +211,71 @@ TEST(ObjectStoreTest, PredictiveNearestNeighborsOrdersByDistance) {
   // Target at object 1's future position: expect order 1, then 0/2.
   auto nn = store.PredictiveNearestNeighbors(Route(1, 10), tq, 2);
   ASSERT_TRUE(nn.ok());
-  ASSERT_EQ(nn->size(), 2u);
-  EXPECT_EQ((*nn)[0].id, 1);
-  const double d0 = Distance((*nn)[0].prediction.location, Route(1, 10));
-  const double d1 = Distance((*nn)[1].prediction.location, Route(1, 10));
+  ASSERT_EQ(nn->hits.size(), 2u);
+  EXPECT_EQ(nn->hits[0].id, 1);
+  const double d0 = Distance(nn->hits[0].prediction.location, Route(1, 10));
+  const double d1 = Distance(nn->hits[1].prediction.location, Route(1, 10));
   EXPECT_LE(d0, d1);
   // n larger than the fleet returns everyone.
   auto all = store.PredictiveNearestNeighbors(Route(1, 10), tq, 10);
   ASSERT_TRUE(all.ok());
-  EXPECT_EQ(all->size(), 3u);
+  EXPECT_EQ(all->hits.size(), 3u);
   // Validation.
   EXPECT_EQ(store.PredictiveNearestNeighbors({0, 0}, tq, 0).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectStoreTest, ReportRejectsNonFiniteCoordinates) {
+  MovingObjectStore store(Options());
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const Point& bad :
+       {Point{nan, 0.0}, Point{0.0, nan}, Point{inf, 0.0}, Point{0.0, -inf}}) {
+    const Status status = store.ReportLocation(7, bad);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("non-finite"), std::string::npos);
+  }
+  // Counted per object, and no phantom object was created.
+  EXPECT_EQ(store.RejectedReports(7), 4u);
+  EXPECT_EQ(store.RejectedReports(8), 0u);
+  EXPECT_EQ(store.NumObjects(), 0u);
+  EXPECT_EQ(store.HistoryLength(7), 0u);
+  // A good report afterwards is unaffected.
+  ASSERT_TRUE(store.ReportLocation(7, {1.0, 2.0}).ok());
+  EXPECT_EQ(store.HistoryLength(7), 1u);
+  EXPECT_EQ(store.RejectedReports(7), 4u);
+}
+
+TEST(ObjectStoreTest, ReportAtRejectsNonMonotoneTimestamps) {
+  MovingObjectStore store(Options());
+  ASSERT_TRUE(store.ReportLocationAt(1, 0, {0.0, 0.0}).ok());
+  ASSERT_TRUE(store.ReportLocationAt(1, 1, {1.0, 0.0}).ok());
+  // Duplicate / out-of-order tick.
+  Status status = store.ReportLocationAt(1, 1, {2.0, 0.0});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("non-monotone"), std::string::npos);
+  // Gap in the unit-step time base.
+  status = store.ReportLocationAt(1, 5, {2.0, 0.0});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("gap"), std::string::npos);
+  // Negative timestamp.
+  EXPECT_EQ(store.ReportLocationAt(1, -1, {2.0, 0.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.RejectedReports(1), 3u);
+  // The trajectory is untouched and the next tick still lands.
+  EXPECT_EQ(store.HistoryLength(1), 2u);
+  ASSERT_TRUE(store.ReportLocationAt(1, 2, {2.0, 0.0}).ok());
+  EXPECT_EQ(store.HistoryLength(1), 3u);
+}
+
+TEST(ObjectStoreTest, ReportAtRejectsUnknownObjectNonZeroStart) {
+  MovingObjectStore store(Options());
+  // First tick of an unknown object must be 0 — and the rejection must
+  // not create the object.
+  EXPECT_EQ(store.ReportLocationAt(9, 3, {0.0, 0.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.NumObjects(), 0u);
+  EXPECT_EQ(store.RejectedReports(9), 1u);
 }
 
 TEST(ObjectStoreTest, ContinuousQueryEmitsEnterAndLeaveEvents) {
