@@ -22,7 +22,10 @@
 // (kUnavailable + retry-after), and the p50/p99 latency of *accepted*
 // work is reported next to the baseline — the resilience claim is that
 // accepted p99 stays within ~2x of uncontended p99 while the excess is
-// shed instead of queued.
+// shed instead of queued. The overloaded store's pipeline-stage
+// histograms (admit/plan/fanout/merge, see docs/OBSERVABILITY.md) are
+// dumped alongside so a latency regression can be localised to a stage
+// straight from the JSON.
 
 #include <algorithm>
 #include <chrono>
@@ -30,11 +33,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/retry.h"
 
 #include "common/random.h"
@@ -201,6 +206,7 @@ struct OverloadReport {
   uint64_t shed = 0;      ///< Rejected kUnavailable + retry-after (rung 2).
   uint64_t other = 0;     ///< Anything else — must stay 0.
   OverloadStats store_stats;  ///< The server's own ladder counters.
+  MetricsSnapshot metrics;    ///< Stage histograms of the overloaded store.
   double baseline_p50_us = 0;
   double baseline_p99_us = 0;
   double accepted_p50_us = 0;
@@ -337,8 +343,35 @@ OverloadReport RunOverload(uint64_t seed) {
     report.accepted_p50_us = Percentile(latencies, 0.50);
     report.accepted_p99_us = Percentile(latencies, 0.99);
     report.store_stats = store.overload_stats();
+    report.metrics = store.metrics_snapshot();
   }
   return report;
+}
+
+/// Pipeline-stage breakdown of the overloaded store: where admitted
+/// queries spent their time (histogram upper-bound percentiles, so the
+/// numbers are conservative per docs/OBSERVABILITY.md).
+std::string StagesJson(const MetricsSnapshot& metrics) {
+  static constexpr const char* kStages[] = {"admit", "plan", "fanout",
+                                            "merge"};
+  std::string json = "  \"stages\": {";
+  char buf[160];
+  for (size_t i = 0; i < std::size(kStages); ++i) {
+    const std::string name = std::string("stage.") + kStages[i] + "_us";
+    const LatencyHistogram::Snapshot* snap = metrics.histogram(name);
+    const LatencyHistogram::Snapshot empty;
+    if (snap == nullptr) snap = &empty;
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    \"%s\": {\"count\": %" PRIu64
+                  ", \"mean_us\": %.1f, \"p50_us\": %.1f, "
+                  "\"p99_us\": %.1f}",
+                  i == 0 ? "" : ",", kStages[i], snap->count,
+                  snap->mean_micros(), snap->PercentileMicros(50),
+                  snap->PercentileMicros(99));
+    json += buf;
+  }
+  json += "},\n";
+  return json;
 }
 
 std::string OverloadJson(const OverloadReport& report) {
@@ -357,7 +390,7 @@ std::string OverloadJson(const OverloadReport& report) {
       report.store_stats.shed, report.store_stats.degraded_overload,
       report.baseline_p50_us, report.baseline_p99_us,
       report.accepted_p50_us, report.accepted_p99_us);
-  return buf;
+  return buf + StagesJson(report.metrics);
 }
 
 std::string ToJson(const std::vector<ThreadPoint>& points, uint64_t seed,

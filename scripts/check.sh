@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full verification matrix: tier-1 + property suites under
-# AddressSanitizer, then ThreadSanitizer. Any test failure or sanitizer
-# report (sanitizers make the binary exit non-zero) fails the run.
+# Full verification matrix: clang-tidy (when installed), then tier-1 +
+# property suites under AddressSanitizer, then ThreadSanitizer. Any test
+# failure or sanitizer report (sanitizers make the binary exit non-zero)
+# fails the run.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the slow-labelled binaries in the sanitizer builds
@@ -22,7 +23,23 @@ run_matrix() {
   cmake --build "$build_dir" -j "$JOBS"
   ctest --test-dir "$build_dir" -L tier1 "${CTEST_ARGS[@]}" -j "$JOBS"
   ctest --test-dir "$build_dir" -L prop "${CTEST_ARGS[@]}" -j "$JOBS"
+  # The observability suites (metrics, traces, pipeline accounting) are
+  # tier1/prop members too, but run the label explicitly so a labelling
+  # regression cannot silently drop them from the matrix.
+  ctest --test-dir "$build_dir" -L observability "${CTEST_ARGS[@]}" \
+        -j "$JOBS"
 }
+
+# Static analysis (config in .clang-tidy). Soft-skipped when clang-tidy
+# is not on PATH so the matrix still runs on minimal containers.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy: src/ tools/ bench/ =="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/**/*.cc' 'tools/*.cc' 'bench/*.cc' |
+    xargs -P "$JOBS" -n 8 clang-tidy -p build --quiet
+else
+  echo "== clang-tidy not installed: skipping the tidy leg =="
+fi
 
 echo "== plain build: tier1 + prop =="
 run_matrix build

@@ -77,6 +77,10 @@ void DynamicBitset::Resize(size_t size) {
   ClearUnusedBits();
 }
 
+void DynamicBitset::Reset() {
+  std::fill(words_.begin(), words_.end(), uint64_t{0});
+}
+
 void DynamicBitset::ClearUnusedBits() {
   const size_t used = size_ % kBitsPerWord;
   if (used != 0 && !words_.empty()) {

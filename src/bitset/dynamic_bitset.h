@@ -60,6 +60,10 @@ class DynamicBitset {
   /// are discarded.
   void Resize(size_t size);
 
+  /// Zeroes every bit, keeping size() and capacity. Lets scratch buffers
+  /// be reused across queries without reallocating.
+  void Reset();
+
   /// In-place bitwise ops. Preconditions: same size().
   DynamicBitset& operator&=(const DynamicBitset& o);
   DynamicBitset& operator|=(const DynamicBitset& o);

@@ -1,0 +1,71 @@
+#include "common/trace.h"
+
+#include <sstream>
+
+namespace hpm {
+
+int Trace::BeginSpan(const std::string& name, int parent) {
+  if (!enabled_) return -1;
+  const uint64_t start = MicrosSinceEpoch();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.name = name;
+  span.start_micros = start;
+  if (parent >= 0 && parent < static_cast<int>(spans_.size())) {
+    span.parent = parent;
+    span.depth = spans_[parent].depth + 1;
+  }
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Trace::EndSpan(int id) {
+  if (!enabled_ || id < 0) return;
+  const uint64_t now = MicrosSinceEpoch();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= static_cast<int>(spans_.size())) return;
+  TraceSpan& span = spans_[id];
+  if (span.finished) return;
+  span.duration_micros = now - span.start_micros;
+  span.finished = true;
+}
+
+void Trace::AddCounter(const std::string& name, uint64_t delta) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, value] : counters_) {
+    if (n == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(name, delta);
+}
+
+std::vector<TraceSpan> Trace::spans() const {
+  if (!enabled_) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Trace::counters() const {
+  if (!enabled_) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::string Trace::ToString() const {
+  std::ostringstream out;
+  for (const TraceSpan& span : spans()) {
+    for (int i = 0; i < span.depth; ++i) out << "  ";
+    out << span.name << " +" << span.start_micros << "us";
+    if (span.finished) out << " (" << span.duration_micros << "us)";
+    out << "\n";
+  }
+  for (const auto& [name, value] : counters()) {
+    out << name << "=" << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hpm

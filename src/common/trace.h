@@ -1,0 +1,105 @@
+// Per-query trace: nested timing spans plus named counters.
+//
+// A Trace belongs to exactly one query execution. The pipeline opens a root
+// span per stage and lower layers may open child spans; spans nest by
+// parent index into the flat span list, which keeps recording to one vector
+// push under a mutex (fan-out workers of the same query may record
+// concurrently). A disabled Trace — the default unless the store has a
+// trace sink installed — makes every call a no-op so the hot path pays a
+// single predictable branch.
+
+#ifndef HPM_COMMON_TRACE_H_
+#define HPM_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpm {
+
+/// One completed (or still-open) timing span inside a Trace.
+struct TraceSpan {
+  std::string name;
+  int parent = -1;  ///< Index of the enclosing span; -1 for roots.
+  int depth = 0;    ///< Root spans have depth 0.
+  uint64_t start_micros = 0;     ///< Offset from the trace epoch.
+  uint64_t duration_micros = 0;  ///< 0 until the span is ended.
+  bool finished = false;
+};
+
+/// A per-query recording of spans and counters. Copyable only via the
+/// explicit snapshot accessors; the object itself stays with the query.
+class Trace {
+ public:
+  /// Disabled trace: every operation is a no-op.
+  Trace() : Trace(false) {}
+
+  /// Enabled (or not) trace; the epoch is construction time. A Trace owns
+  /// a mutex, so it is neither copyable nor movable — it lives where the
+  /// query executes.
+  explicit Trace(bool enabled) : enabled_(enabled), epoch_(Clock::now()) {}
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Opens a span named `name` under `parent` (-1 for a root span).
+  /// Returns the span id to pass to EndSpan, or -1 when disabled.
+  int BeginSpan(const std::string& name, int parent = -1);
+
+  /// Closes the span; duration becomes now - start. No-op for id < 0.
+  void EndSpan(int id);
+
+  /// Adds `delta` to the trace-local counter `name`, creating it at zero.
+  void AddCounter(const std::string& name, uint64_t delta);
+
+  std::vector<TraceSpan> spans() const;
+  std::vector<std::pair<std::string, uint64_t>> counters() const;
+
+  /// Human-readable indented rendering of the span tree and counters.
+  std::string ToString() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  uint64_t MicrosSinceEpoch() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              epoch_)
+            .count());
+  }
+
+  bool enabled_;
+  Clock::time_point epoch_{};
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+};
+
+/// RAII helper that ends its span on scope exit.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, const std::string& name, int parent = -1)
+      : trace_(trace), id_(trace != nullptr ? trace->BeginSpan(name, parent)
+                                            : -1) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Span id, usable as the parent of child spans. -1 when disabled.
+  int id() const { return id_; }
+
+ private:
+  Trace* trace_;
+  int id_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_TRACE_H_

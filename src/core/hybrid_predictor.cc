@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
+#include "core/exec_context.h"
 #include "mining/transaction.h"
 
 namespace hpm {
@@ -128,16 +129,16 @@ std::vector<int> HybridPredictor::QueryPremise(
 }
 
 std::vector<Prediction> HybridPredictor::RankAndTake(
-    std::vector<Prediction> candidates, int k) const {
-  std::sort(candidates.begin(), candidates.end(),
+    std::vector<Prediction>* candidates, int k) const {
+  std::sort(candidates->begin(), candidates->end(),
             [](const Prediction& a, const Prediction& b) {
               if (a.score != b.score) return a.score > b.score;
               return a.confidence > b.confidence;
             });
-  if (static_cast<int>(candidates.size()) > k) {
-    candidates.resize(static_cast<size_t>(k));
-  }
-  return candidates;
+  const size_t take =
+      std::min(candidates->size(), static_cast<size_t>(std::max(k, 0)));
+  return std::vector<Prediction>(candidates->begin(),
+                                 candidates->begin() + take);
 }
 
 StatusOr<Prediction> HybridPredictor::MotionFunctionPredict(
@@ -146,6 +147,7 @@ StatusOr<Prediction> HybridPredictor::MotionFunctionPredict(
   Prediction prediction;
   prediction.source = PredictionSource::kMotionFunction;
 
+  if (query.context != nullptr) query.context->CountMotionFit();
   RecursiveMotionFunction rmf(options_.rmf);
   if (rmf.Fit(query.recent_movements).ok()) {
     StatusOr<Point> p = rmf.Predict(query.query_time);
@@ -199,34 +201,42 @@ StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
   const Timestamp period = regions_.period();
   const Timestamp tq_offset = query.query_time % period;
 
+  // Scratch buffers come from the execution context's lane when the query
+  // runs under the serving pipeline; direct callers get function-local
+  // buffers and identical behaviour.
+  PredictScratch local;
+  PredictScratch& s = query.context != nullptr
+                          ? query.context->lane(query.lane)
+                          : local;
+  TptSearchStats search_stats;
+
   const std::vector<int> premise = QueryPremise(query);
-  if (!premise.empty()) {
-    StatusOr<PatternKey> qkey =
-        key_tables_.EncodeQuery(premise, tq_offset);
-    if (qkey.ok()) {
-      const std::vector<const IndexedPattern*> hits =
-          tpt_.Search(*qkey, SearchMode::kPremiseAndConsequence);
-      std::vector<Prediction> candidates;
-      candidates.reserve(hits.size());
-      for (const IndexedPattern* hit : hits) {
-        // Equation 2: Sp = Sr * c (premise similarity and confidence are
-        // independent evidences -> compound probability).
-        const double sr = PremiseSimilarity(
-            hit->key.premise(), qkey->premise(), options_.weight_function);
-        Prediction p;
-        p.location = regions_.Region(hit->consequence_region).center;
-        p.uncertainty = regions_.Region(hit->consequence_region).mbr;
-        p.score = sr * hit->confidence;
-        p.source = PredictionSource::kPattern;
-        p.pattern_id = hit->pattern_id;
-        p.consequence_region = hit->consequence_region;
-        p.confidence = hit->confidence;
-        candidates.push_back(p);
-      }
-      if (!candidates.empty()) {
-        counters_.pattern_answers.fetch_add(1, std::memory_order_relaxed);
-        return RankAndTake(std::move(candidates), query.k);
-      }
+  if (!premise.empty() &&
+      key_tables_.EncodeQueryInto(premise, tq_offset, &s.query_key).ok()) {
+    tpt_.SearchInto(s.query_key, SearchMode::kPremiseAndConsequence,
+                    &s.tpt_hits, &search_stats);
+    if (query.context != nullptr) query.context->AddTptStats(search_stats);
+    s.candidates.clear();
+    s.candidates.reserve(s.tpt_hits.size());
+    for (const IndexedPattern* hit : s.tpt_hits) {
+      // Equation 2: Sp = Sr * c (premise similarity and confidence are
+      // independent evidences -> compound probability).
+      const double sr = PremiseSimilarity(
+          hit->key.premise(), s.query_key.premise(),
+          options_.weight_function);
+      Prediction p;
+      p.location = regions_.Region(hit->consequence_region).center;
+      p.uncertainty = regions_.Region(hit->consequence_region).mbr;
+      p.score = sr * hit->confidence;
+      p.source = PredictionSource::kPattern;
+      p.pattern_id = hit->pattern_id;
+      p.consequence_region = hit->consequence_region;
+      p.confidence = hit->confidence;
+      s.candidates.push_back(p);
+    }
+    if (!s.candidates.empty()) {
+      counters_.pattern_answers.fetch_add(1, std::memory_order_relaxed);
+      return RankAndTake(&s.candidates, query.k);
     }
   }
 
@@ -257,6 +267,11 @@ StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
   const double premise_penalty =
       std::min(1.0, static_cast<double>(options_.distant_threshold) / length);
 
+  PredictScratch local;
+  PredictScratch& s = query.context != nullptr
+                          ? query.context->lane(query.lane)
+                          : local;
+
   // Algorithm 3: widen the consequence interval until a pattern is found
   // or the interval's lower edge reaches the current time. Each widening
   // step is another TPT search, so the deadline is re-checked per round.
@@ -267,37 +282,45 @@ StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
     const Timestamp lo_raw = query.query_time - i * t_eps;
     const Timestamp hi_raw = query.query_time + i * t_eps;
 
-    // Map the raw-time interval to period offsets; it may wrap.
-    PatternKey qkey = [&] {
-      const Timestamp lo_off =
-          ((lo_raw % period) + period) % period;
+    // Map the raw-time interval to period offsets (it may wrap), encoding
+    // into the lane's key buffers.
+    {
+      const Timestamp lo_off = ((lo_raw % period) + period) % period;
       const Timestamp hi_off = ((hi_raw % period) + period) % period;
       if (hi_raw - lo_raw >= period) {
-        return key_tables_.EncodeQueryInterval(premise, 0, period - 1);
+        key_tables_.EncodeQueryIntervalInto(premise, 0, period - 1,
+                                            &s.query_key);
+      } else if (lo_off <= hi_off) {
+        key_tables_.EncodeQueryIntervalInto(premise, lo_off, hi_off,
+                                            &s.query_key);
+      } else {
+        key_tables_.EncodeQueryIntervalInto(premise, lo_off, period - 1,
+                                            &s.query_key);
+        key_tables_.EncodeQueryIntervalInto(premise, 0, hi_off,
+                                            &s.interval_key);
+        s.query_key.UnionWith(s.interval_key);
       }
-      if (lo_off <= hi_off) {
-        return key_tables_.EncodeQueryInterval(premise, lo_off, hi_off);
-      }
-      PatternKey head =
-          key_tables_.EncodeQueryInterval(premise, lo_off, period - 1);
-      head.UnionWith(key_tables_.EncodeQueryInterval(premise, 0, hi_off));
-      return head;
-    }();
+    }
 
-    const std::vector<const IndexedPattern*> hits =
-        qkey.consequence().Any()
-            ? tpt_.Search(qkey, SearchMode::kConsequenceOnly)
-            : std::vector<const IndexedPattern*>{};
+    TptSearchStats search_stats;
+    if (s.query_key.consequence().Any()) {
+      tpt_.SearchInto(s.query_key, SearchMode::kConsequenceOnly, &s.tpt_hits,
+                      &search_stats);
+      if (query.context != nullptr) query.context->AddTptStats(search_stats);
+    } else {
+      s.tpt_hits.clear();
+    }
 
-    if (!hits.empty()) {
-      std::vector<Prediction> candidates;
-      candidates.reserve(hits.size());
-      for (const IndexedPattern* hit : hits) {
+    if (!s.tpt_hits.empty()) {
+      s.candidates.clear();
+      s.candidates.reserve(s.tpt_hits.size());
+      for (const IndexedPattern* hit : s.tpt_hits) {
         const int time_id = hit->key.consequence().HighestSetBit();
         const Timestamp t = key_tables_.OffsetForTimeId(time_id);
         const double sc = ConsequenceSimilarity(t, tq_offset, t_eps);
         const double sr = PremiseSimilarity(
-            hit->key.premise(), qkey.premise(), options_.weight_function);
+            hit->key.premise(), s.query_key.premise(),
+            options_.weight_function);
         // Equation 5: Sp = (Sr * d / (tq - tc) + Sc) * c — the premise
         // evidence is penalised as the prediction length grows.
         Prediction p;
@@ -308,10 +331,10 @@ StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
         p.pattern_id = hit->pattern_id;
         p.consequence_region = hit->consequence_region;
         p.confidence = hit->confidence;
-        candidates.push_back(p);
+        s.candidates.push_back(p);
       }
       counters_.pattern_answers.fetch_add(1, std::memory_order_relaxed);
-      return RankAndTake(std::move(candidates), query.k);
+      return RankAndTake(&s.candidates, query.k);
     }
 
     if (query.query_time - (i + 1) * t_eps <= query.current_time) break;

@@ -229,9 +229,11 @@ class HybridPredictor {
   StatusOr<std::vector<Prediction>> DegradedAnswer(
       const PredictiveQuery& query, DegradedReason reason) const;
 
-  /// Ranks pattern candidates and materialises the top-k predictions.
+  /// Ranks `*candidates` in place and materialises the top-k predictions
+  /// (the buffer may be per-query scratch, so it is sorted, read, and left
+  /// behind rather than consumed).
   std::vector<Prediction> RankAndTake(
-      std::vector<Prediction> candidates, int k) const;
+      std::vector<Prediction>* candidates, int k) const;
 
   HybridPredictorOptions options_;
   FrequentRegionSet regions_;

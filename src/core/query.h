@@ -14,6 +14,8 @@
 
 namespace hpm {
 
+class QueryContext;
+
 /// A spatio-temporal predictive query: "given these recent movements and
 /// the current time, where will the object be at query_time?"
 struct PredictiveQuery {
@@ -34,6 +36,15 @@ struct PredictiveQuery {
   /// the motion-function answer (Prediction::degraded says so) rather than
   /// failing. Defaults to no deadline.
   Deadline deadline;
+
+  /// Serving-layer execution context (scratch buffers, trace, per-query
+  /// accounting), or null when the predictor is called directly —
+  /// evaluation, tools and tests keep the context-free behaviour.
+  QueryContext* context = nullptr;
+
+  /// Which of `context`'s scratch lanes this call may use exclusively.
+  /// Meaningful only when context != nullptr.
+  int lane = 0;
 
   /// Prediction length t_q - t_c.
   Timestamp PredictionLength() const { return query_time - current_time; }

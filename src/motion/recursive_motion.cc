@@ -12,9 +12,8 @@ RecursiveMotionFunction::RecursiveMotionFunction(RmfOptions options)
     : options_(options) {}
 
 Status RecursiveMotionFunction::FitRetrospect(
-    const std::vector<TimedPoint>& recent, int f,
+    const TimedPoint* recent, int n, int f,
     std::vector<Matrix>* coeffs, double* error) const {
-  const int n = static_cast<int>(recent.size());
   const int rows = n - f;
   if (rows < 1) {
     return Status::FailedPrecondition("window too short for retrospect");
@@ -25,7 +24,7 @@ Status RecursiveMotionFunction::FitRetrospect(
   // [0,10000]^2. The model becomes (l_t - mu) = sum C_i (l_{t-i} - mu),
   // which represents the same family of motions locally.
   Point mu;
-  for (const auto& tp : recent) mu = mu + tp.location;
+  for (int i = 0; i < n; ++i) mu = mu + recent[i].location;
   mu = mu / static_cast<double>(n);
 
   // Row t: target l_t from inputs [l_{t-1} ... l_{t-f}], all centred.
@@ -33,12 +32,11 @@ Status RecursiveMotionFunction::FitRetrospect(
   Matrix b(static_cast<size_t>(rows), 2);
   for (int r = 0; r < rows; ++r) {
     const int t = r + f;
-    const Point target = recent[static_cast<size_t>(t)].location - mu;
+    const Point target = recent[t].location - mu;
     b(static_cast<size_t>(r), 0) = target.x;
     b(static_cast<size_t>(r), 1) = target.y;
     for (int i = 1; i <= f; ++i) {
-      const Point input =
-          recent[static_cast<size_t>(t - i)].location - mu;
+      const Point input = recent[t - i].location - mu;
       a(static_cast<size_t>(r), static_cast<size_t>(2 * (i - 1))) = input.x;
       a(static_cast<size_t>(r), static_cast<size_t>(2 * (i - 1) + 1)) =
           input.y;
@@ -95,16 +93,16 @@ Status RecursiveMotionFunction::Fit(const std::vector<TimedPoint>& recent) {
     return Status::InvalidArgument("retrospect must be >= 1");
   }
 
-  // Trim to the fitting window (most recent points).
-  std::vector<TimedPoint> window = recent;
-  if (options_.window > 1 &&
-      window.size() > static_cast<size_t>(options_.window)) {
-    window.erase(window.begin(),
-                 window.end() - static_cast<long>(options_.window));
+  // Trim to the fitting window (most recent points) — a suffix of
+  // `recent`, viewed in place rather than copied.
+  const TimedPoint* window = recent.data();
+  int n = static_cast<int>(recent.size());
+  if (options_.window > 1 && n > options_.window) {
+    window += n - options_.window;
+    n = options_.window;
   }
 
-  const int max_f = std::min(options_.retrospect,
-                             static_cast<int>(window.size()) - 1);
+  const int max_f = std::min(options_.retrospect, n - 1);
   const int min_f = options_.auto_retrospect ? 1 : options_.retrospect;
   if (max_f < min_f) {
     return Status::FailedPrecondition(
@@ -117,16 +115,16 @@ Status RecursiveMotionFunction::Fit(const std::vector<TimedPoint>& recent) {
   // extrapolate wildly. A plain linear extrapolation competes as an
   // additional candidate; RMF must beat it out of sample to be used
   // (per its published claim of dominating the linear model).
-  const int n = static_cast<int>(window.size());
   const int holdout =
       options_.auto_retrospect ? std::clamp(n / 4, 0, 5) : 0;
   const bool validate = holdout >= 1 && n - holdout >= max_f + 1;
 
+  std::vector<Point> state;  // multi_step_error's rolling seed, reused.
   const auto multi_step_error = [&](const std::vector<Matrix>& coeffs,
                                     int f, const Point& mu) {
     // Seed with the last f prefix points (centred on the fit's mean) and
     // roll the recurrence through the held-out span.
-    std::vector<Point> state;
+    state.clear();
     for (int i = n - holdout - f; i < n - holdout; ++i) {
       state.push_back(window[static_cast<size_t>(i)].location - mu);
     }
@@ -158,16 +156,17 @@ Status RecursiveMotionFunction::Fit(const std::vector<TimedPoint>& recent) {
     std::vector<Matrix> coeffs;
     double error = 0.0;
     if (validate) {
-      const std::vector<TimedPoint> prefix(window.begin(),
-                                           window.end() - holdout);
-      if (static_cast<int>(prefix.size()) <= f) continue;
-      if (!FitRetrospect(prefix, f, &coeffs, &error).ok()) continue;
+      const int prefix_n = n - holdout;
+      if (prefix_n <= f) continue;
+      if (!FitRetrospect(window, prefix_n, f, &coeffs, &error).ok()) {
+        continue;
+      }
       Point mu;
-      for (const auto& tp : prefix) mu = mu + tp.location;
-      mu = mu / static_cast<double>(prefix.size());
+      for (int i = 0; i < prefix_n; ++i) mu = mu + window[i].location;
+      mu = mu / static_cast<double>(prefix_n);
       error = multi_step_error(coeffs, f, mu);
     } else {
-      if (!FitRetrospect(window, f, &coeffs, &error).ok()) continue;
+      if (!FitRetrospect(window, n, f, &coeffs, &error).ok()) continue;
     }
     if (error < best_error) {
       best_error = error;
@@ -222,7 +221,7 @@ Status RecursiveMotionFunction::Fit(const std::vector<TimedPoint>& recent) {
     // Refit the winning retrospect on the full window.
     std::vector<Matrix> coeffs;
     double ignored = 0.0;
-    HPM_RETURN_IF_ERROR(FitRetrospect(window, best_f, &coeffs, &ignored));
+    HPM_RETURN_IF_ERROR(FitRetrospect(window, n, best_f, &coeffs, &ignored));
     best_coeffs = std::move(coeffs);
   }
 
@@ -232,31 +231,31 @@ Status RecursiveMotionFunction::Fit(const std::vector<TimedPoint>& recent) {
   // Keep the centred tail needed to seed the recurrence. The centring
   // mean must match the one used during fitting.
   Point mu;
-  for (const auto& tp : window) mu = mu + tp.location;
-  mu = mu / static_cast<double>(window.size());
+  for (int i = 0; i < n; ++i) mu = mu + window[i].location;
+  mu = mu / static_cast<double>(n);
   anchor_ = mu;
 
   tail_.clear();
-  const size_t tail_len = use_linear_ ? 1 : static_cast<size_t>(best_f);
-  for (size_t i = window.size() - tail_len; i < window.size(); ++i) {
+  const int tail_len = use_linear_ ? 1 : best_f;
+  for (int i = n - tail_len; i < n; ++i) {
     tail_.push_back(window[i].location - mu);
   }
-  tail_end_time_ = window.back().time;
+  tail_end_time_ = window[n - 1].time;
 
   // Linear velocity: least squares over the whole window (used both as
   // the selected model in linear mode and as the divergence fallback).
   {
     double mean_t = 0.0;
     Point mean_l;
-    for (size_t i = 0; i < window.size(); ++i) {
+    for (int i = 0; i < n; ++i) {
       mean_t += static_cast<double>(i);
       mean_l = mean_l + window[i].location;
     }
-    mean_t /= static_cast<double>(window.size());
-    mean_l = mean_l / static_cast<double>(window.size());
+    mean_t /= static_cast<double>(n);
+    mean_l = mean_l / static_cast<double>(n);
     double var_t = 0.0;
     Point cov;
-    for (size_t i = 0; i < window.size(); ++i) {
+    for (int i = 0; i < n; ++i) {
       const double dt = static_cast<double>(i) - mean_t;
       var_t += dt * dt;
       cov = cov + (window[i].location - mean_l) * dt;

@@ -74,9 +74,13 @@ class RecursiveMotionFunction : public MotionFunction {
   const std::vector<Matrix>& coefficients() const { return coefficients_; }
 
  private:
-  /// Fits coefficients for a fixed retrospect over `recent`; returns the
-  /// mean squared one-step residual on the window through `*error`.
-  Status FitRetrospect(const std::vector<TimedPoint>& recent, int f,
+  /// Fits coefficients for a fixed retrospect over the `n` points at
+  /// `recent`; returns the mean squared one-step residual on the window
+  /// through `*error`. Takes a pointer-length view so the fitting window
+  /// and its validation prefix (both contiguous subranges of the caller's
+  /// history) need no per-fit copies — this runs once per RMF fallback on
+  /// the serving hot path.
+  Status FitRetrospect(const TimedPoint* recent, int n, int f,
                        std::vector<Matrix>* coeffs, double* error) const;
 
   Point ClampToBox(const Point& p) const;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <future>
 #include <optional>
 #include <utility>
 
@@ -19,7 +18,8 @@ std::string ShardQueryFaultSite(int shard) {
 MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
     : options_(std::move(options)),
       continuous_(std::make_unique<ContinuousState>()),
-      stats_(std::make_unique<AtomicOverloadStats>()) {
+      stats_(std::make_unique<AtomicOverloadStats>()),
+      metrics_registry_(std::make_unique<MetricsRegistry>()) {
   HPM_CHECK(options_.min_training_periods >= 1);
   HPM_CHECK(options_.update_batch_periods >= 1);
   HPM_CHECK(options_.recent_window >= 2);
@@ -47,6 +47,7 @@ MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
                         CircuitBreaker::State to) { listener(i, from, to); });
     }
   }
+  metrics_ = std::make_unique<StoreMetrics>(metrics_registry_.get());
 }
 
 size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {
@@ -59,20 +60,22 @@ size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {
   return static_cast<size_t>(x % num_shards);
 }
 
-bool MovingObjectStore::ShouldShedToRmf(const Deadline& deadline) const {
-  if (options_.degrade_queue_depth > 0 &&
-      pool_->queue_depth() >= options_.degrade_queue_depth) {
-    return true;
-  }
-  if (options_.degrade_min_headroom.count() > 0 && !deadline.is_infinite() &&
-      deadline.remaining() < options_.degrade_min_headroom) {
-    return true;
-  }
-  return false;
+QueryPipeline::Env MovingObjectStore::PipelineEnv() const {
+  QueryPipeline::Env env;
+  env.admission = admission_.get();
+  env.pool = pool_.get();
+  env.breakers = &breakers_;
+  env.stats = stats_.get();
+  env.metrics = metrics_.get();
+  env.degrade_queue_depth = options_.degrade_queue_depth;
+  env.degrade_min_headroom = options_.degrade_min_headroom;
+  env.trace_sink = options_.trace_sink ? &options_.trace_sink : nullptr;
+  return env;
 }
 
-void MovingObjectStore::CountRejectedReport(ObjectId id) {
-  stats_->reports_rejected.fetch_add(1, std::memory_order_relaxed);
+void MovingObjectStore::RecordRejectedReport(ObjectId id,
+                                             QueryContext& ctx) {
+  ctx.CountRejectedReport();
   Shard& shard = ShardFor(id);
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
   ++shard.rejected_reports[id];
@@ -87,20 +90,26 @@ uint64_t MovingObjectStore::RejectedReports(ObjectId id) const {
 
 Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
                                  const Timestamp* expected_t) {
+  QueryPipeline pipeline(PipelineEnv(), StoreOp::kReport,
+                         Deadline::Infinite());
+  QueryContext& ctx = pipeline.context();
+
+  // Input validation precedes admission: a malformed report consumes no
+  // admission token (it is rejected, not shed).
+  if (expected_t != nullptr && *expected_t < 0) {
+    RecordRejectedReport(id, ctx);
+    return Status::InvalidArgument("report: negative timestamp");
+  }
   if (!std::isfinite(location.x) || !std::isfinite(location.y)) {
-    CountRejectedReport(id);
+    RecordRejectedReport(id, ctx);
     return Status::InvalidArgument(
         "report: non-finite coordinate rejected");
   }
-  StatusOr<AdmissionTicket> ticket = admission_->Admit("report");
-  if (!ticket.ok()) {
-    stats_->shed.fetch_add(1, std::memory_order_relaxed);
-    return ticket.status();
-  }
-  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
+  HPM_RETURN_IF_ERROR(pipeline.Admit("report"));
+  pipeline.Plan(1);
 
   Shard& shard = ShardFor(id);
-  {
+  Status appended = pipeline.RunFanOut([&]() -> Status {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     if (expected_t != nullptr) {
       // find(), not operator[]: a rejected report for an unknown object
@@ -112,7 +121,7 @@ Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
               : static_cast<Timestamp>(it->second.history.size());
       if (*expected_t != next) {
         ++shard.rejected_reports[id];
-        stats_->reports_rejected.fetch_add(1, std::memory_order_relaxed);
+        ctx.CountRejectedReport();
         return Status::InvalidArgument(
             *expected_t < next
                 ? "report: non-monotone timestamp (object clock is at " +
@@ -122,15 +131,19 @@ Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
       }
     }
     shard.objects[id].history.Append(location);
-  }
-  HPM_RETURN_IF_ERROR(MaybeTrain(shard, id));
+    return Status::OK();
+  });
+  HPM_RETURN_IF_ERROR(appended);
+  HPM_RETURN_IF_ERROR(MaybeTrain(shard, id, pipeline));
   if (HasContinuousQueries()) {
-    QuerySnapshot snapshot;
-    {
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
-      snapshot = MakeSnapshot(id, shard.objects.at(id));
-    }
-    EvaluateContinuousQueries(snapshot);
+    pipeline.RunMerge([&] {
+      QuerySnapshot snapshot;
+      {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        snapshot = MakeSnapshot(id, shard.objects.at(id));
+      }
+      EvaluateContinuousQueries(snapshot);
+    });
   }
   return Status::OK();
 }
@@ -142,10 +155,6 @@ Status MovingObjectStore::ReportLocation(ObjectId id,
 
 Status MovingObjectStore::ReportLocationAt(ObjectId id, Timestamp t,
                                            const Point& location) {
-  if (t < 0) {
-    CountRejectedReport(id);
-    return Status::InvalidArgument("report: negative timestamp");
-  }
   return Ingest(id, location, &t);
 }
 
@@ -157,7 +166,8 @@ Status MovingObjectStore::ReportTrajectory(ObjectId id,
   return Status::OK();
 }
 
-Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id) {
+Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
+                                     QueryPipeline& pipeline) {
   const Timestamp period = options_.predictor.regions.period;
   const size_t period_samples = static_cast<size_t>(period);
 
@@ -190,8 +200,8 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id) {
     // Training is the most expendable work in the system: under rung-1
     // pressure it is deferred outright — the thresholds stay satisfied,
     // so the next report after pressure clears picks it up.
-    if (ShouldShedToRmf(Deadline::Infinite())) {
-      stats_->trains_deferred.fetch_add(1, std::memory_order_relaxed);
+    if (pipeline.ShouldShedNow(Deadline::Infinite())) {
+      pipeline.context().CountDeferredTrain();
       return Status::OK();
     }
     if (action == Action::kInitial) {
@@ -214,6 +224,7 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id) {
   // Transient (kUnavailable) build failures — a wedged allocator, an
   // injected fault — are retried with backoff before the swap is given
   // up; the RNG is seeded from the object id so schedules replay.
+  ScopedSpan span(&pipeline.context().trace(), "train");
   Random retry_rng(0x74726e5f72747279ULL ^ static_cast<uint64_t>(id));
   StatusOr<std::unique_ptr<HybridPredictor>> built = RetryWithBackoff(
       RetryPolicy{}, retry_rng,
@@ -279,18 +290,7 @@ MovingObjectStore::GetPredictor(ObjectId id) const {
 }
 
 OverloadStats MovingObjectStore::overload_stats() const {
-  OverloadStats stats;
-  stats.admitted = stats_->admitted.load(std::memory_order_relaxed);
-  stats.shed = stats_->shed.load(std::memory_order_relaxed);
-  stats.degraded_overload =
-      stats_->degraded_overload.load(std::memory_order_relaxed);
-  stats.trains_deferred =
-      stats_->trains_deferred.load(std::memory_order_relaxed);
-  stats.shards_skipped =
-      stats_->shards_skipped.load(std::memory_order_relaxed);
-  stats.reports_rejected =
-      stats_->reports_rejected.load(std::memory_order_relaxed);
-  return stats;
+  return stats_->Snapshot();
 }
 
 CircuitBreaker::State MovingObjectStore::BreakerState(int shard) const {
@@ -313,8 +313,8 @@ MovingObjectStore::QuerySnapshot MovingObjectStore::MakeSnapshot(
 }
 
 StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
-    const QuerySnapshot& snapshot, Timestamp tq, int k,
-    Deadline deadline, bool shed_to_rmf) const {
+    const QuerySnapshot& snapshot, Timestamp tq, int k, QueryContext* ctx,
+    int lane) const {
   if (snapshot.history_size < 2) {
     return Status::FailedPrecondition(
         "object has fewer than 2 reported locations");
@@ -323,18 +323,21 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
     return Status::InvalidArgument(
         "query time must be after the object's last report");
   }
+  if (ctx != nullptr) ctx->CountObjectEvaluated();
   PredictiveQuery query;
   query.recent_movements = snapshot.recent;
   query.current_time = snapshot.now;
   query.query_time = tq;
   query.k = k;
-  query.deadline = deadline;
+  query.deadline = ctx != nullptr ? ctx->deadline() : Deadline::Infinite();
+  query.context = ctx;
+  query.lane = lane;
 
   if (snapshot.predictor != nullptr) {
-    if (shed_to_rmf) {
+    if (ctx != nullptr && ctx->shed_to_rmf()) {
       // Rung 1: the pattern side is skipped wholesale; the answer is the
       // exact RMF prediction, visibly stamped Overloaded.
-      stats_->degraded_overload.fetch_add(1, std::memory_order_relaxed);
+      ctx->CountDegradedPrediction();
       return snapshot.predictor->DegradedPredict(
           query, DegradedReason::kOverloaded);
     }
@@ -342,6 +345,7 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
   }
   // Cold start: pure motion function until the first training threshold.
   // This is already the cheapest answer, so overload changes nothing.
+  if (ctx != nullptr) ctx->CountMotionFit();
   RecursiveMotionFunction rmf(options_.predictor.rmf);
   Prediction prediction;
   prediction.source = PredictionSource::kMotionFunction;
@@ -355,25 +359,25 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
 
 StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
     ObjectId id, Timestamp tq, int k, Deadline deadline) const {
-  StatusOr<AdmissionTicket> ticket = admission_->Admit("predict");
-  if (!ticket.ok()) {
-    stats_->shed.fetch_add(1, std::memory_order_relaxed);
-    return ticket.status();
-  }
-  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
-  const bool shed_to_rmf = ShouldShedToRmf(deadline);
+  QueryPipeline pipeline(PipelineEnv(), StoreOp::kPredict, deadline);
+  HPM_RETURN_IF_ERROR(pipeline.Admit("predict"));
+  pipeline.Plan(1);
 
   Shard& shard = ShardFor(id);
-  QuerySnapshot snapshot;
-  {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
-    const auto it = shard.objects.find(id);
-    if (it == shard.objects.end()) {
-      return Status::NotFound("unknown object id");
-    }
-    snapshot = MakeSnapshot(id, it->second);
+  std::optional<QuerySnapshot> snapshot = pipeline.RunPlan(
+      [&]() -> std::optional<QuerySnapshot> {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        const auto it = shard.objects.find(id);
+        if (it == shard.objects.end()) return std::nullopt;
+        return MakeSnapshot(id, it->second);
+      });
+  if (!snapshot.has_value()) {
+    return Status::NotFound("unknown object id");
   }
-  return PredictSnapshot(snapshot, tq, k, deadline, shed_to_rmf);
+  return pipeline.RunFanOut([&] {
+    return PredictSnapshot(*snapshot, tq, k, &pipeline.context(),
+                           /*lane=*/0);
+  });
 }
 
 std::vector<StatusOr<std::vector<Prediction>>>
@@ -382,81 +386,65 @@ MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
                                         Deadline deadline) const {
   using Result = StatusOr<std::vector<Prediction>>;
 
+  QueryPipeline pipeline(PipelineEnv(), StoreOp::kPredictBatch, deadline);
   // One admission ticket covers the whole batch (it is one request).
-  StatusOr<AdmissionTicket> ticket = admission_->Admit("predict_batch");
-  if (!ticket.ok()) {
-    stats_->shed.fetch_add(1, std::memory_order_relaxed);
-    return std::vector<Result>(ids.size(), Result(ticket.status()));
+  if (Status admitted = pipeline.Admit("predict_batch"); !admitted.ok()) {
+    return std::vector<Result>(ids.size(), Result(admitted));
   }
-  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
-  const bool shed_to_rmf = ShouldShedToRmf(deadline);
+  pipeline.Plan(1);
+  QueryContext& ctx = pipeline.context();
 
   // One lock acquisition per shard: group the input indices by shard,
   // then snapshot each group in a single critical section.
-  std::vector<std::vector<size_t>> by_shard(shards_.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    by_shard[ShardIndex(ids[i], shards_.size())].push_back(i);
-  }
   std::vector<std::optional<QuerySnapshot>> snapshots(ids.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (by_shard[s].empty()) continue;
-    std::shared_lock<std::shared_mutex> lock(shards_[s]->mutex);
-    for (size_t i : by_shard[s]) {
-      const auto it = shards_[s]->objects.find(ids[i]);
-      if (it != shards_[s]->objects.end()) {
-        snapshots[i] = MakeSnapshot(ids[i], it->second);
+  pipeline.RunPlan([&] {
+    std::vector<std::vector<size_t>> by_shard(shards_.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      by_shard[ShardIndex(ids[i], shards_.size())].push_back(i);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (by_shard[s].empty()) continue;
+      std::shared_lock<std::shared_mutex> lock(shards_[s]->mutex);
+      for (size_t i : by_shard[s]) {
+        const auto it = shards_[s]->objects.find(ids[i]);
+        if (it != shards_[s]->objects.end()) {
+          snapshots[i] = MakeSnapshot(ids[i], it->second);
+        }
       }
     }
-  }
+  });
 
-  // Predict lock-free, fanning contiguous chunks out on the pool.
+  // Predict lock-free, fanning contiguous chunks out on the pool; each
+  // chunk owns one scratch lane.
   std::vector<std::optional<Result>> results(ids.size());
-  auto predict_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      results[i] =
-          snapshots[i].has_value()
-              ? PredictSnapshot(*snapshots[i], tq, k, deadline, shed_to_rmf)
-              : Result(Status::NotFound("unknown object id"));
-    }
-  };
-  const size_t workers = static_cast<size_t>(pool_->num_threads());
-  if (workers <= 1 || ids.size() < 2) {
-    predict_range(0, ids.size());
-  } else {
-    const size_t chunk = (ids.size() + workers - 1) / workers;
-    std::vector<std::future<void>> futures;
-    for (size_t begin = 0; begin < ids.size(); begin += chunk) {
-      const size_t end = std::min(begin + chunk, ids.size());
-      // Bounded queue: when the pool is saturated the chunk runs inline
-      // — the caller pays with its own time (backpressure) rather than
-      // growing the queue.
-      StatusOr<std::future<void>> submitted = pool_->TrySubmit(
-          [&predict_range, begin, end] { predict_range(begin, end); });
-      if (submitted.ok()) {
-        futures.push_back(std::move(*submitted));
-      } else {
-        predict_range(begin, end);
-      }
-    }
-    for (std::future<void>& f : futures) f.get();
-  }
+  pipeline.FanOutChunks(
+      ids.size(), [&](size_t begin, size_t end, size_t lane) {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = snapshots[i].has_value()
+                           ? PredictSnapshot(*snapshots[i], tq, k, &ctx,
+                                             static_cast<int>(lane))
+                           : Result(Status::NotFound("unknown object id"));
+        }
+      });
 
-  std::vector<Result> out;
-  out.reserve(ids.size());
-  for (std::optional<Result>& r : results) out.push_back(std::move(*r));
-  return out;
+  return pipeline.RunMerge([&] {
+    std::vector<Result> out;
+    out.reserve(ids.size());
+    for (std::optional<Result>& r : results) out.push_back(std::move(*r));
+    return out;
+  });
 }
 
-MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
-    int shard_index, const BoundingBox& range, Timestamp tq,
-    int k_per_object, Deadline deadline, bool shed_to_rmf) const {
-  ShardHits result;
+Status MovingObjectStore::RangeQueryShard(int shard_index,
+                                          const BoundingBox& range,
+                                          Timestamp tq, int k_per_object,
+                                          QueryContext& ctx,
+                                          std::vector<RangeHit>* hits) const {
   // The per-shard kill switch: a -DHPM_ENABLE_FAULTS=ON build can force
   // this shard's share of every fan-out to fail, driving its breaker.
   if (Status injected = HPM_FAULT_HIT(ShardQueryFaultSite(shard_index));
       !injected.ok()) {
-    result.status = injected.Annotate("shard_query");
-    return result;
+    return injected.Annotate("shard_query");
   }
   const Shard& shard = *shards_[static_cast<size_t>(shard_index)];
   std::vector<QuerySnapshot> snapshots;
@@ -470,33 +458,30 @@ MovingObjectStore::ShardHits MovingObjectStore::RangeQueryShard(
     }
   }
   for (const QuerySnapshot& snapshot : snapshots) {
-    // The deadline travels inside the query: once it expires, each
-    // remaining object's answer degrades to the cheap RMF prediction
-    // instead of the shard aborting with partial coverage.
+    // The deadline travels inside the query context: once it expires,
+    // each remaining object's answer degrades to the cheap RMF
+    // prediction instead of the shard aborting with partial coverage.
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, k_per_object, deadline, shed_to_rmf);
+        PredictSnapshot(snapshot, tq, k_per_object, &ctx, shard_index);
     if (!predictions.ok()) {
-      result.status = predictions.status();
-      return result;
+      return predictions.status();
     }
     const Prediction* best = nullptr;
     for (const Prediction& p : *predictions) {
       if (!range.Contains(p.location)) continue;
       if (best == nullptr || p.score > best->score) best = &p;
     }
-    if (best != nullptr) result.hits.push_back({snapshot.id, *best});
+    if (best != nullptr) hits->push_back({snapshot.id, *best});
   }
-  return result;
+  return Status::OK();
 }
 
-MovingObjectStore::ShardHits MovingObjectStore::NearestNeighborShard(
-    int shard_index, Timestamp tq, Deadline deadline,
-    bool shed_to_rmf) const {
-  ShardHits result;
+Status MovingObjectStore::NearestNeighborShard(
+    int shard_index, Timestamp tq, QueryContext& ctx,
+    std::vector<RangeHit>* hits) const {
   if (Status injected = HPM_FAULT_HIT(ShardQueryFaultSite(shard_index));
       !injected.ok()) {
-    result.status = injected.Annotate("shard_query");
-    return result;
+    return injected.Annotate("shard_query");
   }
   const Shard& shard = *shards_[static_cast<size_t>(shard_index)];
   std::vector<QuerySnapshot> snapshots;
@@ -511,73 +496,13 @@ MovingObjectStore::ShardHits MovingObjectStore::NearestNeighborShard(
   }
   for (const QuerySnapshot& snapshot : snapshots) {
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, 1, deadline, shed_to_rmf);
+        PredictSnapshot(snapshot, tq, 1, &ctx, shard_index);
     if (!predictions.ok()) {
-      result.status = predictions.status();
-      return result;
+      return predictions.status();
     }
-    result.hits.push_back({snapshot.id, predictions->front()});
+    hits->push_back({snapshot.id, predictions->front()});
   }
-  return result;
-}
-
-template <typename Fn>
-FleetQueryResult MovingObjectStore::FanOut(Fn&& fn) const {
-  const size_t n = shards_.size();
-  std::vector<ShardHits> partials(n);
-  std::vector<char> allowed(n, 0);
-
-  // Breaker gate first: an open breaker costs one atomic-ish check, not
-  // a doomed shard query.
-  for (size_t s = 0; s < n; ++s) {
-    allowed[s] = breakers_[s]->Allow() ? 1 : 0;
-  }
-
-  if (pool_->num_threads() <= 1 || n == 1) {
-    for (size_t s = 0; s < n; ++s) {
-      if (allowed[s]) partials[s] = fn(static_cast<int>(s));
-    }
-  } else {
-    std::vector<std::future<void>> futures;
-    futures.reserve(n);
-    for (size_t s = 0; s < n; ++s) {
-      if (!allowed[s]) continue;
-      // Bounded queue: a saturated pool means the shard runs inline on
-      // the calling thread — backpressure, not unbounded queueing.
-      StatusOr<std::future<void>> submitted = pool_->TrySubmit(
-          [this, &fn, &partials, s] { partials[s] = fn(static_cast<int>(s)); });
-      if (submitted.ok()) {
-        futures.push_back(std::move(*submitted));
-      } else {
-        partials[s] = fn(static_cast<int>(s));
-      }
-    }
-    for (std::future<void>& f : futures) f.get();
-  }
-
-  FleetQueryResult result;
-  for (size_t s = 0; s < n; ++s) {
-    if (!allowed[s]) {
-      result.partial = true;
-      result.skipped_shards.push_back(static_cast<int>(s));
-      stats_->shards_skipped.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    if (!partials[s].status.ok()) {
-      // The shard failed: feed its breaker and serve without it rather
-      // than failing the whole query.
-      breakers_[s]->RecordFailure();
-      result.partial = true;
-      result.skipped_shards.push_back(static_cast<int>(s));
-      stats_->shards_skipped.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    breakers_[s]->RecordSuccess();
-    result.hits.insert(result.hits.end(),
-                       std::make_move_iterator(partials[s].hits.begin()),
-                       std::make_move_iterator(partials[s].hits.end()));
-  }
-  return result;
+  return Status::OK();
 }
 
 StatusOr<FleetQueryResult> MovingObjectStore::PredictiveRangeQuery(
@@ -589,26 +514,22 @@ StatusOr<FleetQueryResult> MovingObjectStore::PredictiveRangeQuery(
   if (k_per_object < 1) {
     return Status::InvalidArgument("k_per_object must be >= 1");
   }
-  StatusOr<AdmissionTicket> ticket = admission_->Admit("range_query");
-  if (!ticket.ok()) {
-    stats_->shed.fetch_add(1, std::memory_order_relaxed);
-    return ticket.status();
-  }
-  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
-  const bool shed_to_rmf = ShouldShedToRmf(deadline);
+  QueryPipeline pipeline(PipelineEnv(), StoreOp::kRange, deadline);
+  HPM_RETURN_IF_ERROR(pipeline.Admit("range_query"));
+  pipeline.Plan(shards_.size());
+  QueryContext& ctx = pipeline.context();
 
-  FleetQueryResult result = FanOut(
-      [this, &range, tq, k_per_object, deadline, shed_to_rmf](int shard) {
-        return RangeQueryShard(shard, range, tq, k_per_object, deadline,
-                               shed_to_rmf);
+  FleetQueryResult result = pipeline.FanOut(
+      [this, &range, tq, k_per_object, &ctx](int shard,
+                                             std::vector<RangeHit>* hits) {
+        return RangeQueryShard(shard, range, tq, k_per_object, ctx, hits);
       });
-  std::sort(result.hits.begin(), result.hits.end(),
-            [](const RangeHit& a, const RangeHit& b) {
-              if (a.prediction.score != b.prediction.score) {
-                return a.prediction.score > b.prediction.score;
-              }
-              return a.id < b.id;
-            });
+  pipeline.MergeRank(&result, [](const RangeHit& a, const RangeHit& b) {
+    if (a.prediction.score != b.prediction.score) {
+      return a.prediction.score > b.prediction.score;
+    }
+    return a.id < b.id;
+  });
   return result;
 }
 
@@ -617,28 +538,24 @@ StatusOr<FleetQueryResult> MovingObjectStore::PredictiveNearestNeighbors(
   if (n < 1) {
     return Status::InvalidArgument("n must be >= 1");
   }
-  StatusOr<AdmissionTicket> ticket = admission_->Admit("knn_query");
-  if (!ticket.ok()) {
-    stats_->shed.fetch_add(1, std::memory_order_relaxed);
-    return ticket.status();
-  }
-  stats_->admitted.fetch_add(1, std::memory_order_relaxed);
-  const bool shed_to_rmf = ShouldShedToRmf(deadline);
+  QueryPipeline pipeline(PipelineEnv(), StoreOp::kNearest, deadline);
+  HPM_RETURN_IF_ERROR(pipeline.Admit("knn_query"));
+  pipeline.Plan(shards_.size());
+  QueryContext& ctx = pipeline.context();
 
-  FleetQueryResult result =
-      FanOut([this, tq, deadline, shed_to_rmf](int shard) {
-        return NearestNeighborShard(shard, tq, deadline, shed_to_rmf);
+  FleetQueryResult result = pipeline.FanOut(
+      [this, tq, &ctx](int shard, std::vector<RangeHit>* hits) {
+        return NearestNeighborShard(shard, tq, ctx, hits);
       });
-  std::sort(result.hits.begin(), result.hits.end(),
-            [&target](const RangeHit& a, const RangeHit& b) {
-              const double da = SquaredDistance(a.prediction.location, target);
-              const double db = SquaredDistance(b.prediction.location, target);
-              if (da != db) return da < db;
-              return a.id < b.id;
-            });
-  if (static_cast<int>(result.hits.size()) > n) {
-    result.hits.resize(static_cast<size_t>(n));
-  }
+  pipeline.MergeRank(
+      &result,
+      [&target](const RangeHit& a, const RangeHit& b) {
+        const double da = SquaredDistance(a.prediction.location, target);
+        const double db = SquaredDistance(b.prediction.location, target);
+        if (da != db) return da < db;
+        return a.id < b.id;
+      },
+      /*limit=*/n);
   return result;
 }
 
@@ -676,7 +593,8 @@ void MovingObjectStore::EvaluateContinuousQueries(
   for (auto& [query_id, query] : continuous_->queries) {
     const Timestamp tq = snapshot.now + query.horizon;
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, query.k_per_object);
+        PredictSnapshot(snapshot, tq, query.k_per_object, /*ctx=*/nullptr,
+                        /*lane=*/0);
     if (!predictions.ok()) continue;
     const Prediction* matching = nullptr;
     for (const Prediction& p : *predictions) {

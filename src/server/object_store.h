@@ -38,13 +38,15 @@
 #include "common/admission.h"
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/exec_context.h"
 #include "core/hybrid_predictor.h"
+#include "server/query_pipeline.h"
+#include "server/store_types.h"
 
 namespace hpm {
-
-/// Identifies one tracked moving object.
-using ObjectId = int64_t;
 
 /// The fault site that fails shard `shard`'s share of every fan-out
 /// query in a -DHPM_ENABLE_FAULTS=ON build: "server/shard_query:<shard>".
@@ -113,40 +115,13 @@ struct ObjectStoreOptions {
   std::function<void(int shard, CircuitBreaker::State from,
                      CircuitBreaker::State to)>
       breaker_listener;
-};
 
-/// Relaxed counters describing the overload-control layer's decisions.
-struct OverloadStats {
-  uint64_t admitted = 0;         ///< Entry-point calls past admission.
-  uint64_t shed = 0;             ///< Entry-point calls rejected (rung 2).
-  uint64_t degraded_overload = 0;///< Queries answered RMF-only (rung 1).
-  uint64_t trains_deferred = 0;  ///< (Re)trains postponed under pressure.
-  uint64_t shards_skipped = 0;   ///< Shard fan-outs skipped or failed.
-  uint64_t reports_rejected = 0; ///< Malformed ReportLocation inputs.
-};
-
-/// One object's answer to a predictive range query.
-struct RangeHit {
-  ObjectId id = 0;
-
-  /// The best-scored prediction that falls inside the query range.
-  Prediction prediction;
-};
-
-/// Result of a fleet query (range / kNN). `partial` is the
-/// overload-resilience contract: a shard whose circuit breaker is open,
-/// or whose share of the fan-out failed, is *skipped* — the query still
-/// answers from the healthy shards instead of failing end to end.
-struct FleetQueryResult {
-  /// Hits from every shard that answered, in the query's sort order.
-  std::vector<RangeHit> hits;
-
-  /// True when at least one shard did not contribute.
-  bool partial = false;
-
-  /// Indices of the shards that were skipped (breaker open) or failed
-  /// during this call, ascending.
-  std::vector<int> skipped_shards;
+  /// When set, every entry-point call records a per-query Trace (pipeline
+  /// stage spans, per-object child work, counters) and hands it here from
+  /// the pipeline's Account stage, on the calling thread. Unset (the
+  /// default) means tracing is fully disabled and costs one branch per
+  /// span site. Keep the sink cheap; it runs inside the query's latency.
+  TraceSink trace_sink;
 };
 
 /// Per-object ingestion + prediction service. Thread-safe: shards, lock
@@ -260,9 +235,16 @@ class MovingObjectStore {
       const Point& target, Timestamp tq, int n,
       Deadline deadline = Deadline::Infinite()) const;
 
-  /// ---- Overload introspection ----------------------------------------
+  /// ---- Observability --------------------------------------------------
   /// Snapshot of the overload-control counters.
   OverloadStats overload_stats() const;
+
+  /// Snapshot of the serving metrics (per-op admitted/shed counters,
+  /// pipeline stage latency histograms, TPT traversal effort, …). Names
+  /// are documented in docs/OBSERVABILITY.md.
+  MetricsSnapshot metrics_snapshot() const {
+    return metrics_registry_->TakeSnapshot();
+  }
 
   /// State of shard `shard`'s circuit breaker.
   CircuitBreaker::State BreakerState(int shard) const;
@@ -367,23 +349,6 @@ class MovingObjectStore {
     std::vector<ContinuousEvent> pending_events;
   };
 
-  /// Partial result of one shard's share of a fleet query.
-  struct ShardHits {
-    std::vector<RangeHit> hits;
-    Status status;
-  };
-
-  /// Relaxed-atomic backing of OverloadStats. Held behind unique_ptr so
-  /// the store stays movable.
-  struct AtomicOverloadStats {
-    std::atomic<uint64_t> admitted{0};
-    std::atomic<uint64_t> shed{0};
-    std::atomic<uint64_t> degraded_overload{0};
-    std::atomic<uint64_t> trains_deferred{0};
-    std::atomic<uint64_t> shards_skipped{0};
-    std::atomic<uint64_t> reports_rejected{0};
-  };
-
   static size_t ShardIndex(ObjectId id, size_t num_shards);
   Shard& ShardFor(ObjectId id) const {
     return *shards_[ShardIndex(id, shards_.size())];
@@ -393,49 +358,45 @@ class MovingObjectStore {
   QuerySnapshot MakeSnapshot(ObjectId id, const ObjectState& state) const;
 
   /// Predicts against a snapshot; no locks held. Mirrors the pre-shard
-  /// PredictForState semantics exactly. With `shed_to_rmf` the pattern
-  /// side is skipped and a trained object's answer is the RMF motion
-  /// function stamped DegradedReason::kOverloaded (rung 1).
+  /// PredictForState semantics exactly. The execution context (may be
+  /// null for context-free callers — continuous queries) supplies the
+  /// deadline, the rung-1 shed verdict (a trained object's answer is
+  /// then the RMF motion function stamped DegradedReason::kOverloaded),
+  /// scratch lane `lane`, and per-query accounting.
   StatusOr<std::vector<Prediction>> PredictSnapshot(
-      const QuerySnapshot& snapshot, Timestamp tq, int k,
-      Deadline deadline = Deadline::Infinite(),
-      bool shed_to_rmf = false) const;
+      const QuerySnapshot& snapshot, Timestamp tq, int k, QueryContext* ctx,
+      int lane) const;
 
-  /// True when the rung-1 triggers (pool queue depth, deadline
-  /// headroom) say the pattern side should be skipped.
-  bool ShouldShedToRmf(const Deadline& deadline) const;
-
-  /// Shared ReportLocation/ReportLocationAt back half: validates the
-  /// sample, appends, trains, feeds continuous queries.
+  /// Shared ReportLocation/ReportLocationAt back half, one pipeline
+  /// instantiation: validates the sample (including `*expected_t`'s
+  /// range when non-null), appends, trains, feeds continuous queries.
   Status Ingest(ObjectId id, const Point& location,
                 const Timestamp* expected_t);
 
-  /// Records a malformed report for `id` (creates no trajectory).
-  void CountRejectedReport(ObjectId id);
+  /// Records a malformed report for `id` (creates no trajectory); the
+  /// aggregate count flows through `ctx` to the Account stage.
+  void RecordRejectedReport(ObjectId id, QueryContext& ctx);
 
   /// Runs initial training or batch incorporation for `id` if the
   /// post-append thresholds allow, mining outside the shard lock.
   /// Under rung-1 pressure the train is deferred — query traffic
   /// outranks model refreshes; the thresholds re-fire on a later report.
-  Status MaybeTrain(Shard& shard, ObjectId id);
+  Status MaybeTrain(Shard& shard, ObjectId id, QueryPipeline& pipeline);
 
-  /// One shard's share of PredictiveRangeQuery / NearestNeighbors:
-  /// snapshot eligible objects under the reader lock, predict unlocked.
-  /// `shard_index` names the per-shard fault site.
-  ShardHits RangeQueryShard(int shard_index, const BoundingBox& range,
-                            Timestamp tq, int k_per_object,
-                            Deadline deadline, bool shed_to_rmf) const;
-  ShardHits NearestNeighborShard(int shard_index, Timestamp tq,
-                                 Deadline deadline, bool shed_to_rmf) const;
+  /// One shard's share of PredictiveRangeQuery / NearestNeighbors,
+  /// running as a fan-out lane of `ctx`: snapshot eligible objects under
+  /// the reader lock, predict unlocked into `*hits`. `shard_index` names
+  /// the per-shard fault site and the scratch lane.
+  Status RangeQueryShard(int shard_index, const BoundingBox& range,
+                         Timestamp tq, int k_per_object, QueryContext& ctx,
+                         std::vector<RangeHit>* hits) const;
+  Status NearestNeighborShard(int shard_index, Timestamp tq,
+                              QueryContext& ctx,
+                              std::vector<RangeHit>* hits) const;
 
-  /// Runs `fn(shard_index)` for every shard whose breaker admits the
-  /// call — on the pool when it has more than one worker (TrySubmit
-  /// with inline fallback under backpressure), inline otherwise —
-  /// records each outcome on the shard's breaker, and merges healthy
-  /// shards in shard order. Failed/skipped shards flag the result
-  /// partial instead of failing the query.
-  template <typename Fn>
-  FleetQueryResult FanOut(Fn&& fn) const;
+  /// The borrowed-subsystem environment every pipeline instantiation
+  /// receives.
+  QueryPipeline::Env PipelineEnv() const;
 
   /// Re-evaluates every standing query for the object that just
   /// reported, against the given snapshot.
@@ -450,6 +411,8 @@ class MovingObjectStore {
   std::unique_ptr<AdmissionController> admission_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   std::unique_ptr<AtomicOverloadStats> stats_;
+  std::unique_ptr<MetricsRegistry> metrics_registry_;
+  std::unique_ptr<StoreMetrics> metrics_;
 };
 
 }  // namespace hpm

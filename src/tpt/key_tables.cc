@@ -45,6 +45,16 @@ DynamicBitset KeyTables::EncodePremise(
   return premise;
 }
 
+void KeyTables::EncodePremiseInto(const std::vector<int>& region_ids,
+                                  DynamicBitset* out) const {
+  out->Resize(num_regions_);
+  out->Reset();
+  for (int id : region_ids) {
+    HPM_CHECK(id >= 0 && static_cast<size_t>(id) < num_regions_);
+    out->Set(static_cast<size_t>(id));
+  }
+}
+
 PatternKey KeyTables::EncodePattern(const TrajectoryPattern& pattern,
                                     const FrequentRegionSet& regions) const {
   DynamicBitset premise = EncodePremise(pattern.premise);
@@ -67,6 +77,21 @@ StatusOr<PatternKey> KeyTables::EncodeQuery(
   return PatternKey(EncodePremise(premise_regions), std::move(consequence));
 }
 
+Status KeyTables::EncodeQueryInto(const std::vector<int>& premise_regions,
+                                  Timestamp query_offset,
+                                  PatternKey* out) const {
+  const int time_id = TimeIdForOffset(query_offset);
+  if (time_id < 0) {
+    return Status::NotFound("no pattern concludes at the query offset");
+  }
+  EncodePremiseInto(premise_regions, &out->mutable_premise());
+  DynamicBitset& consequence = out->mutable_consequence();
+  consequence.Resize(consequence_key_length());
+  consequence.Reset();
+  consequence.Set(static_cast<size_t>(time_id));
+  return Status::OK();
+}
+
 PatternKey KeyTables::EncodeQueryInterval(
     const std::vector<int>& premise_regions, Timestamp lo,
     Timestamp hi) const {
@@ -84,6 +109,23 @@ PatternKey KeyTables::EncodeQueryInterval(
     consequence.Set(static_cast<size_t>(it - consequence_offsets_.begin()));
   }
   return PatternKey(EncodePremise(premise_regions), std::move(consequence));
+}
+
+void KeyTables::EncodeQueryIntervalInto(
+    const std::vector<int>& premise_regions, Timestamp lo, Timestamp hi,
+    PatternKey* out) const {
+  EncodePremiseInto(premise_regions, &out->mutable_premise());
+  DynamicBitset& consequence = out->mutable_consequence();
+  consequence.Resize(consequence_key_length());
+  consequence.Reset();
+  if (lo > hi) return;
+  const auto begin = std::lower_bound(consequence_offsets_.begin(),
+                                      consequence_offsets_.end(), lo);
+  const auto end = std::upper_bound(consequence_offsets_.begin(),
+                                    consequence_offsets_.end(), hi);
+  for (auto it = begin; it != end; ++it) {
+    consequence.Set(static_cast<size_t>(it - consequence_offsets_.begin()));
+  }
 }
 
 }  // namespace hpm

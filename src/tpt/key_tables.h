@@ -63,14 +63,29 @@ class KeyTables {
   StatusOr<PatternKey> EncodeQuery(const std::vector<int>& premise_regions,
                                    Timestamp query_offset) const;
 
+  /// EncodeQuery writing into `out`, whose bitmaps are resized and reused
+  /// in place — the allocation-free variant for per-query scratch buffers.
+  /// Same NotFound contract; `out` is valid only on OK.
+  Status EncodeQueryInto(const std::vector<int>& premise_regions,
+                         Timestamp query_offset, PatternKey* out) const;
+
   /// Encodes a BQP query: premise bits as above, consequence bits for
   /// *every* table offset inside [lo, hi] (inclusive, clamped). The
   /// consequence part is empty-bitted when the interval covers no offset.
   PatternKey EncodeQueryInterval(const std::vector<int>& premise_regions,
                                  Timestamp lo, Timestamp hi) const;
 
+  /// EncodeQueryInterval writing into `out` (see EncodeQueryInto).
+  void EncodeQueryIntervalInto(const std::vector<int>& premise_regions,
+                               Timestamp lo, Timestamp hi,
+                               PatternKey* out) const;
+
  private:
   DynamicBitset EncodePremise(const std::vector<int>& region_ids) const;
+
+  /// EncodePremise into a reused bitmap.
+  void EncodePremiseInto(const std::vector<int>& region_ids,
+                         DynamicBitset* out) const;
 
   size_t num_regions_ = 0;
   std::vector<Timestamp> consequence_offsets_;

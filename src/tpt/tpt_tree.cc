@@ -301,9 +301,16 @@ void TptTree::SearchNode(const Node* node, const PatternKey& query,
 std::vector<const IndexedPattern*> TptTree::Search(
     const PatternKey& query, SearchMode mode, TptSearchStats* stats) const {
   std::vector<const IndexedPattern*> out;
-  if (size_ == 0) return out;
-  SearchNode(root_.get(), query, mode, &out, stats);
+  SearchInto(query, mode, &out, stats);
   return out;
+}
+
+void TptTree::SearchInto(const PatternKey& query, SearchMode mode,
+                         std::vector<const IndexedPattern*>* out,
+                         TptSearchStats* stats) const {
+  out->clear();
+  if (size_ == 0) return;
+  SearchNode(root_.get(), query, mode, out, stats);
 }
 
 namespace {

@@ -94,6 +94,14 @@ class TptTree {
       const PatternKey& query, SearchMode mode,
       TptSearchStats* stats = nullptr) const;
 
+  /// Search writing into a caller-owned vector (cleared first) so hot
+  /// paths can reuse one buffer across queries. `stats`, when given,
+  /// accumulates rather than resets — callers zero it between queries if
+  /// they want per-call numbers.
+  void SearchInto(const PatternKey& query, SearchMode mode,
+                  std::vector<const IndexedPattern*>* out,
+                  TptSearchStats* stats = nullptr) const;
+
   /// Removes every indexed pattern for which `predicate` returns true
   /// (e.g. evicting rules whose confidence has drifted below a bar).
   /// Underfull nodes are dissolved R-tree-style: their surviving entries

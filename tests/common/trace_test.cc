@@ -1,0 +1,125 @@
+#include "common/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hpm {
+namespace {
+
+TEST(TraceTest, DisabledTraceIsInert) {
+  Trace trace;  // Default: disabled.
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_EQ(trace.BeginSpan("root"), -1);
+  trace.EndSpan(-1);
+  trace.AddCounter("x", 1);
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_TRUE(trace.counters().empty());
+}
+
+TEST(TraceTest, SpansNestByParentIndex) {
+  Trace trace(/*enabled=*/true);
+  const int root = trace.BeginSpan("query");
+  const int child = trace.BeginSpan("fanout", root);
+  const int grandchild = trace.BeginSpan("shard", child);
+  trace.EndSpan(grandchild);
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+
+  const std::vector<TraceSpan> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "query");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "fanout");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "shard");
+  EXPECT_EQ(spans[2].parent, child);
+  EXPECT_EQ(spans[2].depth, 2);
+  for (const TraceSpan& span : spans) EXPECT_TRUE(span.finished);
+}
+
+TEST(TraceTest, EndSpanIsIdempotent) {
+  Trace trace(/*enabled=*/true);
+  const int id = trace.BeginSpan("once");
+  trace.EndSpan(id);
+  const uint64_t duration = trace.spans()[0].duration_micros;
+  trace.EndSpan(id);  // Second end must not restamp the duration.
+  EXPECT_EQ(trace.spans()[0].duration_micros, duration);
+}
+
+TEST(TraceTest, UnfinishedSpansAreVisible) {
+  Trace trace(/*enabled=*/true);
+  trace.BeginSpan("open");
+  const std::vector<TraceSpan> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].finished);
+  EXPECT_EQ(spans[0].duration_micros, 0u);
+}
+
+TEST(TraceTest, CountersAccumulateByName) {
+  Trace trace(/*enabled=*/true);
+  trace.AddCounter("objects", 2);
+  trace.AddCounter("objects", 3);
+  trace.AddCounter("shards", 1);
+  const auto counters = trace.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "objects");
+  EXPECT_EQ(counters[0].second, 5u);
+  EXPECT_EQ(counters[1].first, "shards");
+  EXPECT_EQ(counters[1].second, 1u);
+}
+
+TEST(TraceTest, ScopedSpanEndsOnScopeExit) {
+  Trace trace(/*enabled=*/true);
+  int child_id = -1;
+  {
+    ScopedSpan root(&trace, "root");
+    ScopedSpan child(&trace, "inner", root.id());
+    child_id = child.id();
+    EXPECT_GE(child_id, 0);
+  }
+  const std::vector<TraceSpan> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_TRUE(spans[0].finished);
+  EXPECT_TRUE(spans[1].finished);
+  EXPECT_EQ(spans[1].parent, 0);
+}
+
+TEST(TraceTest, ConcurrentSpansFromWorkersAreAllRecorded) {
+  Trace trace(/*enabled=*/true);
+  const int root = trace.BeginSpan("fanout");
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, root] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(&trace, "work", root);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  trace.EndSpan(root);
+  EXPECT_EQ(trace.spans().size(), 1u + kThreads * kSpansPerThread);
+}
+
+TEST(TraceTest, ToStringRendersTreeAndCounters) {
+  Trace trace(/*enabled=*/true);
+  const int root = trace.BeginSpan("range");
+  const int child = trace.BeginSpan("merge", root);
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+  trace.AddCounter("hits", 7);
+  const std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("range"), std::string::npos);
+  EXPECT_NE(rendered.find("merge"), std::string::npos);
+  EXPECT_NE(rendered.find("hits"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpm

@@ -5,6 +5,8 @@
 
 #include "proptest/proptest.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -65,7 +67,10 @@ PredictiveQuery RouteAQuery(Timestamp tc_offset, Timestamp length) {
 }
 
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // Process-unique: ctest runs each discovered test as its own process,
+  // possibly in parallel, and fixture SetUp writes the same file names.
+  return std::string(::testing::TempDir()) + "/" +
+         std::to_string(::getpid()) + "_" + name;
 }
 
 TEST(ModelIoTest, SaveLoadRoundTripPreservesModel) {

@@ -201,5 +201,27 @@ TEST(HpmToolTest, ThroughputValidatesFlags) {
   EXPECT_EQ(RunTool("throughput --clients 8 --objects 4").exit_code, 1);
 }
 
+TEST(HpmToolTest, StatsDumpsObservabilityJson) {
+  const RunResult r =
+      RunTool("stats --seed 3 --objects 4 --ops 120 --shards 2 --threads 1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The three sections of the dump, with the documented metric names.
+  EXPECT_NE(r.output.find("\"overload\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"stages\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"store.admitted.predict\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"stage.fanout_us\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"p99_us\""), std::string::npos);
+  // Malformed-report traffic is part of the canned workload, so the
+  // rejection counters must be live.
+  EXPECT_EQ(r.output.find("\"reports_rejected\": 0"), std::string::npos);
+}
+
+TEST(HpmToolTest, StatsValidatesFlags) {
+  EXPECT_EQ(RunTool("stats --shards 0").exit_code, 1);
+  EXPECT_EQ(RunTool("stats --ops 0").exit_code, 1);
+  EXPECT_EQ(RunTool("stats --bogus 1").exit_code, 1);
+}
+
 }  // namespace
 }  // namespace hpm

@@ -35,6 +35,15 @@
 //       -DHPM_ENABLE_FAULTS=ON build; exits 2 when the hooks are
 //       compiled out, 1 when an invariant breaks, 0 on success.
 //
+//   stats [--seed N] [--shards N] [--threads N] [--objects N] [--ops N]
+//       Run a seeded mixed workload (ingest, point/batch predictions,
+//       range and kNN queries, a slice of malformed reports and
+//       shed-to-RMF traffic) against a store and dump the full
+//       observability picture as JSON: the metrics snapshot (per-op
+//       admitted/shed counters, pipeline stage latency histograms, TPT
+//       traversal effort), the OverloadStats aggregate, and a per-stage
+//       latency breakdown (see docs/OBSERVABILITY.md).
+//
 // All subcommands exit 0 on success and print errors to stderr.
 
 #include <cstdio>
@@ -128,7 +137,8 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: hpm_tool "
-               "<generate|train|info|predict|evaluate|throughput|faultcheck> "
+               "<generate|train|info|predict|evaluate|throughput|faultcheck"
+               "|stats> "
                "[--flag value ...]\n  (see the header of tools/hpm_tool.cc)\n");
   return 2;
 }
@@ -627,6 +637,130 @@ int RunFaultcheck(Args args) {
 #endif  // HPM_ENABLE_FAULTS
 }
 
+int RunStats(Args args) {
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const int shards = static_cast<int>(args.GetInt("shards", 4));
+  const int threads = static_cast<int>(args.GetInt("threads", 2));
+  const int objects = static_cast<int>(args.GetInt("objects", 8));
+  const int ops = static_cast<int>(args.GetInt("ops", 400));
+  if (shards < 1) return Fail("--shards must be >= 1");
+  if (threads < 1) return Fail("--threads must be >= 1");
+  if (objects < 1) return Fail("--objects must be >= 1");
+  if (ops < 1) return Fail("--ops must be >= 1");
+  if (int rc = FinishArgs(&args)) return rc;
+
+  constexpr Timestamp kPeriod = 20;
+  constexpr int kWarmPeriods = 5;
+  ObjectStoreOptions options;
+  options.predictor.regions.period = kPeriod;
+  options.predictor.regions.dbscan.eps = 15.0;
+  options.predictor.regions.dbscan.min_pts = 3;
+  options.predictor.mining.min_confidence = 0.2;
+  options.predictor.mining.min_support = 2;
+  options.predictor.distant_threshold = 8;
+  options.predictor.region_match_slack = 8.0;
+  options.min_training_periods = kWarmPeriods;
+  options.update_batch_periods = 2;
+  options.recent_window = 5;
+  options.num_shards = shards;
+  options.query_threads = threads;
+  // A finite headroom floor so a slice of the query traffic exercises
+  // the rung-1 shed path and the degraded counters are non-trivial.
+  options.degrade_min_headroom = std::chrono::microseconds(50);
+  MovingObjectStore store(options);
+
+  const auto route = [](ObjectId id, Timestamp t) -> Point {
+    return {100.0 * static_cast<double>(t % kPeriod) + 50.0,
+            500.0 + 1000.0 * static_cast<double>(id)};
+  };
+  for (ObjectId id = 0; id < objects; ++id) {
+    for (Timestamp t = 0; t < kWarmPeriods * kPeriod; ++t) {
+      (void)store.ReportLocation(id, route(id, t));
+    }
+  }
+
+  // Seeded mixed workload over every entry point.
+  Random rng(seed);
+  const Timestamp now = kWarmPeriods * kPeriod;
+  const BoundingBox everywhere({-1e7, -1e7}, {1e7, 1e7});
+  std::vector<ObjectId> all_ids;
+  for (ObjectId id = 0; id < objects; ++id) all_ids.push_back(id);
+  for (int i = 0; i < ops; ++i) {
+    const ObjectId id =
+        static_cast<ObjectId>(rng.Uniform(static_cast<uint64_t>(objects)));
+    const Timestamp tq = now + 1 + static_cast<Timestamp>(rng.Uniform(10));
+    switch (rng.Uniform(12)) {
+      case 0:
+      case 1:
+      case 2:
+        (void)store.ReportLocation(id, route(id, now + i));
+        break;
+      case 3:  // Malformed report: exercises the rejection counters.
+        (void)store.ReportLocationAt(id, -1, {0.0, 0.0});
+        break;
+      case 4:
+        (void)store.PredictLocationBatch(all_ids, tq, 2);
+        break;
+      case 5:
+        (void)store.PredictiveRangeQuery(everywhere, tq, 2);
+        break;
+      case 6:
+        (void)store.PredictiveNearestNeighbors({500.0, 500.0}, tq, 3);
+        break;
+      case 7:  // Tight deadline: exercises the shed-to-RMF ladder.
+        (void)store.PredictLocation(id, tq, 1,
+                                    Deadline::After(
+                                        std::chrono::microseconds(10)));
+        break;
+      default:
+        (void)store.PredictLocation(id, tq, 2);
+        break;
+    }
+  }
+
+  const MetricsSnapshot metrics = store.metrics_snapshot();
+  const OverloadStats overload = store.overload_stats();
+
+  // One JSON document: workload parameters, the overload aggregate, a
+  // per-stage latency breakdown, and the full metrics snapshot.
+  std::string json = "{\n  \"workload\": {";
+  json += "\"seed\": " + std::to_string(seed);
+  json += ", \"shards\": " + std::to_string(shards);
+  json += ", \"threads\": " + std::to_string(threads);
+  json += ", \"objects\": " + std::to_string(objects);
+  json += ", \"ops\": " + std::to_string(ops);
+  json += "},\n  \"overload\": {";
+  json += "\"admitted\": " + std::to_string(overload.admitted);
+  json += ", \"shed\": " + std::to_string(overload.shed);
+  json += ", \"degraded_overload\": " +
+          std::to_string(overload.degraded_overload);
+  json += ", \"trains_deferred\": " +
+          std::to_string(overload.trains_deferred);
+  json += ", \"shards_skipped\": " + std::to_string(overload.shards_skipped);
+  json += ", \"reports_rejected\": " +
+          std::to_string(overload.reports_rejected);
+  json += "},\n  \"stages\": {";
+  bool first_stage = true;
+  for (const char* stage : {"admit", "plan", "fanout", "merge"}) {
+    const auto* histogram =
+        metrics.histogram(std::string("stage.") + stage + "_us");
+    if (histogram == nullptr) continue;
+    if (!first_stage) json += ", ";
+    first_stage = false;
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"%s\": {\"count\": %llu, \"mean_us\": %.3f, "
+                  "\"p50_us\": %.1f, \"p99_us\": %.1f}",
+                  stage, static_cast<unsigned long long>(histogram->count),
+                  histogram->mean_micros(), histogram->PercentileMicros(50),
+                  histogram->PercentileMicros(99));
+    json += buffer;
+  }
+  json += "},\n  \"metrics\": " + metrics.ToJson() + "\n}";
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -643,5 +777,6 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return RunEvaluate(std::move(args));
   if (command == "throughput") return RunThroughput(std::move(args));
   if (command == "faultcheck") return RunFaultcheck(std::move(args));
+  if (command == "stats") return RunStats(std::move(args));
   return Usage();
 }
