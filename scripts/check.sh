@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification matrix: clang-tidy (when installed), then tier-1 +
-# property suites under AddressSanitizer, then ThreadSanitizer. Any test
-# failure or sanitizer report (sanitizers make the binary exit non-zero)
-# fails the run.
+# property suites under AddressSanitizer, ThreadSanitizer and an
+# UndefinedBehaviorSanitizer leg for the frozen-arena word packing. Any
+# test failure or sanitizer report (sanitizers make the binary exit
+# non-zero) fails the run.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the slow-labelled binaries in the sanitizer builds
@@ -28,6 +29,10 @@ run_matrix() {
   # regression cannot silently drop them from the matrix.
   ctest --test-dir "$build_dir" -L observability "${CTEST_ARGS[@]}" \
         -j "$JOBS"
+  # Same for the signature-tree index stack (bitsets, builder tree,
+  # frozen arena + its wire parser): the suites most sensitive to memory
+  # bugs must provably run under every sanitizer in the matrix.
+  ctest --test-dir "$build_dir" -L tpt "${CTEST_ARGS[@]}" -j "$JOBS"
 }
 
 # Static analysis (config in .clang-tidy). Soft-skipped when clang-tidy
@@ -49,6 +54,16 @@ run_matrix build-asan -DHPM_SANITIZE=address
 
 echo "== ThreadSanitizer: tier1 + prop =="
 run_matrix build-tsan -DHPM_SANITIZE=thread
+
+# The frozen-TPT arena is hand-packed words and raw pointer arithmetic;
+# UBSan is the leg that would catch misaligned loads, bad shifts and
+# out-of-range enum/int conversions there. The full tier-1 set rides
+# along since the build already exists.
+echo "== UndefinedBehaviorSanitizer: tier1 + tpt =="
+cmake -B build-ubsan -S . -DHPM_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$JOBS"
+ctest --test-dir build-ubsan -L tier1 "${CTEST_ARGS[@]}" -j "$JOBS"
+ctest --test-dir build-ubsan -L tpt "${CTEST_ARGS[@]}" -j "$JOBS"
 
 echo "== AddressSanitizer + fault hooks: tier1 + fault =="
 cmake -B build-fault -S . -DHPM_SANITIZE=address -DHPM_ENABLE_FAULTS=ON >/dev/null

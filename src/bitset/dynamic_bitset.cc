@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "bitset/word_ops.h"
 #include "common/status.h"
 
 namespace hpm {
@@ -42,10 +43,22 @@ bool DynamicBitset::Test(size_t pos) const {
   return (words_[pos / kBitsPerWord] >> (pos % kBitsPerWord)) & 1;
 }
 
+DynamicBitset DynamicBitset::FromWords(const uint64_t* words,
+                                       size_t num_words, size_t bits) {
+  HPM_CHECK(num_words == WordsFor(bits));
+  DynamicBitset b(bits);
+  for (size_t i = 0; i < num_words; ++i) b.words_[i] = words[i];
+  // Tail bits must already be clear; FromWords trusts its caller, but the
+  // invariant is cheap to assert.
+  const size_t used = bits % kBitsPerWord;
+  if (used != 0 && num_words > 0) {
+    HPM_CHECK((b.words_.back() & ~((uint64_t{1} << used) - 1)) == 0);
+  }
+  return b;
+}
+
 size_t DynamicBitset::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
-  return total;
+  return wordops::Popcount(words_.data(), words_.size());
 }
 
 int DynamicBitset::HighestSetBit() const {
@@ -112,28 +125,20 @@ bool DynamicBitset::operator==(const DynamicBitset& o) const {
 
 bool DynamicBitset::Contains(const DynamicBitset& other) const {
   HPM_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != other.words_[i]) return false;
-  }
-  return true;
+  return wordops::Contains(words_.data(), other.words_.data(),
+                           words_.size());
 }
 
 bool DynamicBitset::AnyCommon(const DynamicBitset& other) const {
   HPM_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return wordops::AnyCommon(words_.data(), other.words_.data(),
+                            words_.size());
 }
 
 size_t DynamicBitset::DifferenceCount(const DynamicBitset& other) const {
   HPM_CHECK(size_ == other.size_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<size_t>(
-        std::popcount(words_[i] & ~other.words_[i]));
-  }
-  return total;
+  return wordops::DifferenceCount(words_.data(), other.words_.data(),
+                                  words_.size());
 }
 
 std::string DynamicBitset::ToString() const {

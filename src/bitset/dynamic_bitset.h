@@ -98,6 +98,26 @@ class DynamicBitset {
   /// Precondition: same size().
   size_t DifferenceCount(const DynamicBitset& other) const;
 
+  /// ---- Word view -----------------------------------------------------
+  /// Direct read access to the packed 64-bit words, least significant
+  /// word first. Bits at positions >= size() in the last word are always
+  /// zero (class invariant), so word-wise consumers — the FrozenTpt key
+  /// arena, the wordops predicates — can scan whole words without
+  /// masking. The pointer is valid until the next Resize.
+  const uint64_t* words() const { return words_.data(); }
+
+  /// Number of 64-bit words backing size() bits.
+  size_t num_words() const { return words_.size(); }
+
+  /// Rebuilds a bitset of `bits` bits from `num_words` packed words (as
+  /// produced by words()/num_words()). `num_words` must be exactly the
+  /// word count for `bits`, and bits at positions >= `bits` in the last
+  /// word must be zero; both are programming errors otherwise — callers
+  /// deserialising untrusted bytes validate first (the FrozenTpt parser
+  /// does).
+  static DynamicBitset FromWords(const uint64_t* words, size_t num_words,
+                                 size_t bits);
+
   /// Binary string, most significant bit first (paper's printing order).
   std::string ToString() const;
 

@@ -115,6 +115,8 @@ class QueryContext {
                                  std::memory_order_relaxed);
     tpt_entries_tested_.fetch_add(stats.entries_tested,
                                   std::memory_order_relaxed);
+    tpt_blocks_scanned_.fetch_add(stats.blocks_scanned,
+                                  std::memory_order_relaxed);
   }
 
   /// Plain snapshot of the accumulators (taken after fan-out joins, so
@@ -128,6 +130,7 @@ class QueryContext {
     uint64_t motion_fits = 0;
     uint64_t tpt_nodes_visited = 0;
     uint64_t tpt_entries_tested = 0;
+    uint64_t tpt_blocks_scanned = 0;
   };
   Totals totals() const {
     Totals t;
@@ -141,6 +144,8 @@ class QueryContext {
     t.tpt_nodes_visited = tpt_nodes_visited_.load(std::memory_order_relaxed);
     t.tpt_entries_tested =
         tpt_entries_tested_.load(std::memory_order_relaxed);
+    t.tpt_blocks_scanned =
+        tpt_blocks_scanned_.load(std::memory_order_relaxed);
     return t;
   }
 
@@ -158,6 +163,7 @@ class QueryContext {
   std::atomic<uint64_t> motion_fits_{0};
   std::atomic<uint64_t> tpt_nodes_visited_{0};
   std::atomic<uint64_t> tpt_entries_tested_{0};
+  std::atomic<uint64_t> tpt_blocks_scanned_{0};
 };
 
 }  // namespace hpm

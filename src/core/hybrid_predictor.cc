@@ -54,7 +54,7 @@ void HybridPredictor::ResetCounters() const {
 HybridPredictor::HybridPredictor(HybridPredictorOptions options,
                                  FrequentRegionSet regions,
                                  std::vector<TrajectoryPattern> patterns,
-                                 KeyTables key_tables, TptTree tpt)
+                                 KeyTables key_tables, FrozenTpt tpt)
     : options_(options),
       regions_(std::move(regions)),
       patterns_(std::move(patterns)),
@@ -99,16 +99,19 @@ StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::Train(
   }
   StatusOr<TptTree> tpt = TptTree::BulkLoad(std::move(indexed), options.tpt);
   if (!tpt.ok()) return tpt.status();
+  const size_t builder_bytes = tpt->MemoryBytes();
+  FrozenTpt frozen = FrozenTpt::Freeze(*tpt);
 
   auto predictor = std::unique_ptr<HybridPredictor>(new HybridPredictor(
       options, std::move(discovery->region_set), std::move(mined->patterns),
-      std::move(tables), std::move(*tpt)));
+      std::move(tables), std::move(frozen)));
   predictor->summary_.num_sub_trajectories = transactions.size();
   predictor->summary_.num_frequent_regions =
       predictor->regions_.NumRegions();
   predictor->summary_.num_patterns = predictor->patterns_.size();
   predictor->summary_.mining_stats = mined->stats;
-  predictor->summary_.tpt_memory_bytes = predictor->tpt_.MemoryBytes();
+  predictor->summary_.tpt_memory_bytes = builder_bytes;
+  predictor->summary_.tpt_frozen_bytes = predictor->tpt_.MemoryBytes();
   predictor->summary_.tpt_height = predictor->tpt_.Height();
   predictor->summary_.train_seconds = timer.ElapsedSeconds();
   return predictor;
@@ -420,13 +423,16 @@ StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::WithNewHistory(
   }
   StatusOr<TptTree> tpt = TptTree::BulkLoad(std::move(indexed), options_.tpt);
   if (!tpt.ok()) return tpt.status();
+  const size_t builder_bytes = tpt->MemoryBytes();
+  FrozenTpt frozen = FrozenTpt::Freeze(*tpt);
 
   auto updated = std::unique_ptr<HybridPredictor>(
       new HybridPredictor(options_, regions_, std::move(combined),
-                          std::move(tables), std::move(*tpt)));
+                          std::move(tables), std::move(frozen)));
   updated->summary_ = summary_;
   updated->summary_.num_patterns = updated->patterns_.size();
-  updated->summary_.tpt_memory_bytes = updated->tpt_.MemoryBytes();
+  updated->summary_.tpt_memory_bytes = builder_bytes;
+  updated->summary_.tpt_frozen_bytes = updated->tpt_.MemoryBytes();
   updated->summary_.tpt_height = updated->tpt_.Height();
   // Carry the counts so they stay monotonic across snapshot swaps.
   updated->counters_ = counters_;

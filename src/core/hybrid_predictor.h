@@ -14,6 +14,7 @@
 #include "mining/apriori.h"
 #include "mining/frequent_region.h"
 #include "motion/recursive_motion.h"
+#include "tpt/frozen_tpt.h"
 #include "tpt/key_tables.h"
 #include "tpt/tpt_tree.h"
 
@@ -61,7 +62,13 @@ struct TrainingSummary {
   size_t num_frequent_regions = 0;
   size_t num_patterns = 0;
   AprioriStats mining_stats;
+
+  /// Bytes of the *builder* (pointer) tree the patterns were loaded
+  /// into — the paper's Fig. 11a storage metric.
   size_t tpt_memory_bytes = 0;
+
+  /// Bytes of the frozen arena actually served from (tpt.frozen_bytes).
+  size_t tpt_frozen_bytes = 0;
   int tpt_height = 0;
   double train_seconds = 0.0;
 };
@@ -160,10 +167,12 @@ class HybridPredictor {
   StatusOr<std::unique_ptr<HybridPredictor>> WithNewHistory(
       const Trajectory& new_history) const;
 
-  /// Persists the trained model (options, frequent regions, patterns) to
-  /// a binary file. The TPT itself is not stored — it is rebuilt on load
-  /// from the patterns, which is cheaper than its wire format and keeps
-  /// the format independent of node layout.
+  /// Persists the trained model (options, frequent regions, patterns,
+  /// and the frozen TPT arena) to a binary file. Storing the arena lets
+  /// load validate bytes instead of replaying the sequential-insert
+  /// build; the arena section carries its own CRC on top of the file
+  /// footer, so corruption surfaces as DataLoss (→ store quarantine),
+  /// never as a differently-shaped index.
   Status SaveToFile(const std::string& path) const;
 
   /// Restores a model written by SaveToFile. Fails with InvalidArgument
@@ -189,7 +198,10 @@ class HybridPredictor {
 
   const FrequentRegionSet& regions() const { return regions_; }
   const std::vector<TrajectoryPattern>& patterns() const { return patterns_; }
-  const TptTree& tpt() const { return tpt_; }
+
+  /// The frozen serving index. The mutable builder tree exists only
+  /// transiently inside Train/WithNewHistory/LoadFromFile.
+  const FrozenTpt& tpt() const { return tpt_; }
   const KeyTables& key_tables() const { return key_tables_; }
   const HybridPredictorOptions& options() const { return options_; }
 
@@ -212,7 +224,7 @@ class HybridPredictor {
 
   HybridPredictor(HybridPredictorOptions options, FrequentRegionSet regions,
                   std::vector<TrajectoryPattern> patterns,
-                  KeyTables key_tables, TptTree tpt);
+                  KeyTables key_tables, FrozenTpt tpt);
 
   /// Shared §V-B front half: decomposes `new_history`, maps it onto the
   /// existing regions, mines, and dedupes against patterns_. Sets
@@ -239,7 +251,7 @@ class HybridPredictor {
   FrequentRegionSet regions_;
   std::vector<TrajectoryPattern> patterns_;
   KeyTables key_tables_;
-  TptTree tpt_;
+  FrozenTpt tpt_;
   TrainingSummary summary_;
   mutable AtomicQueryCounters counters_;
 };

@@ -1,12 +1,17 @@
 // Binary persistence for trained HybridPredictor models.
 //
-// Format (little-endian, as written by the host):
+// Format v2 (little-endian, as written by the host):
 //   magic "HPM1" | version u32 | options | regions | patterns | num_subs u64
+//   | builder_bytes u64 | frozen TPT section ("FTPT", own CRC)
 //   | footer: magic "HPMC" | crc32 u32 of every preceding byte
-// The TPT is rebuilt from the patterns on load. The footer makes torn
-// writes and bit rot detectable (DataLoss) before the field validators
-// run; the file itself is written via AtomicWriteFile, so a crashed save
-// leaves the previous model intact rather than a prefix.
+// The frozen TPT arena is stored verbatim, so load validates bytes
+// (structure + per-section CRC) instead of replaying the sequential
+// bulk load, and cross-checks the arena's leaf payloads against the
+// re-encoded pattern set so a logically inconsistent section can never
+// serve wrong answers. The footer makes torn writes and bit rot
+// detectable (DataLoss) before the field validators run; the file
+// itself is written via AtomicWriteFile, so a crashed save leaves the
+// previous model intact rather than a prefix.
 
 #include <cstdint>
 #include <cstring>
@@ -17,6 +22,7 @@
 #include "common/crc32.h"
 #include "core/hybrid_predictor.h"
 #include "io/atomic_file.h"
+#include "tpt/frozen_tpt.h"
 
 namespace hpm {
 
@@ -24,7 +30,7 @@ namespace {
 
 constexpr char kMagic[4] = {'H', 'P', 'M', '1'};
 constexpr char kFooterMagic[4] = {'H', 'P', 'M', 'C'};
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;
 constexpr size_t kFooterSize = sizeof(kFooterMagic) + sizeof(uint32_t);
 
 /// Serialises trivially-copyable values into an in-memory buffer; the
@@ -69,6 +75,8 @@ class BinaryReader {
   }
 
   bool failed() const { return failed_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
 
  private:
   const char* data_;
@@ -194,6 +202,11 @@ Status HybridPredictor::SaveToFile(const std::string& path) const {
   }
 
   f.Write(static_cast<uint64_t>(summary_.num_sub_trajectories));
+  f.Write(static_cast<uint64_t>(summary_.tpt_memory_bytes));
+
+  std::string frozen_section;
+  tpt_.AppendTo(&frozen_section);
+  f.WriteBytes(frozen_section.data(), frozen_section.size());
 
   std::string content = f.buffer();
   const uint32_t crc = Crc32(content);
@@ -325,32 +338,71 @@ StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::LoadFromFile(
   }
 
   uint64_t num_subs = 0;
+  uint64_t builder_bytes = 0;
   f.Read(&num_subs);
+  f.Read(&builder_bytes);
   if (f.failed()) {
     return Status::InvalidArgument("truncated model file: " + path);
   }
 
-  // Rebuild the index from the restored patterns.
-  KeyTables tables = KeyTables::Build(regions, patterns);
-  std::vector<IndexedPattern> indexed;
-  indexed.reserve(patterns.size());
-  for (size_t i = 0; i < patterns.size(); ++i) {
-    indexed.push_back({tables.EncodePattern(patterns[i], regions),
-                       patterns[i].confidence, patterns[i].consequence,
-                       static_cast<int>(i)});
+  // The serving index loads straight from the stored arena — no bulk
+  // load. Parse validates structure and the section CRC (DataLoss on
+  // damage, so the store layer quarantines the file).
+  const size_t section_offset = sizeof(kMagic) + f.pos();
+  size_t section_consumed = 0;
+  StatusOr<FrozenTpt> frozen = FrozenTpt::Parse(
+      content.data() + section_offset, body_size - section_offset,
+      &section_consumed);
+  if (!frozen.ok()) return frozen.status().Annotate("model " + path);
+  if (section_offset + section_consumed != body_size) {
+    return Status::DataLoss("trailing garbage after frozen TPT section: " +
+                            path);
   }
-  StatusOr<TptTree> tpt = TptTree::BulkLoad(std::move(indexed), options.tpt);
-  if (!tpt.ok()) return tpt.status();
+
+  // Cross-check the arena's leaf payloads against the re-encoded
+  // pattern set: every pattern indexed exactly once, with the exact key,
+  // confidence and consequence the miner produced. A section that
+  // passes its CRC but disagrees with the patterns is corruption, not a
+  // servable index.
+  KeyTables tables = KeyTables::Build(regions, patterns);
+  if (frozen->size() != patterns.size()) {
+    return Status::DataLoss("frozen TPT pattern count mismatch: " + path);
+  }
+  if (!frozen->empty() &&
+      (frozen->premise_bits() != tables.premise_key_length() ||
+       frozen->consequence_bits() != tables.consequence_key_length())) {
+    return Status::DataLoss("frozen TPT key widths disagree with tables: " +
+                            path);
+  }
+  std::vector<uint8_t> indexed_once(patterns.size(), 0);
+  for (const IndexedPattern& entry : frozen->patterns()) {
+    if (entry.pattern_id < 0 ||
+        static_cast<size_t>(entry.pattern_id) >= patterns.size() ||
+        indexed_once[static_cast<size_t>(entry.pattern_id)] != 0) {
+      return Status::DataLoss("frozen TPT leaf payload ids corrupt: " + path);
+    }
+    indexed_once[static_cast<size_t>(entry.pattern_id)] = 1;
+    const TrajectoryPattern& p =
+        patterns[static_cast<size_t>(entry.pattern_id)];
+    if (entry.confidence != p.confidence ||
+        entry.consequence_region != p.consequence ||
+        !(entry.key == tables.EncodePattern(p, regions))) {
+      return Status::DataLoss("frozen TPT disagrees with pattern set: " +
+                              path);
+    }
+  }
 
   auto predictor = std::unique_ptr<HybridPredictor>(
       new HybridPredictor(options, std::move(regions), std::move(patterns),
-                          std::move(tables), std::move(*tpt)));
+                          std::move(tables), std::move(*frozen)));
   predictor->summary_.num_sub_trajectories =
       static_cast<size_t>(num_subs);
   predictor->summary_.num_frequent_regions =
       predictor->regions_.NumRegions();
   predictor->summary_.num_patterns = predictor->patterns_.size();
-  predictor->summary_.tpt_memory_bytes = predictor->tpt_.MemoryBytes();
+  predictor->summary_.tpt_memory_bytes =
+      static_cast<size_t>(builder_bytes);
+  predictor->summary_.tpt_frozen_bytes = predictor->tpt_.MemoryBytes();
   predictor->summary_.tpt_height = predictor->tpt_.Height();
   return predictor;
 }

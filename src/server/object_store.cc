@@ -241,6 +241,10 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
   if (!built.ok()) return built.status().Annotate("train");
   state.predictor =
       std::shared_ptr<const HybridPredictor>(std::move(*built));
+  // Every (re)train publishes a fresh frozen arena; the counter tracks
+  // total bytes built so dashboards see index growth across generations.
+  metrics_->tpt_frozen_bytes->Increment(
+      state.predictor->summary().tpt_frozen_bytes);
   state.consumed_samples =
       action == Action::kInitial
           ? training_input.NumSubTrajectories(period) * period_samples

@@ -37,6 +37,8 @@ StoreMetrics::StoreMetrics(MetricsRegistry* registry) {
   motion_fits = registry->GetCounter("store.motion_fits");
   tpt_nodes_visited = registry->GetCounter("tpt.nodes_visited");
   tpt_entries_tested = registry->GetCounter("tpt.entries_tested");
+  tpt_blocks_scanned = registry->GetCounter("tpt.block_scans");
+  tpt_frozen_bytes = registry->GetCounter("tpt.frozen_bytes");
   stage_admit = registry->GetHistogram("stage.admit_us");
   stage_plan = registry->GetHistogram("stage.plan_us");
   stage_fanout = registry->GetHistogram("stage.fanout_us");
@@ -235,6 +237,7 @@ void QueryPipeline::Account() {
     m->motion_fits->Increment(totals.motion_fits);
     m->tpt_nodes_visited->Increment(totals.tpt_nodes_visited);
     m->tpt_entries_tested->Increment(totals.tpt_entries_tested);
+    m->tpt_blocks_scanned->Increment(totals.tpt_blocks_scanned);
     m->stage_admit->RecordMicros(admit_micros_);
     if (planned_) m->stage_plan->RecordMicros(plan_micros_);
     if (fanned_out_) m->stage_fanout->RecordMicros(fanout_micros_);
@@ -250,6 +253,7 @@ void QueryPipeline::Account() {
     trace.AddCounter("motion_fits", totals.motion_fits);
     trace.AddCounter("tpt_nodes_visited", totals.tpt_nodes_visited);
     trace.AddCounter("tpt_entries_tested", totals.tpt_entries_tested);
+    trace.AddCounter("tpt_blocks_scanned", totals.tpt_blocks_scanned);
     trace.EndSpan(root_span_);
     if (env_.trace_sink != nullptr && *env_.trace_sink != nullptr) {
       (*env_.trace_sink)(StoreOpName(op_), trace);

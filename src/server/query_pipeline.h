@@ -77,6 +77,8 @@ struct StoreMetrics {
   Counter* motion_fits;
   Counter* tpt_nodes_visited;
   Counter* tpt_entries_tested;
+  Counter* tpt_blocks_scanned;
+  Counter* tpt_frozen_bytes;
 
   LatencyHistogram* stage_admit;
   LatencyHistogram* stage_plan;

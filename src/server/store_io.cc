@@ -331,6 +331,8 @@ StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
             });
         if (!predictor.ok()) return predictor.status();
         state.predictor = std::move(*predictor);
+        store.metrics_->tpt_frozen_bytes->Increment(
+            state.predictor->summary().tpt_frozen_bytes);
       }
       // The store is unpublished while loading; no lock needed.
       store.ShardFor(entry.id).objects.emplace(entry.id, std::move(state));

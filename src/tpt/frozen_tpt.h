@@ -1,0 +1,181 @@
+// FrozenTpt: the immutable, arena-backed generation layout of the
+// Trajectory Pattern Tree (paper §V), built once from a finished mutable
+// TptTree and searched for the rest of that model generation's life.
+//
+// Why a second representation: every published HybridPredictor is
+// immutable after the atomic snapshot swap, yet the mutable tree it
+// carried was pointer-chasing — one heap node per tree node, two heap
+// word arrays per entry key. The frozen form stores
+//
+//   nodes_        all tree nodes, DFS preorder, 32-bit entry offsets
+//                 instead of child pointers
+//   entry_target_ per entry: child node index (internal) or leaf payload
+//                 index (leaf), 32-bit
+//   key_words_    every entry's signature packed into ONE contiguous
+//                 64-byte-aligned uint64 arena: entry e occupies
+//                 [e*stride, (e+1)*stride) with its consequence words
+//                 first, then its premise words
+//   patterns_     leaf payloads (key, confidence, consequence region,
+//                 pattern id) in leaf-entry order — Search returns
+//                 pointers into this array
+//
+// so a node's entries are one contiguous block run and the
+// Intersect/Contain hot loop is a branch-light word-wise AND+popcount
+// scan (wordops primitives — the same functions the mutable PatternKey
+// predicates call) with prefetch of the upcoming blocks.
+//
+// Search visits nodes, tests entries, and emits hits in exactly the
+// mutable tree's order; prop_tpt_frozen_test proves the results (ids,
+// confidences, order) and the TptSearchStats pruning counters
+// bit-identical on randomized pattern sets in both SearchModes.
+//
+// The arena has a compact wire form (AppendTo/Parse, CRC-footed) so a
+// persisted model reloads by validating bytes instead of replaying the
+// sequential-insert build.
+
+#ifndef HPM_TPT_FROZEN_TPT_H_
+#define HPM_TPT_FROZEN_TPT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tpt/tpt_tree.h"
+
+namespace hpm {
+
+/// A 64-byte-aligned, heap-allocated uint64 array: the signature block
+/// arena. Move-only (the frozen tree itself is move-only).
+class AlignedWordArena {
+ public:
+  AlignedWordArena() = default;
+
+  /// Allocates (zero-filled) room for `num_words` words.
+  explicit AlignedWordArena(size_t num_words);
+
+  AlignedWordArena(AlignedWordArena&&) noexcept = default;
+  AlignedWordArena& operator=(AlignedWordArena&&) noexcept = default;
+  AlignedWordArena(const AlignedWordArena&) = delete;
+  AlignedWordArena& operator=(const AlignedWordArena&) = delete;
+
+  uint64_t* data() { return words_.get(); }
+  const uint64_t* data() const { return words_.get(); }
+  size_t size() const { return size_; }
+
+  /// Bytes actually allocated (size rounded up to the 64-byte line).
+  size_t AllocatedBytes() const;
+
+ private:
+  struct FreeDeleter {
+    void operator()(uint64_t* p) const;
+  };
+  std::unique_ptr<uint64_t[], FreeDeleter> words_;
+  size_t size_ = 0;
+};
+
+/// The frozen, scannable TPT generation. Default-constructed = empty
+/// (matches an untrained / zero-pattern tree: every search returns
+/// nothing and touches no node).
+class FrozenTpt {
+ public:
+  FrozenTpt() = default;
+
+  FrozenTpt(FrozenTpt&&) noexcept = default;
+  FrozenTpt& operator=(FrozenTpt&&) noexcept = default;
+  FrozenTpt(const FrozenTpt&) = delete;
+  FrozenTpt& operator=(const FrozenTpt&) = delete;
+
+  /// Emits the arena layout of a finished builder tree. The tree is only
+  /// read; the frozen copy shares nothing with it.
+  static FrozenTpt Freeze(const TptTree& tree);
+
+  /// All leaf entries matching `query` under `mode`, in the mutable
+  /// tree's traversal order. Pointers remain valid for the lifetime of
+  /// this FrozenTpt.
+  std::vector<const IndexedPattern*> Search(
+      const PatternKey& query, SearchMode mode,
+      TptSearchStats* stats = nullptr) const;
+
+  /// Search writing into a caller-owned vector (cleared first); `stats`,
+  /// when given, accumulates — the same contract as TptTree::SearchInto.
+  void SearchInto(const PatternKey& query, SearchMode mode,
+                  std::vector<const IndexedPattern*>* out,
+                  TptSearchStats* stats = nullptr) const;
+
+  /// Number of indexed patterns.
+  size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  /// Tree height (leaf = 1, empty = 0), carried over from the builder.
+  int Height() const { return height_; }
+
+  size_t premise_bits() const { return premise_bits_; }
+  size_t consequence_bits() const { return consequence_bits_; }
+
+  /// Leaf payloads in leaf-entry (DFS) order.
+  const std::vector<IndexedPattern>& patterns() const { return patterns_; }
+
+  /// Bytes held by the arena, topology arrays and payloads — the
+  /// `tpt.frozen_bytes` metric, comparable against the builder tree's
+  /// MemoryBytes().
+  size_t MemoryBytes() const;
+
+  /// Structural self-check for tests: runs the same topology validation
+  /// Parse applies to untrusted bytes (entry-run contiguity, payload
+  /// sequencing, forward-only child references, uniform leaf depth,
+  /// zero tail bits).
+  Status CheckInvariants() const;
+
+  /// ---- Wire form ------------------------------------------------------
+  /// Appends the self-delimiting serialized arena to `out`: a "FTPT"
+  /// header, the topology and payload arrays, the packed key words, and
+  /// a trailing CRC32 over the whole section.
+  void AppendTo(std::string* out) const;
+
+  /// Parses a section written by AppendTo starting at `data`. On success
+  /// `*consumed` is the section's byte length. Structural damage —
+  /// truncation, corrupt counts, dangling child/payload indices, dirty
+  /// tail bits, a CRC mismatch — returns DataLoss without crashing, so
+  /// callers can quarantine the source file and rebuild from patterns.
+  static StatusOr<FrozenTpt> Parse(const char* data, size_t size,
+                                   size_t* consumed);
+
+ private:
+  struct NodeRef {
+    /// First entry in the shared entry arrays; this node's entries are
+    /// [first_entry, first_entry + num_entries).
+    uint32_t first_entry = 0;
+    uint32_t num_entries = 0;
+    uint32_t is_leaf = 0;
+  };
+
+  /// Words per packed key block (consequence words + premise words).
+  size_t Stride() const { return consequence_words_ + premise_words_; }
+
+  /// Validates a parsed topology (see Parse); factored out so tests can
+  /// hit each rejection path.
+  static Status ValidateTopology(const std::vector<NodeRef>& nodes,
+                                 const std::vector<uint32_t>& targets,
+                                 size_t num_patterns, int* height);
+
+  void SearchNode(uint32_t node_index, const uint64_t* query_consequence,
+                  const uint64_t* query_premise, SearchMode mode,
+                  std::vector<const IndexedPattern*>* out,
+                  TptSearchStats* stats) const;
+
+  std::vector<NodeRef> nodes_;
+  std::vector<uint32_t> entry_target_;
+  AlignedWordArena key_words_;
+  std::vector<IndexedPattern> patterns_;
+  size_t premise_bits_ = 0;
+  size_t consequence_bits_ = 0;
+  uint32_t premise_words_ = 0;
+  uint32_t consequence_words_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_TPT_FROZEN_TPT_H_

@@ -1,5 +1,8 @@
 #include "tpt/pattern_key.h"
 
+#include "bitset/word_ops.h"
+#include "common/status.h"
+
 namespace hpm {
 
 PatternKey::PatternKey(size_t premise_length, size_t consequence_length)
@@ -17,9 +20,18 @@ void PatternKey::UnionWith(const PatternKey& other) {
   consequence_ |= other.consequence_;
 }
 
+// The three key-match predicates all reduce to the wordops primitives —
+// the same functions the FrozenTpt arena scan calls on its packed
+// blocks — so the mutable and frozen matching semantics are one
+// implementation, not three near-copies.
+
 bool PatternKey::ContainsKey(const PatternKey& other) const {
-  return premise_.Contains(other.premise_) &&
-         consequence_.Contains(other.consequence_);
+  HPM_CHECK(premise_.size() == other.premise_.size() &&
+            consequence_.size() == other.consequence_.size());
+  return wordops::Contains(premise_.words(), other.premise_.words(),
+                           premise_.num_words()) &&
+         wordops::Contains(consequence_.words(), other.consequence_.words(),
+                           consequence_.num_words());
 }
 
 size_t PatternKey::DifferenceFrom(const PatternKey& other) const {
@@ -28,12 +40,20 @@ size_t PatternKey::DifferenceFrom(const PatternKey& other) const {
 }
 
 bool PatternKey::Intersects(const PatternKey& other) const {
-  return consequence_.AnyCommon(other.consequence_) &&
-         premise_.AnyCommon(other.premise_);
+  HPM_CHECK(premise_.size() == other.premise_.size() &&
+            consequence_.size() == other.consequence_.size());
+  return wordops::AnyCommon(consequence_.words(),
+                            other.consequence_.words(),
+                            consequence_.num_words()) &&
+         wordops::AnyCommon(premise_.words(), other.premise_.words(),
+                            premise_.num_words());
 }
 
 bool PatternKey::IntersectsConsequence(const PatternKey& other) const {
-  return consequence_.AnyCommon(other.consequence_);
+  HPM_CHECK(consequence_.size() == other.consequence_.size());
+  return wordops::AnyCommon(consequence_.words(),
+                            other.consequence_.words(),
+                            consequence_.num_words());
 }
 
 bool PatternKey::operator==(const PatternKey& other) const {

@@ -1,0 +1,45 @@
+// The mutable TptTree's node layout. Internal to the tpt/ subsystem:
+// tpt_tree.cc mutates nodes, frozen_tpt.cc walks them once to emit the
+// arena representation. Clients of either tree never see this type.
+
+#ifndef HPM_TPT_TPT_NODE_H_
+#define HPM_TPT_TPT_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "tpt/tpt_tree.h"
+
+namespace hpm {
+
+struct TptTree::Node {
+  bool is_leaf = true;
+
+  /// Leaf payload (key lives inside each IndexedPattern).
+  std::vector<IndexedPattern> patterns;
+
+  /// Internal payload: union keys parallel to children.
+  std::vector<PatternKey> keys;
+  std::vector<std::unique_ptr<Node>> children;
+
+  int NumEntries() const {
+    return is_leaf ? static_cast<int>(patterns.size())
+                   : static_cast<int>(children.size());
+  }
+
+  const PatternKey& EntryKey(int i) const {
+    return is_leaf ? patterns[static_cast<size_t>(i)].key
+                   : keys[static_cast<size_t>(i)];
+  }
+
+  /// Union of all entry keys; the node must be non-empty.
+  PatternKey UnionKey() const {
+    PatternKey u = EntryKey(0);
+    for (int i = 1; i < NumEntries(); ++i) u.UnionWith(EntryKey(i));
+    return u;
+  }
+};
+
+}  // namespace hpm
+
+#endif  // HPM_TPT_TPT_NODE_H_

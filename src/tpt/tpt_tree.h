@@ -46,13 +46,24 @@ enum class SearchMode {
   kConsequenceOnly,
 };
 
-/// Instrumentation collected by a single Search call.
+/// Instrumentation collected by a single Search call. The frozen and
+/// mutable trees prune identically, so `nodes_visited`/`entries_tested`
+/// are layout-independent; `blocks_scanned` counts packed signature
+/// blocks fetched from the FrozenTpt key arena and stays 0 on the
+/// pointer tree (it is the frozen layout's cost metric).
 struct TptSearchStats {
   size_t nodes_visited = 0;
   size_t entries_tested = 0;
+  size_t blocks_scanned = 0;
 };
 
-/// The Trajectory Pattern Tree.
+/// The Trajectory Pattern Tree — the *mutable builder* form.
+///
+/// Serving-path searches run against the FrozenTpt arena emitted from a
+/// finished tree (frozen_tpt.h); this class owns the dynamic insertion /
+/// split / removal machinery, and its Search members remain as the
+/// reference implementation the frozen layout is differentially tested
+/// against (tests/proptest/prop_tpt_frozen_test.cc).
 class TptTree {
  public:
   /// Tree node; defined in the .cc file (opaque to clients).
@@ -141,6 +152,9 @@ class TptTree {
   void SearchNode(const Node* node, const PatternKey& query, SearchMode mode,
                   std::vector<const IndexedPattern*>* out,
                   TptSearchStats* stats) const;
+
+  /// The freezer walks nodes directly to emit the arena layout.
+  friend class FrozenTpt;
 
   Options options_;
   std::unique_ptr<Node> root_;

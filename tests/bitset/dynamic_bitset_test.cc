@@ -171,6 +171,61 @@ TEST(DynamicBitsetTest, MemoryBytesTracksWords) {
   EXPECT_EQ(DynamicBitset(65).MemoryBytes(), 16u);
 }
 
+TEST(DynamicBitsetTest, WordViewExposesPackedBits) {
+  DynamicBitset b(70);  // Two words; positions 70..127 are tail.
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  ASSERT_EQ(b.num_words(), 2u);
+  EXPECT_EQ(b.words()[0], (uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(b.words()[1], (uint64_t{1} << 5) | 1u);
+}
+
+TEST(DynamicBitsetTest, WordViewTailStaysZeroThroughMutation) {
+  // The zero-tail invariant is what lets FrozenTpt and the wordops
+  // predicates scan whole words without masking: it must survive every
+  // mutation path, including shrink (which orphans previously-set bits).
+  DynamicBitset b(100);
+  for (size_t i = 0; i < 100; ++i) b.Set(i);
+  b.Resize(70);
+  ASSERT_EQ(b.num_words(), 2u);
+  EXPECT_EQ(b.words()[1] >> 6, 0u) << "bits beyond size() must be zero";
+  DynamicBitset all(70);
+  for (size_t i = 0; i < 70; ++i) all.Set(i);
+  b ^= all;
+  EXPECT_EQ(b.words()[0], 0u);
+  EXPECT_EQ(b.words()[1], 0u);
+}
+
+TEST(DynamicBitsetTest, FromWordsRoundTripsWordView) {
+  const uint64_t seed = proptest::SeedForTest(12);
+  SCOPED_TRACE(proptest::ReplayLine(seed));
+  Random rng(seed);
+  for (const size_t n : {1u, 63u, 64u, 65u, 130u, 300u}) {
+    DynamicBitset b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.4)) b.Set(i);
+    }
+    const DynamicBitset rebuilt =
+        DynamicBitset::FromWords(b.words(), b.num_words(), b.size());
+    EXPECT_EQ(rebuilt, b) << "size " << n;
+  }
+}
+
+TEST(DynamicBitsetDeathTest, FromWordsRejectsDirtyTail) {
+  // FromWords trusts its caller to have validated the tail (the FrozenTpt
+  // parser does); handing it a word with bits past `bits` is a
+  // programming error, not a recoverable condition.
+  const uint64_t dirty = uint64_t{1} << 10;
+  EXPECT_DEATH((void)DynamicBitset::FromWords(&dirty, 1, 10), "HPM_CHECK");
+}
+
+TEST(DynamicBitsetDeathTest, FromWordsRejectsWordCountMismatch) {
+  const uint64_t words[2] = {1, 0};
+  EXPECT_DEATH((void)DynamicBitset::FromWords(words, 2, 64), "HPM_CHECK");
+}
+
 TEST(DynamicBitsetDeathTest, OutOfRangeAborts) {
   DynamicBitset b(8);
   EXPECT_DEATH(b.Set(8), "HPM_CHECK");

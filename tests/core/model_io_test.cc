@@ -16,6 +16,7 @@
 #include "common/crc32.h"
 #include "common/random.h"
 #include "core/hybrid_predictor.h"
+#include "tpt/frozen_tpt.h"
 
 namespace hpm {
 namespace {
@@ -200,9 +201,12 @@ TEST(ModelIoTest, SaveToUnwritablePathFails) {
 // say, a multi-gigabyte allocation on a corrupt count). Offsets of the
 // tail fields are computed from the trained model's own structure:
 //   ... | u64 num_regions | regions | u64 num_patterns | patterns
-//       | u64 num_subs | footer ("HPMC" + crc32, 8 bytes, at the end)
+//       | u64 num_subs | u64 builder_bytes | "FTPT" frozen arena section
+//       | footer ("HPMC" + crc32, 8 bytes, at the end)
 // where each pattern is u64 premise_size + 8*premise + 24 bytes and
 // each region is 48 bytes + its MBR (1 byte empty flag, +32 if set).
+// The frozen section's offset is found by scanning for its magic and
+// verifying with FrozenTpt::Parse, which anchors every field before it.
 // Each surgical edit re-stamps the footer CRC so the corruption reaches
 // the semantic validator it targets instead of tripping the checksum.
 
@@ -262,7 +266,24 @@ class ModelCorruptionTest : public ::testing::Test {
     for (const FrequentRegion& r : model_->regions().regions()) {
       regions_bytes += 48 + (r.mbr.IsEmpty() ? 1 : 33);
     }
-    num_subs_offset_ = bytes_.size() - kFooterSize - 8;
+    // Locate the frozen-TPT section: the only "FTPT" run that parses
+    // cleanly and ends exactly at the footer is the real one.
+    const size_t body = bytes_.size() - kFooterSize;
+    ftpt_offset_ = bytes_.size();
+    for (size_t off = 0; off + 4 <= body; ++off) {
+      if (std::memcmp(bytes_.data() + off, "FTPT", 4) != 0) continue;
+      size_t consumed = 0;
+      const auto parsed = FrozenTpt::Parse(
+          reinterpret_cast<const char*>(bytes_.data()) + off, body - off,
+          &consumed);
+      if (parsed.ok() && off + consumed == body) {
+        ftpt_offset_ = off;
+        break;
+      }
+    }
+    ASSERT_LT(ftpt_offset_, bytes_.size()) << "frozen TPT section not found";
+
+    num_subs_offset_ = ftpt_offset_ - 16;  // num_subs, then builder_bytes.
     first_premise_size_offset_ = num_subs_offset_ - patterns_bytes;
     num_patterns_offset_ = first_premise_size_offset_ - 8;
     num_regions_offset_ = num_patterns_offset_ - regions_bytes - 8;
@@ -280,6 +301,7 @@ class ModelCorruptionTest : public ::testing::Test {
   std::unique_ptr<HybridPredictor> model_;
   std::string path_;
   std::vector<unsigned char> bytes_;
+  size_t ftpt_offset_ = 0;
   size_t num_subs_offset_ = 0;
   size_t first_premise_size_offset_ = 0;
   size_t num_patterns_offset_ = 0;
@@ -296,6 +318,8 @@ TEST_F(ModelCorruptionTest, SanityCheckOffsetsByRoundTrip) {
   ASSERT_EQ(current, model_->regions().NumRegions());
   std::memcpy(&current, bytes_.data() + first_premise_size_offset_, 8);
   ASSERT_EQ(current, model_->patterns().front().premise.size());
+  std::memcpy(&current, bytes_.data() + num_subs_offset_, 8);
+  ASSERT_EQ(current, model_->summary().num_sub_trajectories);
   EXPECT_TRUE(LoadCorrupted("model_untouched.hpm").ok());
 }
 
@@ -345,11 +369,12 @@ TEST_F(ModelCorruptionTest, RejectsOversizedPremiseKey) {
 }
 
 TEST_F(ModelCorruptionTest, RejectsTruncatedTail) {
-  // Clip half of num_subs (the last body field). LoadCorrupted re-stamps
-  // the footer, so the reader itself must catch the short body.
+  // Clip the last four body bytes (the frozen section's own checksum).
+  // LoadCorrupted re-stamps the footer, so the section reader itself
+  // must catch the short body.
   bytes_.erase(bytes_.end() - kFooterSize - 4, bytes_.end() - kFooterSize);
   const Status status = LoadCorrupted("model_clipped_tail.hpm");
-  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
   EXPECT_NE(status.message().find("truncated"), std::string::npos);
 }
 
@@ -373,6 +398,98 @@ TEST_F(ModelCorruptionTest, BitRotWithoutRestampIsChecksumMismatch) {
   const Status status = HybridPredictor::LoadFromFile(path).status();
   EXPECT_EQ(status.code(), StatusCode::kDataLoss);
   EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos);
+}
+
+// --- Frozen-TPT section corruption -----------------------------------
+//
+// The v2 format stores the frozen search arena verbatim; its parser must
+// reject every corruption with a clean DataLoss (which the store layer
+// turns into quarantine + fallback), never crash or over-allocate.
+// Section layout: "FTPT" | version u32 | premise_bits u32 |
+// consequence_bits u32 | num_nodes u32 | num_entries u32 |
+// num_patterns u32 | nodes | targets | key words | payloads | crc32.
+
+class FrozenSectionCorruptionTest : public ModelCorruptionTest {
+ protected:
+  /// Recomputes the section's own trailing CRC so a corruption deeper in
+  /// the parse pipeline (topology, payload cross-check) is what rejects
+  /// the file, not the checksum.
+  void RestampSectionCrc() {
+    const size_t section_end = bytes_.size() - kFooterSize;
+    const uint32_t crc = Crc32(bytes_.data() + ftpt_offset_,
+                               section_end - 4 - ftpt_offset_);
+    std::memcpy(bytes_.data() + section_end - 4, &crc, sizeof(crc));
+  }
+
+  uint32_t ReadSectionU32(size_t rel) const {
+    uint32_t v = 0;
+    std::memcpy(&v, bytes_.data() + ftpt_offset_ + rel, sizeof(v));
+    return v;
+  }
+
+  void WriteSectionU32(size_t rel, uint32_t v) {
+    std::memcpy(bytes_.data() + ftpt_offset_ + rel, &v, sizeof(v));
+  }
+};
+
+TEST_F(FrozenSectionCorruptionTest, CorruptNodeCountIsRejectedBeforeAlloc) {
+  // A node count in the billions must bounce off the up-front body-size
+  // check (DataLoss), not drive a multi-gigabyte allocation.
+  WriteSectionU32(16, 1u << 30);
+  const Status status = LoadCorrupted("model_bad_node_count.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("truncated frozen TPT section body"),
+            std::string::npos);
+}
+
+TEST_F(FrozenSectionCorruptionTest, TruncatedArenaIsDataLoss) {
+  // Drop 64 bytes out of the middle of the arena: the declared counts no
+  // longer fit in what remains.
+  ASSERT_GT(bytes_.size(), ftpt_offset_ + 28 + 64 + kFooterSize);
+  bytes_.erase(bytes_.begin() + static_cast<long>(ftpt_offset_) + 28,
+               bytes_.begin() + static_cast<long>(ftpt_offset_) + 28 + 64);
+  const Status status = LoadCorrupted("model_short_arena.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("truncated frozen TPT section body"),
+            std::string::npos);
+}
+
+TEST_F(FrozenSectionCorruptionTest, ArenaBitRotFailsSectionChecksum) {
+  // Outer footer re-stamped but the section CRC left stale: the inner
+  // checksum is the layer that catches the rot.
+  bytes_[ftpt_offset_ + 28] ^= 0x5a;
+  const Status status = LoadCorrupted("model_arena_bitrot.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("frozen TPT section checksum mismatch"),
+            std::string::npos);
+}
+
+TEST_F(FrozenSectionCorruptionTest, StructuralRotIsCaughtByTopologyCheck) {
+  // Zero the root's entry count and re-stamp both checksums: only the
+  // topology validator is left to refuse the section.
+  ASSERT_GT(ReadSectionU32(28 + 4), 0u);
+  WriteSectionU32(28 + 4, 0);
+  RestampSectionCrc();
+  const Status status = LoadCorrupted("model_zero_entry_node.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("frozen TPT node has zero entries"),
+            std::string::npos);
+}
+
+TEST_F(FrozenSectionCorruptionTest, PayloadDriftIsCaughtByCrossCheck) {
+  // Perturb one stored confidence and re-stamp both checksums: the
+  // loader's cross-check against the re-encoded pattern set must notice
+  // the arena no longer matches the model it claims to index.
+  const uint32_t num_patterns = ReadSectionU32(24);
+  ASSERT_GT(num_patterns, 0u);
+  const size_t payloads_end = bytes_.size() - kFooterSize - 4;
+  const size_t confidence_offset = payloads_end - 16;  // Last payload.
+  bytes_[confidence_offset + 6] ^= 0x04;  // Mantissa bit flip.
+  RestampSectionCrc();
+  const Status status = LoadCorrupted("model_payload_drift.hpm");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("frozen TPT disagrees with pattern set"),
+            std::string::npos);
 }
 
 TEST(IncorporateTest, NewDataOnKnownRouteAddsNothingNew) {

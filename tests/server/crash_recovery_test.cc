@@ -7,15 +7,18 @@
 // skips itself in plain builds.
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/fault_injection.h"
 #include "common/random.h"
 #include "server/object_store.h"
+#include "tpt/frozen_tpt.h"
 
 namespace hpm {
 namespace {
@@ -91,6 +94,36 @@ void CorruptFile(const std::string& path) {
   std::fclose(f);
 }
 
+/// Flips a byte inside the model's frozen-TPT arena and re-stamps the
+/// outer file CRC, so the section's own checksum and validators are the
+/// only remaining guard — the path a partial overwrite of just the arena
+/// region would take.
+void CorruptFrozenSection(const std::string& path) {
+  std::string content = ReadSmallFile(path);
+  ASSERT_GT(content.size(), 64u);
+  const size_t body = content.size() - 8;  // "HPMC" + crc32 footer.
+  size_t ftpt = std::string::npos;
+  for (size_t off = content.find("FTPT"); off != std::string::npos;
+       off = content.find("FTPT", off + 1)) {
+    size_t consumed = 0;
+    if (FrozenTpt::Parse(content.data() + off, body - off, &consumed).ok() &&
+        off + consumed == body) {
+      ftpt = off;
+      break;
+    }
+  }
+  ASSERT_NE(ftpt, std::string::npos) << "frozen TPT section not found";
+  content[ftpt + 8] ^= 0x5a;  // Inside the section header.
+  const uint32_t crc = Crc32(content.data(), body);
+  std::memcpy(content.data() + body, "HPMC", 4);
+  std::memcpy(content.data() + body + 4, &crc, sizeof(crc));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), f),
+            content.size());
+  std::fclose(f);
+}
+
 /// Both stores must serve identical state: same fleet, same histories,
 /// same answers.
 void ExpectSameServing(const MovingObjectStore& a,
@@ -159,6 +192,29 @@ TEST_F(CrashRecoveryTest, CorruptModelFallsBackToPreviousGeneration) {
   ASSERT_TRUE(store.SaveToDirectory(dir).ok());
   const std::string gen = CurrentGeneration(dir);
   CorruptFile(dir + "/0-" + gen + ".model");
+
+  auto restored = MovingObjectStore::LoadFromDirectory(dir, Options());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->HistoryLength(0), len_at_gen1);
+  ASSERT_TRUE(restored->GetPredictor(0).ok());
+  EXPECT_TRUE(
+      std::filesystem::exists(dir + "/quarantine/0-" + gen + ".model"));
+}
+
+TEST_F(CrashRecoveryTest, CorruptFrozenArenaFallsBackToPreviousGeneration) {
+  // Only the frozen search arena is rotted and the outer file CRC is
+  // made to lie: the section-level checksum must still turn the load
+  // into quarantine + fallback, never a crash or a silently wrong tree.
+  const std::string dir = FreshDir("crash_frozen_arena_fallback");
+  MovingObjectStore store = TrainedStore(47);
+  ASSERT_TRUE(store.SaveToDirectory(dir).ok());
+  const size_t len_at_gen1 = store.HistoryLength(0);
+
+  Random rng(48);
+  ASSERT_TRUE(store.ReportTrajectory(0, OnePeriod(0, &rng)).ok());
+  ASSERT_TRUE(store.SaveToDirectory(dir).ok());
+  const std::string gen = CurrentGeneration(dir);
+  CorruptFrozenSection(dir + "/0-" + gen + ".model");
 
   auto restored = MovingObjectStore::LoadFromDirectory(dir, Options());
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();

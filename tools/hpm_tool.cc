@@ -237,6 +237,8 @@ int RunInfo(Args args) {
   std::printf("  TPT height:          %d\n", summary.tpt_height);
   std::printf("  TPT memory:          %.2f MB\n",
               static_cast<double>(summary.tpt_memory_bytes) / 1048576.0);
+  std::printf("  TPT frozen arena:    %.2f MB\n",
+              static_cast<double>(summary.tpt_frozen_bytes) / 1048576.0);
   std::printf("  distant threshold d: %ld\n",
               static_cast<long>(options.distant_threshold));
   std::printf("  Eps / MinPts:        %.1f / %d\n",
