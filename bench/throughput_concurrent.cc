@@ -11,8 +11,11 @@
 // orders same-object reports by arrival, so sharing objects would
 // measure scheduler noise, not the store). Queries are read-only and
 // round-robin over the whole fleet. Scaling beyond the machine's core
-// count measures lock overhead, not parallelism — on a single-core
-// host every series is flat by construction.
+// count measures time-slicing, not parallelism — on a single-core host
+// every series is flat by construction — so every series row whose
+// thread count exceeds hardware_threads is stamped
+// "oversubscribed": true (and warned about on stderr) to keep that
+// provenance in the JSON itself.
 //
 // --overload additionally exercises the overload-control ladder
 // (docs/ROBUSTNESS.md): an uncontended baseline of range queries is
@@ -124,6 +127,10 @@ double MeasureOps(int threads, int ops_per_thread, uint64_t seed, Op op) {
 
 struct ThreadPoint {
   int threads = 0;
+  /// True when this row ran more client threads than the machine has
+  /// hardware threads: the numbers then measure time-slicing overhead,
+  /// not scaling, and must not be read as a parallelism claim.
+  bool oversubscribed = false;
   double ingest_ops = 0;
   double query_ops = 0;
   double mixed_ops = 0;
@@ -139,6 +146,18 @@ Point Jitter(Random& rng, Point p) {
 ThreadPoint RunAtThreadCount(int threads, uint64_t seed) {
   ThreadPoint point;
   point.threads = threads;
+  // hardware_concurrency() may return 0 ("unknown"); only a positive
+  // answer can prove oversubscription.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  point.oversubscribed =
+      hardware != 0 && static_cast<unsigned>(threads) > hardware;
+  if (point.oversubscribed) {
+    std::fprintf(stderr,
+                 "warning: %d client threads on %u hardware threads — "
+                 "this row measures time-slicing, not scaling "
+                 "(stamped \"oversubscribed\": true)\n",
+                 threads, hardware);
+  }
 
   // Ingest: each thread reports into its own slice of the fleet, with
   // per-report jitter so the store sees realistic noisy samples.
@@ -408,12 +427,14 @@ std::string ToJson(const std::vector<ThreadPoint>& points, uint64_t seed,
   json += "  \"series\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
-                  "    {\"threads\": %d, \"ingest_ops_per_sec\": %.0f, "
+                  "    {\"threads\": %d, \"oversubscribed\": %s, "
+                  "\"ingest_ops_per_sec\": %.0f, "
                   "\"query_ops_per_sec\": %.0f, "
                   "\"mixed_ops_per_sec\": %.0f}%s\n",
-                  points[i].threads, points[i].ingest_ops,
-                  points[i].query_ops, points[i].mixed_ops,
-                  i + 1 < points.size() ? "," : "");
+                  points[i].threads,
+                  points[i].oversubscribed ? "true" : "false",
+                  points[i].ingest_ops, points[i].query_ops,
+                  points[i].mixed_ops, i + 1 < points.size() ? "," : "");
     json += buf;
   }
   json += "  ]\n}\n";

@@ -33,6 +33,12 @@ run_matrix() {
   # frozen arena + its wire parser): the suites most sensitive to memory
   # bugs must provably run under every sanitizer in the matrix.
   ctest --test-dir "$build_dir" -L tpt "${CTEST_ARGS[@]}" -j "$JOBS"
+  # And for the lock-free serving layer (epoch reclamation, the no-lock
+  # store read path, the batched executor): its races and lifetime bugs
+  # only exist under concurrency, so the label must provably run in
+  # every build of the matrix — most importantly TSan and ASan.
+  ctest --test-dir "$build_dir" -L concurrency "${CTEST_ARGS[@]}" \
+        -j "$JOBS"
 }
 
 # Static analysis (config in .clang-tidy). Soft-skipped when clang-tidy
@@ -52,6 +58,15 @@ run_matrix build
 echo "== AddressSanitizer: tier1 + prop =="
 run_matrix build-asan -DHPM_SANITIZE=address
 
+# Aggressive-free pass over the epoch-reclamation suites: a huge
+# quarantine keeps every retired-and-freed view/table poisoned for the
+# rest of the run, so an epoch bug that frees a snapshot while a pinned
+# reader is still traversing it reports as heap-use-after-free instead
+# of silently landing in recycled memory.
+echo "== AddressSanitizer, aggressive free: concurrency =="
+ASAN_OPTIONS="quarantine_size_mb=256:detect_stack_use_after_return=1" \
+  ctest --test-dir build-asan -L concurrency "${CTEST_ARGS[@]}" -j "$JOBS"
+
 echo "== ThreadSanitizer: tier1 + prop =="
 run_matrix build-tsan -DHPM_SANITIZE=thread
 
@@ -64,22 +79,26 @@ cmake -B build-ubsan -S . -DHPM_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan -L tier1 "${CTEST_ARGS[@]}" -j "$JOBS"
 ctest --test-dir build-ubsan -L tpt "${CTEST_ARGS[@]}" -j "$JOBS"
+ctest --test-dir build-ubsan -L concurrency "${CTEST_ARGS[@]}" -j "$JOBS"
 
 echo "== AddressSanitizer + fault hooks: tier1 + fault =="
 cmake -B build-fault -S . -DHPM_SANITIZE=address -DHPM_ENABLE_FAULTS=ON >/dev/null
 cmake --build build-fault -j "$JOBS"
 ctest --test-dir build-fault -L tier1 "${CTEST_ARGS[@]}" -j "$JOBS"
 ctest --test-dir build-fault -L fault "${CTEST_ARGS[@]}" -j "$JOBS"
+ctest --test-dir build-fault -L concurrency "${CTEST_ARGS[@]}" -j "$JOBS"
 ./build-fault/tools/hpm_tool faultcheck --seed 1
 
 # The overload-control layer (admission, load shedding, breakers) is
 # where shutdown/submit and breaker/fan-out races would live; run its
-# suites, plus everything fault-labelled, under TSan with the hooks on.
-echo "== ThreadSanitizer + fault hooks: overload + fault =="
+# suites, plus everything fault- or concurrency-labelled, under TSan
+# with the hooks on (armed fault schedules change which code paths the
+# epoch readers and the batch executor race through).
+echo "== ThreadSanitizer + fault hooks: overload + fault + concurrency =="
 cmake -B build-tsan-fault -S . -DHPM_SANITIZE=thread \
       -DHPM_ENABLE_FAULTS=ON >/dev/null
 cmake --build build-tsan-fault -j "$JOBS"
-ctest --test-dir build-tsan-fault -L 'overload|fault' "${CTEST_ARGS[@]}" \
-      -j "$JOBS"
+ctest --test-dir build-tsan-fault -L 'overload|fault|concurrency' \
+      "${CTEST_ARGS[@]}" -j "$JOBS"
 
 echo "check.sh: all green"

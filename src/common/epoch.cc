@@ -1,0 +1,160 @@
+#include "common/epoch.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/status.h"
+
+namespace hpm {
+
+EpochManager::EpochManager(EpochOptions options)
+    : options_(options),
+      slots_(std::make_unique<Slot[]>(
+          std::max<size_t>(options.max_readers, 1))) {
+  options_.max_readers = std::max<size_t>(options.max_readers, 1);
+}
+
+EpochManager::~EpochManager() {
+  HPM_CHECK(pinned_readers_.load(std::memory_order_acquire) == 0);
+  // No readers can exist any more; everything in limbo is free-able.
+  for (const LimboEntry& entry : limbo_) {
+    entry.deleter(entry.object);
+    freed_total_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.freed_counter != nullptr) options_.freed_counter->Increment();
+  }
+  limbo_.clear();
+}
+
+uint64_t EpochManager::Guard::epoch() const {
+  if (manager_ == nullptr) return 0;
+  return manager_->slots_[slot_].epoch.load(std::memory_order_acquire);
+}
+
+void EpochManager::Guard::Release() {
+  if (manager_ == nullptr) return;
+  manager_->slots_[slot_].epoch.store(0, std::memory_order_release);
+  manager_->pinned_readers_.fetch_sub(1, std::memory_order_release);
+  manager_ = nullptr;
+}
+
+EpochManager::Guard EpochManager::Pin() {
+  // Claim a free slot, starting from a per-thread hint so a thread that
+  // pins repeatedly keeps touching the same line. The hint is shared
+  // across managers — it is only a hint.
+  static thread_local uint32_t slot_hint = 0;
+  const uint32_t n = static_cast<uint32_t>(options_.max_readers);
+  uint32_t slot = slot_hint % n;
+  for (uint32_t attempts = 0;; ++attempts, slot = (slot + 1) % n) {
+    uint64_t expected = 0;
+    // Claim with the *current* epoch; the publish loop below re-stores
+    // if the epoch moved, so the initial value only has to be nonzero.
+    if (slots_[slot].epoch.compare_exchange_strong(
+            expected, global_epoch_.load(std::memory_order_seq_cst),
+            std::memory_order_seq_cst)) {
+      break;
+    }
+    if (attempts >= n) {
+      // Every slot pinned: wait for a reader to leave. Readers unpin in
+      // microseconds, so this is a last-resort fairness valve, not a
+      // steady state.
+      std::this_thread::yield();
+    }
+  }
+  slot_hint = slot;
+
+  // Re-check loop (see header): after our slot store, the global epoch
+  // must be unchanged — otherwise a reclaimer may have scanned the slots
+  // before our store landed and freed entries from the epoch we pinned;
+  // re-pinning at the newer epoch restores the invariant.
+  uint64_t e = slots_[slot].epoch.load(std::memory_order_seq_cst);
+  for (;;) {
+    const uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+    if (g == e) break;
+    e = g;
+    slots_[slot].epoch.store(e, std::memory_order_seq_cst);
+  }
+
+  // Grow the scan watermark to cover this slot.
+  uint32_t watermark = slot_watermark_.load(std::memory_order_relaxed);
+  while (watermark < slot + 1 &&
+         !slot_watermark_.compare_exchange_weak(
+             watermark, slot + 1, std::memory_order_release,
+             std::memory_order_relaxed)) {
+  }
+
+  pinned_readers_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.pinned_counter != nullptr) options_.pinned_counter->Increment();
+  return Guard(this, slot);
+}
+
+void EpochManager::Retire(void* object, void (*deleter)(void*)) {
+  {
+    std::lock_guard<std::mutex> lock(limbo_mutex_);
+    limbo_.push_back(
+        {global_epoch_.load(std::memory_order_seq_cst), object, deleter});
+  }
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.retired_counter != nullptr) {
+    options_.retired_counter->Increment();
+  }
+  if (options_.auto_reclaim) {
+    Advance();
+    TryReclaim();
+  }
+}
+
+uint64_t EpochManager::Advance() {
+  return global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+uint64_t EpochManager::ReclaimBound() const {
+  uint64_t bound = global_epoch_.load(std::memory_order_seq_cst);
+  const uint32_t watermark =
+      slot_watermark_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < watermark; ++i) {
+    const uint64_t pinned = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < bound) bound = pinned;
+  }
+  return bound;
+}
+
+size_t EpochManager::TryReclaim() {
+  std::vector<LimboEntry> ready;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mutex_);
+    if (limbo_.empty()) return 0;
+    // The bound is computed under the limbo lock so two concurrent
+    // reclaimers cannot both extract the same entry; the deleters then
+    // run outside it (they may drop the last ref to a whole model).
+    const uint64_t bound = ReclaimBound();
+    auto keep = limbo_.begin();
+    for (auto it = limbo_.begin(); it != limbo_.end(); ++it) {
+      if (it->epoch < bound) {
+        ready.push_back(*it);
+      } else {
+        *keep++ = *it;
+      }
+    }
+    limbo_.erase(keep, limbo_.end());
+  }
+  for (const LimboEntry& entry : ready) {
+    entry.deleter(entry.object);
+  }
+  freed_total_.fetch_add(ready.size(), std::memory_order_relaxed);
+  if (options_.freed_counter != nullptr && !ready.empty()) {
+    options_.freed_counter->Increment(ready.size());
+  }
+  return ready.size();
+}
+
+EpochStats EpochManager::stats() const {
+  EpochStats stats;
+  stats.epoch = global_epoch_.load(std::memory_order_acquire);
+  stats.pinned_readers = pinned_readers_.load(std::memory_order_acquire);
+  stats.retired_total = retired_total_.load(std::memory_order_acquire);
+  stats.freed_total = freed_total_.load(std::memory_order_acquire);
+  stats.limbo_size = stats.retired_total - stats.freed_total;
+  return stats;
+}
+
+}  // namespace hpm

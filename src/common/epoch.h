@@ -1,0 +1,212 @@
+// Epoch-based reclamation (EBR) for read-mostly shared structures.
+//
+// The serving problem this solves: queries execute against immutable
+// snapshot objects (per-object views, per-shard tables) that writers
+// replace wholesale. Guarding every read with a shared_mutex makes the
+// read path a cache-line ping-pong on the lock word; copying a
+// shared_ptr per read makes it a contended refcount RMW. With epochs a
+// reader pins the current epoch once (one uncontended store to its own
+// cache line), loads raw snapshot pointers with plain acquire loads, and
+// unpins when done — the read path takes no lock and touches no shared
+// writable line. Writers unlink a snapshot (atomic pointer swap), then
+// Retire() it; the object sits on a limbo list until every reader that
+// could possibly still hold the old pointer has unpinned, and only then
+// is it freed.
+//
+// Algorithm (classic global-epoch EBR, with the pin re-check loop):
+//   * A global epoch counter G starts at 1 and only grows.
+//   * Each pinned reader occupies a slot holding the epoch it pinned at
+//     (0 = free). Pin loops { e = G; slot = e; } until G is unchanged
+//     after the slot store — the re-check closes the race with a
+//     concurrent reclaimer that scanned slots before our store landed.
+//   * Retire(p) records p on the limbo list stamped with the current G,
+//     then (in auto mode) advances G and attempts reclamation.
+//   * An entry stamped e may be freed once (a) G has advanced past e and
+//     (b) every pinned slot holds an epoch > e. (a) guarantees any
+//     reader pinning *after* the retirement synchronises with the
+//     advance — a seq_cst RMW — and therefore observes the unlink that
+//     preceded it, so it can never reach the retired object; (b) says
+//     every reader from before has left.
+//
+// Memory-order notes: slot stores and the G advance are seq_cst so the
+// "scan missed my pin ⇒ my re-check sees the advance" disjunction holds
+// in the seq_cst total order. Snapshot pointers themselves only need
+// release (publish) / acquire (read) as usual.
+//
+// Determinism for tests: construct with auto_reclaim = false and nothing
+// is advanced or freed behind the test's back — Retire() only enqueues,
+// and the test drives Advance()/TryReclaim() explicitly to replay any
+// interleaving of pins, retirements and reclamation attempts.
+//
+// Capacity: the slot array is fixed (EpochOptions::max_readers). Pin()
+// spin-yields when every slot is pinned, so sizing it at or above the
+// peak number of concurrently pinned guards (queries in flight x lanes)
+// keeps pinning wait-free in practice. Slots are cache-line padded; the
+// default 256 slots cost 16 KiB.
+
+#ifndef HPM_COMMON_EPOCH_H_
+#define HPM_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace hpm {
+
+/// EpochManager configuration.
+struct EpochOptions {
+  /// Reader slots — the cap on concurrently pinned guards. Pin()
+  /// spin-yields (never fails) when all are taken.
+  size_t max_readers = 256;
+
+  /// Auto mode: every Retire() advances the epoch and attempts
+  /// reclamation, so limbo occupancy stays bounded by reader residency.
+  /// With false, Retire() only enqueues and the caller owns the
+  /// Advance()/TryReclaim() schedule (deterministic unit tests).
+  bool auto_reclaim = true;
+
+  /// Optional monotonic counters (may each be null): total pins, total
+  /// retirements, total frees. The store wires these to the
+  /// epoch.pinned / epoch.retired / epoch.freed metrics.
+  Counter* pinned_counter = nullptr;
+  Counter* retired_counter = nullptr;
+  Counter* freed_counter = nullptr;
+};
+
+/// Point-in-time view of the manager (epoch_test asserts on these; the
+/// store exposes them through its metrics).
+struct EpochStats {
+  uint64_t epoch = 0;           ///< Current global epoch.
+  uint64_t pinned_readers = 0;  ///< Slots currently pinned.
+  uint64_t retired_total = 0;   ///< Objects ever handed to Retire().
+  uint64_t freed_total = 0;     ///< Objects whose deleter has run.
+  uint64_t limbo_size = 0;      ///< retired_total - freed_total.
+};
+
+/// See the file comment. All members are thread-safe unless noted.
+class EpochManager {
+ public:
+  explicit EpochManager(EpochOptions options = {});
+
+  /// Frees everything still in limbo. No guard may outlive the manager
+  /// (checked).
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII pin. Movable so it can live in per-query context objects; a
+  /// moved-from guard is unpinned. Destruction (or Release()) unpins.
+  /// A guard must be released on the thread topology the caller likes —
+  /// the manager only cares that the slot store is atomic — but one
+  /// guard must never be used from two threads at once.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept
+        : manager_(other.manager_), slot_(other.slot_) {
+      other.manager_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = other.manager_;
+        slot_ = other.slot_;
+        other.manager_ = nullptr;
+      }
+      return *this;
+    }
+    ~Guard() { Release(); }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    bool pinned() const { return manager_ != nullptr; }
+
+    /// The epoch this guard pinned at (0 when unpinned).
+    uint64_t epoch() const;
+
+    /// Unpins early; idempotent.
+    void Release();
+
+   private:
+    friend class EpochManager;
+    Guard(EpochManager* manager, uint32_t slot)
+        : manager_(manager), slot_(slot) {}
+
+    EpochManager* manager_ = nullptr;
+    uint32_t slot_ = 0;
+  };
+
+  /// Pins the current epoch. Every snapshot pointer loaded while the
+  /// guard is held stays valid until the guard is released.
+  Guard Pin();
+
+  /// Hands `object` to the manager for deferred destruction; the caller
+  /// must already have unlinked it (no new reader can find it). The
+  /// deleter runs on whichever thread performs the reclaiming
+  /// TryReclaim() — or on the destructing thread for leftovers.
+  void Retire(void* object, void (*deleter)(void*));
+
+  /// Typed convenience: retires `object`, deleting it as a T (T may be
+  /// const-qualified — retired snapshots usually are).
+  template <typename T>
+  void Retire(T* object) {
+    Retire(const_cast<void*>(static_cast<const void*>(object)),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Bumps the global epoch; returns the new value. (Auto mode calls
+  /// this on every Retire; exposed for deterministic schedules.)
+  uint64_t Advance();
+
+  /// Frees every limbo entry whose epoch is both behind the global epoch
+  /// and behind every pinned reader. Returns how many were freed.
+  size_t TryReclaim();
+
+  uint64_t current_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  EpochStats stats() const;
+
+ private:
+  /// One reader slot: 0 = free, otherwise the pinned epoch. Padded so
+  /// two readers never share a line.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  struct LimboEntry {
+    uint64_t epoch = 0;
+    void* object = nullptr;
+    void (*deleter)(void*) = nullptr;
+  };
+
+  /// Smallest epoch any pinned reader holds, and the global epoch,
+  /// combined into the reclamation bound: entries below it are free-able.
+  uint64_t ReclaimBound() const;
+
+  EpochOptions options_;
+  std::atomic<uint64_t> global_epoch_{1};
+  std::unique_ptr<Slot[]> slots_;
+  /// One past the highest slot index ever pinned — bounds the scan so a
+  /// big max_readers doesn't tax every reclaim.
+  std::atomic<uint32_t> slot_watermark_{0};
+
+  std::mutex limbo_mutex_;
+  std::vector<LimboEntry> limbo_;
+
+  std::atomic<uint64_t> pinned_readers_{0};
+  std::atomic<uint64_t> retired_total_{0};
+  std::atomic<uint64_t> freed_total_{0};
+};
+
+}  // namespace hpm
+
+#endif  // HPM_COMMON_EPOCH_H_

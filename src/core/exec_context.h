@@ -20,9 +20,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/epoch.h"
 #include "common/trace.h"
 #include "core/query.h"
 #include "tpt/pattern_key.h"
@@ -45,6 +47,12 @@ struct PredictScratch {
 
   /// Second key buffer for BQP's wrap-around interval union.
   PatternKey interval_key;
+
+  /// Per-lane epoch pin: a fan-out lane running on a pool thread pins
+  /// here before its first acquire-load of a shard table, and releases
+  /// (or is released by the next assignment) when the lane's work is
+  /// done. Makes the scratch move-only, which the lane pool is.
+  EpochManager::Guard epoch_guard;
 };
 
 /// The per-query execution state. Created by the serving pipeline, one per
@@ -80,6 +88,16 @@ class QueryContext {
   /// Scratch for lane `i`; exclusive to the task running that lane.
   PredictScratch& lane(size_t i) { return scratch_[i]; }
 
+  /// Query-scope epoch pin, held by the entry point that loaded snapshot
+  /// pointers on the calling thread (point predict, batch planning). A
+  /// pin taken *before* the first snapshot-pointer load protects every
+  /// pointer loaded under it for the guard's lifetime, on whichever
+  /// thread dereferences it — reclamation frees an object only when all
+  /// slots pinned at or before its retirement have released.
+  void AdoptEpochGuard(EpochManager::Guard guard) {
+    epoch_guard_ = std::move(guard);
+  }
+
   // --- Per-query accounting, flushed once by the pipeline's Account
   // --- stage. Relaxed atomics: fan-out lanes of one query may count
   // --- concurrently.
@@ -109,6 +127,11 @@ class QueryContext {
   void CountMotionFit() {
     motion_fits_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// The batch executor switched away from a stalled traversal to run
+  /// another query's (the `batch.interleaved` metric).
+  void CountBatchInterleaved() {
+    batch_interleaved_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Accumulates one TPT search's traversal effort.
   void AddTptStats(const TptSearchStats& stats) {
     tpt_nodes_visited_.fetch_add(stats.nodes_visited,
@@ -128,6 +151,7 @@ class QueryContext {
     uint64_t reports_rejected = 0;
     uint64_t objects_evaluated = 0;
     uint64_t motion_fits = 0;
+    uint64_t batch_interleaved = 0;
     uint64_t tpt_nodes_visited = 0;
     uint64_t tpt_entries_tested = 0;
     uint64_t tpt_blocks_scanned = 0;
@@ -141,6 +165,7 @@ class QueryContext {
     t.reports_rejected = reports_rejected_.load(std::memory_order_relaxed);
     t.objects_evaluated = objects_evaluated_.load(std::memory_order_relaxed);
     t.motion_fits = motion_fits_.load(std::memory_order_relaxed);
+    t.batch_interleaved = batch_interleaved_.load(std::memory_order_relaxed);
     t.tpt_nodes_visited = tpt_nodes_visited_.load(std::memory_order_relaxed);
     t.tpt_entries_tested =
         tpt_entries_tested_.load(std::memory_order_relaxed);
@@ -154,6 +179,7 @@ class QueryContext {
   bool shed_to_rmf_ = false;
   Trace trace_;
   std::vector<PredictScratch> scratch_;
+  EpochManager::Guard epoch_guard_;
 
   std::atomic<uint64_t> degraded_predictions_{0};
   std::atomic<uint64_t> shards_skipped_{0};
@@ -161,6 +187,7 @@ class QueryContext {
   std::atomic<uint64_t> reports_rejected_{0};
   std::atomic<uint64_t> objects_evaluated_{0};
   std::atomic<uint64_t> motion_fits_{0};
+  std::atomic<uint64_t> batch_interleaved_{0};
   std::atomic<uint64_t> tpt_nodes_visited_{0};
   std::atomic<uint64_t> tpt_entries_tested_{0};
   std::atomic<uint64_t> tpt_blocks_scanned_{0};

@@ -187,23 +187,14 @@ StatusOr<std::vector<Prediction>> HybridPredictor::DegradedAnswer(
   return std::vector<Prediction>{*fallback};
 }
 
-StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
-    const PredictiveQuery& query) const {
-  HPM_RETURN_IF_ERROR(ValidateQuery(query));
-  counters_.forward_queries.fetch_add(1, std::memory_order_relaxed);
+namespace {
 
-  // The pattern side is the expensive half; when it cannot be consulted
-  // in time (or at all), serve the cheap RMF answer instead of failing.
-  if (query.deadline.expired()) {
-    return DegradedAnswer(query, DegradedReason::kDeadlineExceeded);
-  }
-  if (!HPM_FAULT_HIT("core/pattern_lookup").ok()) {
-    return DegradedAnswer(query, DegradedReason::kPatternUnavailable);
-  }
-
-  const Timestamp period = regions_.period();
-  const Timestamp tq_offset = query.query_time % period;
-
+/// Runs a PredictTask to completion sequentially — the non-batched entry
+/// points are Step-to-done over the same machinery the batch executor
+/// interleaves, which is what keeps the two bit-identical.
+StatusOr<std::vector<Prediction>> RunToCompletion(
+    const HybridPredictor& predictor, const PredictiveQuery& query,
+    HybridPredictor::PredictTask::Route route) {
   // Scratch buffers come from the execution context's lane when the query
   // runs under the serving pipeline; direct callers get function-local
   // buffers and identical behaviour.
@@ -211,144 +202,270 @@ StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
   PredictScratch& s = query.context != nullptr
                           ? query.context->lane(query.lane)
                           : local;
-  TptSearchStats search_stats;
+  HybridPredictor::PredictTask task;
+  task.Start(predictor, query, &s, route);
+  while (!task.Step(SIZE_MAX)) {
+  }
+  return task.TakeResult();
+}
 
-  const std::vector<int> premise = QueryPremise(query);
-  if (!premise.empty() &&
-      key_tables_.EncodeQueryInto(premise, tq_offset, &s.query_key).ok()) {
-    tpt_.SearchInto(s.query_key, SearchMode::kPremiseAndConsequence,
-                    &s.tpt_hits, &search_stats);
-    if (query.context != nullptr) query.context->AddTptStats(search_stats);
+}  // namespace
+
+void HybridPredictor::PredictTask::CompleteWith(
+    StatusOr<std::vector<Prediction>> result) {
+  result_ = std::move(result);
+  stage_ = Stage::kDone;
+  searching_ = false;
+}
+
+void HybridPredictor::PredictTask::MotionFallback() {
+  // No qualified pattern: call the motion function (Algorithm 2 line 6 /
+  // Algorithm 3 line 11).
+  predictor_->counters_.motion_fallbacks.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  StatusOr<Prediction> fallback = predictor_->MotionFunctionPredict(*query_);
+  if (!fallback.ok()) {
+    CompleteWith(fallback.status());
+    return;
+  }
+  CompleteWith(std::vector<Prediction>{*fallback});
+}
+
+bool HybridPredictor::PredictTask::Start(const HybridPredictor& predictor,
+                                         const PredictiveQuery& query,
+                                         PredictScratch* scratch,
+                                         Route route) {
+  predictor_ = &predictor;
+  query_ = &query;
+  scratch_ = scratch;
+  stage_ = Stage::kDone;
+  searching_ = false;
+  round_ = 0;
+
+  const Status valid = ValidateQuery(query);
+  if (!valid.ok()) {
+    CompleteWith(valid);
+    return true;
+  }
+
+  if (route == Route::kAuto) {
+    route = query.PredictionLength() >= predictor.options_.distant_threshold
+                ? Route::kBackward
+                : Route::kForward;
+  }
+  if (route == Route::kForward) {
+    predictor.counters_.forward_queries.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  } else {
+    predictor.counters_.backward_queries.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+
+  // The pattern side is the expensive half; when it cannot be consulted
+  // in time (or at all), serve the cheap RMF answer instead of failing.
+  if (query.deadline.expired()) {
+    CompleteWith(
+        predictor.DegradedAnswer(query, DegradedReason::kDeadlineExceeded));
+    return true;
+  }
+  if (!HPM_FAULT_HIT("core/pattern_lookup").ok()) {
+    CompleteWith(
+        predictor.DegradedAnswer(query, DegradedReason::kPatternUnavailable));
+    return true;
+  }
+
+  period_ = predictor.regions_.period();
+  tq_offset_ = query.query_time % period_;
+  premise_ = predictor.QueryPremise(query);
+
+  if (route == Route::kForward) {
+    if (!premise_.empty() &&
+        predictor.key_tables_
+            .EncodeQueryInto(premise_, tq_offset_, &scratch_->query_key)
+            .ok()) {
+      search_stats_ = TptSearchStats{};
+      cursor_ = predictor.tpt_.StartSearch(
+          scratch_->query_key, SearchMode::kPremiseAndConsequence,
+          &scratch_->tpt_hits, &search_stats_);
+      if (!cursor_.done()) {
+        searching_ = true;
+        stage_ = Stage::kForwardSearch;
+        return false;
+      }
+      FinishForwardSearch();  // Empty tree: the search is already over.
+      return true;
+    }
+    MotionFallback();
+    return true;
+  }
+
+  // Backward Query Processing (Algorithm 3): widen the consequence
+  // interval until a pattern is found or its lower edge reaches the
+  // current time.
+  t_eps_ = std::max<Timestamp>(1, predictor.options_.time_relaxation);
+  const double length = static_cast<double>(query.PredictionLength());
+  premise_penalty_ = std::min(
+      1.0,
+      static_cast<double>(predictor.options_.distant_threshold) / length);
+  RunBackwardRounds();
+  return done();
+}
+
+bool HybridPredictor::PredictTask::Step(size_t max_entry_tests) {
+  if (stage_ == Stage::kDone) return true;
+  if (!cursor_.Step(max_entry_tests)) return false;
+  searching_ = false;
+  if (stage_ == Stage::kForwardSearch) {
+    FinishForwardSearch();
+  } else if (!EndBackwardRound(/*ran_search=*/true)) {
+    RunBackwardRounds();
+  }
+  return done();
+}
+
+StatusOr<std::vector<Prediction>> HybridPredictor::PredictTask::TakeResult() {
+  HPM_CHECK(stage_ == Stage::kDone);
+  return std::move(result_);
+}
+
+void HybridPredictor::PredictTask::FinishForwardSearch() {
+  if (query_->context != nullptr) query_->context->AddTptStats(search_stats_);
+  PredictScratch& s = *scratch_;
+  s.candidates.clear();
+  s.candidates.reserve(s.tpt_hits.size());
+  for (const IndexedPattern* hit : s.tpt_hits) {
+    // Equation 2: Sp = Sr * c (premise similarity and confidence are
+    // independent evidences -> compound probability).
+    const double sr =
+        PremiseSimilarity(hit->key.premise(), s.query_key.premise(),
+                          predictor_->options_.weight_function);
+    Prediction p;
+    p.location = predictor_->regions_.Region(hit->consequence_region).center;
+    p.uncertainty = predictor_->regions_.Region(hit->consequence_region).mbr;
+    p.score = sr * hit->confidence;
+    p.source = PredictionSource::kPattern;
+    p.pattern_id = hit->pattern_id;
+    p.consequence_region = hit->consequence_region;
+    p.confidence = hit->confidence;
+    s.candidates.push_back(p);
+  }
+  if (!s.candidates.empty()) {
+    predictor_->counters_.pattern_answers.fetch_add(
+        1, std::memory_order_relaxed);
+    CompleteWith(predictor_->RankAndTake(&s.candidates, query_->k));
+    return;
+  }
+  MotionFallback();
+}
+
+void HybridPredictor::PredictTask::EncodeBackwardRound() {
+  PredictScratch& s = *scratch_;
+  const Timestamp lo_raw = query_->query_time - round_ * t_eps_;
+  const Timestamp hi_raw = query_->query_time + round_ * t_eps_;
+
+  // Map the raw-time interval to period offsets (it may wrap), encoding
+  // into the lane's key buffers.
+  const Timestamp lo_off = ((lo_raw % period_) + period_) % period_;
+  const Timestamp hi_off = ((hi_raw % period_) + period_) % period_;
+  if (hi_raw - lo_raw >= period_) {
+    predictor_->key_tables_.EncodeQueryIntervalInto(premise_, 0, period_ - 1,
+                                                    &s.query_key);
+  } else if (lo_off <= hi_off) {
+    predictor_->key_tables_.EncodeQueryIntervalInto(premise_, lo_off, hi_off,
+                                                    &s.query_key);
+  } else {
+    predictor_->key_tables_.EncodeQueryIntervalInto(premise_, lo_off,
+                                                    period_ - 1,
+                                                    &s.query_key);
+    predictor_->key_tables_.EncodeQueryIntervalInto(premise_, 0, hi_off,
+                                                    &s.interval_key);
+    s.query_key.UnionWith(s.interval_key);
+  }
+}
+
+void HybridPredictor::PredictTask::RunBackwardRounds() {
+  for (;;) {
+    ++round_;
+    // Each widening step is another TPT search, so the deadline is
+    // re-checked per round.
+    if (round_ > 1 && query_->deadline.expired()) {
+      CompleteWith(predictor_->DegradedAnswer(
+          *query_, DegradedReason::kDeadlineExceeded));
+      return;
+    }
+    EncodeBackwardRound();
+    search_stats_ = TptSearchStats{};
+    bool ran_search = false;
+    if (scratch_->query_key.consequence().Any()) {
+      cursor_ = predictor_->tpt_.StartSearch(scratch_->query_key,
+                                             SearchMode::kConsequenceOnly,
+                                             &scratch_->tpt_hits,
+                                             &search_stats_);
+      if (!cursor_.done()) {
+        searching_ = true;
+        stage_ = Stage::kBackwardSearch;
+        return;  // Yield; Step() finishes the round.
+      }
+      ran_search = true;  // Empty tree: the search is already over.
+    } else {
+      scratch_->tpt_hits.clear();
+    }
+    if (EndBackwardRound(ran_search)) return;
+  }
+}
+
+bool HybridPredictor::PredictTask::EndBackwardRound(bool ran_search) {
+  if (ran_search && query_->context != nullptr) {
+    query_->context->AddTptStats(search_stats_);
+  }
+  PredictScratch& s = *scratch_;
+  if (!s.tpt_hits.empty()) {
     s.candidates.clear();
     s.candidates.reserve(s.tpt_hits.size());
     for (const IndexedPattern* hit : s.tpt_hits) {
-      // Equation 2: Sp = Sr * c (premise similarity and confidence are
-      // independent evidences -> compound probability).
-      const double sr = PremiseSimilarity(
-          hit->key.premise(), s.query_key.premise(),
-          options_.weight_function);
+      const int time_id = hit->key.consequence().HighestSetBit();
+      const Timestamp t = predictor_->key_tables_.OffsetForTimeId(time_id);
+      const double sc = ConsequenceSimilarity(t, tq_offset_, t_eps_);
+      const double sr =
+          PremiseSimilarity(hit->key.premise(), s.query_key.premise(),
+                            predictor_->options_.weight_function);
+      // Equation 5: Sp = (Sr * d / (tq - tc) + Sc) * c — the premise
+      // evidence is penalised as the prediction length grows.
       Prediction p;
-      p.location = regions_.Region(hit->consequence_region).center;
-      p.uncertainty = regions_.Region(hit->consequence_region).mbr;
-      p.score = sr * hit->confidence;
+      p.location =
+          predictor_->regions_.Region(hit->consequence_region).center;
+      p.uncertainty =
+          predictor_->regions_.Region(hit->consequence_region).mbr;
+      p.score = (sr * premise_penalty_ + sc) * hit->confidence;
       p.source = PredictionSource::kPattern;
       p.pattern_id = hit->pattern_id;
       p.consequence_region = hit->consequence_region;
       p.confidence = hit->confidence;
       s.candidates.push_back(p);
     }
-    if (!s.candidates.empty()) {
-      counters_.pattern_answers.fetch_add(1, std::memory_order_relaxed);
-      return RankAndTake(&s.candidates, query.k);
-    }
+    predictor_->counters_.pattern_answers.fetch_add(
+        1, std::memory_order_relaxed);
+    CompleteWith(predictor_->RankAndTake(&s.candidates, query_->k));
+    return true;
   }
 
-  // No qualified candidate: call the motion function (Algorithm 2 line 6).
-  counters_.motion_fallbacks.fetch_add(1, std::memory_order_relaxed);
-  StatusOr<Prediction> fallback = MotionFunctionPredict(query);
-  if (!fallback.ok()) return fallback.status();
-  return std::vector<Prediction>{*fallback};
+  // No qualified pattern anywhere before the interval hit the current
+  // time: fall back instead of widening further.
+  if (query_->query_time - (round_ + 1) * t_eps_ <= query_->current_time) {
+    MotionFallback();
+    return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<Prediction>> HybridPredictor::ForwardQuery(
+    const PredictiveQuery& query) const {
+  return RunToCompletion(*this, query, PredictTask::Route::kForward);
 }
 
 StatusOr<std::vector<Prediction>> HybridPredictor::BackwardQuery(
     const PredictiveQuery& query) const {
-  HPM_RETURN_IF_ERROR(ValidateQuery(query));
-  counters_.backward_queries.fetch_add(1, std::memory_order_relaxed);
-
-  if (query.deadline.expired()) {
-    return DegradedAnswer(query, DegradedReason::kDeadlineExceeded);
-  }
-  if (!HPM_FAULT_HIT("core/pattern_lookup").ok()) {
-    return DegradedAnswer(query, DegradedReason::kPatternUnavailable);
-  }
-
-  const Timestamp period = regions_.period();
-  const Timestamp tq_offset = query.query_time % period;
-  const Timestamp t_eps = std::max<Timestamp>(1, options_.time_relaxation);
-  const std::vector<int> premise = QueryPremise(query);
-  const double length = static_cast<double>(query.PredictionLength());
-  const double premise_penalty =
-      std::min(1.0, static_cast<double>(options_.distant_threshold) / length);
-
-  PredictScratch local;
-  PredictScratch& s = query.context != nullptr
-                          ? query.context->lane(query.lane)
-                          : local;
-
-  // Algorithm 3: widen the consequence interval until a pattern is found
-  // or the interval's lower edge reaches the current time. Each widening
-  // step is another TPT search, so the deadline is re-checked per round.
-  for (Timestamp i = 1;; ++i) {
-    if (i > 1 && query.deadline.expired()) {
-      return DegradedAnswer(query, DegradedReason::kDeadlineExceeded);
-    }
-    const Timestamp lo_raw = query.query_time - i * t_eps;
-    const Timestamp hi_raw = query.query_time + i * t_eps;
-
-    // Map the raw-time interval to period offsets (it may wrap), encoding
-    // into the lane's key buffers.
-    {
-      const Timestamp lo_off = ((lo_raw % period) + period) % period;
-      const Timestamp hi_off = ((hi_raw % period) + period) % period;
-      if (hi_raw - lo_raw >= period) {
-        key_tables_.EncodeQueryIntervalInto(premise, 0, period - 1,
-                                            &s.query_key);
-      } else if (lo_off <= hi_off) {
-        key_tables_.EncodeQueryIntervalInto(premise, lo_off, hi_off,
-                                            &s.query_key);
-      } else {
-        key_tables_.EncodeQueryIntervalInto(premise, lo_off, period - 1,
-                                            &s.query_key);
-        key_tables_.EncodeQueryIntervalInto(premise, 0, hi_off,
-                                            &s.interval_key);
-        s.query_key.UnionWith(s.interval_key);
-      }
-    }
-
-    TptSearchStats search_stats;
-    if (s.query_key.consequence().Any()) {
-      tpt_.SearchInto(s.query_key, SearchMode::kConsequenceOnly, &s.tpt_hits,
-                      &search_stats);
-      if (query.context != nullptr) query.context->AddTptStats(search_stats);
-    } else {
-      s.tpt_hits.clear();
-    }
-
-    if (!s.tpt_hits.empty()) {
-      s.candidates.clear();
-      s.candidates.reserve(s.tpt_hits.size());
-      for (const IndexedPattern* hit : s.tpt_hits) {
-        const int time_id = hit->key.consequence().HighestSetBit();
-        const Timestamp t = key_tables_.OffsetForTimeId(time_id);
-        const double sc = ConsequenceSimilarity(t, tq_offset, t_eps);
-        const double sr = PremiseSimilarity(
-            hit->key.premise(), s.query_key.premise(),
-            options_.weight_function);
-        // Equation 5: Sp = (Sr * d / (tq - tc) + Sc) * c — the premise
-        // evidence is penalised as the prediction length grows.
-        Prediction p;
-        p.location = regions_.Region(hit->consequence_region).center;
-        p.uncertainty = regions_.Region(hit->consequence_region).mbr;
-        p.score = (sr * premise_penalty + sc) * hit->confidence;
-        p.source = PredictionSource::kPattern;
-        p.pattern_id = hit->pattern_id;
-        p.consequence_region = hit->consequence_region;
-        p.confidence = hit->confidence;
-        s.candidates.push_back(p);
-      }
-      counters_.pattern_answers.fetch_add(1, std::memory_order_relaxed);
-      return RankAndTake(&s.candidates, query.k);
-    }
-
-    if (query.query_time - (i + 1) * t_eps <= query.current_time) break;
-  }
-
-  // No qualified pattern anywhere before the interval hit the current
-  // time: call the motion function (Algorithm 3 line 11).
-  counters_.motion_fallbacks.fetch_add(1, std::memory_order_relaxed);
-  StatusOr<Prediction> fallback = MotionFunctionPredict(query);
-  if (!fallback.ok()) return fallback.status();
-  return std::vector<Prediction>{*fallback};
+  return RunToCompletion(*this, query, PredictTask::Route::kBackward);
 }
 
 StatusOr<std::vector<TrajectoryPattern>> HybridPredictor::MineFreshPatterns(
@@ -451,11 +568,7 @@ StatusOr<size_t> HybridPredictor::IncorporateNewHistory(
 
 StatusOr<std::vector<Prediction>> HybridPredictor::Predict(
     const PredictiveQuery& query) const {
-  HPM_RETURN_IF_ERROR(ValidateQuery(query));
-  if (query.PredictionLength() >= options_.distant_threshold) {
-    return BackwardQuery(query);
-  }
-  return ForwardQuery(query);
+  return RunToCompletion(*this, query, PredictTask::Route::kAuto);
 }
 
 }  // namespace hpm

@@ -1,0 +1,88 @@
+#include "server/batch_executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace hpm {
+
+std::vector<size_t> BatchExecutor::LocalityOrder(
+    const std::vector<size_t>& shard_of,
+    const std::vector<const void*>& model_of) {
+  HPM_CHECK(shard_of.size() == model_of.size());
+  std::vector<size_t> order(shard_of.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Stable: input order breaks ties, so the admission order (and with it
+  // which queries get interleaved together) is deterministic for a given
+  // batch against a given table state.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (shard_of[a] != shard_of[b]) return shard_of[a] < shard_of[b];
+    return model_of[a] < model_of[b];
+  });
+  return order;
+}
+
+void BatchExecutor::Run(const std::vector<size_t>& items,
+                        const PrepareFn& prepare, const EmitFn& emit) {
+  const size_t width =
+      std::max<size_t>(1, std::min(options_.width, items.size()));
+  const size_t step = options_.step_entries == 0
+                          ? std::numeric_limits<size_t>::max()
+                          : options_.step_entries;
+
+  /// One in-flight prediction: the task plus everything it borrows.
+  struct Slot {
+    HybridPredictor::PredictTask task;
+    PredictiveQuery query;
+    PredictScratch scratch;
+    size_t item = 0;
+    bool active = false;
+  };
+  std::vector<Slot> slots(width);
+
+  size_t next = 0;
+  size_t active = 0;
+
+  // Admits items into `slot` until one leaves a traversal in flight
+  // (or the batch is exhausted); items that finish in the preamble or
+  // at Start are emitted immediately.
+  const auto refill = [&](Slot& slot) {
+    while (next < items.size()) {
+      const size_t item = items[next++];
+      std::optional<Result> finished =
+          prepare(item, &slot.query, &slot.scratch, &slot.task);
+      if (finished.has_value()) {
+        emit(item, std::move(*finished));
+        continue;
+      }
+      if (slot.task.done()) {
+        emit(item, slot.task.TakeResult());
+        continue;
+      }
+      slot.item = item;
+      slot.active = true;
+      ++active;
+      return;
+    }
+  };
+
+  for (Slot& slot : slots) refill(slot);
+
+  for (size_t cursor = 0; active > 0; cursor = (cursor + 1) % width) {
+    Slot& slot = slots[cursor];
+    if (!slot.active) continue;
+    if (slot.task.Step(step)) {
+      emit(slot.item, slot.task.TakeResult());
+      slot.active = false;
+      --active;
+      refill(slot);
+    } else if (active > 1) {
+      // Stalled with company: warm the block this task needs next, then
+      // spend the stall advancing someone else's traversal.
+      slot.task.Prefetch();
+      if (ctx_ != nullptr) ctx_->CountBatchInterleaved();
+    }
+  }
+}
+
+}  // namespace hpm

@@ -1,0 +1,101 @@
+// Stall-interleaved batch execution for PredictLocationBatch.
+//
+// A point prediction's cost is dominated by the FrozenTpt signature
+// scan: dependent loads over the key-word arena that miss cache on
+// every block of a cold tree. One query at a time leaves the core
+// stalled on those misses. This executor keeps `width` predictions in
+// flight per fan-out lane and round-robins their resumable PredictTasks
+// a few entry tests at a time: when a traversal is about to stall it
+// issues a prefetch for its next signature block and advances another
+// query's traversal instead, so one query's memory latency is hidden
+// behind another's compute.
+//
+// Answers are bit-identical to sequential execution by construction:
+// PredictTask *is* Predict() (Predict = Start + Step-to-done), the
+// interleave only changes when each task's steps run, and tasks share
+// nothing (each slot owns its scratch). prop_batch_exec_test proves the
+// equivalence differentially — predictions, degraded stamps and
+// accounting totals — including under armed faults and expired
+// deadlines; width = 1 degenerates to sequential execution exactly.
+//
+// The executor is policy-free about *what* runs: the store hands it the
+// locality order (LocalityOrder groups a batch by shard, then by model
+// generation, so consecutive tasks walk the same arena) and a prepare
+// callback that runs the shared per-object preamble and arms the task.
+
+#ifndef HPM_SERVER_BATCH_EXECUTOR_H_
+#define HPM_SERVER_BATCH_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/exec_context.h"
+#include "core/hybrid_predictor.h"
+
+namespace hpm {
+
+/// Batch-executor tuning (ObjectStoreOptions::batch).
+struct BatchExecOptions {
+  /// Predictions kept in flight per fan-out lane. 1 = no interleaving
+  /// (pure sequential execution); values beyond the lane's share of the
+  /// batch are harmless.
+  size_t width = 8;
+
+  /// Entry tests a task may run before yielding to the next in-flight
+  /// task. 0 = unlimited (each task runs to completion — sequential).
+  size_t step_entries = 32;
+};
+
+/// Runs one fan-out lane's share of a prediction batch, interleaving the
+/// in-flight tasks' TPT traversals. Single-threaded: one executor per
+/// lane, used by that lane's thread only.
+class BatchExecutor {
+ public:
+  using Result = StatusOr<std::vector<Prediction>>;
+
+  /// Runs the shared per-object preamble for `item` (an index the caller
+  /// understands). Returns a finished result for items that never reach
+  /// a TPT search — unknown object, validation failure, load-shed or
+  /// cold-start answers; otherwise fills `*query` (which outlives the
+  /// task) and Start()s `*task` against `scratch`, returning nullopt.
+  /// The task may already be done (degraded, no premise, empty tree).
+  using PrepareFn = std::function<std::optional<Result>(
+      size_t item, PredictiveQuery* query, PredictScratch* scratch,
+      HybridPredictor::PredictTask* task)>;
+
+  /// Receives item `item`'s finished answer, exactly once per item.
+  /// Emission order is completion order; callers index a result array.
+  using EmitFn = std::function<void(size_t item, Result result)>;
+
+  /// `ctx` (may be null) receives CountBatchInterleaved() on every
+  /// switch-away from a stalled traversal.
+  BatchExecutor(const BatchExecOptions& options, QueryContext* ctx)
+      : options_(options), ctx_(ctx) {}
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Executes every item in `items`, admitting them in order into the
+  /// in-flight window and emitting each exactly once.
+  void Run(const std::vector<size_t>& items, const PrepareFn& prepare,
+           const EmitFn& emit);
+
+  /// The admission order for a batch: input indices grouped by shard,
+  /// then by model identity within a shard (consecutive tasks traverse
+  /// the same frozen arena), input order within a group. `shard_of` and
+  /// `model_of` are parallel to the batch's input.
+  static std::vector<size_t> LocalityOrder(
+      const std::vector<size_t>& shard_of,
+      const std::vector<const void*>& model_of);
+
+ private:
+  BatchExecOptions options_;
+  QueryContext* ctx_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_SERVER_BATCH_EXECUTOR_H_

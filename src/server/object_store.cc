@@ -48,6 +48,11 @@ MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
     }
   }
   metrics_ = std::make_unique<StoreMetrics>(metrics_registry_.get());
+  EpochOptions epoch_options;
+  epoch_options.pinned_counter = metrics_->epoch_pinned;
+  epoch_options.retired_counter = metrics_->epoch_retired;
+  epoch_options.freed_counter = metrics_->epoch_freed;
+  epoch_ = std::make_unique<EpochManager>(epoch_options);
 }
 
 size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {
@@ -58,6 +63,56 @@ size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   x ^= x >> 31;
   return static_cast<size_t>(x % num_shards);
+}
+
+const MovingObjectStore::ObjectRecord* MovingObjectStore::ShardTable::Find(
+    ObjectId id) const {
+  const auto it = std::lower_bound(
+      records.begin(), records.end(), id,
+      [](const ObjectRecord* record, ObjectId key) { return record->id < key; });
+  if (it == records.end() || (*it)->id != id) return nullptr;
+  return *it;
+}
+
+const MovingObjectStore::ObjectView* MovingObjectStore::BuildView(
+    const ObjectRecord& record) const {
+  auto* view = new ObjectView;
+  view->id = record.id;
+  view->history_size = record.history.size();
+  view->now = static_cast<Timestamp>(record.history.size()) - 1;
+  if (record.history.size() >= 2) {
+    view->recent =
+        record.history.RecentMovements(view->now, options_.recent_window);
+  }
+  view->predictor = record.predictor;
+  return view;
+}
+
+void MovingObjectStore::PublishView(ObjectRecord& record,
+                                    const ObjectView* view) {
+  const ObjectView* old =
+      record.view.exchange(view, std::memory_order_release);
+  if (old != nullptr) epoch_->Retire(old);
+}
+
+void MovingObjectStore::PublishTable(Shard& shard) {
+  auto* table = new ShardTable;
+  table->records.reserve(shard.records.size());
+  // The record map is id-sorted, so the table comes out Find()-able.
+  for (const auto& [id, record] : shard.records) {
+    table->records.push_back(record.get());
+  }
+  const ShardTable* old =
+      shard.table.exchange(table, std::memory_order_release);
+  epoch_->Retire(old);
+}
+
+const MovingObjectStore::ObjectView* MovingObjectStore::FindView(
+    const Shard& shard, ObjectId id) const {
+  const ShardTable* table = shard.table.load(std::memory_order_acquire);
+  const ObjectRecord* record = table->Find(id);
+  if (record == nullptr) return nullptr;
+  return record->view.load(std::memory_order_acquire);
 }
 
 QueryPipeline::Env MovingObjectStore::PipelineEnv() const {
@@ -77,13 +132,13 @@ void MovingObjectStore::RecordRejectedReport(ObjectId id,
                                              QueryContext& ctx) {
   ctx.CountRejectedReport();
   Shard& shard = ShardFor(id);
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
   ++shard.rejected_reports[id];
 }
 
 uint64_t MovingObjectStore::RejectedReports(ObjectId id) const {
   Shard& shard = ShardFor(id);
-  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
   const auto it = shard.rejected_reports.find(id);
   return it == shard.rejected_reports.end() ? 0 : it->second;
 }
@@ -110,15 +165,15 @@ Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
 
   Shard& shard = ShardFor(id);
   Status appended = pipeline.RunFanOut([&]() -> Status {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    // find(), not emplace first: a rejected report for an unknown object
+    // must not create a phantom entry.
+    auto it = shard.records.find(id);
     if (expected_t != nullptr) {
-      // find(), not operator[]: a rejected report for an unknown object
-      // must not create a phantom entry.
-      const auto it = shard.objects.find(id);
       const Timestamp next =
-          it == shard.objects.end()
+          it == shard.records.end()
               ? 0
-              : static_cast<Timestamp>(it->second.history.size());
+              : static_cast<Timestamp>(it->second->history.size());
       if (*expected_t != next) {
         ++shard.rejected_reports[id];
         ctx.CountRejectedReport();
@@ -130,19 +185,26 @@ Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
                       std::to_string(next) + ")");
       }
     }
-    shard.objects[id].history.Append(location);
+    const bool created = it == shard.records.end();
+    if (created) {
+      it = shard.records
+               .emplace(id, std::make_unique<ObjectRecord>(id))
+               .first;
+    }
+    ObjectRecord& record = *it->second;
+    record.history.Append(location);
+    // View before table: a record must never be reachable viewless.
+    PublishView(record, BuildView(record));
+    if (created) PublishTable(shard);
     return Status::OK();
   });
   HPM_RETURN_IF_ERROR(appended);
   HPM_RETURN_IF_ERROR(MaybeTrain(shard, id, pipeline));
   if (HasContinuousQueries()) {
     pipeline.RunMerge([&] {
-      QuerySnapshot snapshot;
-      {
-        std::shared_lock<std::shared_mutex> lock(shard.mutex);
-        snapshot = MakeSnapshot(id, shard.objects.at(id));
-      }
-      EvaluateContinuousQueries(snapshot);
+      const EpochManager::Guard guard = epoch_->Pin();
+      const ObjectView* view = FindView(shard, id);
+      if (view != nullptr) EvaluateContinuousQueries(*view);
     });
   }
   return Status::OK();
@@ -182,16 +244,16 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
   size_t whole_periods = 0;
 
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
-    ObjectState& state = shard.objects.at(id);
-    if (state.training_in_flight) return Status::OK();
-    if (state.predictor == nullptr) {
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    ObjectRecord& record = *shard.records.at(id);
+    if (record.training_in_flight) return Status::OK();
+    if (record.predictor == nullptr) {
       const size_t needed =
           static_cast<size_t>(options_.min_training_periods) * period_samples;
-      if (state.history.size() < needed) return Status::OK();
+      if (record.history.size() < needed) return Status::OK();
       action = Action::kInitial;
     } else {
-      const size_t fresh = state.history.size() - state.consumed_samples;
+      const size_t fresh = record.history.size() - record.consumed_samples;
       const size_t batch =
           static_cast<size_t>(options_.update_batch_periods) * period_samples;
       if (fresh < batch) return Status::OK();
@@ -205,19 +267,19 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
       return Status::OK();
     }
     if (action == Action::kInitial) {
-      training_input = state.history;
+      training_input = record.history;
     } else {
-      const size_t fresh = state.history.size() - state.consumed_samples;
+      const size_t fresh = record.history.size() - record.consumed_samples;
       whole_periods = (fresh / period_samples) * period_samples;
-      StatusOr<Trajectory> suffix = state.history.Slice(
-          static_cast<Timestamp>(state.consumed_samples),
-          static_cast<Timestamp>(state.consumed_samples + whole_periods));
+      StatusOr<Trajectory> suffix = record.history.Slice(
+          static_cast<Timestamp>(record.consumed_samples),
+          static_cast<Timestamp>(record.consumed_samples + whole_periods));
       if (!suffix.ok()) return suffix.status();
       training_input = std::move(*suffix);
-      base = state.predictor;
-      consumed_at_capture = state.consumed_samples;
+      base = record.predictor;
+      consumed_at_capture = record.consumed_samples;
     }
-    state.training_in_flight = true;
+    record.training_in_flight = true;
   }
 
   // Mining runs unlocked: readers keep serving the previous snapshot.
@@ -235,62 +297,68 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
                    : base->WithNewHistory(training_input);
       });
 
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  ObjectState& state = shard.objects.at(id);
-  state.training_in_flight = false;
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  ObjectRecord& record = *shard.records.at(id);
+  record.training_in_flight = false;
   if (!built.ok()) return built.status().Annotate("train");
-  state.predictor =
+  record.predictor =
       std::shared_ptr<const HybridPredictor>(std::move(*built));
   // Every (re)train publishes a fresh frozen arena; the counter tracks
   // total bytes built so dashboards see index growth across generations.
   metrics_->tpt_frozen_bytes->Increment(
-      state.predictor->summary().tpt_frozen_bytes);
-  state.consumed_samples =
+      record.predictor->summary().tpt_frozen_bytes);
+  record.consumed_samples =
       action == Action::kInitial
           ? training_input.NumSubTrajectories(period) * period_samples
           : consumed_at_capture + whole_periods;
+  // The swap the readers actually see: the new model generation becomes
+  // visible with this view publication, and the old view (holding the
+  // previous generation's last shared handle once readers drain) heads
+  // to limbo.
+  PublishView(record, BuildView(record));
   return Status::OK();
 }
 
 std::vector<ObjectId> MovingObjectStore::ObjectIds() const {
+  const EpochManager::Guard guard = epoch_->Pin();
   std::vector<ObjectId> ids;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    ids.reserve(ids.size() + shard->objects.size());
-    for (const auto& [id, state] : shard->objects) ids.push_back(id);
+    const ShardTable* table = shard->table.load(std::memory_order_acquire);
+    ids.reserve(ids.size() + table->records.size());
+    for (const ObjectRecord* record : table->records) {
+      ids.push_back(record->id);
+    }
   }
   std::sort(ids.begin(), ids.end());
   return ids;
 }
 
 size_t MovingObjectStore::NumObjects() const {
+  const EpochManager::Guard guard = epoch_->Pin();
   size_t total = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    total += shard->objects.size();
+    total += shard->table.load(std::memory_order_acquire)->records.size();
   }
   return total;
 }
 
 size_t MovingObjectStore::HistoryLength(ObjectId id) const {
-  Shard& shard = ShardFor(id);
-  std::shared_lock<std::shared_mutex> lock(shard.mutex);
-  const auto it = shard.objects.find(id);
-  return it == shard.objects.end() ? 0 : it->second.history.size();
+  const EpochManager::Guard guard = epoch_->Pin();
+  const ObjectView* view = FindView(ShardFor(id), id);
+  return view == nullptr ? 0 : view->history_size;
 }
 
 StatusOr<std::shared_ptr<const HybridPredictor>>
 MovingObjectStore::GetPredictor(ObjectId id) const {
-  Shard& shard = ShardFor(id);
-  std::shared_lock<std::shared_mutex> lock(shard.mutex);
-  const auto it = shard.objects.find(id);
-  if (it == shard.objects.end()) {
+  const EpochManager::Guard guard = epoch_->Pin();
+  const ObjectView* view = FindView(ShardFor(id), id);
+  if (view == nullptr) {
     return Status::NotFound("unknown object id");
   }
-  if (it->second.predictor == nullptr) {
+  if (view->predictor == nullptr) {
     return Status::FailedPrecondition("object has no trained model yet");
   }
-  return it->second.predictor;
+  return view->predictor;
 }
 
 OverloadStats MovingObjectStore::overload_stats() const {
@@ -302,50 +370,37 @@ CircuitBreaker::State MovingObjectStore::BreakerState(int shard) const {
   return breakers_[static_cast<size_t>(shard)]->state();
 }
 
-MovingObjectStore::QuerySnapshot MovingObjectStore::MakeSnapshot(
-    ObjectId id, const ObjectState& state) const {
-  QuerySnapshot snapshot;
-  snapshot.id = id;
-  snapshot.history_size = state.history.size();
-  snapshot.now = static_cast<Timestamp>(state.history.size()) - 1;
-  if (state.history.size() >= 2) {
-    snapshot.recent =
-        state.history.RecentMovements(snapshot.now, options_.recent_window);
+std::optional<StatusOr<std::vector<Prediction>>>
+MovingObjectStore::PreparePredict(const ObjectView& view, Timestamp tq,
+                                  int k, QueryContext* ctx, int lane,
+                                  PredictiveQuery* query) const {
+  using Result = StatusOr<std::vector<Prediction>>;
+  if (view.history_size < 2) {
+    return Result(Status::FailedPrecondition(
+        "object has fewer than 2 reported locations"));
   }
-  snapshot.predictor = state.predictor;
-  return snapshot;
-}
-
-StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
-    const QuerySnapshot& snapshot, Timestamp tq, int k, QueryContext* ctx,
-    int lane) const {
-  if (snapshot.history_size < 2) {
-    return Status::FailedPrecondition(
-        "object has fewer than 2 reported locations");
-  }
-  if (tq <= snapshot.now) {
-    return Status::InvalidArgument(
-        "query time must be after the object's last report");
+  if (tq <= view.now) {
+    return Result(Status::InvalidArgument(
+        "query time must be after the object's last report"));
   }
   if (ctx != nullptr) ctx->CountObjectEvaluated();
-  PredictiveQuery query;
-  query.recent_movements = snapshot.recent;
-  query.current_time = snapshot.now;
-  query.query_time = tq;
-  query.k = k;
-  query.deadline = ctx != nullptr ? ctx->deadline() : Deadline::Infinite();
-  query.context = ctx;
-  query.lane = lane;
+  query->recent_movements = view.recent;
+  query->current_time = view.now;
+  query->query_time = tq;
+  query->k = k;
+  query->deadline = ctx != nullptr ? ctx->deadline() : Deadline::Infinite();
+  query->context = ctx;
+  query->lane = lane;
 
-  if (snapshot.predictor != nullptr) {
+  if (view.predictor != nullptr) {
     if (ctx != nullptr && ctx->shed_to_rmf()) {
       // Rung 1: the pattern side is skipped wholesale; the answer is the
       // exact RMF prediction, visibly stamped Overloaded.
       ctx->CountDegradedPrediction();
-      return snapshot.predictor->DegradedPredict(
-          query, DegradedReason::kOverloaded);
+      return Result(view.predictor->DegradedPredict(
+          *query, DegradedReason::kOverloaded));
     }
-    return snapshot.predictor->Predict(query);
+    return std::nullopt;  // Pattern path: the caller runs it.
   }
   // Cold start: pure motion function until the first training threshold.
   // This is already the cheapest answer, so overload changes nothing.
@@ -353,12 +408,23 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictSnapshot(
   RecursiveMotionFunction rmf(options_.predictor.rmf);
   Prediction prediction;
   prediction.source = PredictionSource::kMotionFunction;
-  prediction.location = query.recent_movements.back().location;
-  if (rmf.Fit(query.recent_movements).ok()) {
+  prediction.location = query->recent_movements.back().location;
+  if (rmf.Fit(query->recent_movements).ok()) {
     StatusOr<Point> p = rmf.Predict(tq);
     if (p.ok()) prediction.location = *p;
   }
-  return std::vector<Prediction>{prediction};
+  return Result(std::vector<Prediction>{prediction});
+}
+
+StatusOr<std::vector<Prediction>> MovingObjectStore::PredictView(
+    const ObjectView& view, Timestamp tq, int k, QueryContext* ctx,
+    int lane) const {
+  PredictiveQuery query;
+  if (std::optional<StatusOr<std::vector<Prediction>>> finished =
+          PreparePredict(view, tq, k, ctx, lane, &query)) {
+    return std::move(*finished);
+  }
+  return view.predictor->Predict(query);
 }
 
 StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
@@ -366,22 +432,21 @@ StatusOr<std::vector<Prediction>> MovingObjectStore::PredictLocation(
   QueryPipeline pipeline(PipelineEnv(), StoreOp::kPredict, deadline);
   HPM_RETURN_IF_ERROR(pipeline.Admit("predict"));
   pipeline.Plan(1);
+  QueryContext& ctx = pipeline.context();
 
   Shard& shard = ShardFor(id);
-  std::optional<QuerySnapshot> snapshot = pipeline.RunPlan(
-      [&]() -> std::optional<QuerySnapshot> {
-        std::shared_lock<std::shared_mutex> lock(shard.mutex);
-        const auto it = shard.objects.find(id);
-        if (it == shard.objects.end()) return std::nullopt;
-        return MakeSnapshot(id, it->second);
+  const ObjectView* view =
+      pipeline.RunPlan([&]() -> const ObjectView* {
+        // Pin before the pointer loads; the guard rides the context, so
+        // the view stays live for the pipeline's whole lifetime.
+        ctx.AdoptEpochGuard(epoch_->Pin());
+        return FindView(shard, id);
       });
-  if (!snapshot.has_value()) {
+  if (view == nullptr) {
     return Status::NotFound("unknown object id");
   }
-  return pipeline.RunFanOut([&] {
-    return PredictSnapshot(*snapshot, tq, k, &pipeline.context(),
-                           /*lane=*/0);
-  });
+  return pipeline.RunFanOut(
+      [&] { return PredictView(*view, tq, k, &ctx, /*lane=*/0); });
 }
 
 std::vector<StatusOr<std::vector<Prediction>>>
@@ -398,37 +463,54 @@ MovingObjectStore::PredictLocationBatch(const std::vector<ObjectId>& ids,
   pipeline.Plan(1);
   QueryContext& ctx = pipeline.context();
 
-  // One lock acquisition per shard: group the input indices by shard,
-  // then snapshot each group in a single critical section.
-  std::vector<std::optional<QuerySnapshot>> snapshots(ids.size());
+  // Plan: pin the query epoch once, resolve every id to its published
+  // view (raw pointers, valid under the pin for the pipeline's life),
+  // and compute the locality order — by shard, then by model identity,
+  // so consecutive in-flight tasks traverse the same frozen arena.
+  std::vector<const ObjectView*> views(ids.size());
+  std::vector<size_t> order;
   pipeline.RunPlan([&] {
-    std::vector<std::vector<size_t>> by_shard(shards_.size());
+    ctx.AdoptEpochGuard(epoch_->Pin());
+    std::vector<size_t> shard_of(ids.size());
+    std::vector<const void*> model_of(ids.size());
     for (size_t i = 0; i < ids.size(); ++i) {
-      by_shard[ShardIndex(ids[i], shards_.size())].push_back(i);
+      shard_of[i] = ShardIndex(ids[i], shards_.size());
+      views[i] = FindView(*shards_[shard_of[i]], ids[i]);
+      model_of[i] =
+          views[i] != nullptr ? views[i]->predictor.get() : nullptr;
     }
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      if (by_shard[s].empty()) continue;
-      std::shared_lock<std::shared_mutex> lock(shards_[s]->mutex);
-      for (size_t i : by_shard[s]) {
-        const auto it = shards_[s]->objects.find(ids[i]);
-        if (it != shards_[s]->objects.end()) {
-          snapshots[i] = MakeSnapshot(ids[i], it->second);
-        }
-      }
-    }
+    order = BatchExecutor::LocalityOrder(shard_of, model_of);
   });
 
-  // Predict lock-free, fanning contiguous chunks out on the pool; each
-  // chunk owns one scratch lane.
+  // Fan the locality-ordered batch out in contiguous chunks; each chunk
+  // runs its share stall-interleaved. Answers land at their input index,
+  // so the output order is untouched by the reordering.
   std::vector<std::optional<Result>> results(ids.size());
   pipeline.FanOutChunks(
-      ids.size(), [&](size_t begin, size_t end, size_t lane) {
-        for (size_t i = begin; i < end; ++i) {
-          results[i] = snapshots[i].has_value()
-                           ? PredictSnapshot(*snapshots[i], tq, k, &ctx,
-                                             static_cast<int>(lane))
-                           : Result(Status::NotFound("unknown object id"));
-        }
+      order.size(), [&](size_t begin, size_t end, size_t lane) {
+        BatchExecutor executor(options_.batch, &ctx);
+        const std::vector<size_t> chunk(order.begin() + begin,
+                                        order.begin() + end);
+        executor.Run(
+            chunk,
+            [&](size_t item, PredictiveQuery* query,
+                PredictScratch* scratch,
+                HybridPredictor::PredictTask* task)
+                -> std::optional<Result> {
+              const ObjectView* view = views[item];
+              if (view == nullptr) {
+                return Result(Status::NotFound("unknown object id"));
+              }
+              if (std::optional<Result> finished = PreparePredict(
+                      *view, tq, k, &ctx, static_cast<int>(lane), query)) {
+                return finished;
+              }
+              task->Start(*view->predictor, *query, scratch);
+              return std::nullopt;
+            },
+            [&](size_t item, Result result) {
+              results[item] = std::move(result);
+            });
       });
 
   return pipeline.RunMerge([&] {
@@ -451,22 +533,21 @@ Status MovingObjectStore::RangeQueryShard(int shard_index,
     return injected.Annotate("shard_query");
   }
   const Shard& shard = *shards_[static_cast<size_t>(shard_index)];
-  std::vector<QuerySnapshot> snapshots;
-  {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
-    snapshots.reserve(shard.objects.size());
-    for (const auto& [id, state] : shard.objects) {
-      const Timestamp now = static_cast<Timestamp>(state.history.size()) - 1;
-      if (state.history.size() < 2 || tq <= now) continue;
-      snapshots.push_back(MakeSnapshot(id, state));
-    }
-  }
-  for (const QuerySnapshot& snapshot : snapshots) {
+  // This lane's pin: everything loaded below stays live until the lane
+  // releases (the guard lives in the lane's scratch, so even an early
+  // error return stays covered until the pipeline retires the context).
+  PredictScratch& scratch = ctx.lane(static_cast<size_t>(shard_index));
+  scratch.epoch_guard = epoch_->Pin();
+  const ShardTable* table = shard.table.load(std::memory_order_acquire);
+  for (const ObjectRecord* record : table->records) {
+    const ObjectView& view =
+        *record->view.load(std::memory_order_acquire);
+    if (view.history_size < 2 || tq <= view.now) continue;
     // The deadline travels inside the query context: once it expires,
     // each remaining object's answer degrades to the cheap RMF
     // prediction instead of the shard aborting with partial coverage.
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, k_per_object, &ctx, shard_index);
+        PredictView(view, tq, k_per_object, &ctx, shard_index);
     if (!predictions.ok()) {
       return predictions.status();
     }
@@ -475,8 +556,9 @@ Status MovingObjectStore::RangeQueryShard(int shard_index,
       if (!range.Contains(p.location)) continue;
       if (best == nullptr || p.score > best->score) best = &p;
     }
-    if (best != nullptr) hits->push_back({snapshot.id, *best});
+    if (best != nullptr) hits->push_back({view.id, *best});
   }
+  scratch.epoch_guard.Release();
   return Status::OK();
 }
 
@@ -488,24 +570,21 @@ Status MovingObjectStore::NearestNeighborShard(
     return injected.Annotate("shard_query");
   }
   const Shard& shard = *shards_[static_cast<size_t>(shard_index)];
-  std::vector<QuerySnapshot> snapshots;
-  {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
-    snapshots.reserve(shard.objects.size());
-    for (const auto& [id, state] : shard.objects) {
-      const Timestamp now = static_cast<Timestamp>(state.history.size()) - 1;
-      if (state.history.size() < 2 || tq <= now) continue;
-      snapshots.push_back(MakeSnapshot(id, state));
-    }
-  }
-  for (const QuerySnapshot& snapshot : snapshots) {
+  PredictScratch& scratch = ctx.lane(static_cast<size_t>(shard_index));
+  scratch.epoch_guard = epoch_->Pin();
+  const ShardTable* table = shard.table.load(std::memory_order_acquire);
+  for (const ObjectRecord* record : table->records) {
+    const ObjectView& view =
+        *record->view.load(std::memory_order_acquire);
+    if (view.history_size < 2 || tq <= view.now) continue;
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, 1, &ctx, shard_index);
+        PredictView(view, tq, 1, &ctx, shard_index);
     if (!predictions.ok()) {
       return predictions.status();
     }
-    hits->push_back({snapshot.id, predictions->front()});
+    hits->push_back({view.id, predictions->front()});
   }
+  scratch.epoch_guard.Release();
   return Status::OK();
 }
 
@@ -590,15 +669,14 @@ bool MovingObjectStore::HasContinuousQueries() const {
   return !continuous_->queries.empty();
 }
 
-void MovingObjectStore::EvaluateContinuousQueries(
-    const QuerySnapshot& snapshot) {
-  if (snapshot.history_size < 2) return;
+void MovingObjectStore::EvaluateContinuousQueries(const ObjectView& view) {
+  if (view.history_size < 2) return;
   std::lock_guard<std::mutex> lock(continuous_->mutex);
   for (auto& [query_id, query] : continuous_->queries) {
-    const Timestamp tq = snapshot.now + query.horizon;
+    const Timestamp tq = view.now + query.horizon;
     StatusOr<std::vector<Prediction>> predictions =
-        PredictSnapshot(snapshot, tq, query.k_per_object, /*ctx=*/nullptr,
-                        /*lane=*/0);
+        PredictView(view, tq, query.k_per_object, /*ctx=*/nullptr,
+                    /*lane=*/0);
     if (!predictions.ok()) continue;
     const Prediction* matching = nullptr;
     for (const Prediction& p : *predictions) {
@@ -607,19 +685,19 @@ void MovingObjectStore::EvaluateContinuousQueries(
       }
     }
     const bool inside_now = matching != nullptr;
-    const auto it = query.inside.find(snapshot.id);
+    const auto it = query.inside.find(view.id);
     const bool inside_before = it != query.inside.end() && it->second;
     if (inside_now != inside_before) {
       ContinuousEvent event;
       event.query_id = query_id;
-      event.object = snapshot.id;
+      event.object = view.id;
       event.entered = inside_now;
       event.prediction = inside_now ? *matching : predictions->front();
       event.evaluated_at = tq;
       std::lock_guard<std::mutex> events_lock(continuous_->events_mutex);
       continuous_->pending_events.push_back(std::move(event));
     }
-    query.inside[snapshot.id] = inside_now;
+    query.inside[view.id] = inside_now;
   }
 }
 

@@ -12,12 +12,19 @@
 //     serve, here answered from patterns + motion fallback).
 //
 // Threading model (see docs/ARCHITECTURE.md §8 for the full story): the
-// fleet is hash-partitioned into `num_shards` shards, each owning its
-// object map behind a std::shared_mutex. Trained models are immutable
-// HybridPredictor snapshots held by shared_ptr and swapped atomically on
-// (re)train, so readers never block behind training; fleet queries fan
-// out across shards on an internal thread pool. Every public member is
-// safe to call concurrently from any number of threads, except move
+// fleet is hash-partitioned into `num_shards` shards. The query read
+// path takes NO lock: each shard publishes an immutable directory
+// (ShardTable) of stable-address ObjectRecords, and each record
+// publishes an immutable per-object snapshot (ObjectView); readers pin
+// the store's epoch with an RAII guard, acquire-load those pointers and
+// use them in place. Writers (ingest, training swaps, persistence)
+// serialise on a per-shard plain mutex, publish replacement
+// tables/views with release stores and Retire() the old ones through
+// the EpochManager, which frees them only after every reader pinned at
+// or before the retirement has unpinned. Fleet queries fan out across
+// shards on an internal thread pool; batches execute stall-interleaved
+// (server/batch_executor.h). Every public member is safe to call
+// concurrently from any number of threads, except move
 // construction/assignment and SaveToDirectory/LoadFromDirectory's
 // returned store before it is published to other threads.
 
@@ -31,18 +38,20 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/admission.h"
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
+#include "common/epoch.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/exec_context.h"
 #include "core/hybrid_predictor.h"
+#include "server/batch_executor.h"
 #include "server/query_pipeline.h"
 #include "server/store_types.h"
 
@@ -70,9 +79,14 @@ struct ObjectStoreOptions {
   int recent_window = 10;
 
   /// Number of hash partitions of the fleet; each shard has its own
-  /// reader/writer lock, so independent shards ingest and serve fully
-  /// concurrently. Must be >= 1.
+  /// writer lock and published table, so independent shards ingest fully
+  /// concurrently (reads never contend regardless). Must be >= 1.
   int num_shards = 8;
+
+  /// Stall-interleaved batch execution (PredictLocationBatch): how many
+  /// predictions each fan-out lane keeps in flight and the traversal
+  /// budget per step. width = 1 runs the batch strictly sequentially.
+  BatchExecOptions batch;
 
   /// Worker threads for fleet-query fan-out (range / kNN / batch).
   /// 0 = ThreadPool::DefaultThreadCount(). With 1, fan-out runs inline
@@ -212,8 +226,8 @@ class MovingObjectStore {
   /// descending. `k_per_object` controls how many candidate locations
   /// are considered per object. Objects whose last report precedes `tq`
   /// by less than one step are skipped. Fans out across shards on the
-  /// thread pool; each shard's objects are evaluated against a snapshot
-  /// taken under its reader lock.
+  /// thread pool; each shard's objects are evaluated against their
+  /// epoch-protected published views (no lock taken).
   /// A `deadline` bounds the pattern-side work per object: once it
   /// expires, remaining objects are evaluated with their (cheap) RMF
   /// answers, so the result set still covers every eligible object.
@@ -287,7 +301,7 @@ class MovingObjectStore {
   /// ---- Persistence ----------------------------------------------------
   /// Writes the whole store (per-object history CSV + trained model +
   /// manifest) under `directory`, creating it if needed. Each object is
-  /// snapshotted under its shard's reader lock; objects reported while
+  /// snapshotted under its shard's writer lock; objects reported while
   /// the save runs may be missed.
   Status SaveToDirectory(const std::string& directory) const;
 
@@ -298,7 +312,34 @@ class MovingObjectStore {
       const std::string& directory, ObjectStoreOptions options);
 
  private:
-  struct ObjectState {
+  /// Everything a prediction needs, snapshotted by the writer at publish
+  /// time. Immutable once published; readers use it in place (no copy,
+  /// no refcount touch) while their epoch pin is held, and the epoch
+  /// manager frees it after the last such reader unpins.
+  struct ObjectView {
+    ObjectId id = 0;
+    size_t history_size = 0;
+    Timestamp now = 0;
+    std::vector<TimedPoint> recent;
+    /// Shared handle pins the model generation for at least the view's
+    /// lifetime; readers go through the raw pointer.
+    std::shared_ptr<const HybridPredictor> predictor;
+  };
+
+  /// One tracked object. Stable-address (owned by unique_ptr in the
+  /// shard's record map, never deleted while the store lives). The
+  /// writer fields are guarded by the owning shard's write_mutex; `view`
+  /// is the epoch-protected published snapshot, rebuilt and swapped on
+  /// every append and every model swap.
+  struct ObjectRecord {
+    explicit ObjectRecord(ObjectId object_id) : id(object_id) {}
+    ~ObjectRecord() { delete view.load(std::memory_order_relaxed); }
+    ObjectRecord(const ObjectRecord&) = delete;
+    ObjectRecord& operator=(const ObjectRecord&) = delete;
+
+    const ObjectId id;
+
+    // --- writer state (shard write_mutex) --------------------------------
     Trajectory history;
     /// Immutable trained model; replaced wholesale (never mutated) when
     /// training or incremental incorporation completes.
@@ -306,27 +347,37 @@ class MovingObjectStore {
     /// Samples already consumed by Train / WithNewHistory.
     size_t consumed_samples = 0;
     /// True while a reporting thread is mining this object outside the
-    /// shard lock; prevents duplicate concurrent (re)trains.
+    /// writer lock; prevents duplicate concurrent (re)trains.
     bool training_in_flight = false;
+
+    // --- read side -------------------------------------------------------
+    /// Release-published, acquire-loaded, non-null from the moment the
+    /// record becomes reachable through a shard table.
+    std::atomic<const ObjectView*> view{nullptr};
   };
 
-  /// Everything a prediction needs, copied out under the shard's reader
-  /// lock so the computation runs lock-free against immutable state.
-  struct QuerySnapshot {
-    ObjectId id = 0;
-    size_t history_size = 0;
-    Timestamp now = 0;
-    std::vector<TimedPoint> recent;
-    std::shared_ptr<const HybridPredictor> predictor;
+  /// A shard's immutable directory: records sorted by id. Replaced
+  /// wholesale (publish + retire) when an object is added.
+  struct ShardTable {
+    std::vector<const ObjectRecord*> records;
+    const ObjectRecord* Find(ObjectId id) const;
   };
 
   struct Shard {
-    mutable std::shared_mutex mutex;
-    std::map<ObjectId, ObjectState> objects;
-    /// Malformed reports rejected per object. Kept beside `objects` (not
-    /// inside ObjectState) so a rejected report never creates a phantom
+    Shard() : table(new ShardTable) {}
+    ~Shard() { delete table.load(std::memory_order_relaxed); }
+
+    /// Serialises writers (ingest, training swaps, persistence reads of
+    /// writer state). Never taken on a query read path.
+    mutable std::mutex write_mutex;
+    /// Record ownership (write_mutex). Records are never erased.
+    std::map<ObjectId, std::unique_ptr<ObjectRecord>> records;
+    /// Malformed reports rejected per object. Kept beside `records` (not
+    /// inside ObjectRecord) so a rejected report never creates a phantom
     /// object in ObjectIds()/NumObjects().
     std::map<ObjectId, uint64_t> rejected_reports;
+    /// Epoch-protected, acquire-loaded by readers.
+    std::atomic<const ShardTable*> table;
   };
 
   struct ContinuousQuery {
@@ -354,18 +405,44 @@ class MovingObjectStore {
     return *shards_[ShardIndex(id, shards_.size())];
   }
 
-  /// Builds a snapshot from a state the caller has (at least) read-locked.
-  QuerySnapshot MakeSnapshot(ObjectId id, const ObjectState& state) const;
+  /// Builds a fresh view of `record`'s writer state (caller holds the
+  /// shard's write_mutex, or owns the record exclusively while loading).
+  const ObjectView* BuildView(const ObjectRecord& record) const;
 
-  /// Predicts against a snapshot; no locks held. Mirrors the pre-shard
-  /// PredictForState semantics exactly. The execution context (may be
-  /// null for context-free callers — continuous queries) supplies the
-  /// deadline, the rung-1 shed verdict (a trained object's answer is
-  /// then the RMF motion function stamped DegradedReason::kOverloaded),
-  /// scratch lane `lane`, and per-query accounting.
-  StatusOr<std::vector<Prediction>> PredictSnapshot(
-      const QuerySnapshot& snapshot, Timestamp tq, int k, QueryContext* ctx,
-      int lane) const;
+  /// Swaps `view` in as `record`'s published snapshot and retires the
+  /// previous one (write_mutex held).
+  void PublishView(ObjectRecord& record, const ObjectView* view);
+
+  /// Rebuilds the shard's table from its record map, publishes it and
+  /// retires the previous table (write_mutex held). `record`'s view must
+  /// already be published — readers must never see a viewless record.
+  void PublishTable(Shard& shard);
+
+  /// The published view for `id`, or null when the object is unknown.
+  /// Caller must hold an epoch pin taken before the call.
+  const ObjectView* FindView(const Shard& shard, ObjectId id) const;
+
+  /// Predicts against a published view; the caller holds an epoch pin,
+  /// no locks. Mirrors the pre-shard PredictForState semantics exactly.
+  /// The execution context (may be null for context-free callers —
+  /// continuous queries) supplies the deadline, the rung-1 shed verdict
+  /// (a trained object's answer is then the RMF motion function stamped
+  /// DegradedReason::kOverloaded), scratch lane `lane`, and per-query
+  /// accounting.
+  StatusOr<std::vector<Prediction>> PredictView(const ObjectView& view,
+                                                Timestamp tq, int k,
+                                                QueryContext* ctx,
+                                                int lane) const;
+
+  /// The shared front half of PredictView and the batched path:
+  /// validation, accounting, query assembly, and the shed / cold-start
+  /// answers. Returns the finished result for queries that never reach
+  /// the pattern side; otherwise fills `*query` and returns nullopt —
+  /// the caller runs `view.predictor->Predict(*query)` (sequential) or
+  /// a PredictTask (batched), which are the same computation.
+  std::optional<StatusOr<std::vector<Prediction>>> PreparePredict(
+      const ObjectView& view, Timestamp tq, int k, QueryContext* ctx,
+      int lane, PredictiveQuery* query) const;
 
   /// Shared ReportLocation/ReportLocationAt back half, one pipeline
   /// instantiation: validates the sample (including `*expected_t`'s
@@ -384,9 +461,10 @@ class MovingObjectStore {
   Status MaybeTrain(Shard& shard, ObjectId id, QueryPipeline& pipeline);
 
   /// One shard's share of PredictiveRangeQuery / NearestNeighbors,
-  /// running as a fan-out lane of `ctx`: snapshot eligible objects under
-  /// the reader lock, predict unlocked into `*hits`. `shard_index` names
-  /// the per-shard fault site and the scratch lane.
+  /// running as a fan-out lane of `ctx`: pin the epoch in the lane's
+  /// scratch guard, walk the shard's published table and predict against
+  /// each eligible view in place — no lock, no copies. `shard_index`
+  /// names the per-shard fault site and the scratch lane.
   Status RangeQueryShard(int shard_index, const BoundingBox& range,
                          Timestamp tq, int k_per_object, QueryContext& ctx,
                          std::vector<RangeHit>* hits) const;
@@ -399,8 +477,8 @@ class MovingObjectStore {
   QueryPipeline::Env PipelineEnv() const;
 
   /// Re-evaluates every standing query for the object that just
-  /// reported, against the given snapshot.
-  void EvaluateContinuousQueries(const QuerySnapshot& snapshot);
+  /// reported, against the given view (caller holds an epoch pin).
+  void EvaluateContinuousQueries(const ObjectView& view);
 
   bool HasContinuousQueries() const;
 
@@ -413,6 +491,9 @@ class MovingObjectStore {
   std::unique_ptr<AtomicOverloadStats> stats_;
   std::unique_ptr<MetricsRegistry> metrics_registry_;
   std::unique_ptr<StoreMetrics> metrics_;
+  /// Declared last: destroyed first, so draining its limbo (which bumps
+  /// the epoch.* counters) still has a live metrics registry.
+  std::unique_ptr<EpochManager> epoch_;
 };
 
 }  // namespace hpm

@@ -35,6 +35,10 @@ StoreMetrics::StoreMetrics(MetricsRegistry* registry) {
   reports_rejected = registry->GetCounter("store.reports_rejected");
   objects_evaluated = registry->GetCounter("store.objects_evaluated");
   motion_fits = registry->GetCounter("store.motion_fits");
+  batch_interleaved = registry->GetCounter("batch.interleaved");
+  epoch_pinned = registry->GetCounter("epoch.pinned");
+  epoch_retired = registry->GetCounter("epoch.retired");
+  epoch_freed = registry->GetCounter("epoch.freed");
   tpt_nodes_visited = registry->GetCounter("tpt.nodes_visited");
   tpt_entries_tested = registry->GetCounter("tpt.entries_tested");
   tpt_blocks_scanned = registry->GetCounter("tpt.block_scans");
@@ -235,6 +239,7 @@ void QueryPipeline::Account() {
     m->reports_rejected->Increment(totals.reports_rejected);
     m->objects_evaluated->Increment(totals.objects_evaluated);
     m->motion_fits->Increment(totals.motion_fits);
+    m->batch_interleaved->Increment(totals.batch_interleaved);
     m->tpt_nodes_visited->Increment(totals.tpt_nodes_visited);
     m->tpt_entries_tested->Increment(totals.tpt_entries_tested);
     m->tpt_blocks_scanned->Increment(totals.tpt_blocks_scanned);
@@ -251,6 +256,9 @@ void QueryPipeline::Account() {
     trace.AddCounter("degraded_predictions", totals.degraded_predictions);
     trace.AddCounter("shards_skipped", totals.shards_skipped);
     trace.AddCounter("motion_fits", totals.motion_fits);
+    if (totals.batch_interleaved > 0) {
+      trace.AddCounter("batch_interleaved", totals.batch_interleaved);
+    }
     trace.AddCounter("tpt_nodes_visited", totals.tpt_nodes_visited);
     trace.AddCounter("tpt_entries_tested", totals.tpt_entries_tested);
     trace.AddCounter("tpt_blocks_scanned", totals.tpt_blocks_scanned);

@@ -75,6 +75,14 @@ struct StoreMetrics {
   Counter* reports_rejected;
   Counter* objects_evaluated;
   Counter* motion_fits;
+  /// Batch-executor stall interleaves: times it switched away from a
+  /// yielded traversal to advance another query's.
+  Counter* batch_interleaved;
+  /// Epoch-reclamation lifecycle (wired straight into the store's
+  /// EpochManager, which increments them itself).
+  Counter* epoch_pinned;
+  Counter* epoch_retired;
+  Counter* epoch_freed;
   Counter* tpt_nodes_visited;
   Counter* tpt_entries_tested;
   Counter* tpt_blocks_scanned;

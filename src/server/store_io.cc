@@ -216,12 +216,12 @@ Status MovingObjectStore::SaveToDirectory(
     size_t consumed = 0;
     {
       Shard& shard = ShardFor(id);
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
-      const auto it = shard.objects.find(id);
-      if (it == shard.objects.end()) continue;
-      history = it->second.history;
-      predictor = it->second.predictor;
-      consumed = it->second.consumed_samples;
+      std::lock_guard<std::mutex> lock(shard.write_mutex);
+      const auto it = shard.records.find(id);
+      if (it == shard.records.end()) continue;
+      history = it->second->history;
+      predictor = it->second->predictor;
+      consumed = it->second->consumed_samples;
     }
     const bool has_model = predictor != nullptr;
     const std::string csv = FormatTrajectoryCsv(history);
@@ -317,9 +317,9 @@ StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
         return Status::DataLoss("corrupt consumed count for object " +
                                 std::to_string(entry.id));
       }
-      ObjectState state;
-      state.history = std::move(*history);
-      state.consumed_samples = entry.consumed;
+      auto record = std::make_unique<ObjectRecord>(entry.id);
+      record->history = std::move(*history);
+      record->consumed_samples = entry.consumed;
       if (entry.has_model) {
         const std::string model_path = ModelPath(directory, entry.id, gen);
         *bad_file = model_path;
@@ -330,13 +330,18 @@ StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
               return HybridPredictor::LoadFromFile(model_path);
             });
         if (!predictor.ok()) return predictor.status();
-        state.predictor = std::move(*predictor);
+        record->predictor = std::move(*predictor);
         store.metrics_->tpt_frozen_bytes->Increment(
-            state.predictor->summary().tpt_frozen_bytes);
+            record->predictor->summary().tpt_frozen_bytes);
       }
-      // The store is unpublished while loading; no lock needed.
-      store.ShardFor(entry.id).objects.emplace(entry.id, std::move(state));
+      // The store is unpublished while loading; no lock needed, and the
+      // tables are (re)published in one sweep below.
+      record->view.store(store.BuildView(*record),
+                         std::memory_order_relaxed);
+      store.ShardFor(entry.id).records.emplace(entry.id,
+                                               std::move(record));
     }
+    for (const auto& shard : store.shards_) store.PublishTable(*shard);
     bad_file->clear();
     return store;
   };

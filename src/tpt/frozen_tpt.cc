@@ -21,9 +21,9 @@ constexpr uint32_t kSectionVersion = 1;
 constexpr uint32_t kMaxKeyBits = 1u << 22;
 
 /// Uniform leaf depth in a sane tree is logarithmic in pattern count; a
-/// parsed topology deeper than this is corrupt (and would otherwise let
-/// an adversarial file drive unbounded search recursion).
-constexpr int kMaxHeight = 64;
+/// parsed topology deeper than this is corrupt (and would otherwise
+/// overflow SearchCursor's fixed frame stack).
+constexpr int kMaxHeight = FrozenTpt::kMaxDepth;
 
 size_t WordsForBits(size_t bits) { return (bits + 63) / 64; }
 
@@ -182,42 +182,82 @@ FrozenTpt FrozenTpt::Freeze(const TptTree& tree) {
   return frozen;
 }
 
-void FrozenTpt::SearchNode(uint32_t node_index,
-                           const uint64_t* query_consequence,
-                           const uint64_t* query_premise, SearchMode mode,
-                           std::vector<const IndexedPattern*>* out,
-                           TptSearchStats* stats) const {
-  const NodeRef node = nodes_[node_index];
-  if (stats != nullptr) ++stats->nodes_visited;
-
-  const size_t stride = Stride();
-  const uint64_t* block = key_words_.data() + node.first_entry * stride;
-  const uint32_t* target = entry_target_.data() + node.first_entry;
-  for (uint32_t i = 0; i < node.num_entries; ++i, block += stride) {
+bool FrozenTpt::SearchCursor::Step(size_t max_entry_tests) {
+  size_t budget = max_entry_tests;
+  while (depth_ > 0 && budget > 0) {
+    Frame& frame = frames_[depth_ - 1];
+    const NodeRef node = tree_->nodes_[frame.node];
+    if (frame.entry == node.num_entries) {
+      --depth_;  // This subtree is exhausted; resume in the parent.
+      continue;
+    }
+    const uint32_t i = frame.entry++;
+    const size_t stride = tree_->Stride();
+    const uint64_t* block =
+        tree_->key_words_.data() + (node.first_entry + i) * stride;
     if (i + 1 < node.num_entries) {
       __builtin_prefetch(block + stride);
     }
-    if (stats != nullptr) ++stats->entries_tested;
+    if (stats_ != nullptr) ++stats_->entries_tested;
+    --budget;
     // Consequence part first (both modes prune on it), premise part only
     // when FQP still needs it — same short-circuit order as
     // PatternKey::Intersects, so entries_tested/pruning match the
     // mutable tree exactly.
     bool match =
-        wordops::AnyCommon(block, query_consequence, consequence_words_);
-    if (stats != nullptr) ++stats->blocks_scanned;
-    if (match && mode == SearchMode::kPremiseAndConsequence) {
-      match = wordops::AnyCommon(block + consequence_words_, query_premise,
-                                 premise_words_);
-      if (stats != nullptr) ++stats->blocks_scanned;
+        wordops::AnyCommon(block, query_consequence_,
+                           tree_->consequence_words_);
+    if (stats_ != nullptr) ++stats_->blocks_scanned;
+    if (match && mode_ == SearchMode::kPremiseAndConsequence) {
+      match = wordops::AnyCommon(block + tree_->consequence_words_,
+                                 query_premise_, tree_->premise_words_);
+      if (stats_ != nullptr) ++stats_->blocks_scanned;
     }
     if (!match) continue;
+    const uint32_t target = tree_->entry_target_[node.first_entry + i];
     if (node.is_leaf != 0) {
-      out->push_back(&patterns_[target[i]]);
+      out_->push_back(&tree_->patterns_[target]);
     } else {
-      SearchNode(target[i], query_consequence, query_premise, mode, out,
-                 stats);
+      HPM_CHECK(depth_ < kMaxDepth);
+      frames_[depth_++] = Frame{target, 0};
+      if (stats_ != nullptr) ++stats_->nodes_visited;
     }
   }
+  return depth_ == 0;
+}
+
+void FrozenTpt::SearchCursor::Prefetch() const {
+  // Walk up from the current frame to the first node with an untested
+  // entry — that entry's block is the next one Step will touch.
+  for (int d = depth_; d > 0; --d) {
+    const Frame& frame = frames_[d - 1];
+    const NodeRef node = tree_->nodes_[frame.node];
+    if (frame.entry == node.num_entries) continue;
+    __builtin_prefetch(tree_->key_words_.data() +
+                       (node.first_entry + frame.entry) * tree_->Stride());
+    return;
+  }
+}
+
+FrozenTpt::SearchCursor FrozenTpt::StartSearch(
+    const PatternKey& query, SearchMode mode,
+    std::vector<const IndexedPattern*>* out, TptSearchStats* stats) const {
+  out->clear();
+  SearchCursor cursor;
+  if (patterns_.empty()) return cursor;
+  HPM_CHECK(query.consequence().size() == consequence_bits_);
+  if (mode == SearchMode::kPremiseAndConsequence) {
+    HPM_CHECK(query.premise().size() == premise_bits_);
+  }
+  cursor.tree_ = this;
+  cursor.query_consequence_ = query.consequence().words();
+  cursor.query_premise_ = query.premise().words();
+  cursor.mode_ = mode;
+  cursor.out_ = out;
+  cursor.stats_ = stats;
+  cursor.frames_[cursor.depth_++] = SearchCursor::Frame{0, 0};
+  if (stats != nullptr) ++stats->nodes_visited;
+  return cursor;
 }
 
 std::vector<const IndexedPattern*> FrozenTpt::Search(
@@ -230,14 +270,9 @@ std::vector<const IndexedPattern*> FrozenTpt::Search(
 void FrozenTpt::SearchInto(const PatternKey& query, SearchMode mode,
                            std::vector<const IndexedPattern*>* out,
                            TptSearchStats* stats) const {
-  out->clear();
-  if (patterns_.empty()) return;
-  HPM_CHECK(query.consequence().size() == consequence_bits_);
-  if (mode == SearchMode::kPremiseAndConsequence) {
-    HPM_CHECK(query.premise().size() == premise_bits_);
+  SearchCursor cursor = StartSearch(query, mode, out, stats);
+  while (!cursor.Step(SIZE_MAX)) {
   }
-  SearchNode(0, query.consequence().words(), query.premise().words(), mode,
-             out, stats);
 }
 
 size_t FrozenTpt::MemoryBytes() const {

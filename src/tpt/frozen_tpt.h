@@ -36,6 +36,7 @@
 #ifndef HPM_TPT_FROZEN_TPT_H_
 #define HPM_TPT_FROZEN_TPT_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -91,6 +92,11 @@ class FrozenTpt {
   /// read; the frozen copy shares nothing with it.
   static FrozenTpt Freeze(const TptTree& tree);
 
+  /// Depth bound: Parse rejects deeper topologies and SearchCursor's
+  /// fixed frame stack assumes it (a sane tree is logarithmic — 64
+  /// levels would need ~2^64 patterns).
+  static constexpr int kMaxDepth = 64;
+
   /// All leaf entries matching `query` under `mode`, in the mutable
   /// tree's traversal order. Pointers remain valid for the lifetime of
   /// this FrozenTpt.
@@ -103,6 +109,58 @@ class FrozenTpt {
   void SearchInto(const PatternKey& query, SearchMode mode,
                   std::vector<const IndexedPattern*>* out,
                   TptSearchStats* stats = nullptr) const;
+
+  /// A paused depth-first traversal that can be advanced a few entry
+  /// tests at a time. SearchInto is exactly StartSearch + Step-to-done,
+  /// so interleaved (batched) and sequential execution produce
+  /// bit-identical hits, hit order and TptSearchStats by construction —
+  /// the cursor IS the search, not a second implementation of it.
+  ///
+  /// Lifetime: the cursor borrows the tree, the query key's word arrays,
+  /// `out` and `stats`; all four must outlive it. A default-constructed
+  /// cursor is done.
+  class SearchCursor {
+   public:
+    SearchCursor() = default;
+
+    bool done() const { return depth_ == 0; }
+
+    /// Runs at most `max_entry_tests` entry tests (descents and frame
+    /// pops are free — the budget meters signature-block work, the part
+    /// worth interleaving). Returns done().
+    bool Step(size_t max_entry_tests);
+
+    /// Issues a prefetch for the next signature block Step would test,
+    /// so a batch executor can warm it before switching to another
+    /// query. No effect on results or stats; no-op when done.
+    void Prefetch() const;
+
+   private:
+    friend class FrozenTpt;
+
+    struct Frame {
+      uint32_t node = 0;
+      uint32_t entry = 0;
+    };
+
+    const FrozenTpt* tree_ = nullptr;
+    const uint64_t* query_consequence_ = nullptr;
+    const uint64_t* query_premise_ = nullptr;
+    SearchMode mode_ = SearchMode::kPremiseAndConsequence;
+    std::vector<const IndexedPattern*>* out_ = nullptr;
+    TptSearchStats* stats_ = nullptr;
+    /// frames_[0..depth_) is the DFS stack; depth_ == 0 means done.
+    std::array<Frame, kMaxDepth> frames_;
+    int depth_ = 0;
+  };
+
+  /// Begins a resumable search: clears `out`, validates the query key
+  /// widths, and (for a non-empty tree) visits the root. Drive the
+  /// returned cursor with Step() until done; hits land in `out` in the
+  /// same order SearchInto emits them.
+  SearchCursor StartSearch(const PatternKey& query, SearchMode mode,
+                           std::vector<const IndexedPattern*>* out,
+                           TptSearchStats* stats = nullptr) const;
 
   /// Number of indexed patterns.
   size_t size() const { return patterns_.size(); }
@@ -159,11 +217,6 @@ class FrozenTpt {
   static Status ValidateTopology(const std::vector<NodeRef>& nodes,
                                  const std::vector<uint32_t>& targets,
                                  size_t num_patterns, int* height);
-
-  void SearchNode(uint32_t node_index, const uint64_t* query_consequence,
-                  const uint64_t* query_premise, SearchMode mode,
-                  std::vector<const IndexedPattern*>* out,
-                  TptSearchStats* stats) const;
 
   std::vector<NodeRef> nodes_;
   std::vector<uint32_t> entry_target_;
