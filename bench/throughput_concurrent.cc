@@ -29,6 +29,12 @@
 // histograms (admit/plan/fanout/merge, see docs/OBSERVABILITY.md) are
 // dumped alongside so a latency regression can be localised to a stage
 // straight from the JSON.
+//
+// --durability measures the price of the write-ahead report journal
+// (docs/ROBUSTNESS.md): single-threaded ingest ops/sec with the journal
+// off, then at each sync policy (none / interval / every_record) into a
+// scratch directory, with the store's wal.appended / wal.synced counters
+// recorded so the JSON itself proves which policy actually ran.
 
 #include <algorithm>
 #include <chrono>
@@ -36,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iterator>
 #include <mutex>
 #include <string>
@@ -47,6 +54,7 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "io/wal.h"
 #include "server/object_store.h"
 
 namespace {
@@ -367,6 +375,79 @@ OverloadReport RunOverload(uint64_t seed) {
   return report;
 }
 
+// ---- Durability mode -------------------------------------------------------
+
+constexpr int kDurabilityOpsPerThread = 4000;
+
+struct DurabilityPoint {
+  std::string mode;        ///< "off", "none", "interval", "every_record".
+  double ingest_ops = 0;   ///< Single-threaded ReportLocation ops/sec.
+  uint64_t appended = 0;   ///< wal.appended after the timed run.
+  uint64_t synced = 0;     ///< wal.synced — proves the policy differed.
+  bool durable = true;     ///< False would mean the journal degraded.
+};
+
+/// Times single-threaded ingest with the journal in `mode`. One thread:
+/// the journal serialises appends per shard anyway, and a single lane
+/// makes the per-policy cost directly comparable.
+DurabilityPoint MeasureDurability(const char* mode, uint64_t seed) {
+  DurabilityPoint point;
+  point.mode = mode;
+  ObjectStoreOptions options = StoreOptions();
+  std::string scratch;
+  if (std::strcmp(mode, "off") != 0) {
+    scratch = std::filesystem::temp_directory_path().string() +
+              "/hpm_bench_wal_" + mode;
+    std::filesystem::remove_all(scratch);
+    options.durability.wal_dir = scratch + "/wal";
+    if (std::strcmp(mode, "none") == 0) {
+      options.durability.sync_policy = WalSyncPolicy::kNone;
+    } else if (std::strcmp(mode, "interval") == 0) {
+      options.durability.sync_policy = WalSyncPolicy::kInterval;
+    } else {
+      options.durability.sync_policy = WalSyncPolicy::kEveryRecord;
+    }
+  }
+  {
+    MovingObjectStore store(options);
+    WarmUp(&store);
+    // Count the journal traffic of the timed window only, not warm-up's.
+    const MetricsSnapshot before = store.metrics_snapshot();
+    point.ingest_ops = MeasureOps(
+        1, kDurabilityOpsPerThread, seed, [&store](int, int i, Random& rng) {
+          const ObjectId id = static_cast<ObjectId>(i % kObjects);
+          const Timestamp t =
+              static_cast<Timestamp>(kTrainPeriods * kPeriod + i / kObjects);
+          (void)store.ReportLocation(id, Jitter(rng, Route(id, t)));
+        });
+    const MetricsSnapshot after = store.metrics_snapshot();
+    point.appended =
+        after.counter("wal.appended") - before.counter("wal.appended");
+    point.synced = after.counter("wal.synced") - before.counter("wal.synced");
+    point.durable = scratch.empty() ? true : store.wal_durable();
+  }
+  if (!scratch.empty()) std::filesystem::remove_all(scratch);
+  return point;
+}
+
+std::string DurabilityJson(const std::vector<DurabilityPoint>& points) {
+  std::string json = "  \"durability\": [\n";
+  char buf[192];
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"mode\": \"%s\", \"ingest_ops_per_sec\": %.0f, "
+                  "\"wal_appended\": %" PRIu64 ", \"wal_synced\": %" PRIu64
+                  ", \"durable\": %s}%s\n",
+                  points[i].mode.c_str(), points[i].ingest_ops,
+                  points[i].appended, points[i].synced,
+                  points[i].durable ? "true" : "false",
+                  i + 1 < points.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  return json;
+}
+
 /// Pipeline-stage breakdown of the overloaded store: where admitted
 /// queries spent their time (histogram upper-bound percentiles, so the
 /// numbers are conservative per docs/OBSERVABILITY.md).
@@ -413,7 +494,8 @@ std::string OverloadJson(const OverloadReport& report) {
 }
 
 std::string ToJson(const std::vector<ThreadPoint>& points, uint64_t seed,
-                   const std::string& overload_json) {
+                   const std::string& overload_json,
+                   const std::string& durability_json) {
   std::string json = "{\n  \"bench\": \"throughput_concurrent\",\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -423,7 +505,8 @@ std::string ToJson(const std::vector<ThreadPoint>& points, uint64_t seed,
                 kObjects, StoreOptions().num_shards,
                 std::thread::hardware_concurrency(), seed);
   json += buf;
-  json += overload_json;  // Empty unless --overload ran.
+  json += overload_json;    // Empty unless --overload ran.
+  json += durability_json;  // Empty unless --durability ran.
   json += "  \"series\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
@@ -447,6 +530,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_throughput.json";
   uint64_t seed = kDefaultSeed;
   bool overload = false;
+  bool durability = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -456,9 +540,12 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (std::strcmp(argv[i], "--overload") == 0) {
       overload = true;
+    } else if (std::strcmp(argv[i], "--durability") == 0) {
+      durability = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--out PATH] [--seed N] [--overload]\n",
+                   "usage: %s [--out PATH] [--seed N] [--overload] "
+                   "[--durability]\n",
                    argv[0]);
       return 1;
     }
@@ -474,13 +561,24 @@ int main(int argc, char** argv) {
                  report.full, report.degraded, report.shed, report.other);
   }
 
+  std::string durability_json;
+  if (durability) {
+    std::vector<DurabilityPoint> modes;
+    for (const char* mode : {"off", "none", "interval", "every_record"}) {
+      modes.push_back(MeasureDurability(mode, seed));
+      std::fprintf(stderr, "durability mode=%s done: %.0f ops/s\n", mode,
+                   modes.back().ingest_ops);
+    }
+    durability_json = DurabilityJson(modes);
+  }
+
   std::vector<ThreadPoint> points;
   for (int threads : {1, 2, 4, 8}) {
     points.push_back(RunAtThreadCount(threads, seed));
     std::fprintf(stderr, "threads=%d done\n", threads);
   }
 
-  const std::string json = ToJson(points, seed, overload_json);
+  const std::string json = ToJson(points, seed, overload_json, durability_json);
   std::fputs(json.c_str(), stdout);
   if (!out_path.empty()) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");

@@ -6,6 +6,12 @@ const char* const kKnownFaultSites[] = {
     "core/pattern_lookup",  // ForwardQuery/BackwardQuery pattern-side answer
     "core/train",           // Train / WithNewHistory model (re)build
     "io/atomic_write",      // after temp file written, before atomic rename
+    "io/atomic_write_data",  // mid-fwrite of the temp file (torn prefix)
+    "io/atomic_write_sync",  // fsync of the temp file (EIO/ENOSPC model)
+    "wal/append",           // journal record write (leaves a torn prefix)
+    "wal/sync",             // journal fdatasync per the sync policy
+    "wal/rotate",           // segment rollover at snapshot start
+    "wal/retire",           // covered-segment deletion after commit
     "store/save_object",    // per-object trajectory/model persistence
     "store/save_manifest",  // manifest write for the new generation
     "store/save_commit",    // CURRENT pointer swap (the commit point)

@@ -18,13 +18,30 @@ Status AtomicWriteFile(const std::string& path, const std::string& content) {
     return Status::InvalidArgument("cannot open " + tmp + ": " +
                                    std::strerror(errno));
   }
-  const bool wrote =
-      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const Status data_fault = HPM_FAULT_HIT("io/atomic_write_data");
+  bool wrote;
+  if (!data_fault.ok()) {
+    // Model the short write the site stands for: a prefix of the content
+    // reaches the temp file, then the device fails. The torn temp file is
+    // removed below — the target must stay untouched.
+    std::fwrite(content.data(), 1, content.size() / 2, f);
+    wrote = false;
+  } else {
+    wrote =
+        std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  }
   const bool flushed = wrote && std::fflush(f) == 0;
-  const bool synced = flushed && ::fsync(::fileno(f)) == 0;
+  Status sync_fault = Status::OK();
+  bool synced = false;
+  if (flushed) {
+    sync_fault = HPM_FAULT_HIT("io/atomic_write_sync");
+    synced = sync_fault.ok() && ::fsync(::fileno(f)) == 0;
+  }
   const bool closed = std::fclose(f) == 0;
   if (!(wrote && synced && closed)) {
     std::remove(tmp.c_str());
+    if (!data_fault.ok()) return data_fault;
+    if (!sync_fault.ok()) return sync_fault;
     return Status::DataLoss("short write to " + tmp + ": " +
                             std::strerror(errno));
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <optional>
 #include <utility>
 
@@ -48,11 +49,134 @@ MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
     }
   }
   metrics_ = std::make_unique<StoreMetrics>(metrics_registry_.get());
+  wal_disabled_ = std::make_unique<std::atomic<bool>>(false);
   EpochOptions epoch_options;
   epoch_options.pinned_counter = metrics_->epoch_pinned;
   epoch_options.retired_counter = metrics_->epoch_retired;
   epoch_options.freed_counter = metrics_->epoch_freed;
   epoch_ = std::make_unique<EpochManager>(epoch_options);
+  if (!options_.durability.wal_dir.empty()) {
+    // A journal that cannot be opened degrades the store to non-durable
+    // serving instead of failing construction — disk faults degrade.
+    if (Status ready = InitWal(/*base_gen=*/0); !ready.ok()) {
+      DisableWal(ready);
+    }
+  }
+}
+
+Status MovingObjectStore::InitWal(uint64_t base_gen) {
+  const std::string& dir = options_.durability.wal_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::DataLoss("cannot create wal directory " + dir + ": " +
+                            ec.message());
+  }
+  WalWriterOptions wal_options;
+  wal_options.sync_policy = options_.durability.sync_policy;
+  wal_options.sync_interval = options_.durability.sync_interval;
+  wal_options.clock = options_.durability.clock;
+  wal_options.max_segment_bytes = options_.durability.max_segment_bytes;
+  // Continue each shard's sequence past whatever is already on disk —
+  // recovered segments are never appended to, only replayed.
+  std::vector<uint64_t> next_seq(shards_.size(), 0);
+  for (const WalSegmentInfo& info : ListWalSegments(dir)) {
+    if (info.shard >= 0 &&
+        static_cast<size_t>(info.shard) < next_seq.size()) {
+      next_seq[static_cast<size_t>(info.shard)] =
+          std::max(next_seq[static_cast<size_t>(info.shard)], info.seq + 1);
+    }
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    StatusOr<std::unique_ptr<WalWriter>> writer =
+        WalWriter::Open(dir, static_cast<int>(i), next_seq[i], base_gen,
+                        wal_options);
+    if (!writer.ok()) {
+      return writer.status().Annotate("wal open shard " + std::to_string(i));
+    }
+    std::lock_guard<std::mutex> lock(shards_[i]->write_mutex);
+    shards_[i]->wal = std::move(*writer);
+  }
+  return Status::OK();
+}
+
+void MovingObjectStore::WalAppend(Shard& shard, const WalRecord& record) {
+  if (shard.wal == nullptr ||
+      wal_disabled_->load(std::memory_order_relaxed)) {
+    return;
+  }
+  bool synced = false;
+  if (Status appended = shard.wal->Append(record, &synced);
+      !appended.ok()) {
+    DisableWal(appended.Annotate("wal append"));
+    return;
+  }
+  metrics_->wal_appended->Increment();
+  if (synced) metrics_->wal_synced->Increment();
+}
+
+void MovingObjectStore::DisableWal(const Status& cause) const {
+  (void)cause;  // the health flag + metric are the diagnostic surface
+  bool expected = false;
+  if (wal_disabled_->compare_exchange_strong(expected, true,
+                                             std::memory_order_relaxed)) {
+    metrics_->wal_disabled->Increment();
+  }
+}
+
+uint64_t MovingObjectStore::ApplyWalRecord(const WalRecord& record) {
+  Shard& shard = ShardFor(record.id);
+  if (record.type == WalRecord::Type::kRejected) {
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    ++shard.rejected_reports[record.id];
+    return 1;
+  }
+  if (record.type == WalRecord::Type::kRejectedBaseline) {
+    // Save-time tally seed: the snapshot this segment sits on top of
+    // doesn't carry rejection counts, so the baseline restores them.
+    // Assignment (not increment) keeps replay idempotent when several
+    // baselines for the same object appear across segments.
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    if (record.t >= 0) {
+      shard.rejected_reports[record.id] = static_cast<uint64_t>(record.t);
+    }
+    return 1;
+  }
+  if (!std::isfinite(record.x) || !std::isfinite(record.y) ||
+      record.t < 0) {
+    return 0;  // journaled reports were validated; refuse bad replays
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    auto it = shard.records.find(record.id);
+    const Timestamp next =
+        it == shard.records.end()
+            ? 0
+            : static_cast<Timestamp>(it->second->history.size());
+    // t < next: the snapshot already contains this record (segments
+    // rotated out mid-save overlap the generation that covered them).
+    // t > next: a gap from a stale or wrongly ordered segment — never
+    // fabricate history.
+    if (record.t != next) return 0;
+    const bool created = it == shard.records.end();
+    if (created) {
+      it = shard.records
+               .emplace(record.id, std::make_unique<ObjectRecord>(record.id))
+               .first;
+    }
+    ObjectRecord& rec = *it->second;
+    rec.history.Append(Point{record.x, record.y});
+    PublishView(rec, BuildView(rec));
+    if (created) PublishTable(shard);
+  }
+  // Re-run the training thresholds exactly as live ingest would have:
+  // the replayed store's models then match an uninterrupted store's.
+  // A training failure leaves the history intact (thresholds re-fire on
+  // the next report), so it never fails the recovery.
+  QueryPipeline pipeline(PipelineEnv(), StoreOp::kReport,
+                         Deadline::Infinite());
+  (void)MaybeTrain(shard, record.id, pipeline);
+  return 1;
 }
 
 size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {
@@ -134,6 +258,10 @@ void MovingObjectStore::RecordRejectedReport(ObjectId id,
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.write_mutex);
   ++shard.rejected_reports[id];
+  WalRecord journal;
+  journal.type = WalRecord::Type::kRejected;
+  journal.id = id;
+  WalAppend(shard, journal);
 }
 
 uint64_t MovingObjectStore::RejectedReports(ObjectId id) const {
@@ -177,6 +305,10 @@ Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
       if (*expected_t != next) {
         ++shard.rejected_reports[id];
         ctx.CountRejectedReport();
+        WalRecord journal;
+        journal.type = WalRecord::Type::kRejected;
+        journal.id = id;
+        WalAppend(shard, journal);
         return Status::InvalidArgument(
             *expected_t < next
                 ? "report: non-monotone timestamp (object clock is at " +
@@ -186,6 +318,17 @@ Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
       }
     }
     const bool created = it == shard.records.end();
+    // Journal before the epoch-published view swap: once a reader can
+    // observe the report, a crash must replay it. A WAL failure here
+    // degrades the store to non-durable serving — the report still lands.
+    WalRecord journal;
+    journal.type = WalRecord::Type::kReport;
+    journal.id = id;
+    journal.t = created ? 0
+                        : static_cast<Timestamp>(it->second->history.size());
+    journal.x = location.x;
+    journal.y = location.y;
+    WalAppend(shard, journal);
     if (created) {
       it = shard.records
                .emplace(id, std::make_unique<ObjectRecord>(id))

@@ -51,6 +51,7 @@
 #include "common/trace.h"
 #include "core/exec_context.h"
 #include "core/hybrid_predictor.h"
+#include "io/wal.h"
 #include "server/batch_executor.h"
 #include "server/query_pipeline.h"
 #include "server/store_types.h"
@@ -61,6 +62,42 @@ namespace hpm {
 /// query in a -DHPM_ENABLE_FAULTS=ON build: "server/shard_query:<shard>".
 /// Arming it `always` is the circuit-breaker kill switch.
 std::string ShardQueryFaultSite(int shard);
+
+/// Durable-ingest configuration (docs/ROBUSTNESS.md has the durability
+/// matrix and the degradation contract).
+struct DurabilityOptions {
+  /// When non-empty, every acknowledged report is appended to a
+  /// per-shard write-ahead journal under this directory *before* its
+  /// epoch-published view swap makes it visible, and LoadFromDirectory
+  /// replays journal segments newer than the loaded snapshot generation.
+  /// Empty (the default) disables the journal entirely.
+  ///
+  /// Point this at a fresh directory (conventionally <store_dir>/wal)
+  /// for a fresh store, and at the same directory when recovering via
+  /// LoadFromDirectory; constructing a *fresh* store over a journal that
+  /// belonged to different store contents is undefined.
+  std::string wal_dir;
+
+  /// When appended records reach the device (docs/ROBUSTNESS.md):
+  /// every_record survives power loss, interval bounds the power-loss
+  /// window, none survives process crashes only.
+  WalSyncPolicy sync_policy = WalSyncPolicy::kEveryRecord;
+
+  /// kInterval only: minimum spacing between fdatasync calls.
+  std::chrono::microseconds sync_interval{50000};
+
+  /// kInterval only: injectable time source for the spacing check
+  /// (null = steady clock), so tests drive the policy deterministically.
+  std::function<std::chrono::steady_clock::time_point()> clock;
+
+  /// Per-shard segment rollover size.
+  size_t max_segment_bytes = 4 * 1024 * 1024;
+
+  /// Retention cap for <store_dir>/quarantine/: once more than this many
+  /// files accumulate, the oldest are evicted. 0 = unbounded (the
+  /// pre-cap behaviour).
+  size_t max_quarantine_files = 64;
+};
 
 /// Store configuration.
 struct ObjectStoreOptions {
@@ -129,6 +166,10 @@ struct ObjectStoreOptions {
   std::function<void(int shard, CircuitBreaker::State from,
                      CircuitBreaker::State to)>
       breaker_listener;
+
+  /// Durable ingest: write-ahead journal + quarantine retention. The
+  /// default (empty wal_dir) keeps ingest memory-only between snapshots.
+  DurabilityOptions durability;
 
   /// When set, every entry-point call records a per-query Trace (pipeline
   /// stage spans, per-object child work, counters) and hands it here from
@@ -253,6 +294,17 @@ class MovingObjectStore {
   /// Snapshot of the overload-control counters.
   OverloadStats overload_stats() const;
 
+  /// True when the store was configured with a write-ahead journal
+  /// (DurabilityOptions::wal_dir non-empty).
+  bool wal_enabled() const { return !options_.durability.wal_dir.empty(); }
+
+  /// True while the journal is healthy: enabled and no disk fault has
+  /// dropped the store to non-durable serving. Mirrors the
+  /// store.wal_disabled metric (the health flag `hpm_tool stats` reports).
+  bool wal_durable() const {
+    return wal_enabled() && !wal_disabled_->load(std::memory_order_relaxed);
+  }
+
   /// Snapshot of the serving metrics (per-op admitted/shed counters,
   /// pipeline stage latency histograms, TPT traversal effort, …). Names
   /// are documented in docs/OBSERVABILITY.md.
@@ -376,6 +428,9 @@ class MovingObjectStore {
     /// inside ObjectRecord) so a rejected report never creates a phantom
     /// object in ObjectIds()/NumObjects().
     std::map<ObjectId, uint64_t> rejected_reports;
+    /// The shard's write-ahead journal appender (write_mutex; null when
+    /// durability is off, or until LoadFromDirectory finishes replaying).
+    std::unique_ptr<WalWriter> wal;
     /// Epoch-protected, acquire-loaded by readers.
     std::atomic<const ShardTable*> table;
   };
@@ -454,6 +509,37 @@ class MovingObjectStore {
   /// aggregate count flows through `ctx` to the Account stage.
   void RecordRejectedReport(ObjectId id, QueryContext& ctx);
 
+  /// ---- Durable ingest (io/wal; implementation split with store_io.cc) --
+  /// Opens per-shard journal writers under durability.wal_dir, continuing
+  /// each shard's segment sequence past whatever already exists on disk.
+  /// `base_gen` is the snapshot generation the new segments sit on top of
+  /// (0 for a fresh store). Constructor/LoadFromDirectory degrade to
+  /// non-durable serving via DisableWal when this fails.
+  Status InitWal(uint64_t base_gen);
+
+  /// Appends `record` to `shard`'s journal (write_mutex held). A no-op
+  /// when the journal is off, not yet attached, or disabled; any append
+  /// or sync failure degrades the store instead of propagating.
+  void WalAppend(Shard& shard, const WalRecord& record);
+
+  /// Flips the store to non-durable serving (once): sets the health flag
+  /// and bumps store.wal_disabled. Reports keep being acknowledged.
+  void DisableWal(const Status& cause) const;
+
+  /// Applies one replayed journal record to the freshly loaded store:
+  /// records at the object's next tick append (and may retrain, exactly
+  /// as live ingest would); records already covered by the snapshot, or
+  /// gapped by a stale segment, are skipped. Returns the number of
+  /// records applied (0 or 1).
+  uint64_t ApplyWalRecord(const WalRecord& record);
+
+  /// Replays every journal segment with base_gen >= `loaded_gen` in
+  /// (shard, seq) order: truncates torn tails, quarantines mid-log
+  /// corruption (halting that shard's stream), and feeds surviving
+  /// records through ApplyWalRecord. Called by LoadFromDirectory before
+  /// writers attach, so replay never re-journals itself.
+  void ReplayWal(uint64_t loaded_gen);
+
   /// Runs initial training or batch incorporation for `id` if the
   /// post-append thresholds allow, mining outside the shard lock.
   /// Under rung-1 pressure the train is deferred — query traffic
@@ -491,6 +577,9 @@ class MovingObjectStore {
   std::unique_ptr<AtomicOverloadStats> stats_;
   std::unique_ptr<MetricsRegistry> metrics_registry_;
   std::unique_ptr<StoreMetrics> metrics_;
+  /// Set once by DisableWal when a disk fault drops the store to
+  /// non-durable serving. Heap-allocated so the store stays movable.
+  std::unique_ptr<std::atomic<bool>> wal_disabled_;
   /// Declared last: destroyed first, so draining its limbo (which bumps
   /// the epoch.* counters) still has a live metrics registry.
   std::unique_ptr<EpochManager> epoch_;

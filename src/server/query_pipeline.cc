@@ -43,6 +43,12 @@ StoreMetrics::StoreMetrics(MetricsRegistry* registry) {
   tpt_entries_tested = registry->GetCounter("tpt.entries_tested");
   tpt_blocks_scanned = registry->GetCounter("tpt.block_scans");
   tpt_frozen_bytes = registry->GetCounter("tpt.frozen_bytes");
+  wal_appended = registry->GetCounter("wal.appended");
+  wal_synced = registry->GetCounter("wal.synced");
+  wal_replayed_records = registry->GetCounter("wal.replayed_records");
+  wal_truncated_bytes = registry->GetCounter("wal.truncated_bytes");
+  wal_disabled = registry->GetCounter("store.wal_disabled");
+  quarantined_files = registry->GetCounter("store.quarantined_files");
   stage_admit = registry->GetHistogram("stage.admit_us");
   stage_plan = registry->GetHistogram("stage.plan_us");
   stage_fanout = registry->GetHistogram("stage.fanout_us");

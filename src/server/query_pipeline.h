@@ -87,6 +87,17 @@ struct StoreMetrics {
   Counter* tpt_entries_tested;
   Counter* tpt_blocks_scanned;
   Counter* tpt_frozen_bytes;
+  /// Durable-ingest journal (io/wal wired through the store; see
+  /// docs/ROBUSTNESS.md). wal_disabled is a 0/1 health flag: it is
+  /// incremented exactly once when a disk fault drops the store to
+  /// non-durable serving.
+  Counter* wal_appended;
+  Counter* wal_synced;
+  Counter* wal_replayed_records;
+  Counter* wal_truncated_bytes;
+  Counter* wal_disabled;
+  /// Files moved into <dir>/quarantine/ by this store's load + replay.
+  Counter* quarantined_files;
 
   LatencyHistogram* stage_admit;
   LatencyHistogram* stage_plan;

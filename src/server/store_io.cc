@@ -14,13 +14,28 @@
 //                            self-validating via its own CRC footer)
 //   <dir>/quarantine/        corrupt files are moved here on load, so a
 //                            failed generation can be inspected without
-//                            being retried forever
+//                            being retried forever (bounded: oldest files
+//                            are evicted past DurabilityOptions::
+//                            max_quarantine_files)
+//
+// When ObjectStoreOptions::durability.wal_dir is set (conventionally
+// <dir>/wal), ingest additionally journals every acknowledged report:
+//   <wal_dir>/wal-<shard>-<seq>.log   CRC32-framed report journal segments
+//                                     (io/wal.h has the frame format)
+//   <wal_dir>/quarantine/             corrupt segments, same bound
+// A save rotates every shard's journal to a new segment stamped with the
+// new generation *inside the same lock hold that snapshots the shard*, so
+// pre-rotation segments are subsets of the snapshot; a load replays the
+// segments stamped at-or-after the loaded generation on top of it and
+// only then reattaches writers. Segments older than the gen-1 fallback
+// target are retired after the CURRENT swap.
 //
 // Every file is written via AtomicWriteFile (temp + fsync + rename), and a
 // save becomes visible only when CURRENT is swapped; a crash anywhere
 // before that leaves the previous generation fully intact. Loads verify
 // checksums, quarantine whatever fails, and fall back generation by
-// generation until one verifies.
+// generation until one verifies; journal tails torn by a crash are
+// truncated at the first bad frame and replay continues.
 
 #include <algorithm>
 #include <cinttypes>
@@ -103,15 +118,44 @@ bool ReadCurrentGeneration(const std::string& dir, uint64_t* gen) {
   return ParseManifestName(name, gen);
 }
 
-/// Moves a corrupt file into <dir>/quarantine/ (best effort).
-void QuarantineFile(const std::string& dir, const std::string& path) {
+/// Moves a corrupt file into <dir>/quarantine/ (best effort), then
+/// enforces the retention cap by evicting the oldest quarantined files
+/// (by modification time; `max_files` == 0 means unbounded). Returns
+/// whether the file was actually moved.
+bool QuarantineFile(const std::string& dir, const std::string& path,
+                    size_t max_files) {
   std::error_code ec;
   const std::filesystem::path source(path);
-  if (!std::filesystem::exists(source, ec)) return;
+  if (!std::filesystem::exists(source, ec)) return false;
   const std::filesystem::path target_dir =
       std::filesystem::path(dir) / "quarantine";
   std::filesystem::create_directories(target_dir, ec);
   std::filesystem::rename(source, target_dir / source.filename(), ec);
+  const bool moved = !ec;
+
+  if (max_files > 0) {
+    struct Quarantined {
+      std::filesystem::file_time_type mtime;
+      std::filesystem::path path;
+    };
+    std::vector<Quarantined> files;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(target_dir, ec)) {
+      std::error_code entry_ec;
+      if (!entry.is_regular_file(entry_ec)) continue;
+      files.push_back({entry.last_write_time(entry_ec), entry.path()});
+    }
+    if (files.size() > max_files) {
+      std::sort(files.begin(), files.end(),
+                [](const Quarantined& a, const Quarantined& b) {
+                  return a.mtime < b.mtime;
+                });
+      for (size_t i = 0; i + max_files < files.size(); ++i) {
+        std::filesystem::remove(files[i].path, ec);
+      }
+    }
+  }
+  return moved;
 }
 
 /// One parsed manifest entry.
@@ -207,30 +251,67 @@ Status MovingObjectStore::SaveToDirectory(
   Random retry_rng(kStoreIoRetrySeed ^ gen);
   const RetryPolicy policy;
 
-  std::string manifest = kManifestHeader;
-  manifest += '\n';
-  // ObjectIds() is ascending, matching the pre-shard manifest order.
-  for (ObjectId id : ObjectIds()) {
+  // Snapshot shard by shard, rotating each shard's journal to a segment
+  // stamped with the new generation *inside the same lock hold*: every
+  // record in the pre-rotation segments is therefore contained in this
+  // snapshot, and every report accepted after the rotation lands in a
+  // segment that recovery replays on top of it. A rotation failure
+  // degrades durability (the save itself still proceeds).
+  struct ObjectSnapshot {
+    ObjectId id = 0;
     Trajectory history;
     std::shared_ptr<const HybridPredictor> predictor;
     size_t consumed = 0;
-    {
-      Shard& shard = ShardFor(id);
-      std::lock_guard<std::mutex> lock(shard.write_mutex);
-      const auto it = shard.records.find(id);
-      if (it == shard.records.end()) continue;
-      history = it->second->history;
-      predictor = it->second->predictor;
-      consumed = it->second->consumed_samples;
+  };
+  std::vector<ObjectSnapshot> snapshot;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    if (shard.wal != nullptr &&
+        !wal_disabled_->load(std::memory_order_relaxed)) {
+      if (Status rotated = shard.wal->Rotate(gen); !rotated.ok()) {
+        DisableWal(rotated.Annotate("wal rotate"));
+      } else {
+        // Snapshots don't carry rejection tallies; seed the new segment
+        // with each object's total so replay-from-this-generation starts
+        // from the right count before later kRejected increments.
+        for (const auto& [id, count] : shard.rejected_reports) {
+          if (count == 0) continue;
+          WalRecord baseline;
+          baseline.type = WalRecord::Type::kRejectedBaseline;
+          baseline.id = id;
+          baseline.t = static_cast<int64_t>(count);
+          if (Status appended = shard.wal->Append(baseline, nullptr);
+              !appended.ok()) {
+            DisableWal(appended.Annotate("wal baseline"));
+            break;
+          }
+        }
+      }
     }
-    const bool has_model = predictor != nullptr;
-    const std::string csv = FormatTrajectoryCsv(history);
+    for (const auto& [id, record] : shard.records) {
+      snapshot.push_back({id, record->history, record->predictor,
+                          record->consumed_samples});
+    }
+  }
+  // Ascending by id, matching the pre-shard manifest order.
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const ObjectSnapshot& a, const ObjectSnapshot& b) {
+              return a.id < b.id;
+            });
+
+  std::string manifest = kManifestHeader;
+  manifest += '\n';
+  for (const ObjectSnapshot& object : snapshot) {
+    const ObjectId id = object.id;
+    const bool has_model = object.predictor != nullptr;
+    const std::string csv = FormatTrajectoryCsv(object.history);
 
     Status written = RetryWithBackoff(policy, retry_rng, [&]() -> Status {
       HPM_INJECT_FAULT("store/save_object");
       HPM_RETURN_IF_ERROR(AtomicWriteFile(CsvPath(directory, id, gen), csv));
       if (has_model) {
-        return predictor->SaveToFile(ModelPath(directory, id, gen));
+        return object.predictor->SaveToFile(ModelPath(directory, id, gen));
       }
       return Status::OK();
     });
@@ -241,7 +322,8 @@ Status MovingObjectStore::SaveToDirectory(
     char line[160];
     std::snprintf(line, sizeof(line),
                   "object %" PRId64 " %zu %zu %d %08x\n", id,
-                  history.size(), consumed, has_model ? 1 : 0, Crc32(csv));
+                  object.history.size(), object.consumed, has_model ? 1 : 0,
+                  Crc32(csv));
     manifest += line;
   }
 
@@ -280,11 +362,100 @@ Status MovingObjectStore::SaveToDirectory(
     }
     std::remove(ManifestPath(directory, old_gen).c_str());
   }
+
+  // Journal retention mirrors the manifest retention above: a segment
+  // stamped before the gen-1 fallback target is covered by both loadable
+  // generations, so it can never be needed again. A retire failure only
+  // costs durability, never the committed save.
+  if (wal_enabled() && !wal_disabled_->load(std::memory_order_relaxed)) {
+    const uint64_t retire_below = gen > 0 ? gen - 1 : 0;
+    for (const auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.write_mutex);
+      if (shard.wal == nullptr) continue;
+      if (Status retired = shard.wal->RetireBelow(retire_below);
+          !retired.ok()) {
+        DisableWal(retired.Annotate("wal retire"));
+        break;
+      }
+    }
+  }
   return Status::OK();
+}
+
+void MovingObjectStore::ReplayWal(uint64_t loaded_gen) {
+  const std::string& wal_dir = options_.durability.wal_dir;
+  const size_t cap = options_.durability.max_quarantine_files;
+  // Replay halts per shard at the first corrupt segment: records past a
+  // hole must not be applied out of order (ApplyWalRecord would refuse
+  // the resulting gaps anyway, but halting also quarantines exactly the
+  // segment that broke the stream, not its innocent successors).
+  std::vector<int> halted;
+  const auto is_halted = [&](int shard) {
+    return std::find(halted.begin(), halted.end(), shard) != halted.end();
+  };
+  for (const WalSegmentInfo& info : ListWalSegments(wal_dir)) {
+    if (!info.header_ok) {
+      // A torn header is the normal crash-during-rotation shape when the
+      // segment is the shard's newest; anywhere else it is corruption.
+      // Either way nothing in the file is replayable — quarantine it
+      // even when the shard is already halted, so junk never sits in
+      // the journal directory forever.
+      if (QuarantineFile(wal_dir, info.path, cap)) {
+        metrics_->quarantined_files->Increment();
+      }
+      if (!is_halted(info.shard)) halted.push_back(info.shard);
+      continue;
+    }
+    if (is_halted(info.shard)) continue;
+    if (info.base_gen < loaded_gen) continue;  // covered by the snapshot
+    StatusOr<WalSegmentContents> contents =
+        ReadWalSegment(info.path, /*truncate_torn_tail=*/true);
+    if (!contents.ok()) {
+      if (QuarantineFile(wal_dir, info.path, cap)) {
+        metrics_->quarantined_files->Increment();
+      }
+      halted.push_back(info.shard);
+      continue;
+    }
+    uint64_t applied = 0;
+    for (const WalRecord& record : contents->records) {
+      applied += ApplyWalRecord(record);
+    }
+    metrics_->wal_replayed_records->Increment(applied);
+    metrics_->wal_truncated_bytes->Increment(contents->truncated_bytes);
+    if (contents->corrupt) {
+      if (QuarantineFile(wal_dir, info.path, cap)) {
+        metrics_->quarantined_files->Increment();
+      }
+      halted.push_back(info.shard);
+    }
+  }
 }
 
 StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
     const std::string& directory, ObjectStoreOptions options) {
+  // The journal is attached only after the snapshot load + replay are
+  // done: the store under construction must not journal replayed records
+  // back into the segments it is reading, and a fresh writer opened too
+  // early would interleave with recovery. Strip the wal_dir for the
+  // duration and restore it in `finish`.
+  const DurabilityOptions durability = options.durability;
+  options.durability.wal_dir.clear();
+  size_t quarantined = 0;
+  const auto finish = [&](MovingObjectStore& store, uint64_t gen) {
+    store.options_.durability = durability;
+    if (!durability.wal_dir.empty()) {
+      store.ReplayWal(gen);
+      if (Status ready = store.InitWal(gen); !ready.ok()) {
+        store.DisableWal(ready);
+      }
+    }
+    if (quarantined > 0) {
+      store.metrics_->quarantined_files->Increment(quarantined);
+    }
+  };
+
   // Attempts a full verified load of one generation. On failure,
   // `*bad_file` names the file that should be quarantined.
   Random retry_rng(kStoreIoRetrySeed);
@@ -357,6 +528,15 @@ StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
     if (!have_current || gen != current_gen) candidates.push_back(gen);
   }
   if (candidates.empty()) {
+    // No snapshot, but a journal may still hold every report acknowledged
+    // before a crash that preceded the first save: recover from an empty
+    // store at generation 0.
+    if (!durability.wal_dir.empty() &&
+        !ListWalSegments(durability.wal_dir).empty()) {
+      MovingObjectStore store(options);
+      finish(store, 0);
+      return store;
+    }
     return Status::InvalidArgument("no manifest in " + directory);
   }
 
@@ -365,11 +545,18 @@ StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
     std::string bad_file;
     StatusOr<MovingObjectStore> store =
         try_load_generation(gen, &bad_file);
-    if (store.ok()) return store;
+    if (store.ok()) {
+      finish(*store, gen);
+      return store;
+    }
     last_error = store.status().Annotate(ManifestName(gen));
     // Retries are exhausted by now: the file is corrupt (or persistently
     // unreadable), so move it aside and fall back a generation.
-    if (!bad_file.empty()) QuarantineFile(directory, bad_file);
+    if (!bad_file.empty() &&
+        QuarantineFile(directory, bad_file,
+                       durability.max_quarantine_files)) {
+      ++quarantined;
+    }
   }
   return Status::DataLoss("no loadable store generation in " + directory +
                           " (last error: " + last_error.ToString() + ")");

@@ -1,0 +1,391 @@
+// Unit tests for the write-ahead report journal (io/wal): frame
+// round-trips, segment rotation and retirement, torn-tail truncation at
+// every byte offset, mid-log corruption detection, the interval sync
+// policy under an injected clock, and the fault-site torn-prefix shape.
+//
+// The disk-shape tests vandalise real files; the fault cases need the
+// compiled-in hooks and skip themselves in plain builds.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "io/wal.h"
+
+namespace hpm {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+WalRecord Report(int64_t id, int64_t t) {
+  WalRecord record;
+  record.type = WalRecord::Type::kReport;
+  record.id = id;
+  record.t = t;
+  record.x = 10.0 * static_cast<double>(t) + 0.25;
+  record.y = -3.5 * static_cast<double>(id);
+  return record;
+}
+
+WalRecord Rejected(int64_t id) {
+  WalRecord record;
+  record.type = WalRecord::Type::kRejected;
+  record.id = id;
+  return record;
+}
+
+WalRecord Baseline(int64_t id, int64_t tally) {
+  WalRecord record;
+  record.type = WalRecord::Type::kRejectedBaseline;
+  record.id = id;
+  record.t = tally;
+  return record;
+}
+
+void ExpectSameRecord(const WalRecord& a, const WalRecord& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.id, b.id);
+  if (a.type != WalRecord::Type::kRejected) {
+    EXPECT_EQ(a.t, b.t);
+  }
+  if (a.type == WalRecord::Type::kReport) {
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.y, b.y);
+  }
+}
+
+std::string ReadRaw(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+void WriteRaw(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), f),
+            content.size());
+  std::fclose(f);
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(WalTest, AppendedRecordsReadBackExactly) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  auto writer = WalWriter::Open(dir, /*shard=*/2, /*seq=*/7,
+                                /*base_gen=*/3, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  std::vector<WalRecord> written = {Report(1, 0), Report(1, 1), Rejected(9),
+                                    Baseline(9, 4), Report(-4, 0)};
+  for (const WalRecord& record : written) {
+    bool synced = false;
+    ASSERT_TRUE((*writer)->Append(record, &synced).ok());
+    EXPECT_TRUE(synced);  // default policy is kEveryRecord
+  }
+
+  auto contents =
+      ReadWalSegment((*writer)->segment_path(), /*truncate_torn_tail=*/false);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->header_ok);
+  EXPECT_EQ(contents->shard, 2);
+  EXPECT_EQ(contents->seq, 7u);
+  EXPECT_EQ(contents->base_gen, 3u);
+  EXPECT_FALSE(contents->corrupt);
+  EXPECT_EQ(contents->truncated_bytes, 0u);
+  ASSERT_EQ(contents->records.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i) {
+    ExpectSameRecord(written[i], contents->records[i]);
+  }
+
+  const std::vector<WalSegmentInfo> segments = ListWalSegments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_TRUE(segments[0].header_ok);
+  EXPECT_EQ(segments[0].shard, 2);
+  EXPECT_EQ(segments[0].seq, 7u);
+  EXPECT_EQ(segments[0].base_gen, 3u);
+}
+
+TEST_F(WalTest, SizeRotationRollsToNextSequence) {
+  const std::string dir = FreshDir("wal_size_rotation");
+  WalWriterOptions options;
+  options.sync_policy = WalSyncPolicy::kNone;
+  options.max_segment_bytes = 128;  // a few records per segment
+  auto writer = WalWriter::Open(dir, 0, 0, 1, options);
+  ASSERT_TRUE(writer.ok());
+
+  constexpr int kRecords = 20;
+  for (int64_t t = 0; t < kRecords; ++t) {
+    ASSERT_TRUE((*writer)->Append(Report(0, t), nullptr).ok());
+  }
+
+  const std::vector<WalSegmentInfo> segments = ListWalSegments(dir);
+  ASSERT_GT(segments.size(), 1u);
+  int64_t next_t = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_TRUE(segments[i].header_ok);
+    EXPECT_EQ(segments[i].seq, static_cast<uint64_t>(i));
+    EXPECT_EQ(segments[i].base_gen, 1u);  // size rotation keeps base_gen
+    auto contents = ReadWalSegment(segments[i].path, false);
+    ASSERT_TRUE(contents.ok());
+    for (const WalRecord& record : contents->records) {
+      EXPECT_EQ(record.t, next_t++);  // no record lost or reordered
+    }
+  }
+  EXPECT_EQ(next_t, kRecords);
+}
+
+TEST_F(WalTest, ExplicitRotationStampsNewBaseGen) {
+  const std::string dir = FreshDir("wal_explicit_rotation");
+  auto writer = WalWriter::Open(dir, 0, 0, 0, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Report(0, 0), nullptr).ok());
+  ASSERT_TRUE((*writer)->Rotate(/*new_base_gen=*/5).ok());
+  EXPECT_EQ((*writer)->seq(), 1u);
+  EXPECT_EQ((*writer)->base_gen(), 5u);
+  ASSERT_TRUE((*writer)->Append(Report(0, 1), nullptr).ok());
+
+  const std::vector<WalSegmentInfo> segments = ListWalSegments(dir);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].base_gen, 0u);
+  EXPECT_EQ(segments[1].base_gen, 5u);
+}
+
+TEST_F(WalTest, RetireBelowDeletesOnlyCoveredClosedSegments) {
+  const std::string dir = FreshDir("wal_retire");
+  auto writer = WalWriter::Open(dir, 0, 0, 0, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Report(0, 0), nullptr).ok());
+  ASSERT_TRUE((*writer)->Rotate(1).ok());
+  ASSERT_TRUE((*writer)->Append(Report(0, 1), nullptr).ok());
+  ASSERT_TRUE((*writer)->Rotate(2).ok());
+
+  // A foreign shard's segment must never be touched.
+  auto other = WalWriter::Open(dir, 1, 0, 0, WalWriterOptions{});
+  ASSERT_TRUE(other.ok());
+
+  ASSERT_TRUE((*writer)->RetireBelow(1).ok());
+  std::vector<uint64_t> shard0_seqs;
+  size_t shard1_count = 0;
+  for (const WalSegmentInfo& info : ListWalSegments(dir)) {
+    if (info.shard == 0) shard0_seqs.push_back(info.seq);
+    if (info.shard == 1) ++shard1_count;
+  }
+  // seq 0 (base_gen 0 < 1) retired; seq 1 (base_gen 1) and the active
+  // seq 2 remain; shard 1 untouched.
+  EXPECT_EQ(shard0_seqs, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(shard1_count, 1u);
+}
+
+TEST_F(WalTest, TornTailTruncatesAtEveryByteOffset) {
+  const std::string dir = FreshDir("wal_torn_tail");
+  WalWriterOptions options;
+  options.sync_policy = WalSyncPolicy::kNone;
+  auto writer = WalWriter::Open(dir, 0, 0, 0, options);
+  ASSERT_TRUE(writer.ok());
+  constexpr int kRecords = 3;
+  for (int64_t t = 0; t < kRecords; ++t) {
+    ASSERT_TRUE((*writer)->Append(Report(7, t), nullptr).ok());
+  }
+  const std::string path = (*writer)->segment_path();
+  writer->reset();
+  const std::string full = ReadRaw(path);
+
+  // Frame boundaries: where a scan of the intact file stops each record.
+  auto intact = ReadWalSegment(path, false);
+  ASSERT_TRUE(intact.ok());
+  ASSERT_EQ(intact->records.size(), static_cast<size_t>(kRecords));
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string torn_path = dir + "/wal-1-0.log";
+    std::filesystem::remove(torn_path);
+    WriteRaw(torn_path, full.substr(0, cut));
+
+    auto scanned = ReadWalSegment(torn_path, /*truncate_torn_tail=*/true);
+    ASSERT_TRUE(scanned.ok()) << "cut " << cut;
+    EXPECT_FALSE(scanned->corrupt) << "cut " << cut;
+    // Whatever survived must be an exact record prefix, and the cut
+    // bytes past the last whole frame must be reported.
+    for (size_t i = 0; i < scanned->records.size(); ++i) {
+      ExpectSameRecord(intact->records[i], scanned->records[i]);
+    }
+    const size_t kept = cut - scanned->truncated_bytes;
+    EXPECT_EQ(std::filesystem::file_size(torn_path), kept) << "cut " << cut;
+
+    // After physical truncation a second scan is clean.
+    auto rescanned = ReadWalSegment(torn_path, false);
+    ASSERT_TRUE(rescanned.ok());
+    EXPECT_EQ(rescanned->truncated_bytes, 0u) << "cut " << cut;
+    EXPECT_EQ(rescanned->records.size(), scanned->records.size());
+  }
+}
+
+TEST_F(WalTest, MidLogCorruptionIsReportedNotTruncated) {
+  const std::string dir = FreshDir("wal_mid_corruption");
+  WalWriterOptions options;
+  options.sync_policy = WalSyncPolicy::kNone;
+  auto writer = WalWriter::Open(dir, 0, 0, 0, options);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t t = 0; t < 4; ++t) {
+    ASSERT_TRUE((*writer)->Append(Report(7, t), nullptr).ok());
+  }
+  const std::string path = (*writer)->segment_path();
+  writer->reset();
+
+  std::string content = ReadRaw(path);
+  // Flip a byte well inside the record area but before the final frame.
+  content[content.size() / 2] ^= 0x5a;
+  WriteRaw(path, content);
+
+  auto scanned = ReadWalSegment(path, /*truncate_torn_tail=*/true);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_TRUE(scanned->corrupt);
+  EXPECT_LT(scanned->records.size(), 4u);
+  // Corruption is never "repaired" by truncation: the file is evidence.
+  EXPECT_EQ(std::filesystem::file_size(path), content.size());
+}
+
+TEST_F(WalTest, CorruptFinalFrameCountsAsTornTail) {
+  const std::string dir = FreshDir("wal_corrupt_tail");
+  WalWriterOptions options;
+  options.sync_policy = WalSyncPolicy::kNone;
+  auto writer = WalWriter::Open(dir, 0, 0, 0, options);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t t = 0; t < 2; ++t) {
+    ASSERT_TRUE((*writer)->Append(Report(7, t), nullptr).ok());
+  }
+  const std::string path = (*writer)->segment_path();
+  writer->reset();
+
+  std::string content = ReadRaw(path);
+  content.back() ^= 0x5a;  // inside the last frame's payload
+  WriteRaw(path, content);
+
+  // A bad checksum on the physically last frame is indistinguishable
+  // from a crash mid-overwrite: treated as a torn tail.
+  auto scanned = ReadWalSegment(path, /*truncate_torn_tail=*/false);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_FALSE(scanned->corrupt);
+  EXPECT_GT(scanned->truncated_bytes, 0u);
+  EXPECT_EQ(scanned->records.size(), 1u);
+}
+
+TEST_F(WalTest, IntervalPolicySyncsOnInjectedClock) {
+  const std::string dir = FreshDir("wal_interval_sync");
+  auto fake_now = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::time_point{});
+  WalWriterOptions options;
+  options.sync_policy = WalSyncPolicy::kInterval;
+  options.sync_interval = std::chrono::microseconds(1000);
+  options.clock = [fake_now] { return *fake_now; };
+  auto writer = WalWriter::Open(dir, 0, 0, 0, options);
+  ASSERT_TRUE(writer.ok());
+
+  bool synced = true;
+  ASSERT_TRUE((*writer)->Append(Report(0, 0), &synced).ok());
+  EXPECT_FALSE(synced);  // clock has not advanced past the interval
+
+  *fake_now += std::chrono::microseconds(999);
+  ASSERT_TRUE((*writer)->Append(Report(0, 1), &synced).ok());
+  EXPECT_FALSE(synced);
+
+  *fake_now += std::chrono::microseconds(1);  // exactly the interval
+  ASSERT_TRUE((*writer)->Append(Report(0, 2), &synced).ok());
+  EXPECT_TRUE(synced);
+
+  // The sync reset the window.
+  ASSERT_TRUE((*writer)->Append(Report(0, 3), &synced).ok());
+  EXPECT_FALSE(synced);
+}
+
+TEST_F(WalTest, NonePolicyNeverReportsSync) {
+  const std::string dir = FreshDir("wal_none_sync");
+  WalWriterOptions options;
+  options.sync_policy = WalSyncPolicy::kNone;
+  auto writer = WalWriter::Open(dir, 0, 0, 0, options);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t t = 0; t < 5; ++t) {
+    bool synced = true;
+    ASSERT_TRUE((*writer)->Append(Report(0, t), &synced).ok());
+    EXPECT_FALSE(synced);
+  }
+  // The data still hit the file (page cache): process-crash durable.
+  auto contents = ReadWalSegment((*writer)->segment_path(), false);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records.size(), 5u);
+}
+
+TEST_F(WalTest, OpenRefusesExistingSegment) {
+  const std::string dir = FreshDir("wal_open_excl");
+  auto writer = WalWriter::Open(dir, 0, 0, 0, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok());
+  auto clash = WalWriter::Open(dir, 0, 0, 0, WalWriterOptions{});
+  EXPECT_FALSE(clash.ok());  // O_EXCL: never append into recovered data
+}
+
+TEST_F(WalTest, AppendFaultLeavesRealTornPrefixAndBreaksWriter) {
+#ifndef HPM_ENABLE_FAULTS
+  GTEST_SKIP() << "fault hooks compiled out";
+#else
+  const std::string dir = FreshDir("wal_append_fault");
+  auto writer = WalWriter::Open(dir, 0, 0, 0, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Report(0, 0), nullptr).ok());
+
+  FaultRule rule;
+  rule.always = true;
+  FaultInjector::Global().Arm("wal/append", rule);
+  EXPECT_FALSE((*writer)->Append(Report(0, 1), nullptr).ok());
+  FaultInjector::Global().Reset();
+  // Broken stays broken: the store's signal to degrade.
+  EXPECT_FALSE((*writer)->Append(Report(0, 2), nullptr).ok());
+
+  // The half-written frame is exactly a torn tail; replay keeps the
+  // acknowledged record and drops the unacknowledged prefix.
+  auto scanned =
+      ReadWalSegment((*writer)->segment_path(), /*truncate_torn_tail=*/true);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_FALSE(scanned->corrupt);
+  EXPECT_GT(scanned->truncated_bytes, 0u);
+  ASSERT_EQ(scanned->records.size(), 1u);
+  EXPECT_EQ(scanned->records[0].t, 0);
+#endif
+}
+
+TEST_F(WalTest, SyncFaultBreaksWriter) {
+#ifndef HPM_ENABLE_FAULTS
+  GTEST_SKIP() << "fault hooks compiled out";
+#else
+  const std::string dir = FreshDir("wal_sync_fault");
+  auto writer = WalWriter::Open(dir, 0, 0, 0, WalWriterOptions{});
+  ASSERT_TRUE(writer.ok());
+  FaultRule rule;
+  rule.always = true;
+  FaultInjector::Global().Arm("wal/sync", rule);
+  EXPECT_FALSE((*writer)->Append(Report(0, 0), nullptr).ok());
+  FaultInjector::Global().Reset();
+  EXPECT_FALSE((*writer)->Sync().ok());
+#endif
+}
+
+}  // namespace
+}  // namespace hpm

@@ -44,6 +44,14 @@
 //       traversal effort), the OverloadStats aggregate, and a per-stage
 //       latency breakdown (see docs/OBSERVABILITY.md).
 //
+//   wal --dir PATH [--verify 1]
+//       Inspect a write-ahead report journal directory: one row per
+//       segment with its shard, sequence number, base generation, record
+//       count, torn-tail bytes, and health. With --verify 1, exits 1 when
+//       any segment is corrupt, unreadable, or missing its header (a torn
+//       tail alone is a normal crash artifact, not a verification
+//       failure). Never mutates the journal.
+//
 // All subcommands exit 0 on success and print errors to stderr.
 
 #include <cstdio>
@@ -64,6 +72,7 @@
 #include "common/table_printer.h"
 #include "eval/metrics.h"
 #include "io/csv.h"
+#include "io/wal.h"
 #include "server/object_store.h"
 
 namespace {
@@ -138,7 +147,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hpm_tool "
                "<generate|train|info|predict|evaluate|throughput|faultcheck"
-               "|stats> "
+               "|stats|wal> "
                "[--flag value ...]\n  (see the header of tools/hpm_tool.cc)\n");
   return 2;
 }
@@ -763,6 +772,62 @@ int RunStats(Args args) {
   return 0;
 }
 
+int RunWal(Args args) {
+  const std::string dir = args.Get("dir", "");
+  const bool verify = args.GetInt("verify", 0) != 0;
+  if (dir.empty()) return Fail("--dir is required");
+  if (int rc = FinishArgs(&args)) return rc;
+
+  const std::vector<WalSegmentInfo> segments = ListWalSegments(dir);
+  if (segments.empty()) {
+    std::printf("no journal segments in %s\n", dir.c_str());
+    return 0;
+  }
+
+  TablePrinter table({"segment", "shard", "seq", "base_gen", "records",
+                      "torn_bytes", "status"});
+  bool unhealthy = false;
+  for (const WalSegmentInfo& info : segments) {
+    const std::string name =
+        std::filesystem::path(info.path).filename().string();
+    if (!info.header_ok) {
+      unhealthy = true;
+      table.AddRow({name, std::to_string(info.shard),
+                    std::to_string(info.seq), "?", "?", "?", "bad-header"});
+      continue;
+    }
+    // Inspection never mutates the journal: torn tails are reported, not
+    // truncated (recovery owns the repair).
+    StatusOr<WalSegmentContents> contents =
+        ReadWalSegment(info.path, /*truncate_torn_tail=*/false);
+    if (!contents.ok()) {
+      unhealthy = true;
+      table.AddRow({name, std::to_string(info.shard),
+                    std::to_string(info.seq), std::to_string(info.base_gen),
+                    "?", "?", "unreadable"});
+      continue;
+    }
+    std::string status = "ok";
+    if (contents->corrupt) {
+      status = "corrupt@" + std::to_string(contents->corrupt_offset);
+      unhealthy = true;
+    } else if (contents->truncated_bytes > 0) {
+      status = "torn-tail";
+    }
+    table.AddRow({name, std::to_string(info.shard),
+                  std::to_string(info.seq), std::to_string(info.base_gen),
+                  std::to_string(contents->records.size()),
+                  std::to_string(contents->truncated_bytes), status});
+  }
+  table.Print(stdout);
+  if (verify && unhealthy) {
+    std::fprintf(stderr,
+                 "verify: journal has corrupt or unreadable segments\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -780,5 +845,6 @@ int main(int argc, char** argv) {
   if (command == "throughput") return RunThroughput(std::move(args));
   if (command == "faultcheck") return RunFaultcheck(std::move(args));
   if (command == "stats") return RunStats(std::move(args));
+  if (command == "wal") return RunWal(std::move(args));
   return Usage();
 }
