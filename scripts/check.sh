@@ -87,6 +87,12 @@ cmake --build build-fault -j "$JOBS"
 ctest --test-dir build-fault -L tier1 "${CTEST_ARGS[@]}" -j "$JOBS"
 ctest --test-dir build-fault -L fault "${CTEST_ARGS[@]}" -j "$JOBS"
 ctest --test-dir build-fault -L concurrency "${CTEST_ARGS[@]}" -j "$JOBS"
+# The networked serving + replication stack must provably run with the
+# torn-frame / kill-point hooks armed and ASan watching the buffers:
+# the wire protocol parses attacker-shaped bytes, and the replication
+# sweeps are only meaningful with the fault sites compiled in.
+ctest --test-dir build-fault -L net "${CTEST_ARGS[@]}" -j "$JOBS"
+ctest --test-dir build-fault -L repl "${CTEST_ARGS[@]}" -j "$JOBS"
 ./build-fault/tools/hpm_tool faultcheck --seed 1
 
 # The overload-control layer (admission, load shedding, breakers) is
@@ -98,7 +104,7 @@ echo "== ThreadSanitizer + fault hooks: overload + fault + concurrency =="
 cmake -B build-tsan-fault -S . -DHPM_SANITIZE=thread \
       -DHPM_ENABLE_FAULTS=ON >/dev/null
 cmake --build build-tsan-fault -j "$JOBS"
-ctest --test-dir build-tsan-fault -L 'overload|fault|concurrency' \
+ctest --test-dir build-tsan-fault -L 'overload|fault|concurrency|net|repl' \
       "${CTEST_ARGS[@]}" -j "$JOBS"
 
 echo "check.sh: all green"

@@ -16,6 +16,11 @@ const char* const kKnownFaultSites[] = {
     "store/save_manifest",  // manifest write for the new generation
     "store/save_commit",    // CURRENT pointer swap (the commit point)
     "store/load_read",      // per-file read during store load
+    "net/accept",           // accept(2) on the serving socket
+    "net/send",             // frame send: ships half the frame, then closes
+    "net/recv",             // frame receive (connection-reset model)
+    "repl/fetch",           // primary-side replication byte-range read
+    "repl/apply",           // replica-side journal record application
     // Per-shard family: the literal sites are "server/shard_query:0",
     // "server/shard_query:1", ... (ShardQueryFaultSite(shard) in
     // server/object_store.h). Arming one fails that shard's share of

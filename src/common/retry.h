@@ -66,6 +66,14 @@ struct RetryPolicy {
   double multiplier = 2.0;
   std::chrono::microseconds max_backoff{100000};
   double jitter = 0.5;  ///< Each sleep is scaled by 1 +/- jitter * U[-1,1).
+  /// Full jitter (AWS style): each sleep is drawn from U[0, backoff)
+  /// instead of scaled around it. Scaled jitter keeps a fleet of clients
+  /// that failed together loosely synchronized — their sleeps all
+  /// cluster around the same midpoint, so they thundering-herd a
+  /// recovering server in waves. Full jitter spreads the retries across
+  /// the whole window. `jitter` is ignored when this is set; a
+  /// server-supplied retry-after hint still floors the sleep.
+  bool full_jitter = false;
 };
 
 /// True for failures worth retrying under RetryPolicy.
@@ -103,7 +111,10 @@ auto RetryWithBackoff(const RetryPolicy& policy, Random& rng, Fn&& fn,
         attempt >= policy.max_attempts) {
       return result;
     }
-    const double scale = 1.0 + policy.jitter * rng.UniformDouble(-1.0, 1.0);
+    const double scale =
+        policy.full_jitter
+            ? rng.UniformDouble(0.0, 1.0)
+            : 1.0 + policy.jitter * rng.UniformDouble(-1.0, 1.0);
     auto sleep = std::chrono::microseconds(
         static_cast<int64_t>(static_cast<double>(backoff.count()) * scale));
     if (sleep > policy.max_backoff) sleep = policy.max_backoff;

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "common/fault_injection.h"
+#include "io/eintr.h"
 
 namespace hpm {
 
@@ -35,7 +36,9 @@ Status AtomicWriteFile(const std::string& path, const std::string& content) {
   bool synced = false;
   if (flushed) {
     sync_fault = HPM_FAULT_HIT("io/atomic_write_sync");
-    synced = sync_fault.ok() && ::fsync(::fileno(f)) == 0;
+    const int fd = ::fileno(f);
+    synced =
+        sync_fault.ok() && RetryOnEintr([&] { return ::fsync(fd); }) == 0;
   }
   const bool closed = std::fclose(f) == 0;
   if (!(wrote && synced && closed)) {
@@ -87,9 +90,10 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
 }
 
 void FsyncDirectory(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const int fd = RetryOnEintr(
+      [&] { return ::open(dir.c_str(), O_RDONLY | O_DIRECTORY); });
   if (fd < 0) return;
-  ::fsync(fd);
+  RetryOnEintr([&] { return ::fsync(fd); });
   ::close(fd);
 }
 

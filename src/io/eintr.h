@@ -1,0 +1,72 @@
+// EINTR-safe syscall wrappers.
+//
+// A signal delivered during read/write/fsync makes the call fail with
+// EINTR even though nothing is wrong with the device. Before these
+// helpers, a signal landing inside a WAL fdatasync tripped the
+// disk-fault degradation path (store.wal_disabled) spuriously. Every
+// raw syscall in io/ and net/ now goes through RetryOnEintr (whole-call
+// retry) or WriteAllFd/ReadFullFd (partial-transfer + EINTR loops).
+
+#ifndef HPM_IO_EINTR_H_
+#define HPM_IO_EINTR_H_
+
+#include <cerrno>
+#include <cstddef>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace hpm {
+
+/// Calls `fn` until it returns something other than -1/EINTR. `fn` must
+/// be an idempotent syscall-style callable returning a signed integer
+/// with the -1-and-errno error convention (fsync, fdatasync, open,
+/// close-less calls, single read/write attempts, poll without a
+/// deadline adjustment).
+template <typename Fn>
+auto RetryOnEintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) result;
+  do {
+    result = fn();
+  } while (result < 0 && errno == EINTR);
+  return result;
+}
+
+/// Writes all `n` bytes to `fd`, resuming across EINTR and short
+/// writes. Returns `n` on success, -1 (with errno set) on a real
+/// failure; a zero-byte write is treated as out of space (errno ENOSPC).
+inline ssize_t WriteAllFd(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t written =
+        RetryOnEintr([&] { return ::write(fd, p + done, n - done); });
+    if (written < 0) return -1;
+    if (written == 0) {
+      errno = ENOSPC;
+      return -1;
+    }
+    done += static_cast<size_t>(written);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+/// Reads exactly `n` bytes from `fd`, resuming across EINTR and short
+/// reads. Returns the number of bytes read: `n` on success, fewer on
+/// EOF, -1 (with errno set) on a real failure.
+inline ssize_t ReadFullFd(int fd, void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got =
+        RetryOnEintr([&] { return ::read(fd, p + done, n - done); });
+    if (got < 0) return -1;
+    if (got == 0) break;  // EOF
+    done += static_cast<size_t>(got);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+}  // namespace hpm
+
+#endif  // HPM_IO_EINTR_H_

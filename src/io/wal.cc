@@ -13,6 +13,7 @@
 #include "common/crc32.h"
 #include "common/fault_injection.h"
 #include "io/atomic_file.h"
+#include "io/eintr.h"
 
 namespace hpm {
 
@@ -216,10 +217,11 @@ std::vector<WalSegmentInfo> ListWalSegments(const std::string& dir) {
     info.path = entry.path().string();
     // The header frame is all that is read here; a torn or corrupt one
     // leaves header_ok false and the caller quarantines the file.
-    const int fd = ::open(info.path.c_str(), O_RDONLY);
+    const int fd =
+        RetryOnEintr([&] { return ::open(info.path.c_str(), O_RDONLY); });
     if (fd >= 0) {
       char buf[kFrameHeaderBytes + kHeaderPayloadBytes];
-      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      const ssize_t n = ReadFullFd(fd, buf, sizeof(buf));
       ::close(fd);
       if (n == static_cast<ssize_t>(sizeof(buf)) &&
           GetU32(buf) == kHeaderPayloadBytes &&
@@ -350,15 +352,18 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
 
 Status WalWriter::OpenSegment() {
   path_ = dir_ + "/" + SegmentFileName(shard_, seq_);
-  fd_ = ::open(path_.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND, 0644);
+  fd_ = RetryOnEintr([&] {
+    return ::open(path_.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_APPEND,
+                  0644);
+  });
   if (fd_ < 0) {
     return Status::DataLoss("cannot create wal segment " + path_ + ": " +
                             std::strerror(errno));
   }
   const std::string frame = FrameFor(HeaderPayload(shard_, seq_, base_gen_));
-  const ssize_t written = ::write(fd_, frame.data(), frame.size());
+  const ssize_t written = WriteAllFd(fd_, frame.data(), frame.size());
   if (written != static_cast<ssize_t>(frame.size()) ||
-      ::fdatasync(fd_) != 0) {
+      RetryOnEintr([&] { return ::fdatasync(fd_); }) != 0) {
     const Status status = Status::DataLoss(
         "cannot write wal segment header " + path_ + ": " +
         std::strerror(errno));
@@ -391,14 +396,14 @@ Status WalWriter::Append(const WalRecord& record, bool* synced) {
     // Model the failure the site stands for (short write / EIO /
     // ENOSPC): a prefix of the frame reaches the file, then the device
     // gives up — exactly the torn tail replay must truncate.
-    const ssize_t ignored = ::write(fd_, frame.data(), frame.size() / 2);
+    const ssize_t ignored = WriteAllFd(fd_, frame.data(), frame.size() / 2);
     (void)ignored;
     ::close(fd_);
     fd_ = -1;
     return fault;
   }
 
-  const ssize_t written = ::write(fd_, frame.data(), frame.size());
+  const ssize_t written = WriteAllFd(fd_, frame.data(), frame.size());
   if (written != static_cast<ssize_t>(frame.size())) {
     const Status status = Status::DataLoss(
         "wal short write to " + path_ + ": " +
@@ -438,7 +443,7 @@ Status WalWriter::Sync() {
     fd_ = -1;
     return fault;
   }
-  if (::fdatasync(fd_) != 0) {
+  if (RetryOnEintr([&] { return ::fdatasync(fd_); }) != 0) {
     const Status status = Status::DataLoss("wal fdatasync failed for " +
                                            path_ + ": " +
                                            std::strerror(errno));
@@ -460,7 +465,7 @@ Status WalWriter::Rotate(uint64_t new_base_gen) {
   if (fd_ >= 0) {
     // The outgoing segment becomes durable before its successor exists:
     // replay then never sees a gap between segments.
-    ::fdatasync(fd_);
+    RetryOnEintr([&] { return ::fdatasync(fd_); });
     ::close(fd_);
     fd_ = -1;
   }

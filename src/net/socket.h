@@ -1,0 +1,107 @@
+// Deadline-aware blocking TCP sockets (RAII, EINTR-safe).
+//
+// Everything here is plain POSIX: blocking sockets driven through
+// poll() so every transfer respects a Deadline without signals or
+// global timeouts. Used by net/frame.h (CRC framing), net/server.h and
+// net/client.h. Loopback and LAN scale; not an async I/O engine.
+
+#ifndef HPM_NET_SOCKET_H_
+#define HPM_NET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace hpm {
+
+/// A connected TCP stream (move-only fd owner).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port within `deadline`. kUnavailable on refusal /
+  /// unreachable peer (retryable), kDeadlineExceeded on timeout.
+  static StatusOr<Socket> Connect(const std::string& host, int port,
+                                  Deadline deadline);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Sends all `n` bytes. kDeadlineExceeded when the deadline expires
+  /// mid-transfer, kUnavailable when the peer resets the connection.
+  Status SendAll(const void* data, size_t n, Deadline deadline);
+
+  /// Receives exactly `n` bytes. When the peer closes cleanly before the
+  /// first byte, sets `*clean_eof` (when non-null) and returns
+  /// kUnavailable; a close mid-buffer is kDataLoss (a torn transfer).
+  Status RecvAll(void* data, size_t n, Deadline deadline, bool* clean_eof);
+
+  /// Blocks until the socket is readable or `deadline` expires
+  /// (kDeadlineExceeded). Consumes nothing — safe for idle-loop slicing
+  /// without losing partial frames.
+  Status WaitReadable(Deadline deadline);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening TCP socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  Listener& operator=(Listener&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on host:port. Port 0 picks an ephemeral port;
+  /// `port()` reports the actual one.
+  static StatusOr<Listener> Bind(const std::string& host, int port,
+                                 int backlog);
+
+  /// Accepts one connection, waiting at most until `deadline`
+  /// (kDeadlineExceeded on timeout — the accept loop's stop-check
+  /// slice).
+  StatusOr<Socket> Accept(Deadline deadline);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_NET_SOCKET_H_

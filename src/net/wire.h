@@ -1,0 +1,123 @@
+// Primitive binary encode/decode helpers for the wire protocol
+// (net/protocol.h) — little-endian fixed-width integers, IEEE doubles
+// and length-prefixed strings, with a bounds-checked read cursor.
+//
+// Byte order note: values are memcpy'd in host order, matching the WAL
+// frame format (io/wal.cc) — both ends of a replication pair run on the
+// same architecture class (x86-64/aarch64 are both little-endian), and
+// the CRC framing rejects a mismatched peer loudly rather than
+// misinterpreting it.
+
+#ifndef HPM_NET_WIRE_H_
+#define HPM_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace hpm::wire {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutF64(std::string* out, double v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+inline void PutString(std::string* out, const std::string& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  out->append(v);
+}
+
+/// Sequential reader over an encoded payload. Every getter returns
+/// false (and poisons the cursor) on underrun, so decoders can chain
+/// reads and check once at the end.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& buf) : data_(buf.data()), size_(buf.size()) {}
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v) {
+    if (!Need(1)) return false;
+    *v = static_cast<uint8_t>(data_[pos_]);
+    ++pos_;
+    return true;
+  }
+
+  bool U32(uint32_t* v) { return Fixed(v); }
+  bool U64(uint64_t* v) { return Fixed(v); }
+
+  bool I64(int64_t* v) {
+    uint64_t raw = 0;
+    if (!U64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+
+  bool F64(double* v) { return Fixed(v); }
+
+  /// Reads a length-prefixed string of at most `max_len` bytes (a bound
+  /// on attacker-controlled lengths, not a protocol limit).
+  bool String(std::string* v, size_t max_len = 1 << 20) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (len > max_len || !Need(len)) {
+      ok_ = false;
+      return false;
+    }
+    v->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  /// True when every read so far succeeded.
+  bool ok() const { return ok_; }
+
+  /// True when the payload was consumed exactly.
+  bool done() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  template <typename T>
+  bool Fixed(T* v) {
+    if (!Need(sizeof(T))) return false;
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace hpm::wire
+
+#endif  // HPM_NET_WIRE_H_

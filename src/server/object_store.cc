@@ -50,6 +50,7 @@ MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
   }
   metrics_ = std::make_unique<StoreMetrics>(metrics_registry_.get());
   wal_disabled_ = std::make_unique<std::atomic<bool>>(false);
+  generation_ = std::make_unique<std::atomic<uint64_t>>(0);
   EpochOptions epoch_options;
   epoch_options.pinned_counter = metrics_->epoch_pinned;
   epoch_options.retired_counter = metrics_->epoch_retired;
@@ -125,11 +126,20 @@ void MovingObjectStore::DisableWal(const Status& cause) const {
 }
 
 uint64_t MovingObjectStore::ApplyWalRecord(const WalRecord& record) {
+  // Crash replay tolerates everything ApplyReplicated refuses: covered
+  // records (overlapping rotated segments) and gaps (stale segments)
+  // are simply not applied.
+  const StatusOr<bool> applied = ApplyReplicated(record);
+  return applied.ok() && *applied ? 1 : 0;
+}
+
+StatusOr<bool> MovingObjectStore::ApplyReplicated(const WalRecord& record) {
   Shard& shard = ShardFor(record.id);
   if (record.type == WalRecord::Type::kRejected) {
     std::lock_guard<std::mutex> lock(shard.write_mutex);
     ++shard.rejected_reports[record.id];
-    return 1;
+    WalAppend(shard, record);
+    return true;
   }
   if (record.type == WalRecord::Type::kRejectedBaseline) {
     // Save-time tally seed: the snapshot this segment sits on top of
@@ -139,12 +149,15 @@ uint64_t MovingObjectStore::ApplyWalRecord(const WalRecord& record) {
     std::lock_guard<std::mutex> lock(shard.write_mutex);
     if (record.t >= 0) {
       shard.rejected_reports[record.id] = static_cast<uint64_t>(record.t);
+      WalAppend(shard, record);
     }
-    return 1;
+    return true;
   }
   if (!std::isfinite(record.x) || !std::isfinite(record.y) ||
       record.t < 0) {
-    return 0;  // journaled reports were validated; refuse bad replays
+    // Journaled reports were validated at ingest; refuse bad replays.
+    return Status::InvalidArgument("malformed journal record for object " +
+                                   std::to_string(record.id));
   }
   {
     std::lock_guard<std::mutex> lock(shard.write_mutex);
@@ -153,11 +166,18 @@ uint64_t MovingObjectStore::ApplyWalRecord(const WalRecord& record) {
         it == shard.records.end()
             ? 0
             : static_cast<Timestamp>(it->second->history.size());
-    // t < next: the snapshot already contains this record (segments
-    // rotated out mid-save overlap the generation that covered them).
-    // t > next: a gap from a stale or wrongly ordered segment — never
-    // fabricate history.
-    if (record.t != next) return 0;
+    // t < next: the local state already contains this record (segments
+    // rotated out mid-save overlap the generation that covered them;
+    // replication re-delivers across follower restarts).
+    if (record.t < next) return false;
+    // t > next: a gap from a stale, retired or wrongly ordered segment —
+    // never fabricate history. A follower getting this must resync.
+    if (record.t > next) {
+      return Status::OutOfRange(
+          "journal gap for object " + std::to_string(record.id) +
+          ": record t=" + std::to_string(record.t) + ", next=" +
+          std::to_string(next));
+    }
     const bool created = it == shard.records.end();
     if (created) {
       it = shard.records
@@ -166,6 +186,11 @@ uint64_t MovingObjectStore::ApplyWalRecord(const WalRecord& record) {
     }
     ObjectRecord& rec = *it->second;
     rec.history.Append(Point{record.x, record.y});
+    // A store with its own journal attached re-journals the applied
+    // record before publishing, exactly like live ingest; during
+    // LoadFromDirectory replay no writer is attached yet and this is a
+    // no-op.
+    WalAppend(shard, record);
     PublishView(rec, BuildView(rec));
     if (created) PublishTable(shard);
   }
@@ -176,7 +201,7 @@ uint64_t MovingObjectStore::ApplyWalRecord(const WalRecord& record) {
   QueryPipeline pipeline(PipelineEnv(), StoreOp::kReport,
                          Deadline::Infinite());
   (void)MaybeTrain(shard, record.id, pipeline);
-  return 1;
+  return true;
 }
 
 size_t MovingObjectStore::ShardIndex(ObjectId id, size_t num_shards) {

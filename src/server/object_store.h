@@ -363,6 +363,26 @@ class MovingObjectStore {
   static StatusOr<MovingObjectStore> LoadFromDirectory(
       const std::string& directory, ObjectStoreOptions options);
 
+  /// The snapshot generation this store's state sits on: set by
+  /// LoadFromDirectory to the generation it loaded and advanced by every
+  /// successful SaveToDirectory. 0 for a store that has never touched
+  /// disk. Replication stamps replies with it.
+  uint64_t generation() const {
+    return generation_->load(std::memory_order_relaxed);
+  }
+
+  /// ---- Replication (server/replication.h drives this) -----------------
+  /// Applies one record shipped from a primary's journal, with the exact
+  /// semantics of crash replay: a report at the object's next tick
+  /// appends (journaling locally when a journal is attached, retraining
+  /// exactly as live ingest would — a replica applying the same records
+  /// in the same order converges to bit-identical models); a record the
+  /// local state already covers returns false (idempotent re-delivery);
+  /// a record *past* the next tick is kOutOfRange — the follower missed
+  /// records and must resync rather than fabricate history. Rejected
+  /// tallies and baselines apply unconditionally.
+  StatusOr<bool> ApplyReplicated(const WalRecord& record);
+
  private:
   /// Everything a prediction needs, snapshotted by the writer at publish
   /// time. Immutable once published; readers use it in place (no copy,
@@ -580,6 +600,9 @@ class MovingObjectStore {
   /// Set once by DisableWal when a disk fault drops the store to
   /// non-durable serving. Heap-allocated so the store stays movable.
   std::unique_ptr<std::atomic<bool>> wal_disabled_;
+  /// Snapshot generation (see generation()); heap-allocated for
+  /// movability, mutated by the const SaveToDirectory after commit.
+  std::unique_ptr<std::atomic<uint64_t>> generation_;
   /// Declared last: destroyed first, so draining its limbo (which bumps
   /// the epoch.* counters) still has a live metrics registry.
   std::unique_ptr<EpochManager> epoch_;

@@ -344,6 +344,7 @@ Status MovingObjectStore::SaveToDirectory(
     return AtomicWriteFile(CurrentPath(directory), ManifestName(gen) + "\n");
   });
   if (!committed.ok()) return committed.Annotate("commit");
+  generation_->store(gen, std::memory_order_relaxed);
 
   // Best-effort cleanup: keep this generation and the previous one (the
   // recovery target if this generation's files later rot).
@@ -445,6 +446,7 @@ StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
   size_t quarantined = 0;
   const auto finish = [&](MovingObjectStore& store, uint64_t gen) {
     store.options_.durability = durability;
+    store.generation_->store(gen, std::memory_order_relaxed);
     if (!durability.wal_dir.empty()) {
       store.ReplayWal(gen);
       if (Status ready = store.InitWal(gen); !ready.ok()) {

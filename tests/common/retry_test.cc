@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -99,6 +100,65 @@ TEST(RetryTest, BackoffGrowsAndRespectsCap) {
   EXPECT_EQ(slept[2].count(), 2000);  // capped
   EXPECT_EQ(slept[3].count(), 2000);
   EXPECT_EQ(slept[4].count(), 2000);
+}
+
+TEST(RetryTest, FullJitterDrawsFromTheWholeWindow) {
+  RetryPolicy policy;
+  policy.max_attempts = 40;
+  policy.initial_backoff = std::chrono::microseconds(1000);
+  policy.multiplier = 1.0;  // fixed window: every sleep ~ U[0, 1000)
+  policy.full_jitter = true;
+  Random rng(1234);
+  std::vector<std::chrono::microseconds> slept;
+  RetryWithBackoff(
+      policy, rng, [&]() { return Status::Unavailable("down"); },
+      RecordingSleep{&slept});
+  ASSERT_EQ(slept.size(), 39u);
+  int64_t lo = slept[0].count(), hi = slept[0].count();
+  for (const auto& sleep : slept) {
+    EXPECT_GE(sleep.count(), 0);
+    EXPECT_LT(sleep.count(), 1000);
+    lo = std::min(lo, sleep.count());
+    hi = std::max(hi, sleep.count());
+  }
+  // Scaled jitter would cluster around the midpoint; full jitter must
+  // actually use both ends of the window.
+  EXPECT_LT(lo, 300);
+  EXPECT_GT(hi, 700);
+}
+
+TEST(RetryTest, RetryAfterHintFloorsTheFullJitterSleep) {
+  // A server-supplied hint beats whatever the jitter drew — even above
+  // max_backoff: the server knows its own refill schedule best.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::microseconds(100);
+  policy.max_backoff = std::chrono::microseconds(200);
+  policy.full_jitter = true;
+  Random rng(7);
+  std::vector<std::chrono::microseconds> slept;
+  RetryWithBackoff(
+      policy, rng,
+      [&]() {
+        return AttachRetryAfter(Status::Unavailable("busy"),
+                                std::chrono::microseconds(5000));
+      },
+      RecordingSleep{&slept});
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_EQ(slept[0].count(), 5000);
+  EXPECT_EQ(slept[1].count(), 5000);
+}
+
+TEST(RetryTest, RetryAfterHintRoundTripsThroughAMessage) {
+  const Status hinted = AttachRetryAfter(Status::Unavailable("shed"),
+                                         std::chrono::microseconds(12345));
+  const auto hint = RetryAfterHint(hinted);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->count(), 12345);
+  EXPECT_FALSE(RetryAfterHint(Status::Unavailable("bare")).has_value());
+  EXPECT_FALSE(
+      RetryAfterHint(Status::Unavailable("x [retry-after-us=oops]"))
+          .has_value());
 }
 
 TEST(RetryTest, JitterIsDeterministicUnderSeed) {

@@ -1,0 +1,218 @@
+// Three-process failover drill over loopback: a primary `hpm_tool
+// serve`, a replica following it, and this test process as the client.
+// The primary is killed with SIGKILL mid-service; the replica must keep
+// serving (stamped stale, then degraded-stale), refuse writes, and —
+// once a fresh primary process replays the journal on the same
+// directory — converge back to fresh reads with no acknowledged report
+// lost anywhere.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "net/client.h"
+#include "net/socket.h"
+
+namespace hpm {
+namespace {
+
+constexpr ObjectId kObject = 7;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name +
+                          "_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Reserves a loopback port by binding and immediately releasing it, so
+/// a restarted primary can come back on the address its replica knows.
+int ReservePort() {
+  StatusOr<Listener> listener = Listener::Bind("127.0.0.1", 0, 1);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  return listener.ok() ? listener->port() : 0;
+}
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (pid_t pid : children_) {
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+      }
+    }
+  }
+
+  /// fork+exec `hpm_tool serve <args...>`; the child's stdout is
+  /// silenced, stderr passes through for ctest logs.
+  pid_t Spawn(const std::vector<std::string>& serve_args) {
+    std::vector<std::string> args = {HPM_TOOL_PATH, "serve"};
+    args.insert(args.end(), serve_args.begin(), serve_args.end());
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      std::FILE* null = std::freopen("/dev/null", "w", stdout);
+      (void)null;
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(HPM_TOOL_PATH, argv.data());
+      ::_exit(127);
+    }
+    EXPECT_GT(pid, 0);
+    if (pid > 0) children_.push_back(pid);
+    return pid;
+  }
+
+  void Kill9(pid_t pid) {
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    ASSERT_EQ(::waitpid(pid, nullptr, 0), pid);
+    for (pid_t& child : children_) {
+      if (child == pid) child = -1;
+    }
+  }
+
+  /// Waits (≤15s) until `port_file` exists with a parseable port.
+  int AwaitPort(const std::string& port_file) {
+    for (int i = 0; i < 1500; ++i) {
+      std::FILE* f = std::fopen(port_file.c_str(), "rb");
+      if (f != nullptr) {
+        int port = 0;
+        const int matched = std::fscanf(f, "%d", &port);
+        std::fclose(f);
+        if (matched == 1 && port > 0) return port;
+      }
+      ::usleep(10000);
+    }
+    ADD_FAILURE() << "server never published " << port_file;
+    return 0;
+  }
+
+  static HpmClientOptions ClientOptions(int port) {
+    HpmClientOptions options;
+    options.port = port;
+    return options;
+  }
+
+  /// Polls `predicate` every 20ms for up to ~15s.
+  template <typename Predicate>
+  bool Await(Predicate predicate) {
+    for (int i = 0; i < 750; ++i) {
+      if (predicate()) return true;
+      ::usleep(20000);
+    }
+    return false;
+  }
+
+  std::vector<pid_t> children_;
+};
+
+TEST_F(FailoverTest, ReplicaServesThroughPrimaryDeathAndReconverges) {
+  const std::string primary_dir = FreshDir("failover_primary");
+  const std::string replica_dir = FreshDir("failover_replica");
+  const std::string primary_port_file = primary_dir + ".port";
+  const std::string replica_port_file = replica_dir + ".port";
+  std::filesystem::remove(primary_port_file);
+  std::filesystem::remove(replica_port_file);
+  const int primary_port = ReservePort();
+  ASSERT_GT(primary_port, 0);
+  const std::string primary_addr =
+      "127.0.0.1:" + std::to_string(primary_port);
+
+  // --- A primary comes up and acknowledges a batch of reports. --------
+  const pid_t primary_pid =
+      Spawn({"--dir", primary_dir, "--port", std::to_string(primary_port),
+             "--port-file", primary_port_file, "--threads", "2"});
+  ASSERT_GT(AwaitPort(primary_port_file), 0);
+
+  HpmClient primary(ClientOptions(primary_port));
+  constexpr int kAcked = 30;
+  for (int t = 0; t < kAcked; ++t) {
+    ReportRequest report;
+    report.id = kObject;
+    report.x = 10.0 * t;
+    report.y = 5.0 * t;
+    StatusOr<ReplyInfo> acked = primary.Report(report);
+    ASSERT_TRUE(acked.ok()) << acked.status().ToString();
+  }
+  StatusOr<PredictReply> want = primary.Predict({kObject, kAcked + 2, 1, 0});
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_FALSE(want->predictions.empty());
+
+  // --- A replica bootstraps, follows, and serves identical answers. ---
+  const pid_t replica_pid = Spawn(
+      {"--dir", replica_dir, "--replica-of", primary_addr, "--port-file",
+       replica_port_file, "--poll-ms", "50", "--stale-ms", "500"});
+  (void)replica_pid;
+  const int replica_port = AwaitPort(replica_port_file);
+  ASSERT_GT(replica_port, 0);
+  HpmClient replica(ClientOptions(replica_port));
+
+  StatusOr<PredictReply> got = Status::Unavailable("not yet");
+  ASSERT_TRUE(Await([&] {
+    got = replica.Predict({kObject, kAcked + 2, 1, 0});
+    return got.ok() && !got->predictions.empty() &&
+           got->predictions[0].location == want->predictions[0].location;
+  })) << "replica never converged: " << got.status().ToString();
+  EXPECT_EQ(got->info.role, ServerRole::kReplica);
+  EXPECT_FALSE(got->info.stale_degraded);
+
+  // Writes are the primary's job.
+  StatusOr<ReplyInfo> refused =
+      replica.Report({kObject, -1, 0.0, 0.0});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  // --- kill -9 the primary. The replica keeps answering, stamped
+  // degraded-stale once its sync window lapses. ------------------------
+  Kill9(primary_pid);
+  ASSERT_TRUE(Await([&] {
+    StatusOr<ReplyInfo> ping = replica.Ping();
+    return ping.ok() && ping->stale_degraded;
+  })) << "replica never flagged degraded-stale after primary death";
+  got = replica.Predict({kObject, kAcked + 2, 1, 0});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_FALSE(got->predictions.empty());
+  EXPECT_EQ(got->predictions[0].location.x, want->predictions[0].location.x);
+  EXPECT_EQ(got->predictions[0].location.y, want->predictions[0].location.y);
+
+  // --- A fresh primary process replays the journal on the same
+  // directory and port. --------------------------------------------------
+  std::filesystem::remove(primary_port_file);
+  Spawn({"--dir", primary_dir, "--port", std::to_string(primary_port),
+         "--port-file", primary_port_file, "--threads", "2"});
+  ASSERT_GT(AwaitPort(primary_port_file), 0);
+  HpmClient revived(ClientOptions(primary_port));
+
+  // No acknowledged report was lost: the object's clock is exactly at
+  // kAcked, so the report for tick kAcked (and only that tick) lands.
+  StatusOr<ReplyInfo> wrong_tick =
+      revived.Report({kObject, kAcked - 1, 1.0, 1.0});
+  EXPECT_FALSE(wrong_tick.ok());
+  StatusOr<ReplyInfo> next_tick =
+      revived.Report({kObject, kAcked, 10.0 * kAcked, 5.0 * kAcked});
+  ASSERT_TRUE(next_tick.ok()) << next_tick.status().ToString();
+
+  // --- The replica reconnects, catches up past the restart, and drops
+  // its degraded stamp. -------------------------------------------------
+  want = revived.Predict({kObject, kAcked + 5, 1, 0});
+  ASSERT_TRUE(want.ok());
+  ASSERT_FALSE(want->predictions.empty());
+  ASSERT_TRUE(Await([&] {
+    got = replica.Predict({kObject, kAcked + 5, 1, 0});
+    return got.ok() && !got->predictions.empty() &&
+           got->predictions[0].location == want->predictions[0].location &&
+           !got->info.stale_degraded;
+  })) << "replica never reconverged after primary restart";
+}
+
+}  // namespace
+}  // namespace hpm

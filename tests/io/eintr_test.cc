@@ -1,0 +1,64 @@
+// RetryOnEintr / WriteAllFd / ReadFullFd semantics.
+
+#include "io/eintr.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace hpm {
+namespace {
+
+TEST(EintrTest, RetriesWhileErrnoIsEintr) {
+  int calls = 0;
+  const int result = RetryOnEintr([&]() -> int {
+    if (++calls < 4) {
+      errno = EINTR;
+      return -1;
+    }
+    return 7;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(EintrTest, DoesNotRetryOtherErrors) {
+  int calls = 0;
+  const int result = RetryOnEintr([&]() -> int {
+    ++calls;
+    errno = EIO;
+    return -1;
+  });
+  EXPECT_EQ(result, -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EintrTest, WriteAllAndReadFullRoundTripThroughAPipe) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload(1000, 'q');
+  ASSERT_EQ(WriteAllFd(fds[1], payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  ::close(fds[1]);
+  std::string read_back(payload.size(), '\0');
+  ASSERT_EQ(ReadFullFd(fds[0], read_back.data(), read_back.size()),
+            static_cast<ssize_t>(payload.size()));
+  EXPECT_EQ(read_back, payload);
+  // EOF: a full read against a closed writer returns the short count.
+  char extra = 0;
+  EXPECT_EQ(ReadFullFd(fds[0], &extra, 1), 0);
+  ::close(fds[0]);
+}
+
+TEST(EintrTest, WriteAllFailsOnBadFd) {
+  const std::string payload = "x";
+  EXPECT_LT(WriteAllFd(-1, payload.data(), payload.size()), 0);
+}
+
+}  // namespace
+}  // namespace hpm

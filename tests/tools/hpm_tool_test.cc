@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 namespace hpm {
@@ -221,6 +222,35 @@ TEST(HpmToolTest, StatsValidatesFlags) {
   EXPECT_EQ(RunTool("stats --shards 0").exit_code, 1);
   EXPECT_EQ(RunTool("stats --ops 0").exit_code, 1);
   EXPECT_EQ(RunTool("stats --bogus 1").exit_code, 1);
+}
+
+TEST(HpmToolTest, WalVerifyAcceptsAnEmptyJournalDirectory) {
+  // A directory with no segments yet is a valid (fresh) journal; a
+  // health check against it must not page anyone.
+  const std::string dir = Tmp("wal_verify_empty");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const RunResult r = RunTool("wal --dir " + dir + " --verify 1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("empty journal is valid"), std::string::npos)
+      << r.output;
+}
+
+TEST(HpmToolTest, WalVerifyRejectsAMissingJournalDirectory) {
+  // A missing directory is a wrong path, not a clean journal.
+  const std::string dir = Tmp("wal_verify_missing");
+  std::filesystem::remove_all(dir);
+  const RunResult r = RunTool("wal --dir " + dir + " --verify 1");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("does not exist"), std::string::npos) << r.output;
+}
+
+TEST(HpmToolTest, ServeValidatesFlags) {
+  EXPECT_EQ(RunTool("serve").exit_code, 1);  // --dir is required
+  EXPECT_EQ(RunTool("serve --dir " + Tmp("serve_flags") +
+                    " --replica-of not-an-addr")
+                .exit_code,
+            1);
 }
 
 }  // namespace

@@ -44,6 +44,29 @@
 //       traversal effort), the OverloadStats aggregate, and a per-stage
 //       latency breakdown (see docs/OBSERVABILITY.md).
 //
+//   serve --dir PATH [--host H] [--port N] [--port-file F] [--wal 0|1]
+//         [--threads N] [--shards N]
+//         [--replica-of HOST:PORT] [--poll-ms N] [--stale-ms N]
+//       Serve a MovingObjectStore over TCP. Without --replica-of: a
+//       primary — loads (or creates) the store under --dir, journals to
+//       <dir>/wal, and answers reads, writes, and replication RPCs.
+//       With --replica-of: a read-only replica — bootstraps a snapshot
+//       from the primary when <dir> has none, replays its local journal
+//       mirror, then follows the primary's journal; reads are stamped
+//       with generation + staleness. --port 0 (default) binds an
+//       ephemeral port; --port-file writes the bound port for scripts.
+//       Runs until SIGINT/SIGTERM. Exits 3 when a replica detects
+//       divergence and needs a re-bootstrap.
+//
+//   connect --port N [--host H] [--op ping|report|predict|stats]
+//           [--id N] [--t N] [--x X] [--y Y] [--tq N] [--k N]
+//       One client call against a running server; prints the reply
+//       envelope (role, generation, staleness) and the op's result.
+//
+//   repl --port N [--host H]
+//       Print a primary's replication state: current generation and the
+//       journal segment listing a follower would mirror.
+//
 //   wal --dir PATH [--verify 1]
 //       Inspect a write-ahead report journal directory: one row per
 //       segment with its shard, sequence number, base generation, record
@@ -54,11 +77,14 @@
 //
 // All subcommands exit 0 on success and print errors to stderr.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -71,9 +97,13 @@
 #include "datagen/datasets.h"
 #include "common/table_printer.h"
 #include "eval/metrics.h"
+#include "io/atomic_file.h"
 #include "io/csv.h"
 #include "io/wal.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "server/object_store.h"
+#include "server/replication.h"
 
 namespace {
 
@@ -147,7 +177,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: hpm_tool "
                "<generate|train|info|predict|evaluate|throughput|faultcheck"
-               "|stats|wal> "
+               "|stats|wal|serve|connect|repl> "
                "[--flag value ...]\n  (see the header of tools/hpm_tool.cc)\n");
   return 2;
 }
@@ -772,15 +802,272 @@ int RunStats(Args args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+void HandleServeStop(int) { g_serve_stop = 1; }
+
+/// Splits "host:port"; returns false when the port is missing/bad.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  *host = spec.substr(0, colon);
+  *port = std::atoi(spec.c_str() + colon + 1);
+  return !host->empty() && *port > 0;
+}
+
+void PrintReplyInfo(const ReplyInfo& info) {
+  std::printf("role=%s generation=%llu staleness_us=%llu degraded=%d\n",
+              ServerRoleName(info.role),
+              static_cast<unsigned long long>(info.generation),
+              static_cast<unsigned long long>(info.staleness_us),
+              info.stale_degraded ? 1 : 0);
+}
+
+int RunServe(Args args) {
+  const std::string dir = args.Get("dir", "");
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetInt("port", 0));
+  const std::string port_file = args.Get("port-file", "");
+  const std::string replica_of = args.Get("replica-of", "");
+  const bool wal = args.GetInt("wal", 1) != 0;
+  const int threads = static_cast<int>(args.GetInt("threads", 4));
+  const int shards = static_cast<int>(args.GetInt("shards", 0));
+  const int64_t poll_ms = args.GetInt("poll-ms", 100);
+  const int64_t stale_ms = args.GetInt("stale-ms", 2000);
+  if (dir.empty()) return Fail("--dir is required");
+  if (int rc = FinishArgs(&args)) return rc;
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, HandleServeStop);
+  std::signal(SIGTERM, HandleServeStop);
+
+  ObjectStoreOptions store_options;
+  if (shards > 0) store_options.num_shards = shards;
+  HpmServerOptions server_options;
+  server_options.host = host;
+  server_options.port = port;
+  server_options.handler_threads = threads;
+  server_options.stale_threshold = std::chrono::microseconds(stale_ms * 1000);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Fail("cannot create " + dir + ": " + ec.message());
+
+  const auto publish_port = [&](int bound_port) -> int {
+    std::fprintf(stderr, "serving on %s:%d\n", host.c_str(), bound_port);
+    if (port_file.empty()) return 0;
+    if (Status wrote = AtomicWriteFile(
+            port_file, std::to_string(bound_port) + "\n");
+        !wrote.ok()) {
+      return Fail("cannot write --port-file: " + wrote.message());
+    }
+    return 0;
+  };
+
+  // LoadFromDirectory refuses a directory with neither snapshot nor
+  // journal; first boot of a server is exactly that, so fall back to a
+  // fresh store on kInvalidArgument (and only on it — a DataLoss load
+  // failure must not silently serve an empty store).
+  const auto load_or_create =
+      [&](std::optional<MovingObjectStore>* store) -> int {
+    StatusOr<MovingObjectStore> loaded =
+        MovingObjectStore::LoadFromDirectory(dir, store_options);
+    if (loaded.ok()) {
+      store->emplace(std::move(*loaded));
+      return 0;
+    }
+    if (loaded.status().code() == StatusCode::kInvalidArgument) {
+      store->emplace(store_options);
+      return 0;
+    }
+    return Fail("load: " + loaded.status().message());
+  };
+
+  if (replica_of.empty()) {
+    // ---- Primary ----
+    if (wal) store_options.durability.wal_dir = dir + "/wal";
+    std::optional<MovingObjectStore> store_holder;
+    if (int rc = load_or_create(&store_holder)) return rc;
+    MovingObjectStore& store = *store_holder;
+
+    server_options.role = ServerRole::kPrimary;
+    server_options.data_dir = dir;
+    server_options.wal_dir = dir + "/wal";
+    StatusOr<std::unique_ptr<HpmServer>> server =
+        HpmServer::Start(&store, server_options);
+    if (!server.ok()) return Fail("start: " + server.status().message());
+    if (int rc = publish_port((*server)->port())) return rc;
+
+    while (!g_serve_stop) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    (*server)->Stop();
+    return 0;
+  }
+
+  // ---- Replica ----
+  std::string primary_host;
+  int primary_port = 0;
+  if (!ParseHostPort(replica_of, &primary_host, &primary_port)) {
+    return Fail("--replica-of must be HOST:PORT");
+  }
+  HpmClientOptions client_options;
+  client_options.host = primary_host;
+  client_options.port = primary_port;
+  HpmClient client(client_options);
+
+  if (!std::filesystem::exists(dir + "/CURRENT", ec)) {
+    StatusOr<uint64_t> bootstrapped = BootstrapReplica(client, dir);
+    if (!bootstrapped.ok()) {
+      return Fail("bootstrap: " + bootstrapped.status().message());
+    }
+    std::fprintf(stderr, "bootstrapped snapshot generation %llu\n",
+                 static_cast<unsigned long long>(*bootstrapped));
+  }
+
+  // The replica's store never journals: <dir>/wal is a byte mirror of
+  // the *primary's* journal, owned by the Replicator.
+  store_options.durability.wal_dir.clear();
+  std::optional<MovingObjectStore> store_holder;
+  if (int rc = load_or_create(&store_holder)) return rc;
+  MovingObjectStore& store = *store_holder;
+
+  ReplicaHealth health;
+  ReplicatorOptions repl_options;
+  repl_options.data_dir = dir;
+  repl_options.poll_interval = std::chrono::milliseconds(poll_ms);
+  Replicator replicator(&client, &store, &health, store.generation(),
+                        repl_options);
+  if (Status caught = replicator.CatchUpFromMirror(); !caught.ok()) {
+    return Fail("mirror catch-up: " + caught.message());
+  }
+  // Serve even when the primary is down at start: the first SyncOnce
+  // failing just means every reply is stamped maximally stale.
+  if (Status synced = replicator.SyncOnce(); !synced.ok()) {
+    std::fprintf(stderr, "initial sync failed (serving stale): %s\n",
+                 synced.message().c_str());
+  }
+  replicator.Start();
+
+  server_options.role = ServerRole::kReplica;
+  StatusOr<std::unique_ptr<HpmServer>> server =
+      HpmServer::Start(&store, server_options, &health);
+  if (!server.ok()) return Fail("start: " + server.status().message());
+  if (int rc = publish_port((*server)->port())) return rc;
+
+  while (!g_serve_stop) {
+    if (replicator.resync_required()) {
+      (*server)->Stop();
+      replicator.Stop();
+      Fail("replica diverged from primary; wipe " + dir +
+           " and re-bootstrap");
+      return 3;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*server)->Stop();
+  replicator.Stop();
+  return 0;
+}
+
+int RunConnect(Args args) {
+  HpmClientOptions client_options;
+  client_options.host = args.Get("host", "127.0.0.1");
+  client_options.port = static_cast<int>(args.GetInt("port", 0));
+  const std::string op = args.Get("op", "ping");
+  const int64_t id = args.GetInt("id", 0);
+  const int64_t t = args.GetInt("t", -1);
+  const double x = args.GetDouble("x", 0.0);
+  const double y = args.GetDouble("y", 0.0);
+  const int64_t tq = args.GetInt("tq", 0);
+  const int64_t k = args.GetInt("k", 1);
+  if (client_options.port <= 0) return Fail("--port is required");
+  if (int rc = FinishArgs(&args)) return rc;
+  HpmClient client(client_options);
+
+  if (op == "ping") {
+    StatusOr<ReplyInfo> reply = client.Ping();
+    if (!reply.ok()) return Fail(reply.status().message());
+    PrintReplyInfo(*reply);
+    return 0;
+  }
+  if (op == "report") {
+    ReportRequest request;
+    request.id = id;
+    request.t = t;
+    request.x = x;
+    request.y = y;
+    StatusOr<ReplyInfo> reply = client.Report(request);
+    if (!reply.ok()) return Fail(reply.status().message());
+    PrintReplyInfo(*reply);
+    return 0;
+  }
+  if (op == "predict") {
+    PredictRequest request;
+    request.id = id;
+    request.tq = tq;
+    request.k = static_cast<int32_t>(k);
+    StatusOr<PredictReply> reply = client.Predict(request);
+    if (!reply.ok()) return Fail(reply.status().message());
+    PrintReplyInfo(reply->info);
+    for (const Prediction& p : reply->predictions) {
+      std::printf("(%.6f, %.6f) score=%.4f %s\n", p.location.x, p.location.y,
+                  p.score,
+                  p.source == PredictionSource::kPattern ? "pattern" : "rmf");
+    }
+    return 0;
+  }
+  if (op == "stats") {
+    StatusOr<StatsReply> reply = client.Stats();
+    if (!reply.ok()) return Fail(reply.status().message());
+    PrintReplyInfo(reply->info);
+    std::printf("%s\n", reply->json.c_str());
+    return 0;
+  }
+  return Fail("unknown --op '" + op + "'");
+}
+
+int RunRepl(Args args) {
+  HpmClientOptions client_options;
+  client_options.host = args.Get("host", "127.0.0.1");
+  client_options.port = static_cast<int>(args.GetInt("port", 0));
+  if (client_options.port <= 0) return Fail("--port is required");
+  if (int rc = FinishArgs(&args)) return rc;
+  HpmClient client(client_options);
+
+  StatusOr<ReplStateReply> state = client.ReplState(ReplStateRequest{});
+  if (!state.ok()) return Fail(state.status().message());
+  PrintReplyInfo(state->info);
+  std::printf("generation %llu, %zu journal segment(s)\n",
+              static_cast<unsigned long long>(state->generation),
+              state->segments.size());
+  if (state->segments.empty()) return 0;
+  TablePrinter table({"shard", "seq", "base_gen", "bytes"});
+  for (const WireSegment& segment : state->segments) {
+    table.AddRow({std::to_string(segment.shard), std::to_string(segment.seq),
+                  std::to_string(segment.base_gen),
+                  std::to_string(segment.size)});
+  }
+  table.Print(stdout);
+  return 0;
+}
+
 int RunWal(Args args) {
   const std::string dir = args.Get("dir", "");
   const bool verify = args.GetInt("verify", 0) != 0;
   if (dir.empty()) return Fail("--dir is required");
   if (int rc = FinishArgs(&args)) return rc;
 
+  // A missing directory is an operator error (wrong path), not a clean
+  // journal — only an *existing* directory with no segments verifies as
+  // empty-but-valid.
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec) || ec) {
+    return Fail("journal directory " + dir + " does not exist");
+  }
   const std::vector<WalSegmentInfo> segments = ListWalSegments(dir);
   if (segments.empty()) {
-    std::printf("no journal segments in %s\n", dir.c_str());
+    std::printf("no journal segments in %s (empty journal is valid)\n",
+                dir.c_str());
     return 0;
   }
 
@@ -846,5 +1133,8 @@ int main(int argc, char** argv) {
   if (command == "faultcheck") return RunFaultcheck(std::move(args));
   if (command == "stats") return RunStats(std::move(args));
   if (command == "wal") return RunWal(std::move(args));
+  if (command == "serve") return RunServe(std::move(args));
+  if (command == "connect") return RunConnect(std::move(args));
+  if (command == "repl") return RunRepl(std::move(args));
   return Usage();
 }
