@@ -39,6 +39,11 @@ run_matrix() {
   # every build of the matrix — most importantly TSan and ASan.
   ctest --test-dir "$build_dir" -L concurrency "${CTEST_ARGS[@]}" \
         -j "$JOBS"
+  # And for the incremental-mining pipeline (windowed miner counts,
+  # promote/demote differentials against the offline builder, the
+  # background rebuild scheduler): the exactness contract is the suite
+  # most likely to rot silently, so it runs by label in every build.
+  ctest --test-dir "$build_dir" -L mining "${CTEST_ARGS[@]}" -j "$JOBS"
 }
 
 # Static analysis (config in .clang-tidy). Soft-skipped when clang-tidy
@@ -93,6 +98,10 @@ ctest --test-dir build-fault -L concurrency "${CTEST_ARGS[@]}" -j "$JOBS"
 # sweeps are only meaningful with the fault sites compiled in.
 ctest --test-dir build-fault -L net "${CTEST_ARGS[@]}" -j "$JOBS"
 ctest --test-dir build-fault -L repl "${CTEST_ARGS[@]}" -j "$JOBS"
+# The background-rebuild kill-point sweep (crash between mine, freeze
+# and publish) only exercises its recovery paths with the fault hooks
+# compiled in, and ASan is what catches a half-published arena.
+ctest --test-dir build-fault -L mining "${CTEST_ARGS[@]}" -j "$JOBS"
 ./build-fault/tools/hpm_tool faultcheck --seed 1
 
 # The overload-control layer (admission, load shedding, breakers) is
@@ -104,7 +113,8 @@ echo "== ThreadSanitizer + fault hooks: overload + fault + concurrency =="
 cmake -B build-tsan-fault -S . -DHPM_SANITIZE=thread \
       -DHPM_ENABLE_FAULTS=ON >/dev/null
 cmake --build build-tsan-fault -j "$JOBS"
-ctest --test-dir build-tsan-fault -L 'overload|fault|concurrency|net|repl' \
+ctest --test-dir build-tsan-fault \
+      -L 'overload|fault|concurrency|net|repl|mining' \
       "${CTEST_ARGS[@]}" -j "$JOBS"
 
 echo "check.sh: all green"

@@ -21,6 +21,10 @@ const char* const kKnownFaultSites[] = {
     "net/recv",             // frame receive (connection-reset model)
     "repl/fetch",           // primary-side replication byte-range read
     "repl/apply",           // replica-side journal record application
+    "rebuild/mine",         // drift-triggered rebuild: before mining
+    "rebuild/freeze",       // rebuild: after mining, before the frozen
+                            // model would be handed to the publish step
+    "rebuild/publish",      // rebuild: under the lock, before the swap
     // Per-shard family: the literal sites are "server/shard_query:0",
     // "server/shard_query:1", ... (ShardQueryFaultSite(shard) in
     // server/object_store.h). Arming one fails that shard's share of

@@ -52,6 +52,35 @@ const LatencyHistogram::Snapshot* MetricsSnapshot::histogram(
   return nullptr;
 }
 
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    bool found = false;
+    for (auto& [n, v] : counters) {
+      if (n == name) {
+        v += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counters.emplace_back(name, value);
+  }
+  for (const auto& [name, snap] : other.histograms) {
+    bool found = false;
+    for (auto& [n, mine] : histograms) {
+      if (n == name) {
+        for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+          mine.buckets[i] += snap.buckets[i];
+        }
+        mine.count += snap.count;
+        mine.sum_micros += snap.sum_micros;
+        found = true;
+        break;
+      }
+    }
+    if (!found) histograms.emplace_back(name, snap);
+  }
+}
+
 std::string MetricsSnapshot::ToJson() const {
   std::ostringstream out;
   out << "{\n  \"counters\": {";

@@ -118,6 +118,12 @@ struct MetricsSnapshot {
   /// Histogram by exact name; nullptr when absent.
   const LatencyHistogram::Snapshot* histogram(const std::string& name) const;
 
+  /// Folds `other`'s rows into this snapshot, so instruments split
+  /// across registries (e.g. the store's and the network server's)
+  /// render as one document. A name present in both sums counters and
+  /// merges histogram buckets; a name only in `other` is appended.
+  void MergeFrom(const MetricsSnapshot& other);
+
   /// Stable JSON rendering (names sorted as registered) for tools/benches.
   std::string ToJson() const;
 };

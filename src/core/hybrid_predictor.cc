@@ -7,6 +7,7 @@
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "core/exec_context.h"
+#include "mining/offline_miner.h"
 #include "mining/transaction.h"
 
 namespace hpm {
@@ -75,27 +76,21 @@ StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::Train(
 
   Stopwatch timer;
 
-  // Discovery: decompose -> group -> DBSCAN per offset.
-  StatusOr<FrequentRegionMiningResult> discovery =
-      MineFrequentRegions(history, options.regions);
-  if (!discovery.ok()) return discovery.status();
-
-  // Transactions and Apriori pattern mining.
-  const std::vector<Transaction> transactions =
-      BuildTransactions(*discovery);
-  StatusOr<AprioriResult> mined = MineTrajectoryPatterns(
-      transactions, discovery->region_set, options.mining);
-  if (!mined.ok()) return mined.status();
+  // The one-shot pass: discovery -> transactions -> Apriori.
+  StatusOr<OfflineMineResult> offline =
+      MineOffline(history, options.regions, options.mining);
+  if (!offline.ok()) return offline.status();
+  FrequentRegionSet& region_set = offline->discovery.region_set;
+  AprioriResult& mined = offline->mined;
 
   // Key tables and TPT bulk load.
-  KeyTables tables =
-      KeyTables::Build(discovery->region_set, mined->patterns);
+  KeyTables tables = KeyTables::Build(region_set, mined.patterns);
   std::vector<IndexedPattern> indexed;
-  indexed.reserve(mined->patterns.size());
-  for (size_t i = 0; i < mined->patterns.size(); ++i) {
-    const TrajectoryPattern& p = mined->patterns[i];
-    indexed.push_back({tables.EncodePattern(p, discovery->region_set),
-                       p.confidence, p.consequence, static_cast<int>(i)});
+  indexed.reserve(mined.patterns.size());
+  for (size_t i = 0; i < mined.patterns.size(); ++i) {
+    const TrajectoryPattern& p = mined.patterns[i];
+    indexed.push_back({tables.EncodePattern(p, region_set), p.confidence,
+                       p.consequence, static_cast<int>(i)});
   }
   StatusOr<TptTree> tpt = TptTree::BulkLoad(std::move(indexed), options.tpt);
   if (!tpt.ok()) return tpt.status();
@@ -103,13 +98,13 @@ StatusOr<std::unique_ptr<HybridPredictor>> HybridPredictor::Train(
   FrozenTpt frozen = FrozenTpt::Freeze(*tpt);
 
   auto predictor = std::unique_ptr<HybridPredictor>(new HybridPredictor(
-      options, std::move(discovery->region_set), std::move(mined->patterns),
+      options, std::move(region_set), std::move(mined.patterns),
       std::move(tables), std::move(frozen)));
-  predictor->summary_.num_sub_trajectories = transactions.size();
+  predictor->summary_.num_sub_trajectories = offline->transactions.size();
   predictor->summary_.num_frequent_regions =
       predictor->regions_.NumRegions();
   predictor->summary_.num_patterns = predictor->patterns_.size();
-  predictor->summary_.mining_stats = mined->stats;
+  predictor->summary_.mining_stats = mined.stats;
   predictor->summary_.tpt_memory_bytes = builder_bytes;
   predictor->summary_.tpt_frozen_bytes = predictor->tpt_.MemoryBytes();
   predictor->summary_.tpt_height = predictor->tpt_.Height();
@@ -481,13 +476,10 @@ StatusOr<std::vector<TrajectoryPattern>> HybridPredictor::MineFreshPatterns(
   std::vector<Transaction> transactions;
   transactions.reserve(subs->size());
   for (const Trajectory& sub : *subs) {
-    std::vector<RegionVisit> visits;
-    for (Timestamp t = 0; t < period; ++t) {
-      const int region = regions_.FindNearbyRegion(
-          t, sub.At(t), options_.region_match_slack);
-      if (region >= 0) visits.push_back({t, region});
-    }
-    transactions.emplace_back(visits, regions_.NumRegions());
+    transactions.emplace_back(
+        MapPeriodPointsToVisits(regions_, sub.points(),
+                                options_.region_match_slack),
+        regions_.NumRegions());
   }
 
   StatusOr<AprioriResult> mined =

@@ -273,6 +273,14 @@ class HybridPredictor {
   QueryCounters counters() const;
   void ResetCounters() const;
 
+  /// Copies `other`'s query-counter values into this predictor, so a
+  /// freshly rebuilt model keeps the aggregate counts monotonic across a
+  /// snapshot swap (what WithNewHistory does internally). Call before
+  /// publishing this predictor to readers — it races with nothing then.
+  void CarryCountersFrom(const HybridPredictor& other) const {
+    counters_ = other.counters_;
+  }
+
   /// Runtime-tunable ranking knob: switches the premise-weight family
   /// without retraining (the weights only affect query scoring). Not
   /// thread-safe: call before sharing the predictor across threads.

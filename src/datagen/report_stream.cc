@@ -1,0 +1,130 @@
+#include "datagen/report_stream.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace hpm {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+/// A smooth random route: waypoints every kWaypointStride samples,
+/// linearly interpolated, so consecutive samples move plausibly instead
+/// of teleporting.
+constexpr Timestamp kWaypointStride = 5;
+
+std::vector<Point> MakeRoute(Timestamp period, double extent, Random* rng) {
+  const size_t num_waypoints =
+      static_cast<size_t>((period + kWaypointStride - 1) / kWaypointStride) +
+      1;
+  std::vector<Point> waypoints(num_waypoints);
+  for (Point& w : waypoints) {
+    w.x = rng->UniformDouble(0.0, extent);
+    w.y = rng->UniformDouble(0.0, extent);
+  }
+  std::vector<Point> route(static_cast<size_t>(period));
+  for (Timestamp t = 0; t < period; ++t) {
+    const size_t seg = static_cast<size_t>(t / kWaypointStride);
+    const double frac =
+        static_cast<double>(t % kWaypointStride) / kWaypointStride;
+    const Point& a = waypoints[seg];
+    const Point& b = waypoints[seg + 1];
+    route[static_cast<size_t>(t)] = {a.x + (b.x - a.x) * frac,
+                                     a.y + (b.y - a.y) * frac};
+  }
+  return route;
+}
+
+}  // namespace
+
+ReportStream::ReportStream(const ReportStreamConfig& config)
+    : config_(config),
+      arrival_rng_(config.seed ^ 0x61727276616c7321ULL) {
+  HPM_CHECK(config_.num_objects >= 1);
+  HPM_CHECK(config_.period > 0);
+  HPM_CHECK(config_.rate_per_second >= 0.0);
+  HPM_CHECK(config_.arrival_jitter >= 0.0 && config_.arrival_jitter < 1.0);
+  HPM_CHECK(config_.drift_fraction >= 0.0 && config_.drift_fraction <= 1.0);
+  objects_.resize(static_cast<size_t>(config_.num_objects));
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    ObjectState& object = objects_[i];
+    object.rng = Random(config_.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    object.route = MakeRoute(config_.period, config_.extent, &object.rng);
+    StartPeriod(&object);
+  }
+}
+
+void ReportStream::DriftRoute(ObjectState* object) {
+  // Re-draw a deterministic subset of waypoint-aligned samples: the route
+  // morphs but keeps most of its shape, so mined patterns partially
+  // survive a drift event (the interesting case for promote/demote).
+  std::vector<Point> fresh =
+      MakeRoute(config_.period, config_.extent, &object->rng);
+  for (Timestamp t = 0; t < config_.period; ++t) {
+    if (object->rng.Bernoulli(config_.drift_fraction)) {
+      object->route[static_cast<size_t>(t)] = fresh[static_cast<size_t>(t)];
+    }
+  }
+}
+
+void ReportStream::StartPeriod(ObjectState* object) {
+  if (config_.drift_every_periods > 0 && object->periods_emitted > 0 &&
+      object->periods_emitted % config_.drift_every_periods == 0) {
+    DriftRoute(object);
+  }
+  object->current_period.resize(static_cast<size_t>(config_.period));
+  if (object->rng.Bernoulli(config_.pattern_probability)) {
+    for (Timestamp t = 0; t < config_.period; ++t) {
+      const Point& base = object->route[static_cast<size_t>(t)];
+      object->current_period[static_cast<size_t>(t)] = {
+          Clamp(base.x + object->rng.Gaussian(0.0, config_.noise_sigma), 0.0,
+                config_.extent),
+          Clamp(base.y + object->rng.Gaussian(0.0, config_.noise_sigma), 0.0,
+                config_.extent)};
+    }
+  } else {
+    // A wander period: its own throwaway route, no pattern to find.
+    object->current_period =
+        MakeRoute(config_.period, config_.extent, &object->rng);
+  }
+  ++object->periods_emitted;
+}
+
+StreamedReport ReportStream::Next() {
+  ObjectState& object = objects_[next_object_];
+  next_object_ = (next_object_ + 1) % objects_.size();
+
+  StreamedReport report;
+  report.object_id = static_cast<int64_t>((&object - objects_.data()) + 1);
+  report.time = object.next_time;
+  const Timestamp offset = object.next_time % config_.period;
+  report.location = object.current_period[static_cast<size_t>(offset)];
+  ++object.next_time;
+  if (object.next_time % config_.period == 0) StartPeriod(&object);
+
+  if (config_.rate_per_second > 0.0) {
+    const double mean_gap = 1.0 / config_.rate_per_second;
+    const double jitter =
+        config_.arrival_jitter > 0.0
+            ? arrival_rng_.UniformDouble(-config_.arrival_jitter,
+                                         config_.arrival_jitter)
+            : 0.0;
+    clock_seconds_ += mean_gap * (1.0 + jitter);
+    report.arrival_seconds = clock_seconds_;
+  }
+  ++emitted_;
+  return report;
+}
+
+std::vector<StreamedReport> ReportStream::Take(size_t n) {
+  std::vector<StreamedReport> reports;
+  reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) reports.push_back(Next());
+  return reports;
+}
+
+}  // namespace hpm

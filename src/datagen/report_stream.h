@@ -1,0 +1,116 @@
+// ReportStream: the continuous-ingest view of the periodic generator.
+//
+// Where GeneratePeriodicTrajectory materialises one object's whole
+// history up front, a ReportStream emits one (object, location) report
+// at a time for a fleet of objects, round-robin across objects in
+// timestamp order — the shape a serving store actually ingests. Three
+// extra knobs make it the driver for the incremental-mining work:
+//
+//  * arrival pacing — a mean inter-report gap plus uniform jitter gives
+//    each report an arrival_seconds stamp, so benches can replay the
+//    stream at a configured rate instead of as fast as possible;
+//  * behaviour drift — every `drift_every_periods` periods an object
+//    re-draws a fraction of its route waypoints, so the pattern set a
+//    miner maintains actually goes stale over time;
+//  * per-object routes — each object follows its own seeded route, so a
+//    sharded store sees uncorrelated fleets, not one cloned object.
+//
+// Fully deterministic given the config (same seed -> same reports, same
+// arrival stamps), which the crash/replay and differential tests rely on.
+
+#ifndef HPM_DATAGEN_REPORT_STREAM_H_
+#define HPM_DATAGEN_REPORT_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/trajectory.h"
+
+namespace hpm {
+
+struct ReportStreamConfig {
+  /// Fleet size; object ids are 1..num_objects.
+  int num_objects = 4;
+
+  /// Period T of every object's behaviour.
+  Timestamp period = 20;
+
+  /// Probability a period follows the object's route (vs wandering),
+  /// the generator's pattern-strength knob f.
+  double pattern_probability = 0.9;
+
+  /// Spatial noise around the route on pattern periods.
+  double noise_sigma = 4.0;
+
+  /// Mean reports/second across the whole fleet; 0 disables pacing
+  /// (arrival_seconds stays 0).
+  double rate_per_second = 0.0;
+
+  /// Uniform fraction of the mean gap added/removed per arrival, in
+  /// [0, 1): gap ~ U[(1-jitter), (1+jitter)] * mean.
+  double arrival_jitter = 0.0;
+
+  /// Every this many periods an object re-draws part of its route
+  /// (0 = routes never change).
+  int drift_every_periods = 0;
+
+  /// Fraction of route waypoints re-drawn at a drift event.
+  double drift_fraction = 0.5;
+
+  /// Data-space extent (locations in [0, extent]^2).
+  double extent = 1000.0;
+
+  uint64_t seed = 1;
+};
+
+/// One report of the interleaved fleet stream.
+struct StreamedReport {
+  int64_t object_id = 0;
+  Timestamp time = 0;
+  Point location;
+  /// When this report "arrives", seconds since stream start (0 when
+  /// pacing is disabled).
+  double arrival_seconds = 0.0;
+};
+
+class ReportStream {
+ public:
+  explicit ReportStream(const ReportStreamConfig& config);
+
+  /// The next report. The stream is infinite: objects are visited
+  /// round-robin, each advancing through timestamps 0, 1, 2, ...
+  StreamedReport Next();
+
+  /// Convenience: the next `n` reports.
+  std::vector<StreamedReport> Take(size_t n);
+
+  /// Total reports emitted so far.
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct ObjectState {
+    std::vector<Point> route;
+    /// Precomputed points of the period in progress.
+    std::vector<Point> current_period;
+    Timestamp next_time = 0;
+    int periods_emitted = 0;
+    Random rng;
+
+    ObjectState() : rng(0) {}
+  };
+
+  void StartPeriod(ObjectState* object);
+  void DriftRoute(ObjectState* object);
+
+  ReportStreamConfig config_;
+  std::vector<ObjectState> objects_;
+  Random arrival_rng_;
+  double clock_seconds_ = 0.0;
+  uint64_t emitted_ = 0;
+  size_t next_object_ = 0;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_DATAGEN_REPORT_STREAM_H_

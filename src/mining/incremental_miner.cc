@@ -1,0 +1,276 @@
+#include "mining/incremental_miner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.h"
+#include "mining/offline_miner.h"
+#include "mining/transaction.h"
+
+namespace hpm {
+
+IncrementalMiner::IncrementalMiner(IncrementalMinerOptions options,
+                                   Timestamp period, AprioriParams mining)
+    : options_(options), period_(period), mining_(mining) {
+  HPM_CHECK(period_ > 0);
+  HPM_CHECK(options_.window_periods >= 0);
+  HPM_CHECK(mining_.min_support >= 1);
+  partial_.reserve(static_cast<size_t>(period_));
+}
+
+size_t IncrementalMiner::total_observed() const {
+  return periods_seen_ * static_cast<size_t>(period_) + partial_.size();
+}
+
+void IncrementalMiner::Observe(const Point& location) {
+  ++stats_.points_observed;
+  partial_.push_back(location);
+  if (partial_.size() == static_cast<size_t>(period_)) FinalizePeriod();
+}
+
+std::vector<int> IncrementalMiner::MapEntry(const std::vector<Point>& points,
+                                            size_t* unmatched) const {
+  const std::vector<RegionVisit> visits = MapPeriodPointsToVisits(
+      *regions_, points, options_.region_match_slack);
+  *unmatched = points.size() - visits.size();
+  return Transaction(visits, regions_->NumRegions()).items();
+}
+
+template <typename Fn>
+void IncrementalMiner::ForEachValidItemset(const std::vector<int>& items,
+                                           Fn&& fn) const {
+  if (items.size() < 2 || mining_.max_pattern_length < 2) return;
+  const size_t max_len = static_cast<size_t>(mining_.max_pattern_length);
+  std::vector<int> chosen;
+  chosen.reserve(max_len);
+  const auto offset_of = [this](int id) {
+    return regions_->Region(id).offset;
+  };
+  // DFS over combinations in ascending-id (== ascending-offset) order.
+  // A set is emitted at size >= 2; extending a size >= 2 prefix makes
+  // that prefix the extension's premise, so the premise-window span is
+  // checked exactly where the offline candidate generation checks it.
+  const auto recurse = [&](const auto& self, size_t start) -> void {
+    if (chosen.size() >= 2) fn(chosen);
+    if (chosen.size() >= max_len) return;
+    if (chosen.size() >= 2 && mining_.premise_window > 0 &&
+        offset_of(chosen.back()) - offset_of(chosen.front()) >
+            mining_.premise_window) {
+      return;
+    }
+    for (size_t i = start; i < items.size(); ++i) {
+      if (!chosen.empty() &&
+          offset_of(items[i]) <= offset_of(chosen.back())) {
+        continue;
+      }
+      chosen.push_back(items[i]);
+      self(self, i + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+}
+
+size_t IncrementalMiner::ApplyCounts(const std::vector<int>& items,
+                                     int delta) {
+  for (int item : items) {
+    single_counts_[static_cast<size_t>(item)] += delta;
+  }
+  size_t crossings = 0;
+  ForEachValidItemset(items, [&](const std::vector<int>& set) {
+    if (delta > 0) {
+      auto [it, inserted] = multi_.try_emplace(set);
+      if (inserted) {
+        it->second.seq = next_seq_++;
+        ++stats_.candidate_inserts;
+      }
+      const int before = it->second.count;
+      it->second.count = before + 1;
+      if (before < mining_.min_support &&
+          it->second.count >= mining_.min_support) {
+        ++crossings;
+        ++stats_.promoted;
+        if (hooks_.promoted != nullptr) hooks_.promoted->Increment();
+      }
+    } else {
+      const auto it = multi_.find(set);
+      if (it == multi_.end()) return;  // evicted under the memory bound
+      const int before = it->second.count;
+      it->second.count = before - 1;
+      if (before >= mining_.min_support &&
+          it->second.count < mining_.min_support) {
+        ++crossings;
+        ++stats_.demoted;
+        if (hooks_.demoted != nullptr) hooks_.demoted->Increment();
+      }
+      if (it->second.count <= 0) multi_.erase(it);
+    }
+  });
+  return crossings;
+}
+
+void IncrementalMiner::EvictOverflow() {
+  if (options_.max_candidates == 0 ||
+      multi_.size() <= options_.max_candidates) {
+    return;
+  }
+  const size_t excess = multi_.size() - options_.max_candidates;
+  // The victim set — the `excess` smallest by (count, insertion seq) —
+  // is deterministic: seq is unique, so the order is total and the
+  // selected set does not depend on hash-map iteration order.
+  std::vector<std::pair<std::pair<int, uint64_t>, const std::vector<int>*>>
+      order;
+  order.reserve(multi_.size());
+  for (const auto& [items, entry] : multi_) {
+    order.push_back({{entry.count, entry.seq}, &items});
+  }
+  std::nth_element(order.begin(), order.begin() + (excess - 1), order.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (size_t i = 0; i < excess; ++i) {
+    multi_.erase(*order[i].second);
+  }
+  stats_.candidates_evicted += excess;
+  if (hooks_.candidates_evicted != nullptr) {
+    hooks_.candidates_evicted->Increment(excess);
+  }
+}
+
+void IncrementalMiner::FinalizePeriod() {
+  ++periods_seen_;
+  WindowEntry entry;
+  entry.points = std::move(partial_);
+  partial_.clear();
+  partial_.reserve(static_cast<size_t>(period_));
+
+  size_t crossings = 0;
+  size_t unmatched = 0;
+  if (regions_) {
+    entry.items = MapEntry(entry.points, &entry.unmatched);
+    unmatched = entry.unmatched;
+    crossings += ApplyCounts(entry.items, +1);
+    ++stats_.transactions;
+    stats_.unmatched_points += unmatched;
+    if (hooks_.transactions != nullptr) hooks_.transactions->Increment();
+    if (hooks_.unmatched_points != nullptr && unmatched > 0) {
+      hooks_.unmatched_points->Increment(unmatched);
+    }
+  }
+  window_.push_back(std::move(entry));
+  if (options_.window_periods > 0 &&
+      window_.size() > static_cast<size_t>(options_.window_periods)) {
+    if (regions_) crossings += ApplyCounts(window_.front().items, -1);
+    window_.pop_front();
+  }
+  if (regions_) {
+    EvictOverflow();
+    if (window_end() > drift_from_) {
+      drift_ = drift_ * options_.drift_decay +
+               options_.crossing_weight * static_cast<double>(crossings) +
+               options_.unmatched_weight *
+                   (static_cast<double>(unmatched) /
+                    static_cast<double>(period_));
+    }
+  }
+}
+
+void IncrementalMiner::AdoptRegions(const FrequentRegionSet& regions) {
+  regions_ = regions;
+  single_counts_.assign(regions_->NumRegions(), 0);
+  multi_.clear();
+  next_seq_ = 0;
+  drift_ = 0.0;
+  drift_from_ = window_end();
+  // Re-derive the whole count table under the new universe. Exact window
+  // counts are a pure function of (window contents, regions), so this
+  // recount lands on the identical state an always-on miner would hold —
+  // the invariant the crash/replay property leans on. Recount crossings
+  // are not promote/demote events (the pattern set is being re-based,
+  // not drifting), so stats and hooks stay untouched across it.
+  const MinerStats saved = stats_;
+  const MinerMetricHooks saved_hooks = hooks_;
+  hooks_ = MinerMetricHooks{};
+  for (WindowEntry& e : window_) {
+    e.items = MapEntry(e.points, &e.unmatched);
+    ApplyCounts(e.items, +1);
+  }
+  hooks_ = saved_hooks;
+  stats_.promoted = saved.promoted;
+  stats_.demoted = saved.demoted;
+  EvictOverflow();
+}
+
+void IncrementalMiner::Prime(const Trajectory& history, size_t adopted_at,
+                             const FrequentRegionSet* regions) {
+  HPM_CHECK(total_observed() == 0);
+  if (regions != nullptr) AdoptRegions(*regions);
+  drift_from_ = adopted_at;
+  for (const Point& p : history.points()) Observe(p);
+}
+
+Trajectory IncrementalMiner::WindowTrajectory() const {
+  Trajectory trajectory;
+  for (const WindowEntry& e : window_) {
+    for (const Point& p : e.points) trajectory.Append(p);
+  }
+  return trajectory;
+}
+
+int IncrementalMiner::SupportOf(const std::vector<int>& items) const {
+  if (!regions_ || items.empty()) return 0;
+  if (items.size() == 1) {
+    const size_t id = static_cast<size_t>(items[0]);
+    return id < single_counts_.size() ? single_counts_[id] : 0;
+  }
+  const auto it = multi_.find(items);
+  return it != multi_.end() ? it->second.count : 0;
+}
+
+std::vector<TrajectoryPattern> IncrementalMiner::CurrentPatterns() const {
+  std::vector<TrajectoryPattern> patterns;
+  if (!regions_) return patterns;
+  for (const auto& [items, entry] : multi_) {
+    if (entry.count < mining_.min_support) continue;
+    std::vector<int> premise(items.begin(), items.end() - 1);
+    int premise_support = 0;
+    if (premise.size() == 1) {
+      premise_support = single_counts_[static_cast<size_t>(premise[0])];
+    } else {
+      const auto it = multi_.find(premise);
+      if (it != multi_.end()) {
+        premise_support = it->second.count;
+      } else {
+        // The premise was evicted under the memory bound; recount it
+        // from the retained window (the offline CountSupport fallback).
+        for (const WindowEntry& e : window_) {
+          if (std::includes(e.items.begin(), e.items.end(), premise.begin(),
+                            premise.end())) {
+            ++premise_support;
+          }
+        }
+      }
+    }
+    if (premise_support <= 0) continue;
+    const double confidence = static_cast<double>(entry.count) /
+                              static_cast<double>(premise_support);
+    if (confidence < mining_.min_confidence) continue;
+    TrajectoryPattern p;
+    p.premise = std::move(premise);
+    p.consequence = items.back();
+    p.confidence = confidence;
+    p.support = entry.count;
+    patterns.push_back(std::move(p));
+  }
+  std::sort(patterns.begin(), patterns.end(),
+            [](const TrajectoryPattern& a, const TrajectoryPattern& b) {
+              if (a.premise.size() != b.premise.size()) {
+                return a.premise.size() < b.premise.size();
+              }
+              if (a.premise != b.premise) return a.premise < b.premise;
+              return a.consequence < b.consequence;
+            });
+  return patterns;
+}
+
+}  // namespace hpm

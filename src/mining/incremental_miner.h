@@ -1,0 +1,232 @@
+// IncrementalMiner: continuous counterpart of the offline Apriori pass.
+//
+// The offline pipeline (mining/offline_miner.h) fits a model once from a
+// static history. Under continuous ingest the store instead feeds every
+// report into an IncrementalMiner, which maintains — per object — the
+// frequent-region support counts and the Apriori-derived pattern set
+// over a sliding window of complete periods, plus a decayed drift score
+// that tells the serving layer when the maintained set has diverged
+// enough from the published model to justify a background TPT rebuild
+// (GeT_Move's incremental maintenance idea applied to this paper's
+// pattern language; see docs/ARCHITECTURE.md §incremental mining).
+//
+// Exactness contract. Window counts are *exact*, not decayed: a new
+// transaction increments every constraint-valid item set it contains,
+// and the transaction expiring out of the window decrements the same
+// sets. Because the offline miner's level-wise generation is complete
+// for constraint-valid item sets (both join prefixes of a valid
+// frequent set are themselves valid and frequent), an item-set count
+// table maintained this way reproduces the offline frequent set — and
+// therefore the offline rule set, support and confidence included —
+// over the same window and region universe, which is what
+// prop_incremental_mining_test proves differentially. Decay applies
+// only to the drift score, never to counts.
+//
+// The exactness guarantee assumes an unbounded candidate table
+// (max_candidates = 0). A bound makes the table a lossy cache: the
+// lowest-count sets are evicted first (counted by the
+// miner.candidates_evicted metric) and an evicted set re-entering the
+// table restarts from the transactions that still contain it.
+//
+// Thread safety: none. The store drives each object's miner under its
+// shard writer mutex, exactly like the history it mirrors.
+
+#ifndef HPM_MINING_INCREMENTAL_MINER_H_
+#define HPM_MINING_INCREMENTAL_MINER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "geo/trajectory.h"
+#include "mining/apriori.h"
+#include "mining/frequent_region.h"
+
+namespace hpm {
+
+struct IncrementalMinerOptions {
+  /// Complete sub-trajectories retained (the mining window and the
+  /// history a rebuild re-mines). 0 = unbounded.
+  int window_periods = 16;
+
+  /// Bound on the number of tracked item sets of size >= 2. 0 keeps the
+  /// table exact; a bound trades exactness for memory (see header).
+  size_t max_candidates = 0;
+
+  /// Per-transaction multiplicative decay of the drift score: calm
+  /// periods pull accumulated drift back toward zero.
+  double drift_decay = 0.9;
+
+  /// Drift added per support-threshold crossing (a pattern-set
+  /// promote/demote event).
+  double crossing_weight = 1.0;
+
+  /// Drift added per fully-unmatched period (scaled by the fraction of
+  /// the period's points no adopted region contains — the signal that
+  /// the region universe itself has gone stale).
+  double unmatched_weight = 1.0;
+
+  /// MBR slack when matching points to adopted regions (mirrors
+  /// HybridPredictorOptions::region_match_slack).
+  double region_match_slack = 0.0;
+};
+
+/// Cumulative per-miner accounting, mirrored into the store's miner.*
+/// metrics via MinerMetricHooks.
+struct MinerStats {
+  uint64_t points_observed = 0;
+  uint64_t transactions = 0;
+  uint64_t unmatched_points = 0;
+  uint64_t promoted = 0;
+  uint64_t demoted = 0;
+  uint64_t candidate_inserts = 0;
+  uint64_t candidates_evicted = 0;
+};
+
+/// Optional metric sinks (registry counters owned by the store). Null
+/// pointers are skipped, so a standalone miner needs no registry.
+struct MinerMetricHooks {
+  Counter* transactions = nullptr;
+  Counter* unmatched_points = nullptr;
+  Counter* promoted = nullptr;
+  Counter* demoted = nullptr;
+  Counter* candidates_evicted = nullptr;
+};
+
+class IncrementalMiner {
+ public:
+  /// `period` is the paper's T; `mining` the Apriori thresholds the
+  /// maintained set must agree with (same values the offline rebuild
+  /// uses, or the differential guarantee is vacuous).
+  IncrementalMiner(IncrementalMinerOptions options, Timestamp period,
+                   AprioriParams mining);
+
+  void set_metric_hooks(const MinerMetricHooks& hooks) { hooks_ = hooks; }
+
+  /// Feeds the next report (offset = total_observed() mod period). Every
+  /// period-th call completes a sub-trajectory: it enters the window, its
+  /// item sets are counted, the oldest window entry expires, and the
+  /// drift score advances.
+  void Observe(const Point& location);
+
+  /// Installs a (re)built region universe: every window entry is
+  /// re-mapped, the count table is re-derived from scratch, and drift
+  /// resets to zero. Called right before a rebuilt model is published
+  /// (and once at bootstrap).
+  void AdoptRegions(const FrequentRegionSet& regions);
+
+  /// Rebuilds miner state from a persisted history: adopts `regions`
+  /// (when non-null), then replays every sample through Observe with
+  /// drift suppressed up to absolute sample index `adopted_at` (the
+  /// store's consumed-samples mark — the point the serving model was
+  /// last rebuilt at). Because exact window counts are a pure function
+  /// of window contents, the primed miner matches the pre-crash miner's
+  /// counts and post-`adopted_at` drift exactly; see
+  /// prop_incremental_mining_test's crash/replay property.
+  void Prime(const Trajectory& history, size_t adopted_at,
+             const FrequentRegionSet* regions);
+
+  /// Decayed divergence score (threshold crossings + unmatched mass).
+  double drift() const { return drift_; }
+
+  bool has_regions() const { return regions_.has_value(); }
+  const FrequentRegionSet* regions() const {
+    return regions_ ? &*regions_ : nullptr;
+  }
+
+  /// Absolute samples fed so far (including the current partial period).
+  size_t total_observed() const;
+
+  /// Absolute sample index of the last complete period boundary — the
+  /// end of what WindowTrajectory() covers.
+  size_t window_end() const { return periods_seen_ * period_; }
+
+  /// Complete sub-trajectories currently in the window.
+  size_t WindowSize() const { return window_.size(); }
+
+  /// The window's sub-trajectories concatenated oldest-first: the
+  /// history a background rebuild re-mines offline.
+  Trajectory WindowTrajectory() const;
+
+  /// The maintained rule set, derived from the count table with the
+  /// offline rule-generation semantics (premise = all but the max-offset
+  /// item, confidence = supp(set)/supp(premise) >= min_confidence).
+  /// Returned sorted by (size, items) for deterministic comparison.
+  std::vector<TrajectoryPattern> CurrentPatterns() const;
+
+  /// Window support of an item set (ascending ids); 0 when untracked.
+  int SupportOf(const std::vector<int>& items) const;
+
+  /// Item sets of size >= 2 currently tracked (the bounded table).
+  size_t NumTrackedItemsets() const { return multi_.size(); }
+
+  const MinerStats& stats() const { return stats_; }
+  Timestamp period() const { return period_; }
+
+ private:
+  struct ItemsetHash {
+    size_t operator()(const std::vector<int>& items) const {
+      uint64_t h = 0xcbf29ce484222325ULL;
+      for (int v : items) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct CountEntry {
+    int count = 0;
+    /// Monotonic touch stamp; the eviction tie-break (older first).
+    uint64_t seq = 0;
+  };
+
+  struct WindowEntry {
+    std::vector<Point> points;
+    /// Sorted distinct region ids under the *current* universe.
+    std::vector<int> items;
+    size_t unmatched = 0;
+  };
+
+  void FinalizePeriod();
+  /// Maps a complete period's points to sorted distinct items.
+  std::vector<int> MapEntry(const std::vector<Point>& points,
+                            size_t* unmatched) const;
+  /// Applies one transaction's item sets to the counts; returns the
+  /// number of min_support crossings (promotes + demotes).
+  size_t ApplyCounts(const std::vector<int>& items, int delta);
+  /// Invokes `fn` on every constraint-valid item set of `items` with
+  /// size in [2, max_pattern_length] (strictly increasing offsets,
+  /// premise span bounded) — the offline candidate language.
+  template <typename Fn>
+  void ForEachValidItemset(const std::vector<int>& items, Fn&& fn) const;
+  void EvictOverflow();
+
+  IncrementalMinerOptions options_;
+  Timestamp period_;
+  AprioriParams mining_;
+  MinerMetricHooks hooks_;
+
+  std::optional<FrequentRegionSet> regions_;
+  std::vector<Point> partial_;
+  std::deque<WindowEntry> window_;
+  size_t periods_seen_ = 0;
+
+  std::vector<int> single_counts_;
+  std::unordered_map<std::vector<int>, CountEntry, ItemsetHash> multi_;
+  uint64_t next_seq_ = 0;
+
+  double drift_ = 0.0;
+  /// Transactions ending at or before this absolute sample index do not
+  /// move drift (replay below the last rebuild point).
+  size_t drift_from_ = 0;
+
+  MinerStats stats_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_MINING_INCREMENTAL_MINER_H_

@@ -1,0 +1,40 @@
+#include "mining/offline_miner.h"
+
+#include <utility>
+
+namespace hpm {
+
+StatusOr<OfflineMineResult> MineOffline(const Trajectory& history,
+                                        const FrequentRegionParams& regions,
+                                        const AprioriParams& mining) {
+  OfflineMineResult result;
+
+  StatusOr<FrequentRegionMiningResult> discovery =
+      MineFrequentRegions(history, regions);
+  if (!discovery.ok()) return discovery.status();
+  result.discovery = std::move(*discovery);
+
+  result.transactions = BuildTransactions(result.discovery);
+
+  StatusOr<AprioriResult> mined = MineTrajectoryPatterns(
+      result.transactions, result.discovery.region_set, mining);
+  if (!mined.ok()) return mined.status();
+  result.mined = std::move(*mined);
+  return result;
+}
+
+std::vector<RegionVisit> MapPeriodPointsToVisits(
+    const FrequentRegionSet& regions, const std::vector<Point>& points,
+    double slack) {
+  std::vector<RegionVisit> visits;
+  for (size_t t = 0; t < points.size(); ++t) {
+    const int region = regions.FindNearbyRegion(
+        static_cast<Timestamp>(t), points[t], slack);
+    if (region >= 0) {
+      visits.push_back({static_cast<Timestamp>(t), region});
+    }
+  }
+  return visits;
+}
+
+}  // namespace hpm

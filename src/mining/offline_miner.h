@@ -1,0 +1,56 @@
+// The builder-only offline mining pass: the paper's one-shot discovery
+// pipeline (periodic decompose -> DBSCAN per offset -> transactions ->
+// Apriori) packaged as a single call. HybridPredictor::Train runs on
+// this for bootstrap and eval parity; the serving-time counterpart that
+// maintains the same pattern set continuously is mining/incremental_miner.
+//
+// Keeping the one-shot pass separate (rather than inlined in Train) is
+// what lets the incremental path and the differential property suite
+// invoke the exact offline semantics over an arbitrary window and
+// compare against the incrementally maintained state.
+
+#ifndef HPM_MINING_OFFLINE_MINER_H_
+#define HPM_MINING_OFFLINE_MINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geo/trajectory.h"
+#include "mining/apriori.h"
+#include "mining/frequent_region.h"
+#include "mining/transaction.h"
+
+namespace hpm {
+
+/// Everything the one-shot pass produces, in pipeline order.
+struct OfflineMineResult {
+  /// Region universe + per-sub-trajectory visits (DBSCAN labels).
+  FrequentRegionMiningResult discovery;
+
+  /// One transaction per complete sub-trajectory.
+  std::vector<Transaction> transactions;
+
+  /// Frequent item sets reduced to prediction-form rules.
+  AprioriResult mined;
+};
+
+/// Runs discovery, transaction building and Apriori over `history`.
+/// Fails when the history is shorter than one period or parameters are
+/// invalid; an empty pattern set is not an error.
+StatusOr<OfflineMineResult> MineOffline(const Trajectory& history,
+                                        const FrequentRegionParams& regions,
+                                        const AprioriParams& mining);
+
+/// Maps one period's worth of points (offset t = index) onto an existing
+/// region universe with FindNearbyRegion — the geometric re-mapping used
+/// when the region universe is held fixed (the paper's §V-B insertion
+/// path and the incremental miner's transaction builder, as opposed to
+/// the DBSCAN labels discovery itself emits). Offsets whose point
+/// matches no region are absent from the result.
+std::vector<RegionVisit> MapPeriodPointsToVisits(
+    const FrequentRegionSet& regions, const std::vector<Point>& points,
+    double slack);
+
+}  // namespace hpm
+
+#endif  // HPM_MINING_OFFLINE_MINER_H_

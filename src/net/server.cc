@@ -240,8 +240,11 @@ std::string HpmServer::HandleRequest(const Request& request) {
       return EncodeReply(Status::OK(), stamp, EncodeFleetBody(*result));
     }
     case MsgType::kStats:
-      return EncodeReply(Status::OK(), stamp,
-                         EncodeStatsBody(store_->metrics_snapshot().ToJson()));
+      // One document: store rows plus this server's net.*/repl.* rows,
+      // so remote `hpm_tool connect … stats` sees the whole deployment.
+      return EncodeReply(
+          Status::OK(), stamp,
+          EncodeStatsBody(combined_metrics_snapshot().ToJson()));
     case MsgType::kReplState:
       return HandleReplState(request.repl_state);
     case MsgType::kReplFetch:

@@ -122,9 +122,19 @@ class HpmServer {
     return follower_lagging_.load(std::memory_order_relaxed);
   }
 
-  /// net.* / repl.* counters (docs/OBSERVABILITY.md).
+  /// The server's own net.* / repl.* counters only
+  /// (docs/OBSERVABILITY.md).
   MetricsSnapshot metrics_snapshot() const {
     return metrics_.TakeSnapshot();
+  }
+
+  /// The single stats document this deployment exposes: the store's
+  /// snapshot with the server's net.*/repl.* rows folded in. This is
+  /// what the stats RPC serves.
+  MetricsSnapshot combined_metrics_snapshot() const {
+    MetricsSnapshot snapshot = store_->metrics_snapshot();
+    snapshot.MergeFrom(metrics_.TakeSnapshot());
+    return snapshot;
   }
 
  private:

@@ -8,6 +8,7 @@
 
 #include "common/fault_injection.h"
 #include "common/retry.h"
+#include "common/stopwatch.h"
 #include "motion/recursive_motion.h"
 
 namespace hpm {
@@ -51,6 +52,9 @@ MovingObjectStore::MovingObjectStore(ObjectStoreOptions options)
   metrics_ = std::make_unique<StoreMetrics>(metrics_registry_.get());
   wal_disabled_ = std::make_unique<std::atomic<bool>>(false);
   generation_ = std::make_unique<std::atomic<uint64_t>>(0);
+  replaying_ = std::make_unique<std::atomic<bool>>(false);
+  scheduler_mu_ = std::make_unique<std::mutex>();
+  scheduler_ptr_ = std::make_unique<std::atomic<RebuildScheduler*>>(nullptr);
   EpochOptions epoch_options;
   epoch_options.pinned_counter = metrics_->epoch_pinned;
   epoch_options.retired_counter = metrics_->epoch_retired;
@@ -183,9 +187,11 @@ StatusOr<bool> MovingObjectStore::ApplyReplicated(const WalRecord& record) {
       it = shard.records
                .emplace(record.id, std::make_unique<ObjectRecord>(record.id))
                .first;
+      if (options_.rebuild.incremental) it->second->miner = NewMiner();
     }
     ObjectRecord& rec = *it->second;
     rec.history.Append(Point{record.x, record.y});
+    if (rec.miner != nullptr) rec.miner->Observe(Point{record.x, record.y});
     // A store with its own journal attached re-journals the applied
     // record before publishing, exactly like live ingest; during
     // LoadFromDirectory replay no writer is attached yet and this is a
@@ -200,7 +206,9 @@ StatusOr<bool> MovingObjectStore::ApplyReplicated(const WalRecord& record) {
   // the next report), so it never fails the recovery.
   QueryPipeline pipeline(PipelineEnv(), StoreOp::kReport,
                          Deadline::Infinite());
-  (void)MaybeTrain(shard, record.id, pipeline);
+  (void)MaybeTrain(shard, record.id, pipeline,
+                   /*allow_background=*/
+                   !replaying_->load(std::memory_order_relaxed));
   return true;
 }
 
@@ -358,16 +366,19 @@ Status MovingObjectStore::Ingest(ObjectId id, const Point& location,
       it = shard.records
                .emplace(id, std::make_unique<ObjectRecord>(id))
                .first;
+      if (options_.rebuild.incremental) it->second->miner = NewMiner();
     }
     ObjectRecord& record = *it->second;
     record.history.Append(location);
+    if (record.miner != nullptr) record.miner->Observe(location);
     // View before table: a record must never be reachable viewless.
     PublishView(record, BuildView(record));
     if (created) PublishTable(shard);
     return Status::OK();
   });
   HPM_RETURN_IF_ERROR(appended);
-  HPM_RETURN_IF_ERROR(MaybeTrain(shard, id, pipeline));
+  HPM_RETURN_IF_ERROR(MaybeTrain(shard, id, pipeline,
+                                 /*allow_background=*/true));
   if (HasContinuousQueries()) {
     pipeline.RunMerge([&] {
       const EpochManager::Guard guard = epoch_->Pin();
@@ -397,14 +408,15 @@ Status MovingObjectStore::ReportTrajectory(ObjectId id,
 }
 
 Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
-                                     QueryPipeline& pipeline) {
+                                     QueryPipeline& pipeline,
+                                     bool allow_background) {
   const Timestamp period = options_.predictor.regions.period;
   const size_t period_samples = static_cast<size_t>(period);
 
   // Decide under the writer lock; mine outside it. `training_in_flight`
   // keeps a second reporter of the same object from mining the same
   // batch concurrently — it re-checks the threshold on its next report.
-  enum class Action { kNone, kInitial, kIncremental };
+  enum class Action { kNone, kInitial, kIncremental, kRebuild };
   Action action = Action::kNone;
   Trajectory training_input;
   std::shared_ptr<const HybridPredictor> base;
@@ -420,6 +432,16 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
           static_cast<size_t>(options_.min_training_periods) * period_samples;
       if (record.history.size() < needed) return Status::OK();
       action = Action::kInitial;
+    } else if (options_.rebuild.incremental) {
+      // Incremental mode: the period-count trigger is replaced by the
+      // miner's drift score — a model is rebuilt when its pattern set
+      // has measurably moved, not merely when time has passed.
+      if (record.miner == nullptr || !record.miner->has_regions() ||
+          record.miner->drift() < options_.rebuild.drift_threshold ||
+          record.miner->window_end() <= record.consumed_samples) {
+        return Status::OK();
+      }
+      action = Action::kRebuild;
     } else {
       const size_t fresh = record.history.size() - record.consumed_samples;
       const size_t batch =
@@ -429,12 +451,18 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
     }
     // Training is the most expendable work in the system: under rung-1
     // pressure it is deferred outright — the thresholds stay satisfied,
-    // so the next report after pressure clears picks it up.
+    // so the next report after pressure clears picks it up. (Background
+    // rebuilds get their own deferral in the scheduler's worker; the
+    // check here covers the inline paths.)
     if (pipeline.ShouldShedNow(Deadline::Infinite())) {
       pipeline.context().CountDeferredTrain();
       return Status::OK();
     }
-    if (action == Action::kInitial) {
+    if (action == Action::kRebuild) {
+      // Capture nothing here: RebuildObject re-examines the record
+      // under the lock itself (the state may move before a background
+      // worker gets to it).
+    } else if (action == Action::kInitial) {
       training_input = record.history;
     } else {
       const size_t fresh = record.history.size() - record.consumed_samples;
@@ -447,7 +475,27 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
       base = record.predictor;
       consumed_at_capture = record.consumed_samples;
     }
-    record.training_in_flight = true;
+    // kRebuild leaves the flag to RebuildObject (which sets it for the
+    // span of its own capture/build/publish cycle).
+    if (action != Action::kRebuild) record.training_in_flight = true;
+  }
+
+  if (action == Action::kRebuild) {
+    if (options_.rebuild.background && allow_background) {
+      switch (EnsureScheduler()->Enqueue(id)) {
+        case RebuildScheduler::EnqueueResult::kQueued:
+          metrics_->rebuild_scheduled->Increment();
+          break;
+        case RebuildScheduler::EnqueueResult::kAlreadyPending:
+          break;
+        case RebuildScheduler::EnqueueResult::kDropped:
+          // Drift persists, so a later report re-requests the rebuild.
+          metrics_->rebuild_dropped->Increment();
+          break;
+      }
+      return Status::OK();
+    }
+    return RebuildObject(shard, id);
   }
 
   // Mining runs unlocked: readers keep serving the previous snapshot.
@@ -479,12 +527,191 @@ Status MovingObjectStore::MaybeTrain(Shard& shard, ObjectId id,
       action == Action::kInitial
           ? training_input.NumSubTrajectories(period) * period_samples
           : consumed_at_capture + whole_periods;
+  if (record.miner != nullptr && action == Action::kInitial) {
+    // Bootstrap handoff to incremental maintenance: the miner adopts
+    // the freshly discovered region vocabulary (recounting its window
+    // against it) and drift starts accumulating from here; every later
+    // refresh is a drift-triggered rebuild.
+    record.miner->AdoptRegions(record.predictor->regions());
+    record.consumed_samples = record.miner->window_end();
+  }
   // The swap the readers actually see: the new model generation becomes
   // visible with this view publication, and the old view (holding the
   // previous generation's last shared handle once readers drain) heads
   // to limbo.
   PublishView(record, BuildView(record));
   return Status::OK();
+}
+
+std::unique_ptr<IncrementalMiner> MovingObjectStore::NewMiner() const {
+  IncrementalMinerOptions miner_options = options_.rebuild.miner;
+  // The miner must map points to regions exactly as training does, or
+  // its transactions (and thus its pattern set) would diverge from what
+  // a rebuild mines.
+  miner_options.region_match_slack = options_.predictor.region_match_slack;
+  auto miner = std::make_unique<IncrementalMiner>(
+      miner_options, options_.predictor.regions.period,
+      options_.predictor.mining);
+  MinerMetricHooks hooks;
+  hooks.transactions = metrics_->miner_transactions;
+  hooks.unmatched_points = metrics_->miner_unmatched_points;
+  hooks.promoted = metrics_->miner_promoted;
+  hooks.demoted = metrics_->miner_demoted;
+  hooks.candidates_evicted = metrics_->miner_candidates_evicted;
+  miner->set_metric_hooks(hooks);
+  return miner;
+}
+
+RebuildScheduler* MovingObjectStore::EnsureScheduler() {
+  if (RebuildScheduler* existing =
+          scheduler_ptr_->load(std::memory_order_acquire);
+      existing != nullptr) {
+    return existing;
+  }
+  std::lock_guard<std::mutex> lock(*scheduler_mu_);
+  if (RebuildScheduler* existing =
+          scheduler_ptr_->load(std::memory_order_acquire);
+      existing != nullptr) {
+    return existing;
+  }
+  // The worker captures `this`. Created only on the live-ingest path —
+  // after the store's address is final — never during LoadFromDirectory
+  // replay (see `replaying_`), so the movability contract holds.
+  RebuildScheduler::Options scheduler_options;
+  scheduler_options.max_pending = options_.rebuild.max_pending;
+  scheduler_options.deferred_counter = metrics_->rebuild_deferred;
+  scheduler_options.idle_priority = options_.rebuild.idle_priority;
+  scheduler_options.min_start_interval = options_.rebuild.min_rebuild_interval;
+  scheduler_ = std::make_unique<RebuildScheduler>(
+      scheduler_options,
+      [this](ObjectId id) { (void)RebuildObject(ShardFor(id), id); },
+      [this] {
+        return options_.degrade_queue_depth > 0 &&
+               pool_->queue_depth() >= options_.degrade_queue_depth;
+      });
+  scheduler_ptr_->store(scheduler_.get(), std::memory_order_release);
+  return scheduler_.get();
+}
+
+Status MovingObjectStore::RebuildObject(Shard& shard, ObjectId id) {
+  // Capture the rebuild window under the writer lock. Re-examine
+  // everything: between the drift trigger and this call (possibly much
+  // later, on the background worker) the record may have been rebuilt
+  // by someone else or have nothing new.
+  Trajectory window;
+  std::shared_ptr<const HybridPredictor> previous;
+  size_t consumed_at_capture = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    const auto it = shard.records.find(id);
+    if (it == shard.records.end()) return Status::OK();
+    ObjectRecord& record = *it->second;
+    if (record.miner == nullptr || record.predictor == nullptr ||
+        record.training_in_flight ||
+        record.miner->window_end() <= record.consumed_samples) {
+      return Status::OK();
+    }
+    window = record.miner->WindowTrajectory();
+    consumed_at_capture = record.miner->window_end();
+    previous = record.predictor;
+    record.training_in_flight = true;
+  }
+
+  // Mine + freeze off-lock; readers keep serving `previous` throughout.
+  // On any failure the last-good model stays published and the drift
+  // that triggered us is still there to re-request the rebuild.
+  auto fail = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    shard.records.at(id)->training_in_flight = false;
+    metrics_->rebuild_failed->Increment();
+    return status.Annotate("rebuild object " + std::to_string(id));
+  };
+  const Stopwatch timer;
+  if (Status faulted = HPM_FAULT_HIT("rebuild/mine"); !faulted.ok()) {
+    return fail(faulted);
+  }
+  StatusOr<std::unique_ptr<HybridPredictor>> built =
+      HybridPredictor::Train(window, options_.predictor);
+  if (!built.ok()) return fail(built.status());
+  if (Status faulted = HPM_FAULT_HIT("rebuild/freeze"); !faulted.ok()) {
+    return fail(faulted);
+  }
+
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  ObjectRecord& record = *shard.records.at(id);
+  record.training_in_flight = false;
+  if (Status faulted = HPM_FAULT_HIT("rebuild/publish"); !faulted.ok()) {
+    metrics_->rebuild_failed->Increment();
+    return faulted.Annotate("rebuild object " + std::to_string(id));
+  }
+  record.predictor =
+      std::shared_ptr<const HybridPredictor>(std::move(*built));
+  // Monotonic aggregate query counters survive the swap.
+  record.predictor->CarryCountersFrom(*previous);
+  metrics_->tpt_frozen_bytes->Increment(
+      record.predictor->summary().tpt_frozen_bytes);
+  record.consumed_samples = consumed_at_capture;
+  // Adopt the rebuilt model's region vocabulary: the recount aligns the
+  // miner's counts with what the model was actually built from, and
+  // drift restarts from this publish.
+  record.miner->AdoptRegions(record.predictor->regions());
+  PublishView(record, BuildView(record));
+  metrics_->rebuild_completed->Increment();
+  metrics_->rebuild_build_us->RecordMicros(
+      static_cast<uint64_t>(timer.ElapsedMicros()));
+  return Status::OK();
+}
+
+Status MovingObjectStore::FlushRebuilds() {
+  if (!options_.rebuild.incremental) return Status::OK();
+  if (RebuildScheduler* scheduler =
+          scheduler_ptr_->load(std::memory_order_acquire);
+      scheduler != nullptr) {
+    scheduler->Drain();
+  }
+  Status first = Status::OK();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::vector<ObjectId> pending;
+    {
+      std::lock_guard<std::mutex> lock(shard->write_mutex);
+      for (const auto& [id, record] : shard->records) {
+        if (record->predictor != nullptr && record->miner != nullptr &&
+            record->miner->window_end() > record->consumed_samples) {
+          pending.push_back(id);
+        }
+      }
+    }
+    for (const ObjectId id : pending) {
+      if (Status rebuilt = RebuildObject(*shard, id);
+          !rebuilt.ok() && first.ok()) {
+        first = rebuilt;
+      }
+    }
+  }
+  return first;
+}
+
+StatusOr<MovingObjectStore::MinerSnapshot> MovingObjectStore::MinerState(
+    ObjectId id) const {
+  if (!options_.rebuild.incremental) {
+    return Status::FailedPrecondition(
+        "store is not in incremental-maintenance mode");
+  }
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  const auto it = shard.records.find(id);
+  if (it == shard.records.end() || it->second->miner == nullptr) {
+    return Status::NotFound("no miner for object " + std::to_string(id));
+  }
+  const ObjectRecord& record = *it->second;
+  MinerSnapshot snapshot;
+  snapshot.drift = record.miner->drift();
+  snapshot.window_end = record.miner->window_end();
+  snapshot.consumed_samples = record.consumed_samples;
+  snapshot.window = record.miner->WindowTrajectory();
+  snapshot.patterns = record.miner->CurrentPatterns();
+  snapshot.stats = record.miner->stats();
+  return snapshot;
 }
 
 std::vector<ObjectId> MovingObjectStore::ObjectIds() const {

@@ -52,8 +52,10 @@
 #include "core/exec_context.h"
 #include "core/hybrid_predictor.h"
 #include "io/wal.h"
+#include "mining/incremental_miner.h"
 #include "server/batch_executor.h"
 #include "server/query_pipeline.h"
+#include "server/rebuild_scheduler.h"
 #include "server/store_types.h"
 
 namespace hpm {
@@ -97,6 +99,58 @@ struct DurabilityOptions {
   /// files accumulate, the oldest are evicted. 0 = unbounded (the
   /// pre-cap behaviour).
   size_t max_quarantine_files = 64;
+};
+
+/// Incremental pattern maintenance + drift-triggered model rebuilds
+/// (docs/ARCHITECTURE.md has the counts → candidates → rebuild →
+/// freeze → publish walkthrough).
+struct RebuildOptions {
+  /// Master switch. Off (default) keeps the legacy batch path: initial
+  /// training plus §V-B WithNewHistory incorporation on period
+  /// thresholds. On, every object carries an IncrementalMiner fed on
+  /// the ingest path, and model refreshes are *rebuilds* from the
+  /// miner's window, triggered when its drift score crosses
+  /// `drift_threshold`.
+  bool incremental = false;
+
+  /// Where rebuilds run. true (default): a background worker
+  /// (RebuildScheduler) rebuilds off the reporting hot path and the
+  /// last-good model keeps serving meanwhile. false: the rebuild runs
+  /// inline on the reporting thread — deterministic, what the
+  /// differential and crash/replay tests use. WAL replay and
+  /// LoadFromDirectory always rebuild inline regardless, so recovery
+  /// is deterministic.
+  bool background = true;
+
+  /// Per-object miner configuration (window length, candidate bound,
+  /// drift scoring). region_match_slack is overridden with the
+  /// predictor's value so the miner maps points exactly as training
+  /// does.
+  IncrementalMinerOptions miner;
+
+  /// Rebuild when an object's drift score reaches this. The score is a
+  /// decayed sum of support-crossing and unmatched-point events, so
+  /// "3.0" roughly means three recent pattern-set changes.
+  double drift_threshold = 3.0;
+
+  /// Bound on the background queue; a full queue drops the request
+  /// (rebuild.dropped) and drift re-requests it on a later report.
+  size_t max_pending = 64;
+
+  /// Minimum gap between background rebuild starts (0 = unthrottled).
+  /// When the whole fleet drifts at once this turns the rebuild storm
+  /// into a steady trickle; skipped objects stay queued or are
+  /// re-requested by their drift score. FlushRebuilds overrides it.
+  std::chrono::milliseconds min_rebuild_interval{0};
+
+  /// Run the rebuild worker at idle scheduling priority (SCHED_IDLE on
+  /// Linux; no-op elsewhere): rebuilds then consume only spare CPU and
+  /// a waking query or ingest thread preempts a running build instead
+  /// of time-slicing against it. This is how "training ranks below
+  /// query traffic" holds even when the machine has no free core.
+  /// Quiesce points (FlushRebuilds) still work — the drainer sleeps,
+  /// which is exactly what lets an idle-priority worker run.
+  bool idle_priority = true;
 };
 
 /// Store configuration.
@@ -170,6 +224,12 @@ struct ObjectStoreOptions {
   /// Durable ingest: write-ahead journal + quarantine retention. The
   /// default (empty wal_dir) keeps ingest memory-only between snapshots.
   DurabilityOptions durability;
+
+  /// Incremental pattern maintenance + background rebuilds. Off by
+  /// default. NOTE: with `rebuild.incremental && rebuild.background`,
+  /// the store must not be moved once reports have been ingested — the
+  /// lazily created background worker holds the store's address.
+  RebuildOptions rebuild;
 
   /// When set, every entry-point call records a per-query Trace (pipeline
   /// stage spans, per-object child work, counters) and hands it here from
@@ -380,8 +440,39 @@ class MovingObjectStore {
   /// local state already covers returns false (idempotent re-delivery);
   /// a record *past* the next tick is kOutOfRange — the follower missed
   /// records and must resync rather than fabricate history. Rejected
-  /// tallies and baselines apply unconditionally.
+  /// tallies and baselines apply unconditionally. In incremental mode
+  /// the record feeds the object's miner exactly as live ingest does,
+  /// so a replica (or a crash-replayed store) converges to the same
+  /// pattern state as the primary.
   StatusOr<bool> ApplyReplicated(const WalRecord& record);
+
+  /// ---- Incremental maintenance (RebuildOptions::incremental) ----------
+  /// Quiesce point: drains the background rebuild queue, then runs any
+  /// still-pending drift-triggered rebuilds inline. After it returns,
+  /// every object's model reflects its miner's current window — the
+  /// deterministic state the differential tests compare. No-op when
+  /// incremental mode is off.
+  Status FlushRebuilds();
+
+  /// Introspection snapshot of one object's miner, for tests and
+  /// tooling.
+  struct MinerSnapshot {
+    double drift = 0.0;
+    /// Samples covered by completed periods (the rebuild window's end).
+    size_t window_end = 0;
+    /// Samples the served model was built from.
+    size_t consumed_samples = 0;
+    /// The miner's window as a trajectory (what a rebuild would train
+    /// on).
+    Trajectory window;
+    /// The maintained pattern set (empty until regions are adopted).
+    std::vector<TrajectoryPattern> patterns;
+    MinerStats stats;
+  };
+
+  /// kNotFound for unknown objects, kFailedPrecondition when the store
+  /// is not in incremental mode.
+  StatusOr<MinerSnapshot> MinerState(ObjectId id) const;
 
  private:
   /// Everything a prediction needs, snapshotted by the writer at publish
@@ -416,8 +507,11 @@ class MovingObjectStore {
     /// Immutable trained model; replaced wholesale (never mutated) when
     /// training or incremental incorporation completes.
     std::shared_ptr<const HybridPredictor> predictor;
-    /// Samples already consumed by Train / WithNewHistory.
+    /// Samples already consumed by Train / WithNewHistory / a rebuild.
     size_t consumed_samples = 0;
+    /// Incremental mode only: the streaming pattern-maintenance state
+    /// fed on every append (null in legacy mode).
+    std::unique_ptr<IncrementalMiner> miner;
     /// True while a reporting thread is mining this object outside the
     /// writer lock; prevents duplicate concurrent (re)trains.
     bool training_in_flight = false;
@@ -564,7 +658,31 @@ class MovingObjectStore {
   /// post-append thresholds allow, mining outside the shard lock.
   /// Under rung-1 pressure the train is deferred — query traffic
   /// outranks model refreshes; the thresholds re-fire on a later report.
-  Status MaybeTrain(Shard& shard, ObjectId id, QueryPipeline& pipeline);
+  /// In incremental mode the refresh trigger is the miner's drift score
+  /// instead of the period threshold, and the refresh is a rebuild:
+  /// inline when `allow_background` is false (WAL replay, sync mode),
+  /// queued on the background scheduler otherwise.
+  Status MaybeTrain(Shard& shard, ObjectId id, QueryPipeline& pipeline,
+                    bool allow_background);
+
+  /// ---- Incremental maintenance internals ------------------------------
+  /// A fresh miner configured from options_ (period, mining params and
+  /// region-match slack copied from the predictor options, metric hooks
+  /// wired into metrics_).
+  std::unique_ptr<IncrementalMiner> NewMiner() const;
+
+  /// One drift-triggered rebuild of `id`: captures the miner's window
+  /// under the shard lock, mines + freezes a fresh model off-lock
+  /// (fault sites "rebuild/mine" and "rebuild/freeze"), then re-locks
+  /// and publishes it via the epoch snapshot swap ("rebuild/publish").
+  /// Any failure leaves the last-good model serving and counts
+  /// rebuild.failed. Safe to call for ids with nothing to do.
+  Status RebuildObject(Shard& shard, ObjectId id);
+
+  /// The background worker, created lazily on the first background
+  /// enqueue (never during load/replay, so LoadFromDirectory's returned
+  /// store is still movable until it starts ingesting).
+  RebuildScheduler* EnsureScheduler();
 
   /// One shard's share of PredictiveRangeQuery / NearestNeighbors,
   /// running as a fan-out lane of `ctx`: pin the epoch in the lane's
@@ -603,9 +721,19 @@ class MovingObjectStore {
   /// Snapshot generation (see generation()); heap-allocated for
   /// movability, mutated by the const SaveToDirectory after commit.
   std::unique_ptr<std::atomic<uint64_t>> generation_;
-  /// Declared last: destroyed first, so draining its limbo (which bumps
-  /// the epoch.* counters) still has a live metrics registry.
+  /// Destroyed before everything above it, so draining its limbo (which
+  /// bumps the epoch.* counters) still has a live metrics registry.
   std::unique_ptr<EpochManager> epoch_;
+  /// True while ReplayWal is feeding records back through the ingest
+  /// path; forces rebuilds inline (deterministic recovery, and no
+  /// background worker is created while the store may still be moved).
+  std::unique_ptr<std::atomic<bool>> replaying_;
+  /// Background rebuild worker, created lazily by EnsureScheduler.
+  /// Declared after epoch_ so it is destroyed (worker joined) while the
+  /// epoch manager, shards and metrics it uses are still alive.
+  std::unique_ptr<std::mutex> scheduler_mu_;
+  std::unique_ptr<std::atomic<RebuildScheduler*>> scheduler_ptr_;
+  std::unique_ptr<RebuildScheduler> scheduler_;
 };
 
 }  // namespace hpm

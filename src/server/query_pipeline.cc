@@ -49,6 +49,17 @@ StoreMetrics::StoreMetrics(MetricsRegistry* registry) {
   wal_truncated_bytes = registry->GetCounter("wal.truncated_bytes");
   wal_disabled = registry->GetCounter("store.wal_disabled");
   quarantined_files = registry->GetCounter("store.quarantined_files");
+  miner_transactions = registry->GetCounter("miner.transactions");
+  miner_unmatched_points = registry->GetCounter("miner.unmatched_points");
+  miner_promoted = registry->GetCounter("miner.promoted");
+  miner_demoted = registry->GetCounter("miner.demoted");
+  miner_candidates_evicted = registry->GetCounter("miner.candidates_evicted");
+  rebuild_scheduled = registry->GetCounter("rebuild.scheduled");
+  rebuild_completed = registry->GetCounter("rebuild.completed");
+  rebuild_failed = registry->GetCounter("rebuild.failed");
+  rebuild_deferred = registry->GetCounter("rebuild.deferred");
+  rebuild_dropped = registry->GetCounter("rebuild.dropped");
+  rebuild_build_us = registry->GetHistogram("rebuild.build_us");
   stage_admit = registry->GetHistogram("stage.admit_us");
   stage_plan = registry->GetHistogram("stage.plan_us");
   stage_fanout = registry->GetHistogram("stage.fanout_us");

@@ -1,0 +1,110 @@
+#include "server/rebuild_scheduler.h"
+
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace hpm {
+namespace {
+
+/// Drops the calling thread to idle scheduling priority. Lowering is
+/// unprivileged on Linux; failure (or another platform) degrades to a
+/// normal-priority worker, never an error.
+void EnterIdlePriority() {
+#ifdef __linux__
+  sched_param param{};
+  (void)pthread_setschedparam(pthread_self(), SCHED_IDLE, &param);
+#endif
+}
+
+}  // namespace
+
+RebuildScheduler::RebuildScheduler(Options options,
+                                   std::function<void(ObjectId)> rebuild,
+                                   std::function<bool()> under_pressure)
+    : options_(options),
+      rebuild_(std::move(rebuild)),
+      under_pressure_(std::move(under_pressure)) {
+  worker_ = std::thread([this] { Worker(); });
+}
+
+RebuildScheduler::~RebuildScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+RebuildScheduler::EnqueueResult RebuildScheduler::Enqueue(ObjectId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queued_ids_.count(id) > 0) return EnqueueResult::kAlreadyPending;
+    if (options_.max_pending > 0 && queue_.size() >= options_.max_pending) {
+      return EnqueueResult::kDropped;
+    }
+    queue_.push_back(id);
+    queued_ids_.insert(id);
+  }
+  work_cv_.notify_one();
+  return EnqueueResult::kQueued;
+}
+
+void RebuildScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  work_cv_.notify_all();
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && active_ == 0) || stopping_;
+  });
+  draining_ = false;
+}
+
+size_t RebuildScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + static_cast<size_t>(active_);
+}
+
+void RebuildScheduler::Worker() {
+  if (options_.idle_priority) EnterIdlePriority();
+  auto last_start = std::chrono::steady_clock::time_point::min();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    if (!draining_ && under_pressure_ && under_pressure_()) {
+      if (options_.deferred_counter != nullptr) {
+        options_.deferred_counter->Increment();
+      }
+      lock.unlock();
+      std::this_thread::sleep_for(options_.defer_backoff);
+      lock.lock();
+      continue;
+    }
+    if (options_.min_start_interval.count() > 0 && !draining_) {
+      const auto next_allowed = last_start + options_.min_start_interval;
+      if (std::chrono::steady_clock::now() < next_allowed) {
+        // Wake early only to stop or drain; then re-evaluate everything.
+        work_cv_.wait_until(lock, next_allowed,
+                            [this] { return stopping_ || draining_; });
+        continue;
+      }
+    }
+    last_start = std::chrono::steady_clock::now();
+    const ObjectId id = queue_.front();
+    queue_.pop_front();
+    queued_ids_.erase(id);
+    ++active_;
+    lock.unlock();
+    rebuild_(id);
+    lock.lock();
+    --active_;
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace hpm

@@ -1,0 +1,115 @@
+// RebuildScheduler: the background lane for drift-triggered model
+// rebuilds.
+//
+// One worker thread drains a bounded, de-duplicated queue of object ids
+// and runs the store-supplied rebuild callback for each — so mining and
+// TPT freezing happen off the reporting hot path, and readers keep
+// serving the last-good model throughout (the callback publishes via
+// the same epoch snapshot swap training uses). Rebuild work ranks below
+// query traffic: before each rebuild the worker consults the
+// store-supplied pressure probe (the rung-1 queue-depth signal) and
+// backs off while it reports pressure, counting each deferral.
+//
+// Bounded by design: a full queue drops the enqueue (the caller's drift
+// score is retained, so a later report re-requests the rebuild), and an
+// id already queued is not queued twice.
+//
+// Drain() waits until the queue is empty and the worker idle — the
+// quiesce point FlushRebuilds uses to make a background-mode store's
+// final state deterministic. Draining overrides the pressure probe:
+// a caller demanding quiesce outranks the deferral heuristic.
+
+#ifndef HPM_SERVER_REBUILD_SCHEDULER_H_
+#define HPM_SERVER_REBUILD_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/metrics.h"
+#include "server/store_types.h"
+
+namespace hpm {
+
+class RebuildScheduler {
+ public:
+  struct Options {
+    /// Queue bound; Enqueue drops (returns kDropped) beyond it.
+    size_t max_pending = 64;
+
+    /// Sleep between pressure re-checks while deferring.
+    std::chrono::milliseconds defer_backoff{1};
+
+    /// Minimum gap between rebuild *starts* (0 = unthrottled). Bounds
+    /// the worker's duty cycle when the whole fleet drifts at once — a
+    /// rebuild storm becomes a steady trickle, and an object whose turn
+    /// is skipped stays queued (or is re-requested by its drift score).
+    /// Drain() overrides the throttle the same way it overrides the
+    /// pressure probe: quiesce outranks pacing.
+    std::chrono::milliseconds min_start_interval{0};
+
+    /// Counts deferrals (rebuild.deferred); may be null.
+    Counter* deferred_counter = nullptr;
+
+    /// Run the worker at idle scheduling priority (SCHED_IDLE on
+    /// Linux): a rebuild then consumes only CPU no runnable ingest or
+    /// query thread wants, and a waking query preempts it immediately
+    /// instead of time-slicing against it. No-op where the platform
+    /// call is unavailable. Off by default at this layer — a caller
+    /// that spin-waits on worker progress while hogging every core
+    /// would starve an idle-priority worker.
+    bool idle_priority = false;
+  };
+
+  enum class EnqueueResult { kQueued, kAlreadyPending, kDropped };
+
+  /// `rebuild` runs on the worker thread, one call at a time; it must
+  /// not assume any lock is held. `under_pressure` (may be null) is
+  /// polled before each rebuild; while it returns true the worker backs
+  /// off instead of rebuilding. Both must stay callable until the
+  /// scheduler is destroyed.
+  RebuildScheduler(Options options, std::function<void(ObjectId)> rebuild,
+                   std::function<bool()> under_pressure);
+
+  /// Stops the worker; queued-but-unstarted rebuilds are dropped (the
+  /// drift that requested them is retained by the store).
+  ~RebuildScheduler();
+
+  RebuildScheduler(const RebuildScheduler&) = delete;
+  RebuildScheduler& operator=(const RebuildScheduler&) = delete;
+
+  EnqueueResult Enqueue(ObjectId id);
+
+  /// Blocks until the queue is empty and no rebuild is running.
+  /// Enqueues racing with the drain extend it.
+  void Drain();
+
+  size_t pending() const;
+
+ private:
+  void Worker();
+
+  const Options options_;
+  const std::function<void(ObjectId)> rebuild_;
+  const std::function<bool()> under_pressure_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<ObjectId> queue_;
+  std::set<ObjectId> queued_ids_;
+  bool stopping_ = false;
+  bool draining_ = false;
+  int active_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace hpm
+
+#endif  // HPM_SERVER_REBUILD_SCHEDULER_H_

@@ -385,6 +385,11 @@ Status MovingObjectStore::SaveToDirectory(
 }
 
 void MovingObjectStore::ReplayWal(uint64_t loaded_gen) {
+  // Replayed records run the full ingest path (miner feed + training
+  // thresholds), but rebuilds must happen inline: recovery has to be
+  // deterministic, and the background worker must not be created while
+  // the freshly loaded store may still be moved.
+  replaying_->store(true, std::memory_order_relaxed);
   const std::string& wal_dir = options_.durability.wal_dir;
   const size_t cap = options_.durability.max_quarantine_files;
   // Replay halts per shard at the first corrupt segment: records past a
@@ -432,6 +437,7 @@ void MovingObjectStore::ReplayWal(uint64_t loaded_gen) {
       halted.push_back(info.shard);
     }
   }
+  replaying_->store(false, std::memory_order_relaxed);
 }
 
 StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
@@ -506,6 +512,17 @@ StatusOr<MovingObjectStore> MovingObjectStore::LoadFromDirectory(
         record->predictor = std::move(*predictor);
         store.metrics_->tpt_frozen_bytes->Increment(
             record->predictor->summary().tpt_frozen_bytes);
+      }
+      if (store.options_.rebuild.incremental) {
+        // Rebuild the miner's window + counts from the loaded history;
+        // a primed miner lands on the exact state an always-on miner
+        // would hold (the counts are a pure function of the window),
+        // with drift accumulating only past the loaded model's data.
+        record->miner = store.NewMiner();
+        record->miner->Prime(record->history, record->consumed_samples,
+                             record->predictor != nullptr
+                                 ? &record->predictor->regions()
+                                 : nullptr);
       }
       // The store is unpublished while loading; no lock needed, and the
       // tables are (re)published in one sweep below.

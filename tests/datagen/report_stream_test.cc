@@ -1,0 +1,121 @@
+// ReportStream: deterministic continuous feed for ingest tests and the
+// throughput bench — same seed, same reports; round-robin fleet order;
+// paced arrivals with bounded jitter; drift that actually changes the
+// route (and only at period boundaries).
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/report_stream.h"
+
+namespace hpm {
+namespace {
+
+ReportStreamConfig BaseConfig() {
+  ReportStreamConfig config;
+  config.num_objects = 3;
+  config.period = 10;
+  config.pattern_probability = 1.0;
+  config.noise_sigma = 0.0;
+  config.seed = 42;
+  return config;
+}
+
+TEST(ReportStreamTest, DeterministicAcrossInstances) {
+  ReportStreamConfig config = BaseConfig();
+  config.noise_sigma = 3.0;
+  config.pattern_probability = 0.8;
+  config.rate_per_second = 100.0;
+  config.arrival_jitter = 0.5;
+  config.drift_every_periods = 2;
+  ReportStream a(config);
+  ReportStream b(config);
+  for (int i = 0; i < 400; ++i) {
+    const StreamedReport ra = a.Next();
+    const StreamedReport rb = b.Next();
+    EXPECT_EQ(ra.object_id, rb.object_id);
+    EXPECT_EQ(ra.time, rb.time);
+    EXPECT_EQ(ra.location.x, rb.location.x);
+    EXPECT_EQ(ra.location.y, rb.location.y);
+    EXPECT_EQ(ra.arrival_seconds, rb.arrival_seconds);
+  }
+  EXPECT_EQ(a.emitted(), 400u);
+}
+
+TEST(ReportStreamTest, RoundRobinWithPerObjectClocks) {
+  ReportStream stream(BaseConfig());
+  std::map<int64_t, Timestamp> next_time;
+  const std::vector<StreamedReport> reports = stream.Take(90);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const StreamedReport& r = reports[i];
+    EXPECT_EQ(r.object_id, static_cast<int64_t>(i % 3) + 1);
+    EXPECT_EQ(r.time, next_time[r.object_id]);
+    ++next_time[r.object_id];
+    EXPECT_GE(r.location.x, 0.0);
+    EXPECT_LE(r.location.x, 1000.0);
+    EXPECT_GE(r.location.y, 0.0);
+    EXPECT_LE(r.location.y, 1000.0);
+    EXPECT_EQ(r.arrival_seconds, 0.0);  // pacing off
+  }
+}
+
+TEST(ReportStreamTest, StableRouteRepeatsEveryPeriod) {
+  // No noise, no wander, no drift: an object's report at time t equals
+  // its report at t + period, exactly.
+  ReportStreamConfig config = BaseConfig();
+  config.num_objects = 1;
+  ReportStream stream(config);
+  const std::vector<StreamedReport> reports = stream.Take(50);
+  for (size_t i = 0; i + 10 < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].location.x, reports[i + 10].location.x);
+    EXPECT_EQ(reports[i].location.y, reports[i + 10].location.y);
+  }
+}
+
+TEST(ReportStreamTest, DriftChangesRouteAtPeriodBoundary) {
+  ReportStreamConfig config = BaseConfig();
+  config.num_objects = 1;
+  config.drift_every_periods = 3;
+  config.drift_fraction = 1.0;
+  ReportStream stream(config);
+  const std::vector<StreamedReport> reports = stream.Take(60);
+  // Periods 0..2 share the route; period 3 (a drift boundary) re-draws
+  // every waypoint, so at least one sample differs from period 2's.
+  bool differs = false;
+  for (size_t t = 0; t < 10; ++t) {
+    if (reports[20 + t].location.x != reports[30 + t].location.x ||
+        reports[20 + t].location.y != reports[30 + t].location.y) {
+      differs = true;
+    }
+    EXPECT_EQ(reports[t].location.x, reports[10 + t].location.x);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ReportStreamTest, PacedArrivalsRespectRateAndJitter) {
+  ReportStreamConfig config = BaseConfig();
+  config.rate_per_second = 200.0;
+  config.arrival_jitter = 0.25;
+  ReportStream stream(config);
+  const double mean_gap = 1.0 / 200.0;
+  double previous = 0.0;
+  double sum = 0.0;
+  const int n = 600;
+  for (int i = 0; i < n; ++i) {
+    const StreamedReport r = stream.Next();
+    const double gap = r.arrival_seconds - previous;
+    EXPECT_GT(gap, 0.0);
+    EXPECT_GE(gap, mean_gap * 0.75 - 1e-12);
+    EXPECT_LE(gap, mean_gap * 1.25 + 1e-12);
+    sum += gap;
+    previous = r.arrival_seconds;
+  }
+  // The jitter is symmetric: the realised rate stays near the target.
+  EXPECT_NEAR(sum / n, mean_gap, mean_gap * 0.05);
+}
+
+}  // namespace
+}  // namespace hpm

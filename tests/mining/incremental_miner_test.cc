@@ -1,0 +1,327 @@
+// Unit coverage for the incremental pattern maintainer: window
+// bookkeeping, exact count maintenance against the offline Apriori
+// oracle, promote/demote crossings and drift, the candidate memory
+// bound, Prime()'s replay equivalence and the metric hooks. The
+// full randomized differential guarantee lives in
+// tests/proptest/prop_incremental_mining_test.cc.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "mining/incremental_miner.h"
+#include "mining/offline_miner.h"
+
+namespace hpm {
+namespace {
+
+constexpr Timestamp kPeriod = 8;
+
+FrequentRegionParams RegionParams() {
+  FrequentRegionParams params;
+  params.period = kPeriod;
+  params.dbscan.eps = 10.0;
+  params.dbscan.min_pts = 3;
+  return params;
+}
+
+AprioriParams MiningParams() {
+  AprioriParams params;
+  params.min_support = 3;
+  params.min_confidence = 0.3;
+  params.max_pattern_length = 3;
+  return params;
+}
+
+IncrementalMinerOptions MinerOptions() {
+  IncrementalMinerOptions options;
+  options.window_periods = 6;
+  return options;
+}
+
+/// One noisy lap over the fixed route (offset t at x ~ 100 t).
+std::vector<Point> RouteLap(Random* rng) {
+  std::vector<Point> lap;
+  for (Timestamp t = 0; t < kPeriod; ++t) {
+    lap.push_back({100.0 * static_cast<double>(t) + rng->Gaussian(0, 1.0),
+                   50.0 + rng->Gaussian(0, 1.0)});
+  }
+  return lap;
+}
+
+/// A lap far away from every discovered region.
+std::vector<Point> FarLap() {
+  return std::vector<Point>(static_cast<size_t>(kPeriod), Point{1e6, 1e6});
+}
+
+Trajectory Laps(int periods, uint64_t seed) {
+  Random rng(seed);
+  Trajectory history;
+  for (int p = 0; p < periods; ++p) {
+    for (const Point& point : RouteLap(&rng)) history.Append(point);
+  }
+  return history;
+}
+
+FrequentRegionSet DiscoverRegions(const Trajectory& history) {
+  StatusOr<FrequentRegionMiningResult> discovery =
+      MineFrequentRegions(history, RegionParams());
+  EXPECT_TRUE(discovery.ok());
+  return discovery->region_set;
+}
+
+void Feed(IncrementalMiner* miner, const Trajectory& history) {
+  for (const Point& point : history.points()) miner->Observe(point);
+}
+
+/// The offline oracle over the miner's retained window under the
+/// miner's adopted region universe: re-map each window period
+/// geometrically, then run the exact offline Apriori.
+AprioriResult OfflineOverWindow(const IncrementalMiner& miner) {
+  const FrequentRegionSet& regions = *miner.regions();
+  const Trajectory window = miner.WindowTrajectory();
+  std::vector<Transaction> transactions;
+  for (size_t start = 0; start + static_cast<size_t>(kPeriod) <=
+                         window.size();
+       start += static_cast<size_t>(kPeriod)) {
+    std::vector<Point> points(
+        window.points().begin() + static_cast<long>(start),
+        window.points().begin() +
+            static_cast<long>(start + static_cast<size_t>(kPeriod)));
+    transactions.emplace_back(
+        MapPeriodPointsToVisits(regions, points, /*slack=*/0.0),
+        regions.NumRegions());
+  }
+  StatusOr<AprioriResult> mined =
+      MineTrajectoryPatterns(transactions, regions, MiningParams());
+  EXPECT_TRUE(mined.ok());
+  return *mined;
+}
+
+std::string DescribePatterns(const std::vector<TrajectoryPattern>& ps) {
+  std::string out;
+  for (const TrajectoryPattern& p : ps) {
+    out += "{";
+    for (int id : p.premise) out += std::to_string(id) + ",";
+    out += "=>" + std::to_string(p.consequence) +
+           " s=" + std::to_string(p.support) + "} ";
+  }
+  return out;
+}
+
+/// The maintained set must equal the offline rule set over the same
+/// window: same rules, same supports, bit-identical confidences.
+void ExpectMatchesOffline(const IncrementalMiner& miner) {
+  AprioriResult offline = OfflineOverWindow(miner);
+  std::sort(offline.patterns.begin(), offline.patterns.end(),
+            [](const TrajectoryPattern& a, const TrajectoryPattern& b) {
+              if (a.premise.size() != b.premise.size()) {
+                return a.premise.size() < b.premise.size();
+              }
+              if (a.premise != b.premise) return a.premise < b.premise;
+              return a.consequence < b.consequence;
+            });
+  const std::vector<TrajectoryPattern> maintained = miner.CurrentPatterns();
+  ASSERT_EQ(maintained.size(), offline.patterns.size())
+      << "maintained: " << DescribePatterns(maintained)
+      << " offline: " << DescribePatterns(offline.patterns);
+  for (size_t i = 0; i < maintained.size(); ++i) {
+    EXPECT_EQ(maintained[i].premise, offline.patterns[i].premise);
+    EXPECT_EQ(maintained[i].consequence, offline.patterns[i].consequence);
+    EXPECT_EQ(maintained[i].support, offline.patterns[i].support);
+    EXPECT_EQ(maintained[i].confidence, offline.patterns[i].confidence);
+  }
+}
+
+TEST(IncrementalMinerTest, WindowBookkeepingBeforeRegions) {
+  IncrementalMiner miner(MinerOptions(), kPeriod, MiningParams());
+  EXPECT_FALSE(miner.has_regions());
+  Feed(&miner, Laps(3, 1));
+  miner.Observe({0.0, 0.0});
+  EXPECT_EQ(miner.total_observed(), 3u * kPeriod + 1);
+  EXPECT_EQ(miner.window_end(), 3u * kPeriod);
+  EXPECT_EQ(miner.WindowSize(), 3u);
+  // No regions yet: points buffer, but nothing is mined.
+  EXPECT_EQ(miner.stats().transactions, 0u);
+  EXPECT_EQ(miner.CurrentPatterns().size(), 0u);
+  EXPECT_EQ(miner.drift(), 0.0);
+}
+
+TEST(IncrementalMinerTest, WindowEvictsOldestPeriod) {
+  IncrementalMinerOptions options;
+  options.window_periods = 2;
+  IncrementalMiner miner(options, kPeriod, MiningParams());
+  Feed(&miner, Laps(5, 2));
+  EXPECT_EQ(miner.WindowSize(), 2u);
+  EXPECT_EQ(miner.WindowTrajectory().size(), 2u * kPeriod);
+  // window_end keeps counting absolute samples even as entries expire.
+  EXPECT_EQ(miner.window_end(), 5u * kPeriod);
+}
+
+TEST(IncrementalMinerTest, AdoptRegionsRecountsWindowExactly) {
+  const Trajectory history = Laps(6, 3);
+  IncrementalMiner miner(MinerOptions(), kPeriod, MiningParams());
+  Feed(&miner, history);
+  miner.AdoptRegions(DiscoverRegions(history));
+  ASSERT_TRUE(miner.has_regions());
+  // Every window period maps to the full route: each single-region
+  // support equals the window size.
+  for (int id = 0; id < static_cast<int>(miner.regions()->NumRegions());
+       ++id) {
+    EXPECT_EQ(miner.SupportOf({id}), static_cast<int>(miner.WindowSize()));
+  }
+  ExpectMatchesOffline(miner);
+}
+
+TEST(IncrementalMinerTest, StreamingMatchesOfflineAfterMorePeriods) {
+  const Trajectory bootstrap = Laps(6, 4);
+  IncrementalMiner miner(MinerOptions(), kPeriod, MiningParams());
+  Feed(&miner, bootstrap);
+  miner.AdoptRegions(DiscoverRegions(bootstrap));
+  // Keep streaming: pattern periods and far periods interleave, the
+  // window slides, counts go up and down — and the maintained set must
+  // track the offline oracle at every period boundary.
+  Random rng(5);
+  for (int p = 0; p < 10; ++p) {
+    const std::vector<Point> lap =
+        (p % 3 == 2) ? FarLap() : RouteLap(&rng);
+    for (const Point& point : lap) miner.Observe(point);
+    ExpectMatchesOffline(miner);
+  }
+}
+
+TEST(IncrementalMinerTest, CrossingsMoveDriftAndStats) {
+  const Trajectory bootstrap = Laps(6, 6);
+  // Slack covers the route noise, so calm laps are fully matched and
+  // the decay phase below is driven by the decay factor alone.
+  IncrementalMinerOptions options = MinerOptions();
+  options.region_match_slack = 5.0;
+  IncrementalMiner miner(options, kPeriod, MiningParams());
+  Feed(&miner, bootstrap);
+  miner.AdoptRegions(DiscoverRegions(bootstrap));
+  EXPECT_EQ(miner.drift(), 0.0);  // adoption re-bases, it is not drift
+
+  // Far periods push route periods out of the 6-period window; once
+  // support falls below min_support the sets demote and drift rises.
+  const uint64_t promoted_before = miner.stats().promoted;
+  for (int p = 0; p < 6; ++p) {
+    for (const Point& point : FarLap()) miner.Observe(point);
+  }
+  EXPECT_GT(miner.stats().demoted, 0u);
+  EXPECT_GT(miner.drift(), 0.0);
+  EXPECT_GT(miner.stats().unmatched_points, 0u);
+
+  const double peak = miner.drift();
+  // Window now holds only unmatched periods; feeding route periods back
+  // re-promotes (crossings again) — but afterwards calm repetition
+  // decays the score multiplicatively.
+  Random rng(7);
+  for (int p = 0; p < 6; ++p) {
+    for (const Point& point : RouteLap(&rng)) miner.Observe(point);
+  }
+  EXPECT_GT(miner.stats().promoted, promoted_before);
+  double drift = miner.drift();
+  for (int p = 0; p < 8; ++p) {
+    for (const Point& point : RouteLap(&rng)) miner.Observe(point);
+    EXPECT_LE(miner.drift(), drift + 1e-9);
+    drift = miner.drift();
+  }
+  EXPECT_LT(drift, peak);
+}
+
+TEST(IncrementalMinerTest, CandidateBoundEvictsDeterministically) {
+  const Trajectory bootstrap = Laps(6, 8);
+  IncrementalMinerOptions options = MinerOptions();
+  options.max_candidates = 4;
+  IncrementalMiner bounded(options, kPeriod, MiningParams());
+  Feed(&bounded, bootstrap);
+  bounded.AdoptRegions(DiscoverRegions(bootstrap));
+  EXPECT_LE(bounded.NumTrackedItemsets(), 4u);
+  EXPECT_GT(bounded.stats().candidates_evicted, 0u);
+
+  // Determinism: the same feed yields the same surviving candidate set.
+  IncrementalMiner again(options, kPeriod, MiningParams());
+  Feed(&again, bootstrap);
+  again.AdoptRegions(DiscoverRegions(bootstrap));
+  EXPECT_EQ(bounded.NumTrackedItemsets(), again.NumTrackedItemsets());
+  EXPECT_EQ(bounded.stats().candidates_evicted,
+            again.stats().candidates_evicted);
+  const std::vector<TrajectoryPattern> a = bounded.CurrentPatterns();
+  const std::vector<TrajectoryPattern> b = again.CurrentPatterns();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].premise, b[i].premise);
+    EXPECT_EQ(a[i].consequence, b[i].consequence);
+  }
+}
+
+TEST(IncrementalMinerTest, PrimeReplaysToIdenticalState) {
+  // Live miner: adopt after 6 periods, then keep streaming 7 more.
+  const Trajectory bootstrap = Laps(6, 9);
+  const FrequentRegionSet regions = DiscoverRegions(bootstrap);
+  IncrementalMiner live(MinerOptions(), kPeriod, MiningParams());
+  Feed(&live, bootstrap);
+  live.AdoptRegions(regions);
+  const size_t adopted_at = live.window_end();
+  Trajectory full = bootstrap;
+  Random rng(10);
+  for (int p = 0; p < 7; ++p) {
+    const std::vector<Point> lap =
+        (p % 2 == 0) ? RouteLap(&rng) : FarLap();
+    for (const Point& point : lap) {
+      live.Observe(point);
+      full.Append(point);
+    }
+  }
+
+  // Primed miner: rebuilt from (history, adopted_at, regions) alone —
+  // the crash-recovery shape. State must match the live miner exactly.
+  IncrementalMiner primed(MinerOptions(), kPeriod, MiningParams());
+  primed.Prime(full, adopted_at, &regions);
+  EXPECT_EQ(primed.window_end(), live.window_end());
+  EXPECT_EQ(primed.WindowSize(), live.WindowSize());
+  EXPECT_EQ(primed.NumTrackedItemsets(), live.NumTrackedItemsets());
+  EXPECT_EQ(primed.drift(), live.drift());
+  const std::vector<TrajectoryPattern> expected = live.CurrentPatterns();
+  const std::vector<TrajectoryPattern> actual = primed.CurrentPatterns();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].premise, expected[i].premise);
+    EXPECT_EQ(actual[i].consequence, expected[i].consequence);
+    EXPECT_EQ(actual[i].support, expected[i].support);
+    EXPECT_EQ(actual[i].confidence, expected[i].confidence);
+  }
+}
+
+TEST(IncrementalMinerTest, MetricHooksMirrorStats) {
+  MetricsRegistry registry;
+  MinerMetricHooks hooks;
+  hooks.transactions = registry.GetCounter("miner.transactions");
+  hooks.unmatched_points = registry.GetCounter("miner.unmatched_points");
+  hooks.promoted = registry.GetCounter("miner.promoted");
+  hooks.demoted = registry.GetCounter("miner.demoted");
+  hooks.candidates_evicted = registry.GetCounter("miner.candidates_evicted");
+
+  const Trajectory bootstrap = Laps(6, 12);
+  IncrementalMiner miner(MinerOptions(), kPeriod, MiningParams());
+  miner.set_metric_hooks(hooks);
+  Feed(&miner, bootstrap);
+  miner.AdoptRegions(DiscoverRegions(bootstrap));
+  for (int p = 0; p < 6; ++p) {
+    for (const Point& point : FarLap()) miner.Observe(point);
+  }
+  const MetricsSnapshot snapshot = registry.TakeSnapshot();
+  EXPECT_EQ(snapshot.counter("miner.transactions"),
+            miner.stats().transactions);
+  EXPECT_EQ(snapshot.counter("miner.unmatched_points"),
+            miner.stats().unmatched_points);
+  EXPECT_EQ(snapshot.counter("miner.demoted"), miner.stats().demoted);
+  EXPECT_GT(snapshot.counter("miner.demoted"), 0u);
+}
+
+}  // namespace
+}  // namespace hpm

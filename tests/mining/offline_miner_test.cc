@@ -1,0 +1,134 @@
+// The one-shot offline pass must be exactly the three pipeline stages
+// it packages (discovery -> transactions -> Apriori), and its
+// region-remapping helper must agree with the labels discovery itself
+// produced — the contracts the incremental path builds on.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mining/offline_miner.h"
+
+namespace hpm {
+namespace {
+
+constexpr Timestamp kPeriod = 8;
+
+/// A history of `periods` noisy laps over a fixed route: every offset
+/// forms one tight cluster, so discovery finds one region per offset.
+Trajectory PatternedHistory(int periods, uint64_t seed) {
+  Random rng(seed);
+  Trajectory history;
+  for (int p = 0; p < periods; ++p) {
+    for (Timestamp t = 0; t < kPeriod; ++t) {
+      history.Append({100.0 * static_cast<double>(t) + rng.Gaussian(0, 1.0),
+                      50.0 + rng.Gaussian(0, 1.0)});
+    }
+  }
+  return history;
+}
+
+FrequentRegionParams RegionParams() {
+  FrequentRegionParams params;
+  params.period = kPeriod;
+  params.dbscan.eps = 10.0;
+  params.dbscan.min_pts = 3;
+  return params;
+}
+
+AprioriParams MiningParams() {
+  AprioriParams params;
+  params.min_support = 3;
+  params.min_confidence = 0.3;
+  params.max_pattern_length = 3;
+  return params;
+}
+
+TEST(OfflineMinerTest, MatchesStagesRunSeparately) {
+  const Trajectory history = PatternedHistory(6, 7);
+  const StatusOr<OfflineMineResult> offline =
+      MineOffline(history, RegionParams(), MiningParams());
+  ASSERT_TRUE(offline.ok()) << offline.status().ToString();
+
+  StatusOr<FrequentRegionMiningResult> discovery =
+      MineFrequentRegions(history, RegionParams());
+  ASSERT_TRUE(discovery.ok());
+  const std::vector<Transaction> transactions =
+      BuildTransactions(*discovery);
+  StatusOr<AprioriResult> mined = MineTrajectoryPatterns(
+      transactions, discovery->region_set, MiningParams());
+  ASSERT_TRUE(mined.ok());
+
+  EXPECT_EQ(offline->discovery.region_set.NumRegions(),
+            discovery->region_set.NumRegions());
+  ASSERT_EQ(offline->transactions.size(), transactions.size());
+  for (size_t i = 0; i < transactions.size(); ++i) {
+    EXPECT_EQ(offline->transactions[i].items(), transactions[i].items());
+  }
+  ASSERT_EQ(offline->mined.patterns.size(), mined->patterns.size());
+  for (size_t i = 0; i < mined->patterns.size(); ++i) {
+    EXPECT_EQ(offline->mined.patterns[i].premise,
+              mined->patterns[i].premise);
+    EXPECT_EQ(offline->mined.patterns[i].consequence,
+              mined->patterns[i].consequence);
+    EXPECT_EQ(offline->mined.patterns[i].support,
+              mined->patterns[i].support);
+    EXPECT_EQ(offline->mined.patterns[i].confidence,
+              mined->patterns[i].confidence);
+  }
+}
+
+TEST(OfflineMinerTest, FindsPatternsOnPatternedData) {
+  const StatusOr<OfflineMineResult> offline =
+      MineOffline(PatternedHistory(6, 11), RegionParams(), MiningParams());
+  ASSERT_TRUE(offline.ok());
+  EXPECT_EQ(offline->discovery.region_set.NumRegions(),
+            static_cast<size_t>(kPeriod));
+  EXPECT_EQ(offline->transactions.size(), 6u);
+  EXPECT_FALSE(offline->mined.patterns.empty());
+}
+
+TEST(OfflineMinerTest, RejectsShortHistory) {
+  Trajectory history;
+  history.Append({1.0, 2.0});
+  EXPECT_FALSE(MineOffline(history, RegionParams(), MiningParams()).ok());
+}
+
+TEST(OfflineMinerTest, RemapAgreesWithDiscoveryLabels) {
+  const Trajectory history = PatternedHistory(6, 13);
+  const StatusOr<OfflineMineResult> offline =
+      MineOffline(history, RegionParams(), MiningParams());
+  ASSERT_TRUE(offline.ok());
+  const FrequentRegionSet& regions = offline->discovery.region_set;
+
+  // Re-map each complete period geometrically; on this clean data every
+  // point sits inside its offset's region MBR, so the remapped visits
+  // must reproduce the discovery labels transaction-for-transaction.
+  for (size_t p = 0; p * kPeriod < history.size(); ++p) {
+    std::vector<Point> points(
+        history.points().begin() + static_cast<long>(p * kPeriod),
+        history.points().begin() + static_cast<long>((p + 1) * kPeriod));
+    const std::vector<RegionVisit> visits =
+        MapPeriodPointsToVisits(regions, points, /*slack=*/0.0);
+    const Transaction remapped(visits, regions.NumRegions());
+    EXPECT_EQ(remapped.items(), offline->transactions[p].items())
+        << "period " << p;
+  }
+}
+
+TEST(OfflineMinerTest, RemapSkipsFarPoints) {
+  const Trajectory history = PatternedHistory(6, 17);
+  const StatusOr<OfflineMineResult> offline =
+      MineOffline(history, RegionParams(), MiningParams());
+  ASSERT_TRUE(offline.ok());
+
+  std::vector<Point> far(static_cast<size_t>(kPeriod),
+                         Point{1e6, 1e6});
+  EXPECT_TRUE(MapPeriodPointsToVisits(offline->discovery.region_set, far,
+                                      /*slack=*/0.0)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace hpm

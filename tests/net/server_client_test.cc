@@ -119,6 +119,25 @@ TEST(ServerClientTest, RangeAndKnnTravelTheWire) {
   EXPECT_EQ(stats->json.front(), '{');
 }
 
+TEST(ServerClientTest, StatsMergesStoreAndServerCounters) {
+  MovingObjectStore store{ObjectStoreOptions{}};
+  StatusOr<std::unique_ptr<HpmServer>> server =
+      HpmServer::Start(&store, HpmServerOptions{});
+  ASSERT_TRUE(server.ok());
+  HpmClient client(ClientFor(**server));
+  ASSERT_TRUE(client.Report(ReportRequest{5, -1, 1.0, 2.0}).ok());
+
+  // One document for the remote operator: the store's serving counters
+  // and the server's own net.*/repl.* rows, merged.
+  StatusOr<StatsReply> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->json.find("\"net.requests\""), std::string::npos);
+  EXPECT_NE(stats->json.find("\"repl.state_requests\""), std::string::npos);
+  EXPECT_NE(stats->json.find("\"store.admitted.report\""), std::string::npos);
+  EXPECT_NE(stats->json.find("\"rebuild.completed\""), std::string::npos);
+  EXPECT_NE(stats->json.find("\"miner.transactions\""), std::string::npos);
+}
+
 TEST(ServerClientTest, ReplicaRefusesWritesAndStampsStaleness) {
   MovingObjectStore store{ObjectStoreOptions{}};
   ReplicaHealth health;
